@@ -1,0 +1,37 @@
+// experiments regenerates every table and figure of the paper's
+// evaluation (see EXPERIMENTS.md for the index).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	only := flag.String("e", "", "run a single experiment by ID (e1..e11, f2); default all")
+	flag.Parse()
+
+	runners := experiments.All()
+	if *only != "" {
+		id := strings.ToUpper(*only)
+		out, err := experiments.Render(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+		return
+	}
+	for _, r := range runners {
+		tab, err := r.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", r.ID, err)
+			os.Exit(1)
+		}
+		fmt.Println(tab.String())
+	}
+}

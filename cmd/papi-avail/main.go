@@ -1,0 +1,81 @@
+// papi-avail lists the preset events and how each simulated platform
+// realizes them — the reproduction of the papi_avail utility. With
+// -native it also dumps the platform's native event table, the raw
+// material of the substrate's preset mappings.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/papi"
+)
+
+func main() {
+	platform := flag.String("platform", "", "platform key (default: all platforms)")
+	native := flag.Bool("native", false, "also list native events")
+	flag.Parse()
+
+	platforms := papi.Platforms()
+	if *platform != "" {
+		platforms = []string{*platform}
+	}
+	for _, p := range platforms {
+		if err := show(p, *native); err != nil {
+			fmt.Fprintln(os.Stderr, "papi-avail:", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}
+
+func show(platform string, native bool) error {
+	sys, err := papi.Init(papi.Options{Platform: platform})
+	if err != nil {
+		return err
+	}
+	info := sys.Info()
+	fmt.Printf("Platform : %s (%s)\n", info.Platform, info.Model)
+	fmt.Printf("Clock    : %d MHz\n", info.ClockMHz)
+	fmt.Printf("Counters : %d x %d-bit", info.NumCounters, info.CounterWidth)
+	if info.HasGroups {
+		fmt.Printf(" (group-constrained)")
+	}
+	if info.HWSampling {
+		fmt.Printf(" (hardware sampling)")
+	}
+	fmt.Println()
+	fmt.Printf("%-14s %-5s %-18s %-34s %s\n", "PRESET", "AVAIL", "DERIVED", "NATIVE EVENTS", "NOTE")
+	avail := 0
+	for _, pa := range sys.AvailPresets() {
+		mark := "no"
+		derived, natives := "-", "-"
+		if pa.Avail {
+			avail++
+			mark = "yes"
+			derived = pa.Derived
+			natives = join(pa.Natives)
+		}
+		fmt.Printf("%-14s %-5s %-18s %-34s %s\n", pa.Name, mark, derived, natives, pa.Note)
+	}
+	fmt.Printf("%d of %d presets available\n", avail, len(sys.AvailPresets()))
+	if native {
+		fmt.Printf("\n%-24s %-10s %s\n", "NATIVE EVENT", "COUNTERS", "DESCRIPTION")
+		for _, ev := range sys.Arch().Events {
+			fmt.Printf("%-24s %#010b %s\n", ev.Name, ev.CounterMask, ev.Desc)
+		}
+	}
+	return nil
+}
+
+func join(ss []string) string {
+	out := ""
+	for i, s := range ss {
+		if i > 0 {
+			out += "+"
+		}
+		out += s
+	}
+	return out
+}

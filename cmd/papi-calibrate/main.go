@@ -1,0 +1,69 @@
+// papi-calibrate runs known-FLOP kernels and compares measured counts
+// against expected values across substrates — the calibrate utility §4
+// describes, and the harness behind experiment E1.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/papi"
+	"repro/workload"
+)
+
+func main() {
+	platform := flag.String("platform", "", "calibrate a single platform (default: run the full E1 sweep)")
+	n := flag.Int("n", 64, "matmul dimension for single-platform mode")
+	flag.Parse()
+
+	if *platform == "" {
+		out, err := experiments.Render("E1")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "papi-calibrate:", err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+		return
+	}
+	if err := one(*platform, *n); err != nil {
+		fmt.Fprintln(os.Stderr, "papi-calibrate:", err)
+		os.Exit(1)
+	}
+}
+
+func one(platform string, n int) error {
+	sys, err := papi.Init(papi.Options{Platform: platform})
+	if err != nil {
+		return err
+	}
+	th := sys.Main()
+	prog := workload.MatMul(workload.MatMulConfig{N: n})
+	expected := prog.Expected().FLOPs()
+	es := th.NewEventSet()
+	if err := es.Add(papi.FP_OPS); err != nil {
+		return err
+	}
+	if err := es.Start(); err != nil {
+		return err
+	}
+	th.Run(prog)
+	vals := make([]int64, 1)
+	if err := es.Stop(vals); err != nil {
+		return err
+	}
+	rel := 0.0
+	if expected > 0 {
+		d := float64(vals[0]) - float64(expected)
+		if d < 0 {
+			d = -d
+		}
+		rel = d / float64(expected)
+	}
+	fmt.Printf("papi-calibrate: %s, matmul N=%d\n", platform, n)
+	fmt.Printf("expected FP ops : %d\n", expected)
+	fmt.Printf("measured FP ops : %d\n", vals[0])
+	fmt.Printf("relative error  : %.4f%%\n", rel*100)
+	return nil
+}

@@ -1,0 +1,20 @@
+// papi-cost measures the cycle cost of the counter operations on every
+// simulated platform — the reproduction of the papi_cost utility
+// (experiment E10).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	out, err := experiments.Render("E10")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "papi-cost:", err)
+		os.Exit(1)
+	}
+	fmt.Print(out)
+}

@@ -1,0 +1,120 @@
+// papiprof is the end-user face of the §3 profiler stack: it runs a
+// workload several times, once per requested metric, collects vprof
+// source-line profiles via PAPI_profil, combines them in an
+// HPCView-style database with derived ratio columns, and prints the
+// hottest lines.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/papi"
+	"repro/tools/hpcview"
+	"repro/tools/vprof"
+	"repro/workload"
+)
+
+func main() {
+	platform := flag.String("platform", papi.PlatformCrayT3E, "platform key")
+	metrics := flag.String("metrics", "PAPI_FP_INS,PAPI_L1_DCM", "comma-separated metrics, one profile each")
+	derived := flag.String("derived", "", `derived column, e.g. "MISSRATE=PAPI_L1_DCM/PAPI_L1_DCA"`)
+	threshold := flag.Uint64("threshold", 512, "profil overflow threshold")
+	prog := flag.String("workload", "stencil", "workload: matmul|triad|stencil|mixedprec|dot")
+	n := flag.Int("n", 96, "workload size")
+	top := flag.Int("top", 12, "lines to print")
+	flag.Parse()
+
+	if err := run(*platform, *metrics, *derived, *threshold, *prog, *n, *top); err != nil {
+		fmt.Fprintln(os.Stderr, "papiprof:", err)
+		os.Exit(1)
+	}
+}
+
+func buildProg(name string, n int) (workload.Program, error) {
+	switch name {
+	case "matmul":
+		return workload.MatMul(workload.MatMulConfig{N: n}), nil
+	case "triad":
+		return workload.Triad(workload.TriadConfig{N: n * n}), nil
+	case "stencil":
+		return workload.Stencil(workload.StencilConfig{N: n, Sweeps: 4}), nil
+	case "mixedprec":
+		return workload.MixedPrecision(workload.MixedPrecisionConfig{N: n * n}), nil
+	case "dot":
+		return workload.Dot(workload.DotConfig{N: n * n}), nil
+	}
+	return nil, fmt.Errorf("unknown workload %q", name)
+}
+
+func run(platform, metrics, derived string, threshold uint64, progName string, n, top int) error {
+	prog, err := buildProg(progName, n)
+	if err != nil {
+		return err
+	}
+	// The "debug info": one synthetic source line per instruction.
+	newMap := func() (*vprof.SourceMap, error) {
+		var sm vprof.SourceMap
+		line := 1
+		for _, r := range prog.Regions() {
+			if err := sm.Add(r, progName+".c", line, 1); err != nil {
+				return nil, err
+			}
+			line += 100
+		}
+		return &sm, nil
+	}
+
+	db := hpcview.New()
+	for _, name := range strings.Split(metrics, ",") {
+		name = strings.TrimSpace(name)
+		ev, ok := papi.PresetByName(name)
+		if !ok {
+			return fmt.Errorf("unknown preset %q", name)
+		}
+		sys, err := papi.Init(papi.Options{Platform: platform})
+		if err != nil {
+			return err
+		}
+		sm, err := newMap()
+		if err != nil {
+			return err
+		}
+		p, err := vprof.New(sys.Main(), ev, threshold, sm)
+		if err != nil {
+			return err
+		}
+		prog.Reset()
+		if err := p.Run(prog); err != nil {
+			return err
+		}
+		if err := db.AddProfile(name, float64(threshold), p.Lines()); err != nil {
+			return err
+		}
+	}
+	sortBy := db.Metrics()[0]
+	if derived != "" {
+		name, expr, ok := strings.Cut(derived, "=")
+		if !ok {
+			return fmt.Errorf("derived must look like NAME=METRIC_A/METRIC_B")
+		}
+		numer, denom, ok := strings.Cut(expr, "/")
+		if !ok {
+			return fmt.Errorf("derived must look like NAME=METRIC_A/METRIC_B")
+		}
+		if err := db.AddDerived(strings.TrimSpace(name), strings.TrimSpace(numer), strings.TrimSpace(denom)); err != nil {
+			return err
+		}
+		sortBy = strings.TrimSpace(name)
+	}
+	rep, err := db.Report(sortBy, top)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("papiprof: %s on %s, %d-event profiles (threshold %d)\n\n",
+		prog.Name(), platform, len(db.Metrics()), threshold)
+	fmt.Print(rep)
+	return nil
+}

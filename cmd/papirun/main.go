@@ -1,0 +1,114 @@
+// papirun executes a workload on a simulated platform and reports
+// hardware counter values plus timing — the utility §5 announces as
+// under development ("a papirun utility that will allow users to
+// execute a program and easily collect basic timing and hardware
+// counter data").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/papi"
+	"repro/workload"
+)
+
+func main() {
+	platform := flag.String("platform", papi.PlatformLinuxX86, "platform key")
+	events := flag.String("events", "PAPI_TOT_CYC,PAPI_FP_OPS", "comma-separated preset or native event names")
+	prog := flag.String("workload", "matmul", "workload: matmul|triad|chase|stencil|branchy|mixedprec|lu|gups|dot")
+	n := flag.Int("n", 64, "workload size parameter")
+	multiplex := flag.Bool("multiplex", false, "enable software multiplexing (low-level opt-in)")
+	flag.Parse()
+
+	if err := run(*platform, *events, *prog, *n, *multiplex); err != nil {
+		fmt.Fprintln(os.Stderr, "papirun:", err)
+		os.Exit(1)
+	}
+}
+
+func buildWorkload(name string, n int) (workload.Program, error) {
+	switch name {
+	case "matmul":
+		return workload.MatMul(workload.MatMulConfig{N: n}), nil
+	case "triad":
+		return workload.Triad(workload.TriadConfig{N: n, Reps: 8}), nil
+	case "chase":
+		return workload.PointerChase(workload.ChaseConfig{Nodes: n, Steps: n * 8}), nil
+	case "stencil":
+		return workload.Stencil(workload.StencilConfig{N: n, Sweeps: 4}), nil
+	case "branchy":
+		return workload.Branchy(workload.BranchyConfig{N: n * n}), nil
+	case "mixedprec":
+		return workload.MixedPrecision(workload.MixedPrecisionConfig{N: n * n}), nil
+	case "lu":
+		return workload.LU(workload.LUConfig{N: n}), nil
+	case "gups":
+		return workload.GUPS(workload.GUPSConfig{TableWords: n * n, Updates: n * n}), nil
+	case "dot":
+		return workload.Dot(workload.DotConfig{N: n * n}), nil
+	}
+	return nil, fmt.Errorf("unknown workload %q", name)
+}
+
+func run(platform, events, progName string, n int, multiplex bool) error {
+	sys, err := papi.Init(papi.Options{Platform: platform})
+	if err != nil {
+		return err
+	}
+	th := sys.Main()
+	prog, err := buildWorkload(progName, n)
+	if err != nil {
+		return err
+	}
+
+	es := th.NewEventSet()
+	if multiplex {
+		if err := es.SetMultiplex(0); err != nil {
+			return err
+		}
+	}
+	var evs []papi.Event
+	for _, name := range strings.Split(events, ",") {
+		name = strings.TrimSpace(name)
+		ev, ok := papi.PresetByName(name)
+		if !ok {
+			ev, ok = sys.NativeByName(name)
+		}
+		if !ok {
+			return fmt.Errorf("unknown event %q on %s", name, platform)
+		}
+		if err := es.Add(ev); err != nil {
+			if papi.IsErr(err, papi.ECNFLCT) && !multiplex {
+				return fmt.Errorf("adding %s: %w\n(more events than counters? re-run with -multiplex)", name, err)
+			}
+			return fmt.Errorf("adding %s: %w", name, err)
+		}
+		evs = append(evs, ev)
+	}
+
+	r0, v0 := th.RealUsec(), th.VirtUsec()
+	if err := es.Start(); err != nil {
+		return err
+	}
+	th.Run(prog)
+	vals := make([]int64, len(evs))
+	if err := es.Stop(vals); err != nil {
+		return err
+	}
+	r1, v1 := th.RealUsec(), th.VirtUsec()
+
+	fmt.Printf("papirun: %s on %s\n", prog.Name(), platform)
+	fmt.Printf("%-16s %20s\n", "EVENT", "COUNT")
+	for i, ev := range evs {
+		fmt.Printf("%-16s %20d\n", sys.EventName(ev), vals[i])
+	}
+	fmt.Printf("%-16s %17d us\n", "real time", r1-r0)
+	fmt.Printf("%-16s %17d us\n", "virtual time", v1-v0)
+	if multiplex {
+		fmt.Println("note: counts are multiplexed estimates; ensure the run is long enough to converge")
+	}
+	return nil
+}

@@ -1,0 +1,123 @@
+// perfometer runs the real-time monitoring pipeline of §2/Figure 2: a
+// backend executing a phased application streams FLOP-rate samples over
+// TCP to a frontend, which renders the trace and optionally saves it
+// for off-line analysis.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"repro/papi"
+	"repro/tools/dynaprof"
+	"repro/tools/perfometer"
+	"repro/workload"
+)
+
+func main() {
+	platform := flag.String("platform", papi.PlatformAIXPower3, "platform key")
+	metric := flag.String("metric", "PAPI_FP_OPS", "preset event to trace")
+	traceFile := flag.String("trace", "", "save the trace to this file")
+	width := flag.Int("width", 72, "sparkline width")
+	flag.Parse()
+
+	if err := run(*platform, *metric, *traceFile, *width); err != nil {
+		fmt.Fprintln(os.Stderr, "perfometer:", err)
+		os.Exit(1)
+	}
+}
+
+func run(platform, metric, traceFile string, width int) error {
+	sys, err := papi.Init(papi.Options{Platform: platform})
+	if err != nil {
+		return err
+	}
+	th := sys.Main()
+	ev, ok := papi.PresetByName(metric)
+	if !ok {
+		return fmt.Errorf("unknown metric %q", metric)
+	}
+
+	// Frontend listens; backend dials — the paper's two-process shape,
+	// here wired through the loopback in one process.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+
+	front := &perfometer.Frontend{}
+	done := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer conn.Close()
+		done <- front.Consume(conn)
+	}()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		return err
+	}
+
+	backend := perfometer.NewBackend(th, ev, 200_000)
+	exe, err := phasedExecutable()
+	if err != nil {
+		return err
+	}
+	prof := dynaprof.Attach(exe)
+	if err := prof.Instrument("*", &perfometer.SectionProbe{Backend: backend}); err != nil {
+		return err
+	}
+	if err := backend.RunInstrumented(conn, func() error { return prof.Run(th) }); err != nil {
+		return err
+	}
+	conn.Close()
+	if err := <-done; err != nil {
+		return err
+	}
+
+	fmt.Printf("perfometer: %s on %s (%d samples)\n", metric, platform, len(front.Points))
+	fmt.Printf("peak rate: %.2f M%s/s\n", front.MaxRate()/1e6, metric)
+	fmt.Println(front.Sparkline(width))
+	fmt.Println("sections:", front.Sections())
+	for sec, rate := range front.SectionMeanRate() {
+		fmt.Printf("  %-12s mean %.2f M/s\n", sec, rate/1e6)
+	}
+	if traceFile != "" {
+		f, err := os.Create(traceFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := front.SaveTrace(f); err != nil {
+			return err
+		}
+		fmt.Println("trace saved to", traceFile)
+	}
+	return nil
+}
+
+func phasedExecutable() (*dynaprof.Executable, error) {
+	return dynaprof.NewExecutable("phased", "main",
+		&dynaprof.Func{Name: "main", Body: []dynaprof.Stmt{
+			dynaprof.CallStmt{Callee: "compute_a"},
+			dynaprof.CallStmt{Callee: "gather"},
+			dynaprof.CallStmt{Callee: "compute_b"},
+		}},
+		&dynaprof.Func{Name: "compute_a", Body: []dynaprof.Stmt{
+			dynaprof.RunStmt{Prog: workload.MatMul(workload.MatMulConfig{N: 64, UseFMA: true})},
+		}},
+		&dynaprof.Func{Name: "gather", Body: []dynaprof.Stmt{
+			dynaprof.RunStmt{Prog: workload.PointerChase(workload.ChaseConfig{Nodes: 1 << 14, Steps: 500_000})},
+		}},
+		&dynaprof.Func{Name: "compute_b", Body: []dynaprof.Stmt{
+			dynaprof.RunStmt{Prog: workload.MatMul(workload.MatMulConfig{N: 64, UseFMA: true})},
+		}},
+	)
+}

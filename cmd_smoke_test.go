@@ -1,0 +1,82 @@
+package repro
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// Smoke tests for the command-line tools: run each binary the way a
+// user would and check for the headline content. These go through `go
+// run`, so they exercise flag parsing and output formatting end to end.
+
+func runCmd(t *testing.T, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run"}, args...)...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run %v: %v\n%s", args, err, out)
+	}
+	return string(out)
+}
+
+func TestCmdPapiAvail(t *testing.T) {
+	out := runCmd(t, "./cmd/papi-avail", "-platform", "irix-mips", "-native")
+	for _, want := range []string{"MIPS R10000", "PAPI_TOT_INS", "Instr_graduated", "NATIVE EVENT"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("papi-avail output missing %q:\n%s", want, out)
+		}
+	}
+	// R10K cannot map every preset.
+	if !strings.Contains(out, "of 19 presets available") || strings.Contains(out, "19 of 19") {
+		t.Errorf("R10K availability line wrong:\n%s", out)
+	}
+}
+
+func TestCmdPapirun(t *testing.T) {
+	out := runCmd(t, "./cmd/papirun", "-platform", "aix-power3", "-workload", "dot", "-n", "64", "-events", "PAPI_FP_OPS,PAPI_TOT_CYC")
+	if !strings.Contains(out, "PAPI_FP_OPS") || !strings.Contains(out, "virtual time") {
+		t.Errorf("papirun output:\n%s", out)
+	}
+	// dot n=64 → N=4096 elements → 8192 FLOPs.
+	if !strings.Contains(out, "8192") {
+		t.Errorf("papirun FP_OPS should be 8192:\n%s", out)
+	}
+}
+
+func TestCmdExperimentsSingle(t *testing.T) {
+	out := runCmd(t, "./cmd/experiments", "-e", "e10")
+	if !strings.Contains(out, "papi_cost") || !strings.Contains(out, "cray-t3e") {
+		t.Errorf("experiments -e e10 output:\n%s", out)
+	}
+}
+
+func TestCmdDynaprofList(t *testing.T) {
+	out := runCmd(t, "./cmd/dynaprof", "-list")
+	for _, fn := range []string{"main", "solve_step", "smooth"} {
+		if !strings.Contains(out, fn) {
+			t.Errorf("dynaprof -list missing %s:\n%s", fn, out)
+		}
+	}
+}
+
+func TestCmdPapiprof(t *testing.T) {
+	out := runCmd(t, "./cmd/papiprof", "-metrics", "PAPI_FP_INS", "-workload", "dot", "-n", "64", "-top", "3")
+	if !strings.Contains(out, "PAPI_FP_INS") || !strings.Contains(out, "dot.c:") {
+		t.Errorf("papiprof output:\n%s", out)
+	}
+}
+
+func TestCmdMpirun(t *testing.T) {
+	out := runCmd(t, "./cmd/mpirun", "-np", "2", "-n", "24")
+	if !strings.Contains(out, "ring exchange") || !strings.Contains(out, "FLOP rate by activity") {
+		t.Errorf("mpirun output:\n%s", out)
+	}
+}
+
+func TestCmdPerfometerTrace(t *testing.T) {
+	out := runCmd(t, "./cmd/perfometer", "-platform", "linux-ia64", "-width", "40")
+	if !strings.Contains(out, "peak rate") || !strings.Contains(out, "sections") {
+		t.Errorf("perfometer output:\n%s", out)
+	}
+}

@@ -1,0 +1,73 @@
+// Memory: the PAPI 3 memory-utilization extensions (§5) — node and
+// process usage with high-water marks, per-thread usage, swapping,
+// NUMA locality and per-object location — against a workload whose
+// arrays are allocated in the simulated address space.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/memsim"
+	"repro/papi"
+)
+
+func main() {
+	sys, err := papi.Init(papi.Options{
+		Platform: papi.PlatformAIXPower3,
+		// A deliberately small node so the example can show swapping.
+		MemNode: memsim.NodeConfig{TotalBytes: 96 << 20, SwapBytes: 256 << 20, Domains: 2},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	proc := sys.Process()
+
+	// The application's data structures, placed across NUMA domains.
+	for _, obj := range []struct {
+		name   string
+		mb     uint64
+		domain int
+	}{
+		{"grid", 40, 0},
+		{"coefficients", 24, 1},
+		{"workspace", 40, 0}, // pushes past physical memory: swap
+	} {
+		if _, err := proc.Alloc(obj.name, obj.mb<<20, obj.domain); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// Thread-private scratch space.
+	if _, err := sys.Main().Arena().Alloc(2 << 20); err != nil {
+		log.Fatal(err)
+	}
+
+	node := sys.MemNodeInfo()
+	fmt.Printf("node:    %d MiB total, %d used, %d available, high-water %d (page %d B, %d NUMA domains)\n",
+		node.TotalBytes>>20, node.UsedBytes>>20, node.AvailBytes>>20, node.HighWaterBytes>>20,
+		node.PageBytes, node.Domains)
+
+	p := sys.MemProcessInfo()
+	fmt.Printf("process: %d MiB resident (high-water %d), %d swap-outs, %d MiB on swap\n",
+		p.UsedBytes>>20, p.HighWaterBytes>>20, p.SwapOuts, p.SwappedBytes>>20)
+
+	t := sys.Main().MemThreadInfo()
+	fmt.Printf("thread:  %d KiB (high-water %d)\n", t.UsedBytes>>10, t.HighWaterBytes>>10)
+
+	for d, b := range sys.MemLocality() {
+		fmt.Printf("domain %d: %d MiB resident\n", d, b>>20)
+	}
+
+	for _, name := range []string{"grid", "coefficients", "workspace"} {
+		o, ok := sys.MemObjectInfo(name)
+		if !ok {
+			log.Fatalf("object %s missing", name)
+		}
+		state := "resident"
+		if !o.Resident {
+			state = "swapped out"
+		}
+		fmt.Printf("object %-13s [%#x,%#x) %3d MiB on domain %d, %s\n",
+			o.Name, o.Addr, o.EndAddr, o.Bytes>>20, o.Domain, state)
+	}
+}

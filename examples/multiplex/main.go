@@ -1,0 +1,72 @@
+// Multiplexing: measuring ten events on a two-counter machine by
+// explicitly opting into software multiplexing — and the lesson the
+// paper encodes in that explicitness (§2): estimates from a run too
+// short to rotate through all time slices are silently wrong.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/papi"
+	"repro/workload"
+)
+
+var events = []papi.Event{
+	papi.TOT_CYC, papi.TOT_INS, papi.FP_INS, papi.LST_INS, papi.L1_DCM,
+	papi.L2_TCM, papi.TLB_DM, papi.BR_INS, papi.BR_MSP, papi.L2_TCA,
+}
+
+func measure(n int) ([]int64, error) {
+	sys, err := papi.Init(papi.Options{Platform: papi.PlatformLinuxX86})
+	if err != nil {
+		return nil, err
+	}
+	th := sys.Main()
+	es := th.NewEventSet()
+	// The opt-in: without this, the third Add returns ECNFLCT because
+	// the P6 has only two counters.
+	if err := es.SetMultiplex(0); err != nil {
+		return nil, err
+	}
+	if err := es.AddAll(events...); err != nil {
+		return nil, err
+	}
+	if err := es.Start(); err != nil {
+		return nil, err
+	}
+	th.Run(workload.MatMul(workload.MatMulConfig{N: n}))
+	vals := make([]int64, len(events))
+	if err := es.Stop(vals); err != nil {
+		return nil, err
+	}
+	return vals, nil
+}
+
+func main() {
+	sys, _ := papi.Init(papi.Options{Platform: papi.PlatformLinuxX86})
+	es := sys.Main().NewEventSet()
+	es.AddAll(papi.TOT_CYC, papi.TOT_INS)
+	if err := es.Add(papi.FP_INS); papi.IsErr(err, papi.ECNFLCT) {
+		fmt.Println("without multiplexing, a third event conflicts:", err)
+	}
+
+	short, err := measure(16) // a few hundred microseconds: too short
+	if err != nil {
+		log.Fatal(err)
+	}
+	long, err := measure(128) // many slice rotations: converged
+	if err != nil {
+		log.Fatal(err)
+	}
+	expShort := workload.MatMul(workload.MatMulConfig{N: 16}).Expected()
+	expLong := workload.MatMul(workload.MatMulConfig{N: 128}).Expected()
+
+	fmt.Printf("\n%-14s %15s %15s\n", "EVENT", "short run", "long run")
+	for i, ev := range events {
+		fmt.Printf("%-14s %15d %15d\n", papi.EventName(ev), short[i], long[i])
+	}
+	fmt.Printf("\nFP_INS expected: short %d, long %d\n", expShort.FPInstrs(), expLong.FPInstrs())
+	fmt.Println("the short run's zeros and wild values are the paper's warning about")
+	fmt.Println("naive multiplexing; the long run's estimates converge to the truth")
+}

@@ -1,0 +1,61 @@
+// Quickstart: the high-level PAPI interface — start, read and stop a
+// small list of preset events around a kernel, with no EventSet
+// bookkeeping, then get a FLOP rate from the one-call PAPI_flops
+// equivalent.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/papi"
+	"repro/workload"
+)
+
+func main() {
+	// Initialize the library for a simulated platform (the default is
+	// Linux/x86; any of papi.Platforms() works).
+	sys, err := papi.Init(papi.Options{Platform: papi.PlatformAIXPower3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	th := sys.Main()
+
+	// High-level interface: start counting three presets. (On the
+	// POWER3 the choice matters: events must share a hardware group —
+	// FP_OPS's three natives plus a cache event would conflict.)
+	if err := th.StartCounters(papi.TOT_INS, papi.FP_OPS, papi.TOT_CYC); err != nil {
+		log.Fatal(err)
+	}
+
+	// Run the application kernel on the simulated core.
+	prog := workload.MatMul(workload.MatMulConfig{N: 64})
+	th.Run(prog)
+
+	// Read (and implicitly reset) the counters mid-flight...
+	vals := make([]int64, 3)
+	if err := th.ReadCounters(vals); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after matmul:   TOT_INS=%d  FP_OPS=%d  TOT_CYC=%d\n", vals[0], vals[1], vals[2])
+	fmt.Printf("expected FLOPs: %d\n", prog.Expected().FLOPs())
+
+	// ...run a second phase and stop.
+	th.Run(workload.Triad(workload.TriadConfig{N: 8192}))
+	if err := th.StopCounters(vals); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after triad:    TOT_INS=%d  FP_OPS=%d  TOT_CYC=%d\n", vals[0], vals[1], vals[2])
+
+	// The one-call rate interface: PAPI_flops.
+	if _, err := th.Flops(); err != nil {
+		log.Fatal(err)
+	}
+	th.Run(workload.MatMul(workload.MatMulConfig{N: 64, UseFMA: true}))
+	r, err := th.Flops()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("PAPI_flops:     %d FP operations in %d us -> %.1f MFLOP/s (FMA counted twice)\n",
+		r.Count, r.VirtUsec, r.Rate)
+}

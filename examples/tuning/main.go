@@ -1,0 +1,67 @@
+// Tuning: the use case the paper's introduction leads with —
+// "application performance analysis and tuning". A naive matrix
+// multiply is measured with PAPI, the counters point at the L1 data
+// cache, the loop is blocked, and the counters verify the fix: same
+// FLOPs, a fraction of the misses, fewer cycles.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/papi"
+	"repro/workload"
+)
+
+func measure(sys *papi.System, prog workload.Program) (vals []int64, usec uint64, err error) {
+	th := sys.Main()
+	es := th.NewEventSet()
+	// 4 metrics on 2 counters: opt into multiplexing; the kernels run
+	// long enough for the estimates to converge (§2's condition).
+	if err := es.SetMultiplex(0); err != nil {
+		return nil, 0, err
+	}
+	if err := es.AddAll(papi.TOT_CYC, papi.FP_OPS, papi.L1_DCM, papi.L1_DCA); err != nil {
+		return nil, 0, err
+	}
+	t0 := th.VirtUsec()
+	if err := es.Start(); err != nil {
+		return nil, 0, err
+	}
+	prog.Reset()
+	th.Run(prog)
+	vals = make([]int64, 4)
+	if err := es.Stop(vals); err != nil {
+		return nil, 0, err
+	}
+	return vals, th.VirtUsec() - t0, nil
+}
+
+func main() {
+	const n, block = 128, 16
+	naive, blocked := workload.BlockedVsNaive(n, block, false)
+
+	report := func(label string, prog workload.Program) []int64 {
+		sys, err := papi.Init(papi.Options{Platform: papi.PlatformLinuxX86})
+		if err != nil {
+			log.Fatal(err)
+		}
+		vals, usec, err := measure(sys, prog)
+		if err != nil {
+			log.Fatal(err)
+		}
+		missRate := float64(vals[2]) / float64(vals[3]) * 100
+		mflops := float64(vals[1]) / float64(usec)
+		fmt.Printf("%-22s %8d us  %6.1f MFLOP/s  L1 miss rate %5.1f%%  (%d misses)\n",
+			label, usec, mflops, missRate, vals[2])
+		return vals
+	}
+
+	fmt.Printf("dense matmul N=%d on linux-x86 (16 KiB L1):\n\n", n)
+	nv := report("naive (ijk)", naive)
+	bv := report(fmt.Sprintf("blocked (B=%d)", block), blocked)
+
+	fmt.Printf("\nsame work: %d vs %d FP operations (counters agree within multiplex error)\n", nv[1], bv[1])
+	fmt.Printf("the fix, verified by hardware counters: %.1fx fewer L1 misses, %.2fx faster\n",
+		float64(nv[2])/float64(bv[2]), float64(nv[0])/float64(bv[0]))
+}

@@ -1,0 +1,314 @@
+package alloc
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func items(masks ...uint32) []Item {
+	out := make([]Item, len(masks))
+	for i, m := range masks {
+		out[i] = Item{ID: uint32(i + 1), Mask: m, Weight: 1}
+	}
+	return out
+}
+
+func TestAssignSimple(t *testing.T) {
+	it := items(0b11, 0b11)
+	r, ok := Assign(it, 2)
+	if !ok || !Verify(it, 2, r) || r.Mapped != 2 {
+		t.Fatalf("Assign failed: %+v ok=%v", r, ok)
+	}
+	if r.Counter[0] == r.Counter[1] {
+		t.Error("two items on one counter")
+	}
+}
+
+func TestAssignRequiresAugmentingPath(t *testing.T) {
+	// Item0 can use both counters; item1 only counter 0. First-fit
+	// puts item0 on counter 0 and fails; matching must succeed.
+	it := items(0b11, 0b01)
+	r, ok := Assign(it, 2)
+	if !ok || !Verify(it, 2, r) {
+		t.Fatalf("matching failed on augmenting-path case: %+v", r)
+	}
+	if r.Counter[0] != 1 || r.Counter[1] != 0 {
+		t.Errorf("unexpected assignment %v", r.Counter)
+	}
+	_, gok := GreedyFirstFit(it, 2)
+	if gok {
+		t.Error("greedy unexpectedly succeeded; this case exists to show it failing")
+	}
+}
+
+func TestAssignImpossible(t *testing.T) {
+	it := items(0b01, 0b01) // both need counter 0
+	if _, ok := Assign(it, 2); ok {
+		t.Error("expected failure: two events need the same single counter")
+	}
+}
+
+func TestMaxCardinalityPartial(t *testing.T) {
+	it := items(0b01, 0b01, 0b10)
+	r := MaxCardinality(it, 2)
+	if r.Mapped != 2 || !Verify(it, 2, r) {
+		t.Errorf("mapped %d of 3, want 2: %+v", r.Mapped, r)
+	}
+}
+
+func TestMaxWeightPrefersHeavyEvent(t *testing.T) {
+	it := []Item{
+		{ID: 1, Mask: 0b01, Weight: 1},
+		{ID: 2, Mask: 0b01, Weight: 10}, // conflicts with ID 1; heavier
+		{ID: 3, Mask: 0b10, Weight: 1},
+	}
+	r := MaxWeight(it, 2)
+	if !Verify(it, 2, r) {
+		t.Fatalf("invalid allocation %+v", r)
+	}
+	if r.Counter[1] != 0 {
+		t.Errorf("heavy event not mapped: %v", r.Counter)
+	}
+	if r.Weight != 11 {
+		t.Errorf("weight = %d, want 11", r.Weight)
+	}
+}
+
+func TestMaxWeightTiebreaksTowardMoreMapped(t *testing.T) {
+	it := []Item{
+		{ID: 1, Mask: 0b11, Weight: 0},
+		{ID: 2, Mask: 0b10, Weight: 0},
+	}
+	r := MaxWeight(it, 2)
+	if r.Mapped != 2 {
+		t.Errorf("mapped %d, want 2 (zero-weight events still worth mapping)", r.Mapped)
+	}
+}
+
+func TestAssignGrouped(t *testing.T) {
+	groups := [][]uint32{{1, 2}, {2, 3, 4}}
+	it := []Item{{ID: 2, Mask: 0b11}, {ID: 3, Mask: 0b11}}
+	r, gi, ok := AssignGrouped(it, 2, groups)
+	if !ok || gi != 1 {
+		t.Fatalf("grouped assign: ok=%v group=%d", ok, gi)
+	}
+	if !Verify(it, 2, r) {
+		t.Error("invalid grouped allocation")
+	}
+	// Events spanning no single group must fail even though counters abound.
+	it2 := []Item{{ID: 1, Mask: 0b11}, {ID: 4, Mask: 0b11}}
+	if _, _, ok := AssignGrouped(it2, 2, groups); ok {
+		t.Error("expected cross-group set to fail")
+	}
+}
+
+func TestAssignGroupedNoGroupsFallsThrough(t *testing.T) {
+	it := items(0b11, 0b11)
+	r, gi, ok := AssignGrouped(it, 2, nil)
+	if !ok || gi != -1 || r.Mapped != 2 {
+		t.Errorf("ungrouped fallback failed: ok=%v gi=%d mapped=%d", ok, gi, r.Mapped)
+	}
+}
+
+// bruteMaxCardinality tries all assignments; exact for tiny inputs.
+func bruteMaxCardinality(it []Item, numCounters int) int {
+	best := 0
+	var rec func(i int, used uint32, mapped int)
+	rec = func(i int, used uint32, mapped int) {
+		if mapped > best {
+			best = mapped
+		}
+		if i == len(it) {
+			return
+		}
+		rec(i+1, used, mapped) // skip
+		free := it[i].Mask & ^used & (uint32(1)<<numCounters - 1)
+		for free != 0 {
+			c := free & -free
+			free &^= c
+			rec(i+1, used|c, mapped+1)
+		}
+	}
+	rec(0, 0, 0)
+	return best
+}
+
+func TestMaxCardinalityMatchesBruteForce(t *testing.T) {
+	f := func(masks []uint8, nc uint8) bool {
+		numCounters := int(nc%5) + 1
+		if len(masks) > 6 {
+			masks = masks[:6]
+		}
+		it := make([]Item, len(masks))
+		for i, m := range masks {
+			it[i] = Item{ID: uint32(i + 1), Mask: uint32(m) & (uint32(1)<<numCounters - 1)}
+			if it[i].Mask == 0 {
+				it[i].Mask = 1 // keep graphs non-degenerate
+			}
+		}
+		r := MaxCardinality(it, numCounters)
+		return Verify(it, numCounters, r) && r.Mapped == bruteMaxCardinality(it, numCounters)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxWeightNeverWorseThanCardinalityWeight(t *testing.T) {
+	f := func(masks []uint8, weights []uint8) bool {
+		if len(masks) > 6 {
+			masks = masks[:6]
+		}
+		const nc = 4
+		it := make([]Item, len(masks))
+		for i, m := range masks {
+			w := 1
+			if i < len(weights) {
+				w = int(weights[i]%9) + 1
+			}
+			it[i] = Item{ID: uint32(i + 1), Mask: uint32(m)&0b1111 | 1, Weight: w}
+		}
+		rw := MaxWeight(it, nc)
+		rc := MaxCardinality(it, nc)
+		// Recompute cardinality result's weight.
+		cw := 0
+		for i, c := range rc.Counter {
+			if c >= 0 {
+				cw += it[i].Weight
+			}
+		}
+		return Verify(it, nc, rw) && rw.Weight >= cw
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOptimalAlwaysAtLeastGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		nc := 2 + rng.Intn(6)
+		n := 1 + rng.Intn(nc+2)
+		it := make([]Item, n)
+		for i := range it {
+			m := uint32(rng.Intn(1<<nc-1) + 1)
+			it[i] = Item{ID: uint32(i + 1), Mask: m, Weight: 1}
+		}
+		opt := MaxCardinality(it, nc)
+		grd, _ := GreedyFirstFit(it, nc)
+		if opt.Mapped < grd.Mapped {
+			t.Fatalf("optimal (%d) worse than greedy (%d) on %+v", opt.Mapped, grd.Mapped, it)
+		}
+		if !Verify(it, nc, opt) || !Verify(it, nc, grd) {
+			t.Fatal("invalid allocation produced")
+		}
+	}
+}
+
+func TestVerifyCatchesBadResults(t *testing.T) {
+	it := items(0b01, 0b10)
+	bad := Result{Counter: []int{1, 1}} // item0 not allowed on 1; duplicate
+	if Verify(it, 2, bad) {
+		t.Error("Verify accepted disallowed counter")
+	}
+	bad2 := Result{Counter: []int{0}}
+	if Verify(it, 2, bad2) {
+		t.Error("Verify accepted wrong length")
+	}
+	bad3 := Result{Counter: []int{0, 5}}
+	if Verify(it, 2, bad3) {
+		t.Error("Verify accepted out-of-range counter")
+	}
+}
+
+func TestMaskPopcountSanity(t *testing.T) {
+	// Guard against accidental mask truncation: an item allowed on all
+	// of 8 counters has 8 placement options.
+	it := Item{ID: 1, Mask: 0xff}
+	if bits.OnesCount32(it.Mask) != 8 {
+		t.Fatal("mask arithmetic broken")
+	}
+}
+
+// bruteGrouped checks feasibility of the grouped problem exhaustively.
+func bruteGrouped(items []Item, numCounters int, groups [][]uint32) bool {
+	for _, g := range groups {
+		in := map[uint32]bool{}
+		for _, id := range g {
+			in[id] = true
+		}
+		all := true
+		for _, it := range items {
+			if !in[it.ID] {
+				all = false
+				break
+			}
+		}
+		if !all {
+			continue
+		}
+		if bruteMaxCardinality(items, numCounters) == len(items) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestGroupedMatchesBruteForce(t *testing.T) {
+	// Property: AssignGrouped succeeds exactly when some group admits a
+	// perfect matching, and its result is always valid.
+	groups := [][]uint32{{1, 2, 3}, {3, 4, 5}, {1, 5}}
+	f := func(ids []uint8, masks []uint8) bool {
+		const nc = 3
+		n := len(ids)
+		if n > 4 {
+			n = 4
+		}
+		items := make([]Item, 0, n)
+		seen := map[uint32]bool{}
+		for i := 0; i < n; i++ {
+			id := uint32(ids[i]%5) + 1
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			m := uint32(0b111)
+			if i < len(masks) {
+				m = uint32(masks[i])&0b111 | 1
+			}
+			items = append(items, Item{ID: id, Mask: m})
+		}
+		if len(items) == 0 {
+			return true
+		}
+		r, gi, ok := AssignGrouped(items, nc, groups)
+		want := bruteGrouped(items, nc, groups)
+		if ok != want {
+			return false
+		}
+		if ok {
+			if gi < 0 || gi >= len(groups) {
+				return false
+			}
+			if !Verify(items, nc, r) || r.Mapped != len(items) {
+				return false
+			}
+			// Every item must be in the chosen group.
+			in := map[uint32]bool{}
+			for _, id := range groups[gi] {
+				in[id] = true
+			}
+			for _, it := range items {
+				if !in[it.ID] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,294 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/hwsim"
+	"repro/internal/memsim"
+	"repro/internal/profil"
+)
+
+func TestProfilThroughEventSet(t *testing.T) {
+	s := newSys(t, hwsim.PlatformCrayT3E)
+	th := s.Main()
+	es := th.NewEventSet()
+	if err := es.Add(FP_INS); err != nil {
+		t.Fatal(err)
+	}
+	hist, err := profil.Covering(0x400000, 0x400040, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := es.Profil(hist, FP_INS, 50); err != nil {
+		t.Fatal(err)
+	}
+	if es.Profile() != hist {
+		t.Error("profile not attached")
+	}
+	if err := es.Profil(nil, FP_INS, 50); !IsErr(err, EINVAL) {
+		t.Errorf("nil profile: %v", err)
+	}
+	if err := es.Start(); err != nil {
+		t.Fatal(err)
+	}
+	th.Exec(loop(1000, hwsim.OpFPAdd))
+	es.Stop(nil)
+	if hist.Total() != 20 {
+		t.Errorf("profil hits = %d, want 20 (1000 FP / 50)", hist.Total())
+	}
+}
+
+func TestAccumAndResetMultiplexed(t *testing.T) {
+	s := newSys(t, hwsim.PlatformLinuxX86)
+	th := s.Main()
+	es := th.NewEventSet()
+	es.SetMultiplex(20_000)
+	if err := es.AddAll(TOT_CYC, TOT_INS, FP_INS); err != nil {
+		t.Fatal(err)
+	}
+	if err := es.Start(); err != nil {
+		t.Fatal(err)
+	}
+	th.Exec(loop(100_000, hwsim.OpFPAdd, hwsim.OpInt))
+	acc := make([]int64, 3)
+	if err := es.Accum(acc); err != nil {
+		t.Fatal(err)
+	}
+	if acc[2] == 0 {
+		t.Error("multiplexed accum saw no FP")
+	}
+	// After accum the estimates restart near zero.
+	vals := make([]int64, 3)
+	if err := es.Read(vals); err != nil {
+		t.Fatal(err)
+	}
+	if vals[2] > acc[2]/2 {
+		t.Errorf("post-accum estimate %d not reset (accumulated %d)", vals[2], acc[2])
+	}
+	if err := es.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if err := es.Stop(nil); err != nil {
+		t.Fatal(err)
+	}
+	// Reset on a stopped set is legal.
+	if err := es.Reset(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemoryAPIFromCore(t *testing.T) {
+	s := MustNewSystem(Options{
+		Platform: hwsim.PlatformCrayT3E,
+		MemNode:  memsim.NodeConfig{TotalBytes: 32 << 20, Domains: 2},
+	})
+	if _, err := s.Process().Alloc("buf", 4<<20, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Main().Arena().Alloc(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	n := s.MemNodeInfo()
+	if n.TotalBytes != 32<<20 || n.UsedBytes != 5<<20 {
+		t.Errorf("node info %+v", n)
+	}
+	p := s.MemProcessInfo()
+	if p.UsedBytes != 5<<20 || p.HighWaterBytes != 5<<20 {
+		t.Errorf("proc info %+v", p)
+	}
+	tm := s.Main().MemThreadInfo()
+	if tm.UsedBytes != 1<<20 {
+		t.Errorf("thread info %+v", tm)
+	}
+	// buf went to domain 1 explicitly; the thread arena's round-robin
+	// placement (second object) also landed on domain 1.
+	loc := s.MemLocality()
+	if loc[0] != 0 || loc[1] != 5<<20 {
+		t.Errorf("locality %v", loc)
+	}
+	o, ok := s.MemObjectInfo("buf")
+	if !ok || o.Bytes != 4<<20 || o.Domain != 1 || !o.Resident || o.EndAddr != o.Addr+o.Bytes {
+		t.Errorf("object info %+v ok=%v", o, ok)
+	}
+	if _, ok := s.MemObjectInfo("ghost"); ok {
+		t.Error("phantom object found")
+	}
+	if s.Node() == nil || s.Process() == nil || s.Arch() == nil {
+		t.Error("accessors broken")
+	}
+}
+
+func TestAccumCountersAndNumCounters(t *testing.T) {
+	s := newSys(t, hwsim.PlatformCrayT3E)
+	th := s.Main()
+	if th.NumCounters() != 3 {
+		t.Errorf("NumCounters = %d", th.NumCounters())
+	}
+	if err := th.AccumCounters(make([]int64, 1)); !IsErr(err, ENOTRUN) {
+		t.Errorf("AccumCounters before start: %v", err)
+	}
+	if err := th.StartCounters(FP_INS); err != nil {
+		t.Fatal(err)
+	}
+	if err := th.StartCounters(); err == nil {
+		t.Error("second StartCounters accepted")
+	}
+	th.Exec(loop(10, hwsim.OpFPAdd))
+	acc := []int64{100}
+	if err := th.AccumCounters(acc); err != nil {
+		t.Fatal(err)
+	}
+	if acc[0] != 110 {
+		t.Errorf("AccumCounters = %d, want 110", acc[0])
+	}
+	th.StopCounters(nil)
+	if err := th.ReadCounters(acc); !IsErr(err, ENOTRUN) {
+		t.Errorf("ReadCounters after stop: %v", err)
+	}
+}
+
+func TestRateCallErrors(t *testing.T) {
+	s := newSys(t, hwsim.PlatformAIXPower3)
+	th := s.Main()
+	if err := th.StopRate(); !IsErr(err, ENOTRUN) {
+		t.Errorf("StopRate without rate: %v", err)
+	}
+	if _, err := th.Flops(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := th.IPC(); !IsErr(err, EISRUN) {
+		t.Errorf("IPC while Flops active: %v", err)
+	}
+	if err := th.StopRate(); err != nil {
+		t.Fatal(err)
+	}
+	// Flops needs FP_OPS; every built-in platform has it, so drive the
+	// failure with a custom arch lacking FP events.
+	a := *archOf(t, hwsim.PlatformCrayT3E)
+	a.Platform = "test-no-fp"
+	var evs []hwsim.NativeEvent
+	for _, ev := range a.Events {
+		if ev.Signals&hwsim.Mask(hwsim.SigFPAdd, hwsim.SigFPMul, hwsim.SigFPDiv) == 0 {
+			evs = append(evs, ev)
+		}
+	}
+	a.Events = evs
+	s2 := MustNewSystem(Options{Arch: &a})
+	if _, err := s2.Main().Flops(); !IsErr(err, ENOEVNT) {
+		t.Errorf("Flops without FP_OPS: %v", err)
+	}
+}
+
+func TestEventSetAccessors(t *testing.T) {
+	s := newSys(t, hwsim.PlatformLinuxX86)
+	th := s.Main()
+	es := th.NewEventSet()
+	es.AddAll(TOT_INS, TOT_CYC)
+	if es.Thread() != th {
+		t.Error("Thread() wrong")
+	}
+	evs := es.Events()
+	if len(evs) != 2 || evs[0] != TOT_INS {
+		t.Errorf("Events() = %v", evs)
+	}
+	// The returned slice is a copy.
+	evs[0] = TOT_CYC
+	if es.Events()[0] != TOT_INS {
+		t.Error("Events() aliases internal state")
+	}
+	if es.Footprint() <= 0 {
+		t.Error("Footprint = 0")
+	}
+	if StateStopped.String() != "stopped" || StateRunning.String() != "running" || State(9).String() != "invalid" {
+		t.Error("State strings")
+	}
+	if th.Index() != 0 || th.System() != s || th.Arena() == nil {
+		t.Error("thread accessors")
+	}
+}
+
+func TestErrnoTexts(t *testing.T) {
+	for _, code := range []Errno{EINVAL, ENOMEM, ESYS, ESBSTR, ECLOST, EBUG,
+		ENOEVNT, ECNFLCT, ENOTRUN, EISRUN, ENOEVST, ENOTPRESET, ENOCNTR, EMISC, ENOSUPP} {
+		if !strings.HasPrefix(code.Error(), "papi: ") {
+			t.Errorf("%d: %q", code, code.Error())
+		}
+	}
+	if Errno(-99).Error() != "papi: error -99" {
+		t.Errorf("unknown code text: %q", Errno(-99).Error())
+	}
+}
+
+func TestAvailPresetsFromSystem(t *testing.T) {
+	s := newSys(t, hwsim.PlatformSolaris)
+	av := s.AvailPresets()
+	if len(av) != NumPresets {
+		t.Errorf("avail entries = %d", len(av))
+	}
+}
+
+func TestResolveErrors(t *testing.T) {
+	s := newSys(t, hwsim.PlatformLinuxX86)
+	es := s.Main().NewEventSet()
+	if err := es.Add(Event(0x123)); !IsErr(err, EINVAL) {
+		t.Errorf("garbage event: %v", err)
+	}
+	if err := es.Add(Event(hwsim.NativeCodeBase | 0x3fff)); !IsErr(err, ENOEVNT) {
+		t.Errorf("unknown native: %v", err)
+	}
+}
+
+func TestAttachDetach(t *testing.T) {
+	s := newSys(t, hwsim.PlatformCrayT3E)
+	main := s.Main()
+	worker, err := s.NewThread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	es := main.NewEventSet()
+	if err := es.Add(FP_INS); err != nil {
+		t.Fatal(err)
+	}
+	if es.Attached() {
+		t.Error("fresh set should not be attached")
+	}
+	if err := es.Attach(nil); !IsErr(err, EINVAL) {
+		t.Errorf("nil attach: %v", err)
+	}
+	other := MustNewSystem(Options{Platform: hwsim.PlatformCrayT3E})
+	if err := es.Attach(other.Main()); !IsErr(err, EINVAL) {
+		t.Errorf("cross-system attach: %v", err)
+	}
+	if err := es.Attach(worker); err != nil {
+		t.Fatal(err)
+	}
+	if !es.Attached() || es.Thread() != worker {
+		t.Error("attach did not rebind")
+	}
+	// The attached set counts the worker's work, not the owner's.
+	if err := es.Start(); err != nil {
+		t.Fatal(err)
+	}
+	main.Exec(loop(500, hwsim.OpFPAdd))  // owner's work: invisible
+	worker.Exec(loop(70, hwsim.OpFPAdd)) // target's work: counted
+	vals := make([]int64, 1)
+	if err := es.Stop(vals); err != nil {
+		t.Fatal(err)
+	}
+	if vals[0] != 70 {
+		t.Errorf("attached FP_INS = %d, want 70", vals[0])
+	}
+	// Attach while running is rejected; detach restores the owner.
+	es.Start()
+	if err := es.Attach(main); !IsErr(err, EISRUN) {
+		t.Errorf("attach while running: %v", err)
+	}
+	es.Stop(nil)
+	if err := es.Detach(); err != nil {
+		t.Fatal(err)
+	}
+	if es.Attached() || es.Thread() != main {
+		t.Error("detach did not restore owner")
+	}
+}

@@ -1,0 +1,735 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/hwsim"
+)
+
+// loop builds iters iterations of the given op body plus a backward
+// branch, with loads/stores walking memory from base.
+func loop(iters int, ops ...hwsim.Op) []hwsim.Instr {
+	var out []hwsim.Instr
+	mem := uint64(0x30000000)
+	for it := 0; it < iters; it++ {
+		pc := uint64(0x400000)
+		for _, op := range ops {
+			in := hwsim.Instr{Op: op, Addr: pc}
+			if op == hwsim.OpLoad || op == hwsim.OpStore {
+				in.Mem = mem
+				mem += 8
+			}
+			pc += hwsim.InstrBytes
+			out = append(out, in)
+		}
+		out = append(out, hwsim.Instr{Op: hwsim.OpBranch, Addr: pc, Taken: it != iters-1})
+	}
+	return out
+}
+
+func newSys(t *testing.T, platform string) *System {
+	t.Helper()
+	s, err := NewSystem(Options{Platform: platform})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestEventSetBasicCounting(t *testing.T) {
+	s := newSys(t, hwsim.PlatformCrayT3E)
+	th := s.Main()
+	es := th.NewEventSet()
+	if err := es.AddAll(FP_INS, TOT_INS); err != nil {
+		t.Fatal(err)
+	}
+	if err := es.Start(); err != nil {
+		t.Fatal(err)
+	}
+	th.Exec(loop(100, hwsim.OpFPAdd, hwsim.OpFPMul))
+	vals := make([]int64, 2)
+	if err := es.Stop(vals); err != nil {
+		t.Fatal(err)
+	}
+	if vals[0] != 200 {
+		t.Errorf("FP_INS = %d, want 200", vals[0])
+	}
+	if vals[1] < 300 {
+		t.Errorf("TOT_INS = %d, want >= 300", vals[1])
+	}
+	if es.State() != StateStopped {
+		t.Error("set should be stopped")
+	}
+}
+
+func TestEventSetCountingAllPlatforms(t *testing.T) {
+	for _, p := range hwsim.Platforms() {
+		s := newSys(t, p)
+		th := s.Main()
+		es := th.NewEventSet()
+		if err := es.AddAll(FP_INS, TOT_CYC); err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if err := es.Start(); err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		// Sampling substrates need enough instructions to estimate.
+		th.Exec(loop(20_000, hwsim.OpFPAdd, hwsim.OpInt, hwsim.OpInt))
+		vals := make([]int64, 2)
+		if err := es.Stop(vals); err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		const want = 20_000
+		rel := relErr(vals[0], want)
+		if rel > 0.05 {
+			t.Errorf("%s: FP_INS = %d, want ~%d (rel %.2f%%)", p, vals[0], want, rel*100)
+		}
+		if vals[1] <= 0 {
+			t.Errorf("%s: TOT_CYC = %d", p, vals[1])
+		}
+	}
+}
+
+func TestDerivedEventValues(t *testing.T) {
+	// FP_OPS on POWER3 = FPU_CMPL - FRSP + FMA: FMA counts twice,
+	// rounding instructions not at all.
+	s := newSys(t, hwsim.PlatformAIXPower3)
+	th := s.Main()
+	es := th.NewEventSet()
+	if err := es.AddAll(FP_INS, FP_OPS, FMA_INS); err != nil {
+		t.Fatal(err)
+	}
+	if err := es.Start(); err != nil {
+		t.Fatal(err)
+	}
+	const iters = 500
+	th.Exec(loop(iters, hwsim.OpFMA, hwsim.OpFPAdd, hwsim.OpFPRound))
+	vals := make([]int64, 3)
+	if err := es.Stop(vals); err != nil {
+		t.Fatal(err)
+	}
+	// FP_INS (PM_FPU_CMPL) counts fma+add+round = 3*iters: the paper's
+	// §4 discrepancy, visible as over-counting.
+	if vals[0] != 3*iters {
+		t.Errorf("FP_INS = %d, want %d (incl. rounding instructions)", vals[0], 3*iters)
+	}
+	// FP_OPS = add + 2*fma = 3*iters, rounding excluded.
+	if vals[1] != 3*iters {
+		t.Errorf("FP_OPS = %d, want %d", vals[1], 3*iters)
+	}
+	if vals[2] != iters {
+		t.Errorf("FMA_INS = %d, want %d", vals[2], iters)
+	}
+}
+
+func TestEventSetAddConflicts(t *testing.T) {
+	s := newSys(t, hwsim.PlatformLinuxX86)
+	es := s.Main().NewEventSet()
+	// FLOPS and FP_ASSIST both only fit counter 0 on the P6.
+	if err := es.Add(FP_INS); err != nil {
+		t.Fatal(err)
+	}
+	fpAssist, ok := s.NativeByName("FP_ASSIST")
+	if !ok {
+		t.Fatal("no FP_ASSIST native")
+	}
+	if err := es.Add(fpAssist); !IsErr(err, ECNFLCT) {
+		t.Errorf("expected ECNFLCT, got %v", err)
+	}
+	// The set must be unchanged by the failed add.
+	if es.NumEvents() != 1 {
+		t.Errorf("set has %d events after failed add", es.NumEvents())
+	}
+	// Duplicate adds are conflicts too.
+	if err := es.Add(FP_INS); !IsErr(err, ECNFLCT) {
+		t.Errorf("expected ECNFLCT for duplicate, got %v", err)
+	}
+	// Third distinct event on a 2-counter machine.
+	if err := es.Add(TOT_CYC); err != nil {
+		t.Fatal(err)
+	}
+	if err := es.Add(TOT_INS); !IsErr(err, ECNFLCT) {
+		t.Errorf("expected ECNFLCT on third counter, got %v", err)
+	}
+}
+
+func TestEventSetStateMachine(t *testing.T) {
+	s := newSys(t, hwsim.PlatformLinuxX86)
+	th := s.Main()
+	es := th.NewEventSet()
+	vals := make([]int64, 1)
+	if err := es.Start(); !IsErr(err, EINVAL) {
+		t.Errorf("Start on empty set: %v", err)
+	}
+	if err := es.Read(vals); !IsErr(err, ENOTRUN) {
+		t.Errorf("Read while stopped: %v", err)
+	}
+	if err := es.Stop(nil); !IsErr(err, ENOTRUN) {
+		t.Errorf("Stop while stopped: %v", err)
+	}
+	if err := es.Add(TOT_INS); err != nil {
+		t.Fatal(err)
+	}
+	if err := es.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := es.Start(); !IsErr(err, EISRUN) {
+		t.Errorf("double Start: %v", err)
+	}
+	if err := es.Add(TOT_CYC); !IsErr(err, EISRUN) {
+		t.Errorf("Add while running: %v", err)
+	}
+	if err := es.Remove(TOT_INS); !IsErr(err, EISRUN) {
+		t.Errorf("Remove while running: %v", err)
+	}
+	if err := es.Destroy(); !IsErr(err, EISRUN) {
+		t.Errorf("Destroy while running: %v", err)
+	}
+	if err := es.Stop(vals); err != nil {
+		t.Fatal(err)
+	}
+	if err := es.Cleanup(); err != nil {
+		t.Fatal(err)
+	}
+	if es.NumEvents() != 0 {
+		t.Error("Cleanup left events")
+	}
+	if err := es.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	if err := es.Add(TOT_INS); !IsErr(err, ENOEVST) {
+		t.Errorf("Add after Destroy: %v", err)
+	}
+}
+
+func TestSecondSetRejectedWithoutOverlap(t *testing.T) {
+	s := newSys(t, hwsim.PlatformAIXPower3)
+	th := s.Main()
+	es1, es2 := th.NewEventSet(), th.NewEventSet()
+	if err := es1.Add(TOT_INS); err != nil {
+		t.Fatal(err)
+	}
+	if err := es2.Add(TOT_CYC); err != nil {
+		t.Fatal(err)
+	}
+	if err := es1.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := es2.Start(); !IsErr(err, EISRUN) {
+		t.Errorf("v3 must reject overlapping running sets, got %v", err)
+	}
+	if err := es1.Stop(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := es2.Start(); err != nil {
+		t.Errorf("after stop, second set must start: %v", err)
+	}
+	es2.Stop(nil)
+}
+
+func TestOverlappingEventSetsV2(t *testing.T) {
+	s := MustNewSystem(Options{Platform: hwsim.PlatformAIXPower3, AllowOverlap: true})
+	th := s.Main()
+	es1, es2 := th.NewEventSet(), th.NewEventSet()
+	if err := es1.AddAll(FP_INS, TOT_INS); err != nil {
+		t.Fatal(err)
+	}
+	if err := es2.AddAll(TOT_INS, LD_INS); err != nil {
+		t.Fatal(err)
+	}
+	if err := es1.Start(); err != nil {
+		t.Fatal(err)
+	}
+	th.Exec(loop(100, hwsim.OpFPAdd, hwsim.OpLoad))
+	if err := es2.Start(); err != nil {
+		t.Fatalf("v2 overlap start: %v", err)
+	}
+	th.Exec(loop(100, hwsim.OpFPAdd, hwsim.OpLoad))
+	v1 := make([]int64, 2)
+	v2 := make([]int64, 2)
+	if err := es1.Stop(v1); err != nil {
+		t.Fatal(err)
+	}
+	th.Exec(loop(100, hwsim.OpFPAdd, hwsim.OpLoad))
+	if err := es2.Stop(v2); err != nil {
+		t.Fatal(err)
+	}
+	// es1 saw phases 1+2 (200 FP adds); es2 saw phases 2+3 (200 loads).
+	if v1[0] != 200 {
+		t.Errorf("es1 FP_INS = %d, want 200", v1[0])
+	}
+	if v2[1] != 200 {
+		t.Errorf("es2 LD_INS = %d, want 200", v2[1])
+	}
+	// Both saw TOT_INS > 0 over their own windows.
+	if v1[1] <= 0 || v2[0] <= 0 {
+		t.Errorf("TOT_INS windows: es1=%d es2=%d", v1[1], v2[0])
+	}
+}
+
+func TestReadAccumReset(t *testing.T) {
+	s := newSys(t, hwsim.PlatformCrayT3E)
+	th := s.Main()
+	es := th.NewEventSet()
+	if err := es.Add(FP_INS); err != nil {
+		t.Fatal(err)
+	}
+	if err := es.Start(); err != nil {
+		t.Fatal(err)
+	}
+	th.Exec(loop(50, hwsim.OpFPAdd))
+	vals := make([]int64, 1)
+	if err := es.Read(vals); err != nil {
+		t.Fatal(err)
+	}
+	if vals[0] != 50 {
+		t.Errorf("Read = %d, want 50", vals[0])
+	}
+	// Read must not reset.
+	th.Exec(loop(25, hwsim.OpFPAdd))
+	if err := es.Read(vals); err != nil {
+		t.Fatal(err)
+	}
+	if vals[0] != 75 {
+		t.Errorf("second Read = %d, want 75", vals[0])
+	}
+	// Accum adds and resets.
+	acc := []int64{1000}
+	if err := es.Accum(acc); err != nil {
+		t.Fatal(err)
+	}
+	if acc[0] != 1075 {
+		t.Errorf("Accum dst = %d, want 1075", acc[0])
+	}
+	th.Exec(loop(10, hwsim.OpFPAdd))
+	if err := es.Read(vals); err != nil {
+		t.Fatal(err)
+	}
+	if vals[0] != 10 {
+		t.Errorf("Read after Accum = %d, want 10", vals[0])
+	}
+	if err := es.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if err := es.Read(vals); err != nil {
+		t.Fatal(err)
+	}
+	if vals[0] != 0 {
+		t.Errorf("Read after Reset = %d, want 0", vals[0])
+	}
+	es.Stop(nil)
+}
+
+func TestCounterWrapExtension(t *testing.T) {
+	// Narrow 24-bit counters wrap every 16.7M counts; the sync layer
+	// must extend them to 64 bits across reads.
+	a := *archOf(t, hwsim.PlatformCrayT3E)
+	a.CounterWidth = 24
+	a.Platform = "test-narrow"
+	s := MustNewSystem(Options{Arch: &a})
+	th := s.Main()
+	es := th.NewEventSet()
+	if err := es.Add(TOT_CYC); err != nil {
+		t.Fatal(err)
+	}
+	if err := es.Start(); err != nil {
+		t.Fatal(err)
+	}
+	const step = 10_000_000 // under the 16.7M wrap
+	var want int64
+	vals := make([]int64, 1)
+	for i := 0; i < 5; i++ {
+		th.CPU().Charge(step, 0)
+		want += step
+		if err := es.Read(vals); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := es.Stop(vals); err != nil {
+		t.Fatal(err)
+	}
+	if vals[0] < want {
+		t.Errorf("extended TOT_CYC = %d, want >= %d (counter wrapped %d times)",
+			vals[0], want, want>>24)
+	}
+}
+
+func TestMultiplexedEventSet(t *testing.T) {
+	// 10 events on the 2-counter P6: impossible directly, fine
+	// multiplexed, and estimates converge on a long run.
+	s := newSys(t, hwsim.PlatformLinuxX86)
+	th := s.Main()
+	es := th.NewEventSet()
+	if err := es.SetMultiplex(50_000); err != nil {
+		t.Fatal(err)
+	}
+	evs := []Event{TOT_CYC, TOT_INS, FP_INS, LST_INS, L1_DCM, L1_ICM, L2_TCM, BR_INS, BR_MSP, TLB_DM}
+	if err := es.AddAll(evs...); err != nil {
+		t.Fatal(err)
+	}
+	if !es.Multiplexed() {
+		t.Fatal("set should be multiplexed")
+	}
+	if err := es.Start(); err != nil {
+		t.Fatal(err)
+	}
+	instrs := loop(400_000, hwsim.OpFPAdd, hwsim.OpLoad, hwsim.OpInt)
+	before := th.CPU().Truth(hwsim.SigFPAdd)
+	th.Exec(instrs)
+	truthFP := int64(th.CPU().Truth(hwsim.SigFPAdd) - before)
+	vals := make([]int64, len(evs))
+	if err := es.Stop(vals); err != nil {
+		t.Fatal(err)
+	}
+	// FP_INS estimate (index 2) within 10% of truth on this long run.
+	rel := relErr(vals[2], truthFP)
+	if rel > 0.10 {
+		t.Errorf("multiplexed FP_INS = %d vs truth %d (rel %.1f%%)", vals[2], truthFP, rel*100)
+	}
+	// Events that fire steadily in this workload must all estimate > 0.
+	// (L1_ICM and BR_MSP legitimately approach zero in a tight loop.)
+	steady := map[Event]bool{TOT_CYC: true, TOT_INS: true, FP_INS: true, LST_INS: true, L1_DCM: true, L2_TCM: true, BR_INS: true, TLB_DM: true}
+	for i, v := range vals {
+		if steady[evs[i]] && v <= 0 {
+			t.Errorf("event %s estimated %d", EventName(evs[i]), v)
+		}
+	}
+}
+
+func TestMultiplexRequiredForTooManyEvents(t *testing.T) {
+	s := newSys(t, hwsim.PlatformLinuxX86)
+	es := s.Main().NewEventSet()
+	if err := es.AddAll(TOT_CYC, TOT_INS); err != nil {
+		t.Fatal(err)
+	}
+	if err := es.Add(BR_INS); !IsErr(err, ECNFLCT) {
+		t.Fatalf("third event must conflict without multiplexing: %v", err)
+	}
+	if err := es.SetMultiplex(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := es.Add(BR_INS); err != nil {
+		t.Fatalf("multiplexed third event: %v", err)
+	}
+}
+
+func TestOverflowAndProfilThroughCore(t *testing.T) {
+	s := newSys(t, hwsim.PlatformCrayT3E)
+	th := s.Main()
+	es := th.NewEventSet()
+	if err := es.Add(FP_INS); err != nil {
+		t.Fatal(err)
+	}
+	var fires int
+	var lastEv Event
+	if err := es.SetOverflow(FP_INS, 100, func(_ *EventSet, addr uint64, ev Event) {
+		fires++
+		lastEv = ev
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := es.Start(); err != nil {
+		t.Fatal(err)
+	}
+	th.Exec(loop(1000, hwsim.OpFPAdd))
+	es.Stop(nil)
+	if fires != 10 {
+		t.Errorf("overflow fired %d times, want 10", fires)
+	}
+	if lastEv != FP_INS {
+		t.Errorf("overflow event = %v", lastEv)
+	}
+}
+
+func TestOverflowValidation(t *testing.T) {
+	s := newSys(t, hwsim.PlatformLinuxX86)
+	es := s.Main().NewEventSet()
+	es.Add(TOT_INS)
+	if err := es.SetOverflow(TOT_CYC, 10, func(*EventSet, uint64, Event) {}); !IsErr(err, ENOEVNT) {
+		t.Errorf("overflow on absent event: %v", err)
+	}
+	if err := es.SetOverflow(TOT_INS, 10, nil); !IsErr(err, EINVAL) {
+		t.Errorf("nil handler: %v", err)
+	}
+	if err := es.SetOverflow(TOT_INS, 10, func(*EventSet, uint64, Event) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := es.SetOverflow(TOT_INS, 0, nil); err != nil {
+		t.Fatalf("disarm: %v", err)
+	}
+}
+
+func TestHighLevelCounters(t *testing.T) {
+	s := newSys(t, hwsim.PlatformAIXPower3)
+	th := s.Main()
+	if err := th.StartCounters(FP_INS, TOT_INS); err != nil {
+		t.Fatal(err)
+	}
+	if err := th.StartCounters(TOT_CYC); !IsErr(err, EISRUN) {
+		t.Errorf("double StartCounters: %v", err)
+	}
+	th.Exec(loop(100, hwsim.OpFPAdd))
+	vals := make([]int64, 2)
+	if err := th.ReadCounters(vals); err != nil {
+		t.Fatal(err)
+	}
+	if vals[0] != 100 {
+		t.Errorf("FP_INS = %d, want 100", vals[0])
+	}
+	// ReadCounters resets: immediately reading again gives ~0.
+	if err := th.ReadCounters(vals); err != nil {
+		t.Fatal(err)
+	}
+	if vals[0] != 0 {
+		t.Errorf("FP_INS after reset-read = %d, want 0", vals[0])
+	}
+	th.Exec(loop(50, hwsim.OpFPAdd))
+	if err := th.StopCounters(vals); err != nil {
+		t.Fatal(err)
+	}
+	if vals[0] != 50 {
+		t.Errorf("final FP_INS = %d, want 50", vals[0])
+	}
+	if err := th.StopCounters(nil); !IsErr(err, ENOTRUN) {
+		t.Errorf("double stop: %v", err)
+	}
+}
+
+func TestFlopsCall(t *testing.T) {
+	s := newSys(t, hwsim.PlatformAIXPower3)
+	th := s.Main()
+	if _, err := th.Flops(); err != nil {
+		t.Fatal(err)
+	}
+	th.Exec(loop(1000, hwsim.OpFMA)) // 1000 FMA = 2000 flops
+	res, err := th.Flops()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 2000 {
+		t.Errorf("flpops = %d, want 2000 (FMA counted twice)", res.Count)
+	}
+	if res.Rate <= 0 || res.VirtUsec == 0 {
+		t.Errorf("rate = %f over %d usec", res.Rate, res.VirtUsec)
+	}
+	if err := th.StopRate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIPCCall(t *testing.T) {
+	s := newSys(t, hwsim.PlatformCrayT3E)
+	th := s.Main()
+	if _, err := th.IPC(); err != nil {
+		t.Fatal(err)
+	}
+	th.Exec(loop(1000, hwsim.OpInt, hwsim.OpInt))
+	res, err := th.IPC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count < 3000 {
+		t.Errorf("instructions = %d, want >= 3000", res.Count)
+	}
+	if res.Rate <= 0 || res.Rate > 1.2 {
+		t.Errorf("IPC = %f implausible", res.Rate)
+	}
+	th.StopRate()
+}
+
+func TestTimers(t *testing.T) {
+	s := MustNewSystem(Options{
+		Platform:            hwsim.PlatformLinuxX86,
+		InterferenceQuantum: 10_000,
+		InterferenceSteal:   5_000,
+	})
+	th := s.Main()
+	r0, v0 := th.RealUsec(), th.VirtUsec()
+	th.Exec(loop(50_000, hwsim.OpInt, hwsim.OpInt))
+	r1, v1 := th.RealUsec(), th.VirtUsec()
+	if v1 <= v0 {
+		t.Error("virtual time did not advance")
+	}
+	// Under 50% interference, real time advances ~1.5x virtual.
+	dr, dv := r1-r0, v1-v0
+	if dr <= dv {
+		t.Errorf("real delta %d should exceed virtual delta %d under interference", dr, dv)
+	}
+	if th.TimerResolutionUsec() <= 0 || th.TimerCostCycles() == 0 {
+		t.Error("timer metadata missing")
+	}
+	if th.RealCyc() <= th.VirtCyc() {
+		t.Error("real cycles should exceed virtual cycles under interference")
+	}
+}
+
+func TestThreadsIndependentCounters(t *testing.T) {
+	s := newSys(t, hwsim.PlatformCrayT3E)
+	t1 := s.Main()
+	t2, err := s.NewThread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Threads() != 2 {
+		t.Fatalf("Threads() = %d", s.Threads())
+	}
+	es1, es2 := t1.NewEventSet(), t2.NewEventSet()
+	es1.Add(FP_INS)
+	es2.Add(FP_INS)
+	es1.Start()
+	es2.Start()
+	t1.Exec(loop(10, hwsim.OpFPAdd))
+	t2.Exec(loop(30, hwsim.OpFPAdd))
+	v1, v2 := make([]int64, 1), make([]int64, 1)
+	es1.Stop(v1)
+	es2.Stop(v2)
+	if v1[0] != 10 || v2[0] != 30 {
+		t.Errorf("per-thread counts = %d,%d want 10,30", v1[0], v2[0])
+	}
+}
+
+func TestSystemQueries(t *testing.T) {
+	s := newSys(t, hwsim.PlatformLinuxX86)
+	if !s.QueryEvent(TOT_INS) {
+		t.Error("TOT_INS should be countable")
+	}
+	if s.QueryEvent(LD_INS) {
+		t.Error("LD_INS should be unavailable on x86")
+	}
+	if s.QueryEvent(Event(0x1234)) {
+		t.Error("garbage event should not be countable")
+	}
+	ev, ok := s.NativeByName("FLOPS")
+	if !ok || !s.QueryEvent(ev) {
+		t.Error("FLOPS native lookup failed")
+	}
+	if s.EventName(ev) != "FLOPS" {
+		t.Errorf("EventName(native) = %q", s.EventName(ev))
+	}
+	if s.Info().Platform != hwsim.PlatformLinuxX86 {
+		t.Error("Info platform mismatch")
+	}
+	if _, err := s.Thread(5); !IsErr(err, EINVAL) {
+		t.Errorf("Thread(5): %v", err)
+	}
+	if _, err := NewSystem(Options{Platform: "vax-vms"}); err == nil {
+		t.Error("expected init failure for unknown platform")
+	}
+}
+
+func TestRemoveEvent(t *testing.T) {
+	s := newSys(t, hwsim.PlatformAIXPower3)
+	es := s.Main().NewEventSet()
+	es.AddAll(FP_INS, TOT_INS, TOT_CYC)
+	if err := es.Remove(TOT_INS); err != nil {
+		t.Fatal(err)
+	}
+	if es.NumEvents() != 2 {
+		t.Errorf("NumEvents = %d, want 2", es.NumEvents())
+	}
+	if err := es.Remove(TOT_INS); !IsErr(err, ENOEVNT) {
+		t.Errorf("remove absent: %v", err)
+	}
+	// Set still works after removal.
+	th := s.Main()
+	if err := es.Start(); err != nil {
+		t.Fatal(err)
+	}
+	th.Exec(loop(10, hwsim.OpFPAdd))
+	vals := make([]int64, 2)
+	if err := es.Stop(vals); err != nil {
+		t.Fatal(err)
+	}
+	if vals[0] != 10 {
+		t.Errorf("FP_INS after remove = %d", vals[0])
+	}
+}
+
+func relErr(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	d := float64(a - b)
+	if d < 0 {
+		d = -d
+	}
+	return d / float64(b)
+}
+
+func TestCountingDomains(t *testing.T) {
+	// PAPI_set_domain: user-domain counting excludes the measurement
+	// library's own perturbation, kernel-domain counts only it.
+	run := func(d hwsim.Domain) (int64, int64) {
+		s := newSys(t, hwsim.PlatformLinuxX86)
+		th := s.Main()
+		es := th.NewEventSet()
+		if err := es.AddAll(TOT_INS, TOT_CYC); err != nil {
+			t.Fatal(err)
+		}
+		if d != 0 {
+			if err := es.SetDomain(d); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := es.Start(); err != nil {
+			t.Fatal(err)
+		}
+		th.Exec(loop(100, hwsim.OpFPAdd, hwsim.OpInt))
+		vals := make([]int64, 2)
+		// Several reads: each perturbs the counters in kernel mode.
+		for i := 0; i < 5; i++ {
+			if err := es.Read(vals); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := es.Stop(vals); err != nil {
+			t.Fatal(err)
+		}
+		return vals[0], vals[1]
+	}
+	const progInstrs = 300 // 100 × (fpadd + int + branch)
+	userIns, userCyc := run(hwsim.DomainUser)
+	kernIns, kernCyc := run(hwsim.DomainKernel)
+	allIns, allCyc := run(hwsim.DomainAll)
+	if userIns != progInstrs {
+		t.Errorf("user-domain TOT_INS = %d, want exactly %d (no library perturbation)", userIns, progInstrs)
+	}
+	if kernIns <= 0 {
+		t.Errorf("kernel-domain TOT_INS = %d, want > 0 (the library's own instructions)", kernIns)
+	}
+	if allIns != userIns+kernIns {
+		t.Errorf("all (%d) != user (%d) + kernel (%d)", allIns, userIns, kernIns)
+	}
+	if allCyc != userCyc+kernCyc {
+		t.Errorf("cycles: all (%d) != user (%d) + kernel (%d)", allCyc, userCyc, kernCyc)
+	}
+}
+
+func TestDomainValidation(t *testing.T) {
+	s := newSys(t, hwsim.PlatformLinuxX86)
+	es := s.Main().NewEventSet()
+	es.Add(TOT_INS)
+	if err := es.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := es.SetDomain(hwsim.DomainUser); !IsErr(err, EISRUN) {
+		t.Errorf("SetDomain while running: %v", err)
+	}
+	es.Stop(nil)
+	if err := es.SetDomain(0); err != nil {
+		t.Fatal(err)
+	}
+	if es.Domain() != hwsim.DomainAll {
+		t.Error("zero domain should normalize to all")
+	}
+	// Sampling substrates cannot count kernel-only.
+	s2 := MustNewSystem(Options{Platform: hwsim.PlatformTru64Alpha, SamplingPeriod: 256})
+	es2 := s2.Main().NewEventSet()
+	es2.Add(TOT_INS)
+	if err := es2.SetDomain(hwsim.DomainKernel); err != nil {
+		t.Fatal(err) // config itself is fine...
+	}
+	if err := es2.Start(); err == nil { // ...but starting must fail
+		t.Error("kernel-only domain on a sampling substrate should fail at Start")
+	}
+}

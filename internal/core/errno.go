@@ -1,0 +1,67 @@
+// Package core implements the machine-independent layer of PAPI: the
+// EventSet state machine, the preset-event table and its per-platform
+// mapping onto native events, software extension of narrow hardware
+// counters to 64 bits, per-thread contexts, opt-in multiplexing, the
+// overflow/profiling dispatch, the portable timers, the high-level API
+// and the PAPI 3 memory-utilization extensions. The public papi package
+// re-exports this engine; substrates stay behind the
+// internal/substrate interface (Figure 1's layering).
+package core
+
+import "fmt"
+
+// Errno is a PAPI-style error code. The zero value (OK) is never
+// returned as an error.
+type Errno int
+
+// PAPI error codes, matching the C library's names.
+const (
+	OK         Errno = 0
+	EINVAL     Errno = -1  // invalid argument
+	ENOMEM     Errno = -2  // insufficient memory
+	ESYS       Errno = -3  // system/substrate call failed
+	ESBSTR     Errno = -4  // substrate cannot implement the operation
+	ECLOST     Errno = -5  // access to the counters was lost
+	EBUG       Errno = -6  // internal error
+	ENOEVNT    Errno = -7  // event does not exist or is unavailable
+	ECNFLCT    Errno = -8  // event conflicts with an existing event
+	ENOTRUN    Errno = -9  // EventSet is not running
+	EISRUN     Errno = -10 // EventSet or context is already running
+	ENOEVST    Errno = -11 // no such EventSet
+	ENOTPRESET Errno = -12 // not a preset event
+	ENOCNTR    Errno = -13 // hardware has too few counters
+	EMISC      Errno = -14 // unspecified error
+	ENOSUPP    Errno = -15 // feature unsupported on this platform
+)
+
+var errnoText = map[Errno]string{
+	EINVAL:     "invalid argument",
+	ENOMEM:     "insufficient memory",
+	ESYS:       "system call failed",
+	ESBSTR:     "substrate does not support the operation",
+	ECLOST:     "access to the counters was lost",
+	EBUG:       "internal error",
+	ENOEVNT:    "event does not exist or is unavailable on this platform",
+	ECNFLCT:    "event conflicts with another event in the set",
+	ENOTRUN:    "EventSet is not running",
+	EISRUN:     "EventSet or thread context is already running",
+	ENOEVST:    "no such EventSet",
+	ENOTPRESET: "not a preset event",
+	ENOCNTR:    "hardware does not have enough counters",
+	EMISC:      "unspecified error",
+	ENOSUPP:    "feature not supported on this platform",
+}
+
+// Error implements the error interface.
+func (e Errno) Error() string {
+	if t, ok := errnoText[e]; ok {
+		return "papi: " + t
+	}
+	return fmt.Sprintf("papi: error %d", int(e))
+}
+
+// errf wraps an Errno with context; errors.Is(err, code) holds for the
+// wrapped error.
+func errf(code Errno, format string, args ...any) error {
+	return fmt.Errorf(format+": %w", append(args, code)...)
+}

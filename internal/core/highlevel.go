@@ -1,0 +1,153 @@
+package core
+
+// The high-level interface: start/read/accum/stop a list of events with
+// no EventSet bookkeeping, plus the PAPI_flops and PAPI_ipc
+// convenience calls. It is intended for "the acquisition of simple but
+// accurate measurements by application engineers" (§1); everything here
+// is sugar over the low-level EventSet API.
+
+// hlState carries a thread's high-level interface state.
+type hlState struct {
+	counters *EventSet
+	rate     *EventSet // Flops/IPC hidden set
+	rateKind Event     // FP_OPS for Flops, TOT_INS for IPC
+	rateReal uint64    // RealCyc at rate start
+	rateVirt uint64    // VirtCyc at rate start
+}
+
+func (t *Thread) hlstate() *hlState {
+	if t.hl == nil {
+		t.hl = &hlState{}
+	}
+	return t.hl
+}
+
+// StartCounters starts counting the given events on the thread's
+// hidden high-level EventSet.
+func (t *Thread) StartCounters(evs ...Event) error {
+	hl := t.hlstate()
+	if hl.counters != nil {
+		return errf(EISRUN, "high-level counters already started")
+	}
+	if len(evs) == 0 {
+		return errf(EINVAL, "no events")
+	}
+	es := t.NewEventSet()
+	if err := es.AddAll(evs...); err != nil {
+		return err
+	}
+	if err := es.Start(); err != nil {
+		return err
+	}
+	hl.counters = es
+	return nil
+}
+
+// ReadCounters copies current counts into dst and resets the counters
+// to zero, leaving them running (PAPI_read_counters semantics).
+func (t *Thread) ReadCounters(dst []int64) error {
+	hl := t.hlstate()
+	if hl.counters == nil {
+		return errf(ENOTRUN, "high-level counters not started")
+	}
+	clear(dst)
+	return hl.counters.Accum(dst)
+}
+
+// AccumCounters adds current counts into dst and resets the counters,
+// leaving them running (PAPI_accum_counters semantics).
+func (t *Thread) AccumCounters(dst []int64) error {
+	hl := t.hlstate()
+	if hl.counters == nil {
+		return errf(ENOTRUN, "high-level counters not started")
+	}
+	return hl.counters.Accum(dst)
+}
+
+// StopCounters stops the high-level counters, writing final values
+// into dst (may be nil).
+func (t *Thread) StopCounters(dst []int64) error {
+	hl := t.hlstate()
+	if hl.counters == nil {
+		return errf(ENOTRUN, "high-level counters not started")
+	}
+	err := hl.counters.Stop(dst)
+	hl.counters = nil
+	return err
+}
+
+// NumCounters returns the number of physical counters, the high-level
+// interface's capacity (PAPI_num_counters).
+func (t *Thread) NumCounters() int { return t.sys.arch.NumCounters }
+
+// RateResult is what Flops and IPC report.
+type RateResult struct {
+	RealUsec uint64  // wall time since the first call
+	VirtUsec uint64  // process time since the first call
+	Count    int64   // FP operations (Flops) or instructions (IPC)
+	Rate     float64 // MFLOP/s over virtual time, or instructions/cycle
+}
+
+// Flops implements PAPI_flops: the first call starts a hidden FP_OPS
+// measurement; subsequent calls report total floating-point operations
+// and the MFLOP/s rate since the first call. The normalization quirks
+// of §4 live in the FP_OPS preset mapping (FMA ×2, rounding
+// instructions subtracted where the platform over-counts).
+func (t *Thread) Flops() (RateResult, error) {
+	return t.rateCall(FP_OPS)
+}
+
+// IPC implements PAPI_ipc: instructions completed and instructions per
+// cycle since the first call.
+func (t *Thread) IPC() (RateResult, error) {
+	return t.rateCall(TOT_INS)
+}
+
+// StopRate tears down the hidden Flops/IPC measurement.
+func (t *Thread) StopRate() error {
+	hl := t.hlstate()
+	if hl.rate == nil {
+		return errf(ENOTRUN, "no rate measurement active")
+	}
+	err := hl.rate.Stop(nil)
+	hl.rate = nil
+	return err
+}
+
+func (t *Thread) rateCall(kind Event) (RateResult, error) {
+	hl := t.hlstate()
+	if hl.rate != nil && hl.rateKind != kind {
+		return RateResult{}, errf(EISRUN, "another rate measurement (%s) is active", EventName(hl.rateKind))
+	}
+	if hl.rate == nil {
+		es := t.NewEventSet()
+		if err := es.Add(kind); err != nil {
+			return RateResult{}, err
+		}
+		hl.rateReal = t.cpu.RealCycles()
+		hl.rateVirt = t.cpu.Cycles()
+		if err := es.Start(); err != nil {
+			return RateResult{}, err
+		}
+		hl.rate = es
+		hl.rateKind = kind
+		return RateResult{}, nil
+	}
+	var vals [1]int64
+	if err := hl.rate.Read(vals[:]); err != nil {
+		return RateResult{}, err
+	}
+	mhz := uint64(t.sys.arch.ClockMHz)
+	realUs := (t.cpu.RealCycles() - hl.rateReal) / mhz
+	virtCyc := t.cpu.Cycles() - hl.rateVirt
+	virtUs := virtCyc / mhz
+	res := RateResult{RealUsec: realUs, VirtUsec: virtUs, Count: vals[0]}
+	if kind == TOT_INS {
+		if virtCyc > 0 {
+			res.Rate = float64(vals[0]) / float64(virtCyc)
+		}
+	} else if virtUs > 0 {
+		res.Rate = float64(vals[0]) / float64(virtUs) // MFLOP/s: ops per usec
+	}
+	return res, nil
+}

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/hwsim"
+)
+
+// term is one weighted native event in a preset mapping: the preset's
+// value is the sum of coef × native-count over all terms.
+type term struct {
+	code uint32
+	coef int64
+}
+
+// mapping describes how one event is realized on a platform.
+type mapping struct {
+	terms   []term
+	derived string // "none", "derived_add", "derived_weighted"
+	note    string // documented platform quirk, if any
+}
+
+// override hand-codes a platform's preset mapping where the automatic
+// derivation would pick a different (or no) combination — exactly the
+// per-substrate preset tables of the C implementation.
+type override struct {
+	names []string
+	coefs []int64
+	note  string
+}
+
+var presetOverrides = map[string]map[Event]override{
+	hwsim.PlatformAIXPower3: {
+		// The paper's §4 discrepancy, preserved deliberately: the
+		// POWER3 FPU-completion event includes frsp/fconv rounding
+		// instructions, so PAPI_FP_INS over-counts codes that convert
+		// between single and double precision.
+		FP_INS: {
+			names: []string{"PM_FPU_CMPL"},
+			coefs: []int64{1},
+			note:  "includes frsp/fconv rounding instructions (paper §4 discrepancy)",
+		},
+		// FP_OPS corrects for rounding and counts FMA as 2 ops:
+		// (add+mul+div+fma+frsp) - frsp + fma.
+		FP_OPS: {
+			names: []string{"PM_FPU_CMPL", "PM_FPU_FRSP_FCONV", "PM_FPU_FMA"},
+			coefs: []int64{1, -1, 1},
+			note:  "FMA counted as two FP operations",
+		},
+	},
+	hwsim.PlatformLinuxIA64: {
+		// FP_OPS_RETIRED counts an FMA once; add FMA again for ops.
+		FP_OPS: {
+			names: []string{"FP_OPS_RETIRED", "FP_FMA_RETIRED"},
+			coefs: []int64{1, 1},
+			note:  "FMA counted as two FP operations",
+		},
+	},
+	hwsim.PlatformLinuxX86: {
+		// Every load/store accesses the L1D on the P6; the memory-refs
+		// event is numerically the access count.
+		L1_DCA: {
+			names: []string{"DATA_MEM_REFS"},
+			coefs: []int64{1},
+			note:  "counted via DATA_MEM_REFS (every reference accesses L1D)",
+		},
+	},
+}
+
+func init() {
+	// Windows shares the P6 event table, so it shares its overrides.
+	presetOverrides[hwsim.PlatformWindows] = presetOverrides[hwsim.PlatformLinuxX86]
+}
+
+var (
+	mappingMu sync.Mutex
+	// Keyed by Arch identity, not platform string: custom architecture
+	// models may reuse a platform key while altering the event table.
+	mappingCache = map[*hwsim.Arch]map[Event]mapping{}
+)
+
+// platformMappings returns (building and caching on first use) the
+// preset→native mapping table for an architecture.
+func platformMappings(a *hwsim.Arch) map[Event]mapping {
+	mappingMu.Lock()
+	defer mappingMu.Unlock()
+	if m, ok := mappingCache[a]; ok {
+		return m
+	}
+	m := buildMappings(a)
+	mappingCache[a] = m
+	return m
+}
+
+func buildMappings(a *hwsim.Arch) map[Event]mapping {
+	out := make(map[Event]mapping, NumPresets)
+	ov := presetOverrides[a.Platform]
+	for _, e := range Presets() {
+		info := presetTable[e]
+		if info.needsFMA && !a.HasFMA {
+			continue // preset meaningless on this hardware
+		}
+		if o, ok := ov[e]; ok {
+			mp, ok := resolveOverride(a, o)
+			if ok {
+				out[e] = mp
+			}
+			continue
+		}
+		wanted := info.wanted
+		if a.HasFMA && (e == FP_INS || e == FP_OPS) {
+			// On FMA hardware an FMA is one FP instruction; FP_OPS
+			// needs an override to count it twice (see table above).
+			wanted |= hwsim.Mask(hwsim.SigFMA)
+		}
+		if mp, ok := deriveMapping(a, wanted); ok {
+			out[e] = mp
+		}
+	}
+	return out
+}
+
+func resolveOverride(a *hwsim.Arch, o override) (mapping, bool) {
+	mp := mapping{derived: "derived_weighted", note: o.note}
+	if len(o.names) == 1 && o.coefs[0] == 1 {
+		mp.derived = "none"
+	}
+	for i, name := range o.names {
+		ev, ok := a.EventByName(name)
+		if !ok {
+			return mapping{}, false
+		}
+		mp.terms = append(mp.terms, term{code: ev.Code, coef: o.coefs[i]})
+	}
+	return mp, true
+}
+
+// deriveMapping searches the native table for an exact realization of
+// the wanted signal mask: a single event, or a sum of two or three
+// events with pairwise-disjoint masks that union to exactly the wanted
+// set. Combinations with stray signals would over-count and are never
+// accepted — interpretation beyond that is left to the user (paper §4).
+func deriveMapping(a *hwsim.Arch, wanted hwsim.SignalMask) (mapping, bool) {
+	evs := a.Events
+	// Single event.
+	for i := range evs {
+		if evs[i].Signals == wanted {
+			return mapping{terms: []term{{code: evs[i].Code, coef: 1}}, derived: "none"}, true
+		}
+	}
+	// Candidate components: events whose mask is a strict subset.
+	var cand []int
+	for i := range evs {
+		if evs[i].Signals&^wanted == 0 && evs[i].Signals != 0 {
+			cand = append(cand, i)
+		}
+	}
+	// Pairs.
+	for x := 0; x < len(cand); x++ {
+		mx := evs[cand[x]].Signals
+		for y := x + 1; y < len(cand); y++ {
+			my := evs[cand[y]].Signals
+			if mx&my == 0 && mx|my == wanted {
+				return mapping{terms: []term{
+					{code: evs[cand[x]].Code, coef: 1},
+					{code: evs[cand[y]].Code, coef: 1},
+				}, derived: "derived_add"}, true
+			}
+		}
+	}
+	// Triples.
+	for x := 0; x < len(cand); x++ {
+		mx := evs[cand[x]].Signals
+		for y := x + 1; y < len(cand); y++ {
+			my := evs[cand[y]].Signals
+			if mx&my != 0 {
+				continue
+			}
+			for z := y + 1; z < len(cand); z++ {
+				mz := evs[cand[z]].Signals
+				if mz&(mx|my) == 0 && mx|my|mz == wanted {
+					return mapping{terms: []term{
+						{code: evs[cand[x]].Code, coef: 1},
+						{code: evs[cand[y]].Code, coef: 1},
+						{code: evs[cand[z]].Code, coef: 1},
+					}, derived: "derived_add"}, true
+				}
+			}
+		}
+	}
+	return mapping{}, false
+}
+
+// PresetAvail describes one preset's availability on a platform, for
+// papi_avail-style listings.
+type PresetAvail struct {
+	Event   Event
+	Name    string
+	Desc    string
+	Avail   bool
+	Derived string
+	Natives []string
+	Note    string
+}
+
+// AvailPresets lists every standard preset and how (whether) the given
+// platform realizes it.
+func AvailPresets(a *hwsim.Arch) []PresetAvail {
+	maps := platformMappings(a)
+	out := make([]PresetAvail, 0, NumPresets)
+	for _, e := range Presets() {
+		info := presetTable[e]
+		pa := PresetAvail{Event: e, Name: info.name, Desc: info.desc}
+		if mp, ok := maps[e]; ok {
+			pa.Avail = true
+			pa.Derived = mp.derived
+			pa.Note = mp.note
+			for _, t := range mp.terms {
+				if ev, ok := a.EventByCode(t.code); ok {
+					pa.Natives = append(pa.Natives, ev.Name)
+				}
+			}
+		}
+		out = append(out, pa)
+	}
+	return out
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/hwsim"
+)
+
+func archOf(t *testing.T, platform string) *hwsim.Arch {
+	t.Helper()
+	a, ok := hwsim.ArchByPlatform(platform)
+	if !ok {
+		t.Fatalf("no arch %s", platform)
+	}
+	return a
+}
+
+func availMap(t *testing.T, platform string) map[Event]PresetAvail {
+	t.Helper()
+	out := map[Event]PresetAvail{}
+	for _, pa := range AvailPresets(archOf(t, platform)) {
+		out[pa.Event] = pa
+	}
+	return out
+}
+
+func TestCorePresetsAvailableEverywhere(t *testing.T) {
+	// TOT_CYC, TOT_INS, FP_INS, L1_DCM, BR_INS must map on all 7
+	// platforms; they are the events every paper-era tool depended on.
+	must := []Event{TOT_CYC, TOT_INS, FP_INS, L1_DCM, BR_INS}
+	for _, p := range hwsim.Platforms() {
+		av := availMap(t, p)
+		for _, e := range must {
+			if !av[e].Avail {
+				t.Errorf("%s: %s unavailable", p, EventName(e))
+			}
+		}
+	}
+}
+
+func TestPlatformSpecificAvailability(t *testing.T) {
+	x86 := availMap(t, hwsim.PlatformLinuxX86)
+	// The P6 counts combined memory refs but cannot separate loads.
+	if x86[LD_INS].Avail {
+		t.Error("linux-x86: LD_INS should be unavailable (only DATA_MEM_REFS exists)")
+	}
+	if !x86[LST_INS].Avail {
+		t.Error("linux-x86: LST_INS should map to DATA_MEM_REFS")
+	}
+	if !x86[L1_DCA].Avail || x86[L1_DCA].Natives[0] != "DATA_MEM_REFS" {
+		t.Errorf("linux-x86: L1_DCA override missing: %+v", x86[L1_DCA])
+	}
+	// FMA presets exist only on FMA hardware.
+	if x86[FMA_INS].Avail {
+		t.Error("linux-x86: FMA_INS should be unavailable")
+	}
+	p3 := availMap(t, hwsim.PlatformAIXPower3)
+	if !p3[FMA_INS].Avail {
+		t.Error("aix-power3: FMA_INS should be available")
+	}
+	ia64 := availMap(t, hwsim.PlatformLinuxIA64)
+	if !ia64[FMA_INS].Avail {
+		t.Error("linux-ia64: FMA_INS should be available")
+	}
+	// R10K has no taken-branch or stall event.
+	mips := availMap(t, hwsim.PlatformIRIXMips)
+	if mips[BR_TKN].Avail {
+		t.Error("irix-mips: BR_TKN should be unavailable")
+	}
+	if mips[RES_STL].Avail {
+		t.Error("irix-mips: RES_STL should be unavailable")
+	}
+}
+
+func TestPower3FPInsIncludesRounding(t *testing.T) {
+	// The §4 discrepancy must be preserved in the mapping.
+	p3 := availMap(t, hwsim.PlatformAIXPower3)
+	fp := p3[FP_INS]
+	if !fp.Avail || len(fp.Natives) != 1 || fp.Natives[0] != "PM_FPU_CMPL" {
+		t.Fatalf("power3 FP_INS mapping = %+v, want single PM_FPU_CMPL", fp)
+	}
+	if fp.Note == "" {
+		t.Error("power3 FP_INS should carry the rounding-instruction note")
+	}
+}
+
+func TestDerivedAddMappings(t *testing.T) {
+	// LST_INS on POWER3 can come from the single LSU event or the
+	// LD+ST pair; either realization must be exact.
+	p3 := availMap(t, hwsim.PlatformAIXPower3)
+	if !p3[LST_INS].Avail {
+		t.Fatal("power3 LST_INS unavailable")
+	}
+	// Solaris splits FP adds and muls across PICs; FP_INS needs the
+	// composite FPU_cmpl (single) rather than an incomplete pair.
+	sol := availMap(t, hwsim.PlatformSolaris)
+	if !sol[FP_INS].Avail {
+		t.Fatal("solaris FP_INS unavailable")
+	}
+}
+
+func TestDeriveMappingRejectsOvercounting(t *testing.T) {
+	// A combination whose union exceeds the wanted mask must never be
+	// chosen: derive against a mask that no event subset matches.
+	a := archOf(t, hwsim.PlatformIRIXMips)
+	if _, ok := deriveMapping(a, hwsim.Mask(hwsim.SigBranchTaken)); ok {
+		t.Error("derived a taken-branch mapping on R10K, which has no such event")
+	}
+}
+
+func TestEventNamesAndLookup(t *testing.T) {
+	if EventName(TOT_INS) != "PAPI_TOT_INS" {
+		t.Errorf("EventName(TOT_INS) = %q", EventName(TOT_INS))
+	}
+	e, ok := PresetByName("PAPI_FP_OPS")
+	if !ok || e != FP_OPS {
+		t.Error("PresetByName failed")
+	}
+	if _, ok := PresetByName("PAPI_NOT_REAL"); ok {
+		t.Error("unexpected preset")
+	}
+	if !TOT_CYC.IsPreset() || TOT_CYC.IsNative() {
+		t.Error("preset classification wrong")
+	}
+	native := Event(hwsim.NativeCodeBase | 3)
+	if native.IsPreset() || !native.IsNative() {
+		t.Error("native classification wrong")
+	}
+	if EventName(native) != "0x40000003" {
+		t.Errorf("native fallback name = %q", EventName(native))
+	}
+	if EventDescription(TOT_CYC) == "" || EventDescription(native) != "" {
+		t.Error("descriptions wrong")
+	}
+	if len(Presets()) != NumPresets {
+		t.Error("Presets() length mismatch")
+	}
+}
+
+func TestAvailListIsComplete(t *testing.T) {
+	for _, p := range hwsim.Platforms() {
+		list := AvailPresets(archOf(t, p))
+		if len(list) != NumPresets {
+			t.Errorf("%s: avail list has %d entries, want %d", p, len(list), NumPresets)
+		}
+		for _, pa := range list {
+			if pa.Avail && len(pa.Natives) == 0 {
+				t.Errorf("%s: %s available but no natives listed", p, pa.Name)
+			}
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"repro/internal/hwsim"
+)
+
+// Event identifies a countable event: either one of the standard PAPI
+// presets (high bit 0x80000000 set) or a platform native event (bit
+// 0x40000000 set, see hwsim.NativeCodeBase).
+type Event uint32
+
+// PresetBase is or'ed into preset event codes, following the C PAPI
+// convention.
+const PresetBase uint32 = 0x80000000
+
+// IsPreset reports whether the event is a standard preset.
+func (e Event) IsPreset() bool { return uint32(e)&PresetBase != 0 }
+
+// IsNative reports whether the event is a platform native event.
+func (e Event) IsNative() bool {
+	return uint32(e)&PresetBase == 0 && uint32(e)&hwsim.NativeCodeBase != 0
+}
+
+// The standard preset events. The list is the subset of the PAPI
+// specification's presets expressible in the simulated signal model.
+const (
+	TOT_CYC Event = Event(PresetBase | iota) // total cycles
+	TOT_INS                                  // instructions completed
+	LD_INS                                   // load instructions
+	SR_INS                                   // store instructions
+	LST_INS                                  // load/store instructions
+	FP_INS                                   // floating-point instructions
+	FP_OPS                                   // floating-point operations (FMA = 2)
+	FMA_INS                                  // fused multiply-add instructions
+	FDV_INS                                  // floating-point divides
+	L1_DCA                                   // L1 data cache accesses
+	L1_DCM                                   // L1 data cache misses
+	L1_ICM                                   // L1 instruction cache misses
+	L2_TCA                                   // L2 total cache accesses
+	L2_TCM                                   // L2 total cache misses
+	TLB_DM                                   // data TLB misses
+	BR_INS                                   // branch instructions
+	BR_TKN                                   // taken branches
+	BR_MSP                                   // mispredicted branches
+	RES_STL                                  // cycles stalled on resources
+
+	presetEnd // sentinel
+)
+
+// NumPresets is the number of standard preset events.
+const NumPresets = int(presetEnd &^ Event(PresetBase))
+
+type presetInfo struct {
+	name     string
+	desc     string
+	wanted   hwsim.SignalMask // exact signal semantics of the preset
+	needsFMA bool             // preset only meaningful on FMA hardware
+}
+
+var presetTable = map[Event]presetInfo{
+	TOT_CYC: {"PAPI_TOT_CYC", "Total cycles", hwsim.Mask(hwsim.SigCycles), false},
+	TOT_INS: {"PAPI_TOT_INS", "Instructions completed", hwsim.Mask(hwsim.SigInstrs), false},
+	LD_INS:  {"PAPI_LD_INS", "Load instructions", hwsim.Mask(hwsim.SigLoads), false},
+	SR_INS:  {"PAPI_SR_INS", "Store instructions", hwsim.Mask(hwsim.SigStores), false},
+	LST_INS: {"PAPI_LST_INS", "Load/store instructions", hwsim.Mask(hwsim.SigLoads, hwsim.SigStores), false},
+	FP_INS:  {"PAPI_FP_INS", "Floating-point instructions", hwsim.Mask(hwsim.SigFPAdd, hwsim.SigFPMul, hwsim.SigFPDiv), false},
+	FP_OPS:  {"PAPI_FP_OPS", "Floating-point operations", hwsim.Mask(hwsim.SigFPAdd, hwsim.SigFPMul, hwsim.SigFPDiv), false},
+	FMA_INS: {"PAPI_FMA_INS", "Fused multiply-add instructions", hwsim.Mask(hwsim.SigFMA), true},
+	FDV_INS: {"PAPI_FDV_INS", "Floating-point divide instructions", hwsim.Mask(hwsim.SigFPDiv), false},
+	L1_DCA:  {"PAPI_L1_DCA", "L1 data cache accesses", hwsim.Mask(hwsim.SigL1DAccess), false},
+	L1_DCM:  {"PAPI_L1_DCM", "L1 data cache misses", hwsim.Mask(hwsim.SigL1DMiss), false},
+	L1_ICM:  {"PAPI_L1_ICM", "L1 instruction cache misses", hwsim.Mask(hwsim.SigL1IMiss), false},
+	L2_TCA:  {"PAPI_L2_TCA", "L2 cache accesses", hwsim.Mask(hwsim.SigL2Access), false},
+	L2_TCM:  {"PAPI_L2_TCM", "L2 cache misses", hwsim.Mask(hwsim.SigL2Miss), false},
+	TLB_DM:  {"PAPI_TLB_DM", "Data TLB misses", hwsim.Mask(hwsim.SigTLBDMiss), false},
+	BR_INS:  {"PAPI_BR_INS", "Branch instructions", hwsim.Mask(hwsim.SigBranch), false},
+	BR_TKN:  {"PAPI_BR_TKN", "Taken branches", hwsim.Mask(hwsim.SigBranchTaken), false},
+	BR_MSP:  {"PAPI_BR_MSP", "Mispredicted branches", hwsim.Mask(hwsim.SigBranchMiss), false},
+	RES_STL: {"PAPI_RES_STL", "Cycles stalled on resources", hwsim.Mask(hwsim.SigStallCycles), false},
+}
+
+// Presets returns all standard preset events in declaration order.
+func Presets() []Event {
+	out := make([]Event, 0, NumPresets)
+	for i := 0; i < NumPresets; i++ {
+		out = append(out, Event(PresetBase|uint32(i)))
+	}
+	return out
+}
+
+// EventName returns the canonical name of an event: "PAPI_*" for
+// presets; for natives the platform-independent fallback is the hex
+// code (use System.EventName for the platform name).
+func EventName(e Event) string {
+	if info, ok := presetTable[e]; ok {
+		return info.name
+	}
+	return eventHex(e)
+}
+
+func eventHex(e Event) string {
+	const hexdigits = "0123456789abcdef"
+	buf := []byte("0x00000000")
+	v := uint32(e)
+	for i := 9; i >= 2; i-- {
+		buf[i] = hexdigits[v&0xf]
+		v >>= 4
+	}
+	return string(buf)
+}
+
+// EventDescription returns the preset's description, or "" for natives.
+func EventDescription(e Event) string {
+	if info, ok := presetTable[e]; ok {
+		return info.desc
+	}
+	return ""
+}
+
+// PresetByName resolves "PAPI_TOT_INS"-style names.
+func PresetByName(name string) (Event, bool) {
+	for e, info := range presetTable {
+		if info.name == name {
+			return e, true
+		}
+	}
+	return 0, false
+}

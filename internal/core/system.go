@@ -1,0 +1,206 @@
+package core
+
+import (
+	"errors"
+
+	"repro/internal/hwsim"
+	"repro/internal/memsim"
+	"repro/internal/substrate"
+)
+
+// Options configures a System.
+type Options struct {
+	// Platform selects the simulated machine (default linux-x86).
+	Platform string
+	// Arch, when non-nil, overrides Platform with a custom
+	// architecture model — the hook through which new ports enter.
+	Arch *hwsim.Arch
+	// Seed drives all stochastic simulation choices (default 1).
+	Seed uint64
+	// AllowOverlap restores the PAPI v2 behaviour of allowing several
+	// EventSets to run simultaneously on one thread, co-scheduled onto
+	// the shared counters. PAPI 3 removed this to cut memory and
+	// switching overhead; the E9 ablation measures why.
+	AllowOverlap bool
+	// MultiplexIntervalCycles overrides the multiplex slice length.
+	MultiplexIntervalCycles uint64
+	// SamplingPeriod overrides the hardware sampling period, in
+	// instructions, on substrates that estimate counts from samples.
+	SamplingPeriod int
+	// InterferenceQuantum/InterferenceSteal simulate competing load:
+	// every quantum cycles of process progress, steal wall-clock
+	// cycles go to other processes (visible as real-vs-virtual timer
+	// divergence).
+	InterferenceQuantum uint64
+	InterferenceSteal   uint64
+	// MemNode configures the simulated node memory (zero: defaults).
+	MemNode memsim.NodeConfig
+}
+
+// System is one initialized PAPI library instance bound to a simulated
+// machine: the Go analogue of PAPI_library_init plus the process the
+// library is linked into.
+type System struct {
+	opts    Options
+	sub     substrate.Substrate
+	arch    *hwsim.Arch
+	maps    map[Event]mapping
+	threads []*Thread
+	node    *memsim.Node
+	proc    *memsim.Process
+}
+
+// NewSystem initializes the library for a platform and creates the
+// main thread.
+func NewSystem(opts Options) (*System, error) {
+	if opts.Platform == "" {
+		opts.Platform = hwsim.PlatformLinuxX86
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	var sub substrate.Substrate
+	var err error
+	if opts.Arch != nil {
+		sub, err = substrate.ForArch(opts.Arch)
+	} else {
+		sub, err = substrate.ForPlatform(opts.Platform)
+	}
+	if err != nil {
+		return nil, errf(ENOEVNT, "init %q", opts.Platform)
+	}
+	node := memsim.NewNode(opts.MemNode)
+	s := &System{
+		opts: opts,
+		sub:  sub,
+		arch: sub.Arch(),
+		maps: platformMappings(sub.Arch()),
+		node: node,
+		proc: node.NewProcess("main"),
+	}
+	if _, err := s.NewThread(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// MustNewSystem panics on error; for tests and examples.
+func MustNewSystem(opts Options) *System {
+	s, err := NewSystem(opts)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Arch exposes the simulated architecture description.
+func (s *System) Arch() *hwsim.Arch { return s.arch }
+
+// Info returns the substrate's hardware summary.
+func (s *System) Info() substrate.Info { return s.sub.Info() }
+
+// Node returns the simulated node's memory system.
+func (s *System) Node() *memsim.Node { return s.node }
+
+// Process returns the simulated process's address space.
+func (s *System) Process() *memsim.Process { return s.proc }
+
+// Thread returns thread i (the main thread is 0).
+func (s *System) Thread(i int) (*Thread, error) {
+	if i < 0 || i >= len(s.threads) {
+		return nil, errf(EINVAL, "thread %d", i)
+	}
+	return s.threads[i], nil
+}
+
+// Main returns the main thread.
+func (s *System) Main() *Thread { return s.threads[0] }
+
+// Threads returns the current thread count.
+func (s *System) Threads() int { return len(s.threads) }
+
+// NewThread registers a new simulated thread with its own core and
+// counter context, mirroring PAPI's per-thread measurement model.
+func (s *System) NewThread() (*Thread, error) {
+	idx := len(s.threads)
+	cpu, err := hwsim.NewCPU(s.arch, s.opts.Seed+uint64(idx)*0x9e37)
+	if err != nil {
+		return nil, errf(ESYS, "cpu for thread %d", idx)
+	}
+	if s.opts.InterferenceQuantum > 0 {
+		cpu.SetInterference(s.opts.InterferenceQuantum, s.opts.InterferenceSteal)
+	}
+	var ctx substrate.Context
+	if s.opts.SamplingPeriod > 0 && s.arch.HWSampling {
+		ctx, err = s.sub.NewSamplingContext(cpu, s.opts.SamplingPeriod)
+		if err != nil {
+			return nil, errf(ESBSTR, "sampling context")
+		}
+	} else {
+		ctx = s.sub.NewContext(cpu)
+	}
+	t := &Thread{
+		sys:   s,
+		index: idx,
+		cpu:   cpu,
+		ctx:   ctx,
+		mem:   s.proc.NewThreadArena(),
+	}
+	s.threads = append(s.threads, t)
+	return t, nil
+}
+
+// EventName resolves an event to its platform-specific name.
+func (s *System) EventName(e Event) string {
+	if e.IsNative() {
+		if ev, ok := s.arch.EventByCode(uint32(e)); ok {
+			return ev.Name
+		}
+	}
+	return EventName(e)
+}
+
+// NativeByName resolves a platform native event name to its code.
+func (s *System) NativeByName(name string) (Event, bool) {
+	if ev, ok := s.arch.EventByName(name); ok {
+		return Event(ev.Code), true
+	}
+	return 0, false
+}
+
+// QueryEvent reports whether an event can be counted on this platform.
+func (s *System) QueryEvent(e Event) bool {
+	if e.IsPreset() {
+		_, ok := s.maps[e]
+		return ok
+	}
+	if e.IsNative() {
+		_, ok := s.arch.EventByCode(uint32(e))
+		return ok
+	}
+	return false
+}
+
+// AvailPresets lists preset availability for papi_avail.
+func (s *System) AvailPresets() []PresetAvail { return AvailPresets(s.arch) }
+
+// resolve expands an event to its native terms.
+func (s *System) resolve(e Event) ([]term, error) {
+	if e.IsPreset() {
+		mp, ok := s.maps[e]
+		if !ok {
+			return nil, errf(ENOEVNT, "preset %s unavailable on %s", EventName(e), s.arch.Platform)
+		}
+		return mp.terms, nil
+	}
+	if e.IsNative() {
+		if _, ok := s.arch.EventByCode(uint32(e)); !ok {
+			return nil, errf(ENOEVNT, "native event %#x unknown on %s", uint32(e), s.arch.Platform)
+		}
+		return []term{{code: uint32(e), coef: 1}}, nil
+	}
+	return nil, errf(EINVAL, "event %#x is neither preset nor native", uint32(e))
+}
+
+// IsErr reports whether err wraps the given PAPI error code.
+func IsErr(err error, code Errno) bool { return errors.Is(err, code) }

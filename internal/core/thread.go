@@ -1,0 +1,258 @@
+package core
+
+import (
+	"repro/internal/hwsim"
+	"repro/internal/memsim"
+	"repro/internal/substrate"
+)
+
+// Thread is one simulated thread of execution with its own core and
+// counter context — PAPI counts per thread, so every measurement hangs
+// off one of these.
+type Thread struct {
+	sys   *System
+	index int
+	cpu   *hwsim.CPU
+	ctx   substrate.Context
+	mem   *memsim.ThreadArena
+
+	running  []*EventSet // sets currently counting (≤1 unless AllowOverlap)
+	mpxOwner *EventSet   // set that owns the context via multiplexing
+
+	combined []uint32 // union of running sets' natives, as programmed
+	lastRaw  []uint64 // last raw hardware values, per combined position
+	rawBuf   []uint64
+	armedOvf []int // combined positions with overflow armed
+
+	hl *hlState
+}
+
+// Index returns the thread's index within its System.
+func (t *Thread) Index() int { return t.index }
+
+// CPU exposes the simulated core (workloads execute on it).
+func (t *Thread) CPU() *hwsim.CPU { return t.cpu }
+
+// Arena returns the thread's memory arena.
+func (t *Thread) Arena() *memsim.ThreadArena { return t.mem }
+
+// System returns the owning System.
+func (t *Thread) System() *System { return t.sys }
+
+// Run executes an instruction stream on this thread's core.
+func (t *Thread) Run(s hwsim.Stream) { t.cpu.Run(s) }
+
+// Exec executes a slice of instructions on this thread's core.
+func (t *Thread) Exec(instrs []hwsim.Instr) { t.cpu.ExecSlice(instrs) }
+
+// RunningSets returns how many EventSets are counting on this thread.
+func (t *Thread) RunningSets() int { return len(t.running) }
+
+// sync reads the live hardware and distributes the deltas since the
+// previous sync to every running EventSet's 64-bit accumulators. This
+// is also where narrow hardware counters get extended: deltas are
+// computed modulo the substrate's width mask, so a counter may wrap at
+// most once between syncs without losing counts.
+func (t *Thread) sync() error {
+	if len(t.running) == 0 || len(t.combined) == 0 {
+		return nil
+	}
+	if err := t.ctx.Read(t.rawBuf[:len(t.combined)]); err != nil {
+		return errf(ESYS, "read")
+	}
+	mask := t.ctx.WidthMask()
+	for i, code := range t.combined {
+		delta := (t.rawBuf[i] - t.lastRaw[i]) & mask
+		if delta == 0 {
+			continue
+		}
+		t.lastRaw[i] = t.rawBuf[i]
+		for _, es := range t.running {
+			if vi, ok := es.nidx[code]; ok {
+				es.vals[vi] += delta
+			}
+		}
+	}
+	return nil
+}
+
+// reprogram stops the hardware (folding pending deltas first when it
+// was running) and restarts it with the union of all running sets'
+// native events. This is the v2 overlapping-EventSets machinery whose
+// cost the E9 ablation measures; with a single running set it reduces
+// to a plain start.
+func (t *Thread) reprogram(wasRunning bool) error {
+	if wasRunning {
+		if err := t.sync(); err != nil {
+			return err
+		}
+		t.disarmOverflow()
+		if err := t.ctx.Stop(nil); err != nil {
+			return errf(ESYS, "stop for reprogram")
+		}
+	}
+	// Build the union, preserving first-seen order.
+	t.combined = t.combined[:0]
+	seen := map[uint32]bool{}
+	for _, es := range t.running {
+		for _, code := range es.natives {
+			if !seen[code] {
+				seen[code] = true
+				t.combined = append(t.combined, code)
+			}
+		}
+	}
+	if len(t.combined) == 0 {
+		return nil
+	}
+	assign, err := t.ctx.Allocate(t.combined)
+	if err != nil {
+		return errf(ECNFLCT, "co-scheduling %d events", len(t.combined))
+	}
+	// Domain: co-scheduled sets share the hardware, so they must agree.
+	domain := hwsim.Domain(0)
+	for _, es := range t.running {
+		d := es.Domain()
+		if domain == 0 {
+			domain = d
+		} else if d != domain {
+			return errf(ECNFLCT, "overlapping EventSets with different counting domains")
+		}
+	}
+	if err := t.ctx.SetDomain(domain); err != nil {
+		return errf(ESBSTR, "set domain: %v", err)
+	}
+	if err := t.armOverflow(); err != nil {
+		return err
+	}
+	if err := t.ctx.Start(t.combined, assign); err != nil {
+		return errf(ESYS, "start")
+	}
+	if cap(t.lastRaw) < len(t.combined) {
+		t.lastRaw = make([]uint64, len(t.combined))
+		t.rawBuf = make([]uint64, len(t.combined))
+	} else {
+		t.lastRaw = t.lastRaw[:len(t.combined)]
+		t.rawBuf = t.rawBuf[:len(t.combined)]
+		clear(t.lastRaw)
+	}
+	return nil
+}
+
+// armOverflow translates running sets' overflow requests into substrate
+// positions. Overflow is only supported for a solely-running set; the
+// state checks happen before this is called.
+func (t *Thread) armOverflow() error {
+	t.armedOvf = t.armedOvf[:0]
+	for _, es := range t.running {
+		if es.ovfThreshold == 0 {
+			continue
+		}
+		pos := -1
+		for i, code := range t.combined {
+			if code == es.ovfNative {
+				pos = i
+				break
+			}
+		}
+		if pos < 0 {
+			return errf(EBUG, "overflow native not programmed")
+		}
+		set, handler, ev := es, es.ovfHandler, es.ovfEvent
+		err := t.ctx.SetOverflow(pos, es.ovfThreshold, func(pc uint64, _ int) {
+			handler(set, pc, ev)
+		})
+		if err != nil {
+			return errf(ESYS, "arm overflow")
+		}
+		t.armedOvf = append(t.armedOvf, pos)
+	}
+	return nil
+}
+
+func (t *Thread) disarmOverflow() {
+	for _, pos := range t.armedOvf {
+		_ = t.ctx.SetOverflow(pos, 0, nil)
+	}
+	t.armedOvf = t.armedOvf[:0]
+}
+
+// startSet transitions an EventSet to running on this thread.
+func (t *Thread) startSet(es *EventSet) error {
+	if t.mpxOwner != nil {
+		return errf(EISRUN, "thread busy with a multiplexed EventSet")
+	}
+	if len(t.running) > 0 {
+		if es.multiplexed {
+			return errf(EISRUN, "cannot multiplex while other EventSets run")
+		}
+		if !t.sys.opts.AllowOverlap {
+			return errf(EISRUN, "another EventSet is running (overlapping EventSets were removed in PAPI 3; set Options.AllowOverlap for v2 behaviour)")
+		}
+		if es.ovfThreshold != 0 {
+			return errf(ENOSUPP, "overflow on overlapping EventSets")
+		}
+		for _, r := range t.running {
+			if r.ovfThreshold != 0 {
+				return errf(ENOSUPP, "overflow armed on an already-running EventSet")
+			}
+		}
+	}
+	if es.multiplexed {
+		if err := es.startMultiplexed(); err != nil {
+			return err
+		}
+		t.mpxOwner = es
+		t.running = append(t.running, es)
+		return nil
+	}
+	wasRunning := len(t.running) > 0
+	t.running = append(t.running, es)
+	if err := t.reprogram(wasRunning); err != nil {
+		t.running = t.running[:len(t.running)-1]
+		if wasRunning {
+			// Restore the previous programming for the other sets.
+			if rerr := t.reprogram(false); rerr != nil {
+				return rerr
+			}
+		}
+		return err
+	}
+	return nil
+}
+
+// stopSet folds final counts into es and removes it from the running
+// list, reprogramming the remaining sets (if any).
+func (t *Thread) stopSet(es *EventSet) error {
+	idx := -1
+	for i, r := range t.running {
+		if r == es {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return errf(ENOTRUN, "EventSet not running")
+	}
+	if es == t.mpxOwner {
+		if err := es.mpx.Stop(es.vals); err != nil {
+			return errf(ESYS, "multiplex stop")
+		}
+		t.mpxOwner = nil
+		t.running = append(t.running[:idx], t.running[idx+1:]...)
+		return nil
+	}
+	if err := t.sync(); err != nil {
+		return err
+	}
+	t.disarmOverflow()
+	if err := t.ctx.Stop(nil); err != nil {
+		return errf(ESYS, "stop")
+	}
+	t.running = append(t.running[:idx], t.running[idx+1:]...)
+	t.combined = t.combined[:0]
+	if len(t.running) > 0 {
+		return t.reprogram(false)
+	}
+	return nil
+}

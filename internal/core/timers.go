@@ -1,0 +1,49 @@
+package core
+
+// Portable timer routines (§3: "one of the most popular features of
+// PAPI"): real (wall-clock) and virtual (process) time in cycles and
+// microseconds, implemented on each platform's cheapest, most accurate
+// time base. Reading a timer charges the platform's timer-access cost,
+// so the timers themselves are measurable — experiment E8 reports both
+// resolution and cost per platform.
+
+// chargeTimer accounts for one timer read on the thread's core.
+func (t *Thread) chargeTimer() {
+	c := t.sys.arch.TimerCost
+	t.cpu.Charge(c, c/2)
+}
+
+// RealCyc returns total wall-clock cycles, including cycles consumed by
+// competing processes on a loaded machine.
+func (t *Thread) RealCyc() uint64 {
+	t.chargeTimer()
+	return t.cpu.RealCycles()
+}
+
+// RealUsec returns wall-clock microseconds.
+func (t *Thread) RealUsec() uint64 {
+	t.chargeTimer()
+	return t.cpu.RealCycles() / uint64(t.sys.arch.ClockMHz)
+}
+
+// VirtCyc returns cycles consumed by this process only.
+func (t *Thread) VirtCyc() uint64 {
+	t.chargeTimer()
+	return t.cpu.Cycles()
+}
+
+// VirtUsec returns process-virtual microseconds.
+func (t *Thread) VirtUsec() uint64 {
+	t.chargeTimer()
+	return t.cpu.Cycles() / uint64(t.sys.arch.ClockMHz)
+}
+
+// TimerResolutionUsec returns the wall-clock timer's resolution: the
+// paper's substrates use the finest time base available, which here is
+// the cycle counter, so resolution is one cycle expressed in usec.
+func (t *Thread) TimerResolutionUsec() float64 {
+	return 1.0 / float64(t.sys.arch.ClockMHz)
+}
+
+// TimerCostCycles returns what one timer read costs on this platform.
+func (t *Thread) TimerCostCycles() uint64 { return t.sys.arch.TimerCost }

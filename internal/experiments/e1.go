@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/papi"
+	"repro/workload"
+)
+
+// E1Row is one (substrate, size) calibration measurement.
+type E1Row struct {
+	Platform string
+	Mode     string // "hw-sampling" or "direct+ovf"
+	N        int
+	Expected uint64
+	Measured int64
+	RelErr   float64
+	Overhead float64 // monitored vs unmonitored runtime
+}
+
+// E1Result reproduces §4's calibration claim: on the sampling substrate
+// (Tru64 DADD/ProfileMe) event counts converge to the expected value
+// with only 1–2% overhead, versus up to ~30% on substrates that use
+// direct counting with interrupt-driven profiling.
+type E1Result struct {
+	Rows []E1Row
+}
+
+// E1 runs the calibration experiment (the papi_calibrate utility).
+func E1() (*E1Result, error) {
+	res := &E1Result{}
+	sizes := []int{16, 32, 64, 96}
+	for _, n := range sizes {
+		prog := workload.MatMul(workload.MatMulConfig{N: n})
+		expected := prog.Expected().FLOPs()
+
+		// Unmonitored baselines, one per platform (costs differ).
+		baseAlpha, err := e1Baseline(papi.PlatformTru64Alpha, prog)
+		if err != nil {
+			return nil, err
+		}
+		baseX86, err := e1Baseline(papi.PlatformLinuxX86, prog)
+		if err != nil {
+			return nil, err
+		}
+
+		// Tru64 Alpha: counts estimated from ProfileMe samples; the
+		// profiling histogram rides on the same samples.
+		alphaCycles, alphaVal, err := e1Monitored(papi.PlatformTru64Alpha, papi.FP_OPS, 4096, prog)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, E1Row{
+			Platform: papi.PlatformTru64Alpha,
+			Mode:     "hw-sampling",
+			N:        n,
+			Expected: expected,
+			Measured: alphaVal,
+			RelErr:   relErr(float64(alphaVal), float64(expected)),
+			Overhead: float64(alphaCycles-baseAlpha) / float64(baseAlpha),
+		})
+
+		// Linux/x86: direct counting, profiling via counter-overflow
+		// interrupts. Counts are exact; the interrupts are not cheap.
+		x86Cycles, x86Val, err := e1Monitored(papi.PlatformLinuxX86, papi.FP_OPS, 2048, prog)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, E1Row{
+			Platform: papi.PlatformLinuxX86,
+			Mode:     "direct+ovf",
+			N:        n,
+			Expected: expected,
+			Measured: x86Val,
+			RelErr:   relErr(float64(x86Val), float64(expected)),
+			Overhead: float64(x86Cycles-baseX86) / float64(baseX86),
+		})
+	}
+	return res, nil
+}
+
+func e1Baseline(platform string, prog workload.Program) (uint64, error) {
+	sys, err := papi.Init(papi.Options{Platform: platform})
+	if err != nil {
+		return 0, err
+	}
+	th := sys.Main()
+	prog.Reset()
+	start := th.CPU().Cycles()
+	th.Run(prog)
+	return th.CPU().Cycles() - start, nil
+}
+
+// e1Monitored measures FP_OPS with an attached profiling histogram
+// (threshold counts per hit) and returns (cycles consumed, measured
+// count).
+func e1Monitored(platform string, ev papi.Event, threshold uint64, prog workload.Program) (uint64, int64, error) {
+	opts := papi.Options{Platform: platform}
+	if platform == papi.PlatformTru64Alpha {
+		// DCPI's default rate: dense enough to converge quickly, still
+		// in the paper's 1-2% overhead band.
+		opts.SamplingPeriod = 256
+	}
+	sys, err := papi.Init(opts)
+	if err != nil {
+		return 0, 0, err
+	}
+	th := sys.Main()
+	es := th.NewEventSet()
+	if err := es.Add(ev); err != nil {
+		return 0, 0, err
+	}
+	regions := prog.Regions()
+	lo, hi := regions[0].Lo, regions[0].Hi
+	for _, r := range regions[1:] {
+		if r.Lo < lo {
+			lo = r.Lo
+		}
+		if r.Hi > hi {
+			hi = r.Hi
+		}
+	}
+	profHist, err := papi.NewProfileCovering(lo, hi, 16)
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := es.Profil(profHist, ev, threshold); err != nil {
+		return 0, 0, err
+	}
+	prog.Reset()
+	start := th.CPU().Cycles()
+	if err := es.Start(); err != nil {
+		return 0, 0, err
+	}
+	th.Run(prog)
+	vals := make([]int64, 1)
+	if err := es.Stop(vals); err != nil {
+		return 0, 0, err
+	}
+	return th.CPU().Cycles() - start, vals[0], nil
+}
+
+func (r *E1Result) table() *Table {
+	t := &Table{
+		ID:      "E1",
+		Title:   "calibrate: measured vs expected FP ops and monitoring overhead",
+		Claim:   "sampling substrate converges to expected counts at 1-2% overhead vs up to 30% for direct counting (§4)",
+		Columns: []string{"platform", "mode", "N", "expected", "measured", "rel.err", "overhead"},
+	}
+	for _, r := range r.Rows {
+		t.AddRow(r.Platform, r.Mode, fmt.Sprintf("%d", r.N),
+			u64(r.Expected), i64(r.Measured), pct(r.RelErr), pct(r.Overhead))
+	}
+	t.Notes = append(t.Notes,
+		"overhead = (monitored - unmonitored cycles)/unmonitored, profiling active in both modes")
+	return t
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"repro/papi"
+)
+
+// E10Row is one platform's access-cost measurement.
+type E10Row struct {
+	Platform string
+	Start    uint64
+	Read     uint64
+	Stop     uint64
+	Reset    uint64
+}
+
+// E10Result is the papi_cost utility: the cycle cost of each counter
+// operation per substrate, reflecting each platform's native access
+// mechanism (§2: register-level operations on the T3E, a kernel patch
+// on Linux/x86, vendor libraries elsewhere).
+type E10Result struct {
+	Rows []E10Row
+}
+
+// E10 measures the operations with the simulator's cycle oracle so the
+// measurement itself adds nothing.
+func E10() (*E10Result, error) {
+	res := &E10Result{}
+	for _, platform := range papi.Platforms() {
+		sys, err := papi.Init(papi.Options{Platform: platform})
+		if err != nil {
+			return nil, err
+		}
+		th := sys.Main()
+		es := th.NewEventSet()
+		if err := es.AddAll(papi.FP_INS, papi.TOT_CYC); err != nil {
+			return nil, err
+		}
+		cpu := th.CPU()
+		vals := make([]int64, 2)
+		row := E10Row{Platform: platform}
+
+		c0 := cpu.Cycles()
+		if err := es.Start(); err != nil {
+			return nil, err
+		}
+		row.Start = cpu.Cycles() - c0
+
+		c0 = cpu.Cycles()
+		if err := es.Read(vals); err != nil {
+			return nil, err
+		}
+		row.Read = cpu.Cycles() - c0
+
+		c0 = cpu.Cycles()
+		if err := es.Reset(); err != nil {
+			return nil, err
+		}
+		row.Reset = cpu.Cycles() - c0
+
+		c0 = cpu.Cycles()
+		if err := es.Stop(vals); err != nil {
+			return nil, err
+		}
+		row.Stop = cpu.Cycles() - c0
+
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func (r *E10Result) table() *Table {
+	t := &Table{
+		ID:      "E10",
+		Title:   "papi_cost: cycles per counter operation",
+		Claim:   "substrates use the most efficient native interface available on each platform (§2)",
+		Columns: []string{"platform", "start", "read", "reset", "stop"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Platform, u64(row.Start), u64(row.Read), u64(row.Reset), u64(row.Stop))
+	}
+	return t
+}

@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/hwsim"
+	"repro/papi"
+	"repro/workload"
+)
+
+// e2Events are the twelve events multiplexed onto the P6's two
+// counters, with the signal sets that define their ground truth.
+var e2Events = []struct {
+	ev   papi.Event
+	sigs []hwsim.Signal
+}{
+	{papi.TOT_CYC, []hwsim.Signal{hwsim.SigCycles}},
+	{papi.TOT_INS, []hwsim.Signal{hwsim.SigInstrs}},
+	{papi.FP_INS, []hwsim.Signal{hwsim.SigFPAdd, hwsim.SigFPMul, hwsim.SigFPDiv}},
+	{papi.LST_INS, []hwsim.Signal{hwsim.SigLoads, hwsim.SigStores}},
+	{papi.L1_DCA, []hwsim.Signal{hwsim.SigLoads, hwsim.SigStores}},
+	{papi.L1_DCM, []hwsim.Signal{hwsim.SigL1DMiss}},
+	{papi.L1_ICM, []hwsim.Signal{hwsim.SigL1IMiss}},
+	{papi.L2_TCA, []hwsim.Signal{hwsim.SigL2Access}},
+	{papi.L2_TCM, []hwsim.Signal{hwsim.SigL2Miss}},
+	{papi.TLB_DM, []hwsim.Signal{hwsim.SigTLBDMiss}},
+	{papi.BR_INS, []hwsim.Signal{hwsim.SigBranch}},
+	{papi.BR_MSP, []hwsim.Signal{hwsim.SigBranchMiss}},
+}
+
+// E2Row is one runtime point of the multiplex-convergence sweep.
+type E2Row struct {
+	N          int
+	Cycles     uint64
+	Rotations  float64 // full passes over all slices
+	MeanRelErr float64 // over events with substantial truth counts
+	MaxRelErr  float64
+	Unmeasured int // events whose slice never ran (estimate 0, truth > 0)
+}
+
+// E2Result reproduces §2's multiplexing lesson: estimates from runs too
+// short to rotate through every slice are erroneous — which is why
+// multiplexing is opt-in at the low level.
+type E2Result struct {
+	Interval uint64
+	Slices   int
+	Rows     []E2Row
+}
+
+// E2 runs the multiplex error-vs-runtime sweep.
+func E2() (*E2Result, error) {
+	const interval = 25_000
+	res := &E2Result{Interval: interval}
+	for _, n := range []int{12, 24, 48, 96, 160} {
+		sys, err := papi.Init(papi.Options{Platform: papi.PlatformLinuxX86})
+		if err != nil {
+			return nil, err
+		}
+		th := sys.Main()
+		es := th.NewEventSet()
+		if err := es.SetMultiplex(interval); err != nil {
+			return nil, err
+		}
+		evs := make([]papi.Event, len(e2Events))
+		for i, e := range e2Events {
+			evs[i] = e.ev
+		}
+		if err := es.AddAll(evs...); err != nil {
+			return nil, err
+		}
+		prog := workload.MatMul(workload.MatMulConfig{N: n})
+
+		cpu := th.CPU()
+		before := make([]uint64, len(e2Events))
+		snapshotTruth(cpu, before)
+		startCyc := cpu.Cycles()
+		if err := es.Start(); err != nil {
+			return nil, err
+		}
+		th.Run(prog)
+		vals := make([]int64, len(e2Events))
+		if err := es.Stop(vals); err != nil {
+			return nil, err
+		}
+		cycles := cpu.Cycles() - startCyc
+		after := make([]uint64, len(e2Events))
+		snapshotTruth(cpu, after)
+
+		row := E2Row{N: n, Cycles: cycles}
+		// 6 slices of 2 events at `interval` cycles each.
+		nSlices := (len(e2Events) + 1) / 2
+		row.Rotations = float64(cycles) / float64(uint64(nSlices)*interval)
+		var sum float64
+		var cnt int
+		for i := range e2Events {
+			truth := after[i] - before[i]
+			// Truth for TOT_CYC/TOT_INS includes the library's own
+			// perturbation, which the estimator legitimately sees too;
+			// compare anyway — convergence dominates. Events too rare
+			// to fire during any slice (a handful of cold I-cache
+			// misses) cannot speak to convergence either way.
+			if truth < 1000 {
+				continue
+			}
+			if vals[i] == 0 {
+				row.Unmeasured++
+				continue
+			}
+			re := relErr(float64(vals[i]), float64(truth))
+			sum += re
+			cnt++
+			if re > row.MaxRelErr {
+				row.MaxRelErr = re
+			}
+		}
+		if cnt > 0 {
+			row.MeanRelErr = sum / float64(cnt)
+		}
+		res.Rows = append(res.Rows, row)
+		res.Slices = nSlices
+	}
+	return res, nil
+}
+
+func snapshotTruth(cpu *hwsim.CPU, dst []uint64) {
+	for i, e := range e2Events {
+		var v uint64
+		for _, s := range e.sigs {
+			v += cpu.Truth(s)
+		}
+		dst[i] = v
+	}
+}
+
+func (r *E2Result) table() *Table {
+	t := &Table{
+		ID:      "E2",
+		Title:   fmt.Sprintf("multiplexing 12 events on 2 counters (slice=%d cycles, %d slices)", r.Interval, r.Slices),
+		Claim:   "erroneous results occur when runtime is insufficient for estimates to converge (§2)",
+		Columns: []string{"matmul N", "cycles", "rotations", "mean rel.err", "max rel.err", "unmeasured"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(fmt.Sprintf("%d", row.N), u64(row.Cycles), f2(row.Rotations),
+			pct(row.MeanRelErr), pct(row.MaxRelErr), fmt.Sprintf("%d", row.Unmeasured))
+	}
+	t.Notes = append(t.Notes, "unmeasured = events whose time slice never became active before the program ended")
+	return t
+}

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/alloc"
+	"repro/internal/hwsim"
+)
+
+// E4Row summarizes one architecture's allocation comparison.
+type E4Row struct {
+	Platform      string
+	Counters      int
+	Trials        int
+	GreedyOK      int
+	OptimalOK     int
+	Recovered     int // sets only the optimal allocator could map fully
+	MeanMapGreedy float64
+	MeanMapOpt    float64
+}
+
+// E4Result reproduces §5: counter allocation cast as bipartite graph
+// matching. The optimal matching algorithm shipped in PAPI 2.3 maps
+// every event set a first-fit allocator can, plus the sets first-fit
+// loses to placement mistakes.
+type E4Result struct {
+	Rows []E4Row
+	// WeightDemo shows the max-weight variant preferring a
+	// high-priority event under conflict.
+	WeightDemo string
+}
+
+// E4 runs the allocation comparison on randomized event subsets of
+// every architecture's real native-event tables.
+func E4() (*E4Result, error) {
+	res := &E4Result{}
+	const trials = 3000
+	rng := uint64(0xa110c)
+	next := func(n int) int {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return int(rng % uint64(n))
+	}
+	for _, a := range hwsim.Architectures() {
+		if len(a.Groups) > 0 {
+			continue // group-constrained platforms measured separately below
+		}
+		row := E4Row{Platform: a.Platform, Counters: a.NumCounters, Trials: trials}
+		var mapG, mapO int
+		for trial := 0; trial < trials; trial++ {
+			k := 2 + next(a.NumCounters)
+			items := make([]alloc.Item, 0, k)
+			used := map[int]bool{}
+			for len(items) < k {
+				i := next(len(a.Events))
+				if used[i] {
+					continue
+				}
+				used[i] = true
+				items = append(items, alloc.Item{ID: a.Events[i].Code, Mask: a.Events[i].CounterMask, Weight: 1})
+			}
+			grd, gok := alloc.GreedyFirstFit(items, a.NumCounters)
+			opt := alloc.MaxCardinality(items, a.NumCounters)
+			ook := opt.Mapped == len(items)
+			if gok {
+				row.GreedyOK++
+			}
+			if ook {
+				row.OptimalOK++
+			}
+			if ook && !gok {
+				row.Recovered++
+			}
+			if opt.Mapped < grd.Mapped {
+				return nil, fmt.Errorf("E4: optimal mapped fewer than greedy on %s", a.Platform)
+			}
+			mapG += grd.Mapped
+			mapO += opt.Mapped
+		}
+		row.MeanMapGreedy = float64(mapG) / trials
+		row.MeanMapOpt = float64(mapO) / trials
+		res.Rows = append(res.Rows, row)
+	}
+	// Max-weight demo: two counter-0-only events with unequal priority
+	// on the P6; the heavy one must win the counter.
+	x86, _ := hwsim.ArchByPlatform(hwsim.PlatformLinuxX86)
+	flops, _ := x86.EventByName("FLOPS")
+	assist, _ := x86.EventByName("FP_ASSIST")
+	items := []alloc.Item{
+		{ID: assist.Code, Mask: assist.CounterMask, Weight: 1},
+		{ID: flops.Code, Mask: flops.CounterMask, Weight: 5},
+	}
+	w := alloc.MaxWeight(items, x86.NumCounters)
+	winner := "FP_ASSIST"
+	if w.Counter[1] == 0 {
+		winner = "FLOPS"
+	}
+	res.WeightDemo = fmt.Sprintf("max-weight on P6 counter 0 conflict: %s (weight 5) wins over FP_ASSIST (weight 1), total weight %d", winner, w.Weight)
+	return res, nil
+}
+
+func (r *E4Result) table() *Table {
+	t := &Table{
+		ID:      "E4",
+		Title:   "counter allocation: optimal bipartite matching vs first-fit",
+		Claim:   "the counter allocation problem is bipartite graph matching; an optimal algorithm shipped in PAPI 2.3 (§5)",
+		Columns: []string{"platform", "ctrs", "trials", "first-fit ok", "matching ok", "recovered", "mean mapped ff", "mean mapped opt"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Platform, fmt.Sprintf("%d", row.Counters), fmt.Sprintf("%d", row.Trials),
+			fmt.Sprintf("%d", row.GreedyOK), fmt.Sprintf("%d", row.OptimalOK),
+			fmt.Sprintf("%d", row.Recovered), f2(row.MeanMapGreedy), f2(row.MeanMapOpt))
+	}
+	t.Notes = append(t.Notes,
+		"recovered = event sets only the matching allocator maps fully",
+		r.WeightDemo,
+		"aix-power3 is excluded here: its group constraint is solved by the grouped allocator (see substrate tests)")
+	return t
+}

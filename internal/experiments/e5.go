@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"repro/papi"
+	"repro/workload"
+)
+
+// E5Row is one platform's attribution accuracy.
+type E5Row struct {
+	Platform   string
+	Mechanism  string // "ovf-interrupt" or "hw-sampling"
+	Hits       uint64
+	HotHits    uint64
+	PctCorrect float64
+}
+
+// E5Result reproduces §4's attribution discussion: on out-of-order
+// processors the program counter delivered with an overflow interrupt
+// is several instructions or basic blocks removed from the event's true
+// address; ProfileMe/EAR-style hardware sampling identifies the exact
+// instruction.
+type E5Result struct {
+	Rows []E5Row
+}
+
+// E5 profiles a kernel whose floating-point instructions all live in
+// one compact "hot" region and counts how many profile hits land there.
+func E5() (*E5Result, error) {
+	cases := []struct {
+		platform string
+		sampling bool
+	}{
+		{papi.PlatformCrayT3E, false},   // in-order, zero skid
+		{papi.PlatformLinuxX86, false},  // OOO, deep skid
+		{papi.PlatformIRIXMips, false},  // OOO, moderate skid
+		{papi.PlatformTru64Alpha, true}, // ProfileMe via DADD
+		{papi.PlatformLinuxIA64, true},  // event address registers
+	}
+	res := &E5Result{}
+	for _, c := range cases {
+		row, err := e5One(c.platform, c.sampling)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, *row)
+	}
+	return res, nil
+}
+
+func e5One(platform string, sampling bool) (*E5Row, error) {
+	opts := papi.Options{Platform: platform}
+	mech := "ovf-interrupt"
+	if sampling {
+		opts.SamplingPeriod = 256
+		mech = "hw-sampling"
+	}
+	sys, err := papi.Init(opts)
+	if err != nil {
+		return nil, err
+	}
+	th := sys.Main()
+	prog := workload.HotColdLoop(workload.HotColdConfig{Iters: 60_000, Hot: 4, Cold: 16})
+	regions := prog.Regions()
+	hot := regions[0]
+	lo, hi := regions[0].Lo, regions[len(regions)-1].Hi
+	hist, err := papi.NewProfileCovering(lo, hi, 4) // one bucket per instruction
+	if err != nil {
+		return nil, err
+	}
+	es := th.NewEventSet()
+	if err := es.Add(papi.FP_INS); err != nil {
+		return nil, err
+	}
+	if err := es.Profil(hist, papi.FP_INS, 500); err != nil {
+		return nil, err
+	}
+	if err := es.Start(); err != nil {
+		return nil, err
+	}
+	th.Run(prog)
+	if err := es.Stop(nil); err != nil {
+		return nil, err
+	}
+	row := &E5Row{Platform: platform, Mechanism: mech}
+	for i, h := range hist.Buckets {
+		blo, _ := hist.AddrRange(i)
+		row.Hits += h
+		if hot.Contains(blo) {
+			row.HotHits += h
+		}
+	}
+	row.Hits += hist.Outside
+	if row.Hits > 0 {
+		row.PctCorrect = float64(row.HotHits) / float64(row.Hits)
+	}
+	return row, nil
+}
+
+func (r *E5Result) table() *Table {
+	t := &Table{
+		ID:      "E5",
+		Title:   "profil attribution: hits landing on the true (FP) instructions",
+		Claim:   "interrupt PCs skid on OOO processors; hardware sampling gives exact addresses (§4)",
+		Columns: []string{"platform", "mechanism", "profile hits", "in hot region", "correct"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Platform, row.Mechanism, u64(row.Hits), u64(row.HotHits), pct(row.PctCorrect))
+	}
+	t.Notes = append(t.Notes,
+		"the kernel's FP instructions occupy a 4-instruction hot region followed by 16 integer instructions")
+	return t
+}

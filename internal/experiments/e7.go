@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/papi"
+	"repro/workload"
+)
+
+// E7Row is one FMA platform's normalization measurement.
+type E7Row struct {
+	Platform string
+	FMA      int64
+	FPIns    int64
+	FPOps    int64
+	Ratio    float64 // FP_OPS / FMA_INS
+	MFLOPS   float64 // from the high-level PAPI_flops call
+}
+
+// E7Result reproduces §4's PAPI_flops normalization: the high-level
+// call "sometimes entails multiplying the measured counts by a factor
+// of two to count floating-point multiply-add instructions as two
+// floating point operations".
+type E7Result struct {
+	N    int
+	Rows []E7Row
+}
+
+// E7 runs an FMA matmul on both FMA platforms and compares raw
+// instruction counts with normalized operation counts.
+func E7() (*E7Result, error) {
+	const n = 24
+	res := &E7Result{N: n}
+	for _, platform := range []string{papi.PlatformAIXPower3, papi.PlatformLinuxIA64} {
+		sys, err := papi.Init(papi.Options{Platform: platform})
+		if err != nil {
+			return nil, err
+		}
+		th := sys.Main()
+		prog := workload.MatMul(workload.MatMulConfig{N: n, UseFMA: true})
+		es := th.NewEventSet()
+		if err := es.AddAll(papi.FMA_INS, papi.FP_INS, papi.FP_OPS); err != nil {
+			return nil, err
+		}
+		if err := es.Start(); err != nil {
+			return nil, err
+		}
+		th.Run(prog)
+		vals := make([]int64, 3)
+		if err := es.Stop(vals); err != nil {
+			return nil, err
+		}
+		row := E7Row{Platform: platform, FMA: vals[0], FPIns: vals[1], FPOps: vals[2]}
+		if vals[0] > 0 {
+			row.Ratio = float64(vals[2]) / float64(vals[0])
+		}
+		// The high-level call on a fresh run.
+		prog.Reset()
+		if _, err := th.Flops(); err != nil {
+			return nil, err
+		}
+		th.Run(prog)
+		rr, err := th.Flops()
+		if err != nil {
+			return nil, err
+		}
+		if err := th.StopRate(); err != nil {
+			return nil, err
+		}
+		row.MFLOPS = rr.Rate
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func (r *E7Result) table() *Table {
+	t := &Table{
+		ID:      "E7",
+		Title:   fmt.Sprintf("PAPI_flops normalization, FMA matmul N=%d (N³=%d FMAs)", r.N, r.N*r.N*r.N),
+		Claim:   "PAPI_flops counts a fused multiply-add as two floating-point operations (§4)",
+		Columns: []string{"platform", "FMA_INS", "FP_INS", "FP_OPS", "FP_OPS/FMA", "flops-call MFLOPS"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Platform, i64(row.FMA), i64(row.FPIns), i64(row.FPOps), f2(row.Ratio), f2(row.MFLOPS))
+	}
+	return t
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+
+	"repro/papi"
+	"repro/tools/dynaprof"
+	"repro/tools/perfometer"
+	"repro/workload"
+)
+
+// F2Result regenerates Figure 2: perfometer's real-time FLOP-rate
+// trace of a running application, here a phased program whose memory-
+// bound middle phase shows up as the visible bottleneck dip. The
+// application is attached through dynaprof's perfometer probe, so the
+// section (color) labels change at function boundaries without source
+// modification — exactly the workflow §2 describes.
+type F2Result struct {
+	Front     *perfometer.Frontend
+	Sparkline string
+	Buckets   []f2Bucket
+}
+
+type f2Bucket struct {
+	usec    uint64
+	mflops  float64
+	section string
+}
+
+// F2 runs the phased program under a perfometer backend and collects
+// the trace a frontend would display.
+func F2() (*F2Result, error) {
+	sys, err := papi.Init(papi.Options{Platform: papi.PlatformAIXPower3})
+	if err != nil {
+		return nil, err
+	}
+	th := sys.Main()
+	exe, err := dynaprof.NewExecutable("app", "main",
+		&dynaprof.Func{Name: "main", Body: []dynaprof.Stmt{
+			dynaprof.CallStmt{Callee: "compute_a"},
+			dynaprof.CallStmt{Callee: "gather"},
+			dynaprof.CallStmt{Callee: "compute_b"},
+		}},
+		&dynaprof.Func{Name: "compute_a", Body: []dynaprof.Stmt{
+			dynaprof.RunStmt{Prog: workload.MatMul(workload.MatMulConfig{N: 56, UseFMA: true})},
+		}},
+		&dynaprof.Func{Name: "gather", Body: []dynaprof.Stmt{
+			dynaprof.RunStmt{Prog: workload.PointerChase(workload.ChaseConfig{Nodes: 1 << 14, Steps: 400_000})},
+		}},
+		&dynaprof.Func{Name: "compute_b", Body: []dynaprof.Stmt{
+			dynaprof.RunStmt{Prog: workload.MatMul(workload.MatMulConfig{N: 56, UseFMA: true})},
+		}},
+	)
+	if err != nil {
+		return nil, err
+	}
+	backend := perfometer.NewBackend(th, papi.FP_OPS, 150_000)
+	prof := dynaprof.Attach(exe)
+	if err := prof.Instrument("*", &perfometer.SectionProbe{Backend: backend}); err != nil {
+		return nil, err
+	}
+	var wire bytes.Buffer
+	if err := backend.RunInstrumented(&wire, func() error { return prof.Run(th) }); err != nil {
+		return nil, err
+	}
+	front := &perfometer.Frontend{}
+	if err := front.Consume(bytes.NewReader(wire.Bytes())); err != nil {
+		return nil, err
+	}
+	res := &F2Result{Front: front, Sparkline: front.Sparkline(64)}
+	// Downsample the trace into ~16 display buckets.
+	pts := front.Points
+	const buckets = 16
+	for i := 0; i < buckets && len(pts) > 0; i++ {
+		lo, hi := i*len(pts)/buckets, (i+1)*len(pts)/buckets
+		if hi == lo {
+			hi = lo + 1
+		}
+		var sum float64
+		for _, p := range pts[lo:hi] {
+			sum += p.Rate
+		}
+		res.Buckets = append(res.Buckets, f2Bucket{
+			usec:    pts[hi-1].RealUsec,
+			mflops:  sum / float64(hi-lo) / 1e6,
+			section: pts[hi-1].Section,
+		})
+	}
+	return res, nil
+}
+
+func (r *F2Result) table() *Table {
+	t := &Table{
+		ID:      "F2",
+		Title:   "perfometer: real-time FLOP-rate trace of a phased application",
+		Claim:   "perfometer provides a runtime trace of a user-selected PAPI metric (Figure 2)",
+		Columns: []string{"t (usec)", "MFLOP/s", "section"},
+	}
+	for _, b := range r.Buckets {
+		bar := strings.Repeat("#", int(b.mflops/8)+1)
+		t.AddRow(u64(b.usec), f2(b.mflops), fmt.Sprintf("%-10s %s", b.section, bar))
+	}
+	t.Notes = append(t.Notes,
+		"trace: "+r.Sparkline,
+		"the dip is the memory-bound gather phase — the bottleneck perfometer exists to expose")
+	return t
+}

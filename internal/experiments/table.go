@@ -1,0 +1,137 @@
+// Package experiments regenerates every quantitative claim, table and
+// figure of the paper's evaluation as a reproducible experiment. Each
+// experiment returns a Table (the printable rows) plus a typed result
+// the shape tests assert against; cmd/experiments prints them and the
+// root bench harness wraps each in a testing.B benchmark. The index in
+// DESIGN.md maps experiment IDs to paper sections.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one experiment's printable result.
+type Table struct {
+	ID      string
+	Title   string
+	Claim   string // the paper statement being reproduced
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	if t.Claim != "" {
+		fmt.Fprintf(&b, "paper: %s\n", t.Claim)
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+func pct(x float64) string { return fmt.Sprintf("%.2f%%", x*100) }
+func f2(x float64) string  { return fmt.Sprintf("%.2f", x) }
+func u64(x uint64) string  { return fmt.Sprintf("%d", x) }
+func i64(x int64) string   { return fmt.Sprintf("%d", x) }
+func relErr(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d / b
+}
+
+// Runner produces one experiment.
+type Runner struct {
+	ID   string
+	Name string
+	Run  func() (*Table, error)
+}
+
+// All lists every experiment in presentation order.
+func All() []Runner {
+	return []Runner{
+		{"E1", "calibration: sampling vs direct counting", func() (*Table, error) { r, err := E1(); return tbl(r, err) }},
+		{"E2", "multiplexing error vs runtime", func() (*Table, error) { r, err := E2(); return tbl(r, err) }},
+		{"E3", "read overhead vs instrumentation granularity", func() (*Table, error) { r, err := E3(); return tbl(r, err) }},
+		{"E4", "counter allocation: optimal matching vs first-fit", func() (*Table, error) { r, err := E4(); return tbl(r, err) }},
+		{"E5", "profiling attribution: interrupt skid vs hardware sampling", func() (*Table, error) { r, err := E5(); return tbl(r, err) }},
+		{"E6", "POWER3 FP instruction discrepancy", func() (*Table, error) { r, err := E6(); return tbl(r, err) }},
+		{"E7", "PAPI_flops normalization on FMA hardware", func() (*Table, error) { r, err := E7(); return tbl(r, err) }},
+		{"E8", "portable timers: resolution, cost, real vs virtual", func() (*Table, error) { r, err := E8(); return tbl(r, err) }},
+		{"E9", "ablation: overlapping EventSets (v2) vs exclusive (v3)", func() (*Table, error) { r, err := E9(); return tbl(r, err) }},
+		{"E10", "papi_cost: start/read/stop/reset cycles per substrate", func() (*Table, error) { r, err := E10(); return tbl(r, err) }},
+		{"E11", "PAPI 3 memory utilization extensions", func() (*Table, error) { r, err := E11(); return tbl(r, err) }},
+		{"F2", "perfometer real-time FLOP-rate trace", func() (*Table, error) { r, err := F2(); return tbl(r, err) }},
+		{"E12", "TAU multi-metric correlation per region", func() (*Table, error) { r, err := E12(); return tbl(r, err) }},
+		{"A1", "ablation: multiplex slice length", func() (*Table, error) { r, err := A1(); return tbl(r, err) }},
+		{"A2", "ablation: hardware sampling period", func() (*Table, error) { r, err := A2(); return tbl(r, err) }},
+	}
+}
+
+// Render runs the experiment with the given ID (case-sensitive, e.g.
+// "E4") and returns its rendered table.
+func Render(id string) (string, error) {
+	for _, r := range All() {
+		if r.ID == id {
+			t, err := r.Run()
+			if err != nil {
+				return "", err
+			}
+			return t.String(), nil
+		}
+	}
+	return "", fmt.Errorf("experiments: unknown experiment %q", id)
+}
+
+// tabler is any typed experiment result carrying its printable table.
+type tabler interface{ table() *Table }
+
+func tbl(r tabler, err error) (*Table, error) {
+	if err != nil {
+		return nil, err
+	}
+	return r.table(), nil
+}

@@ -1,0 +1,156 @@
+package hwsim
+
+import "fmt"
+
+// NativeEvent is one event a PMU register can be programmed to count,
+// as exposed by a platform's native counter interface. Signals is the
+// set of internal signals the event fires on (composite events, such as
+// POWER3's floating-point unit event that includes rounding
+// instructions, carry several bits). CounterMask restricts the physical
+// counters able to count the event: bit i set means physical counter i
+// can host it.
+type NativeEvent struct {
+	Code        uint32
+	Name        string
+	Desc        string
+	Signals     SignalMask
+	CounterMask uint32
+}
+
+// Arch describes one simulated architecture: its pipeline costs, memory
+// hierarchy, PMU geometry, the cost (in cycles, charged to the running
+// program) of each native counter-interface operation, and its native
+// event table. These cost knobs are how the paper's per-platform access
+// mechanisms (register-level ops on the T3E, a kernel patch on
+// Linux/x86, vendor libraries on AIX, DADD sampling on Tru64) are
+// modelled.
+type Arch struct {
+	Name     string // e.g. "Intel P6"
+	Platform string // PAPI platform key, e.g. "linux-x86"
+	ClockMHz int
+
+	// PMU geometry.
+	NumCounters  int
+	CounterWidth uint // bits per physical counter (values wrap)
+
+	// Pipeline model.
+	Latency           [NumOps]uint32
+	L1MissPenalty     uint32
+	L2MissPenalty     uint32
+	TLBMissPenalty    uint32
+	MispredictPenalty uint32
+	OutOfOrder        bool
+	SkidMin, SkidMax  int // PC skid, in instructions, of overflow interrupts
+
+	// Memory hierarchy.
+	L1D, L1I, L2     CacheConfig
+	TLBEntries       int
+	PageBytes        int
+	PredictorEntries int
+
+	// Native counter-interface access costs, in cycles.
+	StartCost     uint64
+	StopCost      uint64
+	ReadCost      uint64
+	ResetCost     uint64
+	InterruptCost uint64 // per overflow interrupt delivered
+	SwitchCost    uint64 // reprogramming counters (multiplex slice switch)
+	TimerCost     uint64 // reading the platform's cheapest timer
+
+	// Hardware sampling engine (Alpha ProfileMe / Itanium EAR style).
+	HWSampling       bool
+	SampleBufEntries int    // samples buffered in hardware before a drain interrupt
+	SampleDrainCost  uint64 // cycles per drain interrupt
+
+	HasFMA bool
+
+	Events []NativeEvent
+	// Groups, when non-nil, lists the allowed co-scheduling groups of
+	// native event codes (AIX/POWER-style): every event counted
+	// simultaneously must belong to a single group.
+	Groups [][]uint32
+}
+
+// Validate checks internal consistency of the architecture definition.
+func (a *Arch) Validate() error {
+	if a.Name == "" || a.Platform == "" {
+		return fmt.Errorf("hwsim: arch missing name/platform")
+	}
+	if a.NumCounters <= 0 || a.NumCounters > 32 {
+		return fmt.Errorf("hwsim: %s: NumCounters %d out of range", a.Platform, a.NumCounters)
+	}
+	if a.CounterWidth < 16 || a.CounterWidth > 64 {
+		return fmt.Errorf("hwsim: %s: CounterWidth %d out of range", a.Platform, a.CounterWidth)
+	}
+	if !a.L1D.Valid() || !a.L1I.Valid() || !a.L2.Valid() {
+		return fmt.Errorf("hwsim: %s: invalid cache geometry", a.Platform)
+	}
+	if a.TLBEntries <= 0 || a.PageBytes <= 0 {
+		return fmt.Errorf("hwsim: %s: invalid TLB geometry", a.Platform)
+	}
+	if a.SkidMin < 0 || a.SkidMax < a.SkidMin {
+		return fmt.Errorf("hwsim: %s: invalid skid range [%d,%d]", a.Platform, a.SkidMin, a.SkidMax)
+	}
+	if a.HWSampling && a.SampleBufEntries <= 0 {
+		return fmt.Errorf("hwsim: %s: HWSampling requires SampleBufEntries > 0", a.Platform)
+	}
+	allCtrs := uint32(1)<<a.NumCounters - 1
+	seen := make(map[uint32]bool, len(a.Events))
+	names := make(map[string]bool, len(a.Events))
+	for _, ev := range a.Events {
+		if seen[ev.Code] {
+			return fmt.Errorf("hwsim: %s: duplicate native event code %#x", a.Platform, ev.Code)
+		}
+		seen[ev.Code] = true
+		if names[ev.Name] {
+			return fmt.Errorf("hwsim: %s: duplicate native event name %q", a.Platform, ev.Name)
+		}
+		names[ev.Name] = true
+		if ev.Signals == 0 {
+			return fmt.Errorf("hwsim: %s: native event %s has empty signal mask", a.Platform, ev.Name)
+		}
+		if ev.CounterMask == 0 || ev.CounterMask&^allCtrs != 0 {
+			return fmt.Errorf("hwsim: %s: native event %s counter mask %#x invalid for %d counters",
+				a.Platform, ev.Name, ev.CounterMask, a.NumCounters)
+		}
+	}
+	for gi, g := range a.Groups {
+		if len(g) == 0 {
+			return fmt.Errorf("hwsim: %s: empty event group %d", a.Platform, gi)
+		}
+		for _, code := range g {
+			if !seen[code] {
+				return fmt.Errorf("hwsim: %s: group %d references unknown event %#x", a.Platform, gi, code)
+			}
+		}
+	}
+	for op := Op(0); op < NumOps; op++ {
+		if a.Latency[op] == 0 {
+			return fmt.Errorf("hwsim: %s: zero latency for op %s", a.Platform, op)
+		}
+	}
+	return nil
+}
+
+// EventByCode returns the native event with the given code.
+func (a *Arch) EventByCode(code uint32) (*NativeEvent, bool) {
+	for i := range a.Events {
+		if a.Events[i].Code == code {
+			return &a.Events[i], true
+		}
+	}
+	return nil, false
+}
+
+// EventByName returns the native event with the given name.
+func (a *Arch) EventByName(name string) (*NativeEvent, bool) {
+	for i := range a.Events {
+		if a.Events[i].Name == name {
+			return &a.Events[i], true
+		}
+	}
+	return nil, false
+}
+
+// CounterMaskAll returns the mask covering all physical counters.
+func (a *Arch) CounterMaskAll() uint32 { return uint32(1)<<a.NumCounters - 1 }

@@ -1,0 +1,114 @@
+package hwsim
+
+import "testing"
+
+func TestBuiltinArchitecturesValidate(t *testing.T) {
+	archs := Architectures()
+	if len(archs) != 8 {
+		t.Fatalf("expected 8 built-in architectures (the paper's platform list), got %d", len(archs))
+	}
+	for _, a := range archs {
+		if err := a.Validate(); err != nil {
+			t.Errorf("%s: %v", a.Platform, err)
+		}
+	}
+}
+
+func TestArchByPlatform(t *testing.T) {
+	for _, key := range Platforms() {
+		a, ok := ArchByPlatform(key)
+		if !ok || a.Platform != key {
+			t.Errorf("ArchByPlatform(%q) failed", key)
+		}
+	}
+	if _, ok := ArchByPlatform("windows-nt"); ok {
+		t.Error("unexpected platform found")
+	}
+}
+
+func TestEventLookups(t *testing.T) {
+	a, _ := ArchByPlatform(PlatformLinuxX86)
+	ev, ok := a.EventByName("FLOPS")
+	if !ok {
+		t.Fatal("FLOPS not found on linux-x86")
+	}
+	if ev.CounterMask != 0b01 {
+		t.Errorf("FLOPS counter mask = %#b, want 0b01 (counter-0-only P6 quirk)", ev.CounterMask)
+	}
+	ev2, ok := a.EventByCode(ev.Code)
+	if !ok || ev2.Name != "FLOPS" {
+		t.Error("EventByCode round-trip failed")
+	}
+	if _, ok := a.EventByName("NO_SUCH_EVENT"); ok {
+		t.Error("unexpected event found")
+	}
+}
+
+func TestEveryArchCoversCoreSignals(t *testing.T) {
+	// Every platform must expose at least cycles and instructions; the
+	// PAPI timers and TOT_INS/TOT_CYC presets depend on them.
+	needed := []Signal{SigCycles, SigInstrs}
+	for _, a := range Architectures() {
+		for _, want := range needed {
+			found := false
+			for _, ev := range a.Events {
+				if ev.Signals.Has(want) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("%s: no native event raises %v", a.Platform, want)
+			}
+		}
+	}
+}
+
+func TestGroupsReferenceValidEvents(t *testing.T) {
+	a, _ := ArchByPlatform(PlatformAIXPower3)
+	if len(a.Groups) == 0 {
+		t.Fatal("POWER3 must define event groups")
+	}
+	for gi, g := range a.Groups {
+		if len(g) > a.NumCounters {
+			t.Errorf("group %d has %d events but only %d counters", gi, len(g), a.NumCounters)
+		}
+	}
+}
+
+func TestValidateRejectsBadArch(t *testing.T) {
+	good := archLinuxX86()
+	bad := *good
+	bad.NumCounters = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("expected error for zero counters")
+	}
+	bad = *good
+	bad.SkidMin, bad.SkidMax = 5, 2
+	if err := bad.Validate(); err == nil {
+		t.Error("expected error for inverted skid range")
+	}
+	bad = *good
+	bad.Events = append([]NativeEvent{}, good.Events...)
+	bad.Events = append(bad.Events, NativeEvent{Code: bad.Events[0].Code, Name: "dup", Signals: 1, CounterMask: 1})
+	if err := bad.Validate(); err == nil {
+		t.Error("expected error for duplicate event code")
+	}
+}
+
+func TestSignalMaskOps(t *testing.T) {
+	m := Mask(SigFPAdd, SigFMA)
+	if !m.Has(SigFPAdd) || !m.Has(SigFMA) || m.Has(SigLoads) {
+		t.Error("mask membership wrong")
+	}
+	sigs := m.Signals()
+	if len(sigs) != 2 || sigs[0] != SigFPAdd || sigs[1] != SigFMA {
+		t.Errorf("Signals() = %v", sigs)
+	}
+	if m.String() != "FP_ADD+FMA" {
+		t.Errorf("String() = %q", m.String())
+	}
+	if SignalMask(0).String() != "NONE" {
+		t.Error("empty mask string")
+	}
+}

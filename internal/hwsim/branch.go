@@ -1,0 +1,41 @@
+package hwsim
+
+// branchPredictor is a classic table of 2-bit saturating counters
+// indexed by low PC bits. It is deliberately simple: the experiments
+// only need a realistic mispredict *rate*, not a competition-grade
+// predictor.
+type branchPredictor struct {
+	table []uint8 // 2-bit counters, 0..3; >=2 predicts taken
+	mask  uint64
+}
+
+func newBranchPredictor(entries int) *branchPredictor {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic("hwsim: predictor entries must be a positive power of two")
+	}
+	bp := &branchPredictor{table: make([]uint8, entries), mask: uint64(entries - 1)}
+	for i := range bp.table {
+		bp.table[i] = 1 // weakly not-taken
+	}
+	return bp
+}
+
+// predict consumes one branch at pc with the given outcome and reports
+// whether the prediction was correct. The counter is updated in place.
+func (b *branchPredictor) predict(pc uint64, taken bool) bool {
+	i := (pc >> 2) & b.mask
+	ctr := b.table[i]
+	predicted := ctr >= 2
+	if taken && ctr < 3 {
+		b.table[i] = ctr + 1
+	} else if !taken && ctr > 0 {
+		b.table[i] = ctr - 1
+	}
+	return predicted == taken
+}
+
+func (b *branchPredictor) reset() {
+	for i := range b.table {
+		b.table[i] = 1
+	}
+}

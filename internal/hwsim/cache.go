@@ -1,0 +1,128 @@
+package hwsim
+
+// CacheConfig describes the geometry of one cache level.
+type CacheConfig struct {
+	SizeBytes int // total capacity
+	LineBytes int // line size (power of two)
+	Ways      int // associativity (1 = direct mapped)
+}
+
+// Valid reports whether the geometry is internally consistent.
+func (c CacheConfig) Valid() bool {
+	if c.SizeBytes <= 0 || c.LineBytes <= 0 || c.Ways <= 0 {
+		return false
+	}
+	if c.LineBytes&(c.LineBytes-1) != 0 {
+		return false
+	}
+	sets := c.SizeBytes / (c.LineBytes * c.Ways)
+	return sets > 0 && sets&(sets-1) == 0
+}
+
+// cache is a set-associative cache with true-LRU replacement. Tags are
+// full line addresses biased by one, so the zero tag unambiguously
+// means "empty way" even when address 0 is accessed.
+type cache struct {
+	lineShift uint
+	setMask   uint64
+	ways      int
+	tags      []uint64 // sets × ways
+	age       []uint32 // LRU stamps, parallel to tags
+	clock     uint32
+
+	accesses uint64
+	misses   uint64
+}
+
+func newCache(cfg CacheConfig) *cache {
+	if !cfg.Valid() {
+		panic("hwsim: invalid cache config")
+	}
+	sets := cfg.SizeBytes / (cfg.LineBytes * cfg.Ways)
+	shift := uint(0)
+	for 1<<shift < cfg.LineBytes {
+		shift++
+	}
+	return &cache{
+		lineShift: shift,
+		setMask:   uint64(sets - 1),
+		ways:      cfg.Ways,
+		tags:      make([]uint64, sets*cfg.Ways),
+		age:       make([]uint32, sets*cfg.Ways),
+	}
+}
+
+// access probes the cache with a byte address and returns true on hit.
+// On miss the line is filled, evicting the LRU way.
+func (c *cache) access(addr uint64) bool {
+	line := addr>>c.lineShift + 1 // +1: zero stays the empty-way marker
+	set := int(line&c.setMask) * c.ways
+	c.clock++
+	c.accesses++
+	lru, lruAge := set, c.age[set]
+	for w := 0; w < c.ways; w++ {
+		i := set + w
+		if c.tags[i] == line {
+			c.age[i] = c.clock
+			return true
+		}
+		if c.age[i] < lruAge {
+			lru, lruAge = i, c.age[i]
+		}
+	}
+	c.misses++
+	c.tags[lru] = line
+	c.age[lru] = c.clock
+	return false
+}
+
+// reset empties the cache and zeroes its statistics.
+func (c *cache) reset() {
+	clear(c.tags)
+	clear(c.age)
+	c.clock, c.accesses, c.misses = 0, 0, 0
+}
+
+// tlb is a fully-associative translation buffer with LRU replacement.
+type tlb struct {
+	pageShift uint
+	entries   []uint64
+	age       []uint32
+	clock     uint32
+}
+
+func newTLB(entries int, pageBytes int) *tlb {
+	if entries <= 0 || pageBytes <= 0 || pageBytes&(pageBytes-1) != 0 {
+		panic("hwsim: invalid TLB config")
+	}
+	shift := uint(0)
+	for 1<<shift < pageBytes {
+		shift++
+	}
+	return &tlb{pageShift: shift, entries: make([]uint64, entries), age: make([]uint32, entries)}
+}
+
+// access probes the TLB with a byte address and returns true on hit.
+func (t *tlb) access(addr uint64) bool {
+	page := addr>>t.pageShift + 1 // +1 so page 0 is distinguishable from empty
+	t.clock++
+	lru, lruAge := 0, t.age[0]
+	for i, e := range t.entries {
+		if e == page {
+			t.age[i] = t.clock
+			return true
+		}
+		if t.age[i] < lruAge {
+			lru, lruAge = i, t.age[i]
+		}
+	}
+	t.entries[lru] = page
+	t.age[lru] = t.clock
+	return false
+}
+
+func (t *tlb) reset() {
+	clear(t.entries)
+	clear(t.age)
+	t.clock = 0
+}

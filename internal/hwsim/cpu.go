@@ -1,0 +1,391 @@
+package hwsim
+
+import "fmt"
+
+// Stream supplies instructions to a CPU. Next fills buf and returns the
+// number filled; returning 0 ends the stream. Implementations generate
+// instructions lazily so arbitrarily long programs run in constant
+// memory.
+type Stream interface {
+	Next(buf []Instr) int
+}
+
+// SliceStream adapts a fixed instruction slice into a Stream.
+type SliceStream struct {
+	Instrs []Instr
+	pos    int
+}
+
+// Next implements Stream.
+func (s *SliceStream) Next(buf []Instr) int {
+	n := copy(buf, s.Instrs[s.pos:])
+	s.pos += n
+	return n
+}
+
+// pendingOvf is an overflow interrupt in flight: on out-of-order cores
+// the interrupt is delivered `skid` retired instructions after the
+// event, and the PC reported is whatever instruction is retiring then.
+type pendingOvf struct {
+	reg  int
+	skid int
+}
+
+// CPU is one simulated core: pipeline cost model, private memory
+// hierarchy, branch predictor, PMU and optional hardware sampler. It is
+// not safe for concurrent use; the machine-independent layer gives each
+// simulated thread its own CPU, mirroring per-thread counter contexts.
+type CPU struct {
+	arch *Arch
+	pmu  *PMU
+	smp  *sampler
+
+	l1d, l1i, l2 *cache
+	dtlb         *tlb
+	bp           *branchPredictor
+	rng          rng
+
+	cycles  uint64 // virtual (process) cycles
+	stolen  uint64 // cycles consumed by simulated competing processes
+	retired uint64
+	truth   [NumSignals]uint64 // ground-truth signal totals, always counted
+
+	pending []pendingOvf
+
+	timerInterval uint64
+	timerNext     uint64
+	timerFn       func()
+	timerFiring   bool
+
+	stealQuantum uint64
+	stealAmount  uint64
+	nextSteal    uint64
+}
+
+// NewCPU builds a core for the given architecture. The seed drives every
+// stochastic choice (skid, sampling jitter) so runs are reproducible.
+func NewCPU(a *Arch, seed uint64) (*CPU, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	c := &CPU{
+		arch: a,
+		l1d:  newCache(a.L1D),
+		l1i:  newCache(a.L1I),
+		l2:   newCache(a.L2),
+		dtlb: newTLB(a.TLBEntries, a.PageBytes),
+		bp:   newBranchPredictor(a.PredictorEntries),
+		rng:  newRNG(seed),
+	}
+	c.pmu = newPMU(a)
+	c.smp = newSampler(&c.rng)
+	return c, nil
+}
+
+// MustNewCPU is NewCPU that panics on an invalid architecture; intended
+// for the package's own built-in architecture table.
+func MustNewCPU(a *Arch, seed uint64) *CPU {
+	c, err := NewCPU(a, seed)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Arch returns the architecture this core implements.
+func (c *CPU) Arch() *Arch { return c.arch }
+
+// PMU returns the core's performance monitoring unit.
+func (c *CPU) PMU() *PMU { return c.pmu }
+
+// Cycles returns the virtual cycles consumed by the simulated process.
+func (c *CPU) Cycles() uint64 { return c.cycles }
+
+// RealCycles returns wall-clock cycles: process cycles plus cycles
+// stolen by competing processes (see SetInterference).
+func (c *CPU) RealCycles() uint64 { return c.cycles + c.stolen }
+
+// Retired returns the number of retired instructions.
+func (c *CPU) Retired() uint64 { return c.retired }
+
+// Truth returns the ground-truth total of a signal since construction.
+// It exists for calibration and tests; real hardware has no such oracle.
+func (c *CPU) Truth(s Signal) uint64 { return c.truth[s] }
+
+// SetTimer installs a periodic cycle timer: fn runs every interval
+// cycles of process time. interval 0 removes the timer. The multiplexing
+// layer uses this as its time-slicing interrupt.
+func (c *CPU) SetTimer(interval uint64, fn func()) {
+	c.timerInterval = interval
+	c.timerFn = fn
+	if interval > 0 {
+		c.timerNext = c.cycles + interval
+	}
+}
+
+// SetInterference simulates a multi-user machine: every quantum cycles
+// of process progress, steal cycles of wall-clock time go to other
+// processes. Virtual time excludes them; real time includes them.
+func (c *CPU) SetInterference(quantum, steal uint64) {
+	c.stealQuantum = quantum
+	c.stealAmount = steal
+	if quantum > 0 {
+		c.nextSteal = c.cycles + quantum
+	}
+}
+
+// ConfigureSampling arms the hardware sampling engine (ProfileMe/EAR
+// style) with a mean period in instructions. Returns an error on
+// architectures without hardware sampling support.
+func (c *CPU) ConfigureSampling(period int, h DrainHandler) error {
+	if !c.arch.HWSampling {
+		return fmt.Errorf("hwsim: %s has no hardware sampling support", c.arch.Platform)
+	}
+	if period <= 0 {
+		return fmt.Errorf("hwsim: sampling period must be positive")
+	}
+	c.smp.configure(period, c.arch.SampleBufEntries, h)
+	return nil
+}
+
+// DisableSampling stops the sampling engine, flushing buffered samples.
+func (c *CPU) DisableSampling() {
+	c.smp.drain()
+	c.smp.disable()
+}
+
+// FlushSamples drains any buffered samples to the handler immediately,
+// charging the drain interrupt cost. Returns the samples drained.
+func (c *CPU) FlushSamples() int {
+	n := c.smp.drain()
+	if n > 0 {
+		c.advanceMode(c.arch.SampleDrainCost, DomainKernel)
+	}
+	return n
+}
+
+// SamplesTaken returns the number of hardware samples taken since the
+// sampler was configured.
+func (c *CPU) SamplesTaken() uint64 { return c.smp.taken }
+
+// ResetMemorySystem empties caches, TLB and branch predictor state, so
+// experiments can start from a cold machine.
+func (c *CPU) ResetMemorySystem() {
+	c.l1d.reset()
+	c.l1i.reset()
+	c.l2.reset()
+	c.dtlb.reset()
+	c.bp.reset()
+}
+
+// Charge consumes library-overhead work on this core: the given number
+// of cycles and instructions are executed on behalf of the measurement
+// infrastructure itself. Like real hardware, running counters observe
+// this perturbation.
+func (c *CPU) Charge(cycles, instrs uint64) {
+	if instrs > 0 {
+		c.truth[SigInstrs] += instrs
+		c.truth[SigIntOps] += instrs
+		if c.pmu.running {
+			c.pmu.add(SigInstrs, instrs, DomainKernel)
+			c.pmu.add(SigIntOps, instrs, DomainKernel)
+		}
+		c.retired += instrs
+	}
+	c.advanceMode(cycles, DomainKernel)
+}
+
+// advance moves user-mode time forward (see advanceMode).
+func (c *CPU) advance(n uint64) { c.advanceMode(n, DomainUser) }
+
+// advanceMode moves time forward by n cycles in the given execution
+// mode, raising SigCycles and firing the periodic timer / interference
+// model as thresholds pass.
+func (c *CPU) advanceMode(n uint64, mode Domain) {
+	if n == 0 {
+		return
+	}
+	c.cycles += n
+	c.truth[SigCycles] += n
+	if c.pmu.running {
+		c.pmu.add(SigCycles, n, mode)
+	}
+	if c.stealQuantum > 0 {
+		for c.cycles >= c.nextSteal {
+			c.stolen += c.stealAmount
+			c.nextSteal += c.stealQuantum
+		}
+	}
+	// The firing guard prevents re-entry: a tick handler that charges
+	// cycles (reading counters costs time) must not recursively fire
+	// the next tick from inside its own Charge.
+	if c.timerFn != nil && c.timerInterval > 0 && !c.timerFiring {
+		c.timerFiring = true
+		for c.cycles >= c.timerNext {
+			c.timerNext += c.timerInterval
+			c.timerFn()
+		}
+		c.timerFiring = false
+	}
+}
+
+// Run executes the stream to completion.
+func (c *CPU) Run(s Stream) {
+	var buf [256]Instr
+	for {
+		n := s.Next(buf[:])
+		if n == 0 {
+			return
+		}
+		c.ExecSlice(buf[:n])
+	}
+}
+
+// ExecSlice executes the instructions in order.
+func (c *CPU) ExecSlice(instrs []Instr) {
+	for i := range instrs {
+		c.exec(&instrs[i])
+	}
+}
+
+// exec retires one instruction: costs, memory system, signals, PMU,
+// overflow skid, sampling.
+func (c *CPU) exec(in *Instr) {
+	a := c.arch
+	cost := a.Latency[in.Op]
+	var sigs SignalMask
+	var ovf uint32
+
+	// Instruction fetch through the I-cache.
+	if !c.l1i.access(in.Addr) {
+		sigs |= 1 << SigL1IMiss
+		cost += a.L1MissPenalty
+		sigs |= 1 << SigL2Access
+		if !c.l2.access(in.Addr) {
+			sigs |= 1 << SigL2Miss
+			cost += a.L2MissPenalty
+		}
+	}
+
+	sigs |= 1 << SigInstrs
+	switch in.Op {
+	case OpInt, OpNop:
+		sigs |= 1 << SigIntOps
+	case OpLoad:
+		sigs |= 1 << SigLoads
+		cost += c.dataAccess(in.Mem, &sigs)
+	case OpStore:
+		sigs |= 1 << SigStores
+		cost += c.dataAccess(in.Mem, &sigs)
+	case OpFPAdd:
+		sigs |= 1 << SigFPAdd
+	case OpFPMul:
+		sigs |= 1 << SigFPMul
+	case OpFPDiv:
+		sigs |= 1 << SigFPDiv
+	case OpFMA:
+		sigs |= 1 << SigFMA
+	case OpFPRound:
+		sigs |= 1 << SigFPRound
+	case OpBranch:
+		sigs |= 1 << SigBranch
+		if in.Taken {
+			sigs |= 1 << SigBranchTaken
+		}
+		if !c.bp.predict(in.Addr, in.Taken) {
+			sigs |= 1 << SigBranchMiss
+			cost += a.MispredictPenalty
+		}
+	}
+
+	stall := uint64(cost - a.Latency[in.Op])
+
+	// Raise all per-instruction signals on truth counters and the PMU.
+	running := c.pmu.running
+	for s := Signal(0); s < NumSignals; s++ {
+		if sigs&(1<<s) == 0 {
+			continue
+		}
+		c.truth[s]++
+		if running {
+			ovf |= c.pmu.add(s, 1, DomainUser)
+		}
+	}
+	if stall > 0 {
+		c.truth[SigStallCycles] += stall
+		if running {
+			ovf |= c.pmu.add(SigStallCycles, stall, DomainUser)
+		}
+		sigs |= 1 << SigStallCycles
+	}
+
+	c.retired++
+	c.advance(uint64(cost))
+
+	// Overflow interrupts: immediate on in-order cores, skidded on OOO.
+	if ovf != 0 {
+		for r := 0; r < len(c.pmu.regs); r++ {
+			if ovf&(1<<uint(r)) == 0 {
+				continue
+			}
+			skid := a.SkidMin
+			if a.SkidMax > a.SkidMin {
+				skid += c.rng.intn(a.SkidMax - a.SkidMin + 1)
+			}
+			if skid == 0 {
+				c.deliverOverflow(in.Addr, r)
+			} else {
+				c.pending = append(c.pending, pendingOvf{reg: r, skid: skid})
+			}
+		}
+	}
+	if len(c.pending) > 0 {
+		kept := c.pending[:0]
+		for _, p := range c.pending {
+			p.skid--
+			if p.skid <= 0 {
+				c.deliverOverflow(in.Addr, p.reg)
+			} else {
+				kept = append(kept, p)
+			}
+		}
+		c.pending = kept
+	}
+
+	// Hardware sampling engine.
+	if c.smp.enabled && c.smp.step(in.Addr, in.Op, sigs, cost) {
+		c.advanceMode(a.SampleDrainCost, DomainKernel)
+		c.smp.drain()
+	}
+}
+
+// dataAccess runs a load/store address through DTLB, L1D and L2,
+// returning the added stall cycles and accumulating miss signals.
+func (c *CPU) dataAccess(addr uint64, sigs *SignalMask) uint32 {
+	a := c.arch
+	var extra uint32
+	if !c.dtlb.access(addr) {
+		*sigs |= 1 << SigTLBDMiss
+		extra += a.TLBMissPenalty
+	}
+	*sigs |= 1 << SigL1DAccess
+	if !c.l1d.access(addr) {
+		*sigs |= 1 << SigL1DMiss
+		extra += a.L1MissPenalty
+		*sigs |= 1 << SigL2Access
+		if !c.l2.access(addr) {
+			*sigs |= 1 << SigL2Miss
+			extra += a.L2MissPenalty
+		}
+	}
+	return extra
+}
+
+// deliverOverflow charges the interrupt cost (kernel mode) and invokes
+// the handler.
+func (c *CPU) deliverOverflow(pc uint64, reg int) {
+	c.advanceMode(c.arch.InterruptCost, DomainKernel)
+	if h := c.pmu.handler; h != nil {
+		h(pc, reg)
+	}
+}

@@ -1,0 +1,128 @@
+package hwsim
+
+import "testing"
+
+func TestOpMetadata(t *testing.T) {
+	if OpFMA.String() != "fma" || OpBranch.String() != "branch" {
+		t.Error("op names")
+	}
+	if Op(200).String() != "op?" {
+		t.Error("unknown op name")
+	}
+	for _, op := range []Op{OpFPAdd, OpFPMul, OpFPDiv, OpFMA, OpFPRound} {
+		if !op.IsFP() {
+			t.Errorf("%v should be FP", op)
+		}
+	}
+	for _, op := range []Op{OpInt, OpLoad, OpStore, OpBranch, OpNop} {
+		if op.IsFP() {
+			t.Errorf("%v should not be FP", op)
+		}
+	}
+	if Signal(250).String() != "SIG_UNKNOWN" {
+		t.Error("unknown signal name")
+	}
+}
+
+func TestSkidWithinConfiguredBounds(t *testing.T) {
+	// Property of the skid model: on the P6 (skid 4..12) the reported
+	// PC is always 4..12 instructions after the overflowing one.
+	a, _ := ArchByPlatform(PlatformLinuxX86)
+	c := MustNewCPU(a, 77)
+	fl, _ := a.EventByName("FLOPS")
+	if err := c.PMU().Program(map[int]NativeEvent{0: *fl}); err != nil {
+		t.Fatal(err)
+	}
+	// A long straight run so skidded PCs stay inside the block.
+	const n = 40_000
+	instrs := make([]Instr, n)
+	for i := range instrs {
+		op := OpInt
+		if i%8 == 0 {
+			op = OpFPAdd
+		}
+		instrs[i] = Instr{Op: op, Addr: 0x400000 + uint64(i)*InstrBytes}
+	}
+	var violations, fires int
+	c.PMU().SetHandler(func(pc uint64, reg int) {
+		fires++
+		idx := int(pc-0x400000) / InstrBytes
+		// The event instruction is the nearest FP instruction at least
+		// SkidMin back; distance to it must be within [SkidMin, SkidMax].
+		lo, hi := false, false
+		for d := a.SkidMin; d <= a.SkidMax; d++ {
+			j := idx - d
+			if j >= 0 && instrs[j].Op == OpFPAdd {
+				lo = true
+			}
+			hi = true
+		}
+		if !(lo && hi) {
+			violations++
+		}
+	})
+	c.PMU().SetOverflow(0, 500)
+	c.PMU().Start()
+	c.Run(&SliceStream{Instrs: instrs})
+	if fires == 0 {
+		t.Fatal("no overflows")
+	}
+	if violations != 0 {
+		t.Errorf("%d/%d interrupts outside the configured skid window", violations, fires)
+	}
+}
+
+func TestSamplesTakenAndReset(t *testing.T) {
+	a, _ := ArchByPlatform(PlatformTru64Alpha)
+	c := MustNewCPU(a, 78)
+	if err := c.ConfigureSampling(100, func([]Sample) {}); err != nil {
+		t.Fatal(err)
+	}
+	instrs := make([]Instr, 10_000)
+	for i := range instrs {
+		instrs[i] = Instr{Op: OpInt, Addr: 0x400000}
+	}
+	c.Run(&SliceStream{Instrs: instrs})
+	taken := c.SamplesTaken()
+	if taken < 80 || taken > 120 {
+		t.Errorf("samples taken = %d, want ~100", taken)
+	}
+	c.DisableSampling()
+	c.Run(&SliceStream{Instrs: instrs})
+	if c.SamplesTaken() != taken {
+		t.Error("sampler still taking samples after disable")
+	}
+}
+
+func TestResetMemorySystem(t *testing.T) {
+	a, _ := ArchByPlatform(PlatformLinuxX86)
+	c := MustNewCPU(a, 79)
+	warm := []Instr{{Op: OpLoad, Addr: 0x400000, Mem: 0x5000000}}
+	c.Run(&SliceStream{Instrs: warm})
+	m0 := c.Truth(SigL1DMiss)
+	// Warm: second access hits.
+	c.Run(&SliceStream{Instrs: warm})
+	if c.Truth(SigL1DMiss) != m0 {
+		t.Fatal("warm access missed")
+	}
+	// After reset: cold again.
+	c.ResetMemorySystem()
+	c.Run(&SliceStream{Instrs: warm})
+	if c.Truth(SigL1DMiss) != m0+1 {
+		t.Error("reset did not cool the cache")
+	}
+}
+
+func TestNewCPURejectsInvalidArch(t *testing.T) {
+	bad := *archLinuxX86()
+	bad.TLBEntries = 0
+	if _, err := NewCPU(&bad, 1); err == nil {
+		t.Error("invalid arch accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNewCPU did not panic")
+		}
+	}()
+	MustNewCPU(&bad, 1)
+}

@@ -1,0 +1,222 @@
+package hwsim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func testArch() *Arch { return archLinuxX86() }
+
+func TestPMUProgramAndCount(t *testing.T) {
+	a := testArch()
+	p := newPMU(a)
+	ins, _ := a.EventByName("INST_RETIRED")
+	cyc, _ := a.EventByName("CPU_CLK_UNHALTED")
+	if err := p.Program(map[int]NativeEvent{0: *ins, 1: *cyc}); err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	p.add(SigInstrs, 10, DomainAll)
+	p.add(SigCycles, 25, DomainAll)
+	v0, _ := p.Read(0)
+	v1, _ := p.Read(1)
+	if v0 != 10 || v1 != 25 {
+		t.Errorf("counters = %d,%d want 10,25", v0, v1)
+	}
+	p.Stop()
+	p.Reset()
+	v0, _ = p.Read(0)
+	if v0 != 0 {
+		t.Errorf("after reset counter = %d", v0)
+	}
+}
+
+func TestPMURejectsBadPlacement(t *testing.T) {
+	a := testArch()
+	p := newPMU(a)
+	flops, _ := a.EventByName("FLOPS") // counter-0 only
+	if err := p.Program(map[int]NativeEvent{1: *flops}); err == nil {
+		t.Error("expected placement error for FLOPS on counter 1")
+	}
+	if err := p.Program(map[int]NativeEvent{5: *flops}); err == nil {
+		t.Error("expected range error for counter 5")
+	}
+}
+
+func TestPMURejectsProgramWhileRunning(t *testing.T) {
+	a := testArch()
+	p := newPMU(a)
+	p.Start()
+	ins, _ := a.EventByName("INST_RETIRED")
+	if err := p.Program(map[int]NativeEvent{0: *ins}); err == nil {
+		t.Error("expected busy error")
+	}
+}
+
+func TestPMUCompositeEventCountsAllSignals(t *testing.T) {
+	a := testArch()
+	p := newPMU(a)
+	flops, _ := a.EventByName("FLOPS")
+	if err := p.Program(map[int]NativeEvent{0: *flops}); err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	p.add(SigFPAdd, 3, DomainAll)
+	p.add(SigFPMul, 4, DomainAll)
+	p.add(SigFPDiv, 1, DomainAll)
+	p.add(SigFPRound, 7, DomainAll) // not part of FLOPS
+	v, _ := p.Read(0)
+	if v != 8 {
+		t.Errorf("composite FLOPS = %d, want 8", v)
+	}
+}
+
+func TestPMUWidthWrap(t *testing.T) {
+	a := *testArch()
+	a.CounterWidth = 20 // tiny counters: wrap at 2^20
+	p := newPMU(&a)
+	ins, _ := a.EventByName("INST_RETIRED")
+	if err := p.Program(map[int]NativeEvent{0: *ins}); err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	p.add(SigInstrs, 1<<20+5, DomainAll)
+	v, _ := p.Read(0)
+	if v != 5 {
+		t.Errorf("wrapped value = %d, want 5", v)
+	}
+	if p.WidthMask() != 1<<20-1 {
+		t.Errorf("width mask = %#x", p.WidthMask())
+	}
+}
+
+func TestPMUOverflowThreshold(t *testing.T) {
+	a := testArch()
+	p := newPMU(a)
+	ins, _ := a.EventByName("INST_RETIRED")
+	if err := p.Program(map[int]NativeEvent{1: *ins}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetOverflow(1, 100); err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	var fires int
+	for i := 0; i < 1000; i++ {
+		if ovf := p.add(SigInstrs, 1, DomainAll); ovf != 0 {
+			if ovf != 1<<1 {
+				t.Fatalf("overflow mask = %#b, want bit 1", ovf)
+			}
+			fires++
+		}
+	}
+	if fires != 10 {
+		t.Errorf("overflow fired %d times over 1000 increments at threshold 100, want 10", fires)
+	}
+}
+
+func TestPMUOverflowBulkIncrement(t *testing.T) {
+	// A single add of many counts must advance nextOvf past the value,
+	// firing once (hardware can't deliver multiple interrupts for a
+	// single increment).
+	a := testArch()
+	p := newPMU(a)
+	cyc, _ := a.EventByName("CPU_CLK_UNHALTED")
+	if err := p.Program(map[int]NativeEvent{0: *cyc}); err != nil {
+		t.Fatal(err)
+	}
+	p.SetOverflow(0, 10)
+	p.Start()
+	if ovf := p.add(SigCycles, 95, DomainAll); ovf != 1 {
+		t.Fatalf("expected overflow on bulk add")
+	}
+	// Next overflow boundary should now be at 100.
+	if ovf := p.add(SigCycles, 4, DomainAll); ovf != 0 {
+		t.Error("premature overflow")
+	}
+	if ovf := p.add(SigCycles, 1, DomainAll); ovf != 1 {
+		t.Error("missing overflow at 100")
+	}
+}
+
+func TestPMUReadAllAndRangeErrors(t *testing.T) {
+	a := testArch()
+	p := newPMU(a)
+	if _, err := p.Read(-1); err == nil {
+		t.Error("expected range error")
+	}
+	if _, err := p.Read(2); err == nil {
+		t.Error("expected range error")
+	}
+	if err := p.SetOverflow(9, 1); err == nil {
+		t.Error("expected range error")
+	}
+	dst := make([]uint64, 2)
+	p.ReadAll(dst)
+}
+
+func TestPMUCountsMatchManualSum(t *testing.T) {
+	// Property: for any sequence of per-signal increments, a register's
+	// value equals the sum of increments of signals in its mask
+	// (modulo width).
+	a := testArch()
+	f := func(incs []uint8) bool {
+		p := newPMU(a)
+		ev, _ := a.EventByName("DATA_MEM_REFS") // loads+stores+L1D access
+		if err := p.Program(map[int]NativeEvent{0: *ev}); err != nil {
+			return false
+		}
+		p.Start()
+		var want uint64
+		for i, n := range incs {
+			sig := Signal(i % int(NumSignals))
+			p.add(sig, uint64(n), DomainAll)
+			if ev.Signals.Has(sig) {
+				want += uint64(n)
+			}
+		}
+		got, _ := p.Read(0)
+		return got == want&p.WidthMask()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPMUDomainFiltering(t *testing.T) {
+	a := testArch()
+	p := newPMU(a)
+	ins, _ := a.EventByName("INST_RETIRED")
+	if err := p.Program(map[int]NativeEvent{0: *ins}); err != nil {
+		t.Fatal(err)
+	}
+	p.SetDomain(DomainUser)
+	p.Start()
+	p.add(SigInstrs, 100, DomainUser)
+	p.add(SigInstrs, 40, DomainKernel)
+	v, _ := p.Read(0)
+	if v != 100 {
+		t.Errorf("user-domain counter = %d, want 100", v)
+	}
+	p.Stop()
+	// Kernel-only counting.
+	p2 := newPMU(a)
+	p2.Program(map[int]NativeEvent{0: *ins})
+	p2.SetDomain(DomainKernel)
+	p2.Start()
+	p2.add(SigInstrs, 100, DomainUser)
+	p2.add(SigInstrs, 40, DomainKernel)
+	v, _ = p2.Read(0)
+	if v != 40 {
+		t.Errorf("kernel-domain counter = %d, want 40", v)
+	}
+	// Zero domain defaults to all.
+	p2.Stop()
+	p2.SetDomain(0)
+	p2.Start()
+	p2.add(SigInstrs, 1, DomainUser)
+	v, _ = p2.Read(0)
+	if v != 41 {
+		t.Errorf("all-domain counter = %d, want 41", v)
+	}
+}

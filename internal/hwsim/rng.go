@@ -1,0 +1,23 @@
+package hwsim
+
+// rng is a small, allocation-free splitmix64 generator. The simulator
+// cannot use math/rand's global state: determinism across runs and
+// across architectures requires every stochastic choice (skid length,
+// sample jitter) to come from a seeded per-core source.
+type rng struct{ state uint64 }
+
+func newRNG(seed uint64) rng { return rng{state: seed ^ 0x9e3779b97f4a7c15} }
+
+// next returns the next 64-bit value in the sequence.
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a uniformly distributed value in [0, n). n must be > 0.
+func (r *rng) intn(n int) int {
+	return int(r.next() % uint64(n))
+}

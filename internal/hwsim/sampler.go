@@ -1,0 +1,94 @@
+package hwsim
+
+// Sample is one hardware-sampled in-flight instruction, in the style of
+// Alpha's ProfileMe or Itanium's event address registers: the hardware
+// picks an instruction at random, tags it, and records exactly which
+// events it incurred together with its precise address. There is no
+// skid: PC attribution is exact.
+type Sample struct {
+	PC      uint64
+	Op      Op
+	Signals SignalMask // signals this instruction fired
+	Cost    uint32     // cycles the instruction took (incl. stalls)
+}
+
+// DrainHandler receives batches of hardware samples when the in-hardware
+// sample buffer fills (or is explicitly flushed). The slice is reused by
+// the sampler after the call returns; handlers must copy what they keep.
+type DrainHandler func(batch []Sample)
+
+// sampler is the in-core hardware sampling engine. Sampling cost is the
+// occasional buffer-drain interrupt, not a per-event interrupt — this is
+// what makes DCPI-style profiling an order of magnitude cheaper than
+// overflow-interrupt profiling.
+type sampler struct {
+	enabled   bool
+	period    int // mean instructions between samples
+	countdown int
+	buf       []Sample
+	handler   DrainHandler
+	rng       *rng
+	taken     uint64 // total samples taken since Configure
+}
+
+func newSampler(r *rng) *sampler { return &sampler{rng: r} }
+
+// configure arms the sampler with a mean period (instructions between
+// samples) and a hardware buffer capacity.
+func (s *sampler) configure(period, bufEntries int, h DrainHandler) {
+	s.enabled = period > 0
+	s.period = period
+	s.buf = make([]Sample, 0, bufEntries)
+	s.handler = h
+	s.taken = 0
+	s.reload()
+}
+
+func (s *sampler) disable() { s.enabled = false }
+
+// reload draws the next inter-sample gap: uniform in [period/2,
+// 3*period/2) so the mean is exactly period but no workload periodicity
+// can alias against the sampling clock.
+func (s *sampler) reload() {
+	if s.period <= 1 {
+		s.countdown = 1
+		return
+	}
+	half := s.period / 2
+	s.countdown = half + s.rng.intn(s.period)
+	if s.countdown <= 0 {
+		s.countdown = 1
+	}
+}
+
+// step advances the sampler by one retired instruction and reports
+// whether the hardware buffer filled (the core must then deliver a
+// drain interrupt via drain). The instruction's exact PC, class, fired
+// signals and cost are recorded if this instruction is the sampled one.
+func (s *sampler) step(pc uint64, op Op, sigs SignalMask, cost uint32) bool {
+	if !s.enabled {
+		return false
+	}
+	s.countdown--
+	if s.countdown > 0 {
+		return false
+	}
+	s.reload()
+	s.taken++
+	s.buf = append(s.buf, Sample{PC: pc, Op: op, Signals: sigs, Cost: cost})
+	return len(s.buf) == cap(s.buf)
+}
+
+// drain hands the buffered samples to the handler and empties the
+// buffer. Returns the number of samples drained.
+func (s *sampler) drain() int {
+	n := len(s.buf)
+	if n == 0 {
+		return 0
+	}
+	if s.handler != nil {
+		s.handler(s.buf)
+	}
+	s.buf = s.buf[:0]
+	return n
+}

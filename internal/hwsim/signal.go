@@ -1,0 +1,116 @@
+// Package hwsim simulates the performance-monitoring hardware that the
+// PAPI paper's substrates talk to: a cycle-attributed CPU with caches, a
+// TLB, a branch predictor, a PMU with a small set of physical counter
+// registers, counter-overflow interrupts with out-of-order skid, and
+// (on architectures that have it) a ProfileMe/EAR-style hardware
+// sampling engine.
+//
+// The simulation is deterministic: given the same architecture, seed and
+// instruction stream it produces identical counts, interrupts and
+// samples on every run.
+package hwsim
+
+// Signal identifies a hardware event signal inside the simulated
+// processor. Native events (the things a PMU register can be programmed
+// to count) are defined per architecture as masks over these signals;
+// a register programmed with a composite mask counts every occurrence
+// of any signal in the mask.
+type Signal uint8
+
+// The complete set of signals a simulated core can raise. SigCycles is
+// raised once per cycle; the rest are raised per qualifying instruction
+// or per micro-event (cache miss, mispredict, ...).
+const (
+	SigCycles Signal = iota
+	SigInstrs
+	SigLoads
+	SigStores
+	SigIntOps
+	SigFPAdd
+	SigFPMul
+	SigFPDiv
+	SigFMA
+	SigFPRound // precision-conversion/rounding instruction (POWER3 quirk)
+	SigBranch
+	SigBranchTaken
+	SigBranchMiss
+	SigL1DAccess
+	SigL1DMiss
+	SigL1IMiss
+	SigL2Access
+	SigL2Miss
+	SigTLBDMiss
+	SigStallCycles
+
+	NumSignals // sentinel: number of distinct signals
+)
+
+var signalNames = [NumSignals]string{
+	SigCycles:      "CYCLES",
+	SigInstrs:      "INSTRS",
+	SigLoads:       "LOADS",
+	SigStores:      "STORES",
+	SigIntOps:      "INT_OPS",
+	SigFPAdd:       "FP_ADD",
+	SigFPMul:       "FP_MUL",
+	SigFPDiv:       "FP_DIV",
+	SigFMA:         "FMA",
+	SigFPRound:     "FP_ROUND",
+	SigBranch:      "BRANCH",
+	SigBranchTaken: "BRANCH_TAKEN",
+	SigBranchMiss:  "BRANCH_MISS",
+	SigL1DAccess:   "L1D_ACCESS",
+	SigL1DMiss:     "L1D_MISS",
+	SigL1IMiss:     "L1I_MISS",
+	SigL2Access:    "L2_ACCESS",
+	SigL2Miss:      "L2_MISS",
+	SigTLBDMiss:    "TLB_D_MISS",
+	SigStallCycles: "STALL_CYCLES",
+}
+
+// String returns the canonical upper-case name of the signal.
+func (s Signal) String() string {
+	if s < NumSignals {
+		return signalNames[s]
+	}
+	return "SIG_UNKNOWN"
+}
+
+// SignalMask is a bitset of Signals. Bit i corresponds to Signal(i).
+type SignalMask uint32
+
+// Mask returns a SignalMask with the bits for the given signals set.
+func Mask(sigs ...Signal) SignalMask {
+	var m SignalMask
+	for _, s := range sigs {
+		m |= 1 << s
+	}
+	return m
+}
+
+// Has reports whether the mask contains signal s.
+func (m SignalMask) Has(s Signal) bool { return m&(1<<s) != 0 }
+
+// Signals expands the mask back into its member signals, in order.
+func (m SignalMask) Signals() []Signal {
+	var out []Signal
+	for s := Signal(0); s < NumSignals; s++ {
+		if m.Has(s) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// String renders the mask as a "+"-joined list of signal names.
+func (m SignalMask) String() string {
+	sigs := m.Signals()
+	if len(sigs) == 0 {
+		return "NONE"
+	}
+	out := sigs[0].String()
+	for _, s := range sigs[1:] {
+		out += "+" + s.String()
+	}
+	return out
+}

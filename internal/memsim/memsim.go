@@ -1,0 +1,345 @@
+// Package memsim simulates the node memory system behind the PAPI 3
+// memory-utilization extensions the paper's §5 enumerates: memory
+// available on a node, total used with high-water marks, per-process
+// and per-thread usage, disk swapping, NUMA locality of a process's
+// pages, and the location of individual objects (arrays, structures).
+//
+// Workloads allocate their arrays through this package so the papi
+// memory API has something truthful to report.
+package memsim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeConfig sizes a simulated node.
+type NodeConfig struct {
+	TotalBytes uint64 // physical memory (default 1 GiB)
+	SwapBytes  uint64 // swap space (default 2 GiB)
+	PageBytes  uint64 // page size (default 4 KiB)
+	Domains    int    // NUMA domains (default 2)
+}
+
+func (c *NodeConfig) fill() {
+	if c.TotalBytes == 0 {
+		c.TotalBytes = 1 << 30
+	}
+	if c.SwapBytes == 0 {
+		c.SwapBytes = 2 << 30
+	}
+	if c.PageBytes == 0 {
+		c.PageBytes = 4 << 10
+	}
+	if c.Domains <= 0 {
+		c.Domains = 2
+	}
+}
+
+// Node is one simulated shared-memory node.
+type Node struct {
+	cfg       NodeConfig
+	used      uint64
+	highWater uint64
+	swapUsed  uint64
+	perDomain []uint64
+	procs     []*Process
+}
+
+// NewNode builds a node; zero-value config fields get defaults.
+func NewNode(cfg NodeConfig) *Node {
+	cfg.fill()
+	return &Node{cfg: cfg, perDomain: make([]uint64, cfg.Domains)}
+}
+
+// TotalBytes returns the node's physical memory size.
+func (n *Node) TotalBytes() uint64 { return n.cfg.TotalBytes }
+
+// UsedBytes returns resident bytes across all processes.
+func (n *Node) UsedBytes() uint64 { return n.used }
+
+// AvailBytes returns free physical memory.
+func (n *Node) AvailBytes() uint64 { return n.cfg.TotalBytes - n.used }
+
+// HighWater returns the peak resident usage seen on the node.
+func (n *Node) HighWater() uint64 { return n.highWater }
+
+// SwapUsed returns bytes currently swapped out, node-wide.
+func (n *Node) SwapUsed() uint64 { return n.swapUsed }
+
+// PageBytes returns the node's page size.
+func (n *Node) PageBytes() uint64 { return n.cfg.PageBytes }
+
+// Domains returns the NUMA domain count.
+func (n *Node) Domains() int { return n.cfg.Domains }
+
+// DomainUsed returns resident bytes in one NUMA domain.
+func (n *Node) DomainUsed(d int) uint64 {
+	if d < 0 || d >= len(n.perDomain) {
+		return 0
+	}
+	return n.perDomain[d]
+}
+
+// NewProcess registers a process on the node.
+func (n *Node) NewProcess(name string) *Process {
+	p := &Process{
+		node:     n,
+		name:     name,
+		objects:  map[string]*Object{},
+		nextAddr: 0x10000000 + uint64(len(n.procs))<<32,
+	}
+	n.procs = append(n.procs, p)
+	return p
+}
+
+// Object is one named allocation (array, structure) with a known
+// address range and NUMA placement — the paper's "location of memory
+// used by an object".
+type Object struct {
+	Name     string
+	Addr     uint64
+	Size     uint64
+	Domain   int
+	Resident bool // false when swapped out
+}
+
+// End returns the first address past the object.
+func (o *Object) End() uint64 { return o.Addr + o.Size }
+
+// Process is one simulated address space.
+type Process struct {
+	node      *Node
+	name      string
+	used      uint64
+	highWater uint64
+	swapOuts  uint64 // swap-out events
+	swapIns   uint64
+	swapped   uint64 // bytes currently swapped out
+	objects   map[string]*Object
+	arenas    []*ThreadArena
+	nextAddr  uint64
+}
+
+// Name returns the process name.
+func (p *Process) Name() string { return p.name }
+
+// roundPages rounds a size up to whole pages.
+func (p *Process) roundPages(size uint64) uint64 {
+	pg := p.node.cfg.PageBytes
+	return (size + pg - 1) / pg * pg
+}
+
+// Alloc reserves a named object of the given size on a NUMA domain
+// (domain -1 places it round-robin by object count). When physical
+// memory is exhausted the node swaps out this process's coldest
+// resident objects; if swap is exhausted too, Alloc fails.
+func (p *Process) Alloc(name string, size uint64, domain int) (*Object, error) {
+	if size == 0 {
+		return nil, fmt.Errorf("memsim: zero-size allocation %q", name)
+	}
+	if _, dup := p.objects[name]; dup {
+		return nil, fmt.Errorf("memsim: object %q already allocated", name)
+	}
+	n := p.node
+	if domain < 0 {
+		domain = len(p.objects) % n.cfg.Domains
+	}
+	if domain >= n.cfg.Domains {
+		return nil, fmt.Errorf("memsim: domain %d out of range (node has %d)", domain, n.cfg.Domains)
+	}
+	size = p.roundPages(size)
+	if err := p.makeRoom(size); err != nil {
+		return nil, fmt.Errorf("memsim: alloc %q (%d bytes): %w", name, size, err)
+	}
+	obj := &Object{Name: name, Addr: p.nextAddr, Size: size, Domain: domain, Resident: true}
+	p.nextAddr += size + n.cfg.PageBytes // guard page
+	p.objects[name] = obj
+	p.used += size
+	n.used += size
+	n.perDomain[domain] += size
+	if p.used > p.highWater {
+		p.highWater = p.used
+	}
+	if n.used > n.highWater {
+		n.highWater = n.used
+	}
+	return obj, nil
+}
+
+// makeRoom swaps out resident objects (largest first) until size bytes
+// of physical memory are free.
+func (p *Process) makeRoom(size uint64) error {
+	n := p.node
+	if size > n.cfg.TotalBytes {
+		return fmt.Errorf("request exceeds physical memory (%d > %d)", size, n.cfg.TotalBytes)
+	}
+	if n.AvailBytes() >= size {
+		return nil
+	}
+	var resident []*Object
+	for _, o := range p.objects {
+		if o.Resident {
+			resident = append(resident, o)
+		}
+	}
+	sort.Slice(resident, func(i, j int) bool {
+		if resident[i].Size != resident[j].Size {
+			return resident[i].Size > resident[j].Size
+		}
+		return resident[i].Addr < resident[j].Addr
+	})
+	for _, o := range resident {
+		if n.AvailBytes() >= size {
+			return nil
+		}
+		if n.swapUsed+o.Size > n.cfg.SwapBytes {
+			continue
+		}
+		o.Resident = false
+		p.swapOuts++
+		p.swapped += o.Size
+		n.swapUsed += o.Size
+		n.used -= o.Size
+		p.used -= o.Size
+		n.perDomain[o.Domain] -= o.Size
+	}
+	if n.AvailBytes() >= size {
+		return nil
+	}
+	return fmt.Errorf("out of memory: need %d, avail %d, swap full", size, n.AvailBytes())
+}
+
+// Touch marks an object as accessed, swapping it back in if needed.
+func (p *Process) Touch(name string) error {
+	o, ok := p.objects[name]
+	if !ok {
+		return fmt.Errorf("memsim: no object %q", name)
+	}
+	if o.Resident {
+		return nil
+	}
+	if err := p.makeRoom(o.Size); err != nil {
+		return err
+	}
+	o.Resident = true
+	p.swapIns++
+	p.swapped -= o.Size
+	p.node.swapUsed -= o.Size
+	p.node.used += o.Size
+	p.used += o.Size
+	p.node.perDomain[o.Domain] += o.Size
+	if p.used > p.highWater {
+		p.highWater = p.used
+	}
+	if p.node.used > p.node.highWater {
+		p.node.highWater = p.node.used
+	}
+	return nil
+}
+
+// Free releases a named object.
+func (p *Process) Free(name string) error {
+	o, ok := p.objects[name]
+	if !ok {
+		return fmt.Errorf("memsim: no object %q", name)
+	}
+	delete(p.objects, name)
+	if o.Resident {
+		p.used -= o.Size
+		p.node.used -= o.Size
+		p.node.perDomain[o.Domain] -= o.Size
+	} else {
+		p.swapped -= o.Size
+		p.node.swapUsed -= o.Size
+	}
+	return nil
+}
+
+// Object looks up a named object.
+func (p *Process) Object(name string) (*Object, bool) {
+	o, ok := p.objects[name]
+	return o, ok
+}
+
+// Objects returns all live objects sorted by address.
+func (p *Process) Objects() []*Object {
+	out := make([]*Object, 0, len(p.objects))
+	for _, o := range p.objects {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// UsedBytes returns the process's resident bytes.
+func (p *Process) UsedBytes() uint64 { return p.used }
+
+// HighWater returns the process's peak resident usage.
+func (p *Process) HighWater() uint64 { return p.highWater }
+
+// SwapOuts returns the number of swap-out events for the process.
+func (p *Process) SwapOuts() uint64 { return p.swapOuts }
+
+// SwapIns returns the number of swap-in events for the process.
+func (p *Process) SwapIns() uint64 { return p.swapIns }
+
+// SwappedBytes returns the process's bytes currently on swap.
+func (p *Process) SwappedBytes() uint64 { return p.swapped }
+
+// Locality returns the process's resident bytes per NUMA domain.
+func (p *Process) Locality() []uint64 {
+	out := make([]uint64, p.node.cfg.Domains)
+	for _, o := range p.objects {
+		if o.Resident {
+			out[o.Domain] += o.Size
+		}
+	}
+	return out
+}
+
+// NewThreadArena registers a per-thread allocation arena, giving the
+// paper's "memory used by thread" a concrete meaning.
+func (p *Process) NewThreadArena() *ThreadArena {
+	a := &ThreadArena{proc: p}
+	p.arenas = append(p.arenas, a)
+	return a
+}
+
+// ThreadArena tracks one thread's share of the process heap.
+type ThreadArena struct {
+	proc      *Process
+	used      uint64
+	highWater uint64
+	seq       int
+}
+
+// Alloc carves a thread-private object out of the process space.
+func (a *ThreadArena) Alloc(size uint64) (*Object, error) {
+	a.seq++
+	name := fmt.Sprintf("%s/arena%p/%d", a.proc.name, a, a.seq)
+	o, err := a.proc.Alloc(name, size, -1)
+	if err != nil {
+		return nil, err
+	}
+	a.used += o.Size
+	if a.used > a.highWater {
+		a.highWater = a.used
+	}
+	return o, nil
+}
+
+// Free releases a thread-private object.
+func (a *ThreadArena) Free(o *Object) error {
+	if err := a.proc.Free(o.Name); err != nil {
+		return err
+	}
+	a.used -= o.Size
+	return nil
+}
+
+// UsedBytes returns the thread's live bytes.
+func (a *ThreadArena) UsedBytes() uint64 { return a.used }
+
+// HighWater returns the thread's peak usage.
+func (a *ThreadArena) HighWater() uint64 { return a.highWater }

@@ -1,0 +1,249 @@
+package memsim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func smallNode() *Node {
+	return NewNode(NodeConfig{TotalBytes: 1 << 20, SwapBytes: 1 << 20, PageBytes: 4096, Domains: 2})
+}
+
+func TestNodeDefaults(t *testing.T) {
+	n := NewNode(NodeConfig{})
+	if n.TotalBytes() != 1<<30 || n.PageBytes() != 4096 || n.Domains() != 2 {
+		t.Errorf("defaults wrong: %d %d %d", n.TotalBytes(), n.PageBytes(), n.Domains())
+	}
+}
+
+func TestAllocAccounting(t *testing.T) {
+	n := smallNode()
+	p := n.NewProcess("app")
+	obj, err := p.Alloc("a", 10_000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rounded to pages: 3 pages = 12288.
+	if obj.Size != 12288 {
+		t.Errorf("size = %d, want 12288", obj.Size)
+	}
+	if p.UsedBytes() != 12288 || n.UsedBytes() != 12288 {
+		t.Errorf("used = %d/%d", p.UsedBytes(), n.UsedBytes())
+	}
+	if n.AvailBytes() != 1<<20-12288 {
+		t.Errorf("avail = %d", n.AvailBytes())
+	}
+	if p.HighWater() != 12288 {
+		t.Errorf("high water = %d", p.HighWater())
+	}
+	if err := p.Free("a"); err != nil {
+		t.Fatal(err)
+	}
+	if p.UsedBytes() != 0 || n.UsedBytes() != 0 {
+		t.Error("free did not release")
+	}
+	if p.HighWater() != 12288 {
+		t.Error("high water must survive frees")
+	}
+}
+
+func TestAllocErrors(t *testing.T) {
+	p := smallNode().NewProcess("app")
+	if _, err := p.Alloc("z", 0, 0); err == nil {
+		t.Error("zero-size accepted")
+	}
+	p.Alloc("a", 4096, 0)
+	if _, err := p.Alloc("a", 4096, 0); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	if _, err := p.Alloc("b", 4096, 7); err == nil {
+		t.Error("bad domain accepted")
+	}
+	if err := p.Free("nope"); err == nil {
+		t.Error("freeing unknown object accepted")
+	}
+	if err := p.Touch("nope"); err == nil {
+		t.Error("touching unknown object accepted")
+	}
+}
+
+func TestNUMALocality(t *testing.T) {
+	n := smallNode()
+	p := n.NewProcess("app")
+	p.Alloc("a", 8192, 0)
+	p.Alloc("b", 4096, 1)
+	p.Alloc("c", 4096, 1)
+	loc := p.Locality()
+	if loc[0] != 8192 || loc[1] != 8192 {
+		t.Errorf("locality = %v", loc)
+	}
+	if n.DomainUsed(0) != 8192 || n.DomainUsed(1) != 8192 {
+		t.Errorf("node domain usage = %d,%d", n.DomainUsed(0), n.DomainUsed(1))
+	}
+	// Round-robin placement for domain -1.
+	p2 := n.NewProcess("app2")
+	o1, _ := p2.Alloc("x", 4096, -1)
+	o2, _ := p2.Alloc("y", 4096, -1)
+	if o1.Domain == o2.Domain {
+		t.Error("round-robin placement put both objects on one domain")
+	}
+}
+
+func TestObjectLocation(t *testing.T) {
+	p := smallNode().NewProcess("app")
+	a, _ := p.Alloc("mat", 8192, 1)
+	got, ok := p.Object("mat")
+	if !ok || got.Addr != a.Addr || got.Domain != 1 || got.End() != a.Addr+8192 {
+		t.Errorf("Object lookup: %+v", got)
+	}
+	objs := p.Objects()
+	if len(objs) != 1 || objs[0].Name != "mat" {
+		t.Errorf("Objects() = %v", objs)
+	}
+	// Distinct objects never overlap.
+	b, _ := p.Alloc("vec", 4096, 0)
+	if b.Addr < a.End() {
+		t.Error("objects overlap")
+	}
+}
+
+func TestSwapping(t *testing.T) {
+	n := NewNode(NodeConfig{TotalBytes: 64 << 10, SwapBytes: 128 << 10, PageBytes: 4096, Domains: 1})
+	p := n.NewProcess("app")
+	if _, err := p.Alloc("big1", 48<<10, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Second allocation exceeds physical memory: big1 swaps out.
+	if _, err := p.Alloc("big2", 48<<10, 0); err != nil {
+		t.Fatalf("alloc with swap available failed: %v", err)
+	}
+	if p.SwapOuts() != 1 {
+		t.Errorf("swap outs = %d, want 1", p.SwapOuts())
+	}
+	if p.SwappedBytes() != 48<<10 {
+		t.Errorf("swapped bytes = %d", p.SwappedBytes())
+	}
+	o1, _ := p.Object("big1")
+	if o1.Resident {
+		t.Error("big1 should be swapped out")
+	}
+	// Touching big1 swaps it back in, pushing big2 out.
+	if err := p.Touch("big1"); err != nil {
+		t.Fatal(err)
+	}
+	if p.SwapIns() != 1 {
+		t.Errorf("swap ins = %d, want 1", p.SwapIns())
+	}
+	o1, _ = p.Object("big1")
+	if !o1.Resident {
+		t.Error("big1 should be resident after touch")
+	}
+	// Free a swapped object: swap space released.
+	o2, _ := p.Object("big2")
+	if o2.Resident {
+		t.Error("big2 should have been evicted by the touch")
+	}
+	if err := p.Free("big2"); err != nil {
+		t.Fatal(err)
+	}
+	if n.SwapUsed() != 0 {
+		t.Errorf("swap used = %d after free", n.SwapUsed())
+	}
+}
+
+func TestOutOfMemoryAndSwap(t *testing.T) {
+	n := NewNode(NodeConfig{TotalBytes: 16 << 10, SwapBytes: 8 << 10, PageBytes: 4096, Domains: 1})
+	p := n.NewProcess("app")
+	if _, err := p.Alloc("too-big", 32<<10, 0); err == nil {
+		t.Error("allocation beyond physical memory accepted")
+	}
+	p.Alloc("a", 12<<10, 0)
+	p.Alloc("b", 8<<10, 0) // a (12K) swaps out into 8K swap? no: 12K > 8K swap
+	// Depending on eviction feasibility, either b fails or a swapped.
+	if p.SwapOuts() == 0 {
+		// a could not be swapped (12K > 8K swap space): b must have failed.
+		if _, ok := p.Object("b"); ok {
+			t.Error("b allocated without room")
+		}
+	}
+}
+
+func TestThreadArena(t *testing.T) {
+	n := smallNode()
+	p := n.NewProcess("app")
+	a1 := p.NewThreadArena()
+	a2 := p.NewThreadArena()
+	o, err := a1.Alloc(8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.UsedBytes() != 8192 || a2.UsedBytes() != 0 {
+		t.Errorf("arena usage = %d/%d", a1.UsedBytes(), a2.UsedBytes())
+	}
+	if p.UsedBytes() != 8192 {
+		t.Errorf("process usage = %d", p.UsedBytes())
+	}
+	if err := a1.Free(o); err != nil {
+		t.Fatal(err)
+	}
+	if a1.UsedBytes() != 0 || a1.HighWater() != 8192 {
+		t.Errorf("after free: used %d hw %d", a1.UsedBytes(), a1.HighWater())
+	}
+}
+
+func TestAccountingInvariantsProperty(t *testing.T) {
+	// Property: after any sequence of alloc/free/touch operations,
+	// node.used == Σ resident object sizes, node.swapUsed == Σ swapped
+	// sizes, per-domain usage sums to node usage, and high-water marks
+	// never decrease.
+	f := func(ops []uint16) bool {
+		n := NewNode(NodeConfig{TotalBytes: 256 << 10, SwapBytes: 256 << 10, PageBytes: 4096, Domains: 3})
+		p := n.NewProcess("prop")
+		names := []string{"a", "b", "c", "d", "e"}
+		var lastHW uint64
+		for _, op := range ops {
+			name := names[int(op)%len(names)]
+			switch (op / 8) % 3 {
+			case 0:
+				size := uint64(op%31+1) * 4096
+				p.Alloc(name, size, int(op)%3) // may fail: fine
+			case 1:
+				p.Free(name) // may fail: fine
+			case 2:
+				p.Touch(name) // may fail: fine
+			}
+			if p.HighWater() < lastHW {
+				return false
+			}
+			lastHW = p.HighWater()
+
+			var resident, swapped, domSum uint64
+			for _, o := range p.Objects() {
+				if o.Resident {
+					resident += o.Size
+				} else {
+					swapped += o.Size
+				}
+			}
+			for d := 0; d < n.Domains(); d++ {
+				domSum += n.DomainUsed(d)
+			}
+			if n.UsedBytes() != resident || p.UsedBytes() != resident {
+				return false
+			}
+			if n.SwapUsed() != swapped || p.SwappedBytes() != swapped {
+				return false
+			}
+			if domSum != n.UsedBytes() {
+				return false
+			}
+			if p.HighWater() < p.UsedBytes() || n.HighWater() < n.UsedBytes() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

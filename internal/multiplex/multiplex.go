@@ -1,0 +1,268 @@
+// Package multiplex implements software multiplexing of hardware
+// counters: more events than physical counters are measured by
+// time-slicing the counter hardware and extrapolating each event's
+// count from the fraction of time its slice was active.
+//
+// The paper (§2) records the project's hardest-won lesson about this
+// feature: estimates are only trustworthy when the run is long enough
+// for them to converge, so multiplexing must be explicitly enabled
+// through the low-level interface rather than silently applied. This
+// package is that low-level machinery; the EventSet layer exposes it
+// behind an explicit opt-in.
+package multiplex
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/substrate"
+)
+
+// DefaultIntervalCycles is the default slice length. It corresponds to
+// a few hundred microseconds on the simulated machines — long enough to
+// amortize the counter-switch cost, short enough to cycle all slices
+// many times during any measurement worth multiplexing.
+const DefaultIntervalCycles = 200_000
+
+// Engine multiplexes one list of native events over one substrate
+// context. It partitions the events into slices that each satisfy the
+// platform's counter constraints, rotates the hardware through the
+// slices on a cycle timer, and extrapolates totals.
+type Engine struct {
+	ctx      substrate.Context
+	codes    []uint32
+	interval uint64
+
+	slices  [][]int // positions into codes, per slice
+	assigns [][]int // physical assignment, per slice
+
+	counts      []uint64 // accumulated raw counts per code position
+	active      []uint64 // cycles each code position was actually counted
+	activeTotal uint64   // cycles any slice was actively counting
+	buf         []uint64
+	last        []uint64 // raw value at previous flush, per position of current slice
+
+	cur        int
+	sliceStart uint64 // cycle stamp of current slice activation
+	totalStart uint64 // cycle stamp of Start
+	running    bool
+	busy       bool // guards against the timer firing mid-flush
+}
+
+// New partitions codes into hardware-feasible slices on the given
+// context. intervalCycles of 0 selects DefaultIntervalCycles. New fails
+// if any single event cannot be counted at all.
+func New(ctx substrate.Context, codes []uint32, intervalCycles uint64) (*Engine, error) {
+	if len(codes) == 0 {
+		return nil, fmt.Errorf("multiplex: empty event list")
+	}
+	if intervalCycles == 0 {
+		intervalCycles = DefaultIntervalCycles
+	}
+	e := &Engine{
+		ctx:      ctx,
+		codes:    append([]uint32(nil), codes...),
+		interval: intervalCycles,
+		counts:   make([]uint64, len(codes)),
+		active:   make([]uint64, len(codes)),
+		buf:      make([]uint64, len(codes)),
+		last:     make([]uint64, len(codes)),
+	}
+	if err := e.partition(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// partition greedily packs event positions into allocatable slices.
+func (e *Engine) partition() error {
+	var cur []int
+	flush := func() error {
+		if len(cur) == 0 {
+			return nil
+		}
+		slice := append([]int(nil), cur...)
+		assign, err := e.ctx.Allocate(e.sliceCodes(slice))
+		if err != nil {
+			return err
+		}
+		e.slices = append(e.slices, slice)
+		e.assigns = append(e.assigns, assign)
+		cur = nil
+		return nil
+	}
+	for pos := range e.codes {
+		trial := append(cur, pos)
+		if _, err := e.ctx.Allocate(e.sliceCodes(trial)); err == nil {
+			cur = trial
+			continue
+		}
+		if err := flush(); err != nil {
+			return err
+		}
+		if _, err := e.ctx.Allocate(e.sliceCodes([]int{pos})); err != nil {
+			return fmt.Errorf("multiplex: event %#x unallocatable even alone: %w", e.codes[pos], err)
+		}
+		cur = []int{pos}
+	}
+	return flush()
+}
+
+func (e *Engine) sliceCodes(slice []int) []uint32 {
+	out := make([]uint32, len(slice))
+	for i, pos := range slice {
+		out[i] = e.codes[pos]
+	}
+	return out
+}
+
+// Slices reports how many time slices the event list needs. One slice
+// means no multiplexing is actually necessary.
+func (e *Engine) Slices() int { return len(e.slices) }
+
+// Running reports whether the engine is counting.
+func (e *Engine) Running() bool { return e.running }
+
+// Start begins multiplexed counting from zero.
+func (e *Engine) Start() error {
+	if e.running {
+		return fmt.Errorf("multiplex: already running")
+	}
+	clear(e.counts)
+	clear(e.active)
+	clear(e.last)
+	e.activeTotal = 0
+	e.cur = 0
+	if err := e.ctx.Start(e.sliceCodes(e.slices[0]), e.assigns[0]); err != nil {
+		return err
+	}
+	cpu := e.ctx.CPU()
+	e.totalStart = cpu.Cycles()
+	e.sliceStart = e.totalStart
+	e.running = true
+	cpu.SetTimer(e.interval, e.tick)
+	return nil
+}
+
+// flush folds the current slice's live counts into the accumulators.
+// The busy flag keeps the cycle timer from re-entering while the
+// flush's own counter read advances simulated time.
+func (e *Engine) flush() error {
+	e.busy = true
+	defer func() { e.busy = false }()
+	slice := e.slices[e.cur]
+	if err := e.ctx.Read(e.buf[:len(slice)]); err != nil {
+		return err
+	}
+	cpu := e.ctx.CPU()
+	now := cpu.Cycles()
+	mask := e.ctx.WidthMask()
+	window := now - e.sliceStart
+	for i, pos := range slice {
+		delta := (e.buf[i] - e.last[pos]) & mask
+		e.counts[pos] += delta
+		e.last[pos] = e.buf[i]
+		e.active[pos] += window
+	}
+	e.activeTotal += window
+	e.sliceStart = now
+	return nil
+}
+
+// tick rotates to the next slice; runs from the CPU's cycle timer.
+func (e *Engine) tick() {
+	if !e.running || e.busy {
+		return
+	}
+	if err := e.flush(); err != nil {
+		return
+	}
+	if len(e.slices) == 1 {
+		return
+	}
+	e.cur = (e.cur + 1) % len(e.slices)
+	slice := e.slices[e.cur]
+	if err := e.ctx.Switch(e.sliceCodes(slice), e.assigns[e.cur]); err != nil {
+		return
+	}
+	for _, pos := range slice {
+		e.last[pos] = 0 // hardware zeroed by reprogramming
+	}
+	e.sliceStart = e.ctx.CPU().Cycles()
+}
+
+// Snapshot writes the current extrapolated totals into dst without
+// stopping. dst must hold one value per event.
+func (e *Engine) Snapshot(dst []uint64) error {
+	if len(dst) < len(e.codes) {
+		return fmt.Errorf("multiplex: destination holds %d values, need %d", len(dst), len(e.codes))
+	}
+	if e.running {
+		if err := e.flush(); err != nil {
+			return err
+		}
+	}
+	total := float64(e.activeTotal)
+	for pos := range e.codes {
+		dst[pos] = e.estimate(pos, total)
+	}
+	return nil
+}
+
+// estimate extrapolates the observed count over the time the engine
+// was actively counting *any* slice. Extrapolating over raw wall time
+// would also cover the counter-switch windows, during which the
+// monitored program makes no progress, and systematically over-count.
+func (e *Engine) estimate(pos int, total float64) uint64 {
+	if e.active[pos] == 0 {
+		return 0
+	}
+	est := float64(e.counts[pos]) * total / float64(e.active[pos])
+	if est < 0 || math.IsNaN(est) {
+		return 0
+	}
+	return uint64(est + 0.5)
+}
+
+// Stop halts counting and writes final extrapolated totals into dst
+// (which may be nil).
+func (e *Engine) Stop(dst []uint64) error {
+	if !e.running {
+		return fmt.Errorf("multiplex: not running")
+	}
+	cpu := e.ctx.CPU()
+	cpu.SetTimer(0, nil)
+	if err := e.flush(); err != nil {
+		return err
+	}
+	e.running = false
+	total := float64(e.activeTotal)
+	if err := e.ctx.Stop(nil); err != nil {
+		return err
+	}
+	if dst != nil {
+		if len(dst) < len(e.codes) {
+			return fmt.Errorf("multiplex: destination holds %d values, need %d", len(dst), len(e.codes))
+		}
+		for pos := range e.codes {
+			dst[pos] = e.estimate(pos, total)
+		}
+	}
+	return nil
+}
+
+// Reset zeroes the accumulated statistics (the engine keeps running).
+func (e *Engine) Reset() error {
+	if e.running {
+		if err := e.flush(); err != nil {
+			return err
+		}
+	}
+	clear(e.counts)
+	clear(e.active)
+	e.activeTotal = 0
+	now := e.ctx.CPU().Cycles()
+	e.totalStart = now
+	e.sliceStart = now
+	return nil
+}

@@ -1,0 +1,200 @@
+package multiplex
+
+import (
+	"testing"
+
+	"repro/internal/hwsim"
+	"repro/internal/substrate"
+)
+
+func newCtx(t *testing.T, platform string) (substrate.Context, *hwsim.CPU, *hwsim.Arch) {
+	t.Helper()
+	s, err := substrate.ForPlatform(platform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu := hwsim.MustNewCPU(s.Arch(), 17)
+	return s.NewContext(cpu), cpu, s.Arch()
+}
+
+func codes(t *testing.T, a *hwsim.Arch, names ...string) []uint32 {
+	t.Helper()
+	out := make([]uint32, len(names))
+	for i, n := range names {
+		ev, ok := a.EventByName(n)
+		if !ok {
+			t.Fatalf("no event %s", n)
+		}
+		out[i] = ev.Code
+	}
+	return out
+}
+
+func mixedLoop(iters int) []hwsim.Instr {
+	var out []hwsim.Instr
+	mem := uint64(0x40000000)
+	for i := 0; i < iters; i++ {
+		out = append(out,
+			hwsim.Instr{Op: hwsim.OpFPAdd, Addr: 0x400000},
+			hwsim.Instr{Op: hwsim.OpLoad, Addr: 0x400004, Mem: mem},
+			hwsim.Instr{Op: hwsim.OpInt, Addr: 0x400008},
+			hwsim.Instr{Op: hwsim.OpBranch, Addr: 0x40000c, Taken: i != iters-1},
+		)
+		mem += 8
+	}
+	return out
+}
+
+func TestPartitioning(t *testing.T) {
+	ctx, _, a := newCtx(t, hwsim.PlatformLinuxX86)
+	// Six events on two counters: at least three slices.
+	cs := codes(t, a, "CPU_CLK_UNHALTED", "INST_RETIRED", "FLOPS",
+		"DATA_MEM_REFS", "BR_INST_RETIRED", "DCU_LINES_IN")
+	e, err := New(ctx, cs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Slices() < 3 {
+		t.Errorf("slices = %d, want >= 3", e.Slices())
+	}
+	// A single allocatable event needs exactly one slice.
+	e1, err := New(ctx, cs[:2], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1.Slices() != 1 {
+		t.Errorf("two events on two counters should be one slice, got %d", e1.Slices())
+	}
+	if _, err := New(ctx, nil, 0); err == nil {
+		t.Error("empty list accepted")
+	}
+}
+
+func TestEstimatesConvergeOnLongRun(t *testing.T) {
+	ctx, cpu, a := newCtx(t, hwsim.PlatformLinuxX86)
+	cs := codes(t, a, "FLOPS", "INST_RETIRED", "DATA_MEM_REFS", "BR_INST_RETIRED", "CPU_CLK_UNHALTED")
+	e, err := New(ctx, cs, 40_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	fp0 := cpu.Truth(hwsim.SigFPAdd)
+	br0 := cpu.Truth(hwsim.SigBranch)
+	cpu.Run(&hwsim.SliceStream{Instrs: mixedLoop(300_000)})
+	vals := make([]uint64, len(cs))
+	if err := e.Stop(vals); err != nil {
+		t.Fatal(err)
+	}
+	fpTruth := cpu.Truth(hwsim.SigFPAdd) - fp0
+	brTruth := cpu.Truth(hwsim.SigBranch) - br0
+	if rel := relErr(vals[0], fpTruth); rel > 0.08 {
+		t.Errorf("FLOPS est %d vs %d (%.1f%%)", vals[0], fpTruth, rel*100)
+	}
+	if rel := relErr(vals[3], brTruth); rel > 0.08 {
+		t.Errorf("branches est %d vs %d (%.1f%%)", vals[3], brTruth, rel*100)
+	}
+}
+
+func TestShortRunsAreErroneous(t *testing.T) {
+	// The paper's warning: insufficient runtime gives wrong estimates.
+	// A run shorter than one full slice rotation leaves some events
+	// never scheduled (estimate 0) — silently wrong without the
+	// explicit opt-in the paper insisted on.
+	ctx, cpu, a := newCtx(t, hwsim.PlatformLinuxX86)
+	cs := codes(t, a, "FLOPS", "INST_RETIRED", "DATA_MEM_REFS",
+		"BR_INST_RETIRED", "DCU_LINES_IN", "DTLB_MISSES")
+	e, err := New(ctx, cs, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	cpu.Run(&hwsim.SliceStream{Instrs: mixedLoop(2_000)}) // ~14k cycles: first slice only
+	vals := make([]uint64, len(cs))
+	if err := e.Stop(vals); err != nil {
+		t.Fatal(err)
+	}
+	zero := 0
+	for _, v := range vals[1:] {
+		if v == 0 {
+			zero++
+		}
+	}
+	if zero == 0 {
+		t.Error("a sub-slice run should leave later events unmeasured (estimate 0)")
+	}
+}
+
+func TestSnapshotAndReset(t *testing.T) {
+	ctx, cpu, a := newCtx(t, hwsim.PlatformCrayT3E)
+	cs := codes(t, a, "FP_INST", "LOADS", "BRANCHES", "STORES")
+	e, err := New(ctx, cs, 20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	cpu.Run(&hwsim.SliceStream{Instrs: mixedLoop(100_000)})
+	snap := make([]uint64, len(cs))
+	if err := e.Snapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap[0] == 0 {
+		t.Error("snapshot should see FP activity")
+	}
+	if err := e.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	post := make([]uint64, len(cs))
+	if err := e.Snapshot(post); err != nil {
+		t.Fatal(err)
+	}
+	if post[0] >= snap[0] && snap[0] > 0 {
+		t.Errorf("after reset estimate %d should drop below %d", post[0], snap[0])
+	}
+	if err := e.Stop(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Stop(nil); err == nil {
+		t.Error("double stop accepted")
+	}
+	if err := e.Start(); err != nil {
+		t.Fatalf("restart after stop: %v", err)
+	}
+	e.Stop(nil)
+}
+
+func TestStateErrors(t *testing.T) {
+	ctx, _, a := newCtx(t, hwsim.PlatformCrayT3E)
+	cs := codes(t, a, "FP_INST")
+	e, _ := New(ctx, cs, 0)
+	if err := e.Stop(nil); err == nil {
+		t.Error("stop before start accepted")
+	}
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(); err == nil {
+		t.Error("double start accepted")
+	}
+	short := make([]uint64, 0)
+	if err := e.Snapshot(short); err == nil {
+		t.Error("short destination accepted")
+	}
+	e.Stop(nil)
+}
+
+func relErr(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	d := float64(a) - float64(b)
+	if d < 0 {
+		d = -d
+	}
+	return d / float64(b)
+}

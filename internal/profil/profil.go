@@ -1,0 +1,131 @@
+// Package profil implements SVR4-compatible statistical profiling
+// histograms, the model behind PAPI_profil (§2 of the paper): each
+// counter-overflow interrupt hashes the reported program counter into a
+// bucket array scaled over a text address range, so hot code regions
+// accumulate proportionally more hits.
+package profil
+
+import "fmt"
+
+// ScaleUnit is the fixed-point denominator of the SVR4 scale factor: a
+// scale of 65536 maps each 2 bytes of text to its own bucket; 32768
+// maps 4 bytes per bucket; and so on.
+const ScaleUnit = 65536
+
+// Profile is one SVR4 profil histogram.
+type Profile struct {
+	Offset  uint64   // lowest covered text address
+	Scale   uint32   // SVR4 fixed-point scale
+	Buckets []uint64 // hit counts
+	// Outside counts hits that fell below Offset or beyond the last
+	// bucket; SVR4 silently drops them, but tools want to know.
+	Outside uint64
+}
+
+// New builds a profile of nbuckets buckets starting at offset with the
+// given SVR4 scale.
+func New(offset uint64, nbuckets int, scale uint32) (*Profile, error) {
+	if nbuckets <= 0 {
+		return nil, fmt.Errorf("profil: need at least one bucket")
+	}
+	if scale == 0 || scale > ScaleUnit {
+		return nil, fmt.Errorf("profil: scale %d out of range (1..%d)", scale, ScaleUnit)
+	}
+	return &Profile{Offset: offset, Scale: scale, Buckets: make([]uint64, nbuckets)}, nil
+}
+
+// Covering builds a profile whose buckets exactly span [lo, hi) with
+// the given bytes-per-bucket granularity (must be even, ≥ 2, as SVR4
+// scales cannot subdivide below 2 bytes).
+func Covering(lo, hi uint64, bytesPerBucket int) (*Profile, error) {
+	if hi <= lo {
+		return nil, fmt.Errorf("profil: empty address range [%#x,%#x)", lo, hi)
+	}
+	if bytesPerBucket < 2 || bytesPerBucket%2 != 0 {
+		return nil, fmt.Errorf("profil: bytes per bucket must be an even number >= 2, got %d", bytesPerBucket)
+	}
+	scale := uint32(2 * ScaleUnit / bytesPerBucket)
+	n := int((hi - lo + uint64(bytesPerBucket) - 1) / uint64(bytesPerBucket))
+	return New(lo, n, scale)
+}
+
+// BucketFor maps a program counter to its bucket index using the SVR4
+// formula: index = ((pc-offset)/2 * scale) / 65536.
+func (p *Profile) BucketFor(pc uint64) (int, bool) {
+	if pc < p.Offset {
+		return 0, false
+	}
+	idx := (pc - p.Offset) / 2 * uint64(p.Scale) / ScaleUnit
+	if idx >= uint64(len(p.Buckets)) {
+		return 0, false
+	}
+	return int(idx), true
+}
+
+// BytesPerBucket returns how many text bytes one bucket covers.
+func (p *Profile) BytesPerBucket() uint64 {
+	return 2 * ScaleUnit / uint64(p.Scale)
+}
+
+// AddrRange returns the address interval [lo, hi) a bucket covers.
+func (p *Profile) AddrRange(bucket int) (lo, hi uint64) {
+	bpb := p.BytesPerBucket()
+	lo = p.Offset + uint64(bucket)*bpb
+	return lo, lo + bpb
+}
+
+// Hit records one overflow at pc.
+func (p *Profile) Hit(pc uint64) {
+	if idx, ok := p.BucketFor(pc); ok {
+		p.Buckets[idx]++
+		return
+	}
+	p.Outside++
+}
+
+// Total returns the number of in-range hits.
+func (p *Profile) Total() uint64 {
+	var n uint64
+	for _, b := range p.Buckets {
+		n += b
+	}
+	return n
+}
+
+// Reset zeroes the histogram.
+func (p *Profile) Reset() {
+	clear(p.Buckets)
+	p.Outside = 0
+}
+
+// Hot returns the indices of the k highest buckets, descending by hits
+// (ties by address). It is what perfometer-style tools use to point at
+// bottlenecks.
+func (p *Profile) Hot(k int) []int {
+	type bh struct {
+		idx  int
+		hits uint64
+	}
+	var top []bh
+	for i, h := range p.Buckets {
+		if h == 0 {
+			continue
+		}
+		top = append(top, bh{i, h})
+	}
+	// Insertion-sort by hits descending; histograms are small.
+	for i := 1; i < len(top); i++ {
+		for j := i; j > 0 && (top[j].hits > top[j-1].hits ||
+			(top[j].hits == top[j-1].hits && top[j].idx < top[j-1].idx)); j-- {
+			top[j], top[j-1] = top[j-1], top[j]
+		}
+	}
+	if k > len(top) {
+		k = len(top)
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = top[i].idx
+	}
+	return out
+}

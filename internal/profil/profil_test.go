@@ -1,0 +1,133 @@
+package profil
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 0, ScaleUnit); err == nil {
+		t.Error("zero buckets accepted")
+	}
+	if _, err := New(0, 10, 0); err == nil {
+		t.Error("zero scale accepted")
+	}
+	if _, err := New(0, 10, ScaleUnit+1); err == nil {
+		t.Error("oversized scale accepted")
+	}
+	if _, err := New(0x400000, 128, ScaleUnit); err != nil {
+		t.Errorf("valid profile rejected: %v", err)
+	}
+}
+
+func TestSVR4ScaleSemantics(t *testing.T) {
+	// Scale 65536: one bucket per 2 bytes.
+	p, _ := New(0x1000, 16, ScaleUnit)
+	if p.BytesPerBucket() != 2 {
+		t.Errorf("bytes/bucket = %d, want 2", p.BytesPerBucket())
+	}
+	for pc, want := range map[uint64]int{0x1000: 0, 0x1001: 0, 0x1002: 1, 0x1003: 1, 0x101e: 15} {
+		idx, ok := p.BucketFor(pc)
+		if !ok || idx != want {
+			t.Errorf("BucketFor(%#x) = %d,%v want %d", pc, idx, ok, want)
+		}
+	}
+	// Scale 32768: one bucket per 4 bytes.
+	p4, _ := New(0x1000, 16, ScaleUnit/2)
+	if p4.BytesPerBucket() != 4 {
+		t.Errorf("bytes/bucket = %d, want 4", p4.BytesPerBucket())
+	}
+	if idx, _ := p4.BucketFor(0x1007); idx != 1 {
+		t.Errorf("scale-32768 bucket = %d, want 1", idx)
+	}
+}
+
+func TestHitRangeHandling(t *testing.T) {
+	p, _ := New(0x1000, 8, ScaleUnit)
+	p.Hit(0x0fff) // below range
+	p.Hit(0x1010) // past last bucket (8 buckets × 2 bytes)
+	p.Hit(0x1004) // bucket 2
+	if p.Outside != 2 {
+		t.Errorf("Outside = %d, want 2", p.Outside)
+	}
+	if p.Buckets[2] != 1 || p.Total() != 1 {
+		t.Errorf("bucket state wrong: %v total %d", p.Buckets, p.Total())
+	}
+	p.Reset()
+	if p.Total() != 0 || p.Outside != 0 {
+		t.Error("Reset incomplete")
+	}
+}
+
+func TestCovering(t *testing.T) {
+	p, err := Covering(0x400000, 0x400100, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Buckets) != 16 {
+		t.Errorf("buckets = %d, want 16", len(p.Buckets))
+	}
+	if p.BytesPerBucket() != 16 {
+		t.Errorf("bytes/bucket = %d, want 16", p.BytesPerBucket())
+	}
+	lo, hi := p.AddrRange(1)
+	if lo != 0x400010 || hi != 0x400020 {
+		t.Errorf("AddrRange(1) = [%#x,%#x)", lo, hi)
+	}
+	if _, err := Covering(10, 10, 16); err == nil {
+		t.Error("empty range accepted")
+	}
+	if _, err := Covering(0, 100, 3); err == nil {
+		t.Error("odd granularity accepted")
+	}
+	if _, err := Covering(0, 100, 0); err == nil {
+		t.Error("zero granularity accepted")
+	}
+}
+
+func TestBucketInvariants(t *testing.T) {
+	// Property: every in-range pc maps to a bucket whose AddrRange
+	// contains it, and total hits equal hits issued minus outside.
+	f := func(pcs []uint16, scaleSel uint8) bool {
+		scales := []uint32{ScaleUnit, ScaleUnit / 2, ScaleUnit / 8, ScaleUnit / 32}
+		scale := scales[int(scaleSel)%len(scales)]
+		p, err := New(0x2000, 64, scale)
+		if err != nil {
+			return false
+		}
+		var issued uint64
+		for _, off := range pcs {
+			pc := 0x2000 + uint64(off)
+			if idx, ok := p.BucketFor(pc); ok {
+				lo, hi := p.AddrRange(idx)
+				if pc < lo || pc >= hi {
+					return false
+				}
+			}
+			p.Hit(pc)
+			issued++
+		}
+		return p.Total()+p.Outside == issued
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHotRanking(t *testing.T) {
+	p, _ := New(0, 8, ScaleUnit)
+	for i := 0; i < 5; i++ {
+		p.Hit(6) // bucket 3
+	}
+	for i := 0; i < 3; i++ {
+		p.Hit(2) // bucket 1
+	}
+	p.Hit(0) // bucket 0
+	hot := p.Hot(2)
+	if len(hot) != 2 || hot[0] != 3 || hot[1] != 1 {
+		t.Errorf("Hot(2) = %v, want [3 1]", hot)
+	}
+	if all := p.Hot(100); len(all) != 3 {
+		t.Errorf("Hot(100) = %v, want 3 entries", all)
+	}
+}

@@ -1,0 +1,197 @@
+package substrate
+
+import (
+	"fmt"
+
+	"repro/internal/hwsim"
+)
+
+// ovfConfig is a pending overflow arm request, keyed by position in the
+// next programmed code list.
+type ovfConfig struct {
+	pos       int
+	threshold uint64
+	h         OverflowFunc
+}
+
+// directContext is the classic substrate kind: counts are live hardware
+// registers, overflow interrupts come from the PMU with the
+// architecture's skid, and every access charges the platform's
+// syscall/library cost.
+type directContext struct {
+	sub     *archSubstrate
+	cpu     *hwsim.CPU
+	codes   []uint32
+	assign  []int // codes[i] lives on physical counter assign[i]
+	domain  hwsim.Domain
+	running bool
+	ovf     []ovfConfig
+}
+
+func (c *directContext) CPU() *hwsim.CPU   { return c.cpu }
+func (c *directContext) Running() bool     { return c.running }
+func (c *directContext) WidthMask() uint64 { return c.cpu.PMU().WidthMask() }
+
+func (c *directContext) Allocate(codes []uint32) ([]int, error) {
+	return c.sub.allocate(codes)
+}
+
+// chargedInstrs approximates the instruction footprint of a library
+// call of the given cycle cost; the counters see the perturbation.
+func chargedInstrs(cycles uint64) uint64 { return cycles / 2 }
+
+func (c *directContext) program(codes []uint32, assign []int) error {
+	if len(codes) != len(assign) {
+		return fmt.Errorf("substrate: %d codes but %d assignments", len(codes), len(assign))
+	}
+	m := make(map[int]hwsim.NativeEvent, len(codes))
+	for i, code := range codes {
+		ev, ok := c.sub.arch.EventByCode(code)
+		if !ok {
+			return fmt.Errorf("substrate: unknown native event %#x", code)
+		}
+		m[assign[i]] = *ev
+	}
+	if err := c.cpu.PMU().Program(m); err != nil {
+		return err
+	}
+	if c.domain != 0 {
+		c.cpu.PMU().SetDomain(c.domain)
+	}
+	c.codes = append(c.codes[:0], codes...)
+	c.assign = append(c.assign[:0], assign...)
+	return nil
+}
+
+// SetDomain implements Context.
+func (c *directContext) SetDomain(d hwsim.Domain) error {
+	if c.running {
+		return fmt.Errorf("substrate: cannot change domain while running")
+	}
+	c.domain = d
+	return nil
+}
+
+func (c *directContext) Start(codes []uint32, assign []int) error {
+	if c.running {
+		return fmt.Errorf("substrate: context already running")
+	}
+	if err := c.program(codes, assign); err != nil {
+		return err
+	}
+	pmu := c.cpu.PMU()
+	pmu.Reset()
+	// Arm overflow dispatch: translate positions to physical counters.
+	handlers := make(map[int]OverflowFunc)
+	posByCounter := make(map[int]int)
+	for i, ctr := range c.assign {
+		posByCounter[ctr] = i
+	}
+	for _, o := range c.ovf {
+		if o.pos < 0 || o.pos >= len(c.codes) {
+			return fmt.Errorf("substrate: overflow position %d out of range", o.pos)
+		}
+		ctr := c.assign[o.pos]
+		if err := pmu.SetOverflow(ctr, o.threshold); err != nil {
+			return err
+		}
+		handlers[ctr] = o.h
+	}
+	if len(handlers) > 0 {
+		pmu.SetHandler(func(pc uint64, reg int) {
+			if h, ok := handlers[reg]; ok && h != nil {
+				h(pc, posByCounter[reg])
+			}
+		})
+	} else {
+		pmu.SetHandler(nil)
+	}
+	cost := c.sub.arch.StartCost
+	c.cpu.Charge(cost, chargedInstrs(cost))
+	pmu.Start()
+	c.running = true
+	return nil
+}
+
+func (c *directContext) readInto(dst []uint64) error {
+	if len(dst) < len(c.codes) {
+		return fmt.Errorf("substrate: destination holds %d values, need %d", len(dst), len(c.codes))
+	}
+	pmu := c.cpu.PMU()
+	for i, ctr := range c.assign {
+		v, err := pmu.Read(ctr)
+		if err != nil {
+			return err
+		}
+		dst[i] = v
+	}
+	return nil
+}
+
+func (c *directContext) Read(dst []uint64) error {
+	if len(c.codes) == 0 {
+		return fmt.Errorf("substrate: nothing programmed")
+	}
+	cost := c.sub.arch.ReadCost
+	c.cpu.Charge(cost, chargedInstrs(cost))
+	return c.readInto(dst)
+}
+
+func (c *directContext) Stop(dst []uint64) error {
+	if !c.running {
+		return fmt.Errorf("substrate: context not running")
+	}
+	cost := c.sub.arch.StopCost
+	c.cpu.Charge(cost, chargedInstrs(cost))
+	c.cpu.PMU().Stop()
+	c.running = false
+	if dst != nil {
+		return c.readInto(dst)
+	}
+	return nil
+}
+
+func (c *directContext) Reset() error {
+	cost := c.sub.arch.ResetCost
+	c.cpu.Charge(cost, chargedInstrs(cost))
+	c.cpu.PMU().Reset()
+	return nil
+}
+
+func (c *directContext) Switch(codes []uint32, assign []int) error {
+	if !c.running {
+		return fmt.Errorf("substrate: switch on stopped context")
+	}
+	pmu := c.cpu.PMU()
+	pmu.Stop()
+	if err := c.program(codes, assign); err != nil {
+		pmu.Start() // restore old set on failure
+		return err
+	}
+	cost := c.sub.arch.SwitchCost
+	c.cpu.Charge(cost, chargedInstrs(cost))
+	pmu.Start()
+	return nil
+}
+
+func (c *directContext) SetOverflow(pos int, threshold uint64, h OverflowFunc) error {
+	if c.running {
+		return fmt.Errorf("substrate: cannot arm overflow while running")
+	}
+	for i := range c.ovf {
+		if c.ovf[i].pos == pos {
+			if threshold == 0 {
+				c.ovf = append(c.ovf[:i], c.ovf[i+1:]...)
+				return nil
+			}
+			c.ovf[i].threshold = threshold
+			c.ovf[i].h = h
+			return nil
+		}
+	}
+	if threshold == 0 {
+		return nil
+	}
+	c.ovf = append(c.ovf, ovfConfig{pos: pos, threshold: threshold, h: h})
+	return nil
+}

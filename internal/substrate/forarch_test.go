@@ -1,0 +1,74 @@
+package substrate
+
+import (
+	"testing"
+
+	"repro/internal/hwsim"
+)
+
+func TestForArchCustomPort(t *testing.T) {
+	// The porting story: a brand-new machine is one Arch table away.
+	custom := *mustArch(t, hwsim.PlatformCrayT3E)
+	custom.Platform = "research-riscy"
+	custom.Name = "Research RISC-Y"
+	custom.NumCounters = 3
+	s, err := ForArch(&custom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Info().Model != "Research RISC-Y" {
+		t.Errorf("info %+v", s.Info())
+	}
+	cpu := hwsim.MustNewCPU(&custom, 1)
+	ctx := s.NewContext(cpu)
+	codes := codesByName(t, &custom, "FP_INST")
+	assign, err := ctx.Allocate(codes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.Start(codes, assign); err != nil {
+		t.Fatal(err)
+	}
+	cpu.Run(&hwsim.SliceStream{Instrs: kernel(25, []hwsim.Op{hwsim.OpFPAdd})})
+	vals := make([]uint64, 1)
+	if err := ctx.Stop(vals); err != nil {
+		t.Fatal(err)
+	}
+	if vals[0] != 25 {
+		t.Errorf("custom port counted %d", vals[0])
+	}
+}
+
+func TestForArchRejectsInvalid(t *testing.T) {
+	bad := *mustArch(t, hwsim.PlatformCrayT3E)
+	bad.NumCounters = 0
+	if _, err := ForArch(&bad); err == nil {
+		t.Error("invalid arch accepted")
+	}
+}
+
+func TestSamplingDefaultOnlyOnTru64(t *testing.T) {
+	// The DADD default-context path is specific to tru64; ia64 (which
+	// also has sampling hardware) defaults to direct counting.
+	s, _ := ForPlatform(hwsim.PlatformLinuxIA64)
+	cpu := hwsim.MustNewCPU(s.Arch(), 2)
+	ctx := s.NewContext(cpu)
+	if ctx.WidthMask() == ^uint64(0) {
+		t.Error("ia64 default context should be direct counting (width-masked)")
+	}
+	s2, _ := ForPlatform(hwsim.PlatformTru64Alpha)
+	cpu2 := hwsim.MustNewCPU(s2.Arch(), 3)
+	ctx2 := s2.NewContext(cpu2)
+	if ctx2.WidthMask() != ^uint64(0) {
+		t.Error("tru64 default context should be the DADD sampling kind")
+	}
+}
+
+func mustArch(t *testing.T, platform string) *hwsim.Arch {
+	t.Helper()
+	a, ok := hwsim.ArchByPlatform(platform)
+	if !ok {
+		t.Fatalf("no arch %s", platform)
+	}
+	return a
+}

@@ -1,0 +1,250 @@
+package substrate
+
+import (
+	"testing"
+
+	"repro/internal/hwsim"
+)
+
+// Focused tests for the sampling (DADD/EAR) context paths: switch,
+// reset, overflow arm/disarm, domain rules, and the error surface.
+
+func samplingCtx(t *testing.T, period int) (Context, *hwsim.CPU, *hwsim.Arch) {
+	t.Helper()
+	s, _ := ForPlatform(hwsim.PlatformTru64Alpha)
+	cpu := hwsim.MustNewCPU(s.Arch(), 21)
+	ctx, err := s.NewSamplingContext(cpu, period)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctx, cpu, s.Arch()
+}
+
+func TestSamplingContextSwitchAndReset(t *testing.T) {
+	ctx, cpu, a := samplingCtx(t, 64)
+	codes := codesByName(t, a, "RET_FLOPS")
+	assign, _ := ctx.Allocate(codes)
+	if err := ctx.Start(codes, assign); err != nil {
+		t.Fatal(err)
+	}
+	cpu.Run(&hwsim.SliceStream{Instrs: kernel(30_000, []hwsim.Op{hwsim.OpFPAdd})})
+	vals := make([]uint64, 1)
+	if err := ctx.Read(vals); err != nil {
+		t.Fatal(err)
+	}
+	if vals[0] == 0 {
+		t.Fatal("no FP estimate")
+	}
+	// Reset zeroes the estimators.
+	if err := ctx.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.Read(vals); err != nil {
+		t.Fatal(err)
+	}
+	if vals[0] > 5000 {
+		t.Errorf("estimate after reset = %d, want ~0", vals[0])
+	}
+	// Switch to a different event list while running.
+	codes2 := codesByName(t, a, "RET_LOADS", "RET_INST")
+	assign2, _ := ctx.Allocate(codes2)
+	if err := ctx.Switch(codes2, assign2); err != nil {
+		t.Fatal(err)
+	}
+	cpu.Run(&hwsim.SliceStream{Instrs: kernel(30_000, []hwsim.Op{hwsim.OpLoad})})
+	vals2 := make([]uint64, 2)
+	if err := ctx.Stop(vals2); err != nil {
+		t.Fatal(err)
+	}
+	if relErr(vals2[0], 30_000) > 0.10 {
+		t.Errorf("loads estimate after switch = %d, want ~30000", vals2[0])
+	}
+}
+
+func TestSamplingContextStateErrors(t *testing.T) {
+	ctx, _, a := samplingCtx(t, 128)
+	codes := codesByName(t, a, "RET_FLOPS")
+	if err := ctx.Stop(nil); err == nil {
+		t.Error("stop before start accepted")
+	}
+	if err := ctx.Switch(codes, []int{0}); err == nil {
+		t.Error("switch before start accepted")
+	}
+	if err := ctx.Read(nil); err == nil {
+		t.Error("read before install accepted")
+	}
+	if _, err := ctx.Allocate([]uint32{0xdeadbeef}); err == nil {
+		t.Error("unknown code accepted")
+	}
+	assign, _ := ctx.Allocate(codes)
+	if err := ctx.Start(codes, assign); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.Start(codes, assign); err == nil {
+		t.Error("double start accepted")
+	}
+	if err := ctx.SetOverflow(0, 100, nil); err == nil {
+		t.Error("overflow arm while running accepted")
+	}
+	if err := ctx.SetDomain(hwsim.DomainUser); err == nil {
+		t.Error("domain change while running accepted")
+	}
+	short := make([]uint64, 0)
+	if err := ctx.Read(short); err == nil {
+		t.Error("short destination accepted")
+	}
+	if !ctx.Running() {
+		t.Error("should be running")
+	}
+	if err := ctx.Stop(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSamplingContextOverflowDisarm(t *testing.T) {
+	ctx, cpu, a := samplingCtx(t, 64)
+	codes := codesByName(t, a, "RET_FLOPS")
+	fires := 0
+	if err := ctx.SetOverflow(0, 2000, func(pc uint64, pos int) { fires++ }); err != nil {
+		t.Fatal(err)
+	}
+	// Re-arm with a new threshold, then disarm entirely.
+	if err := ctx.SetOverflow(0, 1000, func(pc uint64, pos int) { fires++ }); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.SetOverflow(0, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.SetOverflow(1, 0, nil); err != nil {
+		t.Fatal(err) // disarming something never armed is a no-op
+	}
+	assign, _ := ctx.Allocate(codes)
+	if err := ctx.Start(codes, assign); err != nil {
+		t.Fatal(err)
+	}
+	cpu.Run(&hwsim.SliceStream{Instrs: kernel(20_000, []hwsim.Op{hwsim.OpFPAdd})})
+	ctx.Stop(nil)
+	if fires != 0 {
+		t.Errorf("disarmed overflow fired %d times", fires)
+	}
+}
+
+func TestSamplingContextBadOverflowPosition(t *testing.T) {
+	ctx, _, a := samplingCtx(t, 64)
+	codes := codesByName(t, a, "RET_FLOPS")
+	if err := ctx.SetOverflow(5, 100, func(uint64, int) {}); err != nil {
+		t.Fatal(err) // config is lazy...
+	}
+	assign, _ := ctx.Allocate(codes)
+	if err := ctx.Start(codes, assign); err == nil { // ...start validates
+		t.Error("out-of-range overflow position accepted at start")
+	}
+}
+
+func TestSamplingContextKernelDomainRejected(t *testing.T) {
+	ctx, _, _ := samplingCtx(t, 64)
+	if err := ctx.SetDomain(hwsim.DomainKernel); err == nil {
+		t.Error("kernel-only domain must be rejected on a sampling substrate")
+	}
+	if err := ctx.SetDomain(hwsim.DomainUser); err != nil {
+		t.Errorf("user domain rejected: %v", err)
+	}
+	if err := ctx.SetDomain(hwsim.DomainAll); err != nil {
+		t.Errorf("all domain rejected: %v", err)
+	}
+}
+
+func TestSamplingContextStallEstimate(t *testing.T) {
+	// The stall-cycle estimator path: REPLAY_TRAP (stall cycles) on a
+	// memory-bound kernel must estimate a nonzero stall total.
+	ctx, cpu, a := samplingCtx(t, 64)
+	codes := codesByName(t, a, "REPLAY_TRAP")
+	assign, _ := ctx.Allocate(codes)
+	if err := ctx.Start(codes, assign); err != nil {
+		t.Fatal(err)
+	}
+	// Strided loads through 8 MiB: systematic cache misses = stalls.
+	var instrs []hwsim.Instr
+	for i := 0; i < 60_000; i++ {
+		instrs = append(instrs, hwsim.Instr{Op: hwsim.OpLoad, Addr: 0x400000, Mem: 0x40000000 + uint64(i)*128})
+	}
+	cpu.Run(&hwsim.SliceStream{Instrs: instrs})
+	vals := make([]uint64, 1)
+	if err := ctx.Stop(vals); err != nil {
+		t.Fatal(err)
+	}
+	stallTruth := cpu.Truth(hwsim.SigStallCycles)
+	if vals[0] == 0 {
+		t.Fatal("no stall estimate")
+	}
+	if relErr(vals[0], stallTruth) > 0.20 {
+		t.Errorf("stall estimate %d vs truth %d", vals[0], stallTruth)
+	}
+}
+
+func TestDirectContextErrorSurface(t *testing.T) {
+	s, _ := ForPlatform(hwsim.PlatformLinuxX86)
+	cpu := hwsim.MustNewCPU(s.Arch(), 22)
+	ctx := s.NewContext(cpu)
+	codes := codesByName(t, s.Arch(), "INST_RETIRED")
+	if err := ctx.Read(make([]uint64, 1)); err == nil {
+		t.Error("read before program accepted")
+	}
+	if err := ctx.Switch(codes, []int{0}); err == nil {
+		t.Error("switch before start accepted")
+	}
+	if err := ctx.Start(codes, []int{0, 1}); err == nil {
+		t.Error("mismatched assignment length accepted")
+	}
+	if err := ctx.Start([]uint32{0xbad}, []int{0}); err == nil {
+		t.Error("unknown code accepted")
+	}
+	// Arm then fully disarm overflow; also disarm a never-armed pos.
+	if err := ctx.SetOverflow(0, 10, func(uint64, int) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.SetOverflow(0, 20, func(uint64, int) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.SetOverflow(0, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.SetOverflow(3, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Out-of-range overflow position caught at Start.
+	ctx2 := s.NewContext(hwsim.MustNewCPU(s.Arch(), 23))
+	ctx2.SetOverflow(7, 10, func(uint64, int) {})
+	if err := ctx2.Start(codes, []int{0}); err == nil {
+		t.Error("out-of-range overflow position accepted")
+	}
+	// Short destination on read.
+	ctx3 := s.NewContext(hwsim.MustNewCPU(s.Arch(), 24))
+	both := codesByName(t, s.Arch(), "INST_RETIRED", "CPU_CLK_UNHALTED")
+	assign, _ := ctx3.Allocate(both)
+	ctx3.Start(both, assign)
+	if err := ctx3.Read(make([]uint64, 1)); err == nil {
+		t.Error("short destination accepted")
+	}
+	if err := ctx3.Stop(make([]uint64, 1)); err == nil {
+		t.Error("short stop destination accepted")
+	}
+}
+
+func TestSamplingOverheadScalesWithPeriod(t *testing.T) {
+	run := func(period int) uint64 {
+		ctx, cpu, a := samplingCtx(t, period)
+		codes := codesByName(t, a, "RET_FLOPS")
+		assign, _ := ctx.Allocate(codes)
+		if err := ctx.Start(codes, assign); err != nil {
+			t.Fatal(err)
+		}
+		cpu.Run(&hwsim.SliceStream{Instrs: kernel(80_000, []hwsim.Op{hwsim.OpFPAdd, hwsim.OpInt})})
+		ctx.Stop(make([]uint64, 1))
+		return cpu.Cycles()
+	}
+	dense, sparse := run(32), run(1024)
+	if dense <= sparse {
+		t.Errorf("denser sampling (%d cycles) should cost more than sparser (%d)", dense, sparse)
+	}
+}

@@ -1,0 +1,204 @@
+// Package substrate implements the machine-dependent layer of the PAPI
+// architecture (Figure 1 of the paper): one substrate per platform,
+// each translating the portable layer's requests into operations on
+// that platform's native counter interface. Porting PAPI to a new
+// machine means writing exactly one new substrate.
+//
+// Two context kinds exist, mirroring the paper:
+//
+//   - the direct-counting context, used by most platforms, where reads
+//     return live hardware register values and overflow interrupts
+//     carry (possibly skidded) program counters; and
+//   - the sampling context (Tru64 DADD/ProfileMe, Itanium EARs), where
+//     aggregate counts are *estimated* from hardware samples and
+//     overflow dispatch carries exact instruction addresses.
+//
+// Every operation charges its platform's access cost, in cycles, to the
+// simulated CPU — the measurement perturbs the measured program exactly
+// as the paper discusses in §4.
+package substrate
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/alloc"
+	"repro/internal/hwsim"
+)
+
+// Info summarizes a substrate for papi_avail-style queries.
+type Info struct {
+	Platform     string
+	Model        string
+	ClockMHz     int
+	NumCounters  int
+	CounterWidth uint
+	HWSampling   bool
+	HasGroups    bool
+	NumNative    int
+}
+
+// OverflowFunc receives overflow notifications: pc is the reported
+// program counter (skidded on OOO direct-counting substrates, exact on
+// sampling substrates) and pos is the index of the overflowed event in
+// the programmed code list.
+type OverflowFunc func(pc uint64, pos int)
+
+// Context is a per-thread counter context. At most one event list is
+// programmed at a time (the PAPI 3 model; the portable layer emulates
+// v2 overlapping EventSets on top when asked to, see the E9 ablation).
+type Context interface {
+	// CPU returns the simulated core the context is bound to.
+	CPU() *hwsim.CPU
+	// Allocate maps native event codes onto physical counters without
+	// touching hardware. It returns one physical counter index per
+	// code, or an error naming the conflict.
+	Allocate(codes []uint32) ([]int, error)
+	// Start programs the given codes/assignment and enables counting.
+	Start(codes []uint32, assign []int) error
+	// Stop disables counting and writes the final raw values into dst.
+	Stop(dst []uint64) error
+	// Read writes current raw values into dst (wrapped to counter
+	// width on direct-counting substrates).
+	Read(dst []uint64) error
+	// Reset zeroes the programmed counters.
+	Reset() error
+	// Switch reprograms the context to a new code list while counting,
+	// at the platform's counter-switch cost. Used by multiplexing.
+	Switch(codes []uint32, assign []int) error
+	// SetOverflow arms overflow dispatch for the event at position pos
+	// of the *next* Start's code list. threshold 0 disarms.
+	SetOverflow(pos int, threshold uint64, h OverflowFunc) error
+	// SetDomain selects the execution modes counted from the next
+	// Start on (PAPI_set_domain). Zero selects DomainAll.
+	SetDomain(d hwsim.Domain) error
+	// Running reports whether counting is enabled.
+	Running() bool
+	// WidthMask is the wrap mask of raw values returned by Read/Stop;
+	// the portable layer uses it to extend counters to 64 bits.
+	WidthMask() uint64
+}
+
+// Substrate is one platform's machine-dependent implementation.
+type Substrate interface {
+	Info() Info
+	Arch() *hwsim.Arch
+	// NewContext returns the platform's default context kind bound to
+	// the CPU.
+	NewContext(cpu *hwsim.CPU) Context
+	// NewSamplingContext returns a hardware-sampling context with the
+	// given mean sampling period in instructions. Errors on platforms
+	// without sampling hardware.
+	NewSamplingContext(cpu *hwsim.CPU, period int) (Context, error)
+}
+
+// ForPlatform returns the substrate for a platform key.
+func ForPlatform(platform string) (Substrate, error) {
+	a, ok := hwsim.ArchByPlatform(platform)
+	if !ok {
+		return nil, fmt.Errorf("substrate: unknown platform %q (known: %v)", platform, hwsim.Platforms())
+	}
+	return &archSubstrate{arch: a}, nil
+}
+
+// ForArch wraps an arbitrary (possibly experimental) architecture in a
+// substrate. Ports to new machines start here: define the Arch tables
+// and the generic substrate takes care of the rest.
+func ForArch(a *hwsim.Arch) (Substrate, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	return &archSubstrate{arch: a}, nil
+}
+
+// Platforms lists all supported platform keys.
+func Platforms() []string { return hwsim.Platforms() }
+
+// archSubstrate serves every simulated architecture: the per-platform
+// differences live entirely in the hwsim.Arch tables (event lists,
+// masks, groups, costs, sampling support), which is the point of the
+// layered design.
+type archSubstrate struct {
+	arch *hwsim.Arch
+}
+
+func (s *archSubstrate) Arch() *hwsim.Arch { return s.arch }
+
+func (s *archSubstrate) Info() Info {
+	return Info{
+		Platform:     s.arch.Platform,
+		Model:        s.arch.Name,
+		ClockMHz:     s.arch.ClockMHz,
+		NumCounters:  s.arch.NumCounters,
+		CounterWidth: s.arch.CounterWidth,
+		HWSampling:   s.arch.HWSampling,
+		HasGroups:    len(s.arch.Groups) > 0,
+		NumNative:    len(s.arch.Events),
+	}
+}
+
+func (s *archSubstrate) NewContext(cpu *hwsim.CPU) Context {
+	if s.arch.Platform == hwsim.PlatformTru64Alpha {
+		// Tru64's counter access goes through DADD: aggregate counts
+		// are estimated from ProfileMe samples (the paper's §4).
+		ctx, err := s.NewSamplingContext(cpu, defaultSamplePeriod)
+		if err == nil {
+			return ctx
+		}
+	}
+	return &directContext{sub: s, cpu: cpu}
+}
+
+func (s *archSubstrate) NewSamplingContext(cpu *hwsim.CPU, period int) (Context, error) {
+	if !s.arch.HWSampling {
+		return nil, fmt.Errorf("substrate: %s has no hardware sampling interface", s.arch.Platform)
+	}
+	if period <= 0 {
+		return nil, fmt.Errorf("substrate: sampling period must be positive, got %d", period)
+	}
+	return &samplingContext{sub: s, cpu: cpu, period: period}, nil
+}
+
+// allocate is the hardware-dependent half of the PAPI 3 allocation
+// split: translate this platform's counter scheme (masks + optional
+// groups) into the hardware-independent matching problem and solve it.
+func (s *archSubstrate) allocate(codes []uint32) ([]int, error) {
+	items := make([]alloc.Item, len(codes))
+	for i, code := range codes {
+		ev, ok := s.arch.EventByCode(code)
+		if !ok {
+			return nil, fmt.Errorf("substrate: %s: unknown native event %#x", s.arch.Platform, code)
+		}
+		items[i] = alloc.Item{ID: code, Mask: ev.CounterMask, Weight: 1}
+	}
+	if len(s.arch.Groups) > 0 {
+		res, _, ok := alloc.AssignGrouped(items, s.arch.NumCounters, s.arch.Groups)
+		if !ok {
+			return nil, conflictError(s.arch, codes, true)
+		}
+		return res.Counter, nil
+	}
+	res, ok := alloc.Assign(items, s.arch.NumCounters)
+	if !ok {
+		return nil, conflictError(s.arch, codes, false)
+	}
+	return res.Counter, nil
+}
+
+func conflictError(a *hwsim.Arch, codes []uint32, grouped bool) error {
+	names := make([]string, 0, len(codes))
+	for _, c := range codes {
+		if ev, ok := a.EventByCode(c); ok {
+			names = append(names, ev.Name)
+		}
+	}
+	sort.Strings(names)
+	kind := "counter-conflict"
+	if grouped {
+		kind = "group/counter-conflict"
+	}
+	return fmt.Errorf("substrate: %s: %s: events %v cannot be counted simultaneously on %d counters",
+		a.Platform, kind, names, a.NumCounters)
+}
+
+const defaultSamplePeriod = 512

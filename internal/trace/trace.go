@@ -1,0 +1,211 @@
+// Package trace provides the event-tracing substrate the paper's §3
+// describes third-party tools building on PAPI: timestamped
+// enter/exit/sample records carrying hardware counter values, kept per
+// node-context-thread, mergeable into a single time-ordered log and
+// convertible to external formats — the role TAU's tracing layer and
+// the Vampir converters play around the C library.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Kind classifies a trace event.
+type Kind uint8
+
+// Trace event kinds.
+const (
+	KindEnter  Kind = iota // region entry
+	KindExit               // region exit
+	KindSample             // standalone counter sample
+	KindMarker             // user annotation
+)
+
+var kindNames = [...]string{"ENTER", "EXIT", "SAMPLE", "MARKER"}
+
+// String returns the kind's wire name.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "UNKNOWN"
+}
+
+// Event is one trace record.
+type Event struct {
+	TimeUsec uint64  `json:"t"`
+	Node     int     `json:"node"`
+	Thread   int     `json:"thread"`
+	Kind     Kind    `json:"kind"`
+	Region   string  `json:"region"`
+	Values   []int64 `json:"values,omitempty"` // counter values, in metric order
+}
+
+// Buffer collects one thread's events in time order.
+type Buffer struct {
+	Node   int
+	Thread int
+	Events []Event
+}
+
+// NewBuffer creates a buffer for one node-context-thread.
+func NewBuffer(node, thread int) *Buffer {
+	return &Buffer{Node: node, Thread: thread}
+}
+
+// Append records an event, stamping the buffer's node/thread.
+func (b *Buffer) Append(t uint64, kind Kind, region string, values []int64) {
+	ev := Event{TimeUsec: t, Node: b.Node, Thread: b.Thread, Kind: kind, Region: region}
+	if len(values) > 0 {
+		ev.Values = append([]int64(nil), values...)
+	}
+	b.Events = append(b.Events, ev)
+}
+
+// Len returns the number of buffered events.
+func (b *Buffer) Len() int { return len(b.Events) }
+
+// Merge interleaves per-thread buffers into one time-ordered log,
+// breaking timestamp ties by (node, thread, original order) so merges
+// are deterministic — the "individual node-context-thread event traces
+// that can be merged" of §3.
+func Merge(bufs ...*Buffer) []Event {
+	total := 0
+	for _, b := range bufs {
+		total += len(b.Events)
+	}
+	out := make([]Event, 0, total)
+	for _, b := range bufs {
+		out = append(out, b.Events...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].TimeUsec != out[j].TimeUsec {
+			return out[i].TimeUsec < out[j].TimeUsec
+		}
+		if out[i].Node != out[j].Node {
+			return out[i].Node < out[j].Node
+		}
+		return out[i].Thread < out[j].Thread
+	})
+	return out
+}
+
+// Validate checks the nesting discipline of a single thread's events:
+// every exit matches the innermost open enter.
+func Validate(events []Event) error {
+	stacks := map[[2]int][]string{}
+	for i, ev := range events {
+		key := [2]int{ev.Node, ev.Thread}
+		switch ev.Kind {
+		case KindEnter:
+			stacks[key] = append(stacks[key], ev.Region)
+		case KindExit:
+			st := stacks[key]
+			if len(st) == 0 {
+				return fmt.Errorf("trace: event %d: exit %q with empty stack", i, ev.Region)
+			}
+			if st[len(st)-1] != ev.Region {
+				return fmt.Errorf("trace: event %d: exit %q but innermost region is %q",
+					i, ev.Region, st[len(st)-1])
+			}
+			stacks[key] = st[:len(st)-1]
+		}
+	}
+	for key, st := range stacks {
+		if len(st) != 0 {
+			return fmt.Errorf("trace: node %d thread %d: %d regions never exited (innermost %q)",
+				key[0], key[1], len(st), st[len(st)-1])
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes events as JSON lines.
+func WriteJSON(w io.Writer, events []Event) error {
+	enc := json.NewEncoder(w)
+	for i := range events {
+		if err := enc.Encode(&events[i]); err != nil {
+			return fmt.Errorf("trace: writing event %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ReadJSON reads a JSON-lines trace back.
+func ReadJSON(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var out []Event
+	for {
+		var ev Event
+		if err := dec.Decode(&ev); err != nil {
+			if errors.Is(err, io.EOF) {
+				return out, nil
+			}
+			return nil, fmt.Errorf("trace: reading: %w", err)
+		}
+		out = append(out, ev)
+	}
+}
+
+// WriteVTF writes the merged trace in a simple Vampir-like text format:
+// one line per event, tab-separated, suitable for the timeline viewers
+// §3 describes feeding.
+func WriteVTF(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# VTF3-like trace: time_usec\tnode\tthread\tkind\tregion\tvalues")
+	for i := range events {
+		ev := &events[i]
+		fmt.Fprintf(bw, "%d\t%d\t%d\t%s\t%s", ev.TimeUsec, ev.Node, ev.Thread, ev.Kind, ev.Region)
+		for _, v := range ev.Values {
+			fmt.Fprintf(bw, "\t%d", v)
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// Interval is one region activation reconstructed from a trace.
+type Interval struct {
+	Node, Thread        int
+	Region              string
+	StartUsec, EndUsec  uint64
+	EnterVals, ExitVals []int64
+}
+
+// DurationUsec returns the activation's wall time.
+func (iv Interval) DurationUsec() uint64 { return iv.EndUsec - iv.StartUsec }
+
+// Intervals reconstructs region activations from a (merged or single)
+// trace, matching enters to exits per thread.
+func Intervals(events []Event) ([]Interval, error) {
+	stacks := map[[2]int][]int{}
+	var out []Interval
+	for i, ev := range events {
+		key := [2]int{ev.Node, ev.Thread}
+		switch ev.Kind {
+		case KindEnter:
+			stacks[key] = append(stacks[key], i)
+		case KindExit:
+			st := stacks[key]
+			if len(st) == 0 {
+				return nil, fmt.Errorf("trace: unmatched exit at event %d", i)
+			}
+			enter := events[st[len(st)-1]]
+			stacks[key] = st[:len(st)-1]
+			if enter.Region != ev.Region {
+				return nil, fmt.Errorf("trace: exit %q does not match enter %q", ev.Region, enter.Region)
+			}
+			out = append(out, Interval{
+				Node: ev.Node, Thread: ev.Thread, Region: ev.Region,
+				StartUsec: enter.TimeUsec, EndUsec: ev.TimeUsec,
+				EnterVals: enter.Values, ExitVals: ev.Values,
+			})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,172 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBufferAppendAndMerge(t *testing.T) {
+	b0 := NewBuffer(0, 0)
+	b1 := NewBuffer(0, 1)
+	b0.Append(10, KindEnter, "main", []int64{1})
+	b0.Append(40, KindExit, "main", []int64{5})
+	b1.Append(20, KindEnter, "work", nil)
+	b1.Append(30, KindExit, "work", nil)
+	merged := Merge(b0, b1)
+	if len(merged) != 4 {
+		t.Fatalf("merged %d events", len(merged))
+	}
+	times := []uint64{10, 20, 30, 40}
+	for i, ev := range merged {
+		if ev.TimeUsec != times[i] {
+			t.Errorf("event %d at %d, want %d", i, ev.TimeUsec, times[i])
+		}
+	}
+	if b0.Len() != 2 {
+		t.Error("buffer length wrong")
+	}
+}
+
+func TestMergeTieBreaking(t *testing.T) {
+	b0 := NewBuffer(1, 0)
+	b1 := NewBuffer(0, 0)
+	b0.Append(5, KindMarker, "a", nil)
+	b1.Append(5, KindMarker, "b", nil)
+	merged := Merge(b0, b1)
+	if merged[0].Node != 0 || merged[1].Node != 1 {
+		t.Error("ties must order by node")
+	}
+}
+
+func TestValidateNesting(t *testing.T) {
+	good := []Event{
+		{TimeUsec: 1, Kind: KindEnter, Region: "a"},
+		{TimeUsec: 2, Kind: KindEnter, Region: "b"},
+		{TimeUsec: 3, Kind: KindExit, Region: "b"},
+		{TimeUsec: 4, Kind: KindExit, Region: "a"},
+	}
+	if err := Validate(good); err != nil {
+		t.Errorf("valid trace rejected: %v", err)
+	}
+	bad := []Event{
+		{Kind: KindEnter, Region: "a"},
+		{Kind: KindExit, Region: "b"},
+	}
+	if err := Validate(bad); err == nil {
+		t.Error("mismatched exit accepted")
+	}
+	unclosed := []Event{{Kind: KindEnter, Region: "a"}}
+	if err := Validate(unclosed); err == nil {
+		t.Error("unclosed region accepted")
+	}
+	orphan := []Event{{Kind: KindExit, Region: "a"}}
+	if err := Validate(orphan); err == nil {
+		t.Error("orphan exit accepted")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	events := []Event{
+		{TimeUsec: 1, Node: 0, Thread: 2, Kind: KindEnter, Region: "solve", Values: []int64{10, 20}},
+		{TimeUsec: 9, Node: 0, Thread: 2, Kind: KindExit, Region: "solve", Values: []int64{30, 40}},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || back[0].Region != "solve" || back[1].Values[1] != 40 {
+		t.Errorf("round trip mangled: %+v", back)
+	}
+}
+
+func TestVTFFormat(t *testing.T) {
+	events := []Event{
+		{TimeUsec: 7, Node: 1, Thread: 0, Kind: KindEnter, Region: "io", Values: []int64{3}},
+	}
+	var buf bytes.Buffer
+	if err := WriteVTF(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "7\t1\t0\tENTER\tio\t3") {
+		t.Errorf("VTF output:\n%s", out)
+	}
+	if !strings.HasPrefix(out, "#") {
+		t.Error("missing header comment")
+	}
+}
+
+func TestIntervals(t *testing.T) {
+	events := []Event{
+		{TimeUsec: 10, Kind: KindEnter, Region: "outer", Values: []int64{100}},
+		{TimeUsec: 20, Kind: KindEnter, Region: "inner"},
+		{TimeUsec: 35, Kind: KindExit, Region: "inner"},
+		{TimeUsec: 50, Kind: KindExit, Region: "outer", Values: []int64{900}},
+	}
+	ivs, err := Intervals(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ivs) != 2 {
+		t.Fatalf("%d intervals", len(ivs))
+	}
+	// Inner closes first.
+	if ivs[0].Region != "inner" || ivs[0].DurationUsec() != 15 {
+		t.Errorf("inner interval: %+v", ivs[0])
+	}
+	if ivs[1].Region != "outer" || ivs[1].DurationUsec() != 40 {
+		t.Errorf("outer interval: %+v", ivs[1])
+	}
+	if ivs[1].EnterVals[0] != 100 || ivs[1].ExitVals[0] != 900 {
+		t.Error("interval counter values lost")
+	}
+	if _, err := Intervals([]Event{{Kind: KindExit, Region: "x"}}); err == nil {
+		t.Error("unmatched exit accepted")
+	}
+}
+
+func TestMergePreservesAndOrdersEverything(t *testing.T) {
+	// Property: merging K buffers keeps every event exactly once and
+	// produces a non-decreasing time sequence.
+	f := func(times [][]uint16) bool {
+		if len(times) > 6 {
+			times = times[:6]
+		}
+		var bufs []*Buffer
+		total := 0
+		for ti, ts := range times {
+			b := NewBuffer(0, ti)
+			// Per-thread events must be appended in time order.
+			sorted := append([]uint16(nil), ts...)
+			for i := 1; i < len(sorted); i++ {
+				for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+					sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+				}
+			}
+			for _, tt := range sorted {
+				b.Append(uint64(tt), KindMarker, "m", nil)
+				total++
+			}
+			bufs = append(bufs, b)
+		}
+		merged := Merge(bufs...)
+		if len(merged) != total {
+			return false
+		}
+		for i := 1; i < len(merged); i++ {
+			if merged[i].TimeUsec < merged[i-1].TimeUsec {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

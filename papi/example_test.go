@@ -1,0 +1,182 @@
+package papi_test
+
+import (
+	"fmt"
+
+	"repro/papi"
+	"repro/workload"
+)
+
+// The high-level interface: three calls around the code to measure.
+func Example() {
+	sys := papi.MustInit(papi.Options{Platform: papi.PlatformCrayT3E})
+	th := sys.Main()
+
+	if err := th.StartCounters(papi.FP_INS, papi.TOT_INS); err != nil {
+		panic(err)
+	}
+	th.Run(workload.Triad(workload.TriadConfig{N: 1000}))
+	vals := make([]int64, 2)
+	if err := th.StopCounters(vals); err != nil {
+		panic(err)
+	}
+	fmt.Println("FP instructions:", vals[0])
+	// Output:
+	// FP instructions: 2000
+}
+
+// The low-level interface: explicit EventSet control with Accum.
+func ExampleEventSet() {
+	sys := papi.MustInit(papi.Options{Platform: papi.PlatformCrayT3E})
+	th := sys.Main()
+
+	es := th.NewEventSet()
+	if err := es.AddAll(papi.FP_INS, papi.LD_INS); err != nil {
+		panic(err)
+	}
+	if err := es.Start(); err != nil {
+		panic(err)
+	}
+	totals := make([]int64, 2)
+	for i := 0; i < 3; i++ {
+		th.Run(workload.Triad(workload.TriadConfig{N: 100}))
+		// Accum folds the counts into totals and zeroes the counters,
+		// leaving them running.
+		if err := es.Accum(totals); err != nil {
+			panic(err)
+		}
+	}
+	if err := es.Stop(nil); err != nil {
+		panic(err)
+	}
+	fmt.Println("FP over three phases:", totals[0])
+	// Output:
+	// FP over three phases: 600
+}
+
+// Overflow dispatch: a callback every N occurrences of an event.
+func ExampleEventSet_SetOverflow() {
+	sys := papi.MustInit(papi.Options{Platform: papi.PlatformCrayT3E})
+	th := sys.Main()
+
+	es := th.NewEventSet()
+	if err := es.Add(papi.FP_INS); err != nil {
+		panic(err)
+	}
+	fires := 0
+	if err := es.SetOverflow(papi.FP_INS, 500, func(_ *papi.EventSet, addr uint64, _ papi.Event) {
+		fires++
+	}); err != nil {
+		panic(err)
+	}
+	if err := es.Start(); err != nil {
+		panic(err)
+	}
+	th.Run(workload.Triad(workload.TriadConfig{N: 1000})) // 2000 FP instrs
+	if err := es.Stop(nil); err != nil {
+		panic(err)
+	}
+	fmt.Println("overflow callbacks:", fires)
+	// Output:
+	// overflow callbacks: 4
+}
+
+// Multiplexing: more events than counters, explicitly opted in.
+func ExampleEventSet_SetMultiplex() {
+	sys := papi.MustInit(papi.Options{Platform: papi.PlatformLinuxX86})
+	th := sys.Main()
+
+	es := th.NewEventSet()
+	if err := es.SetMultiplex(0); err != nil {
+		panic(err)
+	}
+	// Six events on a two-counter machine.
+	err := es.AddAll(papi.TOT_CYC, papi.TOT_INS, papi.FP_INS,
+		papi.L1_DCM, papi.BR_INS, papi.LST_INS)
+	if err != nil {
+		panic(err)
+	}
+	if err := es.Start(); err != nil {
+		panic(err)
+	}
+	th.Run(workload.MatMul(workload.MatMulConfig{N: 96}))
+	vals := make([]int64, 6)
+	if err := es.Stop(vals); err != nil {
+		panic(err)
+	}
+	// Estimates, not exact counts: check the FP estimate is within 10%
+	// of the analytic truth on this long run.
+	truth := int64(workload.MatMul(workload.MatMulConfig{N: 96}).Expected().FPInstrs())
+	err10 := vals[2] > truth-truth/10 && vals[2] < truth+truth/10
+	fmt.Println("FP estimate within 10% of truth:", err10)
+	// Output:
+	// FP estimate within 10% of truth: true
+}
+
+// SVR4-compatible statistical profiling: hash overflow PCs into a
+// histogram over the program text (PAPI_profil).
+func ExampleEventSet_Profil() {
+	sys := papi.MustInit(papi.Options{Platform: papi.PlatformCrayT3E})
+	th := sys.Main()
+
+	prog := workload.HotColdLoop(workload.HotColdConfig{Iters: 10_000, Hot: 4, Cold: 16})
+	regions := prog.Regions()
+	hist, err := papi.NewProfileCovering(regions[0].Lo, regions[len(regions)-1].Hi, 4)
+	if err != nil {
+		panic(err)
+	}
+	es := th.NewEventSet()
+	if err := es.Add(papi.FP_INS); err != nil {
+		panic(err)
+	}
+	if err := es.Profil(hist, papi.FP_INS, 1000); err != nil {
+		panic(err)
+	}
+	if err := es.Start(); err != nil {
+		panic(err)
+	}
+	th.Run(prog)
+	if err := es.Stop(nil); err != nil {
+		panic(err)
+	}
+	// On the in-order T3E every hit lands inside the hot FP region.
+	hot := uint64(0)
+	for i, h := range hist.Buckets {
+		lo, _ := hist.AddrRange(i)
+		if regions[0].Contains(lo) {
+			hot += h
+		}
+	}
+	fmt.Println("hits:", hist.Total(), "in hot region:", hot)
+	// Output:
+	// hits: 40 in hot region: 40
+}
+
+// Attaching a set to another thread (PAPI_attach): a tool thread
+// measures a worker it did not create.
+func ExampleEventSet_Attach() {
+	sys := papi.MustInit(papi.Options{Platform: papi.PlatformCrayT3E})
+	controller := sys.Main()
+	worker, err := sys.NewThread()
+	if err != nil {
+		panic(err)
+	}
+	es := controller.NewEventSet()
+	if err := es.Add(papi.FP_INS); err != nil {
+		panic(err)
+	}
+	if err := es.Attach(worker); err != nil {
+		panic(err)
+	}
+	if err := es.Start(); err != nil {
+		panic(err)
+	}
+	worker.Run(workload.Triad(workload.TriadConfig{N: 250}))
+	vals := make([]int64, 1)
+	if err := es.Stop(vals); err != nil {
+		panic(err)
+	}
+	fmt.Println("worker FP instructions:", vals[0])
+	// Output:
+	// worker FP instructions: 500
+}

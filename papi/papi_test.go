@@ -1,0 +1,136 @@
+package papi_test
+
+import (
+	"testing"
+
+	"repro/papi"
+	"repro/workload"
+)
+
+// These tests exercise the public facade exactly as a downstream user
+// would, on top of the full engine tests in internal/core.
+
+func TestInitAllPlatforms(t *testing.T) {
+	for _, p := range papi.Platforms() {
+		sys, err := papi.Init(papi.Options{Platform: p})
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if sys.Info().Platform != p {
+			t.Errorf("%s: info mismatch", p)
+		}
+	}
+	if _, err := papi.Init(papi.Options{Platform: "nonesuch"}); err == nil {
+		t.Error("bad platform accepted")
+	}
+}
+
+func TestEndToEndCountingThroughFacade(t *testing.T) {
+	sys := papi.MustInit(papi.Options{Platform: papi.PlatformCrayT3E})
+	th := sys.Main()
+	es := th.NewEventSet()
+	if err := es.AddAll(papi.FP_INS, papi.TOT_CYC); err != nil {
+		t.Fatal(err)
+	}
+	prog := workload.Triad(workload.TriadConfig{N: 1000})
+	if err := es.Start(); err != nil {
+		t.Fatal(err)
+	}
+	th.Run(prog)
+	vals := make([]int64, 2)
+	if err := es.Stop(vals); err != nil {
+		t.Fatal(err)
+	}
+	want := int64(prog.Expected().FPInstrs())
+	if vals[0] != want {
+		t.Errorf("FP_INS = %d, want %d", vals[0], want)
+	}
+}
+
+func TestErrnoRoundTrip(t *testing.T) {
+	sys := papi.MustInit(papi.Options{})
+	es := sys.Main().NewEventSet()
+	err := es.Add(papi.LD_INS) // unavailable on x86
+	if err == nil {
+		t.Fatal("expected ENOEVNT")
+	}
+	if !papi.IsErr(err, papi.ENOEVNT) {
+		t.Errorf("expected ENOEVNT, got %v", err)
+	}
+	if papi.IsErr(err, papi.ECNFLCT) {
+		t.Error("wrong code matched")
+	}
+	if papi.ENOEVNT.Error() == "" {
+		t.Error("empty error text")
+	}
+}
+
+func TestPresetMetadata(t *testing.T) {
+	if len(papi.Presets()) < 19 {
+		t.Errorf("only %d presets", len(papi.Presets()))
+	}
+	if papi.EventName(papi.FP_OPS) != "PAPI_FP_OPS" {
+		t.Error("name mismatch")
+	}
+	if papi.EventDescription(papi.FP_OPS) == "" {
+		t.Error("missing description")
+	}
+	ev, ok := papi.PresetByName("PAPI_TLB_DM")
+	if !ok || ev != papi.TLB_DM {
+		t.Error("lookup failed")
+	}
+}
+
+func TestProfileConstruction(t *testing.T) {
+	p, err := papi.NewProfile(0x1000, 64, papi.ProfileScaleUnit)
+	if err != nil || len(p.Buckets) != 64 {
+		t.Fatalf("NewProfile: %v", err)
+	}
+	p2, err := papi.NewProfileCovering(0x1000, 0x2000, 64)
+	if err != nil || len(p2.Buckets) != 64 {
+		t.Fatalf("NewProfileCovering: %v", err)
+	}
+	if _, err := papi.NewProfile(0, 0, 1); err == nil {
+		t.Error("invalid profile accepted")
+	}
+}
+
+func TestQueryAndAvail(t *testing.T) {
+	sys := papi.MustInit(papi.Options{Platform: papi.PlatformIRIXMips})
+	avail := sys.AvailPresets()
+	availCount := 0
+	for _, pa := range avail {
+		if pa.Avail {
+			availCount++
+			if !sys.QueryEvent(pa.Event) {
+				t.Errorf("%s: avail but not queryable", pa.Name)
+			}
+		} else if sys.QueryEvent(pa.Event) {
+			t.Errorf("%s: unavailable but queryable", pa.Name)
+		}
+	}
+	// R10K genuinely lacks some presets.
+	if availCount == len(avail) {
+		t.Error("R10K should not map every preset")
+	}
+	if availCount < 10 {
+		t.Errorf("R10K maps only %d presets", availCount)
+	}
+}
+
+func TestSeedDeterminism(t *testing.T) {
+	run := func(seed uint64) int64 {
+		sys := papi.MustInit(papi.Options{Platform: papi.PlatformLinuxX86, Seed: seed})
+		th := sys.Main()
+		es := th.NewEventSet()
+		es.AddAll(papi.L1_DCM, papi.TOT_CYC)
+		es.Start()
+		th.Run(workload.PointerChase(workload.ChaseConfig{Nodes: 2048, Steps: 20000}))
+		vals := make([]int64, 2)
+		es.Stop(vals)
+		return vals[1]
+	}
+	if run(7) != run(7) {
+		t.Error("same seed must reproduce identical cycle counts")
+	}
+}

@@ -1,0 +1,185 @@
+// Package dynaprof reproduces the paper's dynaprof tool (§2): dynamic
+// instrumentation of a running executable without source changes,
+// recompilation or restart. The user lists the internal structure of
+// the application, selects instrumentation points, and dynaprof inserts
+// probes at function entry and exit — a PAPI probe for hardware counter
+// data and a wallclock probe for elapsed time, both per thread. Users
+// may write their own probes.
+//
+// Where the C dynaprof patches machine code through Dyninst or DPCL,
+// this version instruments the function table of a simulated
+// executable: the observable behaviour (attach, list, instrument, run,
+// per-thread metrics, probe overhead charged to the program) is the
+// same.
+package dynaprof
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/papi"
+	"repro/workload"
+)
+
+// Stmt is one statement in a simulated function body.
+type Stmt interface{ isStmt() }
+
+// RunStmt executes a workload program inline.
+type RunStmt struct{ Prog workload.Program }
+
+// CallStmt calls another function by name.
+type CallStmt struct{ Callee string }
+
+// LoopStmt repeats a body Count times.
+type LoopStmt struct {
+	Count int
+	Body  []Stmt
+}
+
+func (RunStmt) isStmt()  {}
+func (CallStmt) isStmt() {}
+func (LoopStmt) isStmt() {}
+
+// Func is one function of the simulated executable.
+type Func struct {
+	Name string
+	Body []Stmt
+}
+
+// Executable is the simulated program dynaprof attaches to.
+type Executable struct {
+	Name  string
+	Entry string
+	Funcs map[string]*Func
+}
+
+// NewExecutable builds an executable from functions; the first is the
+// entry point unless entry names another.
+func NewExecutable(name, entry string, funcs ...*Func) (*Executable, error) {
+	e := &Executable{Name: name, Entry: entry, Funcs: map[string]*Func{}}
+	for _, f := range funcs {
+		if _, dup := e.Funcs[f.Name]; dup {
+			return nil, fmt.Errorf("dynaprof: duplicate function %q", f.Name)
+		}
+		e.Funcs[f.Name] = f
+	}
+	if _, ok := e.Funcs[entry]; !ok {
+		return nil, fmt.Errorf("dynaprof: entry function %q not defined", entry)
+	}
+	return e, nil
+}
+
+// Probe is an instrumentation point handler. Enter/Exit run on the
+// instrumented thread; whatever they do to the thread (reading
+// counters, timers) costs simulated time, exactly like real probes.
+type Probe interface {
+	Enter(fn string, th *papi.Thread)
+	Exit(fn string, th *papi.Thread)
+}
+
+// Profiler is one attachment of dynaprof to an executable.
+type Profiler struct {
+	exe    *Executable
+	probes map[string][]Probe
+}
+
+// Attach connects dynaprof to an executable (load or attach — the
+// simulated executable does not distinguish).
+func Attach(exe *Executable) *Profiler {
+	return &Profiler{exe: exe, probes: map[string][]Probe{}}
+}
+
+// List returns the executable's internal structure: its function
+// names, sorted — what the user browses to select instrumentation
+// points.
+func (p *Profiler) List() []string {
+	out := make([]string, 0, len(p.exe.Funcs))
+	for name := range p.exe.Funcs {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Instrument inserts a probe at entry and exit of every function whose
+// name matches pattern ("*" instruments everything; a trailing "*"
+// matches a prefix).
+func (p *Profiler) Instrument(pattern string, probe Probe) error {
+	matched := 0
+	for name := range p.exe.Funcs {
+		if matchPattern(pattern, name) {
+			p.probes[name] = append(p.probes[name], probe)
+			matched++
+		}
+	}
+	if matched == 0 {
+		return fmt.Errorf("dynaprof: pattern %q matches no function", pattern)
+	}
+	return nil
+}
+
+func matchPattern(pattern, name string) bool {
+	if pattern == "*" || pattern == name {
+		return true
+	}
+	if prefix, ok := strings.CutSuffix(pattern, "*"); ok {
+		return strings.HasPrefix(name, prefix)
+	}
+	return false
+}
+
+// Run executes the instrumented program on a thread. Probe entry/exit
+// hooks fire around every instrumented call, including the entry
+// function.
+func (p *Profiler) Run(th *papi.Thread) error {
+	return p.call(th, p.exe.Entry, 0)
+}
+
+const maxCallDepth = 256
+
+func (p *Profiler) call(th *papi.Thread, fn string, depth int) error {
+	if depth > maxCallDepth {
+		return fmt.Errorf("dynaprof: call depth exceeds %d (recursion in %q?)", maxCallDepth, fn)
+	}
+	f, ok := p.exe.Funcs[fn]
+	if !ok {
+		return fmt.Errorf("dynaprof: call to undefined function %q", fn)
+	}
+	// Call overhead: a couple of instructions, like a real call/ret.
+	th.CPU().Charge(2, 2)
+	for _, probe := range p.probes[fn] {
+		probe.Enter(fn, th)
+	}
+	if err := p.runBody(th, f.Body, depth); err != nil {
+		return err
+	}
+	for i := len(p.probes[fn]) - 1; i >= 0; i-- {
+		p.probes[fn][i].Exit(fn, th)
+	}
+	th.CPU().Charge(2, 2)
+	return nil
+}
+
+func (p *Profiler) runBody(th *papi.Thread, body []Stmt, depth int) error {
+	for _, st := range body {
+		switch s := st.(type) {
+		case RunStmt:
+			s.Prog.Reset()
+			th.Run(s.Prog)
+		case CallStmt:
+			if err := p.call(th, s.Callee, depth+1); err != nil {
+				return err
+			}
+		case LoopStmt:
+			for i := 0; i < s.Count; i++ {
+				if err := p.runBody(th, s.Body, depth); err != nil {
+					return err
+				}
+			}
+		default:
+			return fmt.Errorf("dynaprof: unknown statement %T", st)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,172 @@
+package dynaprof
+
+import (
+	"strings"
+	"testing"
+
+	"repro/papi"
+	"repro/workload"
+)
+
+func testExe(t *testing.T) *Executable {
+	t.Helper()
+	exe, err := NewExecutable("app", "main",
+		&Func{Name: "main", Body: []Stmt{
+			CallStmt{Callee: "init_data"},
+			LoopStmt{Count: 3, Body: []Stmt{CallStmt{Callee: "compute"}}},
+			CallStmt{Callee: "write_back"},
+		}},
+		&Func{Name: "init_data", Body: []Stmt{
+			RunStmt{Prog: workload.Triad(workload.TriadConfig{N: 200})},
+		}},
+		&Func{Name: "compute", Body: []Stmt{
+			RunStmt{Prog: workload.MatMul(workload.MatMulConfig{N: 12})},
+		}},
+		&Func{Name: "write_back", Body: []Stmt{
+			RunStmt{Prog: workload.Triad(workload.TriadConfig{N: 100})},
+		}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return exe
+}
+
+func TestListStructure(t *testing.T) {
+	p := Attach(testExe(t))
+	got := p.List()
+	want := []string{"compute", "init_data", "main", "write_back"}
+	if len(got) != len(want) {
+		t.Fatalf("List() = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("List() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPAPIProbeProfile(t *testing.T) {
+	sys := papi.MustInit(papi.Options{Platform: papi.PlatformAIXPower3})
+	th := sys.Main()
+	p := Attach(testExe(t))
+	probe, err := NewPAPIProbe(th, papi.FP_INS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Instrument("*", probe); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Run(th); err != nil {
+		t.Fatal(err)
+	}
+	if err := probe.Close(); err != nil {
+		t.Fatal(err)
+	}
+	stats := map[string]FuncStat{}
+	for _, st := range probe.Stats() {
+		stats[st.Name] = st
+	}
+	if stats["compute"].Calls != 3 {
+		t.Errorf("compute called %d times, want 3", stats["compute"].Calls)
+	}
+	if stats["main"].Calls != 1 {
+		t.Errorf("main called %d times", stats["main"].Calls)
+	}
+	// matmul n=12, 3 calls: 3 × 2·12³ FP instrs = 10368 exclusive in
+	// compute; triads contribute 2 FP per element.
+	if got := stats["compute"].Exclusive; got != 3*2*12*12*12 {
+		t.Errorf("compute exclusive FP = %d, want %d", got, 3*2*12*12*12)
+	}
+	if got := stats["init_data"].Exclusive; got != 400 {
+		t.Errorf("init_data exclusive FP = %d, want 400", got)
+	}
+	// main's exclusive FP is ~0; its inclusive covers everything.
+	if stats["main"].Exclusive > 10 {
+		t.Errorf("main exclusive FP = %d, want ~0", stats["main"].Exclusive)
+	}
+	wantIncl := stats["compute"].Inclusive + stats["init_data"].Inclusive + stats["write_back"].Inclusive
+	if stats["main"].Inclusive < wantIncl {
+		t.Errorf("main inclusive %d < children sum %d", stats["main"].Inclusive, wantIncl)
+	}
+	rep := probe.Report()
+	if !strings.Contains(rep, "compute") || !strings.Contains(rep, "PAPI_FP_INS") {
+		t.Errorf("report missing fields:\n%s", rep)
+	}
+	if probe.Event() != papi.FP_INS {
+		t.Error("probe event mismatch")
+	}
+}
+
+func TestWallclockProbe(t *testing.T) {
+	sys := papi.MustInit(papi.Options{Platform: papi.PlatformCrayT3E})
+	th := sys.Main()
+	p := Attach(testExe(t))
+	probe := NewWallclockProbe()
+	if err := p.Instrument("*", probe); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Run(th); err != nil {
+		t.Fatal(err)
+	}
+	var mainIncl int64
+	for _, st := range probe.Stats() {
+		if st.Name == "main" {
+			mainIncl = st.Inclusive
+		}
+		if st.Inclusive < st.Exclusive {
+			t.Errorf("%s: inclusive %d < exclusive %d", st.Name, st.Inclusive, st.Exclusive)
+		}
+	}
+	if mainIncl <= 0 {
+		t.Error("main consumed no wallclock time")
+	}
+	if !strings.Contains(probe.Report(), "REAL_USEC") {
+		t.Error("wallclock report header missing")
+	}
+}
+
+func TestSelectiveInstrumentation(t *testing.T) {
+	sys := papi.MustInit(papi.Options{Platform: papi.PlatformCrayT3E})
+	th := sys.Main()
+	p := Attach(testExe(t))
+	probe, err := NewPAPIProbe(th, papi.TOT_INS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only functions starting with "c".
+	if err := p.Instrument("c*", probe); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Run(th); err != nil {
+		t.Fatal(err)
+	}
+	probe.Close()
+	stats := probe.Stats()
+	if len(stats) != 1 || stats[0].Name != "compute" {
+		t.Errorf("stats = %+v, want only compute", stats)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := NewExecutable("x", "missing", &Func{Name: "a"}); err == nil {
+		t.Error("missing entry accepted")
+	}
+	if _, err := NewExecutable("x", "a", &Func{Name: "a"}, &Func{Name: "a"}); err == nil {
+		t.Error("duplicate function accepted")
+	}
+	exe, _ := NewExecutable("x", "a", &Func{Name: "a", Body: []Stmt{CallStmt{Callee: "ghost"}}})
+	p := Attach(exe)
+	sys := papi.MustInit(papi.Options{})
+	if err := p.Run(sys.Main()); err == nil {
+		t.Error("undefined callee accepted")
+	}
+	if err := p.Instrument("zzz*", NewWallclockProbe()); err == nil {
+		t.Error("unmatched pattern accepted")
+	}
+	// Unbounded recursion is caught.
+	rec, _ := NewExecutable("r", "f", &Func{Name: "f", Body: []Stmt{CallStmt{Callee: "f"}}})
+	if err := Attach(rec).Run(sys.Main()); err == nil {
+		t.Error("infinite recursion not caught")
+	}
+}

@@ -1,0 +1,106 @@
+package dynaprof
+
+import (
+	"testing"
+
+	"repro/papi"
+	"repro/workload"
+)
+
+func TestNestedLoopsAndRecursionBudget(t *testing.T) {
+	// Nested LoopStmts multiply call counts; bounded recursion works.
+	exe, err := NewExecutable("nest", "main",
+		&Func{Name: "main", Body: []Stmt{
+			LoopStmt{Count: 3, Body: []Stmt{
+				LoopStmt{Count: 4, Body: []Stmt{CallStmt{Callee: "leaf"}}},
+			}},
+			CallStmt{Callee: "rec3"},
+		}},
+		&Func{Name: "leaf", Body: []Stmt{
+			RunStmt{Prog: workload.Triad(workload.TriadConfig{N: 50})},
+		}},
+		// Three-deep self-recursion via a loop guard is not expressible
+		// without data flow, so chain three functions instead.
+		&Func{Name: "rec3", Body: []Stmt{CallStmt{Callee: "rec2"}}},
+		&Func{Name: "rec2", Body: []Stmt{CallStmt{Callee: "rec1"}}},
+		&Func{Name: "rec1", Body: []Stmt{
+			RunStmt{Prog: workload.Triad(workload.TriadConfig{N: 10})},
+		}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := papi.MustInit(papi.Options{Platform: papi.PlatformCrayT3E})
+	th := sys.Main()
+	probe, err := NewPAPIProbe(th, papi.FP_INS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Attach(exe)
+	if err := p.Instrument("*", probe); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Run(th); err != nil {
+		t.Fatal(err)
+	}
+	probe.Close()
+	stats := map[string]FuncStat{}
+	for _, st := range probe.Stats() {
+		stats[st.Name] = st
+	}
+	if stats["leaf"].Calls != 12 {
+		t.Errorf("leaf called %d times, want 12", stats["leaf"].Calls)
+	}
+	// 12 × 100 FP in leaf; 20 FP in rec1.
+	if stats["leaf"].Exclusive != 1200 || stats["rec1"].Exclusive != 20 {
+		t.Errorf("exclusive: leaf=%d rec1=%d", stats["leaf"].Exclusive, stats["rec1"].Exclusive)
+	}
+	// Chained inclusive: rec3 includes rec2 includes rec1.
+	if stats["rec3"].Inclusive < stats["rec1"].Exclusive {
+		t.Errorf("rec3 inclusive %d too small", stats["rec3"].Inclusive)
+	}
+	if stats["main"].Inclusive < 1220 {
+		t.Errorf("main inclusive %d", stats["main"].Inclusive)
+	}
+}
+
+func TestMultipleProbesStack(t *testing.T) {
+	// Two probes on the same function both see the work; exit order is
+	// reversed (LIFO) so each probe's enter/exit pair brackets the body.
+	exe, _ := NewExecutable("app", "f",
+		&Func{Name: "f", Body: []Stmt{
+			RunStmt{Prog: workload.Dot(workload.DotConfig{N: 500})},
+		}},
+	)
+	sys := papi.MustInit(papi.Options{Platform: papi.PlatformCrayT3E})
+	th := sys.Main()
+	p := Attach(exe)
+	fp, err := NewPAPIProbe(th, papi.FP_INS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wall := NewWallclockProbe()
+	p.Instrument("f", fp)
+	p.Instrument("f", wall)
+	if err := p.Run(th); err != nil {
+		t.Fatal(err)
+	}
+	fp.Close()
+	if fp.Stats()[0].Exclusive != 1000 {
+		t.Errorf("fp probe saw %d", fp.Stats()[0].Exclusive)
+	}
+	if wall.Stats()[0].Inclusive <= 0 {
+		t.Error("wall probe saw nothing")
+	}
+}
+
+func TestExitWithoutEnterIsIgnored(t *testing.T) {
+	// A probe attached mid-run (exit fires with an empty stack) must
+	// not panic or corrupt stats.
+	probe := NewWallclockProbe()
+	sys := papi.MustInit(papi.Options{Platform: papi.PlatformCrayT3E})
+	probe.Exit("orphan", sys.Main())
+	if len(probe.Stats()) != 0 {
+		t.Error("orphan exit created stats")
+	}
+}

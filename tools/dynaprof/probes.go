@@ -1,0 +1,146 @@
+package dynaprof
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/papi"
+)
+
+// FuncStat accumulates one function's metric on one thread.
+type FuncStat struct {
+	Name      string
+	Calls     uint64
+	Inclusive int64 // metric consumed by the function and its callees
+	Exclusive int64 // metric consumed by the function itself
+}
+
+type frame struct {
+	fn       string
+	start    int64
+	children int64
+}
+
+// metricProbe implements inclusive/exclusive bookkeeping over any
+// monotonically increasing per-thread metric — the paper's observation
+// that "any monotonically increasing resource function may be used".
+type metricProbe struct {
+	read  func(th *papi.Thread) int64
+	stack []frame
+	stats map[string]*FuncStat
+}
+
+func newMetricProbe(read func(*papi.Thread) int64) *metricProbe {
+	return &metricProbe{read: read, stats: map[string]*FuncStat{}}
+}
+
+// Enter implements Probe.
+func (m *metricProbe) Enter(fn string, th *papi.Thread) {
+	m.stack = append(m.stack, frame{fn: fn, start: m.read(th)})
+}
+
+// Exit implements Probe.
+func (m *metricProbe) Exit(fn string, th *papi.Thread) {
+	if len(m.stack) == 0 {
+		return
+	}
+	fr := m.stack[len(m.stack)-1]
+	m.stack = m.stack[:len(m.stack)-1]
+	delta := m.read(th) - fr.start
+	st := m.stats[fn]
+	if st == nil {
+		st = &FuncStat{Name: fn}
+		m.stats[fn] = st
+	}
+	st.Calls++
+	st.Inclusive += delta
+	st.Exclusive += delta - fr.children
+	if len(m.stack) > 0 {
+		m.stack[len(m.stack)-1].children += delta
+	}
+}
+
+// Stats returns per-function statistics sorted by exclusive metric,
+// descending.
+func (m *metricProbe) Stats() []FuncStat {
+	out := make([]FuncStat, 0, len(m.stats))
+	for _, st := range m.stats {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Exclusive != out[j].Exclusive {
+			return out[i].Exclusive > out[j].Exclusive
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Report renders the statistics as an aligned text table.
+func (m *metricProbe) Report(metric string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %10s %16s %16s\n", "FUNCTION", "CALLS", "EXCL "+metric, "INCL "+metric)
+	for _, st := range m.Stats() {
+		fmt.Fprintf(&b, "%-24s %10d %16d %16d\n", st.Name, st.Calls, st.Exclusive, st.Inclusive)
+	}
+	return b.String()
+}
+
+// PAPIProbe collects one hardware counter metric per function per
+// thread — dynaprof's "papiprobe".
+type PAPIProbe struct {
+	*metricProbe
+	event papi.Event
+	es    *papi.EventSet
+}
+
+// NewPAPIProbe starts a hidden EventSet counting ev on the thread and
+// returns the probe. Close it (or stop the set) when done.
+func NewPAPIProbe(th *papi.Thread, ev papi.Event) (*PAPIProbe, error) {
+	es := th.NewEventSet()
+	if err := es.Add(ev); err != nil {
+		return nil, err
+	}
+	if err := es.Start(); err != nil {
+		return nil, err
+	}
+	p := &PAPIProbe{event: ev, es: es}
+	buf := make([]int64, 1)
+	p.metricProbe = newMetricProbe(func(*papi.Thread) int64 {
+		if err := es.Read(buf); err != nil {
+			return 0
+		}
+		return buf[0]
+	})
+	return p, nil
+}
+
+// Event returns the probed event.
+func (p *PAPIProbe) Event() papi.Event { return p.event }
+
+// Close stops the probe's EventSet.
+func (p *PAPIProbe) Close() error { return p.es.Stop(nil) }
+
+// Report renders the per-function table.
+func (p *PAPIProbe) Report() string {
+	return p.metricProbe.Report(papi.EventName(p.event))
+}
+
+// WallclockProbe measures elapsed real time per function — dynaprof's
+// wallclock probe.
+type WallclockProbe struct {
+	*metricProbe
+}
+
+// NewWallclockProbe builds a wallclock probe.
+func NewWallclockProbe() *WallclockProbe {
+	return &WallclockProbe{newMetricProbe(func(th *papi.Thread) int64 {
+		return int64(th.RealUsec())
+	})}
+}
+
+// Report renders the per-function table.
+func (w *WallclockProbe) Report() string {
+	return w.metricProbe.Report("REAL_USEC")
+}

@@ -1,0 +1,229 @@
+// Package hpcview reproduces the role of HPCView in the paper's §3: it
+// combines several source-line profiles — each collected with a
+// different hardware metric — into one database, computes derived
+// columns (event-based ratios such as misses per access or FLOPs per
+// cycle), and reports the lines and files that dominate, because
+// "correlations between profiles based on different events, as well as
+// event-based ratios, provide derived information [used] to quickly
+// identify and diagnose performance problems".
+package hpcview
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/tools/vprof"
+)
+
+// Database accumulates per-line values across metrics.
+type Database struct {
+	metrics []string
+	derived map[string][2]string // name → numerator, denominator
+	lines   map[vprof.SourceLoc][]float64
+}
+
+// New creates an empty profile database.
+func New() *Database {
+	return &Database{derived: map[string][2]string{}, lines: map[vprof.SourceLoc][]float64{}}
+}
+
+// Metrics returns the metric column names, base then derived, in add
+// order.
+func (d *Database) Metrics() []string {
+	out := append([]string(nil), d.metrics...)
+	for _, name := range d.derivedNames() {
+		out = append(out, name)
+	}
+	return out
+}
+
+func (d *Database) derivedNames() []string {
+	names := make([]string, 0, len(d.derived))
+	for name := range d.derived {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// AddProfile ingests one metric's line profile (typically a vprof run;
+// the values are overflow hits scaled by the profiling threshold, so
+// pass the per-hit weight to keep columns comparable).
+func (d *Database) AddProfile(metric string, weightPerHit float64, lines []vprof.LineHits) error {
+	for _, m := range d.metrics {
+		if m == metric {
+			return fmt.Errorf("hpcview: metric %q already loaded", metric)
+		}
+	}
+	idx := len(d.metrics)
+	d.metrics = append(d.metrics, metric)
+	for loc := range d.lines {
+		d.lines[loc] = append(d.lines[loc], 0)
+	}
+	for _, lh := range lines {
+		row, ok := d.lines[lh.Loc]
+		if !ok {
+			row = make([]float64, idx+1)
+			d.lines[lh.Loc] = row
+		} else if len(row) <= idx {
+			row = append(row, 0)
+			d.lines[lh.Loc] = row
+		}
+		row[idx] += float64(lh.Hits) * weightPerHit
+	}
+	return nil
+}
+
+// AddDerived registers a ratio column numer/denom over base metrics.
+func (d *Database) AddDerived(name, numer, denom string) error {
+	if d.indexOf(numer) < 0 || d.indexOf(denom) < 0 {
+		return fmt.Errorf("hpcview: derived %q needs loaded metrics %q and %q", name, numer, denom)
+	}
+	if _, dup := d.derived[name]; dup {
+		return fmt.Errorf("hpcview: derived %q already defined", name)
+	}
+	d.derived[name] = [2]string{numer, denom}
+	return nil
+}
+
+func (d *Database) indexOf(metric string) int {
+	for i, m := range d.metrics {
+		if m == metric {
+			return i
+		}
+	}
+	return -1
+}
+
+// Row is one source line with all metric and derived values.
+type Row struct {
+	Loc    vprof.SourceLoc
+	Values []float64 // base metrics then derived, in Metrics() order
+}
+
+// Rows returns per-line rows sorted descending by the named column,
+// truncated to k (k <= 0 keeps everything).
+func (d *Database) Rows(sortBy string, k int) ([]Row, error) {
+	cols := d.Metrics()
+	sortIdx := -1
+	for i, c := range cols {
+		if c == sortBy {
+			sortIdx = i
+		}
+	}
+	if sortIdx < 0 {
+		return nil, fmt.Errorf("hpcview: unknown sort column %q (have %v)", sortBy, cols)
+	}
+	out := make([]Row, 0, len(d.lines))
+	for loc, base := range d.lines {
+		vals := make([]float64, 0, len(cols))
+		for i := range d.metrics {
+			if i < len(base) {
+				vals = append(vals, base[i])
+			} else {
+				vals = append(vals, 0)
+			}
+		}
+		for _, name := range d.derivedNames() {
+			nd := d.derived[name]
+			n, m := vals[d.indexOf(nd[0])], vals[d.indexOf(nd[1])]
+			if m != 0 {
+				vals = append(vals, n/m)
+			} else {
+				vals = append(vals, 0)
+			}
+		}
+		out = append(out, Row{Loc: loc, Values: vals})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Values[sortIdx] != out[j].Values[sortIdx] {
+			return out[i].Values[sortIdx] > out[j].Values[sortIdx]
+		}
+		if out[i].Loc.File != out[j].Loc.File {
+			return out[i].Loc.File < out[j].Loc.File
+		}
+		return out[i].Loc.Line < out[j].Loc.Line
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out, nil
+}
+
+// FileRow is a per-file rollup.
+type FileRow struct {
+	File   string
+	Values []float64
+}
+
+// Files aggregates line rows to files (the top of HPCView's
+// file→procedure→line hierarchy), sorted by the named column.
+func (d *Database) Files(sortBy string) ([]FileRow, error) {
+	rows, err := d.Rows(sortBy, 0)
+	if err != nil {
+		return nil, err
+	}
+	cols := d.Metrics()
+	sums := map[string][]float64{}
+	for _, r := range rows {
+		acc, ok := sums[r.Loc.File]
+		if !ok {
+			acc = make([]float64, len(d.metrics))
+			sums[r.Loc.File] = acc
+		}
+		for i := range d.metrics {
+			acc[i] += r.Values[i]
+		}
+	}
+	out := make([]FileRow, 0, len(sums))
+	for file, base := range sums {
+		vals := append([]float64(nil), base...)
+		for _, name := range d.derivedNames() {
+			nd := d.derived[name]
+			n, m := vals[d.indexOf(nd[0])], vals[d.indexOf(nd[1])]
+			if m != 0 {
+				vals = append(vals, n/m)
+			} else {
+				vals = append(vals, 0)
+			}
+		}
+		out = append(out, FileRow{File: file, Values: vals})
+	}
+	sortIdx := -1
+	for i, c := range cols {
+		if c == sortBy {
+			sortIdx = i
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Values[sortIdx] != out[j].Values[sortIdx] {
+			return out[i].Values[sortIdx] > out[j].Values[sortIdx]
+		}
+		return out[i].File < out[j].File
+	})
+	return out, nil
+}
+
+// Report renders the top-k lines sorted by a column.
+func (d *Database) Report(sortBy string, k int) (string, error) {
+	rows, err := d.Rows(sortBy, k)
+	if err != nil {
+		return "", err
+	}
+	cols := d.Metrics()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s", "SOURCE LINE")
+	for _, c := range cols {
+		fmt.Fprintf(&b, " %14s", c)
+	}
+	b.WriteByte('\n')
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-22s", r.Loc)
+		for _, v := range r.Values {
+			fmt.Fprintf(&b, " %14.2f", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}

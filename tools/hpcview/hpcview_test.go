@@ -1,0 +1,132 @@
+package hpcview
+
+import (
+	"strings"
+	"testing"
+
+	"repro/papi"
+	"repro/tools/vprof"
+	"repro/workload"
+)
+
+func loc(file string, line int) vprof.SourceLoc { return vprof.SourceLoc{File: file, Line: line} }
+
+func TestDatabaseAndDerived(t *testing.T) {
+	d := New()
+	if err := d.AddProfile("FP_OPS", 1, []vprof.LineHits{
+		{Loc: loc("a.c", 10), Hits: 100},
+		{Loc: loc("a.c", 11), Hits: 50},
+		{Loc: loc("b.c", 5), Hits: 10},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddProfile("CYCLES", 1, []vprof.LineHits{
+		{Loc: loc("a.c", 10), Hits: 200},
+		{Loc: loc("a.c", 11), Hits: 400},
+		{Loc: loc("c.c", 1), Hits: 30}, // line with no FP profile
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddProfile("FP_OPS", 1, nil); err == nil {
+		t.Error("duplicate metric accepted")
+	}
+	if err := d.AddDerived("FLOP/CYC", "FP_OPS", "CYCLES"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddDerived("FLOP/CYC", "FP_OPS", "CYCLES"); err == nil {
+		t.Error("duplicate derived accepted")
+	}
+	if err := d.AddDerived("x", "NOPE", "CYCLES"); err == nil {
+		t.Error("derived over unknown metric accepted")
+	}
+	cols := d.Metrics()
+	if len(cols) != 3 || cols[2] != "FLOP/CYC" {
+		t.Fatalf("columns %v", cols)
+	}
+	rows, err := d.Rows("FLOP/CYC", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a.c:10 has ratio 0.5, a.c:11 has 0.125; c.c:1 has 0.
+	if rows[0].Loc != loc("a.c", 10) {
+		t.Errorf("hottest by ratio = %v", rows[0].Loc)
+	}
+	if rows[0].Values[2] != 0.5 {
+		t.Errorf("ratio = %v", rows[0].Values)
+	}
+	// Sorting by a base metric.
+	rows, _ = d.Rows("CYCLES", 2)
+	if len(rows) != 2 || rows[0].Loc != loc("a.c", 11) {
+		t.Errorf("by cycles: %v", rows)
+	}
+	if _, err := d.Rows("BOGUS", 0); err == nil {
+		t.Error("unknown sort column accepted")
+	}
+	// File rollup: a.c has 150 FP / 600 cycles → 0.25 ratio.
+	files, err := d.Files("FP_OPS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if files[0].File != "a.c" || files[0].Values[0] != 150 {
+		t.Errorf("file rollup %v", files)
+	}
+	if files[0].Values[2] != 0.25 {
+		t.Errorf("file ratio %v", files[0].Values)
+	}
+	rep, err := d.Report("FP_OPS", 2)
+	if err != nil || !strings.Contains(rep, "a.c:10") || !strings.Contains(rep, "FLOP/CYC") {
+		t.Errorf("report:\n%s err=%v", rep, err)
+	}
+}
+
+func TestEndToEndWithVprof(t *testing.T) {
+	// Two vprof runs over the same deterministic kernel with different
+	// metrics, combined into miss-per-access derived data.
+	prog := workload.Triad(workload.TriadConfig{N: 65536})
+	buildMap := func() *vprof.SourceMap {
+		var sm vprof.SourceMap
+		if err := sm.Add(prog.Regions()[0], "triad.c", 1, 1); err != nil {
+			t.Fatal(err)
+		}
+		return &sm
+	}
+	profile := func(ev papi.Event, threshold uint64) []vprof.LineHits {
+		sys := papi.MustInit(papi.Options{Platform: papi.PlatformCrayT3E})
+		p, err := vprof.New(sys.Main(), ev, threshold, buildMap())
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog.Reset()
+		if err := p.Run(prog); err != nil {
+			t.Fatal(err)
+		}
+		return p.Lines()
+	}
+	d := New()
+	if err := d.AddProfile("L1_DCA", 64, profile(papi.L1_DCA, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddProfile("L1_DCM", 64, profile(papi.L1_DCM, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddDerived("MISS_RATE", "L1_DCM", "L1_DCA"); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := d.Rows("MISS_RATE", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	// Triad misses every 4th element (32B lines / 8B stride): the
+	// hottest miss-rate line should be a load/store line with rate
+	// in a plausible band.
+	top := rows[0]
+	if top.Values[2] <= 0.05 || top.Values[2] > 1.0 {
+		t.Errorf("top miss rate %.3f implausible (row %+v)", top.Values[2], top)
+	}
+	if top.Loc.File != "triad.c" {
+		t.Errorf("top line %v", top.Loc)
+	}
+}

@@ -1,0 +1,203 @@
+// Package model implements the §5 future-work collaboration: "using
+// PAPI to collect data for parameterizing predictive performance
+// models" (the Snavely et al. framework the paper cites). A Model is a
+// linear predictor of a response counter (typically cycles) from a set
+// of explanatory counters (instruction classes, cache and TLB misses,
+// mispredicts): fit it on counter measurements of training kernels,
+// then predict the runtime of unseen programs from their counters
+// alone.
+package model
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/papi"
+	"repro/workload"
+)
+
+// Sample is one program's measurement: explanatory counter values and
+// the observed response.
+type Sample struct {
+	Name     string
+	Features []float64
+	Response float64
+}
+
+// Model is a fitted linear predictor.
+type Model struct {
+	Events []papi.Event // explanatory counters, in coefficient order
+	Coef   []float64    // one per event; no intercept (zero work = zero cycles)
+}
+
+// Fit solves the least-squares problem over the samples. It needs at
+// least as many samples as features and a non-singular design.
+func Fit(events []papi.Event, samples []Sample) (*Model, error) {
+	n := len(events)
+	if n == 0 {
+		return nil, fmt.Errorf("model: no explanatory events")
+	}
+	if len(samples) < n {
+		return nil, fmt.Errorf("model: %d samples cannot determine %d coefficients", len(samples), n)
+	}
+	// Normal equations: (AᵀA) x = Aᵀb.
+	ata := make([][]float64, n)
+	for i := range ata {
+		ata[i] = make([]float64, n)
+	}
+	atb := make([]float64, n)
+	for _, s := range samples {
+		if len(s.Features) != n {
+			return nil, fmt.Errorf("model: sample %q has %d features, want %d", s.Name, len(s.Features), n)
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				ata[i][j] += s.Features[i] * s.Features[j]
+			}
+			atb[i] += s.Features[i] * s.Response
+		}
+	}
+	coef, err := solve(ata, atb)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{Events: append([]papi.Event(nil), events...), Coef: coef}, nil
+}
+
+// solve performs Gaussian elimination with partial pivoting.
+func solve(a [][]float64, b []float64) ([]float64, error) {
+	n := len(b)
+	for col := 0; col < n; col++ {
+		// Pivot.
+		best, bestAbs := col, math.Abs(a[col][col])
+		for r := col + 1; r < n; r++ {
+			if abs := math.Abs(a[r][col]); abs > bestAbs {
+				best, bestAbs = r, abs
+			}
+		}
+		if bestAbs < 1e-9 {
+			return nil, fmt.Errorf("model: singular design matrix (collinear or missing counters)")
+		}
+		a[col], a[best] = a[best], a[col]
+		b[col], b[best] = b[best], b[col]
+		// Eliminate.
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] / a[col][col]
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		sum := b[r]
+		for c := r + 1; c < n; c++ {
+			sum -= a[r][c] * x[c]
+		}
+		x[r] = sum / a[r][r]
+	}
+	return x, nil
+}
+
+// Predict evaluates the model on a feature vector.
+func (m *Model) Predict(features []float64) (float64, error) {
+	if len(features) != len(m.Coef) {
+		return 0, fmt.Errorf("model: %d features, want %d", len(features), len(m.Coef))
+	}
+	var y float64
+	for i, f := range features {
+		y += m.Coef[i] * f
+	}
+	return y, nil
+}
+
+// String renders the fitted coefficients.
+func (m *Model) String() string {
+	var b strings.Builder
+	b.WriteString("cycles ≈")
+	for i, ev := range m.Events {
+		if i > 0 {
+			b.WriteString(" +")
+		}
+		fmt.Fprintf(&b, " %.3f·%s", m.Coef[i], strings.TrimPrefix(papi.EventName(ev), "PAPI_"))
+	}
+	return b.String()
+}
+
+// Collector measures programs' counters for model building. Counter
+// sets that exceed the hardware are split across repeated runs of the
+// deterministic program — the multiple-run methodology tools of the
+// era used for exactly this.
+type Collector struct {
+	Platform string
+	Events   []papi.Event
+	Response papi.Event // typically papi.TOT_CYC
+}
+
+// Measure runs the program (repeatedly, one run per event) and returns
+// its feature vector and response.
+func (c *Collector) Measure(prog workload.Program) (Sample, error) {
+	all := append(append([]papi.Event(nil), c.Events...), c.Response)
+	values := make([]float64, len(all))
+	for i, ev := range all {
+		sys, err := papi.Init(papi.Options{Platform: c.Platform})
+		if err != nil {
+			return Sample{}, err
+		}
+		th := sys.Main()
+		es := th.NewEventSet()
+		if err := es.Add(ev); err != nil {
+			return Sample{}, fmt.Errorf("model: measuring %s: %w", papi.EventName(ev), err)
+		}
+		// Exclude the library's own overhead: the model describes the
+		// application, not the instrumentation.
+		if err := es.SetDomain(papi.DOM_USER); err != nil {
+			return Sample{}, err
+		}
+		prog.Reset()
+		if err := es.Start(); err != nil {
+			return Sample{}, err
+		}
+		th.Run(prog)
+		vals := make([]int64, 1)
+		if err := es.Stop(vals); err != nil {
+			return Sample{}, err
+		}
+		values[i] = float64(vals[0])
+	}
+	return Sample{
+		Name:     prog.Name(),
+		Features: values[:len(c.Events)],
+		Response: values[len(c.Events)],
+	}, nil
+}
+
+// Evaluation is a per-program prediction assessment.
+type Evaluation struct {
+	Name      string
+	Actual    float64
+	Predicted float64
+	RelErr    float64
+}
+
+// Evaluate predicts each sample and reports the relative errors,
+// sorted by name.
+func (m *Model) Evaluate(samples []Sample) ([]Evaluation, error) {
+	out := make([]Evaluation, 0, len(samples))
+	for _, s := range samples {
+		p, err := m.Predict(s.Features)
+		if err != nil {
+			return nil, err
+		}
+		ev := Evaluation{Name: s.Name, Actual: s.Response, Predicted: p}
+		if s.Response != 0 {
+			ev.RelErr = math.Abs(p-s.Response) / s.Response
+		}
+		out = append(out, ev)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}

@@ -1,0 +1,149 @@
+package model
+
+import (
+	"strings"
+	"testing"
+
+	"repro/papi"
+	"repro/workload"
+)
+
+func TestSolveKnownSystem(t *testing.T) {
+	// 2x + y = 5; x + 3y = 10 → x = 1, y = 3.
+	a := [][]float64{{2, 1}, {1, 3}}
+	b := []float64{5, 10}
+	x, err := solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0] < 0.999 || x[0] > 1.001 || x[1] < 2.999 || x[1] > 3.001 {
+		t.Errorf("solve = %v, want [1 3]", x)
+	}
+	// Singular system.
+	if _, err := solve([][]float64{{1, 1}, {2, 2}}, []float64{1, 2}); err == nil {
+		t.Error("singular matrix accepted")
+	}
+}
+
+func TestFitRecoversExactLinearModel(t *testing.T) {
+	// Synthetic data generated from known coefficients.
+	events := []papi.Event{papi.TOT_INS, papi.L1_DCM}
+	truth := []float64{1.5, 60}
+	var samples []Sample
+	for i := 1; i <= 6; i++ {
+		f := []float64{float64(1000 * i), float64(10 * i * i)}
+		samples = append(samples, Sample{
+			Name:     "synthetic",
+			Features: f,
+			Response: truth[0]*f[0] + truth[1]*f[1],
+		})
+	}
+	m, err := Fit(events, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range truth {
+		if m.Coef[i] < want*0.999 || m.Coef[i] > want*1.001 {
+			t.Errorf("coef %d = %.4f, want %.4f", i, m.Coef[i], want)
+		}
+	}
+	if !strings.Contains(m.String(), "TOT_INS") {
+		t.Errorf("String() = %q", m.String())
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	if _, err := Fit(nil, nil); err == nil {
+		t.Error("no events accepted")
+	}
+	if _, err := Fit([]papi.Event{papi.TOT_INS}, nil); err == nil {
+		t.Error("no samples accepted")
+	}
+	bad := []Sample{{Features: []float64{1, 2}, Response: 3}}
+	if _, err := Fit([]papi.Event{papi.TOT_INS}, bad); err == nil {
+		t.Error("feature-length mismatch accepted")
+	}
+	m := &Model{Events: []papi.Event{papi.TOT_INS}, Coef: []float64{1}}
+	if _, err := m.Predict([]float64{1, 2}); err == nil {
+		t.Error("predict length mismatch accepted")
+	}
+}
+
+// TestPredictHeldOutWorkloads is the §5 scenario end to end: fit a
+// cycle model on counter measurements of training kernels, then
+// predict the runtime of programs the model never saw.
+func TestPredictHeldOutWorkloads(t *testing.T) {
+	// POWER3 exposes every instruction-class counter the simulator's
+	// cost model uses, so a linear model is well-specified.
+	col := &Collector{
+		Platform: papi.PlatformAIXPower3,
+		Events: []papi.Event{
+			papi.TOT_INS, papi.FP_INS, papi.FDV_INS, papi.LD_INS,
+			papi.L1_DCM, papi.L2_TCM, papi.TLB_DM, papi.BR_MSP, papi.L1_ICM,
+		},
+		Response: papi.TOT_CYC,
+	}
+	training := []workload.Program{
+		workload.Triad(workload.TriadConfig{N: 8192, Reps: 2}),
+		workload.Dot(workload.DotConfig{N: 30_000}),
+		workload.Stencil(workload.StencilConfig{N: 96, Sweeps: 2}),
+		workload.Branchy(workload.BranchyConfig{N: 40_000}),
+		workload.GUPS(workload.GUPSConfig{TableWords: 1 << 16, Updates: 80_000}),
+		workload.MixedPrecision(workload.MixedPrecisionConfig{N: 30_000}),
+		workload.PointerChase(workload.ChaseConfig{Nodes: 1 << 13, Steps: 60_000}),
+		workload.Triad(workload.TriadConfig{N: 512, Reps: 40}),
+		workload.Stencil(workload.StencilConfig{N: 24, Sweeps: 30}),
+		workload.Dot(workload.DotConfig{N: 3_000}),
+		// Cover the divide and FMA dimensions, otherwise those
+		// coefficients are undetermined (singular design).
+		workload.LU(workload.LUConfig{N: 28}),
+		workload.MatMul(workload.MatMulConfig{N: 20, UseFMA: true}),
+	}
+	var samples []Sample
+	for _, prog := range training {
+		s, err := col.Measure(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		samples = append(samples, s)
+	}
+	m, err := Fit(col.Events, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// In-sample fit should be tight.
+	evs, err := m.Evaluate(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range evs {
+		if e.RelErr > 0.10 {
+			t.Errorf("training %s: rel err %.3f", e.Name, e.RelErr)
+		}
+	}
+
+	// Held-out programs with very different shapes.
+	heldOut := []workload.Program{
+		workload.MatMul(workload.MatMulConfig{N: 48}),
+		workload.LU(workload.LUConfig{N: 40}),
+	}
+	for _, prog := range heldOut {
+		s, err := col.Measure(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pred, err := m.Predict(s.Features)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel := pred/s.Response - 1
+		if rel < 0 {
+			rel = -rel
+		}
+		if rel > 0.15 {
+			t.Errorf("%s: predicted %.0f cycles, actual %.0f (rel err %.1f%%)",
+				s.Name, pred, s.Response, rel*100)
+		}
+	}
+}

@@ -1,0 +1,420 @@
+// Package mpisim simulates a message-passing program over simulated
+// threads, the missing piece of the paper's §3 parallel-tools story:
+// TAU's MPI wrapper and the Vampir integration exist to "correlate
+// various event frequencies with message passing behavior". Each rank
+// runs a script of compute/send/recv/barrier actions on its own
+// simulated core; sends and receives carry latency and bandwidth costs,
+// receivers idle-wait for late messages, and the whole run emits a
+// merged node-context-thread trace whose events carry hardware counter
+// values — exactly what a Vampir timeline correlates.
+//
+// The scheduler is deterministic: ranks execute round-robin, one action
+// at a time, with per-rank cycle clocks serving as positions on a
+// shared timeline (all ranks run the same simulated machine from cycle
+// zero).
+package mpisim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/trace"
+	"repro/papi"
+	"repro/workload"
+)
+
+// Action is one step of a rank's script.
+type Action interface{ isAction() }
+
+// Compute runs a workload kernel.
+type Compute struct {
+	Name string
+	Prog workload.Program
+}
+
+// Send transmits Bytes to rank To (asynchronous buffered send: the
+// sender pays overhead plus copy time and continues).
+type Send struct {
+	To    int
+	Bytes uint64
+}
+
+// Recv blocks until a message from rank From arrives.
+type Recv struct {
+	From int
+}
+
+// Barrier blocks until every rank reaches its barrier.
+type Barrier struct{}
+
+func (Compute) isAction() {}
+func (Send) isAction()    {}
+func (Recv) isAction()    {}
+func (Barrier) isAction() {}
+
+// Script is one rank's program.
+type Script []Action
+
+// Config parameterizes the communication fabric and instrumentation.
+type Config struct {
+	Ranks         int
+	LatencyCycles uint64 // wire latency per message
+	BytesPerCycle uint64 // link bandwidth (default 8)
+	SendOverhead  uint64 // cycles of sender-side software overhead
+	RecvOverhead  uint64 // cycles of receiver-side software overhead
+	Metrics       []papi.Event
+	Trace         bool
+}
+
+func (c *Config) fill() error {
+	if c.Ranks <= 0 {
+		return fmt.Errorf("mpisim: need at least one rank")
+	}
+	if c.LatencyCycles == 0 {
+		c.LatencyCycles = 2000
+	}
+	if c.BytesPerCycle == 0 {
+		c.BytesPerCycle = 8
+	}
+	if c.SendOverhead == 0 {
+		c.SendOverhead = 600
+	}
+	if c.RecvOverhead == 0 {
+		c.RecvOverhead = 600
+	}
+	return nil
+}
+
+// message is in flight between two ranks.
+type message struct {
+	availableAt uint64 // receiver-timeline cycle the payload arrives
+	bytes       uint64
+}
+
+// RankStats summarizes one rank's run.
+type RankStats struct {
+	Rank         int
+	ComputeUsec  uint64
+	SendUsec     uint64
+	RecvUsec     uint64 // includes idle wait
+	WaitUsec     uint64 // idle-wait portion of recv/barrier
+	BytesSent    uint64
+	BytesRecv    uint64
+	MessagesSent uint64
+	MessagesRecv uint64
+}
+
+type rank struct {
+	id      int
+	th      *papi.Thread
+	es      *papi.EventSet
+	buf     []int64
+	tbuf    *trace.Buffer
+	stats   RankStats
+	pc      int // next action index
+	blocked bool
+}
+
+// Comm is a simulated communicator.
+type Comm struct {
+	sys    *papi.System
+	cfg    Config
+	ranks  []*rank
+	queues map[[2]int][]message // {from,to} → fifo
+}
+
+// NewComm builds a communicator of cfg.Ranks ranks over the System:
+// rank 0 is the main thread, the rest are created.
+func NewComm(sys *papi.System, cfg Config) (*Comm, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	c := &Comm{sys: sys, cfg: cfg, queues: map[[2]int][]message{}}
+	for i := 0; i < cfg.Ranks; i++ {
+		var th *papi.Thread
+		var err error
+		if i == 0 {
+			th = sys.Main()
+		} else if th, err = sys.NewThread(); err != nil {
+			return nil, err
+		}
+		r := &rank{id: i, th: th, buf: make([]int64, len(cfg.Metrics))}
+		r.stats.Rank = i
+		if len(cfg.Metrics) > 0 {
+			es := th.NewEventSet()
+			if err := es.AddAll(cfg.Metrics...); err != nil {
+				return nil, fmt.Errorf("mpisim: rank %d metrics: %w", i, err)
+			}
+			if err := es.Start(); err != nil {
+				return nil, err
+			}
+			r.es = es
+		}
+		if cfg.Trace {
+			r.tbuf = trace.NewBuffer(i, 0) // node = rank, thread 0
+		}
+		c.ranks = append(c.ranks, r)
+	}
+	return c, nil
+}
+
+// Thread exposes a rank's simulated thread.
+func (c *Comm) Thread(rankID int) (*papi.Thread, error) {
+	if rankID < 0 || rankID >= len(c.ranks) {
+		return nil, fmt.Errorf("mpisim: rank %d out of range", rankID)
+	}
+	return c.ranks[rankID].th, nil
+}
+
+func (r *rank) now() uint64 { return r.th.CPU().Cycles() }
+
+func (r *rank) usec() uint64 {
+	return r.th.CPU().Cycles() / uint64(r.th.System().Arch().ClockMHz)
+}
+
+func (r *rank) values() []int64 {
+	if r.es == nil {
+		return nil
+	}
+	if err := r.es.Read(r.buf); err != nil {
+		return nil
+	}
+	return append([]int64(nil), r.buf...)
+}
+
+func (r *rank) mark(kind trace.Kind, region string) {
+	if r.tbuf == nil {
+		return
+	}
+	r.tbuf.Append(r.usec(), kind, region, r.values())
+}
+
+// Run executes one script per rank to completion. It returns an error
+// on rank-count mismatch, invalid peers, or deadlock.
+func (c *Comm) Run(scripts []Script) error {
+	if len(scripts) != len(c.ranks) {
+		return fmt.Errorf("mpisim: %d scripts for %d ranks", len(scripts), len(c.ranks))
+	}
+	for _, sc := range scripts {
+		for _, a := range sc {
+			switch act := a.(type) {
+			case Send:
+				if act.To < 0 || act.To >= len(c.ranks) {
+					return fmt.Errorf("mpisim: send to invalid rank %d", act.To)
+				}
+			case Recv:
+				if act.From < 0 || act.From >= len(c.ranks) {
+					return fmt.Errorf("mpisim: recv from invalid rank %d", act.From)
+				}
+			}
+		}
+	}
+	for {
+		progress := false
+		done := true
+		for _, r := range c.ranks {
+			if r.pc >= len(scripts[r.id]) {
+				continue
+			}
+			done = false
+			if c.step(r, scripts[r.id][r.pc]) {
+				r.pc++
+				progress = true
+			}
+		}
+		if done {
+			break
+		}
+		if progress {
+			continue
+		}
+		// No rank advanced: either every unfinished rank sits at a
+		// barrier (release it) or the program is deadlocked.
+		if !c.tryBarrier(scripts) {
+			return fmt.Errorf("mpisim: deadlock: %s", c.blockedReport(scripts))
+		}
+	}
+	for _, r := range c.ranks {
+		if r.es != nil {
+			if err := r.es.Stop(nil); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// step attempts one action; returns true when the action completed.
+func (c *Comm) step(r *rank, a Action) bool {
+	switch act := a.(type) {
+	case Compute:
+		name := "compute"
+		if act.Name != "" {
+			name = act.Name
+		}
+		r.mark(trace.KindEnter, name)
+		t0 := r.usec()
+		act.Prog.Reset()
+		r.th.Run(act.Prog)
+		r.stats.ComputeUsec += r.usec() - t0
+		r.mark(trace.KindExit, name)
+		return true
+
+	case Send:
+		r.mark(trace.KindEnter, "send")
+		t0 := r.usec()
+		copyCycles := act.Bytes / c.cfg.BytesPerCycle
+		r.th.CPU().Charge(c.cfg.SendOverhead+copyCycles, c.cfg.SendOverhead/2)
+		key := [2]int{r.id, act.To}
+		c.queues[key] = append(c.queues[key], message{
+			availableAt: r.now() + c.cfg.LatencyCycles,
+			bytes:       act.Bytes,
+		})
+		r.stats.SendUsec += r.usec() - t0
+		r.stats.BytesSent += act.Bytes
+		r.stats.MessagesSent++
+		r.mark(trace.KindExit, "send")
+		return true
+
+	case Recv:
+		key := [2]int{act.From, r.id}
+		q := c.queues[key]
+		if len(q) == 0 {
+			r.blocked = true
+			return false // sender has not posted yet; retry
+		}
+		msg := q[0]
+		c.queues[key] = q[1:]
+		r.blocked = false
+		r.mark(trace.KindEnter, "recv")
+		t0 := r.usec()
+		if msg.availableAt > r.now() {
+			wait := msg.availableAt - r.now()
+			r.stats.WaitUsec += wait / uint64(c.sys.Arch().ClockMHz)
+			r.th.CPU().Charge(wait, 0) // idle wait: cycles, no instructions
+		}
+		r.th.CPU().Charge(c.cfg.RecvOverhead, c.cfg.RecvOverhead/2)
+		r.stats.RecvUsec += r.usec() - t0
+		r.stats.BytesRecv += msg.bytes
+		r.stats.MessagesRecv++
+		r.mark(trace.KindExit, "recv")
+		return true
+
+	case Barrier:
+		// Completed collectively by tryBarrier once all ranks arrive.
+		r.blocked = true
+		return false
+	}
+	return false
+}
+
+// tryBarrier releases a complete barrier: every unfinished rank must be
+// sitting on one. Ranks advance to the latest arrival time.
+func (c *Comm) tryBarrier(scripts []Script) bool {
+	var waiting []*rank
+	var latest uint64
+	for _, r := range c.ranks {
+		if r.pc >= len(scripts[r.id]) {
+			continue
+		}
+		if _, ok := scripts[r.id][r.pc].(Barrier); !ok {
+			return false // someone is blocked on something else
+		}
+		waiting = append(waiting, r)
+		if r.now() > latest {
+			latest = r.now()
+		}
+	}
+	if len(waiting) == 0 {
+		return false
+	}
+	for _, r := range waiting {
+		r.mark(trace.KindEnter, "barrier")
+		if latest > r.now() {
+			wait := latest - r.now()
+			r.stats.WaitUsec += wait / uint64(c.sys.Arch().ClockMHz)
+			r.th.CPU().Charge(wait, 0)
+		}
+		r.mark(trace.KindExit, "barrier")
+		r.blocked = false
+		r.pc++
+	}
+	return true
+}
+
+func (c *Comm) blockedReport(scripts []Script) string {
+	var parts []string
+	for _, r := range c.ranks {
+		if r.pc >= len(scripts[r.id]) {
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("rank %d blocked at action %d (%T)",
+			r.id, r.pc, scripts[r.id][r.pc]))
+	}
+	return strings.Join(parts, "; ")
+}
+
+// Stats returns per-rank statistics, by rank.
+func (c *Comm) Stats() []RankStats {
+	out := make([]RankStats, len(c.ranks))
+	for i, r := range c.ranks {
+		out[i] = r.stats
+	}
+	return out
+}
+
+// MergedTrace merges all ranks' traces into one timeline, the input a
+// Vampir-style viewer renders.
+func (c *Comm) MergedTrace() []trace.Event {
+	bufs := make([]*trace.Buffer, 0, len(c.ranks))
+	for _, r := range c.ranks {
+		if r.tbuf != nil {
+			bufs = append(bufs, r.tbuf)
+		}
+	}
+	return trace.Merge(bufs...)
+}
+
+// RegionRates computes, per region kind, the mean rate of metric m
+// (counts per usec) across all trace intervals — the §3 correlation of
+// event frequencies with message-passing behaviour.
+func (c *Comm) RegionRates(metricIndex int) (map[string]float64, error) {
+	if metricIndex < 0 || metricIndex >= len(c.cfg.Metrics) {
+		return nil, fmt.Errorf("mpisim: metric index %d out of range", metricIndex)
+	}
+	ivs, err := trace.Intervals(c.MergedTrace())
+	if err != nil {
+		return nil, err
+	}
+	sum := map[string]float64{}
+	dur := map[string]float64{}
+	for _, iv := range ivs {
+		if iv.DurationUsec() == 0 || len(iv.EnterVals) <= metricIndex || len(iv.ExitVals) <= metricIndex {
+			continue
+		}
+		sum[iv.Region] += float64(iv.ExitVals[metricIndex] - iv.EnterVals[metricIndex])
+		dur[iv.Region] += float64(iv.DurationUsec())
+	}
+	out := map[string]float64{}
+	for k := range sum {
+		if dur[k] > 0 {
+			out[k] = sum[k] / dur[k]
+		}
+	}
+	return out, nil
+}
+
+// Report renders per-rank statistics as a table.
+func (c *Comm) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-5s %12s %10s %10s %10s %10s %6s %6s\n",
+		"RANK", "COMPUTE_US", "SEND_US", "RECV_US", "WAIT_US", "BYTES_TX", "MSG_TX", "MSG_RX")
+	stats := c.Stats()
+	sort.Slice(stats, func(i, j int) bool { return stats[i].Rank < stats[j].Rank })
+	for _, s := range stats {
+		fmt.Fprintf(&b, "%-5d %12d %10d %10d %10d %10d %6d %6d\n",
+			s.Rank, s.ComputeUsec, s.SendUsec, s.RecvUsec, s.WaitUsec, s.BytesSent, s.MessagesSent, s.MessagesRecv)
+	}
+	return b.String()
+}

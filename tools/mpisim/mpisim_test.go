@@ -1,0 +1,213 @@
+package mpisim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/papi"
+	"repro/workload"
+)
+
+func small() workload.Program {
+	return workload.Triad(workload.TriadConfig{N: 2000})
+}
+
+func TestPingPong(t *testing.T) {
+	sys := papi.MustInit(papi.Options{Platform: papi.PlatformAIXPower3})
+	comm, err := NewComm(sys, Config{Ranks: 2, Metrics: []papi.Event{papi.FP_INS}, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scripts := []Script{
+		{Compute{Prog: small()}, Send{To: 1, Bytes: 8192}, Recv{From: 1}},
+		{Recv{From: 0}, Compute{Prog: small()}, Send{To: 0, Bytes: 8192}},
+	}
+	if err := comm.Run(scripts); err != nil {
+		t.Fatal(err)
+	}
+	stats := comm.Stats()
+	if stats[0].MessagesSent != 1 || stats[0].MessagesRecv != 1 {
+		t.Errorf("rank0 stats %+v", stats[0])
+	}
+	if stats[1].BytesRecv != 8192 || stats[1].BytesSent != 8192 {
+		t.Errorf("rank1 bytes %+v", stats[1])
+	}
+	// Rank 1 had nothing to do until rank 0's message arrived: it must
+	// have idle-waited.
+	if stats[1].WaitUsec == 0 {
+		t.Error("rank1 should have waited for the first message")
+	}
+	// The merged trace is well-nested and contains both ranks.
+	merged := comm.MergedTrace()
+	if err := trace.Validate(merged); err != nil {
+		t.Fatal(err)
+	}
+	nodes := map[int]bool{}
+	for _, ev := range merged {
+		nodes[ev.Node] = true
+	}
+	if !nodes[0] || !nodes[1] {
+		t.Errorf("trace missing ranks: %v", nodes)
+	}
+	rep := comm.Report()
+	if !strings.Contains(rep, "COMPUTE_US") {
+		t.Error("report header missing")
+	}
+}
+
+func TestRecvCompletesAfterSendPlusLatency(t *testing.T) {
+	sys := papi.MustInit(papi.Options{Platform: papi.PlatformCrayT3E})
+	const latency = 50_000
+	comm, err := NewComm(sys, Config{Ranks: 2, LatencyCycles: latency})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scripts := []Script{
+		{Compute{Prog: small()}, Send{To: 1, Bytes: 64}},
+		{Recv{From: 0}},
+	}
+	if err := comm.Run(scripts); err != nil {
+		t.Fatal(err)
+	}
+	th0, _ := comm.Thread(0)
+	th1, _ := comm.Thread(1)
+	// Receiver's clock must be at least sender's send-completion time
+	// plus the wire latency.
+	if th1.CPU().Cycles() < th0.CPU().Cycles() {
+		t.Errorf("receiver finished at %d, before sender at %d plus latency",
+			th1.CPU().Cycles(), th0.CPU().Cycles())
+	}
+	if th1.CPU().Cycles() < latency {
+		t.Errorf("receiver clock %d below the wire latency", th1.CPU().Cycles())
+	}
+}
+
+func TestBarrierSynchronizesClocks(t *testing.T) {
+	sys := papi.MustInit(papi.Options{Platform: papi.PlatformCrayT3E})
+	comm, err := NewComm(sys, Config{Ranks: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := workload.Triad(workload.TriadConfig{N: 20_000})
+	scripts := []Script{
+		{Compute{Prog: big}, Barrier{}},
+		{Compute{Prog: small()}, Barrier{}},
+		{Barrier{}},
+	}
+	if err := comm.Run(scripts); err != nil {
+		t.Fatal(err)
+	}
+	var clocks []uint64
+	for i := 0; i < 3; i++ {
+		th, _ := comm.Thread(i)
+		clocks = append(clocks, th.CPU().Cycles())
+	}
+	if clocks[0] != clocks[1] || clocks[1] != clocks[2] {
+		t.Errorf("barrier left clocks unsynchronized: %v", clocks)
+	}
+	// The fast ranks waited.
+	stats := comm.Stats()
+	if stats[2].WaitUsec == 0 || stats[1].WaitUsec == 0 {
+		t.Errorf("fast ranks should report wait time: %+v", stats)
+	}
+	if stats[0].WaitUsec != 0 {
+		t.Errorf("slowest rank waited %d us", stats[0].WaitUsec)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	sys := papi.MustInit(papi.Options{Platform: papi.PlatformCrayT3E})
+	comm, _ := NewComm(sys, Config{Ranks: 2})
+	// Both ranks receive first: classic deadlock.
+	scripts := []Script{
+		{Recv{From: 1}, Send{To: 1, Bytes: 8}},
+		{Recv{From: 0}, Send{To: 0, Bytes: 8}},
+	}
+	err := comm.Run(scripts)
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Errorf("expected deadlock, got %v", err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	sys := papi.MustInit(papi.Options{Platform: papi.PlatformCrayT3E})
+	if _, err := NewComm(sys, Config{Ranks: 0}); err == nil {
+		t.Error("zero ranks accepted")
+	}
+	comm, _ := NewComm(sys, Config{Ranks: 2})
+	if err := comm.Run([]Script{{}}); err == nil {
+		t.Error("script-count mismatch accepted")
+	}
+	if err := comm.Run([]Script{{Send{To: 9, Bytes: 1}}, {}}); err == nil {
+		t.Error("invalid send target accepted")
+	}
+	if err := comm.Run([]Script{{Recv{From: -1}}, {}}); err == nil {
+		t.Error("invalid recv source accepted")
+	}
+	if _, err := comm.Thread(9); err == nil {
+		t.Error("invalid rank lookup accepted")
+	}
+	if _, err := comm.RegionRates(0); err == nil {
+		t.Error("metric index without metrics accepted")
+	}
+}
+
+func TestVampirCorrelation(t *testing.T) {
+	// The §3 claim: FLOP rate correlates with message-passing phases —
+	// high during compute intervals, ~zero inside send/recv intervals.
+	sys := papi.MustInit(papi.Options{Platform: papi.PlatformAIXPower3})
+	comm, err := NewComm(sys, Config{
+		Ranks:   2,
+		Metrics: []papi.Event{papi.FP_OPS},
+		Trace:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compute := func() workload.Program {
+		return workload.MatMul(workload.MatMulConfig{N: 32, UseFMA: true})
+	}
+	scripts := []Script{
+		{Compute{Prog: compute()}, Send{To: 1, Bytes: 1 << 20}, Recv{From: 1}, Compute{Prog: compute()}},
+		{Compute{Prog: compute()}, Recv{From: 0}, Send{To: 0, Bytes: 1 << 20}, Compute{Prog: compute()}},
+	}
+	if err := comm.Run(scripts); err != nil {
+		t.Fatal(err)
+	}
+	rates, err := comm.RegionRates(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rates["compute"] <= 0 {
+		t.Fatalf("no compute rate: %v", rates)
+	}
+	if rates["send"] >= rates["compute"]/10 {
+		t.Errorf("send-phase FLOP rate %.2f not ≪ compute rate %.2f", rates["send"], rates["compute"])
+	}
+	if rates["recv"] >= rates["compute"]/10 {
+		t.Errorf("recv-phase FLOP rate %.2f not ≪ compute rate %.2f", rates["recv"], rates["compute"])
+	}
+}
+
+func TestDeterministicSchedule(t *testing.T) {
+	run := func() string {
+		sys := papi.MustInit(papi.Options{Platform: papi.PlatformCrayT3E, Seed: 5})
+		comm, err := NewComm(sys, Config{Ranks: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		scripts := []Script{
+			{Compute{Prog: small()}, Send{To: 1, Bytes: 512}, Recv{From: 2}},
+			{Recv{From: 0}, Compute{Prog: small()}, Send{To: 2, Bytes: 512}},
+			{Recv{From: 1}, Send{To: 0, Bytes: 512}},
+		}
+		if err := comm.Run(scripts); err != nil {
+			t.Fatal(err)
+		}
+		return comm.Report()
+	}
+	if run() != run() {
+		t.Error("schedule is not deterministic")
+	}
+}

@@ -1,0 +1,76 @@
+package perfometer
+
+import (
+	"errors"
+	"testing"
+
+	"repro/papi"
+	"repro/workload"
+)
+
+// failingWriter errors after n writes, driving the backend's stream
+// error path.
+type failingWriter struct{ n int }
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errors.New("wire broke")
+	}
+	w.n--
+	return len(p), nil
+}
+
+func TestBackendSurfacesWireErrors(t *testing.T) {
+	sys := papi.MustInit(papi.Options{Platform: papi.PlatformLinuxX86})
+	b := NewBackend(sys.Main(), papi.FP_OPS, 100_000)
+	err := b.Run(&failingWriter{n: 2}, workload.MatMul(workload.MatMulConfig{N: 48}))
+	if err == nil || err.Error() != "wire broke" {
+		t.Errorf("expected wire error, got %v", err)
+	}
+}
+
+func TestBackendRejectsUnavailableMetric(t *testing.T) {
+	sys := papi.MustInit(papi.Options{Platform: papi.PlatformLinuxX86})
+	b := NewBackend(sys.Main(), papi.LD_INS, 0) // LD_INS unavailable on x86
+	var sink failingWriter
+	if err := b.Run(&sink, workload.Triad(workload.TriadConfig{N: 10})); err == nil {
+		t.Error("unavailable metric accepted")
+	}
+}
+
+func TestFrontendRejectsGarbage(t *testing.T) {
+	f := &Frontend{}
+	if err := f.Consume(garbageReader{}); err == nil {
+		t.Error("garbage stream accepted")
+	}
+}
+
+type garbageReader struct{}
+
+func (garbageReader) Read(p []byte) (int, error) {
+	copy(p, "not json\n")
+	return 9, nil
+}
+
+func TestSectionProbeUnderflowIsSafe(t *testing.T) {
+	sys := papi.MustInit(papi.Options{Platform: papi.PlatformLinuxX86})
+	b := NewBackend(sys.Main(), papi.FP_OPS, 0)
+	p := &SectionProbe{Backend: b}
+	p.Exit("never-entered", nil) // must not panic
+	p.Enter("f", nil)
+	if b.Section() != "f" {
+		t.Error("enter did not switch section")
+	}
+	p.Exit("f", nil)
+	if b.Section() != "main" {
+		t.Errorf("exit restored %q", b.Section())
+	}
+}
+
+func TestDefaultInterval(t *testing.T) {
+	sys := papi.MustInit(papi.Options{Platform: papi.PlatformLinuxX86})
+	b := NewBackend(sys.Main(), papi.FP_OPS, 0)
+	if b.interval != 500_000 {
+		t.Errorf("default interval = %d", b.interval)
+	}
+}

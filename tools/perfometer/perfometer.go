@@ -1,0 +1,274 @@
+// Package perfometer reproduces the paper's perfometer tool (§2,
+// Figure 2): real-time monitoring of a PAPI metric. A backend linked
+// with the monitored application samples a counter at regular
+// intervals and streams (time, value, rate, section) points to a
+// frontend over a socket; the frontend displays the running trace —
+// Figure 2's FLOPS-versus-time view — and can save it for off-line
+// analysis. The intent, per the paper, is "a fast coarse-grained easy
+// way for a developer to find out where a bottleneck exists".
+//
+// The Java GUI becomes a terminal renderer; the wire protocol is
+// newline-delimited JSON over any io.Writer/io.Reader pair (TCP in the
+// cmd/perfometer tool, net.Pipe in tests).
+package perfometer
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"repro/papi"
+)
+
+// Point is one sample on the wire.
+type Point struct {
+	Seq      int     `json:"seq"`
+	RealUsec uint64  `json:"real_usec"`
+	Total    int64   `json:"total"`   // cumulative metric count
+	Rate     float64 `json:"rate"`    // metric per second over the last window
+	Section  string  `json:"section"` // current color/section label
+}
+
+// Backend samples one PAPI metric on one thread and streams points.
+type Backend struct {
+	th       *papi.Thread
+	event    papi.Event
+	interval uint64 // cycles between samples
+
+	section  string
+	seq      int
+	lastVal  int64
+	lastUsec uint64
+	buf      [1]int64
+	enc      *json.Encoder
+	encErr   error
+}
+
+// NewBackend prepares a backend sampling ev every intervalCycles
+// (0 selects ~a millisecond of simulated time).
+func NewBackend(th *papi.Thread, ev papi.Event, intervalCycles uint64) *Backend {
+	if intervalCycles == 0 {
+		intervalCycles = 500_000
+	}
+	return &Backend{th: th, event: ev, interval: intervalCycles, section: "main"}
+}
+
+// SetSection changes the section (color) label attached to subsequent
+// points. The dynaprof perfometer probe calls this on function entry,
+// so a running application can be attached to and monitored without
+// source changes.
+func (b *Backend) SetSection(name string) { b.section = name }
+
+// Section returns the current section label.
+func (b *Backend) Section() string { return b.section }
+
+// Run executes the program on the backend's thread, streaming samples
+// to w. It returns after the final sample is written.
+func (b *Backend) Run(w io.Writer, prog papi.Stream) error {
+	return b.RunInstrumented(w, func() error {
+		b.th.Run(prog)
+		return nil
+	})
+}
+
+// RunInstrumented executes run() — typically a dynaprof-instrumented
+// program driving the backend's thread — under sampling. This is how a
+// running application is attached to and monitored "without requiring
+// any source code changes or recompilation" (§2).
+func (b *Backend) RunInstrumented(w io.Writer, run func() error) error {
+	es := b.th.NewEventSet()
+	if err := es.Add(b.event); err != nil {
+		return err
+	}
+	b.enc = json.NewEncoder(w)
+	b.seq = 0
+	b.lastVal = 0
+	b.lastUsec = b.th.RealUsec()
+	if err := es.Start(); err != nil {
+		return err
+	}
+	cpu := b.th.CPU()
+	cpu.SetTimer(b.interval, func() { b.sample(es) })
+	runErr := run()
+	cpu.SetTimer(0, nil)
+	b.sample(es) // final point
+	if err := es.Stop(nil); err != nil {
+		return err
+	}
+	if runErr != nil {
+		return runErr
+	}
+	return b.encErr
+}
+
+func (b *Backend) sample(es *papi.EventSet) {
+	if b.encErr != nil {
+		return
+	}
+	if err := es.Read(b.buf[:]); err != nil {
+		b.encErr = err
+		return
+	}
+	usec := b.th.RealUsec()
+	val := b.buf[0]
+	var rate float64
+	if du := usec - b.lastUsec; du > 0 {
+		rate = float64(val-b.lastVal) / float64(du) * 1e6
+	}
+	p := Point{
+		Seq:      b.seq,
+		RealUsec: usec,
+		Total:    val,
+		Rate:     rate,
+		Section:  b.section,
+	}
+	b.seq++
+	b.lastVal = val
+	b.lastUsec = usec
+	if err := b.enc.Encode(&p); err != nil {
+		b.encErr = err
+	}
+}
+
+// SectionProbe adapts a Backend into a dynaprof probe: entering an
+// instrumented function switches the perfometer section, which the
+// frontend shows as a color change.
+type SectionProbe struct {
+	Backend *Backend
+	stack   []string
+}
+
+// Enter implements the dynaprof Probe interface.
+func (p *SectionProbe) Enter(fn string, _ *papi.Thread) {
+	p.stack = append(p.stack, p.Backend.Section())
+	p.Backend.SetSection(fn)
+}
+
+// Exit implements the dynaprof Probe interface.
+func (p *SectionProbe) Exit(_ string, _ *papi.Thread) {
+	if n := len(p.stack); n > 0 {
+		p.Backend.SetSection(p.stack[n-1])
+		p.stack = p.stack[:n-1]
+	}
+}
+
+// Frontend consumes a point stream and renders/saves it.
+type Frontend struct {
+	Points []Point
+}
+
+// Consume reads newline-delimited JSON points until EOF.
+func (f *Frontend) Consume(r io.Reader) error {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	for {
+		var p Point
+		if err := dec.Decode(&p); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return fmt.Errorf("perfometer: decoding stream: %w", err)
+		}
+		f.Points = append(f.Points, p)
+	}
+}
+
+// MaxRate returns the peak sampled rate.
+func (f *Frontend) MaxRate() float64 {
+	m := 0.0
+	for _, p := range f.Points {
+		if p.Rate > m {
+			m = p.Rate
+		}
+	}
+	return m
+}
+
+var sparkLevels = []rune(" ▁▂▃▄▅▆▇█")
+
+// Sparkline renders the rate trace as a unicode sparkline of at most
+// width points — the terminal stand-in for Figure 2's scrolling graph.
+func (f *Frontend) Sparkline(width int) string {
+	if len(f.Points) == 0 || width <= 0 {
+		return ""
+	}
+	pts := f.Points
+	if len(pts) > width {
+		// Downsample by averaging fixed-size windows.
+		out := make([]Point, width)
+		for i := 0; i < width; i++ {
+			lo, hi := i*len(pts)/width, (i+1)*len(pts)/width
+			if hi == lo {
+				hi = lo + 1
+			}
+			var sum float64
+			for _, p := range pts[lo:hi] {
+				sum += p.Rate
+			}
+			out[i] = Point{Rate: sum / float64(hi-lo)}
+		}
+		pts = out
+	}
+	max := f.MaxRate()
+	if max == 0 {
+		max = 1
+	}
+	var b strings.Builder
+	for _, p := range pts {
+		lvl := int(math.Round(p.Rate / max * float64(len(sparkLevels)-1)))
+		if lvl < 0 {
+			lvl = 0
+		}
+		if lvl >= len(sparkLevels) {
+			lvl = len(sparkLevels) - 1
+		}
+		b.WriteRune(sparkLevels[lvl])
+	}
+	return b.String()
+}
+
+// Sections returns the distinct section labels in arrival order.
+func (f *Frontend) Sections() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, p := range f.Points {
+		if !seen[p.Section] {
+			seen[p.Section] = true
+			out = append(out, p.Section)
+		}
+	}
+	return out
+}
+
+// SectionMeanRate returns the mean sampled rate per section label.
+func (f *Frontend) SectionMeanRate() map[string]float64 {
+	sum := map[string]float64{}
+	n := map[string]int{}
+	for _, p := range f.Points {
+		sum[p.Section] += p.Rate
+		n[p.Section]++
+	}
+	out := make(map[string]float64, len(sum))
+	for k, s := range sum {
+		out[k] = s / float64(n[k])
+	}
+	return out
+}
+
+// SaveTrace writes the collected points as JSON lines for off-line
+// analysis, perfometer's trace-file mode.
+func (f *Frontend) SaveTrace(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for i := range f.Points {
+		if err := enc.Encode(&f.Points[i]); err != nil {
+			return fmt.Errorf("perfometer: saving trace: %w", err)
+		}
+	}
+	return nil
+}
+
+// LoadTrace reads a saved trace back.
+func (f *Frontend) LoadTrace(r io.Reader) error { return f.Consume(r) }

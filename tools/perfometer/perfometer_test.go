@@ -1,0 +1,147 @@
+package perfometer
+
+import (
+	"bytes"
+	"net"
+	"strings"
+	"testing"
+
+	"repro/papi"
+	"repro/tools/dynaprof"
+	"repro/workload"
+)
+
+// phased builds the Figure 2 style workload: FP-heavy, then
+// memory-bound, then FP-heavy again.
+func phased() workload.Program {
+	return workload.NewConcat("phased",
+		workload.MatMul(workload.MatMulConfig{N: 48}),
+		workload.PointerChase(workload.ChaseConfig{Nodes: 1 << 14, Steps: 200_000}),
+		workload.MatMul(workload.MatMulConfig{N: 48}),
+	)
+}
+
+func TestBackendFrontendOverPipe(t *testing.T) {
+	sys := papi.MustInit(papi.Options{Platform: papi.PlatformLinuxX86})
+	th := sys.Main()
+	b := NewBackend(th, papi.FP_OPS, 200_000)
+	cli, srv := net.Pipe()
+	f := &Frontend{}
+	done := make(chan error, 1)
+	go func() { done <- f.Consume(srv) }()
+	if err := b.Run(cli, phased()); err != nil {
+		t.Fatal(err)
+	}
+	cli.Close()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Points) < 10 {
+		t.Fatalf("only %d points sampled", len(f.Points))
+	}
+	// Sequence numbers are contiguous and time is monotone.
+	for i, p := range f.Points {
+		if p.Seq != i {
+			t.Fatalf("point %d has seq %d", i, p.Seq)
+		}
+		if i > 0 && p.RealUsec < f.Points[i-1].RealUsec {
+			t.Fatal("time went backwards")
+		}
+	}
+	// Figure 2's shape: the FLOP rate dips during the memory phase.
+	// Compare the first-quarter mean rate to the middle mean rate.
+	q := len(f.Points) / 4
+	mean := func(pts []Point) float64 {
+		var s float64
+		for _, p := range pts {
+			s += p.Rate
+		}
+		return s / float64(len(pts))
+	}
+	head := mean(f.Points[:q])
+	mid := mean(f.Points[q : 3*q])
+	if head <= mid {
+		t.Errorf("FLOP rate should dip in the memory phase: head %.0f vs mid %.0f", head, mid)
+	}
+	if f.MaxRate() <= 0 {
+		t.Error("max rate zero")
+	}
+}
+
+func TestSparklineAndTrace(t *testing.T) {
+	f := &Frontend{Points: []Point{
+		{Seq: 0, Rate: 10}, {Seq: 1, Rate: 0}, {Seq: 2, Rate: 5}, {Seq: 3, Rate: 10},
+	}}
+	sl := f.Sparkline(4)
+	if len([]rune(sl)) != 4 {
+		t.Errorf("sparkline %q has wrong width", sl)
+	}
+	if !strings.ContainsRune(sl, '█') {
+		t.Errorf("sparkline %q missing peak", sl)
+	}
+	// Downsampling path.
+	if w := len([]rune(f.Sparkline(2))); w != 2 {
+		t.Errorf("downsampled width = %d", w)
+	}
+	if f.Sparkline(0) != "" {
+		t.Error("zero width should be empty")
+	}
+	// Trace round trip.
+	var buf bytes.Buffer
+	if err := f.SaveTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g := &Frontend{}
+	if err := g.LoadTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Points) != len(f.Points) {
+		t.Errorf("trace round trip lost points: %d vs %d", len(g.Points), len(f.Points))
+	}
+}
+
+func TestSectionProbeColorsTrace(t *testing.T) {
+	sys := papi.MustInit(papi.Options{Platform: papi.PlatformAIXPower3})
+	th := sys.Main()
+	b := NewBackend(th, papi.FP_OPS, 100_000)
+
+	exe, err := dynaprof.NewExecutable("app", "main",
+		&dynaprof.Func{Name: "main", Body: []dynaprof.Stmt{
+			dynaprof.CallStmt{Callee: "compute"},
+			dynaprof.CallStmt{Callee: "drain"},
+		}},
+		&dynaprof.Func{Name: "compute", Body: []dynaprof.Stmt{
+			dynaprof.RunStmt{Prog: workload.MatMul(workload.MatMulConfig{N: 40, UseFMA: true})},
+		}},
+		&dynaprof.Func{Name: "drain", Body: []dynaprof.Stmt{
+			dynaprof.RunStmt{Prog: workload.PointerChase(workload.ChaseConfig{Nodes: 1 << 13, Steps: 150_000})},
+		}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := dynaprof.Attach(exe)
+	if err := prof.Instrument("*", &SectionProbe{Backend: b}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The dynaprof run drives the program; the backend samples via the
+	// CPU timer around the instrumented execution.
+	var wire bytes.Buffer
+	if err := b.RunInstrumented(&wire, func() error { return prof.Run(th) }); err != nil {
+		t.Fatal(err)
+	}
+	f := &Frontend{}
+	if err := f.Consume(bytes.NewReader(wire.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	secs := f.Sections()
+	joined := strings.Join(secs, ",")
+	if !strings.Contains(joined, "compute") || !strings.Contains(joined, "drain") {
+		t.Errorf("sections = %v, want compute and drain", secs)
+	}
+	rates := f.SectionMeanRate()
+	if rates["compute"] <= rates["drain"] {
+		t.Errorf("compute section rate %.0f should exceed drain %.0f", rates["compute"], rates["drain"])
+	}
+}

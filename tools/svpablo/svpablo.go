@@ -1,0 +1,266 @@
+// Package svpablo reproduces the role of SvPablo in the paper's §3: a
+// source-code-oriented performance browser whose library "maintains
+// statistics on the execution of each instrumented event on each
+// processor and maps these statistics to constructs in the original
+// source code", with hardware event counts obtained through PAPI.
+//
+// Constructs (loops, statements, routine bodies) are registered with
+// source coordinates; each processor (rank/thread) records per-
+// construct counter statistics; the browser view aggregates across
+// processors into min/mean/max — the load-balance summary SvPablo
+// colours source lines with.
+package svpablo
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/papi"
+)
+
+// Construct is one instrumented source construct.
+type Construct struct {
+	Name string
+	File string
+	Line int
+}
+
+// Instrumenter records statistics for one processor (one thread).
+type Instrumenter struct {
+	b   *Browser
+	th  *papi.Thread
+	es  *papi.EventSet
+	buf []int64
+	pid int
+
+	open map[string]snapshot
+}
+
+type snapshot struct {
+	usec uint64
+	vals []int64
+}
+
+// stat accumulates one (construct, processor) cell.
+type stat struct {
+	count uint64
+	usec  uint64
+	vals  []int64
+}
+
+// Browser owns the constructs, the per-processor statistics, and the
+// aggregated views.
+type Browser struct {
+	metrics    []papi.Event
+	constructs map[string]Construct
+	cells      map[string]map[int]*stat // construct → processor → stat
+	nextPID    int
+}
+
+// New creates a browser profiling the given metrics per construct.
+func New(metrics ...papi.Event) *Browser {
+	return &Browser{
+		metrics:    metrics,
+		constructs: map[string]Construct{},
+		cells:      map[string]map[int]*stat{},
+	}
+}
+
+// Define registers an instrumentable construct.
+func (b *Browser) Define(c Construct) error {
+	if c.Name == "" {
+		return fmt.Errorf("svpablo: construct needs a name")
+	}
+	if _, dup := b.constructs[c.Name]; dup {
+		return fmt.Errorf("svpablo: construct %q already defined", c.Name)
+	}
+	b.constructs[c.Name] = c
+	b.cells[c.Name] = map[int]*stat{}
+	return nil
+}
+
+// Instrument binds a processor (thread) to the browser, starting its
+// counters.
+func (b *Browser) Instrument(th *papi.Thread) (*Instrumenter, error) {
+	ins := &Instrumenter{
+		b:    b,
+		th:   th,
+		buf:  make([]int64, len(b.metrics)),
+		pid:  b.nextPID,
+		open: map[string]snapshot{},
+	}
+	b.nextPID++
+	if len(b.metrics) > 0 {
+		es := th.NewEventSet()
+		if err := es.AddAll(b.metrics...); err != nil {
+			return nil, err
+		}
+		if err := es.Start(); err != nil {
+			return nil, err
+		}
+		ins.es = es
+	}
+	return ins, nil
+}
+
+// Close stops the processor's counters.
+func (ins *Instrumenter) Close() error {
+	if len(ins.open) != 0 {
+		return fmt.Errorf("svpablo: %d constructs still open", len(ins.open))
+	}
+	if ins.es != nil {
+		return ins.es.Stop(nil)
+	}
+	return nil
+}
+
+func (ins *Instrumenter) read() (uint64, []int64, error) {
+	t := ins.th.VirtUsec()
+	if ins.es == nil {
+		return t, nil, nil
+	}
+	if err := ins.es.Read(ins.buf); err != nil {
+		return 0, nil, err
+	}
+	return t, append([]int64(nil), ins.buf...), nil
+}
+
+// Enter marks the start of one execution of a construct. Unlike TAU's
+// stack discipline, SvPablo constructs are independent: overlapping
+// enters of *different* constructs are fine, re-entering the same one
+// is not.
+func (ins *Instrumenter) Enter(name string) error {
+	if _, ok := ins.b.constructs[name]; !ok {
+		return fmt.Errorf("svpablo: construct %q not defined", name)
+	}
+	if _, open := ins.open[name]; open {
+		return fmt.Errorf("svpablo: construct %q already open on processor %d", name, ins.pid)
+	}
+	t, vals, err := ins.read()
+	if err != nil {
+		return err
+	}
+	ins.open[name] = snapshot{usec: t, vals: vals}
+	return nil
+}
+
+// Exit marks the end of one execution of a construct.
+func (ins *Instrumenter) Exit(name string) error {
+	snap, open := ins.open[name]
+	if !open {
+		return fmt.Errorf("svpablo: construct %q not open on processor %d", name, ins.pid)
+	}
+	delete(ins.open, name)
+	t, vals, err := ins.read()
+	if err != nil {
+		return err
+	}
+	cell := ins.b.cells[name][ins.pid]
+	if cell == nil {
+		cell = &stat{vals: make([]int64, len(ins.b.metrics))}
+		ins.b.cells[name][ins.pid] = cell
+	}
+	cell.count++
+	cell.usec += t - snap.usec
+	for i := range vals {
+		cell.vals[i] += vals[i] - snap.vals[i]
+	}
+	return nil
+}
+
+// Cell is one (construct, processor) statistic.
+type Cell struct {
+	Processor int
+	Count     uint64
+	Usec      uint64
+	Values    []int64
+}
+
+// Cells returns a construct's per-processor statistics, by processor.
+func (b *Browser) Cells(name string) ([]Cell, error) {
+	cells, ok := b.cells[name]
+	if !ok {
+		return nil, fmt.Errorf("svpablo: construct %q not defined", name)
+	}
+	out := make([]Cell, 0, len(cells))
+	for pid, st := range cells {
+		out = append(out, Cell{Processor: pid, Count: st.count, Usec: st.usec,
+			Values: append([]int64(nil), st.vals...)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Processor < out[j].Processor })
+	return out, nil
+}
+
+// Aggregate is a construct's cross-processor summary for one metric:
+// SvPablo's load-balance colouring data.
+type Aggregate struct {
+	Construct  Construct
+	Processors int
+	Min, Max   int64
+	Mean       float64
+	Imbalance  float64 // max/mean; 1.0 = perfectly balanced
+}
+
+// Summarize aggregates one metric (by index) across processors for
+// every construct, sorted by mean descending.
+func (b *Browser) Summarize(metricIndex int) ([]Aggregate, error) {
+	if metricIndex < 0 || metricIndex >= len(b.metrics) {
+		return nil, fmt.Errorf("svpablo: metric index %d out of range", metricIndex)
+	}
+	var out []Aggregate
+	for name, c := range b.constructs {
+		cells := b.cells[name]
+		if len(cells) == 0 {
+			continue
+		}
+		agg := Aggregate{Construct: c, Processors: len(cells)}
+		var sum int64
+		first := true
+		for _, st := range cells {
+			v := st.vals[metricIndex]
+			if first {
+				agg.Min, agg.Max = v, v
+				first = false
+			}
+			if v < agg.Min {
+				agg.Min = v
+			}
+			if v > agg.Max {
+				agg.Max = v
+			}
+			sum += v
+		}
+		agg.Mean = float64(sum) / float64(len(cells))
+		if agg.Mean != 0 {
+			agg.Imbalance = float64(agg.Max) / agg.Mean
+		}
+		out = append(out, agg)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Mean != out[j].Mean {
+			return out[i].Mean > out[j].Mean
+		}
+		return out[i].Construct.Name < out[j].Construct.Name
+	})
+	return out, nil
+}
+
+// Report renders the browser view for one metric: construct, source
+// coordinate, processor spread.
+func (b *Browser) Report(metricIndex int) (string, error) {
+	aggs, err := b.Summarize(metricIndex)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "metric: %s\n", papi.EventName(b.metrics[metricIndex]))
+	fmt.Fprintf(&sb, "%-16s %-18s %6s %12s %12s %12s %9s\n",
+		"CONSTRUCT", "SOURCE", "PROCS", "MIN", "MEAN", "MAX", "IMBALANCE")
+	for _, a := range aggs {
+		fmt.Fprintf(&sb, "%-16s %-18s %6d %12d %12.1f %12d %9.2f\n",
+			a.Construct.Name, fmt.Sprintf("%s:%d", a.Construct.File, a.Construct.Line),
+			a.Processors, a.Min, a.Mean, a.Max, a.Imbalance)
+	}
+	return sb.String(), nil
+}

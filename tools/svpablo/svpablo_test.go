@@ -1,0 +1,170 @@
+package svpablo
+
+import (
+	"strings"
+	"testing"
+
+	"repro/papi"
+	"repro/workload"
+)
+
+func TestPerProcessorStatistics(t *testing.T) {
+	sys := papi.MustInit(papi.Options{Platform: papi.PlatformAIXPower3})
+	b := New(papi.FP_OPS, papi.TOT_CYC)
+	if err := b.Define(Construct{Name: "solve_loop", File: "solver.f90", Line: 42}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Define(Construct{Name: "io_loop", File: "io.f90", Line: 17}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Define(Construct{Name: "solve_loop"}); err == nil {
+		t.Error("duplicate construct accepted")
+	}
+	if err := b.Define(Construct{}); err == nil {
+		t.Error("unnamed construct accepted")
+	}
+
+	// Three "processors" with imbalanced work in solve_loop.
+	sizes := []int{16, 16, 32}
+	for p, size := range sizes {
+		var th *papi.Thread
+		var err error
+		if p == 0 {
+			th = sys.Main()
+		} else if th, err = sys.NewThread(); err != nil {
+			t.Fatal(err)
+		}
+		ins, err := b.Instrument(th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ins.Enter("solve_loop"); err != nil {
+			t.Fatal(err)
+		}
+		th.Run(workload.MatMul(workload.MatMulConfig{N: size, UseFMA: true}))
+		if err := ins.Exit("solve_loop"); err != nil {
+			t.Fatal(err)
+		}
+		if err := ins.Enter("io_loop"); err != nil {
+			t.Fatal(err)
+		}
+		th.Run(workload.Triad(workload.TriadConfig{N: 1000}))
+		if err := ins.Exit("io_loop"); err != nil {
+			t.Fatal(err)
+		}
+		if err := ins.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	cells, err := b.Cells("solve_loop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 3 {
+		t.Fatalf("%d cells", len(cells))
+	}
+	// 2·N³ FLOPs per processor.
+	for i, want := range []int64{8192, 8192, 65536} {
+		if cells[i].Values[0] != want {
+			t.Errorf("proc %d solve FP_OPS = %d, want %d", i, cells[i].Values[0], want)
+		}
+		if cells[i].Count != 1 || cells[i].Usec == 0 {
+			t.Errorf("proc %d cell %+v", i, cells[i])
+		}
+	}
+
+	aggs, err := b.Summarize(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aggs[0].Construct.Name != "solve_loop" {
+		t.Errorf("hottest construct %q", aggs[0].Construct.Name)
+	}
+	a := aggs[0]
+	if a.Min != 8192 || a.Max != 65536 {
+		t.Errorf("min/max %d/%d", a.Min, a.Max)
+	}
+	wantMean := float64(8192+8192+65536) / 3
+	if a.Mean != wantMean {
+		t.Errorf("mean %.1f, want %.1f", a.Mean, wantMean)
+	}
+	if a.Imbalance < 2.0 || a.Imbalance > 2.5 {
+		t.Errorf("imbalance %.2f, want ~2.4 (one processor does 4x the work)", a.Imbalance)
+	}
+	// io_loop is balanced.
+	for _, agg := range aggs {
+		if agg.Construct.Name == "io_loop" && (agg.Imbalance < 0.99 || agg.Imbalance > 1.01) {
+			t.Errorf("io imbalance %.3f, want 1.0", agg.Imbalance)
+		}
+	}
+	rep, err := b.Report(0)
+	if err != nil || !strings.Contains(rep, "solver.f90:42") || !strings.Contains(rep, "IMBALANCE") {
+		t.Errorf("report:\n%s err=%v", rep, err)
+	}
+}
+
+func TestConstructDiscipline(t *testing.T) {
+	sys := papi.MustInit(papi.Options{Platform: papi.PlatformCrayT3E})
+	b := New(papi.FP_INS)
+	b.Define(Construct{Name: "a", File: "f", Line: 1})
+	b.Define(Construct{Name: "b", File: "f", Line: 2})
+	ins, err := b.Instrument(sys.Main())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ins.Enter("ghost"); err == nil {
+		t.Error("undefined construct accepted")
+	}
+	if err := ins.Exit("a"); err == nil {
+		t.Error("exit without enter accepted")
+	}
+	if err := ins.Enter("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ins.Enter("a"); err == nil {
+		t.Error("re-enter accepted")
+	}
+	// Overlapping different constructs is fine (SvPablo constructs are
+	// independent statements/loops, not a call stack).
+	if err := ins.Enter("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ins.Close(); err == nil {
+		t.Error("close with open constructs accepted")
+	}
+	ins.Exit("a")
+	ins.Exit("b")
+	if err := ins.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Cells("ghost"); err == nil {
+		t.Error("cells of undefined construct accepted")
+	}
+	if _, err := b.Summarize(5); err == nil {
+		t.Error("bad metric index accepted")
+	}
+}
+
+func TestMultipleEntriesAccumulate(t *testing.T) {
+	sys := papi.MustInit(papi.Options{Platform: papi.PlatformCrayT3E})
+	b := New(papi.FP_INS)
+	b.Define(Construct{Name: "body", File: "k.c", Line: 9})
+	ins, err := b.Instrument(sys.Main())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		ins.Enter("body")
+		sys.Main().Run(workload.Triad(workload.TriadConfig{N: 100}))
+		ins.Exit("body")
+	}
+	ins.Close()
+	cells, _ := b.Cells("body")
+	if cells[0].Count != 4 {
+		t.Errorf("count = %d", cells[0].Count)
+	}
+	if cells[0].Values[0] != 800 { // 4 × 200 FP
+		t.Errorf("FP = %d, want 800", cells[0].Values[0])
+	}
+}

@@ -1,0 +1,322 @@
+// Package tau reproduces the role of the TAU toolkit in the paper's §3:
+// a portable profiling *and* tracing framework for threaded programs
+// layered on PAPI. Source regions are instrumented with Start/Stop
+// calls (the manual-instrumentation mode of TAU's API); the framework
+// keeps per-thread profiles — inclusive/exclusive wall time plus one
+// column per configured hardware metric, "up to 25 metrics … and a
+// separate profile generated for each" — and, when tracing is enabled,
+// per-thread event traces that can be merged and converted, TAU's
+// node-context-thread model.
+package tau
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/trace"
+	"repro/papi"
+)
+
+// MaxMetrics mirrors TAU's 25-metric ceiling.
+const MaxMetrics = 25
+
+// Config configures a Profiler.
+type Config struct {
+	// Metrics are the hardware events profiled alongside time. Empty
+	// is valid: TAU configured without counters profiles time only.
+	Metrics []papi.Event
+	// Multiplex opts the metric EventSet into software multiplexing
+	// when the platform cannot count all metrics at once. Per the
+	// paper, tools do this "but take care of ensuring that runtimes
+	// are sufficiently long to yield accurate results".
+	Multiplex bool
+	// Tracing additionally records per-thread event traces.
+	Tracing bool
+	// Node identifies this process in merged traces.
+	Node int
+}
+
+// RegionStat is one region's profile on one thread.
+type RegionStat struct {
+	Region   string
+	Calls    uint64
+	InclUsec uint64
+	ExclUsec uint64
+	Incl     []int64 // per metric
+	Excl     []int64 // per metric
+}
+
+type frame struct {
+	region    string
+	startUsec uint64
+	startVals []int64
+	childUsec uint64
+	childVals []int64
+}
+
+// ThreadProfiler instruments one thread.
+type ThreadProfiler struct {
+	p     *Profiler
+	th    *papi.Thread
+	tid   int
+	es    *papi.EventSet
+	buf   []int64
+	stack []frame
+	stats map[string]*RegionStat
+	tbuf  *trace.Buffer
+}
+
+// Profiler is one TAU-style measurement session over a System.
+type Profiler struct {
+	sys     *papi.System
+	cfg     Config
+	threads []*ThreadProfiler
+}
+
+// New builds a profiler. The metric list is validated against the
+// platform immediately, like TAU's configuration step.
+func New(sys *papi.System, cfg Config) (*Profiler, error) {
+	if len(cfg.Metrics) > MaxMetrics {
+		return nil, fmt.Errorf("tau: %d metrics exceeds the %d-metric limit", len(cfg.Metrics), MaxMetrics)
+	}
+	for _, m := range cfg.Metrics {
+		if !sys.QueryEvent(m) {
+			return nil, fmt.Errorf("tau: metric %s unavailable on %s", papi.EventName(m), sys.Info().Platform)
+		}
+	}
+	return &Profiler{sys: sys, cfg: cfg}, nil
+}
+
+// Thread registers a thread for measurement, starting its counters.
+func (p *Profiler) Thread(th *papi.Thread) (*ThreadProfiler, error) {
+	tp := &ThreadProfiler{
+		p:     p,
+		th:    th,
+		tid:   th.Index(),
+		buf:   make([]int64, len(p.cfg.Metrics)),
+		stats: map[string]*RegionStat{},
+	}
+	if len(p.cfg.Metrics) > 0 {
+		es := th.NewEventSet()
+		if p.cfg.Multiplex {
+			if err := es.SetMultiplex(0); err != nil {
+				return nil, err
+			}
+		}
+		if err := es.AddAll(p.cfg.Metrics...); err != nil {
+			return nil, fmt.Errorf("tau: thread %d: %w (enable Multiplex?)", tp.tid, err)
+		}
+		if err := es.Start(); err != nil {
+			return nil, err
+		}
+		tp.es = es
+	}
+	if p.cfg.Tracing {
+		tp.tbuf = trace.NewBuffer(p.cfg.Node, tp.tid)
+	}
+	p.threads = append(p.threads, tp)
+	return tp, nil
+}
+
+// read snapshots time and counters.
+func (tp *ThreadProfiler) read() (uint64, []int64, error) {
+	t := tp.th.VirtUsec()
+	if tp.es == nil {
+		return t, nil, nil
+	}
+	if err := tp.es.Read(tp.buf); err != nil {
+		return 0, nil, err
+	}
+	return t, append([]int64(nil), tp.buf...), nil
+}
+
+// Start enters an instrumented region.
+func (tp *ThreadProfiler) Start(region string) error {
+	t, vals, err := tp.read()
+	if err != nil {
+		return err
+	}
+	tp.stack = append(tp.stack, frame{
+		region: region, startUsec: t, startVals: vals,
+		childVals: make([]int64, len(tp.buf)),
+	})
+	if tp.tbuf != nil {
+		tp.tbuf.Append(t, trace.KindEnter, region, vals)
+	}
+	return nil
+}
+
+// Stop exits the innermost region, which must match by name — the
+// nesting discipline TAU's compiler instrumentation guarantees and
+// manual instrumentation must respect.
+func (tp *ThreadProfiler) Stop(region string) error {
+	if len(tp.stack) == 0 {
+		return fmt.Errorf("tau: Stop(%q) with no open region", region)
+	}
+	fr := tp.stack[len(tp.stack)-1]
+	if fr.region != region {
+		return fmt.Errorf("tau: Stop(%q) but innermost region is %q", region, fr.region)
+	}
+	tp.stack = tp.stack[:len(tp.stack)-1]
+	t, vals, err := tp.read()
+	if err != nil {
+		return err
+	}
+	st := tp.stats[region]
+	if st == nil {
+		st = &RegionStat{
+			Region: region,
+			Incl:   make([]int64, len(tp.buf)),
+			Excl:   make([]int64, len(tp.buf)),
+		}
+		tp.stats[region] = st
+	}
+	st.Calls++
+	dUsec := t - fr.startUsec
+	st.InclUsec += dUsec
+	st.ExclUsec += dUsec - fr.childUsec
+	for i := range vals {
+		d := vals[i] - fr.startVals[i]
+		st.Incl[i] += d
+		st.Excl[i] += d - fr.childVals[i]
+	}
+	if len(tp.stack) > 0 {
+		parent := &tp.stack[len(tp.stack)-1]
+		parent.childUsec += dUsec
+		for i := range vals {
+			parent.childVals[i] += vals[i] - fr.startVals[i]
+		}
+	}
+	if tp.tbuf != nil {
+		tp.tbuf.Append(t, trace.KindExit, region, vals)
+	}
+	return nil
+}
+
+// Marker drops a point annotation into the trace.
+func (tp *ThreadProfiler) Marker(label string) {
+	if tp.tbuf == nil {
+		return
+	}
+	t := tp.th.VirtUsec()
+	tp.tbuf.Append(t, trace.KindMarker, label, nil)
+}
+
+// Thread returns the underlying papi thread.
+func (tp *ThreadProfiler) Thread() *papi.Thread { return tp.th }
+
+// Stats returns the thread's region profiles sorted by exclusive time,
+// descending.
+func (tp *ThreadProfiler) Stats() []RegionStat {
+	out := make([]RegionStat, 0, len(tp.stats))
+	for _, st := range tp.stats {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ExclUsec != out[j].ExclUsec {
+			return out[i].ExclUsec > out[j].ExclUsec
+		}
+		return out[i].Region < out[j].Region
+	})
+	return out
+}
+
+// Close stops all thread counters. Open regions are an error.
+func (p *Profiler) Close() error {
+	for _, tp := range p.threads {
+		if len(tp.stack) != 0 {
+			return fmt.Errorf("tau: thread %d has %d open regions at Close", tp.tid, len(tp.stack))
+		}
+		if tp.es != nil {
+			if err := tp.es.Stop(nil); err != nil {
+				return err
+			}
+			tp.es = nil
+		}
+	}
+	return nil
+}
+
+// MergedTrace merges all threads' traces into one time-ordered log.
+func (p *Profiler) MergedTrace() []trace.Event {
+	bufs := make([]*trace.Buffer, 0, len(p.threads))
+	for _, tp := range p.threads {
+		if tp.tbuf != nil {
+			bufs = append(bufs, tp.tbuf)
+		}
+	}
+	return trace.Merge(bufs...)
+}
+
+// WriteTrace writes the merged trace in the requested format
+// ("json" or "vtf").
+func (p *Profiler) WriteTrace(w io.Writer, format string) error {
+	events := p.MergedTrace()
+	switch format {
+	case "json":
+		return trace.WriteJSON(w, events)
+	case "vtf":
+		return trace.WriteVTF(w, events)
+	}
+	return fmt.Errorf("tau: unknown trace format %q", format)
+}
+
+// Report renders per-thread profile tables: one column for wall time
+// plus one per metric — TAU's separate-profile-per-metric view flattened
+// for the terminal.
+func (p *Profiler) Report() string {
+	var b strings.Builder
+	for _, tp := range p.threads {
+		fmt.Fprintf(&b, "node %d, thread %d:\n", p.cfg.Node, tp.tid)
+		fmt.Fprintf(&b, "%-20s %8s %12s %12s", "REGION", "CALLS", "EXCL_USEC", "INCL_USEC")
+		for _, m := range p.cfg.Metrics {
+			fmt.Fprintf(&b, " %14s", strings.TrimPrefix(papi.EventName(m), "PAPI_"))
+		}
+		b.WriteByte('\n')
+		for _, st := range tp.Stats() {
+			fmt.Fprintf(&b, "%-20s %8d %12d %12d", st.Region, st.Calls, st.ExclUsec, st.InclUsec)
+			for i := range p.cfg.Metrics {
+				fmt.Fprintf(&b, " %14d", st.Excl[i])
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// Correlation is a derived per-region ratio between two metrics — the
+// paper's "profiles for the same run can then be compared to see
+// important correlations, such as … the correlation of time with
+// operation counts and cache or TLB misses".
+type Correlation struct {
+	Region string
+	Ratio  float64
+}
+
+// Correlate returns exclusive metric-A over metric-B per region for a
+// thread (e.g. L1 misses per load, FLOPs per cycle).
+func (tp *ThreadProfiler) Correlate(a, b papi.Event) ([]Correlation, error) {
+	ia, ib := -1, -1
+	for i, m := range tp.p.cfg.Metrics {
+		if m == a {
+			ia = i
+		}
+		if m == b {
+			ib = i
+		}
+	}
+	if ia < 0 || ib < 0 {
+		return nil, fmt.Errorf("tau: correlate: metrics %s/%s not configured",
+			papi.EventName(a), papi.EventName(b))
+	}
+	var out []Correlation
+	for _, st := range tp.Stats() {
+		if st.Excl[ib] == 0 {
+			continue
+		}
+		out = append(out, Correlation{Region: st.Region, Ratio: float64(st.Excl[ia]) / float64(st.Excl[ib])})
+	}
+	return out, nil
+}

@@ -1,0 +1,263 @@
+package tau
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/papi"
+	"repro/workload"
+)
+
+func newProfiler(t *testing.T, cfg Config) (*papi.System, *Profiler) {
+	t.Helper()
+	sys := papi.MustInit(papi.Options{Platform: papi.PlatformAIXPower3})
+	p, err := New(sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, p
+}
+
+func TestProfileInclusiveExclusive(t *testing.T) {
+	sys, p := newProfiler(t, Config{Metrics: []papi.Event{papi.FP_INS, papi.TOT_INS}})
+	tp, err := p.Thread(sys.Main())
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := sys.Main()
+
+	if err := tp.Start("main"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.Start("compute"); err != nil {
+		t.Fatal(err)
+	}
+	th.Run(workload.MatMul(workload.MatMulConfig{N: 16}))
+	if err := tp.Stop("compute"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.Start("io"); err != nil {
+		t.Fatal(err)
+	}
+	th.Run(workload.Triad(workload.TriadConfig{N: 512}))
+	if err := tp.Stop("io"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.Stop("main"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	stats := map[string]RegionStat{}
+	for _, st := range tp.Stats() {
+		stats[st.Region] = st
+	}
+	// matmul 16: 2·16³ = 8192 FP; triad 512: 1024 FP.
+	if stats["compute"].Excl[0] != 8192 {
+		t.Errorf("compute excl FP = %d, want 8192", stats["compute"].Excl[0])
+	}
+	if stats["io"].Excl[0] != 1024 {
+		t.Errorf("io excl FP = %d, want 1024", stats["io"].Excl[0])
+	}
+	if stats["main"].Excl[0] > 10 {
+		t.Errorf("main excl FP = %d, want ~0", stats["main"].Excl[0])
+	}
+	if stats["main"].Incl[0] < 9216 {
+		t.Errorf("main incl FP = %d, want >= 9216", stats["main"].Incl[0])
+	}
+	if stats["main"].InclUsec < stats["compute"].InclUsec+stats["io"].InclUsec {
+		t.Error("main inclusive time below children")
+	}
+	if stats["compute"].Calls != 1 || stats["main"].Calls != 1 {
+		t.Error("call counts wrong")
+	}
+	rep := p.Report()
+	if !strings.Contains(rep, "compute") || !strings.Contains(rep, "FP_INS") {
+		t.Errorf("report missing columns:\n%s", rep)
+	}
+}
+
+func TestNestingDiscipline(t *testing.T) {
+	sys, p := newProfiler(t, Config{})
+	tp, err := p.Thread(sys.Main())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.Stop("ghost"); err == nil {
+		t.Error("Stop with empty stack accepted")
+	}
+	tp.Start("a")
+	if err := tp.Stop("b"); err == nil {
+		t.Error("mismatched Stop accepted")
+	}
+	// Close with open regions must fail.
+	if err := p.Close(); err == nil {
+		t.Error("Close with open region accepted")
+	}
+	tp.Stop("a")
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMetricValidation(t *testing.T) {
+	sys := papi.MustInit(papi.Options{Platform: papi.PlatformLinuxX86})
+	if _, err := New(sys, Config{Metrics: []papi.Event{papi.LD_INS}}); err == nil {
+		t.Error("unavailable metric accepted")
+	}
+	tooMany := make([]papi.Event, MaxMetrics+1)
+	for i := range tooMany {
+		tooMany[i] = papi.TOT_INS
+	}
+	if _, err := New(sys, Config{Metrics: tooMany}); err == nil {
+		t.Error("26 metrics accepted")
+	}
+	// Three metrics on a 2-counter machine need multiplexing.
+	cfg := Config{Metrics: []papi.Event{papi.TOT_CYC, papi.TOT_INS, papi.FP_INS}}
+	p, err := New(sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Thread(sys.Main()); err == nil {
+		t.Error("3 metrics without multiplex should conflict on the P6")
+	}
+	cfg.Multiplex = true
+	p2, _ := New(sys, cfg)
+	if _, err := p2.Thread(sys.Main()); err != nil {
+		t.Errorf("multiplexed metrics rejected: %v", err)
+	}
+}
+
+func TestTracingAndMerge(t *testing.T) {
+	sys, p := newProfiler(t, Config{Metrics: []papi.Event{papi.FP_INS}, Tracing: true, Node: 3})
+	t0, err := p.Thread(sys.Main())
+	if err != nil {
+		t.Fatal(err)
+	}
+	th1, err := sys.NewThread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, err := p.Thread(th1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t0.Start("phase")
+	sys.Main().Run(workload.Triad(workload.TriadConfig{N: 256}))
+	t0.Marker("checkpoint")
+	t0.Stop("phase")
+	t1.Start("phase")
+	th1.Run(workload.Triad(workload.TriadConfig{N: 128}))
+	t1.Stop("phase")
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	merged := p.MergedTrace()
+	if err := trace.Validate(merged); err != nil {
+		t.Fatal(err)
+	}
+	if len(merged) != 5 { // 2×(enter+exit) + marker
+		t.Fatalf("merged %d events", len(merged))
+	}
+	ivs, err := trace.Intervals(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ivs) != 2 {
+		t.Fatalf("%d intervals", len(ivs))
+	}
+	// Counter values ride on the trace: FP delta for thread 0's phase
+	// is the triad's 512 FP instructions.
+	for _, iv := range ivs {
+		if iv.Thread == 0 {
+			if d := iv.ExitVals[0] - iv.EnterVals[0]; d != 512 {
+				t.Errorf("trace FP delta = %d, want 512", d)
+			}
+		}
+	}
+	var vtf bytes.Buffer
+	if err := p.WriteTrace(&vtf, "vtf"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(vtf.String(), "MARKER\tcheckpoint") {
+		t.Error("marker missing from VTF trace")
+	}
+	var js bytes.Buffer
+	if err := p.WriteTrace(&js, "json"); err != nil {
+		t.Fatal(err)
+	}
+	back, err := trace.ReadJSON(&js)
+	if err != nil || len(back) != 5 {
+		t.Errorf("json trace round trip: %d events, %v", len(back), err)
+	}
+	if err := p.WriteTrace(&js, "xml"); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestCorrelate(t *testing.T) {
+	sys, p := newProfiler(t, Config{Metrics: []papi.Event{papi.FP_INS, papi.TOT_CYC}})
+	tp, err := p.Thread(sys.Main())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp.Start("fp_heavy")
+	sys.Main().Run(workload.MatMul(workload.MatMulConfig{N: 16}))
+	tp.Stop("fp_heavy")
+	tp.Start("mem_heavy")
+	sys.Main().Run(workload.PointerChase(workload.ChaseConfig{Nodes: 4096, Steps: 30_000}))
+	tp.Stop("mem_heavy")
+	p.Close()
+
+	corr, err := tp.Correlate(papi.FP_INS, papi.TOT_CYC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates := map[string]float64{}
+	for _, c := range corr {
+		rates[c.Region] = c.Ratio
+	}
+	if rates["fp_heavy"] <= rates["mem_heavy"] {
+		t.Errorf("FP-per-cycle must be higher in the FP region: %v", rates)
+	}
+	if _, err := tp.Correlate(papi.L1_DCM, papi.TOT_CYC); err == nil {
+		t.Error("unconfigured metric accepted")
+	}
+}
+
+func TestTimeOnlyProfilingAndMarkers(t *testing.T) {
+	// TAU configured without counters profiles wall time only; markers
+	// without tracing are a no-op.
+	sys, p := newProfiler(t, Config{})
+	tp, err := p.Thread(sys.Main())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp.Marker("ignored") // no trace buffer: must not panic
+	tp.Start("only_time")
+	sys.Main().Run(workload.Triad(workload.TriadConfig{N: 4096}))
+	tp.Stop("only_time")
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := tp.Stats()
+	if len(st) != 1 || st[0].ExclUsec == 0 {
+		t.Errorf("stats %+v", st)
+	}
+	if len(st[0].Incl) != 0 {
+		t.Error("metric columns present without metrics")
+	}
+	if len(p.MergedTrace()) != 0 {
+		t.Error("trace events without tracing enabled")
+	}
+	rep := p.Report()
+	if !strings.Contains(rep, "only_time") {
+		t.Errorf("report:\n%s", rep)
+	}
+}

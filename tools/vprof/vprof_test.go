@@ -1,0 +1,141 @@
+package vprof
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/hwsim"
+	"repro/papi"
+	"repro/workload"
+)
+
+func TestSourceMapLocate(t *testing.T) {
+	var sm SourceMap
+	r1 := workload.Region{Name: "f", Lo: 0x1000, Hi: 0x1020} // 8 instrs
+	r2 := workload.Region{Name: "g", Lo: 0x1020, Hi: 0x1040}
+	if err := sm.Add(r1, "solver.f90", 10, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := sm.Add(r2, "io.f90", 50, 4); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		addr uint64
+		want string
+	}{
+		{0x1000, "solver.f90:10"},
+		{0x1004, "solver.f90:10"}, // 2 instrs per line
+		{0x1008, "solver.f90:11"},
+		{0x101c, "solver.f90:13"},
+		{0x1020, "io.f90:50"},
+		{0x1030, "io.f90:51"},
+	}
+	for _, c := range cases {
+		loc, ok := sm.Locate(c.addr)
+		if !ok || loc.String() != c.want {
+			t.Errorf("Locate(%#x) = %v,%v want %s", c.addr, loc, ok, c.want)
+		}
+	}
+	if _, ok := sm.Locate(0x2000); ok {
+		t.Error("unmapped address located")
+	}
+	// Overlap rejected.
+	if err := sm.Add(workload.Region{Name: "h", Lo: 0x1010, Hi: 0x1050}, "x", 1, 1); err == nil {
+		t.Error("overlapping region accepted")
+	}
+	if err := sm.Add(workload.Region{Name: "h", Lo: 0x2000, Hi: 0x2010}, "x", 1, 0); err == nil {
+		t.Error("zero instrsPerLine accepted")
+	}
+}
+
+func TestLineProfileFindsHotLine(t *testing.T) {
+	sys := papi.MustInit(papi.Options{Platform: papi.PlatformCrayT3E})
+	th := sys.Main()
+	prog := workload.HotColdLoop(workload.HotColdConfig{Iters: 50_000, Hot: 4, Cold: 16})
+	regions := prog.Regions()
+
+	var sm SourceMap
+	// Hot FP region: one source line per 4 instructions → one line.
+	if err := sm.Add(regions[0], "kernel.c", 100, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := sm.Add(regions[1], "kernel.c", 120, 4); err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(th, papi.FP_INS, 997, &sm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	lines := p.Lines()
+	if len(lines) == 0 {
+		t.Fatal("no line hits")
+	}
+	// On the zero-skid T3E every hit lands on kernel.c:100.
+	if lines[0].Loc.String() != "kernel.c:100" {
+		t.Errorf("hottest line = %s, want kernel.c:100", lines[0].Loc)
+	}
+	if lines[0].Pct < 0.99 {
+		t.Errorf("hot line share = %.2f, want ~1.0", lines[0].Pct)
+	}
+	if p.Unmapped() != 0 {
+		t.Errorf("unmapped hits = %d", p.Unmapped())
+	}
+	rep := p.Report(5)
+	if !strings.Contains(rep, "kernel.c:100") || !strings.Contains(rep, "PAPI_FP_INS") {
+		t.Errorf("report:\n%s", rep)
+	}
+}
+
+func TestAnyMetricDrivesProfile(t *testing.T) {
+	// The paper: any monotonically increasing counter works as the
+	// profiling metric — profile L1 misses instead of FP.
+	sys := papi.MustInit(papi.Options{Platform: papi.PlatformCrayT3E})
+	th := sys.Main()
+	prog := workload.Triad(workload.TriadConfig{N: 65536})
+	var sm SourceMap
+	if err := sm.Add(prog.Regions()[0], "triad.c", 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(th, papi.L1_DCM, 256, &sm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	lines := p.Lines()
+	if len(lines) == 0 {
+		t.Fatal("no miss-profile hits")
+	}
+	// Misses come from loads/stores: lines 1, 2 (loads) and 5 (store).
+	for _, lh := range lines {
+		if lh.Loc.File != "triad.c" {
+			t.Errorf("hit outside triad.c: %v", lh)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	sys := papi.MustInit(papi.Options{})
+	var empty SourceMap
+	if _, err := New(sys.Main(), papi.FP_INS, 100, &empty); err == nil {
+		t.Error("empty source map accepted")
+	}
+}
+
+func TestSourceMapInstrGranularity(t *testing.T) {
+	// One bucket per instruction must be representable: the histogram
+	// granularity equals hwsim.InstrBytes.
+	if hwsim.InstrBytes != 4 {
+		t.Skip("instruction size changed")
+	}
+	var sm SourceMap
+	sm.Add(workload.Region{Name: "r", Lo: 0, Hi: 40}, "f", 0, 1)
+	lo, hi, ok := sm.Bounds()
+	if !ok || lo != 0 || hi != 40 {
+		t.Errorf("bounds = %d,%d,%v", lo, hi, ok)
+	}
+}

@@ -1,0 +1,65 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/hwsim"
+)
+
+// HotColdConfig parameterizes the attribution kernel.
+type HotColdConfig struct {
+	Iters int
+	Hot   int // FP instructions per iteration, in the "hot" region
+	Cold  int // integer instructions per iteration, in the "cold" region
+}
+
+// HotColdLoop builds the profiling-attribution kernel of experiment E5:
+// every floating-point instruction lives in a compact "hot" text
+// region, immediately followed by a run of integer instructions in a
+// separate "cold" region. A profiler with exact attribution puts every
+// FP-event hit inside the hot region; an out-of-order overflow
+// interrupt skids several instructions downstream and lands in the
+// cold region instead — the paper's §4 inaccuracy.
+func HotColdLoop(cfg HotColdConfig) Program {
+	iters := cfg.Iters
+	if iters <= 0 {
+		iters = 10_000
+	}
+	hot := cfg.Hot
+	if hot <= 0 {
+		hot = 4
+	}
+	cold := cfg.Cold
+	if cold <= 0 {
+		cold = 16
+	}
+	hotLo := TextBase
+	hotHi := hotLo + uint64(hot)*hwsim.InstrBytes
+	coldLo := hotHi
+	coldHi := coldLo + uint64(cold+1)*hwsim.InstrBytes // ints + loop branch
+	p := &iterProgram{
+		name:  fmt.Sprintf("hotcold(iters=%d,hot=%d,cold=%d)", iters, hot, cold),
+		iters: iters,
+		expected: Expected{
+			Instrs:   uint64(iters) * uint64(hot+cold+1),
+			FPAdd:    uint64(iters) * uint64(hot),
+			Branches: uint64(iters),
+		},
+	}
+	p.regions = []Region{
+		{Name: "hot_fp", Lo: hotLo, Hi: hotHi},
+		{Name: "cold_int", Lo: coldLo, Hi: coldHi},
+	}
+	p.gen = func(iter int, q []hwsim.Instr) []hwsim.Instr {
+		e := emitter{pc: hotLo, q: q}
+		for i := 0; i < hot; i++ {
+			e.op(hwsim.OpFPAdd)
+		}
+		for i := 0; i < cold; i++ {
+			e.op(hwsim.OpInt)
+		}
+		e.branch(iter != iters-1)
+		return e.q
+	}
+	return p
+}

@@ -1,0 +1,207 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/hwsim"
+)
+
+// runTruth executes a program on a T3E core (in-order, exact) and
+// returns the CPU's ground-truth signal totals.
+func runTruth(t *testing.T, p Program) *hwsim.CPU {
+	t.Helper()
+	a, ok := hwsim.ArchByPlatform(hwsim.PlatformCrayT3E)
+	if !ok {
+		t.Fatal("no t3e arch")
+	}
+	cpu := hwsim.MustNewCPU(a, 99)
+	cpu.Run(p)
+	return cpu
+}
+
+func checkExpected(t *testing.T, p Program) {
+	t.Helper()
+	cpu := runTruth(t, p)
+	e := p.Expected()
+	checks := []struct {
+		name string
+		sig  hwsim.Signal
+		want uint64
+	}{
+		{"instrs", hwsim.SigInstrs, e.Instrs},
+		{"fpadd", hwsim.SigFPAdd, e.FPAdd},
+		{"fpmul", hwsim.SigFPMul, e.FPMul},
+		{"fpdiv", hwsim.SigFPDiv, e.FPDiv},
+		{"fma", hwsim.SigFMA, e.FMA},
+		{"fpround", hwsim.SigFPRound, e.FPRound},
+		{"loads", hwsim.SigLoads, e.Loads},
+		{"stores", hwsim.SigStores, e.Stores},
+		{"branches", hwsim.SigBranch, e.Branches},
+	}
+	for _, c := range checks {
+		if got := cpu.Truth(c.sig); got != c.want {
+			t.Errorf("%s: %s = %d, expected %d", p.Name(), c.name, got, c.want)
+		}
+	}
+}
+
+func TestMatMulExpectedCounts(t *testing.T) {
+	checkExpected(t, MatMul(MatMulConfig{N: 12}))
+	checkExpected(t, MatMul(MatMulConfig{N: 8, UseFMA: true}))
+}
+
+func TestTriadExpectedCounts(t *testing.T) {
+	checkExpected(t, Triad(TriadConfig{N: 500, Reps: 3}))
+}
+
+func TestChaseExpectedCounts(t *testing.T) {
+	checkExpected(t, PointerChase(ChaseConfig{Nodes: 256, Steps: 1000}))
+}
+
+func TestStencilExpectedCounts(t *testing.T) {
+	checkExpected(t, Stencil(StencilConfig{N: 20, Sweeps: 2}))
+}
+
+func TestBranchyExpectedCounts(t *testing.T) {
+	checkExpected(t, Branchy(BranchyConfig{N: 2000}))
+}
+
+func TestMixedPrecisionExpectedCounts(t *testing.T) {
+	checkExpected(t, MixedPrecision(MixedPrecisionConfig{N: 3000}))
+}
+
+func TestConcatExpectedCounts(t *testing.T) {
+	c := NewConcat("phased",
+		MatMul(MatMulConfig{N: 8}),
+		Triad(TriadConfig{N: 200}),
+	)
+	checkExpected(t, c)
+	if c.Name() != "phased" {
+		t.Error("concat name")
+	}
+	if len(c.Regions()) != 2 {
+		t.Errorf("concat regions = %v", c.Regions())
+	}
+}
+
+func TestResetReplaysIdentically(t *testing.T) {
+	progs := []Program{
+		MatMul(MatMulConfig{N: 10}),
+		PointerChase(ChaseConfig{Nodes: 128, Steps: 500}),
+		Branchy(BranchyConfig{N: 500}),
+		NewConcat("c", Triad(TriadConfig{N: 100}), Stencil(StencilConfig{N: 10})),
+	}
+	for _, p := range progs {
+		collect := func() []hwsim.Instr {
+			var out []hwsim.Instr
+			var buf [64]hwsim.Instr
+			for {
+				n := p.Next(buf[:])
+				if n == 0 {
+					return out
+				}
+				out = append(out, buf[:n]...)
+			}
+		}
+		first := collect()
+		p.Reset()
+		second := collect()
+		if len(first) != len(second) {
+			t.Fatalf("%s: replay length %d vs %d", p.Name(), len(first), len(second))
+		}
+		for i := range first {
+			if first[i] != second[i] {
+				t.Fatalf("%s: replay diverges at %d: %+v vs %+v", p.Name(), i, first[i], second[i])
+			}
+		}
+		p.Reset()
+	}
+}
+
+func TestRegionsCoverInstructions(t *testing.T) {
+	// Every generated instruction address must fall inside a declared
+	// region — profiling tools depend on this.
+	progs := []Program{
+		MatMul(MatMulConfig{N: 6}),
+		Triad(TriadConfig{N: 50}),
+		PointerChase(ChaseConfig{Nodes: 64, Steps: 100}),
+		Stencil(StencilConfig{N: 8}),
+		Branchy(BranchyConfig{N: 100}),
+		MixedPrecision(MixedPrecisionConfig{N: 100}),
+	}
+	for _, p := range progs {
+		regions := p.Regions()
+		var buf [64]hwsim.Instr
+		for {
+			n := p.Next(buf[:])
+			if n == 0 {
+				break
+			}
+			for _, in := range buf[:n] {
+				inside := false
+				for _, r := range regions {
+					if r.Contains(in.Addr) {
+						inside = true
+						break
+					}
+				}
+				if !inside {
+					t.Fatalf("%s: instruction at %#x outside all regions %v", p.Name(), in.Addr, regions)
+				}
+			}
+		}
+	}
+}
+
+func TestChaseHitsManyDistinctLines(t *testing.T) {
+	p := PointerChase(ChaseConfig{Nodes: 512, Steps: 512})
+	seen := map[uint64]bool{}
+	var buf [64]hwsim.Instr
+	for {
+		n := p.Next(buf[:])
+		if n == 0 {
+			break
+		}
+		for _, in := range buf[:n] {
+			if in.Op == hwsim.OpLoad {
+				seen[in.Mem] = true
+			}
+		}
+	}
+	if len(seen) < 500 {
+		t.Errorf("chase touched only %d distinct lines, want ~512", len(seen))
+	}
+}
+
+func TestBranchyMispredicts(t *testing.T) {
+	p := Branchy(BranchyConfig{N: 20_000})
+	cpu := runTruth(t, p)
+	miss := cpu.Truth(hwsim.SigBranchMiss)
+	br := cpu.Truth(hwsim.SigBranch)
+	// Half the branches are coin flips: overall mispredict rate must be
+	// substantial (> 10%) unlike a predictable loop.
+	if float64(miss)/float64(br) < 0.10 {
+		t.Errorf("mispredict rate %.3f too low for data-dependent branches", float64(miss)/float64(br))
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	if MatMul(MatMulConfig{}).Name() != "matmul(n=32,fma=false)" {
+		t.Error("matmul default")
+	}
+	if PointerChase(ChaseConfig{}).Expected().Loads == 0 {
+		t.Error("chase default")
+	}
+	if Triad(TriadConfig{}).Expected().FPMul == 0 {
+		t.Error("triad default")
+	}
+	if Stencil(StencilConfig{}).Expected().FPAdd == 0 {
+		t.Error("stencil default")
+	}
+	if Branchy(BranchyConfig{}).Expected().Branches == 0 {
+		t.Error("branchy default")
+	}
+	if MixedPrecision(MixedPrecisionConfig{}).Expected().FPRound == 0 {
+		t.Error("mixedprec default")
+	}
+}
