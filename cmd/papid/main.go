@@ -1,0 +1,71 @@
+// papid is the counter-collection daemon: a long-running service that
+// accepts many concurrent TCP clients speaking the JSON-lines protocol
+// of internal/wire, each session owning an EventSet on a simulated
+// machine of any supported architecture. It is the serving-scale
+// successor to the one-process perfometer pipeline of §2 — many tools,
+// one shared monitoring surface.
+//
+//	papid -addr 127.0.0.1:6117 &
+//	printf '%s\n' '{"op":"HELLO"}' | nc 127.0.0.1 6117
+//
+// SIGINT/SIGTERM trigger a graceful drain: running sessions fold their
+// final counts, subscribers are detached, and the process exits after
+// reporting its lifetime stats.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+	"repro/papi"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:6117", "listen address")
+	platform := flag.String("platform", papi.PlatformLinuxX86, "default platform for sessions that do not name one")
+	shards := flag.Int("shards", 16, "session-registry shard count")
+	cacheSize := flag.Int("cache", 256, "allocation-cache entries")
+	tick := flag.Duration("tick", 50*time.Millisecond, "snapshot fan-out interval")
+	queue := flag.Int("queue", 32, "per-subscriber queue depth (oldest snapshot dropped when full)")
+	quiet := flag.Bool("quiet", false, "suppress per-session log lines")
+	flag.Parse()
+
+	logf := log.Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+	srv := server.New(server.Config{
+		DefaultPlatform: *platform,
+		Shards:          *shards,
+		CacheSize:       *cacheSize,
+		TickInterval:    *tick,
+		QueueDepth:      *queue,
+		Logf:            logf,
+	})
+	if _, err := srv.Listen(*addr); err != nil {
+		fmt.Fprintln(os.Stderr, "papid:", err)
+		os.Exit(1)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	stop()
+
+	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		fmt.Fprintln(os.Stderr, "papid: shutdown:", err)
+		os.Exit(1)
+	}
+	st := srv.Stats()
+	log.Printf("papid: %d ticks, %d snapshots sent (%d dropped), alloc cache %.0f%% hits",
+		st.Ticks, st.SnapshotsSent, st.SnapshotsDropped, 100*st.CacheHitRate())
+}

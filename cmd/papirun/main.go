@@ -11,6 +11,8 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/server"
+	"repro/internal/wire"
 	"repro/papi"
 	"repro/workload"
 )
@@ -18,48 +20,25 @@ import (
 func main() {
 	platform := flag.String("platform", papi.PlatformLinuxX86, "platform key")
 	events := flag.String("events", "PAPI_TOT_CYC,PAPI_FP_OPS", "comma-separated preset or native event names")
-	prog := flag.String("workload", "matmul", "workload: matmul|triad|chase|stencil|branchy|mixedprec|lu|gups|dot")
+	prog := flag.String("workload", "matmul", "workload: "+strings.Join(workload.Names(), "|"))
 	n := flag.Int("n", 64, "workload size parameter")
 	multiplex := flag.Bool("multiplex", false, "enable software multiplexing (low-level opt-in)")
+	serve := flag.String("serve", "", "also publish the final snapshot to a running papid at this address")
 	flag.Parse()
 
-	if err := run(*platform, *events, *prog, *n, *multiplex); err != nil {
+	if err := run(*platform, *events, *prog, *n, *multiplex, *serve); err != nil {
 		fmt.Fprintln(os.Stderr, "papirun:", err)
 		os.Exit(1)
 	}
 }
 
-func buildWorkload(name string, n int) (workload.Program, error) {
-	switch name {
-	case "matmul":
-		return workload.MatMul(workload.MatMulConfig{N: n}), nil
-	case "triad":
-		return workload.Triad(workload.TriadConfig{N: n, Reps: 8}), nil
-	case "chase":
-		return workload.PointerChase(workload.ChaseConfig{Nodes: n, Steps: n * 8}), nil
-	case "stencil":
-		return workload.Stencil(workload.StencilConfig{N: n, Sweeps: 4}), nil
-	case "branchy":
-		return workload.Branchy(workload.BranchyConfig{N: n * n}), nil
-	case "mixedprec":
-		return workload.MixedPrecision(workload.MixedPrecisionConfig{N: n * n}), nil
-	case "lu":
-		return workload.LU(workload.LUConfig{N: n}), nil
-	case "gups":
-		return workload.GUPS(workload.GUPSConfig{TableWords: n * n, Updates: n * n}), nil
-	case "dot":
-		return workload.Dot(workload.DotConfig{N: n * n}), nil
-	}
-	return nil, fmt.Errorf("unknown workload %q", name)
-}
-
-func run(platform, events, progName string, n int, multiplex bool) error {
+func run(platform, events, progName string, n int, multiplex bool, serve string) error {
 	sys, err := papi.Init(papi.Options{Platform: platform})
 	if err != nil {
 		return err
 	}
 	th := sys.Main()
-	prog, err := buildWorkload(progName, n)
+	prog, err := workload.ByName(progName, n)
 	if err != nil {
 		return err
 	}
@@ -71,15 +50,14 @@ func run(platform, events, progName string, n int, multiplex bool) error {
 		}
 	}
 	var evs []papi.Event
+	var names []string
 	for _, name := range strings.Split(events, ",") {
 		name = strings.TrimSpace(name)
-		ev, ok := papi.PresetByName(name)
-		if !ok {
-			ev, ok = sys.NativeByName(name)
-		}
+		ev, ok := papi.ResolveEvent(sys, name)
 		if !ok {
 			return fmt.Errorf("unknown event %q on %s", name, platform)
 		}
+		names = append(names, name)
 		if err := es.Add(ev); err != nil {
 			if papi.IsErr(err, papi.ECNFLCT) && !multiplex {
 				return fmt.Errorf("adding %s: %w\n(more events than counters? re-run with -multiplex)", name, err)
@@ -110,5 +88,37 @@ func run(platform, events, progName string, n int, multiplex bool) error {
 	if multiplex {
 		fmt.Println("note: counts are multiplexed estimates; ensure the run is long enough to converge")
 	}
+	if serve != "" {
+		if err := publish(serve, platform, names, vals); err != nil {
+			return fmt.Errorf("publishing to papid at %s: %w", serve, err)
+		}
+		fmt.Printf("snapshot published to papid at %s\n", serve)
+	}
 	return nil
+}
+
+// publish posts the final counter snapshot into a fresh publish-only
+// papid session, where subscribers (dashboards, other tools) can read
+// it — the one-shot papirun feeding the long-running service.
+func publish(addr, platform string, events []string, vals []int64) error {
+	cl, err := server.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	if _, err := cl.Do(wire.Request{Op: wire.OpHello}); err != nil {
+		return err
+	}
+	created, err := cl.Do(wire.Request{Op: wire.OpCreate, Platform: platform,
+		Workload: "none", Label: "papirun"})
+	if err != nil {
+		return err
+	}
+	if _, err := cl.Do(wire.Request{Op: wire.OpPublish, Session: created.Session,
+		Events: events, Values: vals}); err != nil {
+		return err
+	}
+	fmt.Printf("papid session %d holds the snapshot\n", created.Session)
+	_, err = cl.Do(wire.Request{Op: wire.OpBye})
+	return err
 }

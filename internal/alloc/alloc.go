@@ -18,7 +18,11 @@
 // this package knows nothing about any platform.
 package alloc
 
-import "math/bits"
+import (
+	"math/bits"
+	"sort"
+	"strconv"
+)
 
 // Item is one event to place: Mask has bit i set when physical counter
 // i can count the event; Weight is the event's priority for the
@@ -296,6 +300,26 @@ func AssignGrouped(items []Item, numCounters int, groups [][]uint32) (Result, in
 		}
 	}
 	return newResult(len(items)), -1, false
+}
+
+// Key returns a canonical cache key for a native-event subset: the
+// codes sorted, deduplicated and hex-encoded. Two requests that differ
+// only in event order or duplication share a key, which is what makes
+// memoizing matching results sound — a matching depends only on the
+// subset of items, never on their arrival order. papid's allocation
+// cache keys on (architecture, Key(codes)).
+func Key(codes []uint32) string {
+	sorted := append([]uint32(nil), codes...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	buf := make([]byte, 0, 9*len(sorted))
+	for i, c := range sorted {
+		if i > 0 && c == sorted[i-1] {
+			continue
+		}
+		buf = strconv.AppendUint(buf, uint64(c), 16)
+		buf = append(buf, '.')
+	}
+	return string(buf)
 }
 
 // Verify checks that a Result is a valid allocation for the items: each

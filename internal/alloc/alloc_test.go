@@ -312,3 +312,31 @@ func TestGroupedMatchesBruteForce(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestKeyCanonical(t *testing.T) {
+	a := Key([]uint32{3, 1, 2})
+	b := Key([]uint32{2, 3, 1})
+	if a != b {
+		t.Errorf("order-sensitive key: %q vs %q", a, b)
+	}
+	if c := Key([]uint32{1, 2, 2, 3, 3}); c != a {
+		t.Errorf("duplicate-sensitive key: %q vs %q", c, a)
+	}
+	if d := Key([]uint32{1, 2}); d == a {
+		t.Errorf("distinct subsets share key %q", d)
+	}
+	if e := Key(nil); e != "" {
+		t.Errorf("Key(nil) = %q, want empty", e)
+	}
+	// Hex encoding with separators must not collide across boundaries:
+	// {0x12, 0x34} vs {0x1234}.
+	if Key([]uint32{0x12, 0x34}) == Key([]uint32{0x1234}) {
+		t.Error("boundary collision between {12,34} and {1234}")
+	}
+	// Key must not mutate its argument.
+	in := []uint32{9, 4, 7}
+	Key(in)
+	if in[0] != 9 || in[1] != 4 || in[2] != 7 {
+		t.Errorf("Key mutated its input: %v", in)
+	}
+}

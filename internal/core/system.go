@@ -168,6 +168,16 @@ func (s *System) NativeByName(name string) (Event, bool) {
 	return 0, false
 }
 
+// ResolveEvent resolves a preset ("PAPI_TOT_INS") or platform-native
+// event name, in that order — the name-resolution entry point shared by
+// cmd/papirun and the papid counter-collection service.
+func (s *System) ResolveEvent(name string) (Event, bool) {
+	if ev, ok := PresetByName(name); ok {
+		return ev, true
+	}
+	return s.NativeByName(name)
+}
+
 // QueryEvent reports whether an event can be counted on this platform.
 func (s *System) QueryEvent(e Event) bool {
 	if e.IsPreset() {

@@ -1,0 +1,118 @@
+package server
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"repro/internal/alloc"
+	"repro/internal/hwsim"
+)
+
+// allocCache is an LRU memo of counter-allocation solves keyed by
+// (platform, sorted native-event subset). Sessions overwhelmingly ask
+// for the same handful of event combinations — every dashboard wants
+// FLOPS and cycles — so repeated identical EventSets replay the cached
+// assignment instead of re-running the bipartite matching. Failures are
+// cached too: a combination that conflicts on this platform's counters
+// keeps conflicting, and the negative entry turns repeat rejections
+// into a map lookup.
+type allocCache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recently used
+	byKey map[string]*list.Element
+
+	hits   uint64
+	misses uint64
+}
+
+type cacheEntry struct {
+	key      string
+	counters map[uint32]int // native code -> physical counter
+	err      error
+}
+
+func newAllocCache(max int) *allocCache {
+	if max <= 0 {
+		max = 256
+	}
+	return &allocCache{max: max, ll: list.New(), byKey: make(map[string]*list.Element)}
+}
+
+// assign returns the counter assignment for codes on arch, replaying a
+// memoized result on a hit and solving the matching on a miss. The
+// returned map is shared and must be treated as read-only.
+func (c *allocCache) assign(a *hwsim.Arch, codes []uint32) (map[uint32]int, error) {
+	key := a.Platform + "|" + alloc.Key(codes)
+	c.mu.Lock()
+	if el, ok := c.byKey[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		ent := el.Value.(*cacheEntry)
+		c.mu.Unlock()
+		return ent.counters, ent.err
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	// Solve outside the lock: the matching is deterministic, so a
+	// concurrent duplicate solve wastes a little work but stays correct.
+	counters, err := solveAlloc(a, codes)
+	ent := &cacheEntry{key: key, counters: counters, err: err}
+
+	c.mu.Lock()
+	if _, ok := c.byKey[key]; !ok {
+		c.byKey[key] = c.ll.PushFront(ent)
+		if c.ll.Len() > c.max {
+			oldest := c.ll.Back()
+			c.ll.Remove(oldest)
+			delete(c.byKey, oldest.Value.(*cacheEntry).key)
+		}
+	}
+	c.mu.Unlock()
+	return counters, err
+}
+
+// counters returns (hits, misses) so far.
+func (c *allocCache) counters() (uint64, uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+func (c *allocCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// solveAlloc is the hardware-dependent translation step (the same
+// shape as the substrate's allocate): build per-event counter masks
+// from the architecture tables and hand the hardware-independent
+// matching to internal/alloc.
+func solveAlloc(a *hwsim.Arch, codes []uint32) (map[uint32]int, error) {
+	items := make([]alloc.Item, len(codes))
+	for i, code := range codes {
+		ev, ok := a.EventByCode(code)
+		if !ok {
+			return nil, fmt.Errorf("unknown native event %#x on %s", code, a.Platform)
+		}
+		items[i] = alloc.Item{ID: code, Mask: ev.CounterMask, Weight: 1}
+	}
+	var res alloc.Result
+	var ok bool
+	if len(a.Groups) > 0 {
+		res, _, ok = alloc.AssignGrouped(items, a.NumCounters, a.Groups)
+	} else {
+		res, ok = alloc.Assign(items, a.NumCounters)
+	}
+	if !ok {
+		return nil, fmt.Errorf("%d events conflict on %s's %d counters", len(codes), a.Platform, a.NumCounters)
+	}
+	out := make(map[uint32]int, len(codes))
+	for i := range items {
+		out[items[i].ID] = res.Counter[i]
+	}
+	return out, nil
+}

@@ -1,0 +1,143 @@
+package server
+
+import (
+	"testing"
+
+	"repro/internal/hwsim"
+)
+
+func archFor(t *testing.T, platform string) *hwsim.Arch {
+	t.Helper()
+	a, ok := hwsim.ArchByPlatform(platform)
+	if !ok {
+		t.Fatalf("no arch for %s", platform)
+	}
+	return a
+}
+
+func someCodes(t *testing.T, a *hwsim.Arch, n int) []uint32 {
+	t.Helper()
+	if len(a.Events) < n {
+		t.Fatalf("%s has %d events, need %d", a.Platform, len(a.Events), n)
+	}
+	codes := make([]uint32, n)
+	for i := 0; i < n; i++ {
+		codes[i] = a.Events[i].Code
+	}
+	return codes
+}
+
+func TestCacheHitOnRepeatAndReorder(t *testing.T) {
+	a := archFor(t, hwsim.PlatformLinuxX86)
+	c := newAllocCache(8)
+	codes := someCodes(t, a, 2)
+
+	first, err := c.assign(a, codes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := c.counters(); hits != 0 || misses != 1 {
+		t.Fatalf("after first solve: hits=%d misses=%d", hits, misses)
+	}
+	// Same subset, reversed order: must replay, not re-solve.
+	rev := []uint32{codes[1], codes[0]}
+	second, err := c.assign(a, rev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, _ := c.counters(); hits != 1 {
+		t.Fatal("reordered subset missed the cache")
+	}
+	for code, ctr := range first {
+		if second[code] != ctr {
+			t.Errorf("event %#x: counter %d vs %d across hits", code, ctr, second[code])
+		}
+	}
+}
+
+func TestCacheDistinguishesPlatforms(t *testing.T) {
+	x86 := archFor(t, hwsim.PlatformLinuxX86)
+	t3e := archFor(t, hwsim.PlatformCrayT3E)
+	c := newAllocCache(8)
+	// Both arch tables start event codes at the same place often enough
+	// that an arch-blind key would collide; the platform prefix keeps
+	// them apart.
+	if _, err := c.assign(x86, someCodes(t, x86, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.assign(t3e, someCodes(t, t3e, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := c.counters(); hits != 0 || misses != 2 {
+		t.Errorf("hits=%d misses=%d, want 0/2", hits, misses)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	a := archFor(t, hwsim.PlatformAIXPower3) // 8 counters, many events
+	c := newAllocCache(2)
+	all := someCodes(t, a, 3)
+	k1, k2, k3 := all[:1], all[1:2], all[2:3]
+
+	c.assign(a, k1)
+	c.assign(a, k2)
+	c.assign(a, k3) // evicts k1
+	if c.len() != 2 {
+		t.Fatalf("cache holds %d entries, want 2", c.len())
+	}
+	c.assign(a, k1) // miss again
+	if _, misses := c.counters(); misses != 4 {
+		t.Errorf("misses=%d, want 4 (k1 evicted)", misses)
+	}
+	// k3 was freshly used; k2 is now the LRU victim.
+	c.assign(a, k3)
+	if hits, _ := c.counters(); hits != 1 {
+		t.Errorf("hits=%d, want 1 (k3 still resident)", hits)
+	}
+}
+
+func TestCacheNegativeEntries(t *testing.T) {
+	// IRIX R10000: 2 counters; three events cannot all fit, and the
+	// failure itself should be memoized.
+	a := archFor(t, hwsim.PlatformIRIXMips)
+	c := newAllocCache(8)
+	codes := someCodes(t, a, 3)
+	if _, err := c.assign(a, codes); err == nil {
+		t.Skip("three events unexpectedly allocatable; pick a denser conflict")
+	}
+	if _, err := c.assign(a, codes); err == nil {
+		t.Fatal("cached failure lost")
+	}
+	if hits, misses := c.counters(); hits != 1 || misses != 1 {
+		t.Errorf("hits=%d misses=%d, want 1/1", hits, misses)
+	}
+}
+
+func TestSolveAllocMatchesVerify(t *testing.T) {
+	// The memoized assignment must be a real allocation: distinct
+	// counters, each allowed by the event's mask.
+	for _, platform := range hwsim.Platforms() {
+		a := archFor(t, platform)
+		codes := someCodes(t, a, 2)
+		got, err := solveAlloc(a, codes)
+		if err != nil {
+			// Some two-event combinations legitimately conflict
+			// (e.g. strict PIC0/PIC1 splits); skip those.
+			continue
+		}
+		seen := map[int]bool{}
+		for code, ctr := range got {
+			ev, _ := a.EventByCode(code)
+			if ctr < 0 || ctr >= a.NumCounters {
+				t.Errorf("%s: counter %d out of range", platform, ctr)
+			}
+			if ev.CounterMask&(1<<uint(ctr)) == 0 {
+				t.Errorf("%s: event %s on disallowed counter %d", platform, ev.Name, ctr)
+			}
+			if seen[ctr] {
+				t.Errorf("%s: counter %d double-booked", platform, ctr)
+			}
+			seen[ctr] = true
+		}
+	}
+}

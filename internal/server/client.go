@@ -1,0 +1,70 @@
+package server
+
+import (
+	"fmt"
+	"net"
+
+	"repro/internal/wire"
+)
+
+// Client is a minimal papid client: synchronous request/response over
+// one connection, with asynchronous SNAPSHOT frames routed to an
+// optional callback. It is what cmd/papirun's -serve flag, the stress
+// tests and the throughput benchmark all speak through.
+//
+// A Client is not safe for concurrent Do calls; dedicate one Client
+// per goroutine (subscription streams typically use a Client of their
+// own and block in Next).
+type Client struct {
+	nc  net.Conn
+	enc *wire.Encoder
+	dec *wire.Decoder
+
+	// OnSnapshot, when set, receives SNAPSHOT frames that arrive while
+	// Do is waiting for a request's reply.
+	OnSnapshot func(wire.Response)
+}
+
+// Dial connects to a papid instance.
+func Dial(addr string) (*Client, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{nc: nc, enc: wire.NewEncoder(nc), dec: wire.NewDecoder(nc)}, nil
+}
+
+// Do sends one request and waits for its reply, routing any interleaved
+// snapshots to OnSnapshot. A server-side error becomes a Go error.
+func (c *Client) Do(req wire.Request) (wire.Response, error) {
+	if err := c.enc.Encode(&req); err != nil {
+		return wire.Response{}, err
+	}
+	for {
+		var resp wire.Response
+		if err := c.dec.Decode(&resp); err != nil {
+			return wire.Response{}, err
+		}
+		if resp.Op == wire.OpSnapshot {
+			if c.OnSnapshot != nil {
+				c.OnSnapshot(resp)
+			}
+			continue
+		}
+		if !resp.OK {
+			return resp, fmt.Errorf("papid: %s: %s", req.Op, resp.Error)
+		}
+		return resp, nil
+	}
+}
+
+// Next returns the next frame of any kind — the read loop for
+// subscription streams.
+func (c *Client) Next() (wire.Response, error) {
+	var resp wire.Response
+	err := c.dec.Decode(&resp)
+	return resp, err
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.nc.Close() }

@@ -1,0 +1,519 @@
+// Package server implements papid, a concurrent counter-collection
+// service: the natural next step after perfometer's one-process,
+// one-viewer stream (§3–§4 of the paper) is a long-running daemon that
+// many tools share. Clients speak a JSON-lines protocol (internal/wire)
+// over TCP; each session owns an EventSet on a private simulated
+// machine of any supported architecture.
+//
+// The scaling machinery, in one place:
+//
+//   - a sharded session registry — sessions hash to one of N
+//     mutex-guarded shards, so session lookup never serializes on a
+//     single lock;
+//   - an LRU allocation cache memoizing internal/alloc matching results
+//     keyed by (architecture, sorted native-event subset), so repeated
+//     identical EventSets skip the bipartite-matching solve;
+//   - coalesced periodic reads — one tick goroutine snapshots each
+//     running session's counters once and fans the frame out to all of
+//     the session's subscribers, instead of every subscriber polling;
+//   - bounded per-subscriber send queues with a drop-oldest policy, so
+//     one slow consumer can neither block the tick loop nor grow memory
+//     without bound;
+//   - context-based graceful shutdown that stops accepting, folds final
+//     counts into every running session, and drains all connections.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/wire"
+	"repro/papi"
+	"repro/workload"
+)
+
+var errSessionClosed = errors.New("session closed")
+
+// Config parameterizes a Server. The zero value selects sensible
+// defaults throughout.
+type Config struct {
+	// DefaultPlatform is used by CREATE_SESSION requests that do not
+	// name one (default linux-x86).
+	DefaultPlatform string
+	// Shards is the session-registry shard count (default 16).
+	Shards int
+	// CacheSize bounds the allocation cache (default 256 entries).
+	CacheSize int
+	// TickInterval is the coalesced snapshot/advance period
+	// (default 50ms).
+	TickInterval time.Duration
+	// QueueDepth bounds each subscriber's send queue; when full the
+	// oldest queued snapshot is dropped (default 32).
+	QueueDepth int
+	// Logf, when set, receives one line per lifecycle event.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fill() {
+	if c.DefaultPlatform == "" {
+		c.DefaultPlatform = papi.PlatformLinuxX86
+	}
+	if c.Shards <= 0 {
+		c.Shards = 16
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 256
+	}
+	if c.TickInterval <= 0 {
+		c.TickInterval = 50 * time.Millisecond
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 32
+	}
+}
+
+// Stats is a point-in-time view of the server's counters.
+type Stats struct {
+	Sessions         int
+	Connections      int
+	CacheHits        uint64
+	CacheMisses      uint64
+	SnapshotsSent    uint64
+	SnapshotsDropped uint64
+	Ticks            uint64
+}
+
+// CacheHitRate returns hits/(hits+misses), or 0 before any lookup.
+func (s Stats) CacheHitRate() float64 {
+	total := s.CacheHits + s.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(total)
+}
+
+// Server is one papid instance.
+type Server struct {
+	cfg    Config
+	ctx    context.Context
+	cancel context.CancelFunc
+	ln     net.Listener
+	wg     sync.WaitGroup
+
+	reg    *registry
+	cache  *allocCache
+	nextID atomic.Uint64
+
+	connsMu sync.Mutex
+	conns   map[*conn]struct{}
+
+	ticks       atomic.Uint64
+	snapSent    atomic.Uint64
+	snapDropped atomic.Uint64
+}
+
+// New builds a Server; call Listen to start serving.
+func New(cfg Config) *Server {
+	cfg.fill()
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		cfg:    cfg,
+		ctx:    ctx,
+		cancel: cancel,
+		reg:    newRegistry(cfg.Shards),
+		cache:  newAllocCache(cfg.CacheSize),
+		conns:  make(map[*conn]struct{}),
+	}
+}
+
+// Listen binds addr (e.g. "127.0.0.1:0") and starts the accept and
+// tick loops. It returns the bound address immediately.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.ln = ln
+	s.wg.Add(2)
+	go s.acceptLoop()
+	go s.tickLoop()
+	s.logf("papid: listening on %s", ln.Addr())
+	return ln.Addr(), nil
+}
+
+// Addr returns the bound address, or nil before Listen.
+func (s *Server) Addr() net.Addr {
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Stats returns current counters.
+func (s *Server) Stats() Stats {
+	hits, misses := s.cache.counters()
+	s.connsMu.Lock()
+	nconns := len(s.conns)
+	s.connsMu.Unlock()
+	return Stats{
+		Sessions:         s.reg.count(),
+		Connections:      nconns,
+		CacheHits:        hits,
+		CacheMisses:      misses,
+		SnapshotsSent:    s.snapSent.Load(),
+		SnapshotsDropped: s.snapDropped.Load(),
+		Ticks:            s.ticks.Load(),
+	}
+}
+
+// Shutdown gracefully stops the server: no new connections, every
+// running session's final counts folded, every connection closed, all
+// goroutines joined. ctx bounds the drain.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.cancel()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	// Drain sessions first so no EventSet is abandoned mid-count.
+	s.reg.forEach(func(sess *session) { sess.close() })
+	// Closing the sockets unblocks every reader and subscriber loop.
+	s.connsMu.Lock()
+	for c := range s.conns {
+		c.nc.Close()
+	}
+	s.connsMu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.logf("papid: drained")
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.ctx.Done():
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		s.wg.Add(1)
+		go s.handle(nc)
+	}
+}
+
+// tickLoop drives the coalesced reads: every TickInterval each running
+// session advances its workload one chunk, its counters are read once,
+// and the single snapshot fans out to all of its subscribers.
+func (s *Server) tickLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.TickInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case <-t.C:
+			s.tick()
+		}
+	}
+}
+
+func (s *Server) tick() {
+	s.ticks.Add(1)
+	s.reg.forEach(func(sess *session) {
+		resp, subs, ok := sess.snapshot()
+		if !ok {
+			return
+		}
+		s.fanout(resp, subs)
+	})
+}
+
+func (s *Server) fanout(resp wire.Response, subs []*subscriber) {
+	for _, sub := range subs {
+		s.snapSent.Add(1)
+		if sub.push(resp) {
+			s.snapDropped.Add(1)
+		}
+	}
+}
+
+// subscriber is one SUBSCRIBE registration: a bounded queue drained by
+// a dedicated goroutine writing onto the owning connection. When the
+// queue is full the oldest snapshot is dropped — a slow viewer sees a
+// gappy stream, never a stalled server.
+type subscriber struct {
+	c    *conn
+	ch   chan wire.Response
+	done chan struct{}
+}
+
+// push enqueues resp, dropping the oldest queued frame if the queue is
+// full. It reports whether anything was dropped.
+func (sub *subscriber) push(resp wire.Response) (dropped bool) {
+	select {
+	case sub.ch <- resp:
+		return false
+	default:
+	}
+	// Full: evict the oldest, then retry once. The consumer may have
+	// drained concurrently, in which case the eviction select falls
+	// through and the send succeeds — either way one frame was lost
+	// from this subscriber's point of view only if the final send
+	// also fails.
+	select {
+	case <-sub.ch:
+		dropped = true
+	default:
+	}
+	select {
+	case sub.ch <- resp:
+	default:
+		dropped = true
+	}
+	return dropped
+}
+
+func (sub *subscriber) loop() {
+	defer sub.c.srv.wg.Done()
+	for {
+		select {
+		case <-sub.done:
+			return
+		case resp := <-sub.ch:
+			if err := sub.c.enc.Encode(&resp); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// conn is one client connection: a reader loop dispatching requests
+// plus any subscriber goroutines it registered. The wire.Encoder's own
+// lock serializes response and snapshot frames onto the socket.
+type conn struct {
+	srv *Server
+	nc  net.Conn
+	enc *wire.Encoder
+
+	mu   sync.Mutex
+	subs []subRef
+}
+
+type subRef struct {
+	sess *session
+	sub  *subscriber
+}
+
+func (s *Server) handle(nc net.Conn) {
+	defer s.wg.Done()
+	c := &conn{srv: s, nc: nc, enc: wire.NewEncoder(nc)}
+	s.connsMu.Lock()
+	s.conns[c] = struct{}{}
+	s.connsMu.Unlock()
+	defer c.teardown()
+
+	dec := wire.NewDecoder(nc)
+	for {
+		var req wire.Request
+		if err := dec.Decode(&req); err != nil {
+			return // EOF, malformed frame, or closed socket
+		}
+		resp := s.dispatch(c, &req)
+		if err := c.enc.Encode(&resp); err != nil {
+			return
+		}
+		if req.Op == wire.OpBye {
+			return
+		}
+	}
+}
+
+// teardown unregisters the connection and its subscribers and closes
+// the socket.
+func (c *conn) teardown() {
+	c.srv.connsMu.Lock()
+	delete(c.srv.conns, c)
+	c.srv.connsMu.Unlock()
+	c.nc.Close()
+	c.mu.Lock()
+	subs := c.subs
+	c.subs = nil
+	c.mu.Unlock()
+	for _, ref := range subs {
+		ref.sess.removeSubscriber(ref.sub)
+		close(ref.sub.done)
+	}
+}
+
+func (s *Server) dispatch(c *conn, req *wire.Request) wire.Response {
+	switch req.Op {
+	case wire.OpHello:
+		return wire.Response{Op: req.Op, OK: true,
+			Protocol: wire.ProtocolVersion, Platform: s.cfg.DefaultPlatform}
+	case wire.OpCreate:
+		return s.createSession(req)
+	case wire.OpAddEvents:
+		return s.withSession(req, func(sess *session) wire.Response {
+			names, err := sess.addEvents(s, req.Events)
+			if err != nil {
+				return errResp(req, err)
+			}
+			return wire.Response{Op: req.Op, OK: true, Session: sess.id, Events: names}
+		})
+	case wire.OpStart:
+		return s.withSession(req, func(sess *session) wire.Response {
+			if err := sess.start(); err != nil {
+				return errResp(req, err)
+			}
+			return wire.Response{Op: req.Op, OK: true, Session: sess.id}
+		})
+	case wire.OpRead:
+		return s.withSession(req, func(sess *session) wire.Response {
+			resp, err := sess.read()
+			if err != nil {
+				return errResp(req, err)
+			}
+			resp.Op = req.Op
+			return resp
+		})
+	case wire.OpSubscribe:
+		return s.withSession(req, func(sess *session) wire.Response {
+			sub := &subscriber{c: c, ch: make(chan wire.Response, s.cfg.QueueDepth), done: make(chan struct{})}
+			names, err := sess.addSubscriber(sub)
+			if err != nil {
+				return errResp(req, err)
+			}
+			c.mu.Lock()
+			c.subs = append(c.subs, subRef{sess: sess, sub: sub})
+			c.mu.Unlock()
+			s.wg.Add(1)
+			go sub.loop()
+			return wire.Response{Op: req.Op, OK: true, Session: sess.id, Events: names}
+		})
+	case wire.OpPublish:
+		return s.withSession(req, func(sess *session) wire.Response {
+			snap, subs, err := sess.publish(req.Events, req.Values)
+			if err != nil {
+				return errResp(req, err)
+			}
+			s.fanout(snap, subs)
+			return wire.Response{Op: req.Op, OK: true, Session: sess.id, Seq: snap.Seq}
+		})
+	case wire.OpStop:
+		return s.withSession(req, func(sess *session) wire.Response {
+			names, final, err := sess.stop()
+			if err != nil {
+				return errResp(req, err)
+			}
+			return wire.Response{Op: req.Op, OK: true, Session: sess.id,
+				Events: names, Values: final}
+		})
+	case wire.OpCloseSession:
+		sess, ok := s.reg.remove(req.Session)
+		if !ok {
+			return errResp(req, fmt.Errorf("no session %d", req.Session))
+		}
+		final := sess.close()
+		return wire.Response{Op: req.Op, OK: true, Session: req.Session, Values: final}
+	case wire.OpStats:
+		st := s.Stats()
+		return wire.Response{Op: req.Op, OK: true, Stats: map[string]uint64{
+			"sessions":          uint64(st.Sessions),
+			"connections":       uint64(st.Connections),
+			"cache_hits":        st.CacheHits,
+			"cache_misses":      st.CacheMisses,
+			"snapshots_sent":    st.SnapshotsSent,
+			"snapshots_dropped": st.SnapshotsDropped,
+			"ticks":             st.Ticks,
+		}}
+	case wire.OpBye:
+		return wire.Response{Op: req.Op, OK: true}
+	}
+	return errResp(req, fmt.Errorf("unknown op %q", req.Op))
+}
+
+func (s *Server) withSession(req *wire.Request, f func(*session) wire.Response) wire.Response {
+	sess, ok := s.reg.get(req.Session)
+	if !ok {
+		return errResp(req, fmt.Errorf("no session %d", req.Session))
+	}
+	return f(sess)
+}
+
+func errResp(req *wire.Request, err error) wire.Response {
+	return wire.Response{Op: req.Op, OK: false, Session: req.Session, Error: err.Error()}
+}
+
+// createSession builds a session: a private System on the requested
+// platform, its events resolved and admission-checked through the
+// allocation cache, and the workload the tick loop will advance.
+func (s *Server) createSession(req *wire.Request) wire.Response {
+	platform := req.Platform
+	if platform == "" {
+		platform = s.cfg.DefaultPlatform
+	}
+	sys, err := papi.Init(papi.Options{Platform: platform})
+	if err != nil {
+		return errResp(req, err)
+	}
+	th := sys.Main()
+	sess := &session{
+		id:       s.nextID.Add(1),
+		platform: platform,
+		sys:      sys,
+		th:       th,
+		es:       th.NewEventSet(),
+		subs:     make(map[*subscriber]struct{}),
+	}
+	names, err := sess.addEvents(s, req.Events)
+	if err != nil {
+		return errResp(req, err)
+	}
+	n := req.N
+	if n <= 0 {
+		n = 24
+	}
+	switch req.Workload {
+	case "none":
+		// Publish-only session; papid never drives it.
+	case "":
+		sess.prog, _ = workload.ByName("dot", n)
+	default:
+		prog, err := workload.ByName(req.Workload, n)
+		if err != nil {
+			return errResp(req, err)
+		}
+		sess.prog = prog
+	}
+	s.reg.put(sess)
+	s.logf("papid: session %d created (%s, %d events)", sess.id, platform, len(names))
+	return wire.Response{Op: req.Op, OK: true, Session: sess.id,
+		Platform: platform, Events: names}
+}

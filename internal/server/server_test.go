@@ -1,0 +1,454 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+	"repro/papi"
+)
+
+// startServer brings up a papid instance on a loopback port and
+// registers its shutdown with the test.
+func startServer(t testing.TB, cfg Config) (*Server, string) {
+	t.Helper()
+	srv := New(cfg)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return srv, addr.String()
+}
+
+func dialT(t testing.TB, addr string) *Client {
+	t.Helper()
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return cl
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	_, addr := startServer(t, Config{TickInterval: 2 * time.Millisecond})
+	cl := dialT(t, addr)
+
+	hello, err := cl.Do(wire.Request{Op: wire.OpHello})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hello.Protocol != wire.ProtocolVersion {
+		t.Fatalf("protocol %d, want %d", hello.Protocol, wire.ProtocolVersion)
+	}
+
+	created, err := cl.Do(wire.Request{Op: wire.OpCreate, Platform: papi.PlatformAIXPower3,
+		Events: []string{"PAPI_FP_INS"}, Workload: "dot", N: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if created.Session == 0 {
+		t.Fatal("no session id")
+	}
+	id := created.Session
+
+	if _, err := cl.Do(wire.Request{Op: wire.OpAddEvents, Session: id,
+		Events: []string{"PAPI_TOT_CYC"}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Do(wire.Request{Op: wire.OpStart, Session: id}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait for ticks to advance the workload, then observe growth.
+	deadline := time.Now().Add(5 * time.Second)
+	var cyc int64
+	for time.Now().Before(deadline) {
+		read, err := cl.Do(wire.Request{Op: wire.OpRead, Session: id})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(read.Values) != 2 {
+			t.Fatalf("READ returned %d values, want 2", len(read.Values))
+		}
+		if cyc = read.Values[1]; cyc > 0 {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if cyc == 0 {
+		t.Error("TOT_CYC never advanced; tick loop not driving the workload")
+	}
+
+	stopped, err := cl.Do(wire.Request{Op: wire.OpStop, Session: id})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stopped.Values) != 2 || stopped.Values[1] < cyc {
+		t.Errorf("final values %v, want TOT_CYC >= %d", stopped.Values, cyc)
+	}
+
+	// READ after STOP serves the final snapshot.
+	read, err := cl.Do(wire.Request{Op: wire.OpRead, Session: id})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if read.Source != "last" {
+		t.Errorf("post-stop READ source %q, want last", read.Source)
+	}
+
+	if _, err := cl.Do(wire.Request{Op: wire.OpCloseSession, Session: id}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Do(wire.Request{Op: wire.OpRead, Session: id}); err == nil {
+		t.Error("READ on a closed session succeeded")
+	}
+	if _, err := cl.Do(wire.Request{Op: wire.OpBye}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStress64ConcurrentClients drives ≥64 simultaneous clients through
+// the full create/start/read/stop/close lifecycle against a live
+// listener, rotating across all simulated platforms. Run under -race
+// (tools/ci.sh) this is the subsystem's data-race gate.
+func TestStress64ConcurrentClients(t *testing.T) {
+	srv, addr := startServer(t, Config{TickInterval: 2 * time.Millisecond, Shards: 8})
+	platforms := papi.Platforms()
+
+	const nClients = 64
+	var wg sync.WaitGroup
+	errc := make(chan error, nClients)
+	for i := 0; i < nClients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errc <- func() error {
+				cl, err := Dial(addr)
+				if err != nil {
+					return err
+				}
+				defer cl.Close()
+				if _, err := cl.Do(wire.Request{Op: wire.OpHello}); err != nil {
+					return err
+				}
+				created, err := cl.Do(wire.Request{Op: wire.OpCreate,
+					Platform: platforms[i%len(platforms)],
+					Events:   []string{"PAPI_FP_INS", "PAPI_TOT_CYC"},
+					Workload: "dot", N: 8})
+				if err != nil {
+					return err
+				}
+				id := created.Session
+				if _, err := cl.Do(wire.Request{Op: wire.OpStart, Session: id}); err != nil {
+					return err
+				}
+				for j := 0; j < 3; j++ {
+					read, err := cl.Do(wire.Request{Op: wire.OpRead, Session: id})
+					if err != nil {
+						return err
+					}
+					if len(read.Values) != 2 {
+						return fmt.Errorf("client %d: READ returned %d values", i, len(read.Values))
+					}
+				}
+				stopped, err := cl.Do(wire.Request{Op: wire.OpStop, Session: id})
+				if err != nil {
+					return err
+				}
+				if len(stopped.Values) != 2 {
+					return fmt.Errorf("client %d: STOP returned %d values", i, len(stopped.Values))
+				}
+				if _, err := cl.Do(wire.Request{Op: wire.OpCloseSession, Session: id}); err != nil {
+					return err
+				}
+				_, err = cl.Do(wire.Request{Op: wire.OpBye})
+				return err
+			}()
+		}(i)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		if err != nil {
+			t.Error(err)
+		}
+	}
+	st := srv.Stats()
+	if st.Sessions != 0 {
+		t.Errorf("%d sessions left after close", st.Sessions)
+	}
+	// 64 clients requested only 8 distinct (platform, events) pairs, so
+	// the allocation cache must have replayed most solves.
+	if st.CacheHits == 0 {
+		t.Error("no allocation-cache hits across identical event sets")
+	}
+}
+
+func TestSubscribeFanout(t *testing.T) {
+	_, addr := startServer(t, Config{TickInterval: time.Millisecond})
+	ctl := dialT(t, addr)
+	created, err := ctl.Do(wire.Request{Op: wire.OpCreate,
+		Events: []string{"PAPI_TOT_CYC"}, Workload: "dot", N: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := created.Session
+
+	// Two independent subscriber connections attached before START.
+	subs := []*Client{dialT(t, addr), dialT(t, addr)}
+	for _, sc := range subs {
+		if _, err := sc.Do(wire.Request{Op: wire.OpSubscribe, Session: id}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := ctl.Do(wire.Request{Op: wire.OpStart, Session: id}); err != nil {
+		t.Fatal(err)
+	}
+
+	for si, sc := range subs {
+		var lastSeq uint64
+		var lastVal int64
+		for n := 0; n < 3; n++ {
+			resp, err := sc.Next()
+			if err != nil {
+				t.Fatalf("subscriber %d: %v", si, err)
+			}
+			if resp.Op != wire.OpSnapshot {
+				t.Fatalf("subscriber %d: op %q", si, resp.Op)
+			}
+			if resp.Seq <= lastSeq {
+				t.Errorf("subscriber %d: seq %d after %d", si, resp.Seq, lastSeq)
+			}
+			if len(resp.Values) != 1 || resp.Values[0] < lastVal {
+				t.Errorf("subscriber %d: values %v not monotonic (last %d)", si, resp.Values, lastVal)
+			}
+			lastSeq, lastVal = resp.Seq, resp.Values[0]
+		}
+	}
+}
+
+// TestDropOldestPolicy verifies the bounded-queue policy at the
+// subscriber level: pushing into a full queue evicts the oldest frame
+// and keeps the newest.
+func TestDropOldestPolicy(t *testing.T) {
+	sub := &subscriber{ch: make(chan wire.Response, 2), done: make(chan struct{})}
+	if sub.push(wire.Response{Seq: 1}) {
+		t.Error("dropped on an empty queue")
+	}
+	sub.push(wire.Response{Seq: 2})
+	if !sub.push(wire.Response{Seq: 3}) {
+		t.Error("no drop reported on a full queue")
+	}
+	got1, got2 := <-sub.ch, <-sub.ch
+	if got1.Seq != 2 || got2.Seq != 3 {
+		t.Errorf("queue holds seq %d,%d; want 2,3 (oldest dropped)", got1.Seq, got2.Seq)
+	}
+}
+
+// TestSlowConsumerDropsViaTick drives the real tick → fanout → push
+// path against a maximally slow consumer (a subscriber with no drain
+// loop): old snapshots are dropped, the newest survives, and the tick
+// loop never blocks. TCP buffering would mask this end to end, so the
+// ticks are driven directly.
+func TestSlowConsumerDropsViaTick(t *testing.T) {
+	srv := New(Config{QueueDepth: 1, TickInterval: time.Hour})
+	created := srv.dispatch(nil, &wire.Request{Op: wire.OpCreate,
+		Events: []string{"PAPI_TOT_CYC"}, Workload: "dot", N: 8})
+	if !created.OK {
+		t.Fatal(created.Error)
+	}
+	sess, ok := srv.reg.get(created.Session)
+	if !ok {
+		t.Fatal("session not registered")
+	}
+	stalled := &subscriber{ch: make(chan wire.Response, srv.cfg.QueueDepth), done: make(chan struct{})}
+	if _, err := sess.addSubscriber(stalled); err != nil {
+		t.Fatal(err)
+	}
+	if resp := srv.dispatch(nil, &wire.Request{Op: wire.OpStart, Session: created.Session}); !resp.OK {
+		t.Fatal(resp.Error)
+	}
+	for i := 0; i < 3; i++ {
+		srv.tick()
+	}
+	st := srv.Stats()
+	if st.SnapshotsSent != 3 {
+		t.Errorf("sent %d snapshots, want 3", st.SnapshotsSent)
+	}
+	if st.SnapshotsDropped != 2 {
+		t.Errorf("dropped %d snapshots, want 2", st.SnapshotsDropped)
+	}
+	latest := <-stalled.ch
+	if latest.Seq != 3 {
+		t.Errorf("stalled queue holds seq %d, want the newest (3)", latest.Seq)
+	}
+}
+
+// TestPublish exercises the papirun -serve path: an external process
+// posts a finished snapshot into a publish-only session and papid fans
+// it out.
+func TestPublish(t *testing.T) {
+	_, addr := startServer(t, Config{TickInterval: time.Millisecond})
+	pub := dialT(t, addr)
+	created, err := pub.Do(wire.Request{Op: wire.OpCreate, Workload: "none"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := created.Session
+
+	watcher := dialT(t, addr)
+	if _, err := watcher.Do(wire.Request{Op: wire.OpSubscribe, Session: id}); err != nil {
+		t.Fatal(err)
+	}
+
+	names := []string{"PAPI_FP_OPS", "PAPI_TOT_CYC"}
+	vals := []int64{12345, 67890}
+	if _, err := pub.Do(wire.Request{Op: wire.OpPublish, Session: id, Events: names, Values: vals}); err != nil {
+		t.Fatal(err)
+	}
+
+	snap, err := watcher.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Op != wire.OpSnapshot || snap.Source != "published" {
+		t.Fatalf("snapshot op %q source %q", snap.Op, snap.Source)
+	}
+	if len(snap.Values) != 2 || snap.Values[0] != 12345 {
+		t.Errorf("published values %v, want %v", snap.Values, vals)
+	}
+
+	read, err := pub.Do(wire.Request{Op: wire.OpRead, Session: id})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if read.Values[1] != 67890 {
+		t.Errorf("READ after publish: %v", read.Values)
+	}
+	// Publishing a mismatched value count is rejected.
+	if _, err := pub.Do(wire.Request{Op: wire.OpPublish, Session: id, Values: []int64{1}}); err == nil {
+		t.Error("mismatched publish accepted")
+	}
+}
+
+// TestPublishRejectionLeavesSessionIntact: a rejected PUBLISH must not
+// rename the session's events, and a counting session's events cannot
+// be renamed at all.
+func TestPublishRejectionLeavesSessionIntact(t *testing.T) {
+	_, addr := startServer(t, Config{TickInterval: time.Hour})
+	cl := dialT(t, addr)
+	created, err := cl.Do(wire.Request{Op: wire.OpCreate,
+		Events: []string{"PAPI_TOT_CYC"}, Workload: "dot", N: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := created.Session
+
+	// Mismatched values with renaming events: rejected, and the
+	// session's original event list must survive untouched.
+	if _, err := cl.Do(wire.Request{Op: wire.OpPublish, Session: id,
+		Events: []string{"A", "B"}, Values: []int64{1}}); err == nil {
+		t.Fatal("mismatched renaming publish accepted")
+	}
+	sub, err := cl.Do(wire.Request{Op: wire.OpSubscribe, Session: id})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub.Events) != 1 || sub.Events[0] != "PAPI_TOT_CYC" {
+		t.Fatalf("rejected publish renamed session events to %v", sub.Events)
+	}
+	// Renaming a session that counts its own events is rejected even
+	// with a consistent value count.
+	if _, err := cl.Do(wire.Request{Op: wire.OpPublish, Session: id,
+		Events: []string{"A", "B"}, Values: []int64{1, 2}}); err == nil {
+		t.Fatal("renaming publish accepted on a session with real events")
+	}
+	// Value-only publish for the session's own events still works.
+	if _, err := cl.Do(wire.Request{Op: wire.OpPublish, Session: id,
+		Values: []int64{42}}); err != nil {
+		t.Fatal(err)
+	}
+	read, err := cl.Do(wire.Request{Op: wire.OpRead, Session: id})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(read.Values) != 1 || read.Values[0] != 42 {
+		t.Errorf("READ after value-only publish: %v", read.Values)
+	}
+}
+
+func TestProtocolErrors(t *testing.T) {
+	_, addr := startServer(t, Config{})
+	cl := dialT(t, addr)
+	if _, err := cl.Do(wire.Request{Op: "FROB"}); err == nil {
+		t.Error("unknown op accepted")
+	}
+	if _, err := cl.Do(wire.Request{Op: wire.OpRead, Session: 999}); err == nil {
+		t.Error("READ on unknown session accepted")
+	}
+	if _, err := cl.Do(wire.Request{Op: wire.OpCreate, Platform: "vax-11"}); err == nil {
+		t.Error("unknown platform accepted")
+	}
+	if _, err := cl.Do(wire.Request{Op: wire.OpCreate, Events: []string{"PAPI_NOPE"}}); err == nil {
+		t.Error("unknown event accepted")
+	}
+	// A session with no events cannot START.
+	created, err := cl.Do(wire.Request{Op: wire.OpCreate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Do(wire.Request{Op: wire.OpStart, Session: created.Session}); err == nil {
+		t.Error("START with an empty EventSet accepted")
+	}
+}
+
+// TestGracefulShutdown checks that Shutdown folds running sessions and
+// returns with no goroutines stuck, even with live subscribers.
+func TestGracefulShutdown(t *testing.T) {
+	srv := New(Config{TickInterval: time.Millisecond})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	created, err := cl.Do(wire.Request{Op: wire.OpCreate,
+		Events: []string{"PAPI_TOT_CYC"}, Workload: "dot", N: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Do(wire.Request{Op: wire.OpStart, Session: created.Session}); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	if _, err := sub.Do(wire.Request{Op: wire.OpSubscribe, Session: created.Session}); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if _, err := Dial(addr.String()); err == nil {
+		t.Error("listener still accepting after shutdown")
+	}
+}

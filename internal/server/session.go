@@ -1,0 +1,308 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/wire"
+	"repro/papi"
+	"repro/workload"
+)
+
+// session is one client-created measurement: a private simulated
+// System/Thread/EventSet on a chosen platform, an optional workload the
+// tick loop advances while the session runs, and the set of subscribers
+// receiving its snapshots. All fields behind mu — the papi stack is not
+// goroutine-safe, so every touch of sys/th/es is serialized here.
+type session struct {
+	id       uint64
+	platform string
+
+	mu      sync.Mutex
+	sys     *papi.System
+	th      *papi.Thread
+	es      *papi.EventSet
+	names   []string // event names, parallel to the EventSet's add order
+	prog    workload.Program
+	running bool
+	closed  bool
+	seq     uint64
+	last    []int64 // latest snapshot: live read, publish, or final stop
+	subs    map[*subscriber]struct{}
+}
+
+// addEvents resolves and adds the named events, then memoizes the
+// grown set's allocation in the server's cache. The EventSet has
+// already validated allocatability during Add; the cache entry is what
+// lets the *next* identical session skip the matching solve. It
+// returns the session's full event-name list, copied under the lock.
+func (sess *session) addEvents(srv *Server, names []string) ([]string, error) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.closed {
+		return nil, errSessionClosed
+	}
+	for _, name := range names {
+		ev, ok := papi.ResolveEvent(sess.sys, name)
+		if !ok {
+			return nil, fmt.Errorf("unknown event %q on %s", name, sess.platform)
+		}
+		if err := sess.es.Add(ev); err != nil {
+			return nil, err
+		}
+		sess.names = append(sess.names, name)
+	}
+	if len(sess.names) > 0 {
+		if _, err := srv.cache.assign(sess.sys.Arch(), sess.es.NativeCodes()); err != nil {
+			return nil, err
+		}
+	}
+	return append([]string(nil), sess.names...), nil
+}
+
+// start transitions the session to counting.
+func (sess *session) start() error {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.closed {
+		return errSessionClosed
+	}
+	if sess.running {
+		return fmt.Errorf("session %d already started", sess.id)
+	}
+	if err := sess.es.Start(); err != nil {
+		return err
+	}
+	sess.running = true
+	return nil
+}
+
+// read returns the current counter values: a live read while running,
+// the last stored snapshot (final stop or publish) otherwise.
+func (sess *session) read() (wire.Response, error) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.closed {
+		return wire.Response{}, errSessionClosed
+	}
+	if sess.running {
+		vals := make([]int64, len(sess.names))
+		if err := sess.es.Read(vals); err != nil {
+			return wire.Response{}, err
+		}
+		sess.last = vals
+		return wire.Response{OK: true, Session: sess.id, Events: sess.names,
+			Values: vals, RealUsec: sess.th.RealUsec(), Seq: sess.seq, Source: "live"}, nil
+	}
+	if sess.last == nil {
+		return wire.Response{}, fmt.Errorf("session %d has no counter values yet", sess.id)
+	}
+	return wire.Response{OK: true, Session: sess.id, Events: sess.names,
+		Values: sess.last, Seq: sess.seq, Source: "last"}, nil
+}
+
+// stop halts counting and returns the event names and final values.
+func (sess *session) stop() ([]string, []int64, error) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.closed {
+		return nil, nil, errSessionClosed
+	}
+	if !sess.running {
+		return nil, nil, fmt.Errorf("session %d is not started", sess.id)
+	}
+	final := make([]int64, len(sess.names))
+	if err := sess.es.Stop(final); err != nil {
+		return nil, nil, err
+	}
+	sess.running = false
+	sess.last = final
+	return append([]string(nil), sess.names...), final, nil
+}
+
+// publish stores an externally measured snapshot (papirun -serve) and
+// returns it as a fan-out frame plus the subscribers to push it to.
+// Publishing is only legal on sessions papid is not driving itself.
+func (sess *session) publish(names []string, values []int64) (wire.Response, []*subscriber, error) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.closed {
+		return wire.Response{}, nil, errSessionClosed
+	}
+	if sess.running {
+		return wire.Response{}, nil, fmt.Errorf("session %d is counting; cannot publish external values", sess.id)
+	}
+	// Validate fully before touching session state: a rejected publish
+	// must not leave renamed events behind.
+	if len(names) > 0 {
+		if len(values) != len(names) {
+			return wire.Response{}, nil, fmt.Errorf("publish: %d values for %d events", len(values), len(names))
+		}
+		if sess.es.NumEvents() > 0 {
+			return wire.Response{}, nil, fmt.Errorf("session %d counts its own events; publish values without renaming them", sess.id)
+		}
+		sess.names = names
+	} else if len(values) != len(sess.names) {
+		return wire.Response{}, nil, fmt.Errorf("publish: %d values for %d events", len(values), len(sess.names))
+	}
+	sess.seq++
+	sess.last = values
+	resp := wire.Response{Op: wire.OpSnapshot, OK: true, Session: sess.id,
+		Events: sess.names, Values: values, Seq: sess.seq, Source: "published"}
+	return resp, sess.subscribers(), nil
+}
+
+// snapshot is the coalesced per-tick read: advance the workload one
+// chunk, read the counters once, and return the frame plus every
+// subscriber it fans out to. ok is false when there is nothing to do.
+func (sess *session) snapshot() (resp wire.Response, subs []*subscriber, ok bool) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.closed || !sess.running {
+		return wire.Response{}, nil, false
+	}
+	if sess.prog != nil {
+		sess.prog.Reset()
+		sess.th.Run(sess.prog)
+	}
+	vals := make([]int64, len(sess.names))
+	if err := sess.es.Read(vals); err != nil {
+		return wire.Response{}, nil, false
+	}
+	sess.seq++
+	sess.last = vals
+	resp = wire.Response{Op: wire.OpSnapshot, OK: true, Session: sess.id,
+		Events: sess.names, Values: vals, RealUsec: sess.th.RealUsec(),
+		Seq: sess.seq, Source: "live"}
+	return resp, sess.subscribers(), true
+}
+
+// subscribers snapshots the subscriber set; callers hold mu.
+func (sess *session) subscribers() []*subscriber {
+	if len(sess.subs) == 0 {
+		return nil
+	}
+	subs := make([]*subscriber, 0, len(sess.subs))
+	for sub := range sess.subs {
+		subs = append(subs, sub)
+	}
+	return subs
+}
+
+func (sess *session) addSubscriber(sub *subscriber) ([]string, error) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.closed {
+		return nil, errSessionClosed
+	}
+	sess.subs[sub] = struct{}{}
+	return append([]string(nil), sess.names...), nil
+}
+
+func (sess *session) removeSubscriber(sub *subscriber) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	delete(sess.subs, sub)
+}
+
+// close drains the session: folds final counts if it was running,
+// detaches subscribers, and marks it unusable. It returns the final
+// values, if any. close is idempotent.
+func (sess *session) close() []int64 {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.closed {
+		return sess.last
+	}
+	sess.closed = true
+	if sess.running {
+		final := make([]int64, len(sess.names))
+		if err := sess.es.Stop(final); err == nil {
+			sess.last = final
+		}
+		sess.running = false
+	}
+	sess.subs = make(map[*subscriber]struct{})
+	return sess.last
+}
+
+// registry is the sharded session table: sessions hash to one of N
+// mutex-guarded shards by ID, so thousands of concurrent sessions
+// contend on 1/N of a lock instead of serializing on one.
+type registry struct {
+	shards []regShard
+}
+
+type regShard struct {
+	mu sync.RWMutex
+	m  map[uint64]*session
+}
+
+func newRegistry(shards int) *registry {
+	if shards <= 0 {
+		shards = 16
+	}
+	r := &registry{shards: make([]regShard, shards)}
+	for i := range r.shards {
+		r.shards[i].m = make(map[uint64]*session)
+	}
+	return r
+}
+
+// shardFor picks the shard by Fibonacci-hashing the session ID —
+// sequential IDs spread across shards instead of clustering.
+func (r *registry) shardFor(id uint64) *regShard {
+	h := (id * 0x9e3779b97f4a7c15) >> 32
+	return &r.shards[h%uint64(len(r.shards))]
+}
+
+func (r *registry) put(sess *session) {
+	sh := r.shardFor(sess.id)
+	sh.mu.Lock()
+	sh.m[sess.id] = sess
+	sh.mu.Unlock()
+}
+
+func (r *registry) get(id uint64) (*session, bool) {
+	sh := r.shardFor(id)
+	sh.mu.RLock()
+	sess, ok := sh.m[id]
+	sh.mu.RUnlock()
+	return sess, ok
+}
+
+func (r *registry) remove(id uint64) (*session, bool) {
+	sh := r.shardFor(id)
+	sh.mu.Lock()
+	sess, ok := sh.m[id]
+	delete(sh.m, id)
+	sh.mu.Unlock()
+	return sess, ok
+}
+
+func (r *registry) count() int {
+	n := 0
+	for i := range r.shards {
+		r.shards[i].mu.RLock()
+		n += len(r.shards[i].m)
+		r.shards[i].mu.RUnlock()
+	}
+	return n
+}
+
+// forEach visits every session. The per-shard lock is released before
+// the callback runs, so callbacks may take session locks freely.
+func (r *registry) forEach(f func(*session)) {
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.RLock()
+		batch := make([]*session, 0, len(sh.m))
+		for _, sess := range sh.m {
+			batch = append(batch, sess)
+		}
+		sh.mu.RUnlock()
+		for _, sess := range batch {
+			f(sess)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package wire
+
+// The papid protocol: JSON-lines request/response over TCP, one
+// Request per line from the client, one Response per line from the
+// server. A connection that has issued SUBSCRIBE additionally receives
+// asynchronous OpSnapshot responses interleaved with its request
+// replies; clients distinguish them by the Op field.
+//
+// A typical exchange (client lines prefixed >, server lines <):
+//
+//	> {"op":"HELLO"}
+//	< {"op":"HELLO","ok":true,"protocol":1,"platform":"linux-x86"}
+//	> {"op":"CREATE_SESSION","platform":"aix-power3","events":["PAPI_FP_INS","PAPI_TOT_CYC"]}
+//	< {"op":"CREATE_SESSION","ok":true,"session":1,"events":["PAPI_FP_INS","PAPI_TOT_CYC"]}
+//	> {"op":"START","session":1}
+//	< {"op":"START","ok":true,"session":1}
+//	> {"op":"SUBSCRIBE","session":1}
+//	< {"op":"SUBSCRIBE","ok":true,"session":1}
+//	< {"op":"SNAPSHOT","ok":true,"session":1,"seq":1,"values":[420,9001],...}
+//	> {"op":"STOP","session":1}
+//	< {"op":"STOP","ok":true,"session":1,"values":[1260,27003]}
+//	> {"op":"BYE"}
+//	< {"op":"BYE","ok":true}
+
+// ProtocolVersion is echoed in the HELLO response; clients reject
+// servers speaking a different major version.
+const ProtocolVersion = 1
+
+// Request operations.
+const (
+	OpHello        = "HELLO"         // handshake; no arguments
+	OpCreate       = "CREATE_SESSION" // platform, events?, workload?, n?
+	OpAddEvents    = "ADD_EVENTS"    // session, events
+	OpStart        = "START"         // session
+	OpRead         = "READ"          // session
+	OpSubscribe    = "SUBSCRIBE"     // session
+	OpPublish      = "PUBLISH"       // session, values, events?
+	OpStop         = "STOP"          // session
+	OpCloseSession = "CLOSE_SESSION" // session
+	OpStats        = "STATS"         // no arguments
+	OpBye          = "BYE"           // close the connection
+)
+
+// OpSnapshot marks asynchronous fan-out frames pushed to subscribers;
+// it never appears as a request.
+const OpSnapshot = "SNAPSHOT"
+
+// Request is one client frame.
+type Request struct {
+	Op       string   `json:"op"`
+	Session  uint64   `json:"session,omitempty"`
+	Platform string   `json:"platform,omitempty"`
+	Events   []string `json:"events,omitempty"`
+	// Workload names the synthetic program papid advances on each tick
+	// of a started session (workload.ByName); empty selects a small
+	// default, "none" creates a publish-only session that papid never
+	// drives itself.
+	Workload string  `json:"workload,omitempty"`
+	N        int     `json:"n,omitempty"`      // workload size parameter
+	Values   []int64 `json:"values,omitempty"` // PUBLISH payload
+	Label    string  `json:"label,omitempty"`  // optional client name
+}
+
+// Response is one server frame: the reply to a request (Op echoes the
+// request) or an asynchronous snapshot (Op == OpSnapshot).
+type Response struct {
+	Op       string            `json:"op"`
+	OK       bool              `json:"ok"`
+	Error    string            `json:"error,omitempty"`
+	Session  uint64            `json:"session,omitempty"`
+	Platform string            `json:"platform,omitempty"`
+	Events   []string          `json:"events,omitempty"`
+	Values   []int64           `json:"values,omitempty"`
+	RealUsec uint64            `json:"real_usec,omitempty"`
+	Seq      uint64            `json:"seq,omitempty"`
+	Protocol int               `json:"protocol,omitempty"`
+	Source   string            `json:"source,omitempty"` // snapshot origin: "live" or "published"
+	Stats    map[string]uint64 `json:"stats,omitempty"`
+}

@@ -1,0 +1,59 @@
+// Package wire implements the newline-delimited JSON framing shared by
+// every network surface in the repository: perfometer's point stream
+// (§2, Figure 2) and papid's counter-collection protocol. One frame is
+// one JSON value terminated by a newline — trivially inspectable with
+// nc/jq, resynchronizable by line, and cheap to produce.
+//
+// The framing layer is deliberately type-agnostic: perfometer streams
+// perfometer.Point values, papid exchanges wire.Request/wire.Response
+// pairs, and both go through the same Encoder/Decoder.
+package wire
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"io"
+	"sync"
+)
+
+// Encoder writes newline-delimited JSON frames. It is safe for
+// concurrent use: papid's per-connection state interleaves request
+// responses and subscription snapshots on one socket, each written by a
+// different goroutine.
+type Encoder struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewEncoder returns an Encoder framing onto w.
+func NewEncoder(w io.Writer) *Encoder {
+	return &Encoder{enc: json.NewEncoder(w)}
+}
+
+// Encode writes one frame.
+func (e *Encoder) Encode(v any) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.enc.Encode(v)
+}
+
+// Decoder reads newline-delimited JSON frames.
+type Decoder struct {
+	dec *json.Decoder
+}
+
+// NewDecoder returns a Decoder framing from r.
+func NewDecoder(r io.Reader) *Decoder {
+	return &Decoder{dec: json.NewDecoder(bufio.NewReader(r))}
+}
+
+// Decode reads the next frame into v.
+func (d *Decoder) Decode(v any) error {
+	return d.dec.Decode(v)
+}
+
+// IsEOF reports whether err marks the clean end of a frame stream.
+func IsEOF(err error) bool {
+	return errors.Is(err, io.EOF)
+}

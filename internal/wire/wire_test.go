@@ -1,0 +1,94 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	reqs := []Request{
+		{Op: OpHello},
+		{Op: OpCreate, Platform: "aix-power3", Events: []string{"PAPI_FP_INS", "PAPI_TOT_CYC"}},
+		{Op: OpPublish, Session: 7, Values: []int64{1, 2, 3}},
+	}
+	for i := range reqs {
+		if err := enc.Encode(&reqs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dec := NewDecoder(&buf)
+	for i := range reqs {
+		var got Request
+		if err := dec.Decode(&got); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.Op != reqs[i].Op || got.Session != reqs[i].Session ||
+			len(got.Events) != len(reqs[i].Events) || len(got.Values) != len(reqs[i].Values) {
+			t.Errorf("frame %d: got %+v, want %+v", i, got, reqs[i])
+		}
+	}
+	var extra Request
+	if err := dec.Decode(&extra); !IsEOF(err) {
+		t.Errorf("after last frame: err = %v, want EOF", err)
+	}
+}
+
+func TestNewlineDelimited(t *testing.T) {
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	enc.Encode(&Response{Op: OpSnapshot, OK: true, Seq: 1})
+	enc.Encode(&Response{Op: OpSnapshot, OK: true, Seq: 2})
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2: %q", len(lines), buf.String())
+	}
+}
+
+// TestConcurrentEncode exercises the Encoder's mutex: many goroutines
+// interleaving frames on one writer must yield only whole frames.
+func TestConcurrentEncode(t *testing.T) {
+	pr, pw := io.Pipe()
+	enc := NewEncoder(pw)
+	const writers, frames = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < frames; i++ {
+				if err := enc.Encode(&Response{Op: OpSnapshot, OK: true, Session: uint64(w), Seq: uint64(i)}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	go func() {
+		wg.Wait()
+		pw.Close()
+	}()
+	dec := NewDecoder(pr)
+	n := 0
+	for {
+		var resp Response
+		err := dec.Decode(&resp)
+		if IsEOF(err) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("frame %d corrupted: %v", n, err)
+		}
+		if resp.Op != OpSnapshot {
+			t.Fatalf("frame %d: op %q", n, resp.Op)
+		}
+		n++
+	}
+	if n != writers*frames {
+		t.Errorf("decoded %d frames, want %d", n, writers*frames)
+	}
+}

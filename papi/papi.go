@@ -173,6 +173,12 @@ func EventDescription(e Event) string { return core.EventDescription(e) }
 // PresetByName resolves a "PAPI_TOT_INS"-style name.
 func PresetByName(name string) (Event, bool) { return core.PresetByName(name) }
 
+// ResolveEvent resolves a preset or platform-native event name on an
+// initialized System (sugar over PresetByName + System.NativeByName).
+// Session-facing services — cmd/papirun and the papid daemon — accept
+// either kind of name and resolve them through this single entry point.
+func ResolveEvent(sys *System, name string) (Event, bool) { return sys.ResolveEvent(name) }
+
 // IsErr reports whether err wraps the given PAPI error code.
 func IsErr(err error, code Errno) bool { return core.IsErr(err, code) }
 

@@ -1,0 +1,8 @@
+#!/bin/sh
+# The repo's verification gate: vet plus the full test suite under the
+# race detector (the papid stress tests put 64+ concurrent clients
+# through the server, so -race is what actually certifies the service).
+set -eu
+cd "$(dirname "$0")/.."
+go vet ./...
+go test -race ./...

@@ -8,19 +8,18 @@
 // way for a developer to find out where a bottleneck exists".
 //
 // The Java GUI becomes a terminal renderer; the wire protocol is
-// newline-delimited JSON over any io.Writer/io.Reader pair (TCP in the
+// newline-delimited JSON (internal/wire framing, shared with the papid
+// counter service) over any io.Writer/io.Reader pair (TCP in the
 // cmd/perfometer tool, net.Pipe in tests).
 package perfometer
 
 import (
-	"bufio"
-	"encoding/json"
-	"errors"
 	"fmt"
 	"io"
 	"math"
 	"strings"
 
+	"repro/internal/wire"
 	"repro/papi"
 )
 
@@ -44,7 +43,7 @@ type Backend struct {
 	lastVal  int64
 	lastUsec uint64
 	buf      [1]int64
-	enc      *json.Encoder
+	enc      *wire.Encoder
 	encErr   error
 }
 
@@ -84,7 +83,7 @@ func (b *Backend) RunInstrumented(w io.Writer, run func() error) error {
 	if err := es.Add(b.event); err != nil {
 		return err
 	}
-	b.enc = json.NewEncoder(w)
+	b.enc = wire.NewEncoder(w)
 	b.seq = 0
 	b.lastVal = 0
 	b.lastUsec = b.th.RealUsec()
@@ -163,11 +162,11 @@ type Frontend struct {
 
 // Consume reads newline-delimited JSON points until EOF.
 func (f *Frontend) Consume(r io.Reader) error {
-	dec := json.NewDecoder(bufio.NewReader(r))
+	dec := wire.NewDecoder(r)
 	for {
 		var p Point
 		if err := dec.Decode(&p); err != nil {
-			if errors.Is(err, io.EOF) {
+			if wire.IsEOF(err) {
 				return nil
 			}
 			return fmt.Errorf("perfometer: decoding stream: %w", err)
@@ -261,7 +260,7 @@ func (f *Frontend) SectionMeanRate() map[string]float64 {
 // SaveTrace writes the collected points as JSON lines for off-line
 // analysis, perfometer's trace-file mode.
 func (f *Frontend) SaveTrace(w io.Writer) error {
-	enc := json.NewEncoder(w)
+	enc := wire.NewEncoder(w)
 	for i := range f.Points {
 		if err := enc.Encode(&f.Points[i]); err != nil {
 			return fmt.Errorf("perfometer: saving trace: %w", err)

@@ -1,0 +1,37 @@
+package workload
+
+import "fmt"
+
+// ByName constructs a named workload with size parameter n — the
+// single factory behind cmd/papirun's -workload flag and papid's
+// CREATE_SESSION workload field, so the two surfaces accept the same
+// vocabulary. The n parameter scales each kernel the same way the
+// papirun flag always did (e.g. matmul is n×n, dot is n²-element).
+func ByName(name string, n int) (Program, error) {
+	switch name {
+	case "matmul":
+		return MatMul(MatMulConfig{N: n}), nil
+	case "triad":
+		return Triad(TriadConfig{N: n, Reps: 8}), nil
+	case "chase":
+		return PointerChase(ChaseConfig{Nodes: n, Steps: n * 8}), nil
+	case "stencil":
+		return Stencil(StencilConfig{N: n, Sweeps: 4}), nil
+	case "branchy":
+		return Branchy(BranchyConfig{N: n * n}), nil
+	case "mixedprec":
+		return MixedPrecision(MixedPrecisionConfig{N: n * n}), nil
+	case "lu":
+		return LU(LUConfig{N: n}), nil
+	case "gups":
+		return GUPS(GUPSConfig{TableWords: n * n, Updates: n * n}), nil
+	case "dot":
+		return Dot(DotConfig{N: n * n}), nil
+	}
+	return nil, fmt.Errorf("unknown workload %q", name)
+}
+
+// Names lists the workloads ByName accepts.
+func Names() []string {
+	return []string{"matmul", "triad", "chase", "stencil", "branchy", "mixedprec", "lu", "gups", "dot"}
+}
