@@ -1,0 +1,156 @@
+// benchjson runs `go test -bench` and writes the results as JSON, so
+// benchmark trajectories (compression ratios, throughput, query
+// latency) are machine-readable instead of buried in test logs:
+//
+//	benchjson -out BENCH_tsdb.json -bench TSDB ./internal/tsdb
+//
+// The output records the environment (goos/goarch/cpu), the exact
+// command, and one entry per benchmark with every metric Go reported —
+// standard ones (ns/op, MB/s, B/op) and custom ReportMetric units
+// (x-compression, B/sample) alike.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	Package    string             `json:"package"`
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// File is the emitted document.
+type File struct {
+	Generated string   `json:"generated"`
+	Command   string   `json:"command"`
+	GOOS      string   `json:"goos,omitempty"`
+	GOARCH    string   `json:"goarch,omitempty"`
+	CPU       string   `json:"cpu,omitempty"`
+	Results   []Result `json:"results"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkTSDBQuery/queriers-8-4   12  94888 ns/op  5.5 x-compression
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)\s+(.+)$`)
+
+func main() {
+	out := flag.String("out", "", "output JSON file (required)")
+	bench := flag.String("bench", ".", "benchmark regexp passed to go test")
+	benchtime := flag.String("benchtime", "", "benchtime passed to go test (default go's 1s)")
+	count := flag.Int("count", 1, "count passed to go test")
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -out is required")
+		os.Exit(2)
+	}
+	pkgs := flag.Args()
+	if len(pkgs) == 0 {
+		pkgs = []string{"./..."}
+	}
+
+	args := []string{"test", "-run=^$", "-bench=" + *bench, "-count=" + strconv.Itoa(*count)}
+	if *benchtime != "" {
+		args = append(args, "-benchtime="+*benchtime)
+	}
+	args = append(args, pkgs...)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		fail(err)
+	}
+	if err := cmd.Start(); err != nil {
+		fail(err)
+	}
+
+	doc := File{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Command:   "go " + strings.Join(args, " "),
+	}
+	sc := bufio.NewScanner(stdout)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	pkg := ""
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // keep the human-readable stream visible
+		switch {
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "goos: "):
+			doc.GOOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			doc.GOARCH = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			doc.CPU = strings.TrimPrefix(line, "cpu: ")
+		default:
+			if r, ok := parseBench(line, pkg); ok {
+				doc.Results = append(doc.Results, r)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fail(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		fail(fmt.Errorf("go test: %w", err))
+	}
+	if len(doc.Results) == 0 {
+		fail(fmt.Errorf("no benchmark results matched -bench %q in %s", *bench, strings.Join(pkgs, " ")))
+	}
+
+	data, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Printf("benchjson: %d results -> %s\n", len(doc.Results), *out)
+}
+
+// parseBench turns one "BenchmarkX-P  N  v unit  v unit..." line into
+// a Result.
+func parseBench(line, pkg string) (Result, bool) {
+	m := benchLine.FindStringSubmatch(line)
+	if m == nil {
+		return Result{}, false
+	}
+	r := Result{
+		Package: pkg,
+		Name:    strings.TrimPrefix(m[1], "Benchmark"),
+		Procs:   1,
+		Metrics: map[string]float64{},
+	}
+	if m[2] != "" {
+		r.Procs, _ = strconv.Atoi(m[2])
+	}
+	r.Iterations, _ = strconv.ParseInt(m[3], 10, 64)
+	fields := strings.Fields(m[4])
+	for i := 0; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	return r, true
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

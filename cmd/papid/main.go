@@ -8,6 +8,11 @@
 //	papid -addr 127.0.0.1:6117 &
 //	printf '%s\n' '{"op":"HELLO"}' | nc 127.0.0.1 6117
 //
+// Every tick's snapshot is also recorded in an embedded time-series
+// store (internal/tsdb), bounded by -tsdb-mem bytes and -retention
+// age, and served back through the QUERY op as downsampled
+// min/max/sum/count windows.
+//
 // SIGINT/SIGTERM trigger a graceful drain: running sessions fold their
 // final counts, subscribers are detached, and the process exits after
 // reporting its lifetime stats.
@@ -34,6 +39,8 @@ func main() {
 	cacheSize := flag.Int("cache", 256, "allocation-cache entries")
 	tick := flag.Duration("tick", 50*time.Millisecond, "snapshot fan-out interval")
 	queue := flag.Int("queue", 32, "per-subscriber queue depth (oldest snapshot dropped when full)")
+	retention := flag.Duration("retention", 15*time.Minute, "history age limit for QUERY (0 keeps until -tsdb-mem evicts)")
+	tsdbMem := flag.Int64("tsdb-mem", 8<<20, "history store memory budget in bytes (0 disables QUERY history)")
 	quiet := flag.Bool("quiet", false, "suppress per-session log lines")
 	flag.Parse()
 
@@ -41,12 +48,23 @@ func main() {
 	if *quiet {
 		logf = func(string, ...any) {}
 	}
+	// The Config zero values mean "default", so the flag's explicit
+	// zeros map to the negative "disabled" sentinels.
+	mem, age := *tsdbMem, *retention
+	if mem == 0 {
+		mem = -1
+	}
+	if age == 0 {
+		age = -1
+	}
 	srv := server.New(server.Config{
 		DefaultPlatform: *platform,
 		Shards:          *shards,
 		CacheSize:       *cacheSize,
 		TickInterval:    *tick,
 		QueueDepth:      *queue,
+		TSDBMaxBytes:    mem,
+		TSDBRetention:   age,
 		Logf:            logf,
 	})
 	if _, err := srv.Listen(*addr); err != nil {
@@ -68,4 +86,6 @@ func main() {
 	st := srv.Stats()
 	log.Printf("papid: %d ticks, %d snapshots sent (%d dropped), alloc cache %.0f%% hits",
 		st.Ticks, st.SnapshotsSent, st.SnapshotsDropped, 100*st.CacheHitRate())
+	log.Printf("papid: tsdb %d bytes across %d series, %d samples, %d evictions",
+		st.TSDB.Bytes, st.TSDB.Series, st.TSDB.Samples, st.TSDB.Evictions)
 }

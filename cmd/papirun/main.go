@@ -103,10 +103,10 @@ func run(platform, events, progName string, n int, multiplex bool, serve string)
 func publish(addr, platform string, events []string, vals []int64) error {
 	cl, err := server.Dial(addr)
 	if err != nil {
-		return err
+		return fmt.Errorf("unreachable: %w", err)
 	}
 	defer cl.Close()
-	if _, err := cl.Do(wire.Request{Op: wire.OpHello}); err != nil {
+	if _, err := cl.Hello(); err != nil {
 		return err
 	}
 	created, err := cl.Do(wire.Request{Op: wire.OpCreate, Platform: platform,

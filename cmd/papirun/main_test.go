@@ -1,0 +1,129 @@
+package main
+
+import (
+	"context"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/wire"
+)
+
+// TestServeUnreachable: -serve against a dead address must fail with a
+// clear one-line error (main prints it and exits non-zero).
+func TestServeUnreachable(t *testing.T) {
+	// Bind-then-close yields a port that refuses connections.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	err = run("linux-x86", "PAPI_TOT_CYC", "dot", 8, false, addr)
+	if err == nil {
+		t.Fatal("-serve against a dead papid succeeded")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "publishing to papid") || !strings.Contains(msg, "unreachable") {
+		t.Errorf("error %q does not name the publish failure", msg)
+	}
+	if strings.Contains(msg, "\n") {
+		t.Errorf("error is not one line: %q", msg)
+	}
+}
+
+// rejectingServer speaks just enough of the papid protocol to accept
+// the handshake and session creation, then reject PUBLISH.
+func rejectingServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(nc net.Conn) {
+				defer nc.Close()
+				dec, enc := wire.NewDecoder(nc), wire.NewEncoder(nc)
+				for {
+					var req wire.Request
+					if dec.Decode(&req) != nil {
+						return
+					}
+					resp := wire.Response{Op: req.Op, OK: true, Session: 1,
+						Protocol: wire.ProtocolVersion}
+					if req.Op == wire.OpPublish {
+						resp = wire.Response{Op: req.Op, OK: false,
+							Error: "publish rejected by policy"}
+					}
+					if enc.Encode(&resp) != nil {
+						return
+					}
+				}
+			}(nc)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestServeRejectedPublish: a papid that refuses the PUBLISH must
+// surface the server's reason in a one-line error.
+func TestServeRejectedPublish(t *testing.T) {
+	addr := rejectingServer(t)
+	err := run("linux-x86", "PAPI_TOT_CYC", "dot", 8, false, addr)
+	if err == nil {
+		t.Fatal("rejected PUBLISH reported success")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "publish rejected by policy") {
+		t.Errorf("error %q does not carry the server's reason", msg)
+	}
+	if strings.Contains(msg, "\n") {
+		t.Errorf("error is not one line: %q", msg)
+	}
+}
+
+// TestServePublishes: the happy path against a real papid lands the
+// final snapshot in a queryable session.
+func TestServePublishes(t *testing.T) {
+	srv := server.New(server.Config{TickInterval: time.Hour})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+
+	if err := run("aix-power3", "PAPI_FP_OPS,PAPI_TOT_CYC", "dot", 8, false, addr.String()); err != nil {
+		t.Fatal(err)
+	}
+	st := srv.Stats()
+	if st.TSDB.Samples != 2 {
+		t.Errorf("published snapshot recorded %d tsdb samples, want 2", st.TSDB.Samples)
+	}
+	// The published values are queryable history.
+	cl, err := server.Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	resp, err := cl.Do(wire.Request{Op: wire.OpQuery, Session: 1,
+		From: 0, To: 1<<63 - 1, Step: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Series) != 2 || resp.Series[0].Buckets[0].Count != 1 {
+		t.Errorf("QUERY after papirun -serve: %+v", resp.Series)
+	}
+}

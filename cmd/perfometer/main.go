@@ -2,6 +2,13 @@
 // backend executing a phased application streams FLOP-rate samples over
 // TCP to a frontend, which renders the trace and optionally saves it
 // for off-line analysis.
+//
+// With -papid it instead runs in history mode: query a running papid's
+// embedded time-series store for a session's past counter data and
+// render the downsampled range — the view a tool gets when it attaches
+// after the interesting phase already happened:
+//
+//	perfometer -papid 127.0.0.1:6117 -session 1 -last 1m -step 10s
 package main
 
 import (
@@ -9,7 +16,10 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"time"
 
+	"repro/internal/server"
+	"repro/internal/wire"
 	"repro/papi"
 	"repro/tools/dynaprof"
 	"repro/tools/perfometer"
@@ -21,12 +31,58 @@ func main() {
 	metric := flag.String("metric", "PAPI_FP_OPS", "preset event to trace")
 	traceFile := flag.String("trace", "", "save the trace to this file")
 	width := flag.Int("width", 72, "sparkline width")
+	papid := flag.String("papid", "", "history mode: query this papid instead of tracing live")
+	session := flag.Uint64("session", 0, "history mode: papid session to query")
+	event := flag.String("event", "", "history mode: restrict the query to one event")
+	last := flag.Duration("last", time.Minute, "history mode: how far back to query")
+	step := flag.Duration("step", 10*time.Second, "history mode: output window width")
 	flag.Parse()
 
-	if err := run(*platform, *metric, *traceFile, *width); err != nil {
+	var err error
+	if *papid != "" {
+		err = runHistory(*papid, *session, *event, *last, *step, *width)
+	} else {
+		err = run(*platform, *metric, *traceFile, *width)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "perfometer:", err)
 		os.Exit(1)
 	}
+}
+
+// runHistory is the -papid mode: handshake, QUERY, render.
+func runHistory(addr string, session uint64, event string, last, step time.Duration, width int) error {
+	cl, err := server.Dial(addr)
+	if err != nil {
+		return fmt.Errorf("dialing papid at %s: %w", addr, err)
+	}
+	defer cl.Close()
+	hello, err := cl.Hello()
+	if err != nil {
+		return fmt.Errorf("papid at %s: %w", addr, err)
+	}
+	if hello.Protocol < wire.MinProtocolQuery {
+		return fmt.Errorf("papid at %s speaks protocol %d; QUERY needs >= %d (upgrade the server)",
+			addr, hello.Protocol, wire.MinProtocolQuery)
+	}
+	to := time.Now().UnixMicro()
+	req := wire.Request{Op: wire.OpQuery, Session: session,
+		From: to - last.Microseconds(), To: to, Step: step.Microseconds()}
+	if event != "" {
+		req.Events = []string{event}
+	}
+	resp, err := cl.Do(req)
+	if err != nil {
+		return err
+	}
+	if len(resp.Series) == 0 {
+		return fmt.Errorf("session %d has no history in the last %s", session, last)
+	}
+	fmt.Printf("perfometer history: session %d, last %s at %s steps (papid %s)\n",
+		session, last, step, addr)
+	perfometer.RenderHistory(os.Stdout, resp.Series, width)
+	_, err = cl.Do(wire.Request{Op: wire.OpBye})
+	return err
 }
 
 func run(platform, metric, traceFile string, width int) error {

@@ -1,9 +1,14 @@
 package repro
 
 import (
+	"context"
 	"os/exec"
 	"strings"
 	"testing"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/wire"
 )
 
 // Smoke tests for the command-line tools: run each binary the way a
@@ -78,5 +83,52 @@ func TestCmdPerfometerTrace(t *testing.T) {
 	out := runCmd(t, "./cmd/perfometer", "-platform", "linux-ia64", "-width", "40")
 	if !strings.Contains(out, "peak rate") || !strings.Contains(out, "sections") {
 		t.Errorf("perfometer output:\n%s", out)
+	}
+}
+
+// TestCmdPerfometerHistory runs perfometer's -papid history mode
+// against a live in-process papid: a ticking session accumulates
+// history, then the CLI queries and renders it.
+func TestCmdPerfometerHistory(t *testing.T) {
+	srv := server.New(server.Config{TickInterval: 5 * time.Millisecond})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	cl, err := server.Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	created, err := cl.Do(wire.Request{Op: wire.OpCreate,
+		Events: []string{"PAPI_TOT_CYC"}, Workload: "dot", N: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Do(wire.Request{Op: wire.OpStart, Session: created.Session}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if st := srv.Stats(); st.TSDB.Samples >= 20 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("history never accumulated")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	out := runCmd(t, "./cmd/perfometer", "-papid", addr.String(),
+		"-session", "1", "-last", "1m", "-step", "1s", "-width", "30")
+	for _, want := range []string{"perfometer history", "PAPI_TOT_CYC", "windows", "last total"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("history output missing %q:\n%s", want, out)
+		}
 	}
 }

@@ -1,0 +1,90 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// BenchmarkServerQuery measures QUERY round-trip latency through the
+// full TCP + JSON path at 1, 8 and 64 concurrent queriers against a
+// store preloaded with 50k ticks of two-event history.
+func BenchmarkServerQuery(b *testing.B) {
+	clock := int64(1_000_000)
+	srv := New(Config{
+		TickInterval:  time.Hour, // no background ticks; history preloaded below
+		TSDBRetention: -1,
+		now:           func() int64 { return clock },
+	})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	created := srv.dispatch(nil, &wire.Request{Op: wire.OpCreate, Workload: "none"})
+	if !created.OK {
+		b.Fatal(created.Error)
+	}
+	id := created.Session
+	events := []string{"PAPI_TOT_CYC", "PAPI_FP_OPS"}
+	vals := []int64{0, 0}
+	for i := 0; i < 50_000; i++ {
+		clock += 10_000
+		vals[0] += 1_000_000
+		vals[1] += 250_000
+		if resp := srv.dispatch(nil, &wire.Request{Op: wire.OpPublish, Session: id,
+			Events: events, Values: vals}); !resp.OK {
+			b.Fatal(resp.Error)
+		}
+	}
+	from, to := int64(1_000_000), clock+1
+
+	for _, nq := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("queriers-%d", nq), func(b *testing.B) {
+			clients := make([]*Client, nq)
+			for i := range clients {
+				cl, err := Dial(addr.String())
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer cl.Close()
+				clients[i] = cl
+			}
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			b.ResetTimer()
+			for _, cl := range clients {
+				wg.Add(1)
+				go func(cl *Client) {
+					defer wg.Done()
+					for {
+						if next.Add(1) > int64(b.N) {
+							return
+						}
+						resp, err := cl.Do(wire.Request{Op: wire.OpQuery, Session: id,
+							From: from, To: to, Step: 60_000_000})
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						if len(resp.Series) != 2 {
+							b.Errorf("%d series", len(resp.Series))
+							return
+						}
+					}
+				}(cl)
+			}
+			wg.Wait()
+		})
+	}
+}

@@ -34,6 +34,15 @@ func Dial(addr string) (*Client, error) {
 	return &Client{nc: nc, enc: wire.NewEncoder(nc), dec: wire.NewDecoder(nc)}, nil
 }
 
+// Hello performs the version handshake: it announces this client's
+// protocol version and returns the server's reply, whose Protocol
+// field callers compare against op-specific minimums (e.g.
+// wire.MinProtocolQuery) to detect older servers before issuing ops
+// they would reject.
+func (c *Client) Hello() (wire.Response, error) {
+	return c.Do(wire.Request{Op: wire.OpHello, Version: wire.ProtocolVersion})
+}
+
 // Do sends one request and waits for its reply, routing any interleaved
 // snapshots to OnSnapshot. A server-side error becomes a Go error.
 func (c *Client) Do(req wire.Request) (wire.Response, error) {

@@ -19,6 +19,9 @@
 //   - bounded per-subscriber send queues with a drop-oldest policy, so
 //     one slow consumer can neither block the tick loop nor grow memory
 //     without bound;
+//   - an embedded time-series store (internal/tsdb) recording every
+//     tick's snapshot, so late subscribers and offline tools can QUERY
+//     downsampled history instead of getting nothing;
 //   - context-based graceful shutdown that stops accepting, folds final
 //     counts into every running session, and drains all connections.
 package server
@@ -32,6 +35,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/tsdb"
 	"repro/internal/wire"
 	"repro/papi"
 	"repro/workload"
@@ -55,8 +59,21 @@ type Config struct {
 	// QueueDepth bounds each subscriber's send queue; when full the
 	// oldest queued snapshot is dropped (default 32).
 	QueueDepth int
+	// TSDBMaxBytes bounds the embedded history store's memory
+	// (default 8 MiB); negative disables history entirely.
+	TSDBMaxBytes int64
+	// TSDBRetention expires history older than this (default 15m);
+	// negative keeps history until the byte budget evicts it.
+	TSDBRetention time.Duration
+	// TSDBRollups lists the pre-computed downsampling widths
+	// (default 10s and 60s).
+	TSDBRollups []time.Duration
 	// Logf, when set, receives one line per lifecycle event.
 	Logf func(format string, args ...any)
+
+	// now is the tick clock in µs, injectable by tests for
+	// deterministic history timestamps.
+	now func() int64
 }
 
 func (c *Config) fill() {
@@ -75,6 +92,15 @@ func (c *Config) fill() {
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 32
 	}
+	if c.TSDBMaxBytes == 0 {
+		c.TSDBMaxBytes = 8 << 20
+	}
+	if c.TSDBRetention == 0 {
+		c.TSDBRetention = 15 * time.Minute
+	}
+	if c.now == nil {
+		c.now = func() int64 { return time.Now().UnixMicro() }
+	}
 }
 
 // Stats is a point-in-time view of the server's counters.
@@ -86,6 +112,7 @@ type Stats struct {
 	SnapshotsSent    uint64
 	SnapshotsDropped uint64
 	Ticks            uint64
+	TSDB             tsdb.Stats // zero when history is disabled
 }
 
 // CacheHitRate returns hits/(hits+misses), or 0 before any lookup.
@@ -107,6 +134,7 @@ type Server struct {
 
 	reg    *registry
 	cache  *allocCache
+	hist   *tsdb.Store // nil when history is disabled
 	nextID atomic.Uint64
 
 	connsMu sync.Mutex
@@ -121,7 +149,7 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg.fill()
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Server{
+	s := &Server{
 		cfg:    cfg,
 		ctx:    ctx,
 		cancel: cancel,
@@ -129,6 +157,14 @@ func New(cfg Config) *Server {
 		cache:  newAllocCache(cfg.CacheSize),
 		conns:  make(map[*conn]struct{}),
 	}
+	if cfg.TSDBMaxBytes > 0 {
+		s.hist = tsdb.New(tsdb.Config{
+			MaxBytes: cfg.TSDBMaxBytes,
+			MaxAge:   cfg.TSDBRetention,
+			Rollups:  cfg.TSDBRollups,
+		})
+	}
+	return s
 }
 
 // Listen binds addr (e.g. "127.0.0.1:0") and starts the accept and
@@ -160,7 +196,7 @@ func (s *Server) Stats() Stats {
 	s.connsMu.Lock()
 	nconns := len(s.conns)
 	s.connsMu.Unlock()
-	return Stats{
+	st := Stats{
 		Sessions:         s.reg.count(),
 		Connections:      nconns,
 		CacheHits:        hits,
@@ -169,6 +205,10 @@ func (s *Server) Stats() Stats {
 		SnapshotsDropped: s.snapDropped.Load(),
 		Ticks:            s.ticks.Load(),
 	}
+	if s.hist != nil {
+		st.TSDB = s.hist.Stats()
+	}
+	return st
 }
 
 // Shutdown gracefully stops the server: no new connections, every
@@ -246,13 +286,22 @@ func (s *Server) tickLoop() {
 
 func (s *Server) tick() {
 	s.ticks.Add(1)
+	now := s.cfg.now()
 	s.reg.forEach(func(sess *session) {
 		resp, subs, ok := sess.snapshot()
 		if !ok {
 			return
 		}
+		if s.hist != nil {
+			s.hist.AppendRow(resp.Session, now, resp.Events, resp.Values)
+		}
 		s.fanout(resp, subs)
 	})
+	if s.hist != nil {
+		// Age out history of idle and closed sessions too — appends
+		// only sweep the series they touch.
+		s.hist.Sweep(now)
+	}
 }
 
 func (s *Server) fanout(resp wire.Response, subs []*subscriber) {
@@ -343,7 +392,16 @@ func (s *Server) handle(nc net.Conn) {
 	for {
 		var req wire.Request
 		if err := dec.Decode(&req); err != nil {
-			return // EOF, malformed frame, or closed socket
+			if wire.IsMalformed(err) {
+				// One bad line must not kill the connection: reply
+				// with an error frame and resume at the next newline.
+				errFrame := wire.Response{Op: wire.OpError, Error: err.Error()}
+				if c.enc.Encode(&errFrame) != nil {
+					return
+				}
+				continue
+			}
+			return // EOF or closed socket
 		}
 		resp := s.dispatch(c, &req)
 		if err := c.enc.Encode(&resp); err != nil {
@@ -423,6 +481,9 @@ func (s *Server) dispatch(c *conn, req *wire.Request) wire.Response {
 			if err != nil {
 				return errResp(req, err)
 			}
+			if s.hist != nil {
+				s.hist.AppendRow(sess.id, s.cfg.now(), snap.Events, snap.Values)
+			}
 			s.fanout(snap, subs)
 			return wire.Response{Op: req.Op, OK: true, Session: sess.id, Seq: snap.Seq}
 		})
@@ -442,6 +503,19 @@ func (s *Server) dispatch(c *conn, req *wire.Request) wire.Response {
 		}
 		final := sess.close()
 		return wire.Response{Op: req.Op, OK: true, Session: req.Session, Values: final}
+	case wire.OpQuery:
+		if s.hist == nil {
+			return errResp(req, errors.New("history disabled (papid -tsdb-mem 0)"))
+		}
+		if req.To <= req.From {
+			return errResp(req, fmt.Errorf("bad range [%d, %d)", req.From, req.To))
+		}
+		// No live-session check: history legitimately outlives its
+		// session, which is half the point of keeping it.
+		series := s.hist.Query(req.Session, tsdb.Query{
+			Events: req.Events, From: req.From, To: req.To, Step: req.Step,
+		})
+		return wire.Response{Op: req.Op, OK: true, Session: req.Session, Series: series}
 	case wire.OpStats:
 		st := s.Stats()
 		return wire.Response{Op: req.Op, OK: true, Stats: map[string]uint64{
@@ -452,6 +526,10 @@ func (s *Server) dispatch(c *conn, req *wire.Request) wire.Response {
 			"snapshots_sent":    st.SnapshotsSent,
 			"snapshots_dropped": st.SnapshotsDropped,
 			"ticks":             st.Ticks,
+			"tsdb_bytes":        uint64(st.TSDB.Bytes),
+			"tsdb_series":       uint64(st.TSDB.Series),
+			"tsdb_samples":      st.TSDB.Samples,
+			"tsdb_evictions":    st.TSDB.Evictions,
 		}}
 	case wire.OpBye:
 		return wire.Response{Op: req.Op, OK: true}

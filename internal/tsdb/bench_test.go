@@ -1,0 +1,138 @@
+package tsdb
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// benchSamples is a realistic papid stream: 50ms ticks, near-constant
+// counter rate with jitter.
+func benchSamples(n int) []sample {
+	rng := rand.New(rand.NewSource(3))
+	out := make([]sample, n)
+	ts, v := int64(0), int64(0)
+	for i := range out {
+		ts += 50_000 + rng.Int63n(31)
+		v += 1_000_000 + rng.Int63n(997)
+		out[i] = sample{ts, v}
+	}
+	return out
+}
+
+// BenchmarkTSDBAppend measures ingest throughput: one sample per op,
+// rollups included.
+func BenchmarkTSDBAppend(b *testing.B) {
+	st := New(Config{MaxBytes: 1 << 30, MaxAge: -1})
+	samples := benchSamples(1 << 16)
+	b.SetBytes(16) // one raw (ts, value) pair
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := samples[i&(1<<16-1)]
+		// Keep timestamps monotone across wraps.
+		st.Append(1, "PAPI_TOT_CYC", s.ts+int64(i>>16)*samples[len(samples)-1].ts, s.v)
+	}
+}
+
+// BenchmarkTSDBCompress reports the headline compression ratio versus
+// raw int64 (ts, value) pairs, as the x-compression metric.
+func BenchmarkTSDBCompress(b *testing.B) {
+	samples := benchSamples(1 << 16)
+	var encoded int64
+	for i := 0; i < b.N; i++ {
+		var blk block
+		for _, s := range samples {
+			blk.appendSample(s.ts, s.v)
+		}
+		encoded = int64(len(blk.buf))
+	}
+	raw := int64(len(samples) * 16)
+	b.SetBytes(raw)
+	b.ReportMetric(float64(raw)/float64(encoded), "x-compression")
+	b.ReportMetric(float64(encoded)/float64(len(samples)), "B/sample")
+}
+
+// BenchmarkTSDBDecode measures block decode throughput.
+func BenchmarkTSDBDecode(b *testing.B) {
+	samples := benchSamples(1 << 16)
+	var blk block
+	for _, s := range samples {
+		blk.appendSample(s.ts, s.v)
+	}
+	b.SetBytes(int64(len(samples) * 16))
+	b.ResetTimer()
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		it := blk.iter()
+		for {
+			_, v, ok := it.next()
+			if !ok {
+				break
+			}
+			sink += v
+		}
+	}
+	_ = sink
+}
+
+// BenchmarkTSDBQuery measures query latency over a populated store at
+// 1, 8 and 64 concurrent queriers mixing rollup- and raw-resolution
+// reads.
+func BenchmarkTSDBQuery(b *testing.B) {
+	st := New(Config{MaxBytes: 1 << 30, MaxAge: -1})
+	samples := benchSamples(200_000)
+	events := []string{"PAPI_TOT_CYC", "PAPI_FP_OPS", "PAPI_L1_DCM", "PAPI_TOT_INS"}
+	for _, ev := range events {
+		for _, s := range samples {
+			st.Append(1, ev, s.ts, s.v)
+		}
+	}
+	last := samples[len(samples)-1].ts
+	queries := []Query{
+		{From: 0, To: last, Step: 60_000_000},                         // full range, 60s rollup
+		{From: last / 2, To: last, Step: 10_000_000},                  // half range, 10s rollup
+		{From: last - 2_000_000, To: last, Step: 100_000},             // recent 2s, raw decode
+		{Events: events[:1], From: 0, To: last, Step: 10 * 60_000_000}, // coarse single event
+	}
+	for _, nq := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("queriers-%d", nq), func(b *testing.B) {
+			b.ResetTimer()
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			for g := 0; g < nq; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						i := next.Add(1) - 1
+						if i >= int64(b.N) {
+							return
+						}
+						q := queries[i%int64(len(queries))]
+						if res := st.Query(1, q); len(res) == 0 {
+							b.Error("empty query result")
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// BenchmarkTSDBEvictingAppend measures steady-state ingest with the
+// budget eviction loop active — the worst-case hot path.
+func BenchmarkTSDBEvictingAppend(b *testing.B) {
+	st := New(Config{MaxBytes: 64 << 10, MaxAge: time.Hour})
+	samples := benchSamples(1 << 16)
+	b.SetBytes(16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := samples[i&(1<<16-1)]
+		st.Append(1, "PAPI_TOT_CYC", s.ts+int64(i>>16)*samples[len(samples)-1].ts, s.v)
+	}
+}

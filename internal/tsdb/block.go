@@ -1,0 +1,122 @@
+package tsdb
+
+import "encoding/binary"
+
+// block is one append-only compressed run of (timestamp, value) samples
+// for a single series. The layout is Gorilla-inspired, adapted to
+// integer counters:
+//
+//   - timestamps: the first is a zigzag varint, the second a zigzag
+//     varint delta, and every later one a zigzag varint
+//     delta-of-delta — ticks arrive at a near-constant period, so the
+//     double delta is almost always 0 or ±1 and costs one byte;
+//   - values: the first is a zigzag varint, the second a zigzag varint
+//     delta, and every later one a zigzag varint delta-of-delta — the
+//     integer analogue of Gorilla's XOR float packing. Cumulative
+//     counters grow by a near-constant amount per tick, so the double
+//     delta is again small.
+//
+// A block is mutable only through append; once sealed (capacity
+// reached) it is immutable and may be read without any lock by anyone
+// holding a reference.
+type block struct {
+	buf []byte
+	n   int // samples encoded
+
+	minTS, maxTS int64 // inclusive sample time range
+
+	// Encoder state for the next append.
+	lastTS, lastTSDelta int64
+	lastV, lastVDelta   int64
+}
+
+// appendSample encodes one sample. Timestamps must be non-decreasing;
+// the caller (series.append) enforces ordering.
+func (b *block) appendSample(ts, v int64) {
+	switch b.n {
+	case 0:
+		b.buf = appendZigzag(b.buf, ts)
+		b.buf = appendZigzag(b.buf, v)
+		b.minTS = ts
+	case 1:
+		b.lastTSDelta = ts - b.lastTS
+		b.lastVDelta = v - b.lastV
+		b.buf = appendZigzag(b.buf, b.lastTSDelta)
+		b.buf = appendZigzag(b.buf, b.lastVDelta)
+	default:
+		tsDelta := ts - b.lastTS
+		vDelta := v - b.lastV
+		b.buf = appendZigzag(b.buf, tsDelta-b.lastTSDelta)
+		b.buf = appendZigzag(b.buf, vDelta-b.lastVDelta)
+		b.lastTSDelta = tsDelta
+		b.lastVDelta = vDelta
+	}
+	b.lastTS, b.lastV = ts, v
+	b.maxTS = ts
+	b.n++
+}
+
+// bytes reports the block's memory footprint for the store's budget
+// accounting: the backing array, not just the encoded length, since
+// that is what the heap actually holds.
+func (b *block) bytes() int64 { return int64(cap(b.buf)) + blockOverhead }
+
+// blockOverhead approximates the fixed per-block header cost (struct
+// fields + slice header) charged against the memory budget.
+const blockOverhead = 96
+
+// blockIter decodes a block sequentially. Decoding state mirrors the
+// encoder exactly; a sealed block can be iterated concurrently by any
+// number of iterators.
+type blockIter struct {
+	buf []byte
+	n   int // samples remaining
+	i   int // decoded so far
+
+	ts, tsDelta int64
+	v, vDelta   int64
+}
+
+func (b *block) iter() blockIter {
+	return blockIter{buf: b.buf, n: b.n}
+}
+
+// next returns the next sample; ok is false when the block is
+// exhausted.
+func (it *blockIter) next() (ts, v int64, ok bool) {
+	if it.i >= it.n {
+		return 0, 0, false
+	}
+	switch it.i {
+	case 0:
+		it.ts = it.readZigzag()
+		it.v = it.readZigzag()
+	case 1:
+		it.tsDelta = it.readZigzag()
+		it.vDelta = it.readZigzag()
+		it.ts += it.tsDelta
+		it.v += it.vDelta
+	default:
+		it.tsDelta += it.readZigzag()
+		it.vDelta += it.readZigzag()
+		it.ts += it.tsDelta
+		it.v += it.vDelta
+	}
+	it.i++
+	return it.ts, it.v, true
+}
+
+func (it *blockIter) readZigzag() int64 {
+	u, n := binary.Uvarint(it.buf)
+	it.buf = it.buf[n:]
+	return unzigzag(u)
+}
+
+func appendZigzag(dst []byte, v int64) []byte {
+	return binary.AppendUvarint(dst, zigzag(v))
+}
+
+// zigzag maps signed to unsigned so small negatives stay small on the
+// varint wire: 0,-1,1,-2,2 → 0,1,2,3,4.
+func zigzag(v int64) uint64  { return uint64((v << 1) ^ (v >> 63)) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }

@@ -1,0 +1,183 @@
+package tsdb
+
+import "sort"
+
+// Query selects a downsampled range of one session's series.
+//
+// Window semantics: the output is a sequence of buckets on the
+// absolute step grid (Start is a multiple of Step). Every window W
+// with W+Step > From and W < To is eligible, and an eligible window
+// aggregates ALL raw samples whose timestamp floors into it — i.e.
+// From/To select windows, and a window is always aggregated whole.
+// Grid alignment is what lets a window be answered exactly from
+// pre-computed rollup buckets whose width divides Step.
+type Query struct {
+	Events []string // event filter; nil selects every series of the session
+	From   int64    // µs, inclusive (window-aligned down)
+	To     int64    // µs, exclusive
+	Step   int64    // output window width in µs; 0 returns raw samples
+}
+
+// Series is one event's query result.
+type Series struct {
+	Event   string   `json:"event"`
+	Width   int64    `json:"width"`   // source resolution used: 0 = raw decode
+	Buckets []Bucket `json:"buckets"` // time order; empty windows omitted
+}
+
+// Query answers q against one session's series. Results are sorted by
+// event name; windows with no samples are omitted.
+func (s *Store) Query(session uint64, q Query) []Series {
+	events := q.Events
+	if len(events) == 0 {
+		events = s.sessionEvents(session)
+	}
+	out := make([]Series, 0, len(events))
+	for _, ev := range events {
+		if sr, ok := s.querySeries(SeriesKey{Session: session, Event: ev}, q); ok {
+			out = append(out, sr)
+		}
+	}
+	return out
+}
+
+// sessionEvents lists the session's series names, sorted.
+func (s *Store) sessionEvents(session uint64) []string {
+	var names []string
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for key := range sh.m {
+			if key.Session == session {
+				names = append(names, key.Event)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	sort.Strings(names)
+	return names
+}
+
+// pickWidth chooses the coarsest rollup width that divides step; 0
+// means decode raw samples.
+func (s *Store) pickWidth(step int64) int64 {
+	var best int64
+	for _, w := range s.widths {
+		if w <= step && step%w == 0 && w > best {
+			best = w
+		}
+	}
+	return best
+}
+
+func (s *Store) querySeries(key SeriesKey, q Query) (Series, bool) {
+	if q.To <= q.From {
+		return Series{}, false
+	}
+	sh := s.shardFor(key)
+
+	if q.Step <= 0 {
+		// Raw samples, no windowing.
+		sealed, active, ok := s.snapshotBlocks(sh, key, q.From, q.To)
+		if !ok {
+			return Series{}, false
+		}
+		bks := rawBuckets(sealed, active, q.From, q.To)
+		if len(bks) == 0 {
+			return Series{}, false
+		}
+		return Series{Event: key.Event, Buckets: bks}, true
+	}
+
+	effFrom := q.From - mod(q.From, q.Step) // align the first window down
+	effTo := q.To + (q.Step-mod(q.To, q.Step))%q.Step // align the last window up:
+	// a window starting before To is aggregated whole, even past To
+	if effTo < q.To { // alignment overflowed (To near MaxInt64)
+		effTo = 1<<63 - 1
+	}
+	width := s.pickWidth(q.Step)
+
+	var src []Bucket
+	if width > 0 {
+		sh.mu.Lock()
+		sr := sh.m[key]
+		if sr == nil {
+			sh.mu.Unlock()
+			return Series{}, false
+		}
+		for i := range sr.levels {
+			if sr.levels[i].width == width {
+				src = sr.levels[i].snapshotRange(effFrom, effTo)
+				break
+			}
+		}
+		sh.mu.Unlock()
+	} else {
+		sealed, active, ok := s.snapshotBlocks(sh, key, effFrom, effTo)
+		if !ok {
+			return Series{}, false
+		}
+		src = rawBuckets(sealed, active, effFrom, effTo)
+	}
+	if len(src) == 0 {
+		return Series{}, false
+	}
+
+	// Fold grid-aligned source buckets into step windows. Source
+	// buckets arrive in time order and each lies wholly inside one
+	// window, so this is a single merge pass.
+	var out []Bucket
+	for _, bk := range src {
+		w := bk.Start - mod(bk.Start, q.Step)
+		if w < effFrom || w >= q.To {
+			continue
+		}
+		if n := len(out); n > 0 && out[n-1].Start == w {
+			out[n-1].mergeBucket(bk)
+		} else {
+			win := Bucket{Start: w}
+			win.mergeBucket(bk)
+			out = append(out, win)
+		}
+	}
+	if len(out) == 0 {
+		return Series{}, false
+	}
+	return Series{Event: key.Event, Width: width, Buckets: out}, true
+}
+
+// snapshotBlocks captures, under the shard lock, immutable refs to the
+// sealed blocks overlapping [from, to) plus a copy of the active block
+// — decoding then happens lock-free.
+func (s *Store) snapshotBlocks(sh *storeShard, key SeriesKey, from, to int64) (sealed []*block, active *block, ok bool) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sr := sh.m[key]
+	if sr == nil {
+		return nil, nil, false
+	}
+	for _, b := range sr.sealed {
+		if b.maxTS >= from && b.minTS < to {
+			sealed = append(sealed, b)
+		}
+	}
+	if a := sr.active; a != nil && a.n > 0 && a.maxTS >= from && a.minTS < to {
+		active = &block{
+			buf:   append([]byte(nil), a.buf...),
+			n:     a.n,
+			minTS: a.minTS,
+			maxTS: a.maxTS,
+		}
+	}
+	return sealed, active, true
+}
+
+// mod is a floor modulo for window alignment that behaves for negative
+// timestamps too.
+func mod(v, m int64) int64 {
+	r := v % m
+	if r < 0 {
+		r += m
+	}
+	return r
+}

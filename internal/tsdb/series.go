@@ -1,0 +1,132 @@
+package tsdb
+
+// series holds one (session, event) stream: an active append block,
+// the time-ordered ring of sealed blocks behind it, and one rollupLevel
+// per configured resolution. All mutation happens under the owning
+// shard's lock; sealed blocks are immutable and safe to decode after
+// the lock is released.
+type series struct {
+	key     SeriesKey
+	active  *block
+	sealed  []*block
+	levels  []rollupLevel
+	lastTS  int64
+	samples uint64
+}
+
+func newSeries(key SeriesKey, widths []int64) *series {
+	sr := &series{key: key, levels: make([]rollupLevel, len(widths))}
+	for i, w := range widths {
+		sr.levels[i].width = w
+	}
+	return sr
+}
+
+// append adds one sample, sealing the active block at blockSamples. It
+// returns the change in the series' budget charge. Timestamps are
+// monotonized: a sample older than the last one is clamped forward, so
+// a clock step backwards degrades resolution instead of corrupting the
+// delta chain.
+func (sr *series) append(ts, v int64, blockSamples int) (deltaBytes int64) {
+	if sr.samples > 0 && ts < sr.lastTS {
+		ts = sr.lastTS
+	}
+	before := sr.bytes()
+	if sr.active == nil {
+		sr.active = &block{}
+	}
+	sr.active.appendSample(ts, v)
+	if sr.active.n >= blockSamples {
+		sr.sealed = append(sr.sealed, sr.active)
+		sr.active = nil
+	}
+	for i := range sr.levels {
+		sr.levels[i].append(ts, v)
+	}
+	sr.lastTS = ts
+	sr.samples++
+	return sr.bytes() - before
+}
+
+// bytes is the series' total budget charge.
+func (sr *series) bytes() int64 {
+	var n int64
+	if sr.active != nil {
+		n += sr.active.bytes()
+	}
+	for _, b := range sr.sealed {
+		n += b.bytes()
+	}
+	for i := range sr.levels {
+		n += sr.levels[i].bytes()
+	}
+	return n
+}
+
+// oldestSealedTS returns the minimum timestamp of the oldest sealed
+// block, or ok=false when none exists.
+func (sr *series) oldestSealedTS() (int64, bool) {
+	if len(sr.sealed) == 0 {
+		return 0, false
+	}
+	return sr.sealed[0].minTS, true
+}
+
+// evictOldestSealed drops the oldest sealed block, returning the bytes
+// freed.
+func (sr *series) evictOldestSealed() int64 {
+	if len(sr.sealed) == 0 {
+		return 0
+	}
+	freed := sr.sealed[0].bytes()
+	sr.sealed = append(sr.sealed[:0:0], sr.sealed[1:]...)
+	return freed
+}
+
+// evictExpired drops raw blocks and rollup buckets that end at or
+// before cutoff. It returns bytes freed and the number of eviction
+// events (each dropped block, and each level that lost buckets).
+func (sr *series) evictExpired(cutoff int64) (freed int64, events uint64) {
+	for len(sr.sealed) > 0 && sr.sealed[0].maxTS < cutoff {
+		freed += sr.evictOldestSealed()
+		events++
+	}
+	for i := range sr.levels {
+		before := sr.levels[i].bytes()
+		if sr.levels[i].evictBefore(cutoff) > 0 {
+			freed += before - sr.levels[i].bytes()
+			events++
+		}
+	}
+	return freed, events
+}
+
+// rawBuckets decodes the raw samples in [from, to) into single-sample
+// buckets. sealedRefs and activeCopy come from snapshotBlocks, so no
+// lock is held while decoding.
+func rawBuckets(sealedRefs []*block, activeCopy *block, from, to int64) []Bucket {
+	var out []Bucket
+	scan := func(b *block) {
+		if b.n == 0 || b.maxTS < from || b.minTS >= to {
+			return
+		}
+		it := b.iter()
+		for {
+			ts, v, ok := it.next()
+			if !ok || ts >= to {
+				return
+			}
+			if ts < from {
+				continue
+			}
+			out = append(out, Bucket{Start: ts, Count: 1, Min: v, Max: v, Sum: v, Last: v})
+		}
+	}
+	for _, b := range sealedRefs {
+		scan(b)
+	}
+	if activeCopy != nil {
+		scan(activeCopy)
+	}
+	return out
+}

@@ -1,0 +1,273 @@
+// Package tsdb is an embedded, dependency-free time-series store for
+// counter samples — the layer that turns papid from a live fan-out
+// service into an observability backend with history. The paper's
+// end-user tools (perfometer §2, hpcview §3) exist to look at counter
+// data over time; tsdb is where that time axis lives.
+//
+// Design, in one paragraph: each (session, event) pair is a series;
+// samples append into Gorilla-style compressed blocks (delta-of-delta
+// timestamps, double-delta zigzag-varint values — see block.go) that
+// seal at a fixed sample count and form a time-ordered ring; every
+// append also folds into pre-computed rollup levels (default 10s and
+// 60s windows of min/max/sum/count/last), so a long-range query reads
+// O(points returned) pre-aggregated buckets instead of decoding
+// O(points stored) raw samples. A fixed byte budget is enforced by
+// evicting the globally oldest sealed block (ring-buffer semantics),
+// and a retention age expires both raw blocks and rollup buckets.
+package tsdb
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SeriesKey identifies one series: a papid session plus one of its
+// event names.
+type SeriesKey struct {
+	Session uint64
+	Event   string
+}
+
+// Config parameterizes a Store; the zero value selects the defaults.
+type Config struct {
+	// MaxBytes bounds the store's total memory charge (blocks + rollup
+	// buckets). Default 8 MiB.
+	MaxBytes int64
+	// MaxAge expires samples older than this relative to the series'
+	// newest timestamp (and to Sweep's now). Default 15 minutes;
+	// negative disables age-based retention.
+	MaxAge time.Duration
+	// BlockSamples is the sealing threshold per block. Default 512.
+	BlockSamples int
+	// Rollups lists the pre-computed downsampling widths, finest first.
+	// Default {10s, 60s}.
+	Rollups []time.Duration
+}
+
+func (c *Config) fill() {
+	if c.MaxBytes <= 0 {
+		c.MaxBytes = 8 << 20
+	}
+	if c.MaxAge == 0 {
+		c.MaxAge = 15 * time.Minute
+	}
+	if c.BlockSamples <= 0 {
+		c.BlockSamples = 512
+	}
+	if c.Rollups == nil {
+		c.Rollups = []time.Duration{10 * time.Second, time.Minute}
+	}
+}
+
+// Stats is a point-in-time view of the store.
+type Stats struct {
+	Bytes     int64  // current budget charge
+	Series    int    // live series count
+	Samples   uint64 // samples ever appended
+	Evictions uint64 // eviction events (budget + retention)
+}
+
+const storeShards = 16
+
+// Store is the embedded time-series database. All methods are safe for
+// concurrent use.
+type Store struct {
+	cfg    Config
+	widths []int64 // rollup widths in µs, ascending
+
+	shards [storeShards]storeShard
+
+	bytes     atomic.Int64
+	samples   atomic.Uint64
+	evictions atomic.Uint64
+
+	// evictMu serializes budget-eviction scans so concurrent appenders
+	// don't stampede the same candidate.
+	evictMu sync.Mutex
+}
+
+type storeShard struct {
+	mu sync.Mutex
+	m  map[SeriesKey]*series
+}
+
+// New builds a Store.
+func New(cfg Config) *Store {
+	cfg.fill()
+	s := &Store{cfg: cfg}
+	s.widths = make([]int64, len(cfg.Rollups))
+	for i, d := range cfg.Rollups {
+		s.widths[i] = d.Microseconds()
+	}
+	for i := range s.shards {
+		s.shards[i].m = make(map[SeriesKey]*series)
+	}
+	return s
+}
+
+func (s *Store) shardFor(key SeriesKey) *storeShard {
+	h := key.Session*0x9e3779b97f4a7c15 + 1
+	for i := 0; i < len(key.Event); i++ {
+		h = (h ^ uint64(key.Event[i])) * 0x100000001b3
+	}
+	return &s.shards[(h>>32)%storeShards]
+}
+
+// Append records one sample (timestamp in µs) for the series.
+func (s *Store) Append(session uint64, event string, ts, v int64) {
+	key := SeriesKey{Session: session, Event: event}
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	sr := sh.m[key]
+	if sr == nil {
+		sr = newSeries(key, s.widths)
+		sh.m[key] = sr
+	}
+	delta := sr.append(ts, v, s.cfg.BlockSamples)
+	if s.cfg.MaxAge > 0 {
+		freed, events := sr.evictExpired(ts - s.cfg.MaxAge.Microseconds())
+		delta -= freed
+		s.evictions.Add(events)
+	}
+	sh.mu.Unlock()
+	s.samples.Add(1)
+	if s.bytes.Add(delta) > s.cfg.MaxBytes {
+		s.evictToBudget()
+	}
+}
+
+// AppendRow records one timestamp's values for several events of one
+// session — papid's per-tick shape.
+func (s *Store) AppendRow(session uint64, ts int64, events []string, vals []int64) {
+	n := len(events)
+	if len(vals) < n {
+		n = len(vals)
+	}
+	for i := 0; i < n; i++ {
+		s.Append(session, events[i], ts, vals[i])
+	}
+}
+
+// evictToBudget drops globally-oldest sealed blocks until the store is
+// back under MaxBytes. If no sealed block exists anywhere (pathological
+// budgets), the oldest series' active block is sealed and dropped so
+// the loop always terminates.
+func (s *Store) evictToBudget() {
+	s.evictMu.Lock()
+	defer s.evictMu.Unlock()
+	for s.bytes.Load() > s.cfg.MaxBytes {
+		var (
+			victimShard *storeShard
+			victimKey   SeriesKey
+			oldest      int64
+			found       bool
+		)
+		for i := range s.shards {
+			sh := &s.shards[i]
+			sh.mu.Lock()
+			for key, sr := range sh.m {
+				if ts, ok := sr.oldestSealedTS(); ok && (!found || ts < oldest) {
+					victimShard, victimKey, oldest, found = sh, key, ts, true
+				}
+			}
+			sh.mu.Unlock()
+		}
+		if !found {
+			if !s.sealOldestActive() {
+				return // nothing evictable; give up rather than spin
+			}
+			continue
+		}
+		victimShard.mu.Lock()
+		if sr := victimShard.m[victimKey]; sr != nil {
+			if freed := sr.evictOldestSealed(); freed > 0 {
+				s.bytes.Add(-freed)
+				s.evictions.Add(1)
+			}
+		}
+		victimShard.mu.Unlock()
+	}
+}
+
+// sealOldestActive force-seals the active block of the series with the
+// oldest data so evictToBudget has a victim. Reports whether anything
+// was sealed.
+func (s *Store) sealOldestActive() bool {
+	var (
+		victimShard *storeShard
+		victimKey   SeriesKey
+		oldest      int64
+		found       bool
+	)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for key, sr := range sh.m {
+			if sr.active != nil && sr.active.n > 0 && (!found || sr.active.minTS < oldest) {
+				victimShard, victimKey, oldest, found = sh, key, sr.active.minTS, true
+			}
+		}
+		sh.mu.Unlock()
+	}
+	if !found {
+		return false
+	}
+	victimShard.mu.Lock()
+	defer victimShard.mu.Unlock()
+	sr := victimShard.m[victimKey]
+	if sr == nil || sr.active == nil || sr.active.n == 0 {
+		return false
+	}
+	sr.sealed = append(sr.sealed, sr.active)
+	sr.active = nil
+	return true
+}
+
+// Sweep applies age-based retention across every series relative to
+// now (µs). papid calls this from its tick loop so series of finished
+// sessions still expire.
+func (s *Store) Sweep(now int64) {
+	if s.cfg.MaxAge <= 0 {
+		return
+	}
+	cutoff := now - s.cfg.MaxAge.Microseconds()
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for key, sr := range sh.m {
+			if sr.active != nil && sr.active.maxTS < cutoff {
+				// A finished session stops appending, so its last
+				// partial block would otherwise never seal or expire.
+				sr.sealed = append(sr.sealed, sr.active)
+				sr.active = nil
+			}
+			freed, events := sr.evictExpired(cutoff)
+			s.bytes.Add(-freed)
+			s.evictions.Add(events)
+			if sr.samples > 0 && sr.lastTS < cutoff && sr.active == nil &&
+				len(sr.sealed) == 0 {
+				// Fully expired: drop the series itself.
+				s.bytes.Add(-sr.bytes())
+				delete(sh.m, key)
+			}
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// Stats returns current counters.
+func (s *Store) Stats() Stats {
+	n := 0
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+		n += len(s.shards[i].m)
+		s.shards[i].mu.Unlock()
+	}
+	return Stats{
+		Bytes:     s.bytes.Load(),
+		Series:    n,
+		Samples:   s.samples.Load(),
+		Evictions: s.evictions.Load(),
+	}
+}

@@ -1,0 +1,278 @@
+package tsdb
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+type sample struct{ ts, v int64 }
+
+// bruteQuery is the reference implementation of Query's window
+// semantics over an uncompressed sample log: every window on the
+// absolute Step grid overlapping [from, to) aggregates all samples
+// flooring into it.
+func bruteQuery(samples []sample, from, to, step int64) []Bucket {
+	effFrom := from - mod(from, step)
+	var out []Bucket
+	for _, s := range samples {
+		w := s.ts - mod(s.ts, step)
+		if w < effFrom || w >= to {
+			continue
+		}
+		if n := len(out); n > 0 && out[n-1].Start == w {
+			out[n-1].merge(s.v)
+		} else {
+			bk := Bucket{Start: w}
+			bk.merge(s.v)
+			out = append(out, bk)
+		}
+	}
+	return out
+}
+
+func sameBuckets(t *testing.T, label string, got, want []Bucket) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d buckets, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		g, w := got[i], want[i]
+		if g != w {
+			t.Fatalf("%s: bucket %d = %+v, want %+v", label, i, g, w)
+		}
+	}
+}
+
+// genCounter builds a deterministic cumulative-counter stream: n ticks
+// of period µs with jitter, near-constant increments with occasional
+// bursts — the shape papid actually produces.
+func genCounter(n int, period int64, seed int64) []sample {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]sample, n)
+	ts, v := int64(0), int64(0)
+	for i := range out {
+		ts += period + rng.Int63n(7)
+		inc := 10_000 + rng.Int63n(997)
+		if rng.Intn(100) == 0 {
+			inc *= 50 // burst
+		}
+		v += inc
+		out[i] = sample{ts, v}
+	}
+	return out
+}
+
+// TestQueryAgainstBruteForce100k is the acceptance gate: a series fed
+// 100k ticks answers QUERY with exactly the brute-force
+// min/max/sum/count at every rollup level (raw, 10s, 60s) and at steps
+// that aggregate rollup buckets further.
+func TestQueryAgainstBruteForce100k(t *testing.T) {
+	const nTicks = 100_000
+	const period = 10_000 // 10ms ticks → ~1000s of data
+	st := New(Config{
+		MaxBytes: 64 << 20, // roomy: this test checks correctness, not eviction
+		MaxAge:   -1,
+	})
+	samples := genCounter(nTicks, period, 42)
+	for _, s := range samples {
+		st.Append(7, "PAPI_TOT_CYC", s.ts, s.v)
+	}
+	if got := st.Stats().Samples; got != nTicks {
+		t.Fatalf("store holds %d samples, want %d", got, nTicks)
+	}
+
+	from, to := samples[0].ts, samples[len(samples)-1].ts+1
+	steps := []struct {
+		name      string
+		step      int64
+		wantWidth int64
+	}{
+		{"raw-5ms", 5_000, 0},                 // finer than any rollup → raw decode
+		{"raw-35ms", 35_000, 0},               // no rollup divides it → raw decode
+		{"rollup-10s", 10_000_000, 10_000_000},
+		{"rollup-30s", 30_000_000, 10_000_000}, // 3 × 10s buckets per window
+		{"rollup-60s", 60_000_000, 60_000_000},
+		{"rollup-5m", 300_000_000, 60_000_000}, // 5 × 60s buckets per window
+	}
+	for _, tc := range steps {
+		res := st.Query(7, Query{From: from, To: to, Step: tc.step})
+		if len(res) != 1 || res[0].Event != "PAPI_TOT_CYC" {
+			t.Fatalf("%s: got %d series", tc.name, len(res))
+		}
+		if res[0].Width != tc.wantWidth {
+			t.Errorf("%s: answered from width %d, want %d", tc.name, res[0].Width, tc.wantWidth)
+		}
+		sameBuckets(t, tc.name, res[0].Buckets, bruteQuery(samples, from, to, tc.step))
+	}
+
+	// Sub-range query: a one-minute slice out of the middle.
+	mid := samples[nTicks/2].ts
+	res := st.Query(7, Query{From: mid, To: mid + 60_000_000, Step: 10_000_000})
+	sameBuckets(t, "mid-slice", res[0].Buckets,
+		bruteQuery(samples, mid, mid+60_000_000, 10_000_000))
+
+	// Step 0 returns the raw samples themselves.
+	lo, hi := samples[100].ts, samples[300].ts+1
+	raw := st.Query(7, Query{From: lo, To: hi, Step: 0})
+	if len(raw) != 1 || len(raw[0].Buckets) != 201 {
+		t.Fatalf("raw query returned %d series / %d points, want 201 points",
+			len(raw), len(raw[0].Buckets))
+	}
+	for i, bk := range raw[0].Buckets {
+		s := samples[100+i]
+		if bk.Start != s.ts || bk.Last != s.v || bk.Count != 1 {
+			t.Fatalf("raw point %d = %+v, want ts=%d v=%d", i, bk, s.ts, s.v)
+		}
+	}
+}
+
+// TestEvictionBudget verifies the fixed memory budget: 100k ticks into
+// a 48 KiB store must evict, stay under budget, keep the newest raw
+// data intact, and keep rollups answering the full range.
+func TestEvictionBudget(t *testing.T) {
+	const nTicks = 100_000
+	const budget = 48 << 10
+	st := New(Config{MaxBytes: budget, MaxAge: -1})
+	samples := genCounter(nTicks, 10_000, 99)
+	for _, s := range samples {
+		st.Append(1, "PAPI_FP_OPS", s.ts, s.v)
+	}
+	stats := st.Stats()
+	if stats.Bytes > budget {
+		t.Errorf("store holds %d bytes, budget %d", stats.Bytes, budget)
+	}
+	if stats.Evictions == 0 {
+		t.Error("no evictions despite a budget 100x smaller than the data")
+	}
+
+	// Raw data must survive as a contiguous suffix of the stream.
+	from, to := samples[0].ts, samples[len(samples)-1].ts+1
+	raw := st.Query(1, Query{From: from, To: to, Step: 0})
+	if len(raw) != 1 || len(raw[0].Buckets) == 0 {
+		t.Fatal("no raw data retained")
+	}
+	got := raw[0].Buckets
+	off := len(samples) - len(got)
+	if off <= 0 {
+		t.Fatalf("retained %d raw points out of %d without evicting", len(got), len(samples))
+	}
+	for i, bk := range got {
+		s := samples[off+i]
+		if bk.Start != s.ts || bk.Last != s.v {
+			t.Fatalf("retained point %d = %+v, want ts=%d v=%d (suffix broken)",
+				i, bk, s.ts, s.v)
+		}
+	}
+
+	// Rollups are evicted only by age, so a 60s-step query still
+	// answers the whole range exactly.
+	res := st.Query(1, Query{From: from, To: to, Step: 60_000_000})
+	sameBuckets(t, "rollup-after-evict", res[0].Buckets,
+		bruteQuery(samples, from, to, 60_000_000))
+}
+
+// TestRetentionAge verifies age-based expiry on both append and Sweep.
+func TestRetentionAge(t *testing.T) {
+	st := New(Config{MaxBytes: 64 << 20, MaxAge: time.Second})
+	// 3 seconds of 1ms ticks; retention 1s.
+	samples := genCounter(3000, 1000, 5)
+	for _, s := range samples {
+		st.Append(2, "PAPI_TOT_INS", s.ts, s.v)
+	}
+	last := samples[len(samples)-1].ts
+	cutoff := last - time.Second.Microseconds()
+	raw := st.Query(2, Query{From: 0, To: last + 1, Step: 0})
+	if len(raw) == 0 {
+		t.Fatal("no raw data retained")
+	}
+	first := raw[0].Buckets[0].Start
+	// Sealed blocks expire only when their whole range is past the
+	// cutoff, so the oldest retained sample may precede the cutoff by
+	// up to one block; it must never precede it by more.
+	blockSpan := int64(512) * 1100 // BlockSamples × max tick period
+	if first < cutoff-blockSpan {
+		t.Errorf("oldest retained sample %d is more than a block before cutoff %d", first, cutoff)
+	}
+	if st.Stats().Evictions == 0 {
+		t.Error("no age evictions after 3x the retention window")
+	}
+
+	// A Sweep far in the future drops everything, series included.
+	st.Sweep(last + 10*time.Second.Microseconds())
+	if stats := st.Stats(); stats.Series != 0 {
+		t.Errorf("%d series survive a sweep past retention", stats.Series)
+	}
+	if res := st.Query(2, Query{From: 0, To: last + 1, Step: 0}); len(res) != 0 {
+		t.Error("swept series still answers queries")
+	}
+}
+
+// TestMultiSeries checks session/event addressing: AppendRow fans one
+// tick into per-event series, queries filter and sort, and sessions
+// are isolated.
+func TestMultiSeries(t *testing.T) {
+	st := New(Config{MaxAge: -1})
+	events := []string{"PAPI_TOT_CYC", "PAPI_FP_OPS"}
+	for i := int64(1); i <= 100; i++ {
+		st.AppendRow(1, i*1000, events, []int64{i * 10, i * 3})
+		st.AppendRow(2, i*1000, events[:1], []int64{i * 7})
+	}
+	if got := st.Stats().Series; got != 3 {
+		t.Fatalf("%d series, want 3", got)
+	}
+	// Unfiltered query returns both events sorted by name.
+	res := st.Query(1, Query{From: 0, To: 200_000, Step: 0})
+	if len(res) != 2 || res[0].Event != "PAPI_FP_OPS" || res[1].Event != "PAPI_TOT_CYC" {
+		t.Fatalf("unfiltered query: %+v", res)
+	}
+	// Filtered query returns only the named event.
+	res = st.Query(1, Query{Events: []string{"PAPI_TOT_CYC"}, From: 0, To: 200_000, Step: 0})
+	if len(res) != 1 || res[0].Event != "PAPI_TOT_CYC" || res[0].Buckets[99].Last != 1000 {
+		t.Fatalf("filtered query: %+v", res)
+	}
+	// Sessions don't bleed into each other.
+	res = st.Query(2, Query{From: 0, To: 200_000, Step: 0})
+	if len(res) != 1 || res[0].Buckets[0].Last != 7 {
+		t.Fatalf("session-2 query: %+v", res)
+	}
+	if res := st.Query(3, Query{From: 0, To: 200_000, Step: 0}); len(res) != 0 {
+		t.Errorf("unknown session answered %d series", len(res))
+	}
+}
+
+// TestOutOfOrderClamp: a timestamp stepping backwards is clamped, not
+// corrupted.
+func TestOutOfOrderClamp(t *testing.T) {
+	st := New(Config{MaxAge: -1})
+	st.Append(1, "E", 1000, 1)
+	st.Append(1, "E", 2000, 2)
+	st.Append(1, "E", 500, 3) // clock stepped back
+	res := st.Query(1, Query{From: 0, To: 10_000, Step: 0})
+	bks := res[0].Buckets
+	if len(bks) != 3 || bks[2].Start != 2000 || bks[2].Last != 3 {
+		t.Fatalf("clamped append: %+v", bks)
+	}
+}
+
+// TestConcurrentAppendQuery races appenders against queriers and
+// sweeps; run under -race this is the store's data-race gate.
+func TestConcurrentAppendQuery(t *testing.T) {
+	st := New(Config{MaxBytes: 256 << 10, MaxAge: -1, BlockSamples: 64})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := int64(0); i < 20_000; i++ {
+			st.Append(uint64(i%4), "PAPI_TOT_CYC", i*1000, i*i)
+		}
+	}()
+	for {
+		select {
+		case <-done:
+			return
+		default:
+			st.Query(uint64(time.Now().UnixNano()%4), Query{From: 0, To: 1 << 40, Step: 10_000_000})
+			st.Stats()
+		}
+	}
+}

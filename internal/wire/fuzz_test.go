@@ -1,0 +1,91 @@
+package wire
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzDecode feeds arbitrary byte streams through the frame decoder.
+// Properties: Decode never panics, every error is either a
+// MalformedFrameError or an io error, and a malformed line never
+// poisons the stream — a well-formed frame appended after the fuzz
+// input must still decode.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte(`{"op":"HELLO"}` + "\n"))
+	f.Add([]byte(`{"op":"CREATE_SESSION","events":["PAPI_TOT_CYC"],"n":8}` + "\n"))
+	f.Add([]byte(`{"op":"QUERY","session":1,"from":0,"to":100,"step":10}` + "\n"))
+	f.Add([]byte(`{"op":"HELLO"`))            // truncated mid-object
+	f.Add([]byte(`{"op":1234}` + "\n"))       // wrong field type
+	f.Add([]byte("not json at all\n"))        // garbage line
+	f.Add([]byte("\n\n\n"))                   // blank lines
+	f.Add([]byte("{}\n{\n}\nnull\n[1,2]\n"))  // mixed shapes
+	f.Add([]byte(`{"values":[9223372036854775807,-1]}` + "\n"))
+	f.Add(bytes.Repeat([]byte(`{"op":"x"}`+"\n"), 64))
+
+	sentinel := `{"op":"AFTER_FUZZ","session":77}` + "\n"
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Ensure the fuzz payload ends at a frame boundary so the
+		// sentinel sits on its own line.
+		stream := append(append([]byte(nil), data...), '\n')
+		stream = append(stream, sentinel...)
+		dec := NewDecoder(bytes.NewReader(stream))
+		sawSentinel := false
+		for i := 0; i < len(stream)+2; i++ { // bounded: one line per iteration
+			var req Request
+			err := dec.Decode(&req)
+			if err == nil {
+				if req.Op == "AFTER_FUZZ" && req.Session == 77 {
+					sawSentinel = true
+				}
+				continue
+			}
+			if IsMalformed(err) {
+				continue // recoverable: keep reading
+			}
+			break // io error / EOF ends the stream
+		}
+		if !sawSentinel {
+			t.Fatalf("valid frame after fuzz input %q never decoded", data)
+		}
+	})
+}
+
+func TestDecodeResyncAfterMalformed(t *testing.T) {
+	input := strings.Join([]string{
+		`{"op":"HELLO","version":2}`,
+		`this is not json`,
+		`{"op":"READ","session":3`,
+		``,
+		`{"op":"BYE"}`,
+	}, "\n") + "\n"
+	dec := NewDecoder(strings.NewReader(input))
+
+	var req Request
+	if err := dec.Decode(&req); err != nil || req.Op != OpHello || req.Version != 2 {
+		t.Fatalf("frame 1: %+v, %v", req, err)
+	}
+	for i := 0; i < 2; i++ {
+		err := dec.Decode(&req)
+		if !IsMalformed(err) {
+			t.Fatalf("malformed frame %d: err = %v, want MalformedFrameError", i, err)
+		}
+	}
+	if err := dec.Decode(&req); err != nil || req.Op != OpBye {
+		t.Fatalf("frame after resync: %+v, %v", req, err)
+	}
+	if err := dec.Decode(&req); !IsEOF(err) {
+		t.Fatalf("end of stream: %v", err)
+	}
+}
+
+func TestDecodeFinalLineWithoutNewline(t *testing.T) {
+	dec := NewDecoder(strings.NewReader(`{"op":"BYE"}`))
+	var req Request
+	if err := dec.Decode(&req); err != nil || req.Op != OpBye {
+		t.Fatalf("unterminated final frame: %+v, %v", req, err)
+	}
+	if err := dec.Decode(&req); !IsEOF(err) {
+		t.Fatalf("after final frame: %v", err)
+	}
+}

@@ -1,5 +1,7 @@
 package wire
 
+import "repro/internal/tsdb"
+
 // The papid protocol: JSON-lines request/response over TCP, one
 // Request per line from the client, one Response per line from the
 // server. A connection that has issued SUBSCRIBE additionally receives
@@ -8,8 +10,8 @@ package wire
 //
 // A typical exchange (client lines prefixed >, server lines <):
 //
-//	> {"op":"HELLO"}
-//	< {"op":"HELLO","ok":true,"protocol":1,"platform":"linux-x86"}
+//	> {"op":"HELLO","version":2}
+//	< {"op":"HELLO","ok":true,"protocol":2,"platform":"linux-x86"}
 //	> {"op":"CREATE_SESSION","platform":"aix-power3","events":["PAPI_FP_INS","PAPI_TOT_CYC"]}
 //	< {"op":"CREATE_SESSION","ok":true,"session":1,"events":["PAPI_FP_INS","PAPI_TOT_CYC"]}
 //	> {"op":"START","session":1}
@@ -23,8 +25,19 @@ package wire
 //	< {"op":"BYE","ok":true}
 
 // ProtocolVersion is echoed in the HELLO response; clients reject
-// servers speaking a different major version.
-const ProtocolVersion = 1
+// servers speaking a different major version. Since version 2 a client
+// may also announce its own version in the HELLO request, and should
+// compare the server's reply against the op-specific minimums below
+// instead of failing on an unknown op.
+//
+// History: 1 = initial papid protocol; 2 = HELLO carries the client
+// version and QUERY serves tsdb history.
+const ProtocolVersion = 2
+
+// MinProtocolQuery is the lowest server protocol that understands
+// OpQuery; QUERY-aware clients check the HELLO reply against it to
+// detect older servers.
+const MinProtocolQuery = 2
 
 // Request operations.
 const (
@@ -37,6 +50,7 @@ const (
 	OpPublish      = "PUBLISH"       // session, values, events?
 	OpStop         = "STOP"          // session
 	OpCloseSession = "CLOSE_SESSION" // session
+	OpQuery        = "QUERY"         // session, events?, from, to, step — tsdb history
 	OpStats        = "STATS"         // no arguments
 	OpBye          = "BYE"           // close the connection
 )
@@ -44,6 +58,12 @@ const (
 // OpSnapshot marks asynchronous fan-out frames pushed to subscribers;
 // it never appears as a request.
 const OpSnapshot = "SNAPSHOT"
+
+// OpError marks server-originated error frames that do not correspond
+// to a decodable request — e.g. the reply to a malformed line. The
+// connection stays open; JSON-lines framing resynchronizes on the next
+// newline.
+const OpError = "ERROR"
 
 // Request is one client frame.
 type Request struct {
@@ -59,6 +79,15 @@ type Request struct {
 	N        int     `json:"n,omitempty"`      // workload size parameter
 	Values   []int64 `json:"values,omitempty"` // PUBLISH payload
 	Label    string  `json:"label,omitempty"`  // optional client name
+	// Version is the client's ProtocolVersion, announced in HELLO so
+	// the server can adapt to older clients (0 means a pre-v2 client).
+	Version int `json:"version,omitempty"`
+	// QUERY range: [From, To) in µs with Step-wide output windows.
+	// Step 0 returns raw samples; see tsdb.Query for the exact window
+	// semantics.
+	From int64 `json:"from,omitempty"`
+	To   int64 `json:"to,omitempty"`
+	Step int64 `json:"step,omitempty"`
 }
 
 // Response is one server frame: the reply to a request (Op echoes the
@@ -76,4 +105,7 @@ type Response struct {
 	Protocol int               `json:"protocol,omitempty"`
 	Source   string            `json:"source,omitempty"` // snapshot origin: "live" or "published"
 	Stats    map[string]uint64 `json:"stats,omitempty"`
+	// Series carries a QUERY reply: one entry per event, each holding
+	// the downsampled min/max/sum/count/last buckets for the range.
+	Series []tsdb.Series `json:"series,omitempty"`
 }

@@ -11,8 +11,10 @@ package wire
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"sync"
 )
@@ -38,19 +40,60 @@ func (e *Encoder) Encode(v any) error {
 	return e.enc.Encode(v)
 }
 
-// Decoder reads newline-delimited JSON frames.
+// Decoder reads newline-delimited JSON frames one line at a time, so a
+// malformed frame poisons only its own line: Decode returns a
+// *MalformedFrameError and the next call resumes at the following
+// newline. This is what lets papid answer garbage with an error frame
+// instead of dropping the connection.
 type Decoder struct {
-	dec *json.Decoder
+	r *bufio.Reader
 }
 
 // NewDecoder returns a Decoder framing from r.
 func NewDecoder(r io.Reader) *Decoder {
-	return &Decoder{dec: json.NewDecoder(bufio.NewReader(r))}
+	return &Decoder{r: bufio.NewReader(r)}
 }
 
-// Decode reads the next frame into v.
+// Decode reads the next frame into v. Blank lines are skipped. A line
+// that is not valid JSON for v yields a *MalformedFrameError; the
+// Decoder remains usable.
 func (d *Decoder) Decode(v any) error {
-	return d.dec.Decode(v)
+	for {
+		line, err := d.r.ReadBytes('\n')
+		frame := bytes.TrimSpace(line)
+		if len(frame) == 0 {
+			if err != nil {
+				return err
+			}
+			continue
+		}
+		if jerr := json.Unmarshal(frame, v); jerr != nil {
+			// A truncated final line (read error before the newline) is
+			// malformed too; surfacing it as such lets servers reply
+			// before the follow-up Decode reports the stream error.
+			return &MalformedFrameError{Err: jerr}
+		}
+		return nil
+	}
+}
+
+// MalformedFrameError reports one undecodable line; the stream itself
+// is still healthy.
+type MalformedFrameError struct {
+	Err error
+}
+
+func (e *MalformedFrameError) Error() string {
+	return fmt.Sprintf("wire: malformed frame: %v", e.Err)
+}
+
+func (e *MalformedFrameError) Unwrap() error { return e.Err }
+
+// IsMalformed reports whether err is a single bad frame on an
+// otherwise healthy stream — recoverable, unlike an io error.
+func IsMalformed(err error) bool {
+	var m *MalformedFrameError
+	return errors.As(err, &m)
 }
 
 // IsEOF reports whether err marks the clean end of a frame stream.

@@ -1,0 +1,10 @@
+#!/bin/sh
+# Regenerate the committed benchmark baselines. Runs the tsdb
+# micro-benchmarks (encode/decode throughput, compression ratio, query
+# latency at 1/8/64 queriers) and the server-level benchmarks (papid
+# READ throughput, QUERY round-trips), writing machine-readable JSON
+# via cmd/benchjson.
+set -eu
+cd "$(dirname "$0")/.."
+go run ./cmd/benchjson -out BENCH_tsdb.json -bench 'TSDB' ./internal/tsdb
+go run ./cmd/benchjson -out BENCH_server.json -bench 'Server' ./internal/server .

@@ -1,0 +1,66 @@
+package perfometer
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/tsdb"
+)
+
+// History mode: instead of watching live ticks, the frontend renders a
+// range queried from papid's embedded time-series store — the viewer a
+// late-attaching tool uses when the interesting phase already happened.
+// The papid QUERY op returns per-event bucket series
+// (min/max/sum/count/last per window, see tsdb.Query); ConsumeHistory
+// folds one such series into the frontend's point stream so the whole
+// live-mode rendering surface (Sparkline, MaxRate, SectionMeanRate)
+// works unchanged on history.
+
+// ConsumeHistory appends a queried series to the frontend as points.
+// Each bucket becomes one point: Total is the counter's last value in
+// the window, Rate the per-second increase since the previous window,
+// and Section the event name — so multi-event history renders like a
+// sectioned live trace. It returns the number of points added.
+func (f *Frontend) ConsumeHistory(sr tsdb.Series) int {
+	var prev *tsdb.Bucket
+	for i := range sr.Buckets {
+		bk := &sr.Buckets[i]
+		var rate float64
+		switch {
+		case prev != nil && bk.Start > prev.Start:
+			rate = float64(bk.Last-prev.Last) / float64(bk.Start-prev.Start) * 1e6
+		case sr.Width > 0 && bk.Count > 1:
+			// First bucket: only the within-window rise is known.
+			rate = float64(bk.Last-bk.Min) / float64(sr.Width) * 1e6
+		}
+		f.Points = append(f.Points, Point{
+			Seq:      len(f.Points),
+			RealUsec: uint64(bk.Start),
+			Total:    bk.Last,
+			Rate:     rate,
+			Section:  sr.Event,
+		})
+		prev = bk
+	}
+	return len(sr.Buckets)
+}
+
+// RenderHistory writes the standard history report for a set of
+// queried series: per-event sparkline, peak and mean rates, and the
+// window count — the terminal stand-in for scrolling back through
+// Figure 2's trace.
+func RenderHistory(w io.Writer, series []tsdb.Series, width int) {
+	for _, sr := range series {
+		f := &Frontend{}
+		f.ConsumeHistory(sr)
+		res := "raw"
+		if sr.Width > 0 {
+			res = fmt.Sprintf("%gs rollup", float64(sr.Width)/1e6)
+		}
+		fmt.Fprintf(w, "%s: %d windows (%s)\n", sr.Event, len(sr.Buckets), res)
+		fmt.Fprintf(w, "  %s\n", f.Sparkline(width))
+		fmt.Fprintf(w, "  peak %.3g M/s, mean %.3g M/s, last total %d\n",
+			f.MaxRate()/1e6, f.SectionMeanRate()[sr.Event]/1e6,
+			sr.Buckets[len(sr.Buckets)-1].Last)
+	}
+}

@@ -1,0 +1,80 @@
+package perfometer
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/tsdb"
+)
+
+func historySeries() tsdb.Series {
+	// A counter rising 1M/s for three 10s windows, then stalling.
+	return tsdb.Series{
+		Event: "PAPI_FP_OPS",
+		Width: 10_000_000,
+		Buckets: []tsdb.Bucket{
+			{Start: 0, Count: 200, Min: 50_000, Max: 10_000_000, Sum: 1e9, Last: 10_000_000},
+			{Start: 10_000_000, Count: 200, Min: 10_050_000, Max: 20_000_000, Sum: 3e9, Last: 20_000_000},
+			{Start: 20_000_000, Count: 200, Min: 20_050_000, Max: 30_000_000, Sum: 5e9, Last: 30_000_000},
+			{Start: 30_000_000, Count: 200, Min: 30_000_000, Max: 30_000_000, Sum: 6e9, Last: 30_000_000},
+		},
+	}
+}
+
+func TestConsumeHistory(t *testing.T) {
+	f := &Frontend{}
+	if n := f.ConsumeHistory(historySeries()); n != 4 {
+		t.Fatalf("consumed %d points, want 4", n)
+	}
+	if len(f.Points) != 4 {
+		t.Fatalf("%d points", len(f.Points))
+	}
+	// Steady windows rate at ~1M/s; the stalled window drops to 0.
+	for i := 1; i <= 2; i++ {
+		if r := f.Points[i].Rate; r < 0.9e6 || r > 1.1e6 {
+			t.Errorf("point %d rate %.0f, want ~1M/s", i, r)
+		}
+	}
+	if r := f.Points[3].Rate; r != 0 {
+		t.Errorf("stalled window rate %.0f, want 0", r)
+	}
+	// First bucket estimates rate from its own rise.
+	if r := f.Points[0].Rate; r < 0.9e6 || r > 1.1e6 {
+		t.Errorf("first-window rate %.0f, want ~1M/s", r)
+	}
+	if f.Points[2].Total != 30_000_000 || f.Points[2].Section != "PAPI_FP_OPS" {
+		t.Errorf("point 2 = %+v", f.Points[2])
+	}
+	// The live-mode surface works on history points.
+	if f.MaxRate() == 0 || f.Sparkline(10) == "" {
+		t.Error("frontend rendering broken on history points")
+	}
+	if secs := f.Sections(); len(secs) != 1 || secs[0] != "PAPI_FP_OPS" {
+		t.Errorf("sections %v", secs)
+	}
+}
+
+func TestRenderHistory(t *testing.T) {
+	var b strings.Builder
+	RenderHistory(&b, []tsdb.Series{historySeries()}, 20)
+	out := b.String()
+	for _, want := range []string{"PAPI_FP_OPS", "4 windows", "10s rollup", "last total 30000000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("history report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestConsumeHistoryRaw(t *testing.T) {
+	f := &Frontend{}
+	f.ConsumeHistory(tsdb.Series{Event: "E", Width: 0, Buckets: []tsdb.Bucket{
+		{Start: 1_000_000, Count: 1, Min: 10, Max: 10, Sum: 10, Last: 10},
+		{Start: 2_000_000, Count: 1, Min: 30, Max: 30, Sum: 30, Last: 30},
+	}})
+	if f.Points[0].Rate != 0 {
+		t.Errorf("first raw point rate %.0f, want 0 (no window to estimate from)", f.Points[0].Rate)
+	}
+	if f.Points[1].Rate != 20 {
+		t.Errorf("raw rate %.0f, want 20/s", f.Points[1].Rate)
+	}
+}
