@@ -39,6 +39,9 @@ func main() {
 	cacheSize := flag.Int("cache", 256, "allocation-cache entries")
 	tick := flag.Duration("tick", 50*time.Millisecond, "snapshot fan-out interval")
 	queue := flag.Int("queue", 32, "per-subscriber queue depth (oldest snapshot dropped when full)")
+	readIdle := flag.Duration("read-idle", 2*time.Minute, "evict a connection idle this long with no subscription (0 disables)")
+	writeTimeout := flag.Duration("write-timeout", 10*time.Second, "per-frame write deadline; a trip evicts the connection (0 disables)")
+	writeQueue := flag.Int("write-queue", 64, "per-connection outbound frame queue depth (snapshots dropped oldest-first when full)")
 	retention := flag.Duration("retention", 15*time.Minute, "history age limit for QUERY (0 keeps until -tsdb-mem evicts)")
 	tsdbMem := flag.Int64("tsdb-mem", 8<<20, "history store memory budget in bytes (0 disables QUERY history)")
 	quiet := flag.Bool("quiet", false, "suppress per-session log lines")
@@ -57,12 +60,22 @@ func main() {
 	if age == 0 {
 		age = -1
 	}
+	idle, wt := *readIdle, *writeTimeout
+	if idle == 0 {
+		idle = -1
+	}
+	if wt == 0 {
+		wt = -1
+	}
 	srv := server.New(server.Config{
 		DefaultPlatform: *platform,
 		Shards:          *shards,
 		CacheSize:       *cacheSize,
 		TickInterval:    *tick,
 		QueueDepth:      *queue,
+		ReadIdleTimeout: idle,
+		WriteTimeout:    wt,
+		WriteQueueDepth: *writeQueue,
 		TSDBMaxBytes:    mem,
 		TSDBRetention:   age,
 		Logf:            logf,
@@ -86,6 +99,8 @@ func main() {
 	st := srv.Stats()
 	log.Printf("papid: %d ticks, %d snapshots sent (%d dropped), alloc cache %.0f%% hits",
 		st.Ticks, st.SnapshotsSent, st.SnapshotsDropped, 100*st.CacheHitRate())
+	log.Printf("papid: %d evictions (%d deadline trips), %d resyncs, %d write drops",
+		st.Evictions, st.DeadlineTrips, st.Resyncs, st.WriteDrops)
 	log.Printf("papid: tsdb %d bytes across %d series, %d samples, %d evictions",
 		st.TSDB.Bytes, st.TSDB.Series, st.TSDB.Samples, st.TSDB.Evictions)
 }

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/server"
 	"repro/internal/wire"
@@ -24,15 +25,16 @@ func main() {
 	n := flag.Int("n", 64, "workload size parameter")
 	multiplex := flag.Bool("multiplex", false, "enable software multiplexing (low-level opt-in)")
 	serve := flag.String("serve", "", "also publish the final snapshot to a running papid at this address")
+	serveTimeout := flag.Duration("serve-timeout", 5*time.Second, "per-request deadline when publishing to papid")
 	flag.Parse()
 
-	if err := run(*platform, *events, *prog, *n, *multiplex, *serve); err != nil {
+	if err := run(*platform, *events, *prog, *n, *multiplex, *serve, *serveTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "papirun:", err)
 		os.Exit(1)
 	}
 }
 
-func run(platform, events, progName string, n int, multiplex bool, serve string) error {
+func run(platform, events, progName string, n int, multiplex bool, serve string, serveTimeout time.Duration) error {
 	sys, err := papi.Init(papi.Options{Platform: platform})
 	if err != nil {
 		return err
@@ -89,7 +91,7 @@ func run(platform, events, progName string, n int, multiplex bool, serve string)
 		fmt.Println("note: counts are multiplexed estimates; ensure the run is long enough to converge")
 	}
 	if serve != "" {
-		if err := publish(serve, platform, names, vals); err != nil {
+		if err := publish(serve, platform, names, vals, serveTimeout); err != nil {
 			return fmt.Errorf("publishing to papid at %s: %w", serve, err)
 		}
 		fmt.Printf("snapshot published to papid at %s\n", serve)
@@ -99,16 +101,18 @@ func run(platform, events, progName string, n int, multiplex bool, serve string)
 
 // publish posts the final counter snapshot into a fresh publish-only
 // papid session, where subscribers (dashboards, other tools) can read
-// it — the one-shot papirun feeding the long-running service.
-func publish(addr, platform string, events []string, vals []int64) error {
-	cl, err := server.Dial(addr)
+// it — the one-shot papirun feeding the long-running service. The
+// reconnecting client retries unreachable dials with backoff and
+// bounds every request, so a dead or wedged papid yields the
+// documented one-line non-zero exit instead of a hang.
+func publish(addr, platform string, events []string, vals []int64, timeout time.Duration) error {
+	cl, err := server.DialReconn(addr, server.RetryConfig{
+		Attempts: 3, Timeout: timeout,
+	})
 	if err != nil {
-		return fmt.Errorf("unreachable: %w", err)
-	}
-	defer cl.Close()
-	if _, err := cl.Hello(); err != nil {
 		return err
 	}
+	defer cl.Close()
 	created, err := cl.Do(wire.Request{Op: wire.OpCreate, Platform: platform,
 		Workload: "none", Label: "papirun"})
 	if err != nil {

@@ -22,12 +22,52 @@ func TestServeUnreachable(t *testing.T) {
 	addr := ln.Addr().String()
 	ln.Close()
 
-	err = run("linux-x86", "PAPI_TOT_CYC", "dot", 8, false, addr)
+	err = run("linux-x86", "PAPI_TOT_CYC", "dot", 8, false, addr, time.Second)
 	if err == nil {
 		t.Fatal("-serve against a dead papid succeeded")
 	}
 	msg := err.Error()
 	if !strings.Contains(msg, "publishing to papid") || !strings.Contains(msg, "unreachable") {
+		t.Errorf("error %q does not name the publish failure", msg)
+	}
+	if strings.Contains(msg, "\n") {
+		t.Errorf("error is not one line: %q", msg)
+	}
+}
+
+// TestServeSilentServer: a papid that accepts the connection but
+// never replies must trip the request deadline and fail with a
+// one-line error — the regression test for the era when Client.Do had
+// no timeout and a dead server hung papirun forever.
+func TestServeSilentServer(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer nc.Close() // accept, then say nothing
+		}
+	}()
+
+	start := time.Now()
+	err = run("linux-x86", "PAPI_TOT_CYC", "dot", 8, false,
+		ln.Addr().String(), 100*time.Millisecond)
+	if err == nil {
+		t.Fatal("-serve against a silent papid succeeded")
+	}
+	// One redial is allowed (the reconnecting client re-tries HELLO),
+	// but the overall failure must arrive promptly, not hang.
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("silent server took %v to fail; request deadline not applied", elapsed)
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "publishing to papid") {
 		t.Errorf("error %q does not name the publish failure", msg)
 	}
 	if strings.Contains(msg, "\n") {
@@ -78,7 +118,7 @@ func rejectingServer(t *testing.T) string {
 // surface the server's reason in a one-line error.
 func TestServeRejectedPublish(t *testing.T) {
 	addr := rejectingServer(t)
-	err := run("linux-x86", "PAPI_TOT_CYC", "dot", 8, false, addr)
+	err := run("linux-x86", "PAPI_TOT_CYC", "dot", 8, false, addr, time.Second)
 	if err == nil {
 		t.Fatal("rejected PUBLISH reported success")
 	}
@@ -105,7 +145,7 @@ func TestServePublishes(t *testing.T) {
 		srv.Shutdown(ctx)
 	})
 
-	if err := run("aix-power3", "PAPI_FP_OPS,PAPI_TOT_CYC", "dot", 8, false, addr.String()); err != nil {
+	if err := run("aix-power3", "PAPI_FP_OPS,PAPI_TOT_CYC", "dot", 8, false, addr.String(), 10*time.Second); err != nil {
 		t.Fatal(err)
 	}
 	st := srv.Stats()

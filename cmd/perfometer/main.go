@@ -36,11 +36,12 @@ func main() {
 	event := flag.String("event", "", "history mode: restrict the query to one event")
 	last := flag.Duration("last", time.Minute, "history mode: how far back to query")
 	step := flag.Duration("step", 10*time.Second, "history mode: output window width")
+	timeout := flag.Duration("timeout", 5*time.Second, "history mode: per-request deadline against papid")
 	flag.Parse()
 
 	var err error
 	if *papid != "" {
-		err = runHistory(*papid, *session, *event, *last, *step, *width)
+		err = runHistory(*papid, *session, *event, *last, *step, *width, *timeout)
 	} else {
 		err = run(*platform, *metric, *traceFile, *width)
 	}
@@ -50,17 +51,17 @@ func main() {
 	}
 }
 
-// runHistory is the -papid mode: handshake, QUERY, render.
-func runHistory(addr string, session uint64, event string, last, step time.Duration, width int) error {
-	cl, err := server.Dial(addr)
+// runHistory is the -papid mode: handshake, QUERY, render. The
+// reconnecting client retries the dial with backoff, bounds every
+// request, and transparently redials (QUERY is idempotent) if the
+// connection drops mid-conversation.
+func runHistory(addr string, session uint64, event string, last, step time.Duration, width int, timeout time.Duration) error {
+	cl, err := server.DialReconn(addr, server.RetryConfig{Timeout: timeout})
 	if err != nil {
 		return fmt.Errorf("dialing papid at %s: %w", addr, err)
 	}
 	defer cl.Close()
-	hello, err := cl.Hello()
-	if err != nil {
-		return fmt.Errorf("papid at %s: %w", addr, err)
-	}
+	hello := cl.Hello()
 	if hello.Protocol < wire.MinProtocolQuery {
 		return fmt.Errorf("papid at %s speaks protocol %d; QUERY needs >= %d (upgrade the server)",
 			addr, hello.Protocol, wire.MinProtocolQuery)

@@ -1,0 +1,266 @@
+// Package faultnet wraps net.Conn and net.Listener with injectable
+// transport faults — latency, chunked (partial) writes, stalls, and
+// mid-frame connection cuts. The paper's position is that a counter
+// interface must fail loudly and predictably rather than silently
+// corrupt results (§3–§4); faultnet is how the papid test suite
+// manufactures the adverse conditions that claim is checked against:
+// half-dead peers, writers reset mid-JSON-frame, readers that stop
+// draining, links that dribble one byte at a time.
+//
+// Faults are deterministic per connection (no hidden randomness): a
+// test states exactly which pathology it injects, so a failure
+// reproduces. Stalls honor the usual SetDeadline contract — a stalled
+// Write under a write deadline returns a net.Error with Timeout()
+// true, exactly like a blocked TCP send — which is what lets papid's
+// deadline-based eviction be tested without filling real kernel
+// buffers.
+package faultnet
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+)
+
+// Faults configures the failure modes injected into one connection.
+// The zero value injects nothing and behaves as the wrapped conn.
+type Faults struct {
+	// WriteLatency sleeps before each underlying write (and between
+	// chunks when ChunkSize splits a write).
+	WriteLatency time.Duration
+	// ReadLatency sleeps before each underlying read.
+	ReadLatency time.Duration
+	// ChunkSize caps the bytes issued per underlying write, splitting
+	// one caller Write into several socket writes — a frame crosses
+	// the wire in pieces, exercising the reader's reassembly.
+	// 0 leaves writes whole.
+	ChunkSize int
+	// CutAfter hard-closes the connection once this many bytes have
+	// been written, possibly mid-frame — the write that crosses the
+	// threshold sends only the bytes below it, then the conn resets.
+	// 0 never cuts.
+	CutAfter int64
+	// StallAfter makes writes block (until Close or the write
+	// deadline) once this many bytes have been written — a peer whose
+	// receive window went to zero. 0 never stalls.
+	StallAfter int64
+	// StallReads makes every read block until Close or the read
+	// deadline — a peer that sends nothing, forever.
+	StallReads bool
+}
+
+// ErrCut is returned by writes after CutAfter severed the connection.
+var ErrCut = errors.New("faultnet: connection cut")
+
+// Conn is a net.Conn with fault injection layered on top.
+type Conn struct {
+	net.Conn
+	f Faults
+
+	mu      sync.Mutex
+	written int64
+	rd, wd  time.Time
+
+	closed   chan struct{}
+	closeOne sync.Once
+}
+
+var _ net.Conn = (*Conn)(nil)
+
+// WrapConn layers f onto nc.
+func WrapConn(nc net.Conn, f Faults) *Conn {
+	return &Conn{Conn: nc, f: f, closed: make(chan struct{})}
+}
+
+// Pipe returns the two ends of an in-memory connection, each with its
+// own fault set — the harness for deterministic protocol tests.
+func Pipe(a, b Faults) (*Conn, *Conn) {
+	ca, cb := net.Pipe()
+	return WrapConn(ca, a), WrapConn(cb, b)
+}
+
+func (c *Conn) Write(p []byte) (int, error) {
+	if err := c.pause(c.f.WriteLatency, c.writeDeadline); err != nil {
+		return 0, err
+	}
+	total := 0
+	for total < len(p) {
+		c.mu.Lock()
+		written := c.written
+		c.mu.Unlock()
+		if c.f.StallAfter > 0 && written >= c.f.StallAfter {
+			return total, c.block(c.writeDeadline)
+		}
+		chunk := p[total:]
+		if c.f.ChunkSize > 0 && len(chunk) > c.f.ChunkSize {
+			chunk = chunk[:c.f.ChunkSize]
+		}
+		if c.f.CutAfter > 0 {
+			remain := c.f.CutAfter - written
+			if remain <= 0 {
+				c.Close()
+				return total, ErrCut
+			}
+			if int64(len(chunk)) > remain {
+				chunk = chunk[:remain]
+			}
+		}
+		n, err := c.Conn.Write(chunk)
+		c.mu.Lock()
+		c.written += int64(n)
+		c.mu.Unlock()
+		total += n
+		if err != nil {
+			return total, err
+		}
+		if total < len(p) {
+			if err := c.pause(c.f.WriteLatency, c.writeDeadline); err != nil {
+				return total, err
+			}
+		}
+	}
+	return total, nil
+}
+
+func (c *Conn) Read(p []byte) (int, error) {
+	if c.f.StallReads {
+		return 0, c.block(c.readDeadline)
+	}
+	if err := c.pause(c.f.ReadLatency, c.readDeadline); err != nil {
+		return 0, err
+	}
+	return c.Conn.Read(p)
+}
+
+// Close unblocks any stalled operation and closes the wrapped conn.
+// It is idempotent.
+func (c *Conn) Close() error {
+	c.closeOne.Do(func() { close(c.closed) })
+	return c.Conn.Close()
+}
+
+// Written reports the bytes that reached the wrapped conn so far.
+func (c *Conn) Written() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.written
+}
+
+func (c *Conn) SetDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.rd, c.wd = t, t
+	c.mu.Unlock()
+	return c.Conn.SetDeadline(t)
+}
+
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.rd = t
+	c.mu.Unlock()
+	return c.Conn.SetReadDeadline(t)
+}
+
+func (c *Conn) SetWriteDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.wd = t
+	c.mu.Unlock()
+	return c.Conn.SetWriteDeadline(t)
+}
+
+func (c *Conn) readDeadline() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rd
+}
+
+func (c *Conn) writeDeadline() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.wd
+}
+
+// block parks the calling op until Close or the deadline captured at
+// entry; a deadline moved while blocked is not observed, matching how
+// the papid server uses deadlines (set immediately before each op).
+func (c *Conn) block(deadline func() time.Time) error {
+	var expire <-chan time.Time
+	if d := deadline(); !d.IsZero() {
+		t := time.NewTimer(time.Until(d))
+		defer t.Stop()
+		expire = t.C
+	}
+	select {
+	case <-c.closed:
+		return net.ErrClosed
+	case <-expire:
+		return timeoutError{}
+	}
+}
+
+// pause sleeps d, cut short by Close or the deadline.
+func (c *Conn) pause(d time.Duration, deadline func() time.Time) error {
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	var expire <-chan time.Time
+	if dl := deadline(); !dl.IsZero() {
+		dt := time.NewTimer(time.Until(dl))
+		defer dt.Stop()
+		expire = dt.C
+	}
+	select {
+	case <-t.C:
+		return nil
+	case <-expire:
+		return timeoutError{}
+	case <-c.closed:
+		return net.ErrClosed
+	}
+}
+
+// timeoutError satisfies net.Error with Timeout() true, the same
+// shape real sockets return on a deadline trip.
+type timeoutError struct{}
+
+var _ net.Error = timeoutError{}
+
+func (timeoutError) Error() string   { return "faultnet: i/o timeout" }
+func (timeoutError) Timeout() bool   { return true }
+func (timeoutError) Temporary() bool { return true }
+
+// Listener wraps a net.Listener so every accepted connection comes
+// back fault-injected. Plan chooses the faults per connection and
+// receives the raw conn first, so a test can also tune the socket
+// itself (e.g. (*net.TCPConn).SetWriteBuffer to make a stalled reader
+// back-pressure quickly).
+type Listener struct {
+	net.Listener
+
+	mu   sync.Mutex
+	n    int
+	plan func(i int, nc net.Conn) Faults
+}
+
+// Wrap layers plan onto ln; a nil plan injects nothing anywhere.
+func Wrap(ln net.Listener, plan func(i int, nc net.Conn) Faults) *Listener {
+	return &Listener{Listener: ln, plan: plan}
+}
+
+func (l *Listener) Accept() (net.Conn, error) {
+	nc, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	i := l.n
+	l.n++
+	l.mu.Unlock()
+	var f Faults
+	if l.plan != nil {
+		f = l.plan(i, nc)
+	}
+	return WrapConn(nc, f), nil
+}

@@ -1,8 +1,12 @@
 package server
 
 import (
+	"errors"
 	"fmt"
+	"math/rand"
 	"net"
+	"sync"
+	"time"
 
 	"repro/internal/wire"
 )
@@ -20,9 +24,18 @@ type Client struct {
 	enc *wire.Encoder
 	dec *wire.Decoder
 
+	// Timeout bounds each Do round-trip (encode + reply). 0 waits
+	// forever — the pre-hardening behavior, where a dead server hangs
+	// the caller instead of producing the documented one-line error.
+	Timeout time.Duration
+
 	// OnSnapshot, when set, receives SNAPSHOT frames that arrive while
 	// Do is waiting for a request's reply.
 	OnSnapshot func(wire.Response)
+
+	mu       sync.Mutex
+	closed   bool
+	firstErr error // first transport failure, re-surfaced by Close
 }
 
 // Dial connects to a papid instance.
@@ -44,15 +57,21 @@ func (c *Client) Hello() (wire.Response, error) {
 }
 
 // Do sends one request and waits for its reply, routing any interleaved
-// snapshots to OnSnapshot. A server-side error becomes a Go error.
+// snapshots to OnSnapshot. A server-side error becomes a Go error; a
+// connection-level failure (including a Timeout trip) becomes a
+// *TransportError.
 func (c *Client) Do(req wire.Request) (wire.Response, error) {
+	if c.Timeout > 0 {
+		c.nc.SetDeadline(time.Now().Add(c.Timeout))
+		defer c.nc.SetDeadline(time.Time{})
+	}
 	if err := c.enc.Encode(&req); err != nil {
-		return wire.Response{}, err
+		return wire.Response{}, c.transportErr(req.Op, err)
 	}
 	for {
 		var resp wire.Response
 		if err := c.dec.Decode(&resp); err != nil {
-			return wire.Response{}, err
+			return wire.Response{}, c.transportErr(req.Op, err)
 		}
 		if resp.Op == wire.OpSnapshot {
 			if c.OnSnapshot != nil {
@@ -71,9 +90,234 @@ func (c *Client) Do(req wire.Request) (wire.Response, error) {
 // subscription streams.
 func (c *Client) Next() (wire.Response, error) {
 	var resp wire.Response
-	err := c.dec.Decode(&resp)
-	return resp, err
+	if err := c.dec.Decode(&resp); err != nil {
+		return resp, c.transportErr("", err)
+	}
+	return resp, nil
 }
 
-// Close closes the connection.
-func (c *Client) Close() error { return c.nc.Close() }
+// transportErr wraps and records a connection-level failure. The
+// first one (clean EOF excepted) is sticky and re-surfaced by Close,
+// so a deferred Close does not silently swallow an in-flight encoder
+// error.
+func (c *Client) transportErr(op string, err error) error {
+	terr := &TransportError{Op: op, Err: err}
+	c.mu.Lock()
+	if c.firstErr == nil && !wire.IsEOF(err) {
+		c.firstErr = terr
+	}
+	c.mu.Unlock()
+	return terr
+}
+
+// Close closes the connection. It is idempotent — the first call
+// closes and reports, every later call returns nil — and it
+// propagates the first in-flight transport error when the close
+// itself succeeds, so `defer cl.Close()` call sites that do check the
+// error see what actually went wrong on the wire.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	if err := c.nc.Close(); err != nil {
+		return err
+	}
+	return c.firstErr
+}
+
+// TransportError marks a connection-level failure — dial loss, write
+// failure, deadline trip — as opposed to a server-side error reply.
+// It is what the reconnecting client keys redials off.
+type TransportError struct {
+	Op  string // the request op in flight, if any
+	Err error
+}
+
+func (e *TransportError) Error() string {
+	if e.Op == "" {
+		return fmt.Sprintf("papid: %v", e.Err)
+	}
+	return fmt.Sprintf("papid: %s: %v", e.Op, e.Err)
+}
+
+func (e *TransportError) Unwrap() error { return e.Err }
+
+// Timeout reports whether the failure was a request-deadline trip.
+func (e *TransportError) Timeout() bool { return wire.IsTimeout(e.Err) }
+
+// IsTransport reports whether err is a connection-level failure
+// rather than a server-side error reply.
+func IsTransport(err error) bool {
+	var t *TransportError
+	return errors.As(err, &t)
+}
+
+// RetryConfig parameterizes DialRetry and the reconnecting client.
+// The zero value selects the defaults noted per field.
+type RetryConfig struct {
+	// Attempts bounds dial attempts per connect (default 4).
+	Attempts int
+	// BaseDelay seeds the exponential backoff (default 25ms): the
+	// n-th retry waits min(BaseDelay<<n, MaxDelay), scaled by a
+	// uniform jitter in [0.5, 1.5) so a thundering herd of clients
+	// does not re-dial in lockstep.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (default 1s).
+	MaxDelay time.Duration
+	// Timeout is installed as the dialed Client's per-request
+	// deadline (default 0 = none).
+	Timeout time.Duration
+
+	// jitter returns the backoff scale factor; tests pin it.
+	jitter func() float64
+}
+
+func (rc *RetryConfig) fill() {
+	if rc.Attempts <= 0 {
+		rc.Attempts = 4
+	}
+	if rc.BaseDelay <= 0 {
+		rc.BaseDelay = 25 * time.Millisecond
+	}
+	if rc.MaxDelay <= 0 {
+		rc.MaxDelay = time.Second
+	}
+	if rc.jitter == nil {
+		rc.jitter = func() float64 { return 0.5 + rand.Float64() }
+	}
+}
+
+// backoff returns the jittered wait before retry number n (0-based):
+// BaseDelay doubling per retry, capped at MaxDelay. Doubling in a
+// loop rather than shifting keeps any retry count overflow-safe.
+func (rc *RetryConfig) backoff(n int) time.Duration {
+	d := rc.BaseDelay
+	for i := 0; i < n && d < rc.MaxDelay; i++ {
+		d *= 2
+	}
+	if d > rc.MaxDelay {
+		d = rc.MaxDelay
+	}
+	return time.Duration(float64(d) * rc.jitter())
+}
+
+// DialRetry connects like Dial but retries refused or unreachable
+// dials with exponential backoff plus jitter, and installs
+// rc.Timeout on the resulting Client.
+func DialRetry(addr string, rc RetryConfig) (*Client, error) {
+	rc.fill()
+	var err error
+	for i := 0; i < rc.Attempts; i++ {
+		if i > 0 {
+			time.Sleep(rc.backoff(i - 1))
+		}
+		var cl *Client
+		if cl, err = Dial(addr); err == nil {
+			cl.Timeout = rc.Timeout
+			return cl, nil
+		}
+	}
+	return nil, fmt.Errorf("papid at %s unreachable after %d attempts: %w", addr, rc.Attempts, err)
+}
+
+// replayableOps are safe to reissue on a fresh connection after a
+// transport failure: they are idempotent (HELLO, READ, QUERY, STATS,
+// BYE) or overwrite-last semantics makes a duplicate harmless
+// (PUBLISH). Ops that mutate connection- or ordering-coupled state
+// (CREATE_SESSION, START, SUBSCRIBE, ...) are not replayed: a retry
+// could double-create or double-start, so their failure surfaces.
+var replayableOps = map[string]bool{
+	wire.OpHello:   true,
+	wire.OpPublish: true,
+	wire.OpRead:    true,
+	wire.OpQuery:   true,
+	wire.OpStats:   true,
+	wire.OpBye:     true,
+}
+
+// ReconnClient is a Client that survives connection loss: a transport
+// failure triggers a redial with exponential backoff + jitter, an
+// automatic HELLO replay to re-handshake, and — for idempotent ops —
+// one replay of the failed request. Like Client, it is not safe for
+// concurrent Do calls.
+type ReconnClient struct {
+	addr string
+	rc   RetryConfig
+
+	cl    *Client
+	hello wire.Response
+
+	// Reconnects counts successful redials.
+	Reconnects int
+	// OnSnapshot receives interleaved SNAPSHOT frames; it survives
+	// reconnects (unlike a callback set on a raw Client).
+	OnSnapshot func(wire.Response)
+}
+
+// DialReconn dials addr (with retry) and performs the HELLO
+// handshake, returning a client that redials and re-handshakes
+// transparently on connection loss.
+func DialReconn(addr string, rc RetryConfig) (*ReconnClient, error) {
+	rc.fill()
+	r := &ReconnClient{addr: addr, rc: rc}
+	if err := r.connect(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func (r *ReconnClient) connect() error {
+	cl, err := DialRetry(r.addr, r.rc)
+	if err != nil {
+		return err
+	}
+	cl.OnSnapshot = func(resp wire.Response) {
+		if r.OnSnapshot != nil {
+			r.OnSnapshot(resp)
+		}
+	}
+	hello, err := cl.Hello()
+	if err != nil {
+		cl.Close()
+		return err
+	}
+	r.cl, r.hello = cl, hello
+	return nil
+}
+
+// Hello returns the most recent handshake reply — refreshed on every
+// reconnect, so Protocol always describes the server actually on the
+// other end.
+func (r *ReconnClient) Hello() wire.Response { return r.hello }
+
+// Do issues the request, redialing once on a transport failure. After
+// a successful reconnect (which replays HELLO), a replayable request
+// is reissued; a non-replayable one returns the original failure with
+// the reconnect noted, leaving the retry decision to the caller.
+func (r *ReconnClient) Do(req wire.Request) (wire.Response, error) {
+	resp, err := r.cl.Do(req)
+	if err == nil || !IsTransport(err) {
+		return resp, err
+	}
+	r.cl.Close()
+	if cerr := r.connect(); cerr != nil {
+		return wire.Response{}, fmt.Errorf("%w (reconnect failed: %v)", err, cerr)
+	}
+	r.Reconnects++
+	if !replayableOps[req.Op] {
+		return wire.Response{}, fmt.Errorf("%w (reconnected, but %s is not replayable)", err, req.Op)
+	}
+	return r.cl.Do(req)
+}
+
+// Close closes the underlying connection; idempotent like
+// Client.Close.
+func (r *ReconnClient) Close() error {
+	if r.cl == nil {
+		return nil
+	}
+	return r.cl.Close()
+}

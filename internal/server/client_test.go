@@ -1,0 +1,240 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// silentListener accepts connections and never replies — the shape of
+// a wedged or half-dead papid.
+func silentListener(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer nc.Close()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestDoTimeout: a Do against a server that never replies must return
+// once the request deadline trips, not hang forever.
+func TestDoTimeout(t *testing.T) {
+	addr := silentListener(t)
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	cl.Timeout = 50 * time.Millisecond
+
+	start := time.Now()
+	_, err = cl.Do(wire.Request{Op: wire.OpHello})
+	if err == nil {
+		t.Fatal("Do against a silent server succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("Do returned after %v; deadline not applied", elapsed)
+	}
+	if !IsTransport(err) {
+		t.Errorf("timeout error %v is not a TransportError", err)
+	}
+	var terr *TransportError
+	if errors.As(err, &terr) && !terr.Timeout() {
+		t.Errorf("TransportError.Timeout() = false for %v", err)
+	}
+	if !strings.Contains(err.Error(), wire.OpHello) {
+		t.Errorf("error %q does not name the op in flight", err)
+	}
+}
+
+// TestCloseIdempotentAndPropagating: Close must be safe to call
+// twice, and the first call must surface an in-flight transport error
+// rather than silently discarding it.
+func TestCloseIdempotentAndPropagating(t *testing.T) {
+	_, addr := startServer(t, Config{TickInterval: time.Hour})
+
+	// Clean lifecycle: both closes succeed, second is a no-op.
+	cl := dialT(t, addr)
+	if _, err := cl.Do(wire.Request{Op: wire.OpBye}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Close(); err != nil {
+		t.Errorf("clean Close: %v", err)
+	}
+	if err := cl.Close(); err != nil {
+		t.Errorf("second Close not idempotent: %v", err)
+	}
+
+	// Failed lifecycle: kill the socket behind the client's back, let
+	// a Do fail in flight, and check Close reports it.
+	cl2, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl2.nc.Close() // simulate the connection dying underneath
+	if _, err := cl2.Do(wire.Request{Op: wire.OpHello}); err == nil {
+		t.Fatal("Do on a dead socket succeeded")
+	}
+	// The socket is already closed, so this first Close's nc.Close
+	// errors or the recorded transport error surfaces — either way it
+	// must be non-nil, and the second call nil.
+	if err := cl2.Close(); err == nil {
+		t.Error("Close after in-flight failure returned nil")
+	}
+	if err := cl2.Close(); err != nil {
+		t.Errorf("second Close not idempotent: %v", err)
+	}
+}
+
+// TestDialRetryEventuallyConnects: a server that comes up late is
+// reached by the backoff loop.
+func TestDialRetryEventuallyConnects(t *testing.T) {
+	// Reserve an address, close it, and re-listen after a delay.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	srv := New(Config{TickInterval: time.Hour})
+	listening := make(chan struct{})
+	go func() {
+		time.Sleep(60 * time.Millisecond)
+		srv.Listen(addr)
+		close(listening)
+	}()
+	t.Cleanup(func() {
+		<-listening // Shutdown only after Listen has installed the listener
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+
+	cl, err := DialRetry(addr, RetryConfig{
+		Attempts:  8,
+		BaseDelay: 20 * time.Millisecond,
+		Timeout:   5 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("DialRetry never reached the late server: %v", err)
+	}
+	defer cl.Close()
+	if _, err := cl.Hello(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDialRetryGivesUp: a dead address fails after the configured
+// attempts with an error naming the address and the attempt count.
+func TestDialRetryGivesUp(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	_, err = DialRetry(addr, RetryConfig{Attempts: 2, BaseDelay: time.Millisecond})
+	if err == nil {
+		t.Fatal("DialRetry against a dead address succeeded")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "unreachable after 2 attempts") || !strings.Contains(msg, addr) {
+		t.Errorf("error %q does not name the address and attempt count", msg)
+	}
+}
+
+// TestBackoffScheduleAndJitter: doubling, capping, and the jitter
+// scale applied to each delay.
+func TestBackoffScheduleAndJitter(t *testing.T) {
+	rc := RetryConfig{BaseDelay: 10 * time.Millisecond, MaxDelay: 40 * time.Millisecond,
+		jitter: func() float64 { return 1.0 }}
+	rc.fill()
+	want := []time.Duration{10, 20, 40, 40, 40} // ms: doubles, then caps
+	for n, w := range want {
+		if got := rc.backoff(n); got != w*time.Millisecond {
+			t.Errorf("backoff(%d) = %v, want %v", n, got, w*time.Millisecond)
+		}
+	}
+	rc.jitter = func() float64 { return 0.5 }
+	if got := rc.backoff(0); got != 5*time.Millisecond {
+		t.Errorf("jittered backoff(0) = %v, want 5ms", got)
+	}
+	// A huge retry index must not overflow into a negative sleep.
+	if got := rc.backoff(1_000_000); got != 20*time.Millisecond { // MaxDelay * 0.5
+		t.Errorf("overflow-guarded backoff = %v, want 20ms", got)
+	}
+}
+
+// TestReconnReplaysIdempotentOps: killing the connection under a
+// ReconnClient mid-conversation redials, re-handshakes, and replays a
+// PUBLISH — papirun -serve surviving a papid connection blip.
+func TestReconnReplaysIdempotentOps(t *testing.T) {
+	_, addr := startServer(t, Config{TickInterval: time.Hour})
+	rc, err := DialReconn(addr, RetryConfig{Timeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	if rc.Hello().Protocol != wire.ProtocolVersion {
+		t.Fatalf("handshake protocol %d", rc.Hello().Protocol)
+	}
+
+	created, err := rc.Do(wire.Request{Op: wire.OpCreate, Workload: "none"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := created.Session
+
+	rc.cl.nc.Close() // sever the connection behind the client's back
+	if _, err := rc.Do(wire.Request{Op: wire.OpPublish, Session: id,
+		Events: []string{"PAPI_TOT_CYC"}, Values: []int64{7}}); err != nil {
+		t.Fatalf("PUBLISH did not survive the reconnect: %v", err)
+	}
+	if rc.Reconnects != 1 {
+		t.Errorf("Reconnects = %d, want 1", rc.Reconnects)
+	}
+	// The replayed PUBLISH really landed server-side.
+	read, err := rc.Do(wire.Request{Op: wire.OpRead, Session: id})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(read.Values) != 1 || read.Values[0] != 7 {
+		t.Errorf("READ after replayed PUBLISH: %v", read.Values)
+	}
+
+	// Non-idempotent ops are not replayed: the failure surfaces with
+	// the reconnect noted, and the caller decides.
+	rc.cl.nc.Close()
+	_, err = rc.Do(wire.Request{Op: wire.OpCreate, Workload: "none"})
+	if err == nil {
+		t.Fatal("CREATE_SESSION was silently replayed across a reconnect")
+	}
+	if !strings.Contains(err.Error(), "not replayable") {
+		t.Errorf("error %q does not explain the no-replay policy", err)
+	}
+	if rc.Reconnects != 2 {
+		t.Errorf("Reconnects = %d, want 2 (reconnect still happens)", rc.Reconnects)
+	}
+	// The client is healthy again after the non-replayed failure.
+	if _, err := rc.Do(wire.Request{Op: wire.OpStats}); err != nil {
+		t.Errorf("STATS after non-replayable failure: %v", err)
+	}
+}

@@ -22,6 +22,12 @@
 //   - an embedded time-series store (internal/tsdb) recording every
 //     tick's snapshot, so late subscribers and offline tools can QUERY
 //     downsampled history instead of getting nothing;
+//   - a hardened connection lifecycle — per-connection read-idle and
+//     write deadlines, one bounded outbound write queue per connection
+//     drained by a dedicated writer goroutine (snapshots dropped
+//     oldest-first under pressure, the connection evicted when even
+//     reply frames cannot make progress), with evictions, deadline
+//     trips and protocol resyncs all counted in STATS;
 //   - context-based graceful shutdown that stops accepting, folds final
 //     counts into every running session, and drains all connections.
 package server
@@ -59,6 +65,21 @@ type Config struct {
 	// QueueDepth bounds each subscriber's send queue; when full the
 	// oldest queued snapshot is dropped (default 32).
 	QueueDepth int
+	// ReadIdleTimeout evicts a connection that sends no request for
+	// this long and holds no subscription — a half-dead client cannot
+	// pin a goroutine forever (default 2m; negative disables).
+	// Connections with live subscriptions are exempt: snapshot
+	// fan-out is their traffic.
+	ReadIdleTimeout time.Duration
+	// WriteTimeout bounds each outbound frame write; a trip means the
+	// peer stopped reading and the connection is evicted
+	// (default 10s; negative disables).
+	WriteTimeout time.Duration
+	// WriteQueueDepth bounds each connection's outbound frame queue
+	// (default 64). Snapshot frames are dropped oldest-first when the
+	// queue is full; a queue jammed with undroppable reply frames
+	// evicts the connection instead of blocking the server.
+	WriteQueueDepth int
 	// TSDBMaxBytes bounds the embedded history store's memory
 	// (default 8 MiB); negative disables history entirely.
 	TSDBMaxBytes int64
@@ -92,6 +113,15 @@ func (c *Config) fill() {
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 32
 	}
+	if c.ReadIdleTimeout == 0 {
+		c.ReadIdleTimeout = 2 * time.Minute
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	if c.WriteQueueDepth <= 0 {
+		c.WriteQueueDepth = 64
+	}
 	if c.TSDBMaxBytes == 0 {
 		c.TSDBMaxBytes = 8 << 20
 	}
@@ -112,7 +142,20 @@ type Stats struct {
 	SnapshotsSent    uint64
 	SnapshotsDropped uint64
 	Ticks            uint64
-	TSDB             tsdb.Stats // zero when history is disabled
+	// Evictions counts connections the server cut loose (read-idle or
+	// write-deadline trips, jammed reply queues).
+	Evictions uint64
+	// DeadlineTrips counts read/write deadline expirations that led
+	// to an eviction.
+	DeadlineTrips uint64
+	// Resyncs counts malformed frames answered with an ERROR frame
+	// and skipped — per-line resynchronization events.
+	Resyncs uint64
+	// WriteDrops counts snapshot frames dropped from per-connection
+	// write queues (socket-level backpressure, beyond the
+	// per-subscriber SnapshotsDropped).
+	WriteDrops uint64
+	TSDB       tsdb.Stats // zero when history is disabled
 }
 
 // CacheHitRate returns hits/(hits+misses), or 0 before any lookup.
@@ -140,9 +183,13 @@ type Server struct {
 	connsMu sync.Mutex
 	conns   map[*conn]struct{}
 
-	ticks       atomic.Uint64
-	snapSent    atomic.Uint64
-	snapDropped atomic.Uint64
+	ticks         atomic.Uint64
+	snapSent      atomic.Uint64
+	snapDropped   atomic.Uint64
+	evictions     atomic.Uint64
+	deadlineTrips atomic.Uint64
+	resyncs       atomic.Uint64
+	writeDrops    atomic.Uint64
 }
 
 // New builds a Server; call Listen to start serving.
@@ -174,12 +221,20 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 	if err != nil {
 		return nil, err
 	}
+	return s.Serve(ln), nil
+}
+
+// Serve starts the accept and tick loops on a caller-provided
+// listener and returns its address — the hook the fault-injection
+// tests use to interpose internal/faultnet between papid and its
+// peers. Listen is Serve on a fresh TCP listener.
+func (s *Server) Serve(ln net.Listener) net.Addr {
 	s.ln = ln
 	s.wg.Add(2)
 	go s.acceptLoop()
 	go s.tickLoop()
 	s.logf("papid: listening on %s", ln.Addr())
-	return ln.Addr(), nil
+	return ln.Addr()
 }
 
 // Addr returns the bound address, or nil before Listen.
@@ -204,6 +259,10 @@ func (s *Server) Stats() Stats {
 		SnapshotsSent:    s.snapSent.Load(),
 		SnapshotsDropped: s.snapDropped.Load(),
 		Ticks:            s.ticks.Load(),
+		Evictions:        s.evictions.Load(),
+		DeadlineTrips:    s.deadlineTrips.Load(),
+		Resyncs:          s.resyncs.Load(),
+		WriteDrops:       s.writeDrops.Load(),
 	}
 	if s.hist != nil {
 		st.TSDB = s.hist.Stats()
@@ -221,9 +280,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	// Drain sessions first so no EventSet is abandoned mid-count.
 	s.reg.forEach(func(sess *session) { sess.close() })
-	// Closing the sockets unblocks every reader and subscriber loop.
+	// Closing queues and sockets unblocks every reader, writer and
+	// subscriber loop.
 	s.connsMu.Lock()
 	for c := range s.conns {
+		c.q.close()
 		c.nc.Close()
 	}
 	s.connsMu.Unlock()
@@ -314,9 +375,9 @@ func (s *Server) fanout(resp wire.Response, subs []*subscriber) {
 }
 
 // subscriber is one SUBSCRIBE registration: a bounded queue drained by
-// a dedicated goroutine writing onto the owning connection. When the
-// queue is full the oldest snapshot is dropped — a slow viewer sees a
-// gappy stream, never a stalled server.
+// a dedicated goroutine feeding the owning connection's write queue.
+// When the queue is full the oldest snapshot is dropped — a slow
+// viewer sees a gappy stream, never a stalled server.
 type subscriber struct {
 	c    *conn
 	ch   chan wire.Response
@@ -356,20 +417,119 @@ func (sub *subscriber) loop() {
 		case <-sub.done:
 			return
 		case resp := <-sub.ch:
-			if err := sub.c.enc.Encode(&resp); err != nil {
+			dropped, ok := sub.c.q.push(resp, true)
+			if dropped {
+				sub.c.srv.writeDrops.Add(1)
+			}
+			if !ok {
 				return
 			}
 		}
 	}
 }
 
-// conn is one client connection: a reader loop dispatching requests
-// plus any subscriber goroutines it registered. The wire.Encoder's own
-// lock serializes response and snapshot frames onto the socket.
+// outFrame is one queued outbound frame. Snapshot frames are
+// droppable; request replies are not — a client must never miss the
+// answer to a request it is waiting on.
+type outFrame struct {
+	resp      wire.Response
+	droppable bool
+}
+
+// writeQueue is the bounded per-connection outbound frame queue,
+// drained by exactly one writer goroutine per connection. It extends
+// the drop-oldest subscriber policy down to the socket: when the queue
+// is full the oldest droppable frame is evicted first, and a queue
+// jammed with undroppable reply frames reports failure so the
+// connection is evicted instead of wedging the server.
+type writeQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	frames []outFrame
+	max    int
+	closed bool
+}
+
+func newWriteQueue(depth int) *writeQueue {
+	q := &writeQueue{max: depth}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push enqueues one frame. dropped reports that a droppable frame (the
+// oldest queued one, or the new frame itself) was discarded to respect
+// the bound; ok is false when the queue is closed or jammed with
+// undroppable frames.
+func (q *writeQueue) push(resp wire.Response, droppable bool) (dropped, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false, false
+	}
+	if len(q.frames) >= q.max {
+		evicted := false
+		for i := range q.frames {
+			if q.frames[i].droppable {
+				q.frames = append(q.frames[:i], q.frames[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			if droppable {
+				return true, true // every queued frame outranks the new one
+			}
+			return false, false // jammed: replies cannot make progress
+		}
+		dropped = true
+	}
+	q.frames = append(q.frames, outFrame{resp: resp, droppable: droppable})
+	q.cond.Signal()
+	return dropped, true
+}
+
+// pop blocks until a frame is available; after close it drains the
+// backlog, then reports done.
+func (q *writeQueue) pop() (outFrame, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.frames) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.frames) == 0 {
+		return outFrame{}, false
+	}
+	f := q.frames[0]
+	q.frames = q.frames[1:]
+	return f, true
+}
+
+// close stops accepting frames and wakes the writer; already-queued
+// frames still drain.
+func (q *writeQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+func (q *writeQueue) isClosed() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.closed
+}
+
+// conn is one client connection: a reader loop dispatching requests, a
+// writer loop draining the bounded outbound queue, and any subscriber
+// goroutines it registered. All socket writes funnel through the
+// writer loop, so one write deadline governs them uniformly.
 type conn struct {
 	srv *Server
 	nc  net.Conn
 	enc *wire.Encoder
+	q   *writeQueue
+
+	evicted atomic.Bool
 
 	mu   sync.Mutex
 	subs []subRef
@@ -382,29 +542,45 @@ type subRef struct {
 
 func (s *Server) handle(nc net.Conn) {
 	defer s.wg.Done()
-	c := &conn{srv: s, nc: nc, enc: wire.NewEncoder(nc)}
+	c := &conn{srv: s, nc: nc, enc: wire.NewEncoder(nc),
+		q: newWriteQueue(s.cfg.WriteQueueDepth)}
 	s.connsMu.Lock()
 	s.conns[c] = struct{}{}
 	s.connsMu.Unlock()
+	s.wg.Add(1)
+	go c.writeLoop()
 	defer c.teardown()
 
 	dec := wire.NewDecoder(nc)
 	for {
+		if d := s.cfg.ReadIdleTimeout; d > 0 {
+			nc.SetReadDeadline(time.Now().Add(d))
+		}
 		var req wire.Request
 		if err := dec.Decode(&req); err != nil {
-			if wire.IsMalformed(err) {
+			switch {
+			case wire.IsMalformed(err):
 				// One bad line must not kill the connection: reply
 				// with an error frame and resume at the next newline.
-				errFrame := wire.Response{Op: wire.OpError, Error: err.Error()}
-				if c.enc.Encode(&errFrame) != nil {
+				s.resyncs.Add(1)
+				if !c.send(wire.Response{Op: wire.OpError, Error: err.Error()}) {
 					return
 				}
 				continue
+			case wire.IsTimeout(err):
+				if c.subscribing() {
+					// A subscriber stream legitimately sends nothing:
+					// the fan-out writes are its liveness, and the
+					// write deadline evicts it if it stops reading.
+					continue
+				}
+				c.evict("read idle", err)
+				return
 			}
 			return // EOF or closed socket
 		}
 		resp := s.dispatch(c, &req)
-		if err := c.enc.Encode(&resp); err != nil {
+		if !c.send(resp) {
 			return
 		}
 		if req.Op == wire.OpBye {
@@ -413,13 +589,74 @@ func (s *Server) handle(nc net.Conn) {
 	}
 }
 
-// teardown unregisters the connection and its subscribers and closes
-// the socket.
+// writeLoop is the connection's single socket writer: it drains the
+// outbound queue, bounding each frame write by WriteTimeout. A trip or
+// write error evicts the connection — a peer that stopped reading is
+// cut loose rather than wedging a goroutine and unbounded memory
+// behind it. Closing the socket on exit also unblocks the reader.
+func (c *conn) writeLoop() {
+	defer c.srv.wg.Done()
+	defer c.nc.Close()
+	for {
+		f, ok := c.q.pop()
+		if !ok {
+			return
+		}
+		if d := c.srv.cfg.WriteTimeout; d > 0 {
+			c.nc.SetWriteDeadline(time.Now().Add(d))
+		}
+		if err := c.enc.Encode(&f.resp); err != nil {
+			c.evict("write", err)
+			return
+		}
+	}
+}
+
+// send enqueues a reply frame, which is never dropped under pressure;
+// false means the connection is closed or was evicted for jamming.
+func (c *conn) send(resp wire.Response) bool {
+	if _, ok := c.q.push(resp, false); ok {
+		return true
+	}
+	if !c.q.isClosed() {
+		c.evict("reply queue jammed", nil)
+	}
+	return false
+}
+
+// subscribing reports whether the connection holds live
+// subscriptions, which exempts it from the read-idle deadline.
+func (c *conn) subscribing() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.subs) > 0
+}
+
+// evict cuts the connection loose: the queue closes (stopping the
+// writer), the socket closes (unblocking the reader), and the
+// eviction is counted exactly once regardless of which side — reader
+// deadline, writer deadline, or jammed queue — tripped first.
+func (c *conn) evict(why string, err error) {
+	if !c.evicted.CompareAndSwap(false, true) {
+		return
+	}
+	c.srv.evictions.Add(1)
+	if wire.IsTimeout(err) {
+		c.srv.deadlineTrips.Add(1)
+	}
+	c.q.close()
+	c.nc.Close()
+	c.srv.logf("papid: evicting %s (%s: %v)", c.nc.RemoteAddr(), why, err)
+}
+
+// teardown unregisters the connection and its subscribers and lets
+// the writer drain its backlog (e.g. the BYE reply) before the socket
+// closes.
 func (c *conn) teardown() {
 	c.srv.connsMu.Lock()
 	delete(c.srv.conns, c)
 	c.srv.connsMu.Unlock()
-	c.nc.Close()
+	c.q.close()
 	c.mu.Lock()
 	subs := c.subs
 	c.subs = nil
@@ -507,8 +744,14 @@ func (s *Server) dispatch(c *conn, req *wire.Request) wire.Response {
 		if s.hist == nil {
 			return errResp(req, errors.New("history disabled (papid -tsdb-mem 0)"))
 		}
+		// Validate the window before touching the store: a reversed
+		// range or negative step is a client bug that deserves a loud
+		// ERROR, not an empty series it might mistake for no data.
 		if req.To <= req.From {
-			return errResp(req, fmt.Errorf("bad range [%d, %d)", req.From, req.To))
+			return errResp(req, fmt.Errorf("bad range [%d, %d): from must precede to", req.From, req.To))
+		}
+		if req.Step < 0 {
+			return errResp(req, fmt.Errorf("bad step %d: must be >= 0 (0 returns raw samples)", req.Step))
 		}
 		// No live-session check: history legitimately outlives its
 		// session, which is half the point of keeping it.
@@ -526,6 +769,10 @@ func (s *Server) dispatch(c *conn, req *wire.Request) wire.Response {
 			"snapshots_sent":    st.SnapshotsSent,
 			"snapshots_dropped": st.SnapshotsDropped,
 			"ticks":             st.Ticks,
+			"evictions":         st.Evictions,
+			"deadline_trips":    st.DeadlineTrips,
+			"resyncs":           st.Resyncs,
+			"write_drops":       st.WriteDrops,
 			"tsdb_bytes":        uint64(st.TSDB.Bytes),
 			"tsdb_series":       uint64(st.TSDB.Series),
 			"tsdb_samples":      st.TSDB.Samples,

@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -32,7 +33,7 @@ func startServer(t testing.TB, cfg Config) (*Server, string) {
 
 func dialT(t testing.TB, addr string) *Client {
 	t.Helper()
-	cl, err := Dial(addr)
+	cl, err := DialRetry(addr, RetryConfig{Timeout: 30 * time.Second})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -410,6 +411,54 @@ func TestProtocolErrors(t *testing.T) {
 	}
 	if _, err := cl.Do(wire.Request{Op: wire.OpStart, Session: created.Session}); err == nil {
 		t.Error("START with an empty EventSet accepted")
+	}
+}
+
+// TestQueryValidation: a reversed range or a negative step is a
+// client bug and must come back as a wire ERROR, never as an empty
+// series the client could mistake for "no data".
+func TestQueryValidation(t *testing.T) {
+	_, addr := startServer(t, Config{TickInterval: time.Hour})
+	cl := dialT(t, addr)
+	created, err := cl.Do(wire.Request{Op: wire.OpCreate, Workload: "none"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := created.Session
+	if _, err := cl.Do(wire.Request{Op: wire.OpPublish, Session: id,
+		Events: []string{"PAPI_TOT_CYC"}, Values: []int64{42}}); err != nil {
+		t.Fatal(err)
+	}
+
+	// from > to: rejected with a range error.
+	resp, err := cl.Do(wire.Request{Op: wire.OpQuery, Session: id,
+		From: 100, To: 50, Step: 0})
+	if err == nil {
+		t.Error("QUERY with from > to accepted")
+	} else if !strings.Contains(resp.Error, "bad range") {
+		t.Errorf("from > to error %q does not name the range", resp.Error)
+	}
+	// from == to is degenerate too (empty half-open window).
+	if _, err := cl.Do(wire.Request{Op: wire.OpQuery, Session: id,
+		From: 100, To: 100}); err == nil {
+		t.Error("QUERY with from == to accepted")
+	}
+	// step < 0: rejected with a step error.
+	resp, err = cl.Do(wire.Request{Op: wire.OpQuery, Session: id,
+		From: 0, To: 1 << 62, Step: -1})
+	if err == nil {
+		t.Error("QUERY with negative step accepted")
+	} else if !strings.Contains(resp.Error, "bad step") {
+		t.Errorf("negative step error %q does not name the step", resp.Error)
+	}
+	// The connection survives the rejections and a valid query works.
+	good, err := cl.Do(wire.Request{Op: wire.OpQuery, Session: id,
+		From: 0, To: 1<<63 - 1, Step: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(good.Series) != 1 {
+		t.Errorf("valid QUERY after rejections returned %d series, want 1", len(good.Series))
 	}
 }
 

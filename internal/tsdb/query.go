@@ -25,9 +25,22 @@ type Series struct {
 	Buckets []Bucket `json:"buckets"` // time order; empty windows omitted
 }
 
+// Valid reports whether q describes a well-formed window: From must
+// precede To and Step must be non-negative (0 selects raw samples).
+// Query refuses invalid windows, and papid's QUERY op turns them into
+// wire ERROR frames rather than empty replies a client could mistake
+// for "no data".
+func (q Query) Valid() bool {
+	return q.To > q.From && q.Step >= 0
+}
+
 // Query answers q against one session's series. Results are sorted by
-// event name; windows with no samples are omitted.
+// event name; windows with no samples are omitted. An invalid q (see
+// Query.Valid) yields nil without scanning.
 func (s *Store) Query(session uint64, q Query) []Series {
+	if !q.Valid() {
+		return nil
+	}
 	events := q.Events
 	if len(events) == 0 {
 		events = s.sessionEvents(session)
@@ -71,7 +84,7 @@ func (s *Store) pickWidth(step int64) int64 {
 }
 
 func (s *Store) querySeries(key SeriesKey, q Query) (Series, bool) {
-	if q.To <= q.From {
+	if !q.Valid() {
 		return Series{}, false
 	}
 	sh := s.shardFor(key)

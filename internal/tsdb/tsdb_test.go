@@ -130,6 +130,39 @@ func TestQueryAgainstBruteForce100k(t *testing.T) {
 // TestEvictionBudget verifies the fixed memory budget: 100k ticks into
 // a 48 KiB store must evict, stay under budget, keep the newest raw
 // data intact, and keep rollups answering the full range.
+// TestQueryValidRejectsBadWindows: an inverted range or negative step
+// is refused outright — nil result, no scan — never an empty answer a
+// caller could mistake for "no data in range". Step 0 stays valid: it
+// is the documented raw-samples mode.
+func TestQueryValidRejectsBadWindows(t *testing.T) {
+	st := New(Config{})
+	st.Append(1, "PAPI_TOT_CYC", 100, 42)
+
+	cases := []struct {
+		name  string
+		q     Query
+		valid bool
+	}{
+		{"inverted range", Query{From: 200, To: 100, Step: 10}, false},
+		{"empty range", Query{From: 100, To: 100, Step: 10}, false},
+		{"negative step", Query{From: 0, To: 200, Step: -1}, false},
+		{"raw step zero", Query{From: 0, To: 200, Step: 0}, true},
+		{"well-formed", Query{From: 0, To: 200, Step: 10}, true},
+	}
+	for _, tc := range cases {
+		if got := tc.q.Valid(); got != tc.valid {
+			t.Errorf("%s: Valid() = %v, want %v", tc.name, got, tc.valid)
+		}
+		res := st.Query(1, tc.q)
+		if tc.valid && len(res) != 1 {
+			t.Errorf("%s: Query returned %d series, want 1", tc.name, len(res))
+		}
+		if !tc.valid && res != nil {
+			t.Errorf("%s: invalid query returned %v, want nil", tc.name, res)
+		}
+	}
+}
+
 func TestEvictionBudget(t *testing.T) {
 	const nTicks = 100_000
 	const budget = 48 << 10

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"repro/internal/faultnet"
 )
 
 // FuzzDecode feeds arbitrary byte streams through the frame decoder.
@@ -47,6 +49,63 @@ func FuzzDecode(f *testing.F) {
 		}
 		if !sawSentinel {
 			t.Fatalf("valid frame after fuzz input %q never decoded", data)
+		}
+	})
+}
+
+// FuzzFaultnetResync drives the same resync property through a
+// fault-injecting transport: the fuzz stream is delivered in arbitrary
+// chunk sizes and optionally severed mid-byte by faultnet. The decoder
+// must never panic, must only ever return malformed or io errors, and
+// — whenever the connection is NOT cut before the stream completes —
+// must still decode the well-formed sentinel frame at the end. A
+// partial write is not a protocol error; only a newline commits a
+// frame.
+func FuzzFaultnetResync(f *testing.F) {
+	f.Add([]byte(`{"op":"HELLO"}`+"\n"), uint8(1), uint16(0))
+	f.Add([]byte(`{"op":"QUERY","from":0,"to":9}`+"\n"), uint8(3), uint16(0))
+	f.Add([]byte(`{"op":"HELLO"`), uint8(2), uint16(7))    // cut mid-frame
+	f.Add([]byte("not json at all\n"), uint8(5), uint16(0)) // garbage line
+	f.Add([]byte("\n\n"), uint8(0), uint16(1))              // cut in blank lines
+	f.Add(bytes.Repeat([]byte(`{"op":"x"}`+"\n"), 16), uint8(4), uint16(40))
+
+	sentinel := `{"op":"AFTER_FUZZ","session":77}` + "\n"
+	f.Fuzz(func(t *testing.T, data []byte, chunk uint8, cut uint16) {
+		stream := append(append([]byte(nil), data...), '\n')
+		stream = append(stream, sentinel...)
+
+		faults := faultnet.Faults{ChunkSize: int(chunk % 16)} // 0 = unsplit writes
+		if cut > 0 {
+			faults.CutAfter = int64(cut)
+		}
+		w, r := faultnet.Pipe(faults, faultnet.Faults{})
+		go func() {
+			w.Write(stream) // ErrCut mid-way is the point, ignore it
+			w.Close()
+		}()
+
+		dec := NewDecoder(r)
+		sawSentinel := false
+		for i := 0; i < len(stream)+2; i++ { // bounded: >= one byte per line
+			var req Request
+			err := dec.Decode(&req)
+			if err == nil {
+				if req.Op == "AFTER_FUZZ" && req.Session == 77 {
+					sawSentinel = true
+				}
+				continue
+			}
+			if IsMalformed(err) {
+				continue // recoverable: next line is a fresh frame
+			}
+			break // io error (EOF / cut) ends the stream
+		}
+		r.Close() // unblock the writer if the reader gave up first
+
+		delivered := cut == 0 || int64(cut) >= int64(len(stream))
+		if delivered && !sawSentinel {
+			t.Fatalf("uncut stream (fuzz input %q, chunk %d): sentinel never decoded",
+				data, chunk%16)
 		}
 	})
 }

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"sync"
 )
 
@@ -45,8 +46,15 @@ func (e *Encoder) Encode(v any) error {
 // *MalformedFrameError and the next call resumes at the following
 // newline. This is what lets papid answer garbage with an error frame
 // instead of dropping the connection.
+//
+// A read-deadline trip mid-line is recoverable too: the partial line
+// is stashed, the timeout surfaces unchanged, and the next Decode
+// resumes the same frame where it left off. Without this, a slow but
+// healthy writer whose frame straddled an idle-deadline check would
+// have half its frame misread as garbage.
 type Decoder struct {
-	r *bufio.Reader
+	r       *bufio.Reader
+	pending []byte // partial line held across a deadline trip
 }
 
 // NewDecoder returns a Decoder framing from r.
@@ -56,10 +64,19 @@ func NewDecoder(r io.Reader) *Decoder {
 
 // Decode reads the next frame into v. Blank lines are skipped. A line
 // that is not valid JSON for v yields a *MalformedFrameError; the
-// Decoder remains usable.
+// Decoder remains usable. A timeout (net.Error with Timeout true)
+// surfaces as-is with any partial line preserved for the next call.
 func (d *Decoder) Decode(v any) error {
 	for {
 		line, err := d.r.ReadBytes('\n')
+		if len(d.pending) > 0 {
+			line = append(d.pending, line...)
+			d.pending = nil
+		}
+		if err != nil && IsTimeout(err) {
+			d.pending = line
+			return err
+		}
 		frame := bytes.TrimSpace(line)
 		if len(frame) == 0 {
 			if err != nil {
@@ -99,4 +116,12 @@ func IsMalformed(err error) bool {
 // IsEOF reports whether err marks the clean end of a frame stream.
 func IsEOF(err error) bool {
 	return errors.Is(err, io.EOF)
+}
+
+// IsTimeout reports whether err is a deadline trip (a net.Error with
+// Timeout true) — the signal papid's idle/write eviction and the
+// client's per-request deadline both key off.
+func IsTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }

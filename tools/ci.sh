@@ -6,7 +6,13 @@ set -eu
 cd "$(dirname "$0")/.."
 go build ./...
 go vet ./...
-go test -race ./...
+go test -race -timeout 10m ./...
+# The connection-lifecycle chaos suite, isolated with a short -timeout:
+# 32 pathological clients against tight deadlines must converge in
+# seconds, and a reintroduced hang (eviction that never fires, writer
+# that never drains) should fail here fast instead of eating the
+# 10-minute budget above.
+go test -race -timeout 2m -run 'TestChaos|TestDoTimeout|TestReconn|TestDialRetry' -count=2 ./internal/server/
 # One-iteration benchmark smoke: catches benchmarks that no longer
 # compile or crash, without paying for a real measurement run.
 go test -run='^$' -bench=. -benchtime=1x ./...
