@@ -52,6 +52,7 @@ func main() {
 	bench := flag.String("bench", ".", "benchmark regexp passed to go test")
 	benchtime := flag.String("benchtime", "", "benchtime passed to go test (default go's 1s)")
 	count := flag.Int("count", 1, "count passed to go test")
+	benchmem := flag.Bool("benchmem", false, "pass -benchmem to go test, recording B/op and allocs/op")
 	flag.Parse()
 	if *out == "" {
 		fmt.Fprintln(os.Stderr, "benchjson: -out is required")
@@ -65,6 +66,9 @@ func main() {
 	args := []string{"test", "-run=^$", "-bench=" + *bench, "-count=" + strconv.Itoa(*count)}
 	if *benchtime != "" {
 		args = append(args, "-benchtime="+*benchtime)
+	}
+	if *benchmem {
+		args = append(args, "-benchmem")
 	}
 	args = append(args, pkgs...)
 	cmd := exec.Command("go", args...)

@@ -1,7 +1,8 @@
 // papid is the counter-collection daemon: a long-running service that
-// accepts many concurrent TCP clients speaking the JSON-lines protocol
-// of internal/wire, each session owning an EventSet on a simulated
-// machine of any supported architecture. It is the serving-scale
+// accepts many concurrent TCP clients speaking the wire protocol of
+// internal/wire — JSON lines by default, with v3 clients able to
+// negotiate the compact binary codec at HELLO — each session owning an
+// EventSet on a simulated machine of any supported architecture. It is the serving-scale
 // successor to the one-process perfometer pipeline of §2 — many tools,
 // one shared monitoring surface.
 //
@@ -101,6 +102,8 @@ func main() {
 		st.Ticks, st.SnapshotsSent, st.SnapshotsDropped, 100*st.CacheHitRate())
 	log.Printf("papid: %d evictions (%d deadline trips), %d resyncs, %d write drops",
 		st.Evictions, st.DeadlineTrips, st.Resyncs, st.WriteDrops)
+	log.Printf("papid: wire json %d frames / %d bytes, binary %d frames / %d bytes",
+		st.FramesSentJSON, st.BytesSentJSON, st.FramesSentBinary, st.BytesSentBinary)
 	log.Printf("papid: tsdb %d bytes across %d series, %d samples, %d evictions",
 		st.TSDB.Bytes, st.TSDB.Series, st.TSDB.Samples, st.TSDB.Evictions)
 }

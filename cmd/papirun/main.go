@@ -26,15 +26,16 @@ func main() {
 	multiplex := flag.Bool("multiplex", false, "enable software multiplexing (low-level opt-in)")
 	serve := flag.String("serve", "", "also publish the final snapshot to a running papid at this address")
 	serveTimeout := flag.Duration("serve-timeout", 5*time.Second, "per-request deadline when publishing to papid")
+	serveBinary := flag.Bool("serve-binary", false, "negotiate the compact binary wire codec when publishing (falls back to JSON against older papid)")
 	flag.Parse()
 
-	if err := run(*platform, *events, *prog, *n, *multiplex, *serve, *serveTimeout); err != nil {
+	if err := run(*platform, *events, *prog, *n, *multiplex, *serve, *serveTimeout, *serveBinary); err != nil {
 		fmt.Fprintln(os.Stderr, "papirun:", err)
 		os.Exit(1)
 	}
 }
 
-func run(platform, events, progName string, n int, multiplex bool, serve string, serveTimeout time.Duration) error {
+func run(platform, events, progName string, n int, multiplex bool, serve string, serveTimeout time.Duration, serveBinary bool) error {
 	sys, err := papi.Init(papi.Options{Platform: platform})
 	if err != nil {
 		return err
@@ -91,7 +92,7 @@ func run(platform, events, progName string, n int, multiplex bool, serve string,
 		fmt.Println("note: counts are multiplexed estimates; ensure the run is long enough to converge")
 	}
 	if serve != "" {
-		if err := publish(serve, platform, names, vals, serveTimeout); err != nil {
+		if err := publish(serve, platform, names, vals, serveTimeout, serveBinary); err != nil {
 			return fmt.Errorf("publishing to papid at %s: %w", serve, err)
 		}
 		fmt.Printf("snapshot published to papid at %s\n", serve)
@@ -105,9 +106,9 @@ func run(platform, events, progName string, n int, multiplex bool, serve string,
 // reconnecting client retries unreachable dials with backoff and
 // bounds every request, so a dead or wedged papid yields the
 // documented one-line non-zero exit instead of a hang.
-func publish(addr, platform string, events []string, vals []int64, timeout time.Duration) error {
+func publish(addr, platform string, events []string, vals []int64, timeout time.Duration, binary bool) error {
 	cl, err := server.DialReconn(addr, server.RetryConfig{
-		Attempts: 3, Timeout: timeout,
+		Attempts: 3, Timeout: timeout, PreferBinary: binary,
 	})
 	if err != nil {
 		return err

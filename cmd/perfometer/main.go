@@ -37,11 +37,12 @@ func main() {
 	last := flag.Duration("last", time.Minute, "history mode: how far back to query")
 	step := flag.Duration("step", 10*time.Second, "history mode: output window width")
 	timeout := flag.Duration("timeout", 5*time.Second, "history mode: per-request deadline against papid")
+	binary := flag.Bool("binary", false, "history mode: negotiate the compact binary wire codec (falls back to JSON against older papid)")
 	flag.Parse()
 
 	var err error
 	if *papid != "" {
-		err = runHistory(*papid, *session, *event, *last, *step, *width, *timeout)
+		err = runHistory(*papid, *session, *event, *last, *step, *width, *timeout, *binary)
 	} else {
 		err = run(*platform, *metric, *traceFile, *width)
 	}
@@ -55,8 +56,8 @@ func main() {
 // reconnecting client retries the dial with backoff, bounds every
 // request, and transparently redials (QUERY is idempotent) if the
 // connection drops mid-conversation.
-func runHistory(addr string, session uint64, event string, last, step time.Duration, width int, timeout time.Duration) error {
-	cl, err := server.DialReconn(addr, server.RetryConfig{Timeout: timeout})
+func runHistory(addr string, session uint64, event string, last, step time.Duration, width int, timeout time.Duration, binary bool) error {
+	cl, err := server.DialReconn(addr, server.RetryConfig{Timeout: timeout, PreferBinary: binary})
 	if err != nil {
 		return fmt.Errorf("dialing papid at %s: %w", addr, err)
 	}

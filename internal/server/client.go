@@ -29,6 +29,13 @@ type Client struct {
 	// the caller instead of producing the documented one-line error.
 	Timeout time.Duration
 
+	// PreferBinary asks the server for the compact binary codec during
+	// Hello. The handshake itself is always JSON; if the server's reply
+	// confirms the upgrade both directions switch for every subsequent
+	// frame, and if it doesn't (a v2 server) the connection transparently
+	// stays on JSON lines. Set it before Hello.
+	PreferBinary bool
+
 	// OnSnapshot, when set, receives SNAPSHOT frames that arrive while
 	// Do is waiting for a request's reply.
 	OnSnapshot func(wire.Response)
@@ -48,13 +55,27 @@ func Dial(addr string) (*Client, error) {
 }
 
 // Hello performs the version handshake: it announces this client's
-// protocol version and returns the server's reply, whose Protocol
-// field callers compare against op-specific minimums (e.g.
-// wire.MinProtocolQuery) to detect older servers before issuing ops
-// they would reject.
+// protocol version (and codec preference, see PreferBinary) and
+// returns the server's reply, whose Protocol field callers compare
+// against op-specific minimums (e.g. wire.MinProtocolQuery) to detect
+// older servers before issuing ops they would reject.
 func (c *Client) Hello() (wire.Response, error) {
-	return c.Do(wire.Request{Op: wire.OpHello, Version: wire.ProtocolVersion})
+	req := wire.Request{Op: wire.OpHello, Version: wire.ProtocolVersion}
+	if c.PreferBinary {
+		req.Codec = wire.CodecNameBinary
+	}
+	resp, err := c.Do(req)
+	if err == nil && req.Codec == wire.CodecNameBinary && resp.Codec == wire.CodecNameBinary {
+		// The server confirmed the upgrade and switches right after its
+		// (JSON) reply; mirror it on both halves of this connection.
+		c.enc.SetCodec(wire.CodecBinary)
+		c.dec.SetCodec(wire.CodecBinary)
+	}
+	return resp, err
 }
+
+// Codec reports the connection's negotiated frame codec.
+func (c *Client) Codec() wire.Codec { return c.dec.Codec() }
 
 // Do sends one request and waits for its reply, routing any interleaved
 // snapshots to OnSnapshot. A server-side error becomes a Go error; a
@@ -170,6 +191,9 @@ type RetryConfig struct {
 	// Timeout is installed as the dialed Client's per-request
 	// deadline (default 0 = none).
 	Timeout time.Duration
+	// PreferBinary is installed on the dialed Client, so reconnecting
+	// clients re-negotiate the binary codec on every redial.
+	PreferBinary bool
 
 	// jitter returns the backoff scale factor; tests pin it.
 	jitter func() float64
@@ -217,6 +241,7 @@ func DialRetry(addr string, rc RetryConfig) (*Client, error) {
 		var cl *Client
 		if cl, err = Dial(addr); err == nil {
 			cl.Timeout = rc.Timeout
+			cl.PreferBinary = rc.PreferBinary
 			return cl, nil
 		}
 	}

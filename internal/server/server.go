@@ -16,6 +16,15 @@
 //   - coalesced periodic reads — one tick goroutine snapshots each
 //     running session's counters once and fans the frame out to all of
 //     the session's subscribers, instead of every subscriber polling;
+//   - encode-once fan-out — each tick's snapshot is serialized to
+//     bytes exactly once per codec in use and the shared immutable
+//     []byte flows through every subscriber and write queue, so frame
+//     serialization is a per-tick cost instead of a per-subscriber
+//     cost (the paper's 1–2%-overhead lesson applied to the serving
+//     path);
+//   - an opt-in binary wire codec (protocol v3, internal/wire) cutting
+//     frame bytes and encode/decode allocations for clients that
+//     negotiate it, with JSON lines as the transparent fallback;
 //   - bounded per-subscriber send queues with a drop-oldest policy, so
 //     one slow consumer can neither block the tick loop nor grow memory
 //     without bound;
@@ -33,6 +42,7 @@
 package server
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"fmt"
@@ -155,7 +165,14 @@ type Stats struct {
 	// write queues (socket-level backpressure, beyond the
 	// per-subscriber SnapshotsDropped).
 	WriteDrops uint64
-	TSDB       tsdb.Stats // zero when history is disabled
+	// FramesSentJSON/BytesSentJSON and their binary twins count
+	// outbound frames and payload bytes per codec, so operators can
+	// see which protocol their clients actually negotiated.
+	FramesSentJSON   uint64
+	FramesSentBinary uint64
+	BytesSentJSON    uint64
+	BytesSentBinary  uint64
+	TSDB             tsdb.Stats // zero when history is disabled
 }
 
 // CacheHitRate returns hits/(hits+misses), or 0 before any lookup.
@@ -190,6 +207,10 @@ type Server struct {
 	deadlineTrips atomic.Uint64
 	resyncs       atomic.Uint64
 	writeDrops    atomic.Uint64
+
+	// Per-codec outbound traffic, indexed by wire.Codec.
+	framesSent [2]atomic.Uint64
+	bytesSent  [2]atomic.Uint64
 }
 
 // New builds a Server; call Listen to start serving.
@@ -263,6 +284,10 @@ func (s *Server) Stats() Stats {
 		DeadlineTrips:    s.deadlineTrips.Load(),
 		Resyncs:          s.resyncs.Load(),
 		WriteDrops:       s.writeDrops.Load(),
+		FramesSentJSON:   s.framesSent[wire.CodecJSON].Load(),
+		FramesSentBinary: s.framesSent[wire.CodecBinary].Load(),
+		BytesSentJSON:    s.bytesSent[wire.CodecJSON].Load(),
+		BytesSentBinary:  s.bytesSent[wire.CodecBinary].Load(),
 	}
 	if s.hist != nil {
 		st.TSDB = s.hist.Stats()
@@ -354,7 +379,7 @@ func (s *Server) tick() {
 			return
 		}
 		if s.hist != nil {
-			s.hist.AppendRow(resp.Session, now, resp.Events, resp.Values)
+			s.hist.AppendBatch(resp.Session, now, resp.Events, resp.Values)
 		}
 		s.fanout(resp, subs)
 	})
@@ -365,13 +390,64 @@ func (s *Server) tick() {
 	}
 }
 
+// fanout serializes one snapshot at most once per codec in use and
+// hands the shared immutable bytes to every subscriber — the
+// encode-once path. With N subscribers on one codec the tick pays for
+// one Marshal, not N; the []byte is never mutated after this point, so
+// sharing it across queues is safe without copies or refcounts.
 func (s *Server) fanout(resp wire.Response, subs []*subscriber) {
+	var encoded [2][]byte // lazily built, indexed by wire.Codec
 	for _, sub := range subs {
+		codec := sub.c.codecNow()
+		payload := encoded[codec]
+		if payload == nil {
+			var err error
+			payload, err = wire.AppendFrame(nil, codec, &resp)
+			if err != nil {
+				s.logf("papid: snapshot encode (%s): %v", codec, err)
+				continue
+			}
+			encoded[codec] = payload
+		}
 		s.snapSent.Add(1)
-		if sub.push(resp) {
+		if sub.push(frame{payload: payload, codec: codec, droppable: true}) {
 			s.snapDropped.Add(1)
 		}
 	}
+}
+
+// frame is one pre-serialized outbound frame: the bytes on the wire,
+// ready for a plain socket write. Snapshot frames are droppable and
+// may share their payload with other connections' queues; request
+// replies are not droppable — a client must never miss the answer to a
+// request it is waiting on — and may carry a pooled buffer returned
+// after the write.
+type frame struct {
+	payload   []byte
+	codec     wire.Codec
+	droppable bool
+	// poolBuf, when non-nil, owns payload's backing array; the writer
+	// returns it to framePool after the socket write. Only
+	// single-owner reply frames set it — shared snapshot payloads are
+	// left to the GC.
+	poolBuf *[]byte
+}
+
+// framePool recycles reply-frame encode buffers. Replies are encoded
+// at enqueue time and consumed exactly once by the connection's writer
+// goroutine, so the buffer's lifetime is precisely enqueue→write.
+var framePool = sync.Pool{New: func() any { b := make([]byte, 0, 256); return &b }}
+
+// release returns a frame's pooled buffer, if it owns one.
+func (f *frame) release() {
+	if f.poolBuf == nil {
+		return
+	}
+	if cap(f.payload) <= 1<<16 {
+		*f.poolBuf = f.payload[:0]
+		framePool.Put(f.poolBuf)
+	}
+	f.poolBuf = nil
 }
 
 // subscriber is one SUBSCRIBE registration: a bounded queue drained by
@@ -380,15 +456,15 @@ func (s *Server) fanout(resp wire.Response, subs []*subscriber) {
 // viewer sees a gappy stream, never a stalled server.
 type subscriber struct {
 	c    *conn
-	ch   chan wire.Response
+	ch   chan frame
 	done chan struct{}
 }
 
-// push enqueues resp, dropping the oldest queued frame if the queue is
+// push enqueues f, dropping the oldest queued frame if the queue is
 // full. It reports whether anything was dropped.
-func (sub *subscriber) push(resp wire.Response) (dropped bool) {
+func (sub *subscriber) push(f frame) (dropped bool) {
 	select {
-	case sub.ch <- resp:
+	case sub.ch <- f:
 		return false
 	default:
 	}
@@ -403,7 +479,7 @@ func (sub *subscriber) push(resp wire.Response) (dropped bool) {
 	default:
 	}
 	select {
-	case sub.ch <- resp:
+	case sub.ch <- f:
 	default:
 		dropped = true
 	}
@@ -416,8 +492,8 @@ func (sub *subscriber) loop() {
 		select {
 		case <-sub.done:
 			return
-		case resp := <-sub.ch:
-			dropped, ok := sub.c.q.push(resp, true)
+		case f := <-sub.ch:
+			dropped, ok := sub.c.q.push(f)
 			if dropped {
 				sub.c.srv.writeDrops.Add(1)
 			}
@@ -426,14 +502,6 @@ func (sub *subscriber) loop() {
 			}
 		}
 	}
-}
-
-// outFrame is one queued outbound frame. Snapshot frames are
-// droppable; request replies are not — a client must never miss the
-// answer to a request it is waiting on.
-type outFrame struct {
-	resp      wire.Response
-	droppable bool
 }
 
 // writeQueue is the bounded per-connection outbound frame queue,
@@ -445,7 +513,7 @@ type outFrame struct {
 type writeQueue struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
-	frames []outFrame
+	frames []frame
 	max    int
 	closed bool
 }
@@ -460,44 +528,60 @@ func newWriteQueue(depth int) *writeQueue {
 // oldest queued one, or the new frame itself) was discarded to respect
 // the bound; ok is false when the queue is closed or jammed with
 // undroppable frames.
-func (q *writeQueue) push(resp wire.Response, droppable bool) (dropped, ok bool) {
+func (q *writeQueue) push(f frame) (dropped, ok bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
+		f.release()
 		return false, false
 	}
 	if len(q.frames) >= q.max {
 		evicted := false
 		for i := range q.frames {
 			if q.frames[i].droppable {
+				q.frames[i].release()
 				q.frames = append(q.frames[:i], q.frames[i+1:]...)
 				evicted = true
 				break
 			}
 		}
 		if !evicted {
-			if droppable {
+			if f.droppable {
 				return true, true // every queued frame outranks the new one
 			}
+			f.release()
 			return false, false // jammed: replies cannot make progress
 		}
 		dropped = true
 	}
-	q.frames = append(q.frames, outFrame{resp: resp, droppable: droppable})
+	q.frames = append(q.frames, f)
 	q.cond.Signal()
 	return dropped, true
 }
 
 // pop blocks until a frame is available; after close it drains the
 // backlog, then reports done.
-func (q *writeQueue) pop() (outFrame, bool) {
+func (q *writeQueue) pop() (frame, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	for len(q.frames) == 0 && !q.closed {
 		q.cond.Wait()
 	}
 	if len(q.frames) == 0 {
-		return outFrame{}, false
+		return frame{}, false
+	}
+	f := q.frames[0]
+	q.frames = q.frames[1:]
+	return f, true
+}
+
+// tryPop dequeues without blocking — the writer uses it to batch every
+// already-queued frame into one buffered flush.
+func (q *writeQueue) tryPop() (frame, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.frames) == 0 {
+		return frame{}, false
 	}
 	f := q.frames[0]
 	q.frames = q.frames[1:]
@@ -522,17 +606,32 @@ func (q *writeQueue) isClosed() bool {
 // conn is one client connection: a reader loop dispatching requests, a
 // writer loop draining the bounded outbound queue, and any subscriber
 // goroutines it registered. All socket writes funnel through the
-// writer loop, so one write deadline governs them uniformly.
+// writer loop, so one write deadline governs them uniformly. Frames
+// are serialized at enqueue time (replies) or at fan-out time
+// (snapshots, shared across subscribers); the writer only moves bytes.
 type conn struct {
 	srv *Server
 	nc  net.Conn
-	enc *wire.Encoder
 	q   *writeQueue
 
+	// codec is the negotiated frame encoding (wire.Codec); it flips
+	// from JSON to binary exactly once, after the HELLO reply that
+	// confirmed the upgrade was enqueued.
+	codec   atomic.Uint32
 	evicted atomic.Bool
 
 	mu   sync.Mutex
 	subs []subRef
+}
+
+// codecNow reports the connection's negotiated codec. Nil-safe:
+// detached subscribers (tests drive fanout without a conn) read as
+// JSON.
+func (c *conn) codecNow() wire.Codec {
+	if c == nil {
+		return wire.CodecJSON
+	}
+	return wire.Codec(c.codec.Load())
 }
 
 type subRef struct {
@@ -542,8 +641,7 @@ type subRef struct {
 
 func (s *Server) handle(nc net.Conn) {
 	defer s.wg.Done()
-	c := &conn{srv: s, nc: nc, enc: wire.NewEncoder(nc),
-		q: newWriteQueue(s.cfg.WriteQueueDepth)}
+	c := &conn{srv: s, nc: nc, q: newWriteQueue(s.cfg.WriteQueueDepth)}
 	s.connsMu.Lock()
 	s.conns[c] = struct{}{}
 	s.connsMu.Unlock()
@@ -560,10 +658,20 @@ func (s *Server) handle(nc net.Conn) {
 		if err := dec.Decode(&req); err != nil {
 			switch {
 			case wire.IsMalformed(err):
-				// One bad line must not kill the connection: reply
-				// with an error frame and resume at the next newline.
+				// One bad frame must not kill the connection: reply
+				// with an error frame and resume at the next boundary.
 				s.resyncs.Add(1)
 				if !c.send(wire.Response{Op: wire.OpError, Error: err.Error()}) {
+					return
+				}
+				if wire.IsFatalMalformed(err) {
+					// Binary framing with a broken length prefix has no
+					// resynchronization point: answer once, then cut the
+					// connection loose cleanly (teardown drains the
+					// ERROR frame before the socket closes).
+					if c.evicted.CompareAndSwap(false, true) {
+						s.evictions.Add(1)
+					}
 					return
 				}
 				continue
@@ -586,36 +694,78 @@ func (s *Server) handle(nc net.Conn) {
 		if req.Op == wire.OpBye {
 			return
 		}
+		if resp.Op == wire.OpHello && resp.Codec == wire.CodecNameBinary {
+			// The upgrade confirmation was enqueued (in JSON, by the
+			// send above); every frame from here on — ours and the
+			// peer's — is binary. The peer cannot have pipelined binary
+			// bytes earlier: it switches only after reading our reply.
+			c.codec.Store(uint32(wire.CodecBinary))
+			dec.SetCodec(wire.CodecBinary)
+		}
 	}
 }
 
 // writeLoop is the connection's single socket writer: it drains the
-// outbound queue, bounding each frame write by WriteTimeout. A trip or
-// write error evicts the connection — a peer that stopped reading is
-// cut loose rather than wedging a goroutine and unbounded memory
-// behind it. Closing the socket on exit also unblocks the reader.
+// outbound queue of pre-serialized frames, bounding each write by
+// WriteTimeout, and batches every already-queued frame into one
+// buffered flush so a burst of snapshots costs one syscall, not one
+// per frame. A deadline trip or write error evicts the connection — a
+// peer that stopped reading is cut loose rather than wedging a
+// goroutine and unbounded memory behind it. Closing the socket on exit
+// also unblocks the reader.
 func (c *conn) writeLoop() {
 	defer c.srv.wg.Done()
 	defer c.nc.Close()
+	bw := bufio.NewWriterSize(c.nc, 4096)
 	for {
 		f, ok := c.q.pop()
 		if !ok {
+			bw.Flush() // best-effort: the BYE reply of a clean teardown
 			return
 		}
-		if d := c.srv.cfg.WriteTimeout; d > 0 {
-			c.nc.SetWriteDeadline(time.Now().Add(d))
+		for {
+			if d := c.srv.cfg.WriteTimeout; d > 0 {
+				c.nc.SetWriteDeadline(time.Now().Add(d))
+			}
+			_, err := bw.Write(f.payload)
+			if err == nil {
+				c.srv.framesSent[f.codec].Add(1)
+				c.srv.bytesSent[f.codec].Add(uint64(len(f.payload)))
+			}
+			f.release()
+			if err != nil {
+				c.evict("write", err)
+				return
+			}
+			if next, more := c.q.tryPop(); more {
+				f = next
+				continue
+			}
+			break
 		}
-		if err := c.enc.Encode(&f.resp); err != nil {
+		if err := bw.Flush(); err != nil {
 			c.evict("write", err)
 			return
 		}
 	}
 }
 
-// send enqueues a reply frame, which is never dropped under pressure;
-// false means the connection is closed or was evicted for jamming.
+// send serializes a reply frame with the connection's codec and
+// enqueues it; replies are never dropped under pressure. false means
+// the connection is closed or was evicted for jamming. The encode
+// buffer is pooled: the writer returns it after the socket write.
 func (c *conn) send(resp wire.Response) bool {
-	if _, ok := c.q.push(resp, false); ok {
+	codec := c.codecNow()
+	bp := framePool.Get().(*[]byte)
+	payload, err := wire.AppendFrame((*bp)[:0], codec, &resp)
+	if err != nil {
+		*bp = (*bp)[:0]
+		framePool.Put(bp)
+		c.evict("reply encode", err)
+		return false
+	}
+	*bp = payload
+	if _, ok := c.q.push(frame{payload: payload, codec: codec, poolBuf: bp}); ok {
 		return true
 	}
 	if !c.q.isClosed() {
@@ -670,8 +820,17 @@ func (c *conn) teardown() {
 func (s *Server) dispatch(c *conn, req *wire.Request) wire.Response {
 	switch req.Op {
 	case wire.OpHello:
-		return wire.Response{Op: req.Op, OK: true,
+		resp := wire.Response{Op: req.Op, OK: true,
 			Protocol: wire.ProtocolVersion, Platform: s.cfg.DefaultPlatform}
+		// Confirm the binary upgrade only for v3+ peers that asked, and
+		// only before any subscription exists: a snapshot encoded
+		// concurrently with the codec flip could otherwise straddle the
+		// negotiation. (Clients negotiate first; this enforces it.)
+		if req.Codec == wire.CodecNameBinary && req.Version >= wire.MinProtocolBinary &&
+			(c == nil || !c.subscribing()) {
+			resp.Codec = wire.CodecNameBinary
+		}
+		return resp
 	case wire.OpCreate:
 		return s.createSession(req)
 	case wire.OpAddEvents:
@@ -700,7 +859,7 @@ func (s *Server) dispatch(c *conn, req *wire.Request) wire.Response {
 		})
 	case wire.OpSubscribe:
 		return s.withSession(req, func(sess *session) wire.Response {
-			sub := &subscriber{c: c, ch: make(chan wire.Response, s.cfg.QueueDepth), done: make(chan struct{})}
+			sub := &subscriber{c: c, ch: make(chan frame, s.cfg.QueueDepth), done: make(chan struct{})}
 			names, err := sess.addSubscriber(sub)
 			if err != nil {
 				return errResp(req, err)
@@ -719,7 +878,7 @@ func (s *Server) dispatch(c *conn, req *wire.Request) wire.Response {
 				return errResp(req, err)
 			}
 			if s.hist != nil {
-				s.hist.AppendRow(sess.id, s.cfg.now(), snap.Events, snap.Values)
+				s.hist.AppendBatch(sess.id, s.cfg.now(), snap.Events, snap.Values)
 			}
 			s.fanout(snap, subs)
 			return wire.Response{Op: req.Op, OK: true, Session: sess.id, Seq: snap.Seq}
@@ -762,21 +921,25 @@ func (s *Server) dispatch(c *conn, req *wire.Request) wire.Response {
 	case wire.OpStats:
 		st := s.Stats()
 		return wire.Response{Op: req.Op, OK: true, Stats: map[string]uint64{
-			"sessions":          uint64(st.Sessions),
-			"connections":       uint64(st.Connections),
-			"cache_hits":        st.CacheHits,
-			"cache_misses":      st.CacheMisses,
-			"snapshots_sent":    st.SnapshotsSent,
-			"snapshots_dropped": st.SnapshotsDropped,
-			"ticks":             st.Ticks,
-			"evictions":         st.Evictions,
-			"deadline_trips":    st.DeadlineTrips,
-			"resyncs":           st.Resyncs,
-			"write_drops":       st.WriteDrops,
-			"tsdb_bytes":        uint64(st.TSDB.Bytes),
-			"tsdb_series":       uint64(st.TSDB.Series),
-			"tsdb_samples":      st.TSDB.Samples,
-			"tsdb_evictions":    st.TSDB.Evictions,
+			"sessions":           uint64(st.Sessions),
+			"connections":        uint64(st.Connections),
+			"cache_hits":         st.CacheHits,
+			"cache_misses":       st.CacheMisses,
+			"snapshots_sent":     st.SnapshotsSent,
+			"snapshots_dropped":  st.SnapshotsDropped,
+			"ticks":              st.Ticks,
+			"evictions":          st.Evictions,
+			"deadline_trips":     st.DeadlineTrips,
+			"resyncs":            st.Resyncs,
+			"write_drops":        st.WriteDrops,
+			"frames_sent_json":   st.FramesSentJSON,
+			"frames_sent_binary": st.FramesSentBinary,
+			"bytes_sent_json":    st.BytesSentJSON,
+			"bytes_sent_binary":  st.BytesSentBinary,
+			"tsdb_bytes":         uint64(st.TSDB.Bytes),
+			"tsdb_series":        uint64(st.TSDB.Series),
+			"tsdb_samples":       st.TSDB.Samples,
+			"tsdb_evictions":     st.TSDB.Evictions,
 		}}
 	case wire.OpBye:
 		return wire.Response{Op: req.Op, OK: true}

@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"strings"
 	"sync"
@@ -243,17 +244,31 @@ func TestSubscribeFanout(t *testing.T) {
 // subscriber level: pushing into a full queue evicts the oldest frame
 // and keeps the newest.
 func TestDropOldestPolicy(t *testing.T) {
-	sub := &subscriber{ch: make(chan wire.Response, 2), done: make(chan struct{})}
-	if sub.push(wire.Response{Seq: 1}) {
+	sub := &subscriber{ch: make(chan frame, 2), done: make(chan struct{})}
+	mk := func(seq uint64) frame {
+		payload, err := wire.AppendFrame(nil, wire.CodecJSON, &wire.Response{Seq: seq})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return frame{payload: payload, droppable: true}
+	}
+	seqOf := func(f frame) uint64 {
+		var resp wire.Response
+		if err := json.Unmarshal(f.payload, &resp); err != nil {
+			t.Fatalf("frame payload: %v", err)
+		}
+		return resp.Seq
+	}
+	if sub.push(mk(1)) {
 		t.Error("dropped on an empty queue")
 	}
-	sub.push(wire.Response{Seq: 2})
-	if !sub.push(wire.Response{Seq: 3}) {
+	sub.push(mk(2))
+	if !sub.push(mk(3)) {
 		t.Error("no drop reported on a full queue")
 	}
-	got1, got2 := <-sub.ch, <-sub.ch
-	if got1.Seq != 2 || got2.Seq != 3 {
-		t.Errorf("queue holds seq %d,%d; want 2,3 (oldest dropped)", got1.Seq, got2.Seq)
+	got1, got2 := seqOf(<-sub.ch), seqOf(<-sub.ch)
+	if got1 != 2 || got2 != 3 {
+		t.Errorf("queue holds seq %d,%d; want 2,3 (oldest dropped)", got1, got2)
 	}
 }
 
@@ -273,7 +288,7 @@ func TestSlowConsumerDropsViaTick(t *testing.T) {
 	if !ok {
 		t.Fatal("session not registered")
 	}
-	stalled := &subscriber{ch: make(chan wire.Response, srv.cfg.QueueDepth), done: make(chan struct{})}
+	stalled := &subscriber{ch: make(chan frame, srv.cfg.QueueDepth), done: make(chan struct{})}
 	if _, err := sess.addSubscriber(stalled); err != nil {
 		t.Fatal(err)
 	}
@@ -290,7 +305,10 @@ func TestSlowConsumerDropsViaTick(t *testing.T) {
 	if st.SnapshotsDropped != 2 {
 		t.Errorf("dropped %d snapshots, want 2", st.SnapshotsDropped)
 	}
-	latest := <-stalled.ch
+	var latest wire.Response
+	if err := json.Unmarshal((<-stalled.ch).payload, &latest); err != nil {
+		t.Fatalf("frame payload: %v", err)
+	}
 	if latest.Seq != 3 {
 		t.Errorf("stalled queue holds seq %d, want the newest (3)", latest.Seq)
 	}

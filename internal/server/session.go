@@ -42,6 +42,14 @@ func (sess *session) addEvents(srv *Server, names []string) ([]string, error) {
 	if sess.closed {
 		return nil, errSessionClosed
 	}
+	if len(names) > 0 {
+		// Copy-on-write: snapshot frames encoded outside the lock hold
+		// references to the old slice, so grow into a fresh array
+		// instead of appending in place.
+		grown := make([]string, len(sess.names), len(sess.names)+len(names))
+		copy(grown, sess.names)
+		sess.names = grown
+	}
 	for _, name := range names {
 		ev, ok := papi.ResolveEvent(sess.sys, name)
 		if !ok {

@@ -78,6 +78,39 @@ func BenchmarkTSDBDecode(b *testing.B) {
 	_ = sink
 }
 
+// BenchmarkTSDBAppendBatch measures papid's tick shape — one row of E
+// events per op — batched (one lock round per shard) against the
+// sequential per-event path it replaced.
+func BenchmarkTSDBAppendBatch(b *testing.B) {
+	events := []string{"PAPI_TOT_CYC", "PAPI_FP_OPS", "PAPI_L1_DCM", "PAPI_TOT_INS",
+		"PAPI_BR_MSP", "PAPI_TLB_DM", "PAPI_L2_TCM", "PAPI_TOT_IIS"}
+	for _, mode := range []string{"batched", "serial"} {
+		for _, width := range []int{2, 8} {
+			b.Run(fmt.Sprintf("%s/events-%d", mode, width), func(b *testing.B) {
+				st := New(Config{MaxBytes: 1 << 30, MaxAge: -1})
+				samples := benchSamples(1 << 16)
+				row := make([]int64, width)
+				b.SetBytes(int64(16 * width))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					s := samples[i&(1<<16-1)]
+					ts := s.ts + int64(i>>16)*samples[len(samples)-1].ts
+					for e := range row {
+						row[e] = s.v + int64(e)
+					}
+					if mode == "batched" {
+						st.AppendBatch(1, ts, events[:width], row)
+					} else {
+						for e := 0; e < width; e++ {
+							st.Append(1, events[e], ts, row[e])
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkTSDBQuery measures query latency over a populated store at
 // 1, 8 and 64 concurrent queriers mixing rollup- and raw-resolution
 // reads.
@@ -92,9 +125,9 @@ func BenchmarkTSDBQuery(b *testing.B) {
 	}
 	last := samples[len(samples)-1].ts
 	queries := []Query{
-		{From: 0, To: last, Step: 60_000_000},                         // full range, 60s rollup
-		{From: last / 2, To: last, Step: 10_000_000},                  // half range, 10s rollup
-		{From: last - 2_000_000, To: last, Step: 100_000},             // recent 2s, raw decode
+		{From: 0, To: last, Step: 60_000_000},                          // full range, 60s rollup
+		{From: last / 2, To: last, Step: 10_000_000},                   // half range, 10s rollup
+		{From: last - 2_000_000, To: last, Step: 100_000},              // recent 2s, raw decode
 		{Events: events[:1], From: 0, To: last, Step: 10 * 60_000_000}, // coarse single event
 	}
 	for _, nq := range []int{1, 8, 64} {

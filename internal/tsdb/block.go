@@ -118,5 +118,5 @@ func appendZigzag(dst []byte, v int64) []byte {
 
 // zigzag maps signed to unsigned so small negatives stay small on the
 // varint wire: 0,-1,1,-2,2 → 0,1,2,3,4.
-func zigzag(v int64) uint64  { return uint64((v << 1) ^ (v >> 63)) }
+func zigzag(v int64) uint64   { return uint64((v << 1) ^ (v >> 63)) }
 func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }

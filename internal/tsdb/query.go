@@ -102,7 +102,7 @@ func (s *Store) querySeries(key SeriesKey, q Query) (Series, bool) {
 		return Series{Event: key.Event, Buckets: bks}, true
 	}
 
-	effFrom := q.From - mod(q.From, q.Step) // align the first window down
+	effFrom := q.From - mod(q.From, q.Step)           // align the first window down
 	effTo := q.To + (q.Step-mod(q.To, q.Step))%q.Step // align the last window up:
 	// a window starting before To is aggregated whole, even past To
 	if effTo < q.To { // alignment overflowed (To near MaxInt64)

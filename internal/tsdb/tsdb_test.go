@@ -1,6 +1,7 @@
 package tsdb
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 	"time"
@@ -88,8 +89,8 @@ func TestQueryAgainstBruteForce100k(t *testing.T) {
 		step      int64
 		wantWidth int64
 	}{
-		{"raw-5ms", 5_000, 0},                 // finer than any rollup → raw decode
-		{"raw-35ms", 35_000, 0},               // no rollup divides it → raw decode
+		{"raw-5ms", 5_000, 0},   // finer than any rollup → raw decode
+		{"raw-35ms", 35_000, 0}, // no rollup divides it → raw decode
 		{"rollup-10s", 10_000_000, 10_000_000},
 		{"rollup-30s", 30_000_000, 10_000_000}, // 3 × 10s buckets per window
 		{"rollup-60s", 60_000_000, 60_000_000},
@@ -307,5 +308,64 @@ func TestConcurrentAppendQuery(t *testing.T) {
 			st.Query(uint64(time.Now().UnixNano()%4), Query{From: 0, To: 1 << 40, Step: 10_000_000})
 			st.Stats()
 		}
+	}
+}
+
+// TestAppendBatchEquivalence: a batched row must leave the store in
+// exactly the state E sequential Appends would — same query results,
+// same sample/byte accounting — including rows whose events collide
+// into one shard and rows wider than the grouping bitmap.
+func TestAppendBatchEquivalence(t *testing.T) {
+	const sessions, ticks = 3, 400
+	events := make([]string, 70) // > 64 forces the wide-row fallback too
+	for i := range events {
+		events[i] = fmt.Sprintf("PAPI_EV_%02d", i)
+	}
+	for _, width := range []int{1, 2, 8, len(events)} {
+		batched := New(Config{MaxBytes: 1 << 30, MaxAge: -1})
+		serial := New(Config{MaxBytes: 1 << 30, MaxAge: -1})
+		row := make([]int64, width)
+		for sess := uint64(1); sess <= sessions; sess++ {
+			ts, rng := int64(0), rand.New(rand.NewSource(int64(sess)*7+int64(width)))
+			for tick := 0; tick < ticks; tick++ {
+				ts += 50_000 + rng.Int63n(31)
+				for e := 0; e < width; e++ {
+					row[e] += 1_000 + rng.Int63n(97)
+				}
+				batched.AppendBatch(sess, ts, events[:width], row)
+				for e := 0; e < width; e++ {
+					serial.Append(sess, events[e], ts, row[e])
+				}
+			}
+		}
+		bs, ss := batched.Stats(), serial.Stats()
+		if bs != ss {
+			t.Fatalf("width %d: stats diverge: batched %+v, serial %+v", width, bs, ss)
+		}
+		for sess := uint64(1); sess <= sessions; sess++ {
+			for e := 0; e < width; e++ {
+				q := Query{Events: []string{events[e]}, From: 0, To: 1 << 62, Step: 0}
+				bq := batched.Query(sess, q)
+				sq := serial.Query(sess, q)
+				if len(bq) != 1 || len(sq) != 1 {
+					t.Fatalf("width %d sess %d %s: %d/%d series", width, sess, events[e], len(bq), len(sq))
+				}
+				sameBuckets(t, fmt.Sprintf("width %d sess %d %s", width, sess, events[e]),
+					bq[0].Buckets, sq[0].Buckets)
+			}
+		}
+	}
+}
+
+// TestAppendBatchRaggedRow: extra values without names are ignored,
+// mirroring AppendRow's historical min(len) contract.
+func TestAppendBatchRaggedRow(t *testing.T) {
+	st := New(Config{MaxBytes: 1 << 30, MaxAge: -1})
+	st.AppendBatch(1, 100, []string{"A", "B"}, []int64{1, 2, 3})
+	st.AppendBatch(1, 200, []string{"A", "B", "C"}, []int64{4, 5})
+	st.AppendBatch(1, 300, nil, []int64{9})
+	stats := st.Stats()
+	if stats.Series != 2 || stats.Samples != 4 {
+		t.Fatalf("ragged rows: %+v", stats)
 	}
 }

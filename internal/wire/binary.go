@@ -1,0 +1,633 @@
+// The binary codec (protocol v3): an opt-in replacement for the
+// JSON-lines framing on connections where frame volume lives —
+// snapshot fan-out and QUERY replies. One frame is a uvarint length
+// prefix followed by that many payload bytes; the payload is a
+// presence-bitmap struct encoding with strings length-prefixed and
+// every integer a varint (counter values zigzag-encoded, so the large
+// cumulative counts that dominate snapshot frames cost their
+// information content instead of their decimal width).
+//
+// The codec is negotiated per connection: a HELLO request carrying
+// `"codec":"binary"` (still JSON) is answered by a JSON HELLO reply
+// echoing the codec, and both sides switch from the next frame on.
+// Peers that never ask — or servers that never confirm — stay on JSON
+// lines, so a v2 binary never meets a v3 binary frame.
+//
+// Framing errors are classified by recoverability: a payload that
+// fails to decode inside a well-delimited frame is an ordinary
+// MalformedFrameError (the next frame starts at a known offset), while
+// a broken length prefix — truncated varint, oversized frame — is
+// fatal, because without a trustworthy prefix there is no
+// resynchronization point. Callers answer fatal errors with one wire
+// ERROR and then close, papid's "clean eviction".
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/tsdb"
+)
+
+// Codec selects a frame encoding for Encoder, Decoder and AppendFrame.
+type Codec uint8
+
+const (
+	// CodecJSON is the newline-delimited JSON default (protocol <= 2).
+	CodecJSON Codec = iota
+	// CodecBinary is the length-prefixed varint codec (protocol >= 3).
+	CodecBinary
+)
+
+// CodecNameBinary is the HELLO negotiation token for CodecBinary.
+const CodecNameBinary = "binary"
+
+func (c Codec) String() string {
+	if c == CodecBinary {
+		return CodecNameBinary
+	}
+	return "json"
+}
+
+// MaxFrameBytes caps one binary frame. A length prefix above it is
+// rejected before any allocation, so a hostile or corrupt prefix can
+// demand at most a varint's worth of reading, never gigabytes.
+const MaxFrameBytes = 4 << 20
+
+// appendBinaryFrame appends one length-prefixed binary frame for v,
+// which must be a *Request or *Response (the only types on the papid
+// wire; perfometer's point stream stays on JSON).
+func appendBinaryFrame(dst []byte, v any) ([]byte, error) {
+	bp := getBuf()
+	payload, err := appendBinaryPayload((*bp)[:0], v)
+	if err == nil {
+		dst = binary.AppendUvarint(dst, uint64(len(payload)))
+		dst = append(dst, payload...)
+	}
+	*bp = payload[:0]
+	putBuf(bp)
+	return dst, err
+}
+
+func appendBinaryPayload(dst []byte, v any) ([]byte, error) {
+	switch m := v.(type) {
+	case *Request:
+		return appendRequest(dst, m), nil
+	case Request:
+		return appendRequest(dst, &m), nil
+	case *Response:
+		return appendResponse(dst, m), nil
+	case Response:
+		return appendResponse(dst, &m), nil
+	}
+	return dst, fmt.Errorf("binary codec cannot encode %T", v)
+}
+
+// decodeBinaryPayload decodes one frame's payload into v. Any error is
+// a content error within a known frame boundary — recoverable.
+func decodeBinaryPayload(payload []byte, v any) error {
+	r := binReader{buf: payload}
+	var err error
+	switch m := v.(type) {
+	case *Request:
+		err = readRequest(&r, m)
+	case *Response:
+		err = readResponse(&r, m)
+	default:
+		return fmt.Errorf("binary codec cannot decode into %T", v)
+	}
+	if err != nil {
+		return err
+	}
+	if len(r.buf) != 0 {
+		return fmt.Errorf("%d trailing bytes after payload", len(r.buf))
+	}
+	return nil
+}
+
+// Request field presence bits, in encoding order.
+const (
+	reqOp = 1 << iota
+	reqSession
+	reqPlatform
+	reqEvents
+	reqWorkload
+	reqN
+	reqValues
+	reqLabel
+	reqVersion
+	reqCodec
+	reqFrom
+	reqTo
+	reqStep
+
+	reqKnown = reqStep<<1 - 1
+)
+
+func appendRequest(dst []byte, r *Request) []byte {
+	var bits uint64
+	setIf := func(cond bool, bit uint64) {
+		if cond {
+			bits |= bit
+		}
+	}
+	setIf(r.Op != "", reqOp)
+	setIf(r.Session != 0, reqSession)
+	setIf(r.Platform != "", reqPlatform)
+	setIf(len(r.Events) > 0, reqEvents)
+	setIf(r.Workload != "", reqWorkload)
+	setIf(r.N != 0, reqN)
+	setIf(len(r.Values) > 0, reqValues)
+	setIf(r.Label != "", reqLabel)
+	setIf(r.Version != 0, reqVersion)
+	setIf(r.Codec != "", reqCodec)
+	setIf(r.From != 0, reqFrom)
+	setIf(r.To != 0, reqTo)
+	setIf(r.Step != 0, reqStep)
+
+	dst = binary.AppendUvarint(dst, bits)
+	if bits&reqOp != 0 {
+		dst = appendStr(dst, r.Op)
+	}
+	if bits&reqSession != 0 {
+		dst = binary.AppendUvarint(dst, r.Session)
+	}
+	if bits&reqPlatform != 0 {
+		dst = appendStr(dst, r.Platform)
+	}
+	if bits&reqEvents != 0 {
+		dst = appendStrs(dst, r.Events)
+	}
+	if bits&reqWorkload != 0 {
+		dst = appendStr(dst, r.Workload)
+	}
+	if bits&reqN != 0 {
+		dst = appendZigzag(dst, int64(r.N))
+	}
+	if bits&reqValues != 0 {
+		dst = appendI64s(dst, r.Values)
+	}
+	if bits&reqLabel != 0 {
+		dst = appendStr(dst, r.Label)
+	}
+	if bits&reqVersion != 0 {
+		dst = appendZigzag(dst, int64(r.Version))
+	}
+	if bits&reqCodec != 0 {
+		dst = appendStr(dst, r.Codec)
+	}
+	if bits&reqFrom != 0 {
+		dst = appendZigzag(dst, r.From)
+	}
+	if bits&reqTo != 0 {
+		dst = appendZigzag(dst, r.To)
+	}
+	if bits&reqStep != 0 {
+		dst = appendZigzag(dst, r.Step)
+	}
+	return dst
+}
+
+func readRequest(r *binReader, m *Request) error {
+	bits, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	if bits&^uint64(reqKnown) != 0 {
+		return fmt.Errorf("unknown request field bits %#x", bits&^uint64(reqKnown))
+	}
+	*m = Request{}
+	if bits&reqOp != 0 {
+		if m.Op, err = r.str(); err != nil {
+			return err
+		}
+	}
+	if bits&reqSession != 0 {
+		if m.Session, err = r.uvarint(); err != nil {
+			return err
+		}
+	}
+	if bits&reqPlatform != 0 {
+		if m.Platform, err = r.str(); err != nil {
+			return err
+		}
+	}
+	if bits&reqEvents != 0 {
+		if m.Events, err = r.strs(); err != nil {
+			return err
+		}
+	}
+	if bits&reqWorkload != 0 {
+		if m.Workload, err = r.str(); err != nil {
+			return err
+		}
+	}
+	if bits&reqN != 0 {
+		n, err := r.zigzag()
+		if err != nil {
+			return err
+		}
+		m.N = int(n)
+	}
+	if bits&reqValues != 0 {
+		if m.Values, err = r.i64s(); err != nil {
+			return err
+		}
+	}
+	if bits&reqLabel != 0 {
+		if m.Label, err = r.str(); err != nil {
+			return err
+		}
+	}
+	if bits&reqVersion != 0 {
+		v, err := r.zigzag()
+		if err != nil {
+			return err
+		}
+		m.Version = int(v)
+	}
+	if bits&reqCodec != 0 {
+		if m.Codec, err = r.str(); err != nil {
+			return err
+		}
+	}
+	if bits&reqFrom != 0 {
+		if m.From, err = r.zigzag(); err != nil {
+			return err
+		}
+	}
+	if bits&reqTo != 0 {
+		if m.To, err = r.zigzag(); err != nil {
+			return err
+		}
+	}
+	if bits&reqStep != 0 {
+		if m.Step, err = r.zigzag(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Response field presence bits, in encoding order. respOK carries the
+// boolean itself: the bit set means OK == true.
+const (
+	respOp = 1 << iota
+	respOK
+	respError
+	respSession
+	respPlatform
+	respEvents
+	respValues
+	respRealUsec
+	respSeq
+	respProtocol
+	respSource
+	respStats
+	respSeries
+	respCodec
+
+	respKnown = respCodec<<1 - 1
+)
+
+func appendResponse(dst []byte, m *Response) []byte {
+	var bits uint64
+	setIf := func(cond bool, bit uint64) {
+		if cond {
+			bits |= bit
+		}
+	}
+	setIf(m.Op != "", respOp)
+	setIf(m.OK, respOK)
+	setIf(m.Error != "", respError)
+	setIf(m.Session != 0, respSession)
+	setIf(m.Platform != "", respPlatform)
+	setIf(len(m.Events) > 0, respEvents)
+	setIf(len(m.Values) > 0, respValues)
+	setIf(m.RealUsec != 0, respRealUsec)
+	setIf(m.Seq != 0, respSeq)
+	setIf(m.Protocol != 0, respProtocol)
+	setIf(m.Source != "", respSource)
+	setIf(len(m.Stats) > 0, respStats)
+	setIf(len(m.Series) > 0, respSeries)
+	setIf(m.Codec != "", respCodec)
+
+	dst = binary.AppendUvarint(dst, bits)
+	if bits&respOp != 0 {
+		dst = appendStr(dst, m.Op)
+	}
+	if bits&respError != 0 {
+		dst = appendStr(dst, m.Error)
+	}
+	if bits&respSession != 0 {
+		dst = binary.AppendUvarint(dst, m.Session)
+	}
+	if bits&respPlatform != 0 {
+		dst = appendStr(dst, m.Platform)
+	}
+	if bits&respEvents != 0 {
+		dst = appendStrs(dst, m.Events)
+	}
+	if bits&respValues != 0 {
+		dst = appendI64s(dst, m.Values)
+	}
+	if bits&respRealUsec != 0 {
+		dst = binary.AppendUvarint(dst, m.RealUsec)
+	}
+	if bits&respSeq != 0 {
+		dst = binary.AppendUvarint(dst, m.Seq)
+	}
+	if bits&respProtocol != 0 {
+		dst = appendZigzag(dst, int64(m.Protocol))
+	}
+	if bits&respSource != 0 {
+		dst = appendStr(dst, m.Source)
+	}
+	if bits&respStats != 0 {
+		dst = appendStats(dst, m.Stats)
+	}
+	if bits&respSeries != 0 {
+		dst = appendSeries(dst, m.Series)
+	}
+	if bits&respCodec != 0 {
+		dst = appendStr(dst, m.Codec)
+	}
+	return dst
+}
+
+func readResponse(r *binReader, m *Response) error {
+	bits, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	if bits&^uint64(respKnown) != 0 {
+		return fmt.Errorf("unknown response field bits %#x", bits&^uint64(respKnown))
+	}
+	*m = Response{OK: bits&respOK != 0}
+	if bits&respOp != 0 {
+		if m.Op, err = r.str(); err != nil {
+			return err
+		}
+	}
+	if bits&respError != 0 {
+		if m.Error, err = r.str(); err != nil {
+			return err
+		}
+	}
+	if bits&respSession != 0 {
+		if m.Session, err = r.uvarint(); err != nil {
+			return err
+		}
+	}
+	if bits&respPlatform != 0 {
+		if m.Platform, err = r.str(); err != nil {
+			return err
+		}
+	}
+	if bits&respEvents != 0 {
+		if m.Events, err = r.strs(); err != nil {
+			return err
+		}
+	}
+	if bits&respValues != 0 {
+		if m.Values, err = r.i64s(); err != nil {
+			return err
+		}
+	}
+	if bits&respRealUsec != 0 {
+		if m.RealUsec, err = r.uvarint(); err != nil {
+			return err
+		}
+	}
+	if bits&respSeq != 0 {
+		if m.Seq, err = r.uvarint(); err != nil {
+			return err
+		}
+	}
+	if bits&respProtocol != 0 {
+		p, err := r.zigzag()
+		if err != nil {
+			return err
+		}
+		m.Protocol = int(p)
+	}
+	if bits&respSource != 0 {
+		if m.Source, err = r.str(); err != nil {
+			return err
+		}
+	}
+	if bits&respStats != 0 {
+		if m.Stats, err = r.stats(); err != nil {
+			return err
+		}
+	}
+	if bits&respSeries != 0 {
+		if m.Series, err = r.series(); err != nil {
+			return err
+		}
+	}
+	if bits&respCodec != 0 {
+		if m.Codec, err = r.str(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func appendStr(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func appendStrs(dst []byte, ss []string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(ss)))
+	for _, s := range ss {
+		dst = appendStr(dst, s)
+	}
+	return dst
+}
+
+func appendI64s(dst []byte, vs []int64) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(vs)))
+	for _, v := range vs {
+		dst = appendZigzag(dst, v)
+	}
+	return dst
+}
+
+// appendStats writes the map key-sorted so identical responses encode
+// identically — byte-for-byte determinism keeps tests and diffs sane.
+func appendStats(dst []byte, st map[string]uint64) []byte {
+	keys := make([]string, 0, len(st))
+	for k := range st {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	dst = binary.AppendUvarint(dst, uint64(len(keys)))
+	for _, k := range keys {
+		dst = appendStr(dst, k)
+		dst = binary.AppendUvarint(dst, st[k])
+	}
+	return dst
+}
+
+func appendSeries(dst []byte, series []tsdb.Series) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(series)))
+	for _, sr := range series {
+		dst = appendStr(dst, sr.Event)
+		dst = appendZigzag(dst, sr.Width)
+		dst = binary.AppendUvarint(dst, uint64(len(sr.Buckets)))
+		for _, bk := range sr.Buckets {
+			dst = appendZigzag(dst, bk.Start)
+			dst = binary.AppendUvarint(dst, bk.Count)
+			dst = appendZigzag(dst, bk.Min)
+			dst = appendZigzag(dst, bk.Max)
+			dst = appendZigzag(dst, bk.Sum)
+			dst = appendZigzag(dst, bk.Last)
+		}
+	}
+	return dst
+}
+
+func appendZigzag(dst []byte, v int64) []byte {
+	return binary.AppendUvarint(dst, uint64(v<<1)^uint64(v>>63))
+}
+
+var errTruncated = errors.New("truncated binary payload")
+
+// binReader is a bounds-checked cursor over one frame's payload. Every
+// count it reads is sanity-checked against the bytes remaining (each
+// element costs at least one byte), so a corrupt count cannot demand
+// an allocation larger than the frame that carried it.
+type binReader struct {
+	buf []byte
+}
+
+func (r *binReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.buf)
+	if n <= 0 {
+		return 0, errTruncated
+	}
+	r.buf = r.buf[n:]
+	return v, nil
+}
+
+func (r *binReader) zigzag() (int64, error) {
+	u, err := r.uvarint()
+	return int64(u>>1) ^ -int64(u&1), err
+}
+
+func (r *binReader) count() (int, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if n > uint64(len(r.buf)) {
+		return 0, fmt.Errorf("count %d exceeds %d payload bytes", n, len(r.buf))
+	}
+	return int(n), nil
+}
+
+func (r *binReader) str() (string, error) {
+	n, err := r.count()
+	if err != nil {
+		return "", err
+	}
+	s := string(r.buf[:n])
+	r.buf = r.buf[n:]
+	return s, nil
+}
+
+func (r *binReader) strs() ([]string, error) {
+	n, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, n)
+	for i := range out {
+		if out[i], err = r.str(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (r *binReader) i64s() ([]int64, error) {
+	n, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int64, n)
+	for i := range out {
+		if out[i], err = r.zigzag(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (r *binReader) stats() (map[string]uint64, error) {
+	n, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]uint64, n)
+	for i := 0; i < n; i++ {
+		k, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		v, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		out[k] = v
+	}
+	return out, nil
+}
+
+func (r *binReader) series() ([]tsdb.Series, error) {
+	n, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]tsdb.Series, n)
+	for i := range out {
+		if out[i].Event, err = r.str(); err != nil {
+			return nil, err
+		}
+		if out[i].Width, err = r.zigzag(); err != nil {
+			return nil, err
+		}
+		nb, err := r.count()
+		if err != nil {
+			return nil, err
+		}
+		buckets := make([]tsdb.Bucket, nb)
+		for j := range buckets {
+			bk := &buckets[j]
+			if bk.Start, err = r.zigzag(); err != nil {
+				return nil, err
+			}
+			if bk.Count, err = r.uvarint(); err != nil {
+				return nil, err
+			}
+			if bk.Min, err = r.zigzag(); err != nil {
+				return nil, err
+			}
+			if bk.Max, err = r.zigzag(); err != nil {
+				return nil, err
+			}
+			if bk.Sum, err = r.zigzag(); err != nil {
+				return nil, err
+			}
+			if bk.Last, err = r.zigzag(); err != nil {
+				return nil, err
+			}
+		}
+		out[i].Buckets = buckets
+	}
+	return out, nil
+}

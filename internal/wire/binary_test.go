@@ -1,0 +1,224 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/tsdb"
+)
+
+// binFrame encodes one frame the way Encoder would, for feeding raw
+// streams to the decoder under test.
+func binFrame(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := AppendFrame(nil, CodecBinary, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestBinaryRequestRoundTrip(t *testing.T) {
+	reqs := []Request{
+		{},
+		{Op: OpHello, Version: 3, Codec: CodecNameBinary},
+		{Op: OpCreate, Platform: "aix-power3", Events: []string{"PAPI_FP_INS", "PAPI_TOT_CYC"},
+			Workload: "dot", N: 4096, Label: "run-1"},
+		{Op: OpPublish, Session: 7, Values: []int64{0, -1, 1 << 62, -(1 << 62)}},
+		{Op: OpQuery, Session: 9, From: -5, To: 1 << 40, Step: 10_000_000},
+	}
+	var stream []byte
+	for i := range reqs {
+		stream = append(stream, binFrame(t, &reqs[i])...)
+	}
+	dec := NewDecoder(bytes.NewReader(stream))
+	dec.SetCodec(CodecBinary)
+	for i := range reqs {
+		var got Request
+		if err := dec.Decode(&got); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, reqs[i]) {
+			t.Errorf("frame %d: got %+v, want %+v", i, got, reqs[i])
+		}
+	}
+	var extra Request
+	if err := dec.Decode(&extra); !IsEOF(err) {
+		t.Errorf("after last frame: err = %v, want EOF", err)
+	}
+}
+
+func TestBinaryResponseRoundTrip(t *testing.T) {
+	resps := []Response{
+		{},
+		{Op: OpHello, OK: true, Protocol: 3, Platform: "linux-x86", Codec: CodecNameBinary},
+		{Op: OpSnapshot, OK: true, Session: 12, Seq: 99, RealUsec: 1 << 50,
+			Events: []string{"PAPI_TOT_CYC"}, Values: []int64{1234567890123}, Source: "live"},
+		{Op: OpError, Error: "unknown event \"X\""},
+		{Op: OpStats, OK: true, Stats: map[string]uint64{"ticks": 7, "evictions": 0, "bytes_sent_binary": 1 << 33}},
+		{Op: OpQuery, OK: true, Session: 3, Series: []tsdb.Series{{
+			Event: "PAPI_FP_INS", Width: 10_000_000,
+			Buckets: []tsdb.Bucket{{Start: -20, Count: 3, Min: -7, Max: 1 << 61, Sum: 42, Last: 41}},
+		}}},
+	}
+	var stream []byte
+	for i := range resps {
+		stream = append(stream, binFrame(t, &resps[i])...)
+	}
+	dec := NewDecoder(bytes.NewReader(stream))
+	dec.SetCodec(CodecBinary)
+	for i := range resps {
+		var got Response
+		if err := dec.Decode(&got); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		want := resps[i]
+		// An empty map encodes as absent; normalize for the comparison.
+		if len(want.Stats) == 0 {
+			want.Stats = nil
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("frame %d:\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+}
+
+// TestBinarySmallerThanJSON pins the codec's reason to exist: a
+// realistic snapshot frame must be substantially smaller in binary.
+func TestBinarySmallerThanJSON(t *testing.T) {
+	resp := Response{Op: OpSnapshot, OK: true, Session: 41, Seq: 100052,
+		Events:   []string{"PAPI_TOT_CYC", "PAPI_FP_INS", "PAPI_L1_DCM", "PAPI_TLB_TL"},
+		Values:   []int64{982451653000123, 17180131327, 6700417, 104729},
+		RealUsec: 73_000_000, Source: "live"}
+	bin := binFrame(t, &resp)
+	js, err := AppendFrame(nil, CodecJSON, &resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bin)*2 >= len(js) {
+		t.Errorf("binary frame %dB not < half of JSON frame %dB", len(bin), len(js))
+	}
+}
+
+// TestBinaryRecoverableMalformed: a garbage payload inside a correct
+// length prefix poisons only its own frame — the next frame decodes.
+func TestBinaryRecoverableMalformed(t *testing.T) {
+	bad := binary.AppendUvarint(nil, 4)
+	bad = append(bad, 0xff, 0xff, 0xff, 0xff) // bits varint says fields follow; nothing does
+	stream := append(bad, binFrame(t, &Request{Op: OpBye})...)
+
+	dec := NewDecoder(bytes.NewReader(stream))
+	dec.SetCodec(CodecBinary)
+	var req Request
+	err := dec.Decode(&req)
+	if !IsMalformed(err) || IsFatalMalformed(err) {
+		t.Fatalf("bad payload: err = %v, want recoverable MalformedFrameError", err)
+	}
+	if err := dec.Decode(&req); err != nil || req.Op != OpBye {
+		t.Fatalf("frame after recoverable error: %+v, %v", req, err)
+	}
+}
+
+// TestBinaryUnknownFieldBits: a frame from a hypothetical newer peer
+// with extra presence bits is rejected as recoverable, not misparsed.
+func TestBinaryUnknownFieldBits(t *testing.T) {
+	payload := binary.AppendUvarint(nil, reqKnown+1) // one bit past the known set
+	stream := binary.AppendUvarint(nil, uint64(len(payload)))
+	stream = append(stream, payload...)
+	dec := NewDecoder(bytes.NewReader(stream))
+	dec.SetCodec(CodecBinary)
+	var req Request
+	err := dec.Decode(&req)
+	if !IsMalformed(err) || IsFatalMalformed(err) {
+		t.Fatalf("unknown bits: err = %v, want recoverable MalformedFrameError", err)
+	}
+}
+
+func TestBinaryFatalFraming(t *testing.T) {
+	cases := []struct {
+		name   string
+		stream []byte
+	}{
+		{"oversized length prefix", binary.AppendUvarint(nil, MaxFrameBytes+1)},
+		{"varint never terminates", bytes.Repeat([]byte{0x80}, binary.MaxVarintLen64+2)},
+		{"varint overflows", append(bytes.Repeat([]byte{0xff}, 9), 0x7f, 0x00)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dec := NewDecoder(bytes.NewReader(tc.stream))
+			dec.SetCodec(CodecBinary)
+			var req Request
+			err := dec.Decode(&req)
+			if !IsFatalMalformed(err) {
+				t.Fatalf("err = %v, want fatal MalformedFrameError", err)
+			}
+		})
+	}
+}
+
+// TestBinaryTruncatedEOF: the stream ends mid-frame — fatal, because
+// the promised bytes can never arrive.
+func TestBinaryTruncatedEOF(t *testing.T) {
+	whole := binFrame(t, &Request{Op: OpCreate, Events: []string{"PAPI_TOT_CYC"}})
+	dec := NewDecoder(bytes.NewReader(whole[:len(whole)-2]))
+	dec.SetCodec(CodecBinary)
+	var req Request
+	err := dec.Decode(&req)
+	if !IsFatalMalformed(err) {
+		t.Fatalf("truncated stream: err = %v, want fatal MalformedFrameError", err)
+	}
+}
+
+// TestBinaryPartialFrameAcrossDeadline: a read deadline tripping
+// mid-frame must surface as a timeout with the partial bytes kept, and
+// the retry must complete the same frame — the slow-writer case.
+func TestBinaryPartialFrameAcrossDeadline(t *testing.T) {
+	cl, srv := net.Pipe()
+	defer cl.Close()
+	defer srv.Close()
+
+	whole := binFrame(t, &Request{Op: OpPublish, Session: 5, Values: []int64{1, 2, 3}})
+	half := len(whole) / 2
+	go cl.Write(whole[:half])
+
+	dec := NewDecoder(srv)
+	dec.SetCodec(CodecBinary)
+	var req Request
+	srv.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	if err := dec.Decode(&req); !IsTimeout(err) {
+		t.Fatalf("mid-frame deadline: err = %v, want timeout", err)
+	}
+
+	go cl.Write(whole[half:])
+	srv.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if err := dec.Decode(&req); err != nil {
+		t.Fatalf("resumed frame: %v", err)
+	}
+	if req.Op != OpPublish || req.Session != 5 || len(req.Values) != 3 {
+		t.Errorf("resumed frame decoded to %+v", req)
+	}
+}
+
+// TestSetCodecKeepsPipelinedBytes: bytes the peer sent behind the
+// negotiation frame, already sitting in the buffered reader, must
+// survive the codec switch — the upgrade handshake's pipelining case.
+func TestSetCodecKeepsPipelinedBytes(t *testing.T) {
+	var stream []byte
+	stream = append(stream, []byte(`{"op":"HELLO","version":3,"codec":"binary"}`+"\n")...)
+	stream = append(stream, binFrame(t, &Request{Op: OpRead, Session: 2})...)
+
+	dec := NewDecoder(bytes.NewReader(stream))
+	var hello Request
+	if err := dec.Decode(&hello); err != nil || hello.Op != OpHello {
+		t.Fatalf("hello: %+v, %v", hello, err)
+	}
+	dec.SetCodec(CodecBinary)
+	var read Request
+	if err := dec.Decode(&read); err != nil || read.Op != OpRead || read.Session != 2 {
+		t.Fatalf("pipelined binary frame: %+v, %v", read, err)
+	}
+}

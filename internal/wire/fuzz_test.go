@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"encoding/binary"
 	"strings"
 	"testing"
 
@@ -17,11 +18,11 @@ func FuzzDecode(f *testing.F) {
 	f.Add([]byte(`{"op":"HELLO"}` + "\n"))
 	f.Add([]byte(`{"op":"CREATE_SESSION","events":["PAPI_TOT_CYC"],"n":8}` + "\n"))
 	f.Add([]byte(`{"op":"QUERY","session":1,"from":0,"to":100,"step":10}` + "\n"))
-	f.Add([]byte(`{"op":"HELLO"`))            // truncated mid-object
-	f.Add([]byte(`{"op":1234}` + "\n"))       // wrong field type
-	f.Add([]byte("not json at all\n"))        // garbage line
-	f.Add([]byte("\n\n\n"))                   // blank lines
-	f.Add([]byte("{}\n{\n}\nnull\n[1,2]\n"))  // mixed shapes
+	f.Add([]byte(`{"op":"HELLO"`))           // truncated mid-object
+	f.Add([]byte(`{"op":1234}` + "\n"))      // wrong field type
+	f.Add([]byte("not json at all\n"))       // garbage line
+	f.Add([]byte("\n\n\n"))                  // blank lines
+	f.Add([]byte("{}\n{\n}\nnull\n[1,2]\n")) // mixed shapes
 	f.Add([]byte(`{"values":[9223372036854775807,-1]}` + "\n"))
 	f.Add(bytes.Repeat([]byte(`{"op":"x"}`+"\n"), 64))
 
@@ -64,7 +65,7 @@ func FuzzDecode(f *testing.F) {
 func FuzzFaultnetResync(f *testing.F) {
 	f.Add([]byte(`{"op":"HELLO"}`+"\n"), uint8(1), uint16(0))
 	f.Add([]byte(`{"op":"QUERY","from":0,"to":9}`+"\n"), uint8(3), uint16(0))
-	f.Add([]byte(`{"op":"HELLO"`), uint8(2), uint16(7))    // cut mid-frame
+	f.Add([]byte(`{"op":"HELLO"`), uint8(2), uint16(7))     // cut mid-frame
 	f.Add([]byte("not json at all\n"), uint8(5), uint16(0)) // garbage line
 	f.Add([]byte("\n\n"), uint8(0), uint16(1))              // cut in blank lines
 	f.Add(bytes.Repeat([]byte(`{"op":"x"}`+"\n"), 16), uint8(4), uint16(40))
@@ -106,6 +107,85 @@ func FuzzFaultnetResync(f *testing.F) {
 		if delivered && !sawSentinel {
 			t.Fatalf("uncut stream (fuzz input %q, chunk %d): sentinel never decoded",
 				data, chunk%16)
+		}
+	})
+}
+
+// FuzzBinaryDecode feeds arbitrary byte streams through the binary
+// frame decoder. Properties: Decode never panics, never allocates
+// beyond the frame cap for a hostile length prefix, classifies every
+// failure as malformed (fatal or not) or an io error, and stops making
+// progress only after a fatal framing error or the end of input.
+func FuzzBinaryDecode(f *testing.F) {
+	good, _ := AppendFrame(nil, CodecBinary, &Request{Op: OpHello, Version: 3, Codec: CodecNameBinary})
+	snap, _ := AppendFrame(nil, CodecBinary, &Response{Op: OpSnapshot, OK: true,
+		Events: []string{"PAPI_TOT_CYC"}, Values: []int64{12345}})
+	f.Add(good)
+	f.Add(snap)
+	f.Add(good[:len(good)-1])                                     // truncated payload
+	f.Add([]byte{0x05})                                           // prefix promising absent bytes
+	f.Add(binary.AppendUvarint(nil, MaxFrameBytes+1))             // oversized prefix
+	f.Add(bytes.Repeat([]byte{0x80}, binary.MaxVarintLen64))      // non-terminating varint
+	f.Add(bytes.Repeat([]byte{0xff}, 16))                         // overflowing varint
+	f.Add(append(binary.AppendUvarint(nil, 3), 0x07, 0x00, 0x00)) // count > remaining
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := NewDecoder(bytes.NewReader(data))
+		dec.SetCodec(CodecBinary)
+		for i := 0; i < len(data)+2; i++ { // each iteration consumes ≥1 byte or ends
+			var resp Response
+			err := dec.Decode(&resp)
+			if err == nil {
+				continue
+			}
+			if IsFatalMalformed(err) {
+				return // no resync point; a real caller evicts here
+			}
+			if IsMalformed(err) {
+				continue // bad payload in a well-delimited frame
+			}
+			return // io error / EOF ends the stream
+		}
+		t.Fatalf("decoder made no progress on %q", data)
+	})
+}
+
+// FuzzBinaryRoundTrip: any Request assembled from fuzzed fields must
+// survive encode → decode unchanged, and a well-formed frame appended
+// after it must still decode (the recoverable path never desyncs).
+func FuzzBinaryRoundTrip(f *testing.F) {
+	f.Add("HELLO", uint64(0), "linux-x86", "ev1,ev2", int64(3), int64(-9), 7)
+	f.Add("", uint64(1<<63), "", "", int64(0), int64(1<<62), 0)
+	f.Add("CREATE_SESSION", uint64(42), "aix-power3", "PAPI_FP_INS", int64(-1), int64(1), -12)
+	f.Fuzz(func(t *testing.T, op string, session uint64, platform, events string, v1, v2 int64, n int) {
+		want := Request{Op: op, Session: session, Platform: platform,
+			Values: []int64{v1, v2}, N: n}
+		if events != "" {
+			want.Events = strings.Split(events, ",")
+		}
+		stream, err := AppendFrame(nil, CodecBinary, &want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream, err = AppendFrame(stream, CodecBinary, &Request{Op: OpBye})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec := NewDecoder(bytes.NewReader(stream))
+		dec.SetCodec(CodecBinary)
+		var got Request
+		if err := dec.Decode(&got); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if got.Op != want.Op || got.Session != want.Session || got.Platform != want.Platform ||
+			got.N != want.N || len(got.Values) != len(want.Values) ||
+			got.Values[0] != want.Values[0] || got.Values[1] != want.Values[1] ||
+			len(got.Events) != len(want.Events) {
+			t.Fatalf("round trip:\n got %+v\nwant %+v", got, want)
+		}
+		var bye Request
+		if err := dec.Decode(&bye); err != nil || bye.Op != OpBye {
+			t.Fatalf("frame after round trip: %+v, %v", bye, err)
 		}
 	})
 }

@@ -31,28 +31,37 @@ import "repro/internal/tsdb"
 // instead of failing on an unknown op.
 //
 // History: 1 = initial papid protocol; 2 = HELLO carries the client
-// version and QUERY serves tsdb history.
-const ProtocolVersion = 2
+// version and QUERY serves tsdb history; 3 = HELLO may negotiate the
+// compact binary codec (see binary.go).
+const ProtocolVersion = 3
 
 // MinProtocolQuery is the lowest server protocol that understands
 // OpQuery; QUERY-aware clients check the HELLO reply against it to
 // detect older servers.
 const MinProtocolQuery = 2
 
+// MinProtocolBinary is the lowest protocol whose HELLO can negotiate
+// the binary codec. A client announces `"codec":"binary"` in its HELLO
+// request; a server that agrees echoes the codec in its (still
+// JSON-encoded) HELLO reply, and both sides switch every subsequent
+// frame to binary framing. Either side omitting the field falls back
+// to JSON lines transparently — a v2 peer never sees a binary byte.
+const MinProtocolBinary = 3
+
 // Request operations.
 const (
-	OpHello        = "HELLO"         // handshake; no arguments
+	OpHello        = "HELLO"          // handshake; no arguments
 	OpCreate       = "CREATE_SESSION" // platform, events?, workload?, n?
-	OpAddEvents    = "ADD_EVENTS"    // session, events
-	OpStart        = "START"         // session
-	OpRead         = "READ"          // session
-	OpSubscribe    = "SUBSCRIBE"     // session
-	OpPublish      = "PUBLISH"       // session, values, events?
-	OpStop         = "STOP"          // session
-	OpCloseSession = "CLOSE_SESSION" // session
-	OpQuery        = "QUERY"         // session, events?, from, to, step — tsdb history
-	OpStats        = "STATS"         // no arguments
-	OpBye          = "BYE"           // close the connection
+	OpAddEvents    = "ADD_EVENTS"     // session, events
+	OpStart        = "START"          // session
+	OpRead         = "READ"           // session
+	OpSubscribe    = "SUBSCRIBE"      // session
+	OpPublish      = "PUBLISH"        // session, values, events?
+	OpStop         = "STOP"           // session
+	OpCloseSession = "CLOSE_SESSION"  // session
+	OpQuery        = "QUERY"          // session, events?, from, to, step — tsdb history
+	OpStats        = "STATS"          // no arguments
+	OpBye          = "BYE"            // close the connection
 )
 
 // OpSnapshot marks asynchronous fan-out frames pushed to subscribers;
@@ -82,6 +91,10 @@ type Request struct {
 	// Version is the client's ProtocolVersion, announced in HELLO so
 	// the server can adapt to older clients (0 means a pre-v2 client).
 	Version int `json:"version,omitempty"`
+	// Codec, in a HELLO request, asks the server to switch the
+	// connection to the named frame codec ("binary"); empty keeps the
+	// JSON-lines default. See MinProtocolBinary.
+	Codec string `json:"codec,omitempty"`
 	// QUERY range: [From, To) in µs with Step-wide output windows.
 	// Step 0 returns raw samples; see tsdb.Query for the exact window
 	// semantics.
@@ -108,4 +121,7 @@ type Response struct {
 	// Series carries a QUERY reply: one entry per event, each holding
 	// the downsampled min/max/sum/count/last buckets for the range.
 	Series []tsdb.Series `json:"series,omitempty"`
+	// Codec, in a HELLO reply, confirms the codec the server will
+	// speak from the next frame on; empty means JSON lines.
+	Codec string `json:"codec,omitempty"`
 }

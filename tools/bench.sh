@@ -2,9 +2,14 @@
 # Regenerate the committed benchmark baselines. Runs the tsdb
 # micro-benchmarks (encode/decode throughput, compression ratio, query
 # latency at 1/8/64 queriers) and the server-level benchmarks (papid
-# READ throughput, QUERY round-trips), writing machine-readable JSON
-# via cmd/benchjson.
+# READ throughput on both wire codecs, QUERY round-trips), writing
+# machine-readable JSON via cmd/benchjson. -benchmem records B/op and
+# allocs/op so allocation regressions on the serving path are tracked
+# alongside latency.
 set -eu
 cd "$(dirname "$0")/.."
-go run ./cmd/benchjson -out BENCH_tsdb.json -bench 'TSDB' ./internal/tsdb
-go run ./cmd/benchjson -out BENCH_server.json -bench 'Server' ./internal/server .
+go run ./cmd/benchjson -benchmem -out BENCH_tsdb.json -bench 'TSDB' ./internal/tsdb
+# The throughput benchmark races synchronous READs against the 1ms
+# snapshot fan-out, so short windows are noisy at 64 subscribers; 3s
+# per benchmark keeps the committed numbers representative.
+go run ./cmd/benchjson -benchmem -benchtime 3s -out BENCH_server.json -bench 'Server' ./internal/server .

@@ -1,9 +1,17 @@
 #!/bin/sh
-# The repo's verification gate: vet plus the full test suite under the
-# race detector (the papid stress tests put 64+ concurrent clients
-# through the server, so -race is what actually certifies the service).
+# The repo's verification gate: formatting, vet, then the full test
+# suite under the race detector (the papid stress tests put 64+
+# concurrent clients through the server, so -race is what actually
+# certifies the service).
 set -eu
 cd "$(dirname "$0")/.."
+# Formatting gate: gofmt -l prints offending files; any output fails.
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
 go build ./...
 go vet ./...
 go test -race -timeout 10m ./...
@@ -16,3 +24,8 @@ go test -race -timeout 2m -run 'TestChaos|TestDoTimeout|TestReconn|TestDialRetry
 # One-iteration benchmark smoke: catches benchmarks that no longer
 # compile or crash, without paying for a real measurement run.
 go test -run='^$' -bench=. -benchtime=1x ./...
+# Server benches once with -benchmem: the encode-once fan-out's
+# allocation profile is a correctness property here — this catches a
+# reintroduced per-subscriber serialization as an allocs/op jump even
+# when wall-clock noise hides it.
+go test -run='^$' -bench='ServerThroughput' -benchtime=1x -benchmem .
