@@ -14,9 +14,16 @@
 // age, and served back through the QUERY op as downsampled
 // min/max/sum/count windows.
 //
+// With -http papid additionally serves an admin endpoint: Prometheus
+// text at /metrics, a JSON status dump at /statusz, and the standard
+// pprof profiles under /debug/pprof/:
+//
+//	papid -addr 127.0.0.1:6117 -http 127.0.0.1:6118 &
+//	curl -s 127.0.0.1:6118/metrics | grep papid_op_latency
+//
 // SIGINT/SIGTERM trigger a graceful drain: running sessions fold their
 // final counts, subscribers are detached, and the process exits after
-// reporting its lifetime stats.
+// reporting its lifetime stats and per-op latency quantiles.
 package main
 
 import (
@@ -24,12 +31,15 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/server"
+	"repro/internal/telemetry"
 	"repro/papi"
 )
 
@@ -45,13 +55,27 @@ func main() {
 	writeQueue := flag.Int("write-queue", 64, "per-connection outbound frame queue depth (snapshots dropped oldest-first when full)")
 	retention := flag.Duration("retention", 15*time.Minute, "history age limit for QUERY (0 keeps until -tsdb-mem evicts)")
 	tsdbMem := flag.Int64("tsdb-mem", 8<<20, "history store memory budget in bytes (0 disables QUERY history)")
-	quiet := flag.Bool("quiet", false, "suppress per-session log lines")
+	httpAddr := flag.String("http", "", "admin listen address serving /metrics, /statusz and /debug/pprof/ (empty disables)")
+	logFormat := flag.String("log-format", "text", "structured log format: text or json")
+	slowOp := flag.Duration("slow-op", 250*time.Millisecond, "warn when handling one request takes this long (0 disables)")
+	quiet := flag.Bool("quiet", false, "log warnings only (suppress per-session and per-connection lines)")
 	flag.Parse()
 
-	logf := log.Printf
+	level := slog.LevelInfo
 	if *quiet {
-		logf = func(string, ...any) {}
+		level = slog.LevelWarn
 	}
+	var handler slog.Handler
+	switch *logFormat {
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level})
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level})
+	default:
+		fmt.Fprintf(os.Stderr, "papid: unknown -log-format %q (want text or json)\n", *logFormat)
+		os.Exit(2)
+	}
+	logger := slog.New(handler)
 	// The Config zero values mean "default", so the flag's explicit
 	// zeros map to the negative "disabled" sentinels.
 	mem, age := *tsdbMem, *retention
@@ -68,6 +92,10 @@ func main() {
 	if wt == 0 {
 		wt = -1
 	}
+	slow := *slowOp
+	if slow == 0 {
+		slow = -1
+	}
 	srv := server.New(server.Config{
 		DefaultPlatform: *platform,
 		Shards:          *shards,
@@ -79,11 +107,20 @@ func main() {
 		WriteQueueDepth: *writeQueue,
 		TSDBMaxBytes:    mem,
 		TSDBRetention:   age,
-		Logf:            logf,
+		SlowOp:          slow,
+		Logger:          logger,
 	})
 	if _, err := srv.Listen(*addr); err != nil {
 		fmt.Fprintln(os.Stderr, "papid:", err)
 		os.Exit(1)
+	}
+	if *httpAddr != "" {
+		aaddr, err := srv.ListenAdmin(*httpAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "papid: admin:", err)
+			os.Exit(1)
+		}
+		logger.Info("papid: admin endpoint up", "addr", aaddr.String())
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -106,4 +143,7 @@ func main() {
 		st.FramesSentJSON, st.BytesSentJSON, st.FramesSentBinary, st.BytesSentBinary)
 	log.Printf("papid: tsdb %d bytes across %d series, %d samples, %d evictions",
 		st.TSDB.Bytes, st.TSDB.Series, st.TSDB.Samples, st.TSDB.Evictions)
+	if table := telemetry.FormatSummaryTable(srv.Telemetry().Summaries(), nil); table != "" {
+		log.Printf("papid: latency quantiles:\n%s", strings.TrimRight(table, "\n"))
+	}
 }

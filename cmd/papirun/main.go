@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/server"
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 	"repro/papi"
 	"repro/workload"
@@ -27,15 +28,20 @@ func main() {
 	serve := flag.String("serve", "", "also publish the final snapshot to a running papid at this address")
 	serveTimeout := flag.Duration("serve-timeout", 5*time.Second, "per-request deadline when publishing to papid")
 	serveBinary := flag.Bool("serve-binary", false, "negotiate the compact binary wire codec when publishing (falls back to JSON against older papid)")
+	serveStats := flag.Bool("serve-stats", false, "after publishing, print papid's per-op latency quantiles (needs a protocol 3 server)")
 	flag.Parse()
 
-	if err := run(*platform, *events, *prog, *n, *multiplex, *serve, *serveTimeout, *serveBinary); err != nil {
+	if *serveStats && *serve == "" {
+		fmt.Fprintln(os.Stderr, "papirun: -serve-stats needs -serve")
+		os.Exit(2)
+	}
+	if err := run(*platform, *events, *prog, *n, *multiplex, *serve, *serveTimeout, *serveBinary, *serveStats); err != nil {
 		fmt.Fprintln(os.Stderr, "papirun:", err)
 		os.Exit(1)
 	}
 }
 
-func run(platform, events, progName string, n int, multiplex bool, serve string, serveTimeout time.Duration, serveBinary bool) error {
+func run(platform, events, progName string, n int, multiplex bool, serve string, serveTimeout time.Duration, serveBinary, serveStats bool) error {
 	sys, err := papi.Init(papi.Options{Platform: platform})
 	if err != nil {
 		return err
@@ -92,7 +98,7 @@ func run(platform, events, progName string, n int, multiplex bool, serve string,
 		fmt.Println("note: counts are multiplexed estimates; ensure the run is long enough to converge")
 	}
 	if serve != "" {
-		if err := publish(serve, platform, names, vals, serveTimeout, serveBinary); err != nil {
+		if err := publish(serve, platform, names, vals, serveTimeout, serveBinary, serveStats); err != nil {
 			return fmt.Errorf("publishing to papid at %s: %w", serve, err)
 		}
 		fmt.Printf("snapshot published to papid at %s\n", serve)
@@ -106,7 +112,7 @@ func run(platform, events, progName string, n int, multiplex bool, serve string,
 // reconnecting client retries unreachable dials with backoff and
 // bounds every request, so a dead or wedged papid yields the
 // documented one-line non-zero exit instead of a hang.
-func publish(addr, platform string, events []string, vals []int64, timeout time.Duration, binary bool) error {
+func publish(addr, platform string, events []string, vals []int64, timeout time.Duration, binary, stats bool) error {
 	cl, err := server.DialReconn(addr, server.RetryConfig{
 		Attempts: 3, Timeout: timeout, PreferBinary: binary,
 	})
@@ -124,6 +130,17 @@ func publish(addr, platform string, events []string, vals []int64, timeout time.
 		return err
 	}
 	fmt.Printf("papid session %d holds the snapshot\n", created.Session)
+	if stats {
+		resp, err := cl.Do(wire.Request{Op: wire.OpStats})
+		if err != nil {
+			return err
+		}
+		if t := telemetry.FormatSummaryTable(resp.Hists, nil); t != "" {
+			fmt.Printf("papid latency quantiles:\n%s", t)
+		} else {
+			fmt.Println("papid sent no latency histograms (protocol < 3 server)")
+		}
+	}
 	_, err = cl.Do(wire.Request{Op: wire.OpBye})
 	return err
 }

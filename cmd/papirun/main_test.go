@@ -22,7 +22,7 @@ func TestServeUnreachable(t *testing.T) {
 	addr := ln.Addr().String()
 	ln.Close()
 
-	err = run("linux-x86", "PAPI_TOT_CYC", "dot", 8, false, addr, time.Second, false)
+	err = run("linux-x86", "PAPI_TOT_CYC", "dot", 8, false, addr, time.Second, false, false)
 	if err == nil {
 		t.Fatal("-serve against a dead papid succeeded")
 	}
@@ -57,7 +57,7 @@ func TestServeSilentServer(t *testing.T) {
 
 	start := time.Now()
 	err = run("linux-x86", "PAPI_TOT_CYC", "dot", 8, false,
-		ln.Addr().String(), 100*time.Millisecond, false)
+		ln.Addr().String(), 100*time.Millisecond, false, false)
 	if err == nil {
 		t.Fatal("-serve against a silent papid succeeded")
 	}
@@ -118,7 +118,7 @@ func rejectingServer(t *testing.T) string {
 // surface the server's reason in a one-line error.
 func TestServeRejectedPublish(t *testing.T) {
 	addr := rejectingServer(t)
-	err := run("linux-x86", "PAPI_TOT_CYC", "dot", 8, false, addr, time.Second, false)
+	err := run("linux-x86", "PAPI_TOT_CYC", "dot", 8, false, addr, time.Second, false, false)
 	if err == nil {
 		t.Fatal("rejected PUBLISH reported success")
 	}
@@ -145,7 +145,7 @@ func TestServePublishes(t *testing.T) {
 		srv.Shutdown(ctx)
 	})
 
-	if err := run("aix-power3", "PAPI_FP_OPS,PAPI_TOT_CYC", "dot", 8, false, addr.String(), 10*time.Second, true); err != nil {
+	if err := run("aix-power3", "PAPI_FP_OPS,PAPI_TOT_CYC", "dot", 8, false, addr.String(), 10*time.Second, true, true); err != nil {
 		t.Fatal(err)
 	}
 	st := srv.Stats()

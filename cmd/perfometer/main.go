@@ -9,6 +9,11 @@
 // after the interesting phase already happened:
 //
 //	perfometer -papid 127.0.0.1:6117 -session 1 -last 1m -step 10s
+//
+// With -papid -stats it instead asks the server for its lifetime
+// counters and per-op latency quantiles (papid's self-telemetry):
+//
+//	perfometer -papid 127.0.0.1:6117 -stats
 package main
 
 import (
@@ -38,10 +43,13 @@ func main() {
 	step := flag.Duration("step", 10*time.Second, "history mode: output window width")
 	timeout := flag.Duration("timeout", 5*time.Second, "history mode: per-request deadline against papid")
 	binary := flag.Bool("binary", false, "history mode: negotiate the compact binary wire codec (falls back to JSON against older papid)")
+	stats := flag.Bool("stats", false, "with -papid: print the server's counters and per-op latency quantiles instead of querying history")
 	flag.Parse()
 
 	var err error
-	if *papid != "" {
+	if *papid != "" && *stats {
+		err = runStats(*papid, *timeout, *binary)
+	} else if *papid != "" {
 		err = runHistory(*papid, *session, *event, *last, *step, *width, *timeout, *binary)
 	} else {
 		err = run(*platform, *metric, *traceFile, *width)
@@ -83,6 +91,25 @@ func runHistory(addr string, session uint64, event string, last, step time.Durat
 	fmt.Printf("perfometer history: session %d, last %s at %s steps (papid %s)\n",
 		session, last, step, addr)
 	perfometer.RenderHistory(os.Stdout, resp.Series, width)
+	_, err = cl.Do(wire.Request{Op: wire.OpBye})
+	return err
+}
+
+// runStats is -papid -stats: one STATS round-trip, rendered. A v3
+// papid answers with latency histograms attached; an older one sends
+// the counter map alone and the renderer says so.
+func runStats(addr string, timeout time.Duration, binary bool) error {
+	cl, err := server.DialReconn(addr, server.RetryConfig{Timeout: timeout, PreferBinary: binary})
+	if err != nil {
+		return fmt.Errorf("dialing papid at %s: %w", addr, err)
+	}
+	defer cl.Close()
+	resp, err := cl.Do(wire.Request{Op: wire.OpStats})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("perfometer stats: papid %s (protocol %d)\n", addr, cl.Hello().Protocol)
+	perfometer.RenderStats(os.Stdout, resp.Stats, resp.Hists)
 	_, err = cl.Do(wire.Request{Op: wire.OpBye})
 	return err
 }

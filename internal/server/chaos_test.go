@@ -3,8 +3,11 @@ package server
 import (
 	"context"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
 	"runtime"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -45,6 +48,29 @@ func TestChaosSurvivesPathologicalPeers(t *testing.T) {
 		return faultnet.Faults{}
 	})
 	addr := srv.Serve(fln).String()
+
+	// The admin HTTP server joins the chaos: scraped while peers are
+	// being evicted, and covered by the goroutine-leak check below —
+	// its serve loop must not outlive the drain. Keep-alives are off so
+	// no idle HTTP connection is mistaken for a leak.
+	adminAddr, err := srv.ListenAdmin("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hc := &http.Client{Timeout: 5 * time.Second,
+		Transport: &http.Transport{DisableKeepAlives: true}}
+	scrape := func() string {
+		resp, err := hc.Get("http://" + adminAddr.String() + "/metrics")
+		if err != nil {
+			t.Fatalf("scrape during chaos: %v", err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("scrape body: %v", err)
+		}
+		return string(body)
+	}
 
 	// The healthy client: every request bounded by a deadline; its
 	// session is the one the stalled subscribers will clog.
@@ -170,6 +196,11 @@ func TestChaosSurvivesPathologicalPeers(t *testing.T) {
 			From: 0, To: 1 << 62, Step: 10_000_000}); err != nil {
 			t.Fatalf("QUERY during chaos missed its deadline: %v", err)
 		}
+		// /metrics must answer mid-storm, and agree that evictions
+		// are being counted.
+		if m := scrape(); !strings.Contains(m, "papid_evictions_total") {
+			t.Fatalf("mid-chaos scrape lacks eviction counter:\n%.500s", m)
+		}
 		if st["evictions"] >= wantEvictions && st["resyncs"] >= nReset {
 			break
 		}
@@ -203,9 +234,14 @@ func TestChaosSurvivesPathologicalPeers(t *testing.T) {
 	if err := srv.Shutdown(ctx); err != nil {
 		t.Fatalf("shutdown after chaos: %v", err)
 	}
+	// The drain must have taken the admin listener down with it.
+	if _, err := net.DialTimeout("tcp", adminAddr.String(), time.Second); err == nil {
+		t.Error("admin listener still accepting after Shutdown")
+	}
+	hc.CloseIdleConnections()
 
-	// No goroutine may outlive the drain: reader, writer and
-	// subscriber loops of evicted connections included.
+	// No goroutine may outlive the drain: reader, writer, subscriber
+	// loops of evicted connections, and the admin HTTP server included.
 	var n int
 	for end := time.Now().Add(5 * time.Second); ; {
 		if n = runtime.NumGoroutine(); n <= baseGoroutines+3 {

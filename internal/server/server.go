@@ -46,11 +46,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
+	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/telemetry"
 	"repro/internal/tsdb"
 	"repro/internal/wire"
 	"repro/papi"
@@ -99,8 +102,18 @@ type Config struct {
 	// TSDBRollups lists the pre-computed downsampling widths
 	// (default 10s and 60s).
 	TSDBRollups []time.Duration
-	// Logf, when set, receives one line per lifecycle event.
+	// SlowOp is the request-latency threshold above which a warn line
+	// is logged with the op, session and duration (default 250ms;
+	// negative disables).
+	SlowOp time.Duration
+	// Logf, when set, receives one line per lifecycle event. Lines are
+	// rendered from the structured log stream, so printf-style
+	// consumers see the same events as slog consumers.
 	Logf func(format string, args ...any)
+	// Logger, when set, receives the structured log stream directly
+	// (per-connection IDs, ops, durations) and takes precedence over
+	// Logf. Nil with a nil Logf silences logging.
+	Logger *slog.Logger
 
 	// now is the tick clock in µs, injectable by tests for
 	// deterministic history timestamps.
@@ -137,6 +150,9 @@ func (c *Config) fill() {
 	}
 	if c.TSDBRetention == 0 {
 		c.TSDBRetention = 15 * time.Minute
+	}
+	if c.SlowOp == 0 {
+		c.SlowOp = 250 * time.Millisecond
 	}
 	if c.now == nil {
 		c.now = func() int64 { return time.Now().UnixMicro() }
@@ -197,26 +213,26 @@ type Server struct {
 	hist   *tsdb.Store // nil when history is disabled
 	nextID atomic.Uint64
 
+	// m holds every registry-backed instrument; slog is the structured
+	// log stream (never nil — a discard logger when unconfigured).
+	m          *metrics
+	slog       *slog.Logger
+	nextConnID atomic.Uint64
+
 	connsMu sync.Mutex
 	conns   map[*conn]struct{}
 
-	ticks         atomic.Uint64
-	snapSent      atomic.Uint64
-	snapDropped   atomic.Uint64
-	evictions     atomic.Uint64
-	deadlineTrips atomic.Uint64
-	resyncs       atomic.Uint64
-	writeDrops    atomic.Uint64
-
-	// Per-codec outbound traffic, indexed by wire.Codec.
-	framesSent [2]atomic.Uint64
-	bytesSent  [2]atomic.Uint64
+	// admin is the optional observability HTTP server (ServeAdmin); it
+	// participates in the graceful drain.
+	adminMu sync.Mutex
+	admin   *http.Server
 }
 
 // New builds a Server; call Listen to start serving.
 func New(cfg Config) *Server {
 	cfg.fill()
 	ctx, cancel := context.WithCancel(context.Background())
+	treg := telemetry.NewRegistry()
 	s := &Server{
 		cfg:    cfg,
 		ctx:    ctx,
@@ -224,16 +240,31 @@ func New(cfg Config) *Server {
 		reg:    newRegistry(cfg.Shards),
 		cache:  newAllocCache(cfg.CacheSize),
 		conns:  make(map[*conn]struct{}),
+		m:      newMetrics(treg),
+	}
+	switch {
+	case cfg.Logger != nil:
+		s.slog = cfg.Logger
+	case cfg.Logf != nil:
+		s.slog = telemetry.NewLogfLogger(cfg.Logf, slog.LevelDebug)
+	default:
+		s.slog = telemetry.Discard()
 	}
 	if cfg.TSDBMaxBytes > 0 {
 		s.hist = tsdb.New(tsdb.Config{
 			MaxBytes: cfg.TSDBMaxBytes,
 			MaxAge:   cfg.TSDBRetention,
 			Rollups:  cfg.TSDBRollups,
+			Registry: treg,
 		})
 	}
+	s.registerServerFuncs()
 	return s
 }
+
+// Telemetry returns the server's metrics registry — what ServeAdmin
+// exposes and embedders can scrape or extend.
+func (s *Server) Telemetry() *telemetry.Registry { return s.m.reg }
 
 // Listen binds addr (e.g. "127.0.0.1:0") and starts the accept and
 // tick loops. It returns the bound address immediately.
@@ -254,8 +285,47 @@ func (s *Server) Serve(ln net.Listener) net.Addr {
 	s.wg.Add(2)
 	go s.acceptLoop()
 	go s.tickLoop()
-	s.logf("papid: listening on %s", ln.Addr())
+	s.slog.Info("papid: listening", "addr", ln.Addr().String())
 	return ln.Addr()
+}
+
+// ListenAdmin binds addr and serves the observability endpoints —
+// Prometheus /metrics, JSON /statusz, and /debug/pprof — returning the
+// bound address. The admin server participates in the graceful drain:
+// Shutdown closes it and waits for its goroutine.
+func (s *Server) ListenAdmin(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return s.ServeAdmin(ln), nil
+}
+
+// ServeAdmin starts the observability HTTP server on a caller-provided
+// listener (the testing hook, mirroring Serve).
+func (s *Server) ServeAdmin(ln net.Listener) net.Addr {
+	hs := &http.Server{Handler: telemetry.Handler(s.m.reg, s.statusz),
+		ReadHeaderTimeout: 5 * time.Second}
+	s.adminMu.Lock()
+	s.admin = hs
+	s.adminMu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		hs.Serve(ln) // returns on Close during the drain
+	}()
+	s.slog.Info("papid: admin listening", "addr", ln.Addr().String())
+	return ln.Addr()
+}
+
+// statusz builds the /statusz document: the classic Stats view plus
+// every latency-histogram summary (nanoseconds), keyed like the wire
+// STATS hists ("op/READ/json", "tick", "tsdb/append").
+func (s *Server) statusz() any {
+	return struct {
+		Stats Stats                        `json:"stats"`
+		Hists map[string]telemetry.Summary `json:"hists"`
+	}{s.Stats(), s.m.reg.Summaries()}
 }
 
 // Addr returns the bound address, or nil before Listen.
@@ -266,7 +336,8 @@ func (s *Server) Addr() net.Addr {
 	return s.ln.Addr()
 }
 
-// Stats returns current counters.
+// Stats returns current counters, read back from the telemetry
+// registry's instruments — one source of truth shared with /metrics.
 func (s *Server) Stats() Stats {
 	hits, misses := s.cache.counters()
 	s.connsMu.Lock()
@@ -277,17 +348,17 @@ func (s *Server) Stats() Stats {
 		Connections:      nconns,
 		CacheHits:        hits,
 		CacheMisses:      misses,
-		SnapshotsSent:    s.snapSent.Load(),
-		SnapshotsDropped: s.snapDropped.Load(),
-		Ticks:            s.ticks.Load(),
-		Evictions:        s.evictions.Load(),
-		DeadlineTrips:    s.deadlineTrips.Load(),
-		Resyncs:          s.resyncs.Load(),
-		WriteDrops:       s.writeDrops.Load(),
-		FramesSentJSON:   s.framesSent[wire.CodecJSON].Load(),
-		FramesSentBinary: s.framesSent[wire.CodecBinary].Load(),
-		BytesSentJSON:    s.bytesSent[wire.CodecJSON].Load(),
-		BytesSentBinary:  s.bytesSent[wire.CodecBinary].Load(),
+		SnapshotsSent:    s.m.snapSent.Value(),
+		SnapshotsDropped: s.m.snapDropped.Value(),
+		Ticks:            s.m.ticks.Value(),
+		Evictions:        s.m.evictions.Value(),
+		DeadlineTrips:    s.m.deadlineTrips.Value(),
+		Resyncs:          s.m.resyncs.Value(),
+		WriteDrops:       s.m.writeDrops.Value(),
+		FramesSentJSON:   s.m.framesSent[wire.CodecJSON].Value(),
+		FramesSentBinary: s.m.framesSent[wire.CodecBinary].Value(),
+		BytesSentJSON:    s.m.bytesSent[wire.CodecJSON].Value(),
+		BytesSentBinary:  s.m.bytesSent[wire.CodecBinary].Value(),
 	}
 	if s.hist != nil {
 		st.TSDB = s.hist.Stats()
@@ -296,12 +367,21 @@ func (s *Server) Stats() Stats {
 }
 
 // Shutdown gracefully stops the server: no new connections, every
-// running session's final counts folded, every connection closed, all
-// goroutines joined. ctx bounds the drain.
+// running session's final counts folded, every connection closed, the
+// admin HTTP listener torn down, all goroutines joined. ctx bounds the
+// drain.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.cancel()
 	if s.ln != nil {
 		s.ln.Close()
+	}
+	// The admin HTTP server joins the drain: Close (not Shutdown) so a
+	// scraper mid-request cannot hold the drain past its deadline.
+	s.adminMu.Lock()
+	admin := s.admin
+	s.adminMu.Unlock()
+	if admin != nil {
+		admin.Close()
 	}
 	// Drain sessions first so no EventSet is abandoned mid-count.
 	s.reg.forEach(func(sess *session) { sess.close() })
@@ -320,16 +400,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
-		s.logf("papid: drained")
+		s.slog.Info("papid: drained")
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
-	}
-}
-
-func (s *Server) logf(format string, args ...any) {
-	if s.cfg.Logf != nil {
-		s.cfg.Logf(format, args...)
 	}
 }
 
@@ -371,7 +445,9 @@ func (s *Server) tickLoop() {
 }
 
 func (s *Server) tick() {
-	s.ticks.Add(1)
+	t0 := time.Now()
+	defer func() { s.m.tickDur.Observe(telemetry.Since(t0)) }()
+	s.m.ticks.Inc()
 	now := s.cfg.now()
 	s.reg.forEach(func(sess *session) {
 		resp, subs, ok := sess.snapshot()
@@ -404,14 +480,14 @@ func (s *Server) fanout(resp wire.Response, subs []*subscriber) {
 			var err error
 			payload, err = wire.AppendFrame(nil, codec, &resp)
 			if err != nil {
-				s.logf("papid: snapshot encode (%s): %v", codec, err)
+				s.slog.Error("papid: snapshot encode failed", "codec", codec.String(), "err", err)
 				continue
 			}
 			encoded[codec] = payload
 		}
-		s.snapSent.Add(1)
+		s.m.snapSent.Inc()
 		if sub.push(frame{payload: payload, codec: codec, droppable: true}) {
-			s.snapDropped.Add(1)
+			s.m.snapDropped.Inc()
 		}
 	}
 }
@@ -495,7 +571,7 @@ func (sub *subscriber) loop() {
 		case f := <-sub.ch:
 			dropped, ok := sub.c.q.push(f)
 			if dropped {
-				sub.c.srv.writeDrops.Add(1)
+				sub.c.srv.m.writeDrops.Inc()
 			}
 			if !ok {
 				return
@@ -603,6 +679,14 @@ func (q *writeQueue) isClosed() bool {
 	return q.closed
 }
 
+// len reports the frames currently queued — the scrape-time depth
+// gauge's view.
+func (q *writeQueue) len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.frames)
+}
+
 // conn is one client connection: a reader loop dispatching requests, a
 // writer loop draining the bounded outbound queue, and any subscriber
 // goroutines it registered. All socket writes funnel through the
@@ -614,11 +698,21 @@ type conn struct {
 	nc  net.Conn
 	q   *writeQueue
 
+	// id is the per-server connection number; every structured log
+	// line this connection emits carries it.
+	id  uint64
+	log *slog.Logger
+
 	// codec is the negotiated frame encoding (wire.Codec); it flips
 	// from JSON to binary exactly once, after the HELLO reply that
 	// confirmed the upgrade was enqueued.
 	codec   atomic.Uint32
 	evicted atomic.Bool
+	// version is the protocol version the peer announced at HELLO
+	// (0 until then). It gates version-dependent reply content: STATS
+	// histogram summaries go only to v3+ peers, so a v2 JSON client
+	// never sees a field it does not know.
+	version atomic.Int32
 
 	mu   sync.Mutex
 	subs []subRef
@@ -641,7 +735,10 @@ type subRef struct {
 
 func (s *Server) handle(nc net.Conn) {
 	defer s.wg.Done()
-	c := &conn{srv: s, nc: nc, q: newWriteQueue(s.cfg.WriteQueueDepth)}
+	c := &conn{srv: s, nc: nc, q: newWriteQueue(s.cfg.WriteQueueDepth),
+		id: s.nextConnID.Add(1)}
+	c.log = s.slog.With("conn", c.id, "remote", nc.RemoteAddr().String())
+	c.log.Debug("papid: connection open")
 	s.connsMu.Lock()
 	s.conns[c] = struct{}{}
 	s.connsMu.Unlock()
@@ -660,7 +757,8 @@ func (s *Server) handle(nc net.Conn) {
 			case wire.IsMalformed(err):
 				// One bad frame must not kill the connection: reply
 				// with an error frame and resume at the next boundary.
-				s.resyncs.Add(1)
+				s.m.resyncs.Inc()
+				c.log.Warn("papid: malformed frame", "err", err)
 				if !c.send(wire.Response{Op: wire.OpError, Error: err.Error()}) {
 					return
 				}
@@ -670,7 +768,7 @@ func (s *Server) handle(nc net.Conn) {
 					// connection loose cleanly (teardown drains the
 					// ERROR frame before the socket closes).
 					if c.evicted.CompareAndSwap(false, true) {
-						s.evictions.Add(1)
+						s.m.evictions.Inc()
 					}
 					return
 				}
@@ -687,8 +785,22 @@ func (s *Server) handle(nc net.Conn) {
 			}
 			return // EOF or closed socket
 		}
+		// Service latency clock: decode done → reply enqueued. The
+		// socket write happens on the writer goroutine; what this
+		// histogram isolates is the dispatch cost itself, per op and
+		// codec, so a regressed allocator solve or tsdb query shows up
+		// under its own op instead of smearing into socket noise.
+		t0 := time.Now()
 		resp := s.dispatch(c, &req)
-		if !c.send(resp) {
+		ok := c.send(resp)
+		s.m.observeOp(req.Op, c.codecNow(), t0)
+		if d := s.cfg.SlowOp; d > 0 {
+			if elapsed := time.Since(t0); elapsed >= d {
+				c.log.Warn("papid: slow op", "op", req.Op,
+					"session", req.Session, "dur", elapsed.String())
+			}
+		}
+		if !ok {
 			return
 		}
 		if req.Op == wire.OpBye {
@@ -729,8 +841,8 @@ func (c *conn) writeLoop() {
 			}
 			_, err := bw.Write(f.payload)
 			if err == nil {
-				c.srv.framesSent[f.codec].Add(1)
-				c.srv.bytesSent[f.codec].Add(uint64(len(f.payload)))
+				c.srv.m.framesSent[f.codec].Inc()
+				c.srv.m.bytesSent[f.codec].Add(uint64(len(f.payload)))
 			}
 			f.release()
 			if err != nil {
@@ -790,13 +902,13 @@ func (c *conn) evict(why string, err error) {
 	if !c.evicted.CompareAndSwap(false, true) {
 		return
 	}
-	c.srv.evictions.Add(1)
+	c.srv.m.evictions.Inc()
 	if wire.IsTimeout(err) {
-		c.srv.deadlineTrips.Add(1)
+		c.srv.m.deadlineTrips.Inc()
 	}
 	c.q.close()
 	c.nc.Close()
-	c.srv.logf("papid: evicting %s (%s: %v)", c.nc.RemoteAddr(), why, err)
+	c.log.Warn("papid: evicting connection", "why", why, "err", err)
 }
 
 // teardown unregisters the connection and its subscribers and lets
@@ -820,6 +932,9 @@ func (c *conn) teardown() {
 func (s *Server) dispatch(c *conn, req *wire.Request) wire.Response {
 	switch req.Op {
 	case wire.OpHello:
+		if c != nil {
+			c.version.Store(int32(req.Version))
+		}
 		resp := wire.Response{Op: req.Op, OK: true,
 			Protocol: wire.ProtocolVersion, Platform: s.cfg.DefaultPlatform}
 		// Confirm the binary upgrade only for v3+ peers that asked, and
@@ -920,7 +1035,7 @@ func (s *Server) dispatch(c *conn, req *wire.Request) wire.Response {
 		return wire.Response{Op: req.Op, OK: true, Session: req.Session, Series: series}
 	case wire.OpStats:
 		st := s.Stats()
-		return wire.Response{Op: req.Op, OK: true, Stats: map[string]uint64{
+		resp := wire.Response{Op: req.Op, OK: true, Stats: map[string]uint64{
 			"sessions":           uint64(st.Sessions),
 			"connections":        uint64(st.Connections),
 			"cache_hits":         st.CacheHits,
@@ -941,6 +1056,14 @@ func (s *Server) dispatch(c *conn, req *wire.Request) wire.Response {
 			"tsdb_samples":       st.TSDB.Samples,
 			"tsdb_evictions":     st.TSDB.Evictions,
 		}}
+		// Histogram summaries are a v3 addition: only peers that
+		// announced version >= 3 at HELLO receive them, so a v2 JSON
+		// client's STATS reply stays byte-compatible with what PR 2's
+		// server sent (see wire.MinProtocolStatsHists).
+		if c != nil && c.version.Load() >= wire.MinProtocolStatsHists {
+			resp.Hists = s.m.reg.Summaries()
+		}
+		return resp
 	case wire.OpBye:
 		return wire.Response{Op: req.Op, OK: true}
 	}
@@ -1001,7 +1124,8 @@ func (s *Server) createSession(req *wire.Request) wire.Response {
 		sess.prog = prog
 	}
 	s.reg.put(sess)
-	s.logf("papid: session %d created (%s, %d events)", sess.id, platform, len(names))
+	s.slog.Info("papid: session created", "session", sess.id,
+		"platform", platform, "events", len(names))
 	return wire.Response{Op: req.Op, OK: true, Session: sess.id,
 		Platform: platform, Events: names}
 }

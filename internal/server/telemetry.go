@@ -1,0 +1,163 @@
+package server
+
+import (
+	"runtime"
+	"time"
+
+	"repro/internal/telemetry"
+	"repro/internal/wire"
+)
+
+// metrics is the server's instrument set: every counter the old
+// hand-maintained Stats plumbing tracked, now registry-backed so one
+// increment feeds Stats(), the Prometheus /metrics exposition, the
+// /statusz document, and the wire STATS histograms alike.
+type metrics struct {
+	reg *telemetry.Registry
+
+	ticks         *telemetry.Counter
+	snapSent      *telemetry.Counter
+	snapDropped   *telemetry.Counter
+	evictions     *telemetry.Counter
+	deadlineTrips *telemetry.Counter
+	resyncs       *telemetry.Counter
+	writeDrops    *telemetry.Counter
+
+	// Per-codec outbound traffic, indexed by wire.Codec.
+	framesSent [2]*telemetry.Counter
+	bytesSent  [2]*telemetry.Counter
+
+	// tickDur tracks one fan-out tick end to end: workload advances,
+	// counter reads, tsdb appends, and snapshot encodes for every
+	// running session.
+	tickDur *telemetry.Histogram
+
+	// opLat holds one wire-latency histogram per (request op, codec):
+	// decode-to-enqueue time for each request the dispatcher answers.
+	// Unknown ops fall into the "other" pair.
+	opLat   map[string]*[2]*telemetry.Histogram
+	otherOp [2]*telemetry.Histogram
+}
+
+// opLatencyOps is every request op that gets its own latency
+// histogram pair.
+var opLatencyOps = []string{
+	wire.OpHello, wire.OpCreate, wire.OpAddEvents, wire.OpStart,
+	wire.OpRead, wire.OpSubscribe, wire.OpPublish, wire.OpStop,
+	wire.OpCloseSession, wire.OpQuery, wire.OpStats, wire.OpBye,
+}
+
+func newMetrics(reg *telemetry.Registry) *metrics {
+	m := &metrics{reg: reg}
+	m.ticks = reg.NewCounter(telemetry.Opts{Name: "papid_ticks_total",
+		Help: "Snapshot fan-out ticks run."})
+	m.snapSent = reg.NewCounter(telemetry.Opts{Name: "papid_snapshots_sent_total",
+		Help: "Snapshot frames enqueued to subscribers."})
+	m.snapDropped = reg.NewCounter(telemetry.Opts{Name: "papid_snapshots_dropped_total",
+		Help: "Snapshot frames dropped from full subscriber queues."})
+	m.evictions = reg.NewCounter(telemetry.Opts{Name: "papid_evictions_total",
+		Help: "Connections the server cut loose (idle, deadline trips, jammed queues)."})
+	m.deadlineTrips = reg.NewCounter(telemetry.Opts{Name: "papid_deadline_trips_total",
+		Help: "Read/write deadline expirations that led to an eviction."})
+	m.resyncs = reg.NewCounter(telemetry.Opts{Name: "papid_resyncs_total",
+		Help: "Malformed frames answered with an ERROR frame and skipped."})
+	m.writeDrops = reg.NewCounter(telemetry.Opts{Name: "papid_write_drops_total",
+		Help: "Snapshot frames dropped from per-connection write queues."})
+	for _, codec := range []wire.Codec{wire.CodecJSON, wire.CodecBinary} {
+		label := telemetry.Label{Name: "codec", Value: codec.String()}
+		m.framesSent[codec] = reg.NewCounter(telemetry.Opts{
+			Name: "papid_frames_sent_total", Help: "Outbound frames written, by codec.",
+			Labels: []telemetry.Label{label}})
+		m.bytesSent[codec] = reg.NewCounter(telemetry.Opts{
+			Name: "papid_bytes_sent_total", Help: "Outbound payload bytes written, by codec.",
+			Labels: []telemetry.Label{label}})
+	}
+	m.tickDur = reg.NewLatencyHistogram(telemetry.Opts{
+		Name: "papid_tick_duration_seconds",
+		Help: "Snapshot fan-out tick duration (advance + read + append + encode).",
+		Key:  "tick"})
+	m.opLat = make(map[string]*[2]*telemetry.Histogram, len(opLatencyOps))
+	for _, op := range opLatencyOps {
+		m.opLat[op] = m.newOpPair(op)
+	}
+	m.otherOp = *m.newOpPair("OTHER")
+	return m
+}
+
+func (m *metrics) newOpPair(op string) *[2]*telemetry.Histogram {
+	var pair [2]*telemetry.Histogram
+	for _, codec := range []wire.Codec{wire.CodecJSON, wire.CodecBinary} {
+		pair[codec] = m.reg.NewLatencyHistogram(telemetry.Opts{
+			Name: "papid_op_latency_seconds",
+			Help: "Wire request latency, decode to reply enqueue, by op and codec.",
+			Labels: []telemetry.Label{
+				{Name: "op", Value: op},
+				{Name: "codec", Value: codec.String()},
+			},
+			Key: "op/" + op + "/" + codec.String(),
+		})
+	}
+	return &pair
+}
+
+// observeOp records one request's service latency.
+func (m *metrics) observeOp(op string, codec wire.Codec, start time.Time) {
+	pair, ok := m.opLat[op]
+	if !ok {
+		pair = &m.otherOp
+	}
+	pair[codec].Observe(telemetry.Since(start))
+}
+
+// registerServerFuncs wires the scrape-time views of state that lives
+// outside the instrument set: registry size, live connections, queued
+// frames, allocation-cache totals, and process-level gauges. Called
+// once from New, after the server's components exist.
+func (s *Server) registerServerFuncs() {
+	reg := s.m.reg
+	reg.NewGaugeFunc(telemetry.Opts{Name: "papid_sessions",
+		Help: "Live sessions."}, func() float64 {
+		return float64(s.reg.count())
+	})
+	reg.NewGaugeFunc(telemetry.Opts{Name: "papid_connections",
+		Help: "Open client connections."}, func() float64 {
+		s.connsMu.Lock()
+		n := len(s.conns)
+		s.connsMu.Unlock()
+		return float64(n)
+	})
+	reg.NewGaugeFunc(telemetry.Opts{Name: "papid_write_queue_frames",
+		Help: "Frames currently queued across all per-connection write queues."},
+		func() float64 {
+			s.connsMu.Lock()
+			conns := make([]*conn, 0, len(s.conns))
+			for c := range s.conns {
+				conns = append(conns, c)
+			}
+			s.connsMu.Unlock()
+			total := 0
+			for _, c := range conns {
+				total += c.q.len()
+			}
+			return float64(total)
+		})
+	reg.NewCounterFunc(telemetry.Opts{Name: "papid_alloc_cache_hits_total",
+		Help: "Allocation-cache hits."}, func() uint64 {
+		hits, _ := s.cache.counters()
+		return hits
+	})
+	reg.NewCounterFunc(telemetry.Opts{Name: "papid_alloc_cache_misses_total",
+		Help: "Allocation-cache misses."}, func() uint64 {
+		_, misses := s.cache.counters()
+		return misses
+	})
+	reg.NewGaugeFunc(telemetry.Opts{Name: "papid_goroutines",
+		Help: "Goroutines in the papid process."}, func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	start := time.Now()
+	reg.NewGaugeFunc(telemetry.Opts{Name: "papid_uptime_seconds",
+		Help: "Seconds since the server was built."}, func() float64 {
+		return time.Since(start).Seconds()
+	})
+}

@@ -1,0 +1,325 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+	"repro/internal/wire"
+)
+
+// waitFor polls cond until it holds or the deadline expires.
+func waitFor(t *testing.T, d time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// adminClient is an HTTP client safe for goroutine-leak-checking
+// tests: no keep-alive connections survive the scrape.
+func adminClient() *http.Client {
+	return &http.Client{
+		Timeout:   30 * time.Second,
+		Transport: &http.Transport{DisableKeepAlives: true},
+	}
+}
+
+// TestAdminEndpoint drives real traffic through papid and scrapes the
+// admin listener: /metrics must expose the per-op latency histograms,
+// queue-depth gauges, and cache counters in parseable Prometheus text,
+// /statusz must be a JSON document carrying the same stats, and the
+// whole surface must go away on Shutdown.
+func TestAdminEndpoint(t *testing.T) {
+	srv, addr := startServer(t, Config{TickInterval: time.Millisecond})
+	aaddr, err := srv.ListenAdmin("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + aaddr.String()
+	hc := adminClient()
+	defer hc.CloseIdleConnections()
+
+	// Traffic: a session with a subscriber, a READ, a STATS.
+	cl := dialT(t, addr)
+	if _, err := cl.Hello(); err != nil {
+		t.Fatal(err)
+	}
+	created, err := cl.Do(wire.Request{Op: wire.OpCreate,
+		Events: []string{"PAPI_TOT_CYC"}, Workload: "dot", N: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range []string{wire.OpStart, wire.OpSubscribe, wire.OpRead} {
+		if _, err := cl.Do(wire.Request{Op: op, Session: created.Session}); err != nil {
+			t.Fatalf("%s: %v", op, err)
+		}
+	}
+	waitFor(t, time.Second, func() bool { return srv.Stats().SnapshotsSent > 0 })
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := hc.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	metrics := get("/metrics")
+	for _, want := range []string{
+		"# TYPE papid_op_latency_seconds histogram",
+		`papid_op_latency_seconds_bucket{codec="json",op="READ",le="+Inf"}`,
+		"papid_op_latency_seconds_count",
+		"# TYPE papid_sessions gauge",
+		"papid_sessions 1",
+		"papid_write_queue_frames",
+		"papid_alloc_cache_hits_total",
+		"papid_alloc_cache_misses_total",
+		"papid_snapshots_sent_total",
+		"papid_tick_duration_seconds_count",
+		`papid_frames_sent_total{codec="json"}`,
+		"papid_tsdb_append_seconds_count",
+		"papid_goroutines",
+		"papid_uptime_seconds",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics lacks %q", want)
+		}
+	}
+	// Every sample line must parse as "<name>{...} <float>".
+	for _, line := range strings.Split(metrics, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("unparseable sample line %q", line)
+		}
+		var f float64
+		if _, err := fmt.Sscanf(line[sp+1:], "%g", &f); err != nil {
+			t.Fatalf("sample %q value: %v", line, err)
+		}
+	}
+
+	var status struct {
+		Stats Stats                        `json:"stats"`
+		Hists map[string]telemetry.Summary `json:"hists"`
+	}
+	if err := json.Unmarshal([]byte(get("/statusz")), &status); err != nil {
+		t.Fatalf("/statusz is not the status document: %v", err)
+	}
+	if status.Stats.Sessions != 1 || status.Stats.SnapshotsSent == 0 {
+		t.Errorf("/statusz stats: %+v", status.Stats)
+	}
+	if s, ok := status.Hists["op/READ/json"]; !ok || s.Count == 0 || s.P50 <= 0 {
+		t.Errorf("/statusz hists lack op/READ/json quantiles: %+v", status.Hists)
+	}
+
+	if !strings.Contains(get("/debug/pprof/"), "goroutine") {
+		t.Error("/debug/pprof/ index not served")
+	}
+
+	// Shutdown (the t.Cleanup from startServer) must close the admin
+	// listener; verify eagerly so the failure names the right actor.
+	cl.Close()
+	shutdownServer(t, srv)
+	if _, err := net.DialTimeout("tcp", aaddr.String(), time.Second); err == nil {
+		t.Error("admin listener still accepting after Shutdown")
+	}
+}
+
+// shutdownServer drains srv now (idempotent with the cleanup hook).
+func shutdownServer(t *testing.T, srv *Server) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// TestStatsHistsMixedVersion pins the wire-compatibility contract for
+// the v3 STATS extension: a v3 client sees latency quantiles, while a
+// v2 JSON client's STATS reply carries no "hists" key at all — byte
+// compatible with what pre-telemetry servers sent.
+func TestStatsHistsMixedVersion(t *testing.T) {
+	_, addr := startServer(t, Config{TickInterval: time.Hour})
+
+	// v3 client (Client.Hello announces ProtocolVersion = 3).
+	v3 := dialT(t, addr)
+	if _, err := v3.Hello(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v3.Do(wire.Request{Op: wire.OpCreate, Workload: "dot", N: 8,
+		Events: []string{"PAPI_TOT_CYC"}}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := v3.Do(wire.Request{Op: wire.OpStats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Hists) == 0 {
+		t.Fatal("v3 STATS reply has no hists")
+	}
+	if s, ok := resp.Hists["op/HELLO/json"]; !ok || s.Count == 0 {
+		t.Errorf("v3 hists lack op/HELLO/json: %v", resp.Hists)
+	}
+	if s, ok := resp.Hists["op/CREATE_SESSION/json"]; !ok || s.Max < s.Min {
+		t.Errorf("v3 hists lack a consistent op/CREATE_SESSION/json: %+v", s)
+	}
+
+	// Raw v2 JSON client: same server, no hists in the raw reply bytes.
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	nc.SetDeadline(time.Now().Add(30 * time.Second))
+	br := bufio.NewReader(nc)
+	raw := func(line string) []byte {
+		t.Helper()
+		if _, err := fmt.Fprintln(nc, line); err != nil {
+			t.Fatal(err)
+		}
+		reply, err := br.ReadBytes('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		return reply
+	}
+	if reply := raw(`{"op":"HELLO","version":2}`); !bytes.Contains(reply, []byte(`"ok":true`)) {
+		t.Fatalf("v2 HELLO: %s", reply)
+	}
+	reply := raw(`{"op":"STATS"}`)
+	if bytes.Contains(reply, []byte(`"hists"`)) {
+		t.Errorf("v2 STATS reply leaks hists: %s", reply)
+	}
+	var v2 wire.Response
+	if err := json.Unmarshal(bytes.TrimSpace(reply), &v2); err != nil || !v2.OK || v2.Stats == nil {
+		t.Fatalf("v2 STATS reply: %s (%v)", reply, err)
+	}
+
+	// A client that never said HELLO is version 0 — also no hists.
+	silent := dialT(t, addr)
+	resp, err = silent.Do(wire.Request{Op: wire.OpStats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Hists) != 0 {
+		t.Errorf("HELLO-less client got hists: %v", resp.Hists)
+	}
+}
+
+// TestStatsHistsOverBinaryCodec: the binary codec carries the summary
+// map losslessly end to end.
+func TestStatsHistsOverBinaryCodec(t *testing.T) {
+	_, addr := startServer(t, Config{TickInterval: time.Hour})
+	cl := dialBinary(t, addr)
+	resp, err := cl.Do(wire.Request{Op: wire.OpStats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The HELLO itself was measured; its quantiles must be sane ns.
+	s, ok := resp.Hists["op/HELLO/json"] // HELLO is answered in JSON pre-upgrade
+	if !ok {
+		t.Fatalf("binary STATS hists: %v", resp.Hists)
+	}
+	if s.Count == 0 || s.P50 <= 0 || s.P50 > s.P99 || s.P99 > s.Max+s.Max/4+1 {
+		t.Errorf("implausible HELLO summary over binary: %+v", s)
+	}
+}
+
+// TestSlowOpWarning: a threshold of 1ns flags every op; the warn line
+// must carry the op name and the connection id through the Logf bridge.
+func TestSlowOpWarning(t *testing.T) {
+	var mu sync.Mutex
+	var lines []string
+	_, addr := startServer(t, Config{TickInterval: time.Hour, SlowOp: time.Nanosecond,
+		Logf: func(format string, args ...any) {
+			mu.Lock()
+			lines = append(lines, fmt.Sprintf(format, args...))
+			mu.Unlock()
+		}})
+	cl := dialT(t, addr)
+	if _, err := cl.Do(wire.Request{Op: wire.OpStats}); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for _, l := range lines {
+		if strings.Contains(l, "slow op") && strings.Contains(l, "op=STATS") &&
+			strings.Contains(l, "conn=") {
+			return
+		}
+	}
+	t.Errorf("no slow-op warn line for STATS in %q", lines)
+}
+
+// TestSlowOpDisabled: a negative threshold silences the warning even
+// for glacial ops.
+func TestSlowOpDisabled(t *testing.T) {
+	var mu sync.Mutex
+	var lines []string
+	_, addr := startServer(t, Config{TickInterval: time.Hour, SlowOp: -1,
+		Logf: func(format string, args ...any) {
+			mu.Lock()
+			lines = append(lines, fmt.Sprintf(format, args...))
+			mu.Unlock()
+		}})
+	cl := dialT(t, addr)
+	if _, err := cl.Do(wire.Request{Op: wire.OpStats}); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for _, l := range lines {
+		if strings.Contains(l, "slow op") {
+			t.Errorf("slow-op warn despite SlowOp<0: %q", l)
+		}
+	}
+}
+
+// TestTelemetryRegistryDirect: the embedded registry is reachable for
+// embedders, and Stats() agrees with the instruments behind it.
+func TestTelemetryRegistryDirect(t *testing.T) {
+	srv, addr := startServer(t, Config{TickInterval: time.Hour})
+	cl := dialT(t, addr)
+	if _, err := cl.Do(wire.Request{Op: wire.OpCreate, Workload: "dot", N: 8,
+		Events: []string{"PAPI_TOT_CYC"}}); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := srv.Telemetry().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "papid_sessions 1") {
+		t.Errorf("registry sessions gauge missing:\n%s", sb.String())
+	}
+	sums := srv.Telemetry().Summaries()
+	if s, ok := sums["op/CREATE_SESSION/json"]; !ok || s.Count != 1 {
+		t.Errorf("per-op summary after one CREATE: %+v", sums)
+	}
+}

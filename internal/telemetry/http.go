@@ -1,0 +1,57 @@
+// The admin HTTP surface: /metrics (Prometheus text), /statusz (JSON),
+// and /debug/pprof (the runtime profiler) on one mux. papid mounts it
+// on a dedicated -http listener, kept off the wire-protocol port so a
+// scraper can never confuse a JSON-lines peer and vice versa.
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns the observability mux.
+//
+// statusz, when non-nil, supplies the top-level /statusz document
+// (typically the daemon's Stats view plus uptime); the registry's
+// metrics are embedded under its "metrics" key. With a nil statusz,
+// /statusz is the metrics array alone.
+//
+// The pprof handlers are mounted explicitly rather than through
+// net/http/pprof's DefaultServeMux side effect, so importing telemetry
+// never silently adds debug endpoints to an unrelated mux.
+func Handler(reg *Registry, statusz func() any) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if statusz == nil {
+			reg.WriteJSON(w)
+			return
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(statusz())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		w.Write([]byte(`<html><body><h1>papid</h1><ul>
+<li><a href="/metrics">/metrics</a> — Prometheus text exposition</li>
+<li><a href="/statusz">/statusz</a> — JSON status document</li>
+<li><a href="/debug/pprof/">/debug/pprof/</a> — runtime profiles</li>
+</ul></body></html>`))
+	})
+	return mux
+}

@@ -1,6 +1,11 @@
 package tsdb
 
-import "sort"
+import (
+	"sort"
+	"time"
+
+	"repro/internal/telemetry"
+)
 
 // Query selects a downsampled range of one session's series.
 //
@@ -40,6 +45,9 @@ func (q Query) Valid() bool {
 func (s *Store) Query(session uint64, q Query) []Series {
 	if !q.Valid() {
 		return nil
+	}
+	if s.queryLat != nil {
+		defer func(t0 time.Time) { s.queryLat.Observe(telemetry.Since(t0)) }(time.Now())
 	}
 	events := q.Events
 	if len(events) == 0 {

@@ -20,6 +20,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // SeriesKey identifies one series: a papid session plus one of its
@@ -43,6 +45,10 @@ type Config struct {
 	// Rollups lists the pre-computed downsampling widths, finest first.
 	// Default {10s, 60s}.
 	Rollups []time.Duration
+	// Registry, when set, receives the store's self-telemetry: append
+	// and query latency histograms plus byte/series/sample gauges. Nil
+	// keeps the store entirely uninstrumented (zero overhead).
+	Registry *telemetry.Registry
 }
 
 func (c *Config) fill() {
@@ -82,6 +88,11 @@ type Store struct {
 	samples   atomic.Uint64
 	evictions atomic.Uint64
 
+	// appendLat/queryLat, when non-nil, record per-call latency
+	// (appendLat once per Append or AppendBatch row, not per sample).
+	appendLat *telemetry.Histogram
+	queryLat  *telemetry.Histogram
+
 	// evictMu serializes budget-eviction scans so concurrent appenders
 	// don't stampede the same candidate.
 	evictMu sync.Mutex
@@ -103,6 +114,38 @@ func New(cfg Config) *Store {
 	for i := range s.shards {
 		s.shards[i].m = make(map[SeriesKey]*series)
 	}
+	if reg := cfg.Registry; reg != nil {
+		s.appendLat = reg.NewLatencyHistogram(telemetry.Opts{
+			Name: "papid_tsdb_append_seconds",
+			Help: "History append latency per call (one call covers a whole tick row).",
+			Key:  "tsdb/append"})
+		s.queryLat = reg.NewLatencyHistogram(telemetry.Opts{
+			Name: "papid_tsdb_query_seconds",
+			Help: "History query latency per QUERY.",
+			Key:  "tsdb/query"})
+		reg.NewGaugeFunc(telemetry.Opts{Name: "papid_tsdb_bytes",
+			Help: "History store budget charge in bytes."}, func() float64 {
+			return float64(s.bytes.Load())
+		})
+		reg.NewGaugeFunc(telemetry.Opts{Name: "papid_tsdb_series",
+			Help: "Live history series."}, func() float64 {
+			n := 0
+			for i := range s.shards {
+				s.shards[i].mu.Lock()
+				n += len(s.shards[i].m)
+				s.shards[i].mu.Unlock()
+			}
+			return float64(n)
+		})
+		reg.NewCounterFunc(telemetry.Opts{Name: "papid_tsdb_samples_total",
+			Help: "Samples ever appended to the history store."}, func() uint64 {
+			return s.samples.Load()
+		})
+		reg.NewCounterFunc(telemetry.Opts{Name: "papid_tsdb_evictions_total",
+			Help: "History eviction events (budget and retention)."}, func() uint64 {
+			return s.evictions.Load()
+		})
+	}
 	return s
 }
 
@@ -116,6 +159,13 @@ func (s *Store) shardFor(key SeriesKey) *storeShard {
 
 // Append records one sample (timestamp in µs) for the series.
 func (s *Store) Append(session uint64, event string, ts, v int64) {
+	if s.appendLat != nil {
+		defer func(t0 time.Time) { s.appendLat.Observe(telemetry.Since(t0)) }(time.Now())
+	}
+	s.appendOne(session, event, ts, v)
+}
+
+func (s *Store) appendOne(session uint64, event string, ts, v int64) {
 	key := SeriesKey{Session: session, Event: event}
 	sh := s.shardFor(key)
 	sh.mu.Lock()
@@ -169,11 +219,17 @@ func (s *Store) AppendBatch(session uint64, ts int64, events []string, vals []in
 	if n == 0 {
 		return
 	}
+	if s.appendLat != nil {
+		// One observation per batch call, not per sample: the
+		// histogram answers "what does a tick row cost", matching how
+		// papid calls in here.
+		defer func(t0 time.Time) { s.appendLat.Observe(telemetry.Since(t0)) }(time.Now())
+	}
 	if n > 64 {
 		// The grouping bitmap below covers 64 events; a row wider than
 		// that (papid sessions hold a handful) degrades gracefully.
 		for i := 0; i < n; i++ {
-			s.Append(session, events[i], ts, vals[i])
+			s.appendOne(session, events[i], ts, vals[i])
 		}
 		return
 	}

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/telemetry"
 	"repro/internal/tsdb"
 )
 
@@ -288,8 +289,9 @@ const (
 	respStats
 	respSeries
 	respCodec
+	respHists
 
-	respKnown = respCodec<<1 - 1
+	respKnown = respHists<<1 - 1
 )
 
 func appendResponse(dst []byte, m *Response) []byte {
@@ -313,6 +315,7 @@ func appendResponse(dst []byte, m *Response) []byte {
 	setIf(len(m.Stats) > 0, respStats)
 	setIf(len(m.Series) > 0, respSeries)
 	setIf(m.Codec != "", respCodec)
+	setIf(len(m.Hists) > 0, respHists)
 
 	dst = binary.AppendUvarint(dst, bits)
 	if bits&respOp != 0 {
@@ -353,6 +356,9 @@ func appendResponse(dst []byte, m *Response) []byte {
 	}
 	if bits&respCodec != 0 {
 		dst = appendStr(dst, m.Codec)
+	}
+	if bits&respHists != 0 {
+		dst = appendHists(dst, m.Hists)
 	}
 	return dst
 }
@@ -433,6 +439,11 @@ func readResponse(r *binReader, m *Response) error {
 			return err
 		}
 	}
+	if bits&respHists != 0 {
+		if m.Hists, err = r.hists(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -469,6 +480,29 @@ func appendStats(dst []byte, st map[string]uint64) []byte {
 	for _, k := range keys {
 		dst = appendStr(dst, k)
 		dst = binary.AppendUvarint(dst, st[k])
+	}
+	return dst
+}
+
+// appendHists writes the histogram-summary map key-sorted, like
+// appendStats: counts and sums as uvarints, quantiles zigzagged.
+func appendHists(dst []byte, hists map[string]telemetry.Summary) []byte {
+	keys := make([]string, 0, len(hists))
+	for k := range hists {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	dst = binary.AppendUvarint(dst, uint64(len(keys)))
+	for _, k := range keys {
+		h := hists[k]
+		dst = appendStr(dst, k)
+		dst = binary.AppendUvarint(dst, h.Count)
+		dst = appendZigzag(dst, h.Sum)
+		dst = appendZigzag(dst, h.Min)
+		dst = appendZigzag(dst, h.Max)
+		dst = appendZigzag(dst, h.P50)
+		dst = appendZigzag(dst, h.P90)
+		dst = appendZigzag(dst, h.P99)
 	}
 	return dst
 }
@@ -584,6 +618,44 @@ func (r *binReader) stats() (map[string]uint64, error) {
 			return nil, err
 		}
 		out[k] = v
+	}
+	return out, nil
+}
+
+func (r *binReader) hists() (map[string]telemetry.Summary, error) {
+	n, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]telemetry.Summary, n)
+	for i := 0; i < n; i++ {
+		k, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		var h telemetry.Summary
+		if h.Count, err = r.uvarint(); err != nil {
+			return nil, err
+		}
+		if h.Sum, err = r.zigzag(); err != nil {
+			return nil, err
+		}
+		if h.Min, err = r.zigzag(); err != nil {
+			return nil, err
+		}
+		if h.Max, err = r.zigzag(); err != nil {
+			return nil, err
+		}
+		if h.P50, err = r.zigzag(); err != nil {
+			return nil, err
+		}
+		if h.P90, err = r.zigzag(); err != nil {
+			return nil, err
+		}
+		if h.P99, err = r.zigzag(); err != nil {
+			return nil, err
+		}
+		out[k] = h
 	}
 	return out, nil
 }

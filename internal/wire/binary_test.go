@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/telemetry"
 	"repro/internal/tsdb"
 )
 
@@ -60,6 +61,12 @@ func TestBinaryResponseRoundTrip(t *testing.T) {
 			Events: []string{"PAPI_TOT_CYC"}, Values: []int64{1234567890123}, Source: "live"},
 		{Op: OpError, Error: "unknown event \"X\""},
 		{Op: OpStats, OK: true, Stats: map[string]uint64{"ticks": 7, "evictions": 0, "bytes_sent_binary": 1 << 33}},
+		{Op: OpStats, OK: true, Stats: map[string]uint64{"ticks": 7},
+			Hists: map[string]telemetry.Summary{
+				"op/READ/json": {Count: 120, Sum: 4_800_000, Min: 900, Max: 2 << 40,
+					P50: 30_000, P90: 61_000, P99: 120_000},
+				"tick": {Count: 3, Sum: -3, Min: -1, Max: -1, P50: -1, P90: -1, P99: -1},
+			}},
 		{Op: OpQuery, OK: true, Session: 3, Series: []tsdb.Series{{
 			Event: "PAPI_FP_INS", Width: 10_000_000,
 			Buckets: []tsdb.Bucket{{Start: -20, Count: 3, Min: -7, Max: 1 << 61, Sum: 42, Last: 41}},

@@ -1,6 +1,9 @@
 package wire
 
-import "repro/internal/tsdb"
+import (
+	"repro/internal/telemetry"
+	"repro/internal/tsdb"
+)
 
 // The papid protocol: JSON-lines request/response over TCP, one
 // Request per line from the client, one Response per line from the
@@ -47,6 +50,14 @@ const MinProtocolQuery = 2
 // frame to binary framing. Either side omitting the field falls back
 // to JSON lines transparently — a v2 peer never sees a binary byte.
 const MinProtocolBinary = 3
+
+// MinProtocolStatsHists is the lowest client protocol whose STATS
+// replies carry histogram summaries (Response.Hists): the server's
+// per-op latency quantiles, tick duration, and tsdb timings. A peer
+// that announced an older version (or never sent HELLO) receives the
+// plain counter map only, so a v2 JSON client's STATS reply stays
+// exactly what older servers sent.
+const MinProtocolStatsHists = 3
 
 // Request operations.
 const (
@@ -118,6 +129,12 @@ type Response struct {
 	Protocol int               `json:"protocol,omitempty"`
 	Source   string            `json:"source,omitempty"` // snapshot origin: "live" or "published"
 	Stats    map[string]uint64 `json:"stats,omitempty"`
+	// Hists carries the server's latency-histogram summaries in a
+	// v3 STATS reply, keyed compactly: "op/<OP>/<codec>" for per-op
+	// wire latency, "tick" for fan-out tick duration, "tsdb/append"
+	// and "tsdb/query" for the history store. Values are nanoseconds.
+	// Omitted entirely for pre-v3 peers (MinProtocolStatsHists).
+	Hists map[string]telemetry.Summary `json:"hists,omitempty"`
 	// Series carries a QUERY reply: one entry per event, each holding
 	// the downsampled min/max/sum/count/last buckets for the range.
 	Series []tsdb.Series `json:"series,omitempty"`

@@ -13,3 +13,7 @@ go run ./cmd/benchjson -benchmem -out BENCH_tsdb.json -bench 'TSDB' ./internal/t
 # snapshot fan-out, so short windows are noisy at 64 subscribers; 3s
 # per benchmark keeps the committed numbers representative.
 go run ./cmd/benchjson -benchmem -benchtime 3s -out BENCH_server.json -bench 'Server' ./internal/server .
+# Telemetry instrument costs: counter increment and histogram Observe
+# (the per-request overhead added to every wire op), summary
+# extraction, and a full Prometheus scrape.
+go run ./cmd/benchjson -benchmem -out BENCH_telemetry.json -bench 'Telemetry|PrometheusScrape' ./internal/telemetry

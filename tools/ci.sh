@@ -29,3 +29,34 @@ go test -run='^$' -bench=. -benchtime=1x ./...
 # reintroduced per-subscriber serialization as an allocs/op jump even
 # when wall-clock noise hides it.
 go test -run='^$' -bench='ServerThroughput' -benchtime=1x -benchmem .
+# Telemetry-endpoint smoke: a real papid with -http up, scraped over
+# real HTTP. Asserts the metric families observability depends on —
+# per-op latency histograms, queue-depth gauge, cache counters — and
+# that /statusz is valid JSON. The race-enabled telemetry tests above
+# already cover concurrent recording; this covers the binary + flag
+# wiring end to end.
+go build -o /tmp/papid-ci-smoke ./cmd/papid
+/tmp/papid-ci-smoke -addr 127.0.0.1:0 -http 127.0.0.1:61780 -quiet &
+papid_pid=$!
+trap 'kill $papid_pid 2>/dev/null || true' EXIT
+ok=""
+for i in $(seq 1 50); do
+    if metrics=$(curl -sf http://127.0.0.1:61780/metrics 2>/dev/null); then
+        ok=yes
+        break
+    fi
+    sleep 0.1
+done
+[ -n "$ok" ] || { echo "papid -http never came up" >&2; exit 1; }
+for family in papid_sessions papid_connections papid_write_queue_frames \
+    papid_alloc_cache_hits_total papid_uptime_seconds \
+    papid_tick_duration_seconds papid_goroutines; do
+    echo "$metrics" | grep -q "$family" || {
+        echo "/metrics lacks $family" >&2; exit 1; }
+done
+statusz=$(curl -sf http://127.0.0.1:61780/statusz)
+echo "$statusz" | grep -q '"stats"' || { echo "/statusz lacks stats" >&2; exit 1; }
+echo "$statusz" | grep -q '"hists"' || { echo "/statusz lacks hists" >&2; exit 1; }
+kill $papid_pid
+wait $papid_pid 2>/dev/null || true
+echo "telemetry smoke OK"

@@ -1,0 +1,41 @@
+package perfometer
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/telemetry"
+)
+
+// RenderStats prints a papid STATS reply: the lifetime counter map,
+// then — when the server is new enough to send them (protocol >= 3) —
+// the latency-quantile table for the wire ops, fan-out tick, and tsdb.
+// Per-op keys arrive as "op/<OP>/<codec>"; the single-word keys
+// ("tick", "tsdb/append", "tsdb/query") are internal stages.
+func RenderStats(w io.Writer, stats map[string]uint64, hists map[string]telemetry.Summary) {
+	keys := make([]string, 0, len(stats))
+	for k := range stats {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Fprintln(w, "counters:")
+	for _, k := range keys {
+		fmt.Fprintf(w, "  %-24s %d\n", k, stats[k])
+	}
+	if len(hists) == 0 {
+		fmt.Fprintln(w, "no latency histograms (papid predates protocol 3)")
+		return
+	}
+	if t := telemetry.FormatSummaryTable(hists, func(k string) bool {
+		return strings.HasPrefix(k, "op/")
+	}); t != "" {
+		fmt.Fprintf(w, "per-op wire latency:\n%s", t)
+	}
+	if t := telemetry.FormatSummaryTable(hists, func(k string) bool {
+		return !strings.HasPrefix(k, "op/")
+	}); t != "" {
+		fmt.Fprintf(w, "internal stages:\n%s", t)
+	}
+}
