@@ -369,7 +369,7 @@ func BenchmarkOverflowDispatch(b *testing.B) {
 func BenchmarkServerThroughput(b *testing.B) {
 	for _, nsubs := range []int{1, 8, 64} {
 		b.Run(fmt.Sprintf("subscribers=%d", nsubs), func(b *testing.B) {
-			benchServerThroughput(b, nsubs, false)
+			benchServerThroughput(b, nsubs, false, "")
 		})
 	}
 }
@@ -380,14 +380,28 @@ func BenchmarkServerThroughput(b *testing.B) {
 func BenchmarkServerThroughputBinary(b *testing.B) {
 	for _, nsubs := range []int{1, 8, 64} {
 		b.Run(fmt.Sprintf("subscribers=%d", nsubs), func(b *testing.B) {
-			benchServerThroughput(b, nsubs, true)
+			benchServerThroughput(b, nsubs, true, "")
 		})
 	}
 }
 
-func benchServerThroughput(b *testing.B, nsubs int, binary bool) {
+// BenchmarkServerThroughputDurable pairs with BenchmarkServerThroughput:
+// the identical READ workload with the WAL journaling every tick under
+// the interval fsync policy. The delta between the two is the price of
+// durability on the serving path — the acceptance bar keeps the
+// 64-subscriber case within 10% of the RAM baseline.
+func BenchmarkServerThroughputDurable(b *testing.B) {
+	for _, nsubs := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("subscribers=%d", nsubs), func(b *testing.B) {
+			benchServerThroughput(b, nsubs, false, b.TempDir())
+		})
+	}
+}
+
+func benchServerThroughput(b *testing.B, nsubs int, binary bool, dataDir string) {
 	b.ReportAllocs()
-	srv := server.New(server.Config{TickInterval: time.Millisecond})
+	srv := server.New(server.Config{TickInterval: time.Millisecond,
+		DataDir: dataDir, Fsync: "interval"})
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
 		b.Fatal(err)

@@ -55,6 +55,13 @@ func main() {
 	writeQueue := flag.Int("write-queue", 64, "per-connection outbound frame queue depth (snapshots dropped oldest-first when full)")
 	retention := flag.Duration("retention", 15*time.Minute, "history age limit for QUERY (0 keeps until -tsdb-mem evicts)")
 	tsdbMem := flag.Int64("tsdb-mem", 8<<20, "history store memory budget in bytes (0 disables QUERY history)")
+	dataDir := flag.String("data-dir", "", "directory for durable history (WAL + sealed segments); empty keeps history RAM-only")
+	fsync := flag.String("fsync", "interval", "WAL fsync policy: always, interval or off")
+	fsyncInterval := flag.Duration("fsync-interval", 100*time.Millisecond, "period of the interval fsync policy")
+	walSegBytes := flag.Int64("wal-segment-bytes", 4<<20, "WAL/segment file rotation size in bytes")
+	walDiskBytes := flag.Int64("wal-disk-bytes", 64<<20, "raw segment byte budget before compaction to rollup resolution (0 disables)")
+	walRetain := flag.Duration("wal-retain", 0, "delete segments wholly older than this (0 keeps until compaction)")
+	walCompactAfter := flag.Duration("wal-compact-after", 0, "compact raw segments older than this into rollups (0 = budget-driven only)")
 	httpAddr := flag.String("http", "", "admin listen address serving /metrics, /statusz and /debug/pprof/ (empty disables)")
 	logFormat := flag.String("log-format", "text", "structured log format: text or json")
 	slowOp := flag.Duration("slow-op", 250*time.Millisecond, "warn when handling one request takes this long (0 disables)")
@@ -96,6 +103,10 @@ func main() {
 	if slow == 0 {
 		slow = -1
 	}
+	walDisk := *walDiskBytes
+	if walDisk == 0 {
+		walDisk = -1
+	}
 	srv := server.New(server.Config{
 		DefaultPlatform: *platform,
 		Shards:          *shards,
@@ -107,6 +118,13 @@ func main() {
 		WriteQueueDepth: *writeQueue,
 		TSDBMaxBytes:    mem,
 		TSDBRetention:   age,
+		DataDir:         *dataDir,
+		Fsync:           *fsync,
+		FsyncInterval:   *fsyncInterval,
+		WALSegmentBytes: *walSegBytes,
+		WALDiskBytes:    walDisk,
+		WALRetainAge:    *walRetain,
+		WALCompactAfter: *walCompactAfter,
 		SlowOp:          slow,
 		Logger:          logger,
 	})
@@ -143,6 +161,13 @@ func main() {
 		st.FramesSentJSON, st.BytesSentJSON, st.FramesSentBinary, st.BytesSentBinary)
 	log.Printf("papid: tsdb %d bytes across %d series, %d samples, %d evictions",
 		st.TSDB.Bytes, st.TSDB.Series, st.TSDB.Samples, st.TSDB.Evictions)
+	if st.Durable {
+		// The WAL closed inside Shutdown, before this report: the active
+		// segment is sealed and the clean marker written by now.
+		log.Printf("papid: wal %d rows, %d sealed blocks, %d fsyncs, %d segments, %d bytes on disk, %d compactions",
+			st.WAL.Rows, st.WAL.SealedBlocks, st.WAL.Fsyncs, st.WAL.Segments,
+			st.WAL.DiskBytes, st.WAL.Compactions)
+	}
 	if table := telemetry.FormatSummaryTable(srv.Telemetry().Summaries(), nil); table != "" {
 		log.Printf("papid: latency quantiles:\n%s", strings.TrimRight(table, "\n"))
 	}

@@ -1,0 +1,173 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// durableQueries snapshots every QUERY view of a session the server
+// serves — raw plus each rollup step — for exact comparison across a
+// restart.
+func durableQueries(t *testing.T, srv *Server, session uint64, from, to int64) string {
+	t.Helper()
+	var sb strings.Builder
+	for _, step := range []int64{0, 10_000_000, 60_000_000} {
+		resp := srv.dispatch(nil, &wire.Request{Op: wire.OpQuery, Session: session,
+			From: from, To: to, Step: step})
+		if !resp.OK {
+			t.Fatalf("QUERY step=%d: %s", step, resp.Error)
+		}
+		b, err := json.Marshal(resp.Series)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(&sb, "step=%d %s\n", step, b)
+	}
+	return sb.String()
+}
+
+// durablePublish drives n ticks through dispatch against an injected
+// clock, the same path the tick loop and PUBLISH take in production.
+func durablePublish(t *testing.T, srv *Server, session uint64, clock *int64, n int) {
+	t.Helper()
+	events := []string{"PAPI_TOT_CYC", "PAPI_FP_OPS"}
+	for i := 0; i < n; i++ {
+		*clock += 10_000
+		resp := srv.dispatch(nil, &wire.Request{Op: wire.OpPublish, Session: session,
+			Events: events, Values: []int64{int64(i) * 3, int64(i) * 7}})
+		if !resp.OK {
+			t.Fatalf("publish %d: %s", i, resp.Error)
+		}
+	}
+}
+
+// TestDurableRestartCleanShutdown: a server with -data-dir set survives
+// a graceful shutdown with byte-identical QUERY answers, and the
+// restart takes the clean fast path (replays nothing).
+func TestDurableRestartCleanShutdown(t *testing.T) {
+	dir := t.TempDir()
+	clock := int64(1_000_000)
+	cfg := Config{
+		TickInterval:  time.Hour,
+		TSDBRetention: -1,
+		DataDir:       dir,
+		Fsync:         "off",
+		now:           func() int64 { return clock },
+	}
+
+	srv := New(cfg)
+	if srv.walErr != nil {
+		t.Fatalf("wal open: %v", srv.walErr)
+	}
+	created := srv.dispatch(nil, &wire.Request{Op: wire.OpCreate, Workload: "none", Label: "durable"})
+	if !created.OK {
+		t.Fatal(created.Error)
+	}
+	id := created.Session
+	durablePublish(t, srv, id, &clock, 3000)
+
+	// STATS gains the wal_* keys only in durable mode.
+	stats := srv.dispatch(nil, &wire.Request{Op: wire.OpStats})
+	if stats.Stats["wal_rows"] != 3000 {
+		t.Errorf("wal_rows = %d, want 3000 (stats %v)", stats.Stats["wal_rows"], stats.Stats)
+	}
+	if stats.Stats["wal_clean_start"] != 0 {
+		t.Errorf("first boot reported wal_clean_start=%d", stats.Stats["wal_clean_start"])
+	}
+
+	want := durableQueries(t, srv, id, 0, 1<<60)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+
+	srv2 := New(cfg)
+	if srv2.walErr != nil {
+		t.Fatalf("wal reopen: %v", srv2.walErr)
+	}
+	defer srv2.Shutdown(context.Background())
+	rs := srv2.Replay()
+	if !rs.CleanStart {
+		t.Errorf("restart after clean shutdown: CleanStart=false (%+v)", rs)
+	}
+	if rs.Rows != 0 {
+		t.Errorf("clean restart replayed %d rows, want 0", rs.Rows)
+	}
+	if got := durableQueries(t, srv2, id, 0, 1<<60); got != want {
+		t.Errorf("QUERY diverged across clean restart:\nbefore: %s\nafter:  %s", want, got)
+	}
+}
+
+// TestDurableRestartAfterCrash: an abandoned WAL (the kill -9 shape —
+// no seal, no truncate, no marker) replays to byte-identical QUERY
+// answers.
+func TestDurableRestartAfterCrash(t *testing.T) {
+	dir := t.TempDir()
+	clock := int64(1_000_000)
+	cfg := Config{
+		TickInterval:  time.Hour,
+		TSDBRetention: -1,
+		DataDir:       dir,
+		Fsync:         "always",
+		now:           func() int64 { return clock },
+	}
+
+	srv := New(cfg)
+	if srv.walErr != nil {
+		t.Fatalf("wal open: %v", srv.walErr)
+	}
+	created := srv.dispatch(nil, &wire.Request{Op: wire.OpCreate, Workload: "none", Label: "crashy"})
+	if !created.OK {
+		t.Fatal(created.Error)
+	}
+	id := created.Session
+	durablePublish(t, srv, id, &clock, 2000)
+	want := durableQueries(t, srv, id, 0, 1<<60)
+	srv.wal.Abandon() // no goroutines to join: Serve was never called
+
+	srv2 := New(cfg)
+	if srv2.walErr != nil {
+		t.Fatalf("wal reopen: %v", srv2.walErr)
+	}
+	defer srv2.Shutdown(context.Background())
+	rs := srv2.Replay()
+	if rs.CleanStart {
+		t.Fatal("crash restart took the clean fast path")
+	}
+	if rs.Rows == 0 && rs.Blocks == 0 {
+		t.Fatalf("nothing recovered: %+v", rs)
+	}
+	if got := durableQueries(t, srv2, id, 0, 1<<60); got != want {
+		t.Errorf("QUERY diverged across crash restart:\nbefore: %s\nafter:  %s", want, got)
+	}
+	stats := srv2.dispatch(nil, &wire.Request{Op: wire.OpStats})
+	if stats.Stats["wal_replayed_rows"] == 0 {
+		t.Errorf("wal_replayed_rows missing after crash replay: %v", stats.Stats)
+	}
+}
+
+// TestDurableOpenFailureRefusesToServe: a data dir that cannot be used
+// must fail loudly at Listen, not silently fall back to RAM-only.
+func TestDurableOpenFailureRefusesToServe(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "not-a-dir")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Config{TickInterval: time.Hour, DataDir: file})
+	if srv.walErr == nil {
+		t.Fatal("New accepted a file as -data-dir")
+	}
+	if _, err := srv.Listen("127.0.0.1:0"); err == nil {
+		t.Fatal("Listen served despite an unusable data dir")
+	}
+}

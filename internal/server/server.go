@@ -55,6 +55,7 @@ import (
 
 	"repro/internal/telemetry"
 	"repro/internal/tsdb"
+	"repro/internal/tsdb/wal"
 	"repro/internal/wire"
 	"repro/papi"
 	"repro/workload"
@@ -102,6 +103,30 @@ type Config struct {
 	// TSDBRollups lists the pre-computed downsampling widths
 	// (default 10s and 60s).
 	TSDBRollups []time.Duration
+	// DataDir, when set, makes history durable: every tick row is
+	// journaled to a write-ahead log under this directory, sealed
+	// blocks are persisted into memory-mapped segment files, and a
+	// restart replays them (see internal/tsdb/wal). Empty keeps
+	// history RAM-only.
+	DataDir string
+	// Fsync selects the WAL fsync policy: "always", "interval"
+	// (default) or "off". Only meaningful with DataDir.
+	Fsync string
+	// FsyncInterval is the period of the "interval" policy
+	// (default 100ms).
+	FsyncInterval time.Duration
+	// WALSegmentBytes is the WAL/segment rotation size (default 4 MiB).
+	WALSegmentBytes int64
+	// WALDiskBytes bounds raw segment bytes before compaction folds old
+	// segments into rollup resolution (default 64 MiB; negative
+	// disables compaction by budget).
+	WALDiskBytes int64
+	// WALRetainAge deletes segments wholly older than this
+	// (default 0 = keep until compacted/evicted by budget).
+	WALRetainAge time.Duration
+	// WALCompactAfter compacts raw segments older than this into
+	// rollup-resolution segments (default 0 = budget-driven only).
+	WALCompactAfter time.Duration
 	// SlowOp is the request-latency threshold above which a warn line
 	// is logged with the op, session and duration (default 250ms;
 	// negative disables).
@@ -189,6 +214,10 @@ type Stats struct {
 	BytesSentJSON    uint64
 	BytesSentBinary  uint64
 	TSDB             tsdb.Stats // zero when history is disabled
+	// Durable reports whether a data directory is attached; WAL is its
+	// durability layer's counters (zero otherwise).
+	Durable bool
+	WAL     wal.Stats
 }
 
 // CacheHitRate returns hits/(hits+misses), or 0 before any lookup.
@@ -211,6 +240,9 @@ type Server struct {
 	reg    *registry
 	cache  *allocCache
 	hist   *tsdb.Store // nil when history is disabled
+	wal    *wal.Log    // nil unless DataDir is set (and hist != nil)
+	walErr error       // deferred Open/Start failure, surfaced by Listen
+	replay wal.ReplayStats
 	nextID atomic.Uint64
 
 	// m holds every registry-backed instrument; slog is the structured
@@ -251,16 +283,56 @@ func New(cfg Config) *Server {
 		s.slog = telemetry.Discard()
 	}
 	if cfg.TSDBMaxBytes > 0 {
-		s.hist = tsdb.New(tsdb.Config{
+		histCfg := tsdb.Config{
 			MaxBytes: cfg.TSDBMaxBytes,
 			MaxAge:   cfg.TSDBRetention,
 			Rollups:  cfg.TSDBRollups,
 			Registry: treg,
-		})
+		}
+		if cfg.DataDir != "" {
+			// Durable history: the WAL opens first (it is the store's
+			// Storage hook), the store builds against it, then Start
+			// replays persisted state before anything can append.
+			log, err := wal.Open(cfg.DataDir, wal.Options{
+				Fsync:         cfg.Fsync,
+				FsyncInterval: cfg.FsyncInterval,
+				SegmentBytes:  cfg.WALSegmentBytes,
+				DiskBytes:     cfg.WALDiskBytes,
+				RetainAge:     cfg.WALRetainAge,
+				CompactAfter:  cfg.WALCompactAfter,
+				Registry:      treg,
+				Logger:        s.slog,
+				Now:           cfg.now,
+			})
+			if err != nil {
+				s.walErr = err
+			} else {
+				histCfg.Storage = log
+				s.hist = tsdb.New(histCfg)
+				replay, err := log.Start(s.hist)
+				if err != nil {
+					s.walErr = err
+				} else {
+					s.wal = log
+					s.replay = replay
+					s.slog.Info("papid: durable history ready",
+						"dir", cfg.DataDir, "clean_start", replay.CleanStart,
+						"segments", replay.Segments, "blocks", replay.Blocks,
+						"replayed_rows", replay.Rows, "torn_records", replay.TornRecords)
+				}
+			}
+		}
+		if s.hist == nil && s.walErr == nil {
+			s.hist = tsdb.New(histCfg)
+		}
 	}
 	s.registerServerFuncs()
 	return s
 }
+
+// Replay reports what the durability layer reconstructed at startup
+// (zero without a DataDir).
+func (s *Server) Replay() wal.ReplayStats { return s.replay }
 
 // Telemetry returns the server's metrics registry — what ServeAdmin
 // exposes and embedders can scrape or extend.
@@ -269,6 +341,11 @@ func (s *Server) Telemetry() *telemetry.Registry { return s.m.reg }
 // Listen binds addr (e.g. "127.0.0.1:0") and starts the accept and
 // tick loops. It returns the bound address immediately.
 func (s *Server) Listen(addr string) (net.Addr, error) {
+	if s.walErr != nil {
+		// A server that was asked for durability but could not get it
+		// must not serve as if it had: fail loudly at startup.
+		return nil, fmt.Errorf("durable history unavailable: %w", s.walErr)
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -363,6 +440,10 @@ func (s *Server) Stats() Stats {
 	if s.hist != nil {
 		st.TSDB = s.hist.Stats()
 	}
+	if s.wal != nil {
+		st.Durable = true
+		st.WAL = s.wal.Stats()
+	}
 	return st
 }
 
@@ -398,13 +479,26 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.wg.Wait()
 		close(done)
 	}()
+	var err error
 	select {
 	case <-done:
 		s.slog.Info("papid: drained")
-		return nil
 	case <-ctx.Done():
-		return ctx.Err()
+		err = ctx.Err()
 	}
+	// The durability layer closes last, after the tick loop has joined
+	// (clean drain) so no append races the final flush: every active
+	// block is sealed into the current segment, the segment finalized,
+	// the WAL deleted and the clean-shutdown marker written — the next
+	// start takes the sealed-marker fast path and replays nothing. On a
+	// drain timeout the close still runs: a best-effort seal beats
+	// leaving the WAL as the only copy.
+	if s.wal != nil {
+		if cerr := s.wal.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 func (s *Server) acceptLoop() {
@@ -454,15 +548,25 @@ func (s *Server) tick() {
 		if !ok {
 			return
 		}
-		if s.hist != nil {
-			s.hist.AppendBatch(resp.Session, now, resp.Events, resp.Values)
-		}
+		s.appendHistory(resp.Session, now, resp.Events, resp.Values)
 		s.fanout(resp, subs)
 	})
 	if s.hist != nil {
 		// Age out history of idle and closed sessions too — appends
 		// only sweep the series they touch.
 		s.hist.Sweep(now)
+	}
+}
+
+// appendHistory records one tick row, through the WAL when history is
+// durable (write-ahead: the row hits the journal before the store) and
+// directly into the store otherwise.
+func (s *Server) appendHistory(session uint64, ts int64, events []string, vals []int64) {
+	switch {
+	case s.wal != nil:
+		s.wal.AppendBatch(session, ts, events, vals)
+	case s.hist != nil:
+		s.hist.AppendBatch(session, ts, events, vals)
 	}
 }
 
@@ -992,9 +1096,7 @@ func (s *Server) dispatch(c *conn, req *wire.Request) wire.Response {
 			if err != nil {
 				return errResp(req, err)
 			}
-			if s.hist != nil {
-				s.hist.AppendBatch(sess.id, s.cfg.now(), snap.Events, snap.Values)
-			}
+			s.appendHistory(sess.id, s.cfg.now(), snap.Events, snap.Values)
 			s.fanout(snap, subs)
 			return wire.Response{Op: req.Op, OK: true, Session: sess.id, Seq: snap.Seq}
 		})
@@ -1056,6 +1158,28 @@ func (s *Server) dispatch(c *conn, req *wire.Request) wire.Response {
 			"tsdb_samples":       st.TSDB.Samples,
 			"tsdb_evictions":     st.TSDB.Evictions,
 		}}
+		// wal_* keys appear only on durable servers; RAM-only STATS
+		// replies stay byte-identical to what earlier PRs sent.
+		if st.Durable {
+			w := st.WAL
+			resp.Stats["wal_rows"] = w.Rows
+			resp.Stats["wal_fsyncs"] = w.Fsyncs
+			resp.Stats["wal_sealed_blocks"] = w.SealedBlocks
+			resp.Stats["wal_compactions"] = w.Compactions
+			resp.Stats["wal_truncated_files"] = w.TruncatedWALFiles
+			resp.Stats["wal_write_errors"] = w.WriteErrors
+			resp.Stats["wal_files"] = uint64(w.WALFiles)
+			resp.Stats["wal_segments"] = uint64(w.Segments)
+			resp.Stats["wal_disk_bytes"] = uint64(w.DiskBytes)
+			resp.Stats["wal_replayed_rows"] = w.Replay.Rows
+			resp.Stats["wal_replayed_blocks"] = uint64(w.Replay.Blocks)
+			resp.Stats["wal_torn_records"] = uint64(w.Replay.TornRecords)
+			if w.Replay.CleanStart {
+				resp.Stats["wal_clean_start"] = 1
+			} else {
+				resp.Stats["wal_clean_start"] = 0
+			}
+		}
 		// Histogram summaries are a v3 addition: only peers that
 		// announced version >= 3 at HELLO receive them, so a v2 JSON
 		// client's STATS reply stays byte-compatible with what PR 2's

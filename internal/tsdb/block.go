@@ -25,6 +25,12 @@ type block struct {
 
 	minTS, maxTS int64 // inclusive sample time range
 
+	// mapped marks a sealed block whose buf aliases a memory-mapped
+	// segment file (internal/tsdb/wal): the kernel owns the pages, so
+	// the block charges only its fixed overhead against the memory
+	// budget and the buf must never be written.
+	mapped bool
+
 	// Encoder state for the next append.
 	lastTS, lastTSDelta int64
 	lastV, lastVDelta   int64
@@ -58,8 +64,15 @@ func (b *block) appendSample(ts, v int64) {
 
 // bytes reports the block's memory footprint for the store's budget
 // accounting: the backing array, not just the encoded length, since
-// that is what the heap actually holds.
-func (b *block) bytes() int64 { return int64(cap(b.buf)) + blockOverhead }
+// that is what the heap actually holds. Mapped blocks charge only the
+// fixed overhead — their bytes live in file-backed pages, not on the
+// heap.
+func (b *block) bytes() int64 {
+	if b.mapped {
+		return blockOverhead
+	}
+	return int64(cap(b.buf)) + blockOverhead
+}
 
 // blockOverhead approximates the fixed per-block header cost (struct
 // fields + slice header) charged against the memory budget.
@@ -114,6 +127,22 @@ func (it *blockIter) readZigzag() int64 {
 
 func appendZigzag(dst []byte, v int64) []byte {
 	return binary.AppendUvarint(dst, zigzag(v))
+}
+
+// IterBlock decodes a delta-of-delta encoded block buffer (the exact
+// bytes a sealed block holds and the wal layer persists verbatim) and
+// calls yield for each of the n samples in time order, stopping early
+// if yield returns false. It is the exported twin of blockIter for the
+// durability layer, which re-folds persisted blocks into rollups at
+// replay and compaction time.
+func IterBlock(buf []byte, n int, yield func(ts, v int64) bool) {
+	it := blockIter{buf: buf, n: n}
+	for {
+		ts, v, ok := it.next()
+		if !ok || !yield(ts, v) {
+			return
+		}
+	}
 }
 
 // zigzag maps signed to unsigned so small negatives stay small on the

@@ -1,0 +1,280 @@
+package tsdb
+
+// This file is the store's durability surface: the hook interface a
+// persistence layer (internal/tsdb/wal) implements, and the ingestion
+// APIs replay uses to rebuild in-memory state from disk. The store
+// itself stays storage-agnostic — it reports seals and drops, and
+// accepts reconstructed blocks and rollup buckets; everything about
+// files, fsync and mmap lives behind the Storage interface.
+
+// SealedBlock is one immutable sealed block handed to the storage
+// layer (and handed back at replay): the delta-of-delta encoded buffer
+// exactly as the in-memory block holds it, which is also exactly what
+// goes on disk — sealing persists bytes, it never re-encodes.
+type SealedBlock struct {
+	Key          SeriesKey
+	Buf          []byte // delta-of-delta encoding, immutable
+	N            int    // samples encoded
+	MinTS, MaxTS int64  // inclusive sample time range
+	// LastSeq is the WAL row sequence of the newest sample the block
+	// covers (0 without a durability layer). Replay skips WAL rows at
+	// or below a series' highest persisted LastSeq — they are already
+	// inside sealed segments.
+	LastSeq uint64
+}
+
+// Storage receives the store's durability callbacks. Implementations
+// must not call back into the store from these methods while assuming
+// any lock state: callbacks always run outside the store's shard
+// locks, on the goroutine whose append or sweep triggered them.
+type Storage interface {
+	// OnSeal delivers newly sealed blocks, in seal order. The store
+	// guarantees it will not budget-evict a block before OnSeal for it
+	// has returned.
+	OnSeal(blocks []SealedBlock)
+	// OnDropSeries reports series the store expired entirely, so the
+	// storage layer can release per-series bookkeeping.
+	OnDropSeries(keys []SeriesKey)
+}
+
+func sealedBlockOf(key SeriesKey, b *block, lastSeq uint64) SealedBlock {
+	return SealedBlock{Key: key, Buf: b.buf[:len(b.buf):len(b.buf)], N: b.n,
+		MinTS: b.minTS, MaxTS: b.maxTS, LastSeq: lastSeq}
+}
+
+func (s *Store) fireSeals(seals []SealedBlock) {
+	if len(seals) > 0 && s.cfg.Storage != nil {
+		s.cfg.Storage.OnSeal(seals)
+	}
+}
+
+// SealAllActive seals every non-empty active block, firing the storage
+// hook for each, and reports how many blocks it sealed. It is the
+// graceful-shutdown flush: after it returns (and the storage layer has
+// synced), every sample the store holds is inside a sealed, persisted
+// block and a restart replays no WAL at all.
+func (s *Store) SealAllActive() int {
+	total := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		var seals []SealedBlock
+		sh.mu.Lock()
+		for key, sr := range sh.m {
+			if sr.active == nil || sr.active.n == 0 {
+				continue
+			}
+			sealed := sr.active
+			sr.sealed = append(sr.sealed, sealed)
+			sr.active = nil
+			seals = append(seals, sealedBlockOf(key, sealed, sr.lastSeq))
+		}
+		sh.mu.Unlock()
+		s.fireSeals(seals)
+		total += len(seals)
+	}
+	return total
+}
+
+// InstallSealed inserts a persisted sealed block during replay. Blocks
+// of one series must arrive in time order. mapped marks a buffer that
+// aliases a memory-mapped segment file (charged at fixed overhead
+// only); fold re-folds the block's samples into the series' rollup
+// levels — true for raw blocks, false when the levels were already
+// rebuilt from finer-grained persisted state.
+func (s *Store) InstallSealed(sb SealedBlock, mapped, fold bool) {
+	sh := s.shardFor(sb.Key)
+	sh.mu.Lock()
+	sr := sh.m[sb.Key]
+	if sr == nil {
+		sr = newSeries(sb.Key, s.widths)
+		sh.m[sb.Key] = sr
+	}
+	before := sr.bytes()
+	b := &block{buf: sb.Buf, n: sb.N, minTS: sb.MinTS, maxTS: sb.MaxTS, mapped: mapped}
+	sr.sealed = append(sr.sealed, b)
+	sr.samples += uint64(sb.N)
+	if sb.MaxTS > sr.lastTS {
+		sr.lastTS = sb.MaxTS
+	}
+	if sb.LastSeq > sr.lastSeq {
+		sr.lastSeq = sb.LastSeq
+	}
+	if fold {
+		IterBlock(sb.Buf, sb.N, func(ts, v int64) bool {
+			for i := range sr.levels {
+				sr.levels[i].append(ts, v)
+			}
+			return true
+		})
+	}
+	delta := sr.bytes() - before
+	sh.mu.Unlock()
+	s.samples.Add(uint64(sb.N))
+	s.bytes.Add(delta)
+}
+
+// InstallRollup pre-populates one rollup level with persisted buckets
+// during replay (the product of segment compaction). Buckets must be
+// in time order and older than any raw sample folded afterwards. It
+// reports false when the store has no level of that width — persisted
+// rollups of a width no longer configured are skipped, not misfiled.
+func (s *Store) InstallRollup(key SeriesKey, width int64, buckets []Bucket) bool {
+	if len(buckets) == 0 {
+		return true
+	}
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sr := sh.m[key]
+	if sr == nil {
+		sr = newSeries(key, s.widths)
+		sh.m[key] = sr
+	}
+	for i := range sr.levels {
+		if sr.levels[i].width != width {
+			continue
+		}
+		before := sr.levels[i].bytes()
+		sr.levels[i].install(buckets)
+		last := buckets[len(buckets)-1]
+		if last.Start > sr.lastTS {
+			// Rollup-only history still positions the series in time so
+			// retention sweeps age it correctly.
+			sr.lastTS = last.Start
+		}
+		s.bytes.Add(sr.levels[i].bytes() - before)
+		return true
+	}
+	return false
+}
+
+// Remap swaps a sealed block's heap buffer for a memory-mapped one
+// holding identical bytes — the storage layer calls it after a segment
+// file is finalized and mapped, releasing the heap copy. The block is
+// matched by (minTS, n) and verified byte-equal; a block already
+// evicted, already mapped, or not matching is left alone.
+func (s *Store) Remap(key SeriesKey, minTS int64, n int, buf []byte) bool {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sr := sh.m[key]
+	if sr == nil {
+		return false
+	}
+	for _, b := range sr.sealed {
+		if b.mapped || b.minTS != minTS || b.n != n || len(b.buf) != len(buf) {
+			continue
+		}
+		if !bytesEqual(b.buf, buf) {
+			continue
+		}
+		old := b.bytes()
+		b.buf = buf
+		b.mapped = true
+		s.bytes.Add(b.bytes() - old)
+		return true
+	}
+	return false
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// DropSealedOlder evicts every sealed block whose newest sample is at
+// or before cutoff, across all series, leaving rollup levels intact.
+// Compaction calls it after merging old raw segments into
+// rollup-resolution segments: once raw data below the horizon exists
+// only as rollups on disk, memory must stop serving it raw too, or a
+// restart would change query answers.
+func (s *Store) DropSealedOlder(cutoff int64) (blocks int) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for _, sr := range sh.m {
+			for len(sr.sealed) > 0 && sr.sealed[0].maxTS <= cutoff {
+				s.bytes.Add(-sr.evictOldestSealed())
+				blocks++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return blocks
+}
+
+// DropSealedUpTo is the per-series variant: cutoffs maps each series
+// to the newest sample timestamp of its own compacted blocks, so a
+// series whose blocks were not part of this compaction round keeps its
+// raw data in memory. A global cutoff would evict a slow series' raw
+// blocks that still exist raw on disk, and a restart would then serve
+// them again — a pre/post-restart mismatch this avoids.
+func (s *Store) DropSealedUpTo(cutoffs map[SeriesKey]int64) (blocks int) {
+	for key, cutoff := range cutoffs {
+		sh := s.shardFor(key)
+		sh.mu.Lock()
+		if sr := sh.m[key]; sr != nil {
+			for len(sr.sealed) > 0 && sr.sealed[0].maxTS <= cutoff {
+				s.bytes.Add(-sr.evictOldestSealed())
+				blocks++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return blocks
+}
+
+// EnforceBudget applies the byte budget once — replay calls it after
+// bulk installs instead of checking per block.
+func (s *Store) EnforceBudget() {
+	if s.bytes.Load() > s.cfg.MaxBytes {
+		s.evictToBudget()
+	}
+}
+
+// RollupWidths returns the configured rollup bucket widths in µs,
+// coarsest last — the resolutions a compacting storage layer must
+// reproduce.
+func (s *Store) RollupWidths() []int64 {
+	return append([]int64(nil), s.widths...)
+}
+
+// Folder incrementally folds time-ordered raw samples into
+// grid-aligned buckets of one width — the same arithmetic the store's
+// rollup levels apply on the hot path, exported so compaction produces
+// buckets that are bit-identical to what replaying the raw samples
+// would have built.
+type Folder struct {
+	level rollupLevel
+}
+
+// NewFolder returns a Folder producing width-µs buckets.
+func NewFolder(width int64) *Folder {
+	return &Folder{level: rollupLevel{width: width}}
+}
+
+// Add folds one sample; samples must arrive in non-decreasing time
+// order.
+func (f *Folder) Add(ts, v int64) { f.level.append(ts, v) }
+
+// Install seeds the folder with already-folded buckets (the rollup
+// runs of an earlier compaction) before newer runs or raw samples are
+// added — the same continuation logic replay applies live.
+func (f *Folder) Install(buckets []Bucket) { f.level.install(buckets) }
+
+// Buckets returns every bucket folded so far, including the partial
+// trailing one.
+func (f *Folder) Buckets() []Bucket {
+	out := append([]Bucket(nil), f.level.buckets...)
+	if f.level.curSet {
+		out = append(out, f.level.cur)
+	}
+	return out
+}

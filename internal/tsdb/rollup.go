@@ -80,6 +80,30 @@ func (rl *rollupLevel) append(ts, v int64) {
 	rl.cur.merge(v)
 }
 
+// install pre-populates the level with persisted buckets (replay of a
+// compacted rollup segment). Buckets arrive in time order and strictly
+// precede any raw sample folded afterwards, except that the newest
+// installed bucket may share its window with samples still to come —
+// so it becomes the in-progress bucket, and a boundary window split
+// across a compaction edge reassembles exactly. A bucket landing on
+// the current window merges (two compactions may split one window).
+func (rl *rollupLevel) install(buckets []Bucket) {
+	for _, bk := range buckets {
+		switch {
+		case rl.curSet && bk.Start == rl.cur.Start:
+			rl.cur.mergeBucket(bk)
+		case rl.curSet && bk.Start > rl.cur.Start:
+			rl.buckets = append(rl.buckets, rl.cur)
+			rl.cur = bk
+		case rl.curSet:
+			// Out of order — persisted state predates the current
+			// window. Drop rather than corrupt the time order.
+		default:
+			rl.cur, rl.curSet = bk, true
+		}
+	}
+}
+
 // snapshotRange copies the level's buckets overlapping [from, to),
 // including the in-progress one.
 func (rl *rollupLevel) snapshotRange(from, to int64) []Bucket {

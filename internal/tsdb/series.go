@@ -12,6 +12,10 @@ type series struct {
 	levels  []rollupLevel
 	lastTS  int64
 	samples uint64
+	// lastSeq is the WAL row sequence of the newest sample (0 when no
+	// durability layer is attached). A seal event captures it so replay
+	// knows exactly which WAL rows the sealed block already covers.
+	lastSeq uint64
 }
 
 func newSeries(key SeriesKey, widths []int64) *series {
@@ -23,11 +27,12 @@ func newSeries(key SeriesKey, widths []int64) *series {
 }
 
 // append adds one sample, sealing the active block at blockSamples. It
-// returns the change in the series' budget charge. Timestamps are
-// monotonized: a sample older than the last one is clamped forward, so
-// a clock step backwards degrades resolution instead of corrupting the
-// delta chain.
-func (sr *series) append(ts, v int64, blockSamples int) (deltaBytes int64) {
+// returns the change in the series' budget charge and, when this
+// sample filled the active block, the newly sealed block. Timestamps
+// are monotonized: a sample older than the last one is clamped
+// forward, so a clock step backwards degrades resolution instead of
+// corrupting the delta chain.
+func (sr *series) append(ts, v int64, blockSamples int, seq uint64) (deltaBytes int64, sealed *block) {
 	if sr.samples > 0 && ts < sr.lastTS {
 		ts = sr.lastTS
 	}
@@ -36,7 +41,11 @@ func (sr *series) append(ts, v int64, blockSamples int) (deltaBytes int64) {
 		sr.active = &block{}
 	}
 	sr.active.appendSample(ts, v)
+	if seq > sr.lastSeq {
+		sr.lastSeq = seq
+	}
 	if sr.active.n >= blockSamples {
+		sealed = sr.active
 		sr.sealed = append(sr.sealed, sr.active)
 		sr.active = nil
 	}
@@ -45,7 +54,7 @@ func (sr *series) append(ts, v int64, blockSamples int) (deltaBytes int64) {
 	}
 	sr.lastTS = ts
 	sr.samples++
-	return sr.bytes() - before
+	return sr.bytes() - before, sealed
 }
 
 // bytes is the series' total budget charge.

@@ -49,6 +49,11 @@ type Config struct {
 	// and query latency histograms plus byte/series/sample gauges. Nil
 	// keeps the store entirely uninstrumented (zero overhead).
 	Registry *telemetry.Registry
+	// Storage, when set, receives durability callbacks: every sealed
+	// block (so it can be persisted) and every fully-expired series.
+	// Callbacks run outside all store locks, on the goroutine whose
+	// append/sweep triggered them. Nil keeps the store RAM-only.
+	Storage Storage
 }
 
 func (c *Config) fill() {
@@ -162,19 +167,23 @@ func (s *Store) Append(session uint64, event string, ts, v int64) {
 	if s.appendLat != nil {
 		defer func(t0 time.Time) { s.appendLat.Observe(telemetry.Since(t0)) }(time.Now())
 	}
-	s.appendOne(session, event, ts, v)
+	s.appendOne(session, event, ts, v, 0)
 }
 
-func (s *Store) appendOne(session uint64, event string, ts, v int64) {
+func (s *Store) appendOne(session uint64, event string, ts, v int64, seq uint64) {
 	key := SeriesKey{Session: session, Event: event}
 	sh := s.shardFor(key)
+	var seals []SealedBlock
 	sh.mu.Lock()
-	delta, evicted := s.appendLocked(sh, key, ts, v)
+	delta, evicted := s.appendLocked(sh, key, ts, v, seq, &seals)
 	sh.mu.Unlock()
 	s.samples.Add(1)
 	if evicted > 0 {
 		s.evictions.Add(evicted)
 	}
+	// Persist before any budget eviction can run: a sealed block must
+	// reach the storage layer before the store is allowed to drop it.
+	s.fireSeals(seals)
 	if s.bytes.Add(delta) > s.cfg.MaxBytes {
 		s.evictToBudget()
 	}
@@ -182,14 +191,20 @@ func (s *Store) appendOne(session uint64, event string, ts, v int64) {
 
 // appendLocked is the per-sample core; the caller holds sh.mu. It
 // returns the budget delta and the retention-eviction event count so
-// batch callers can fold the atomics once per batch.
-func (s *Store) appendLocked(sh *storeShard, key SeriesKey, ts, v int64) (delta int64, evicted uint64) {
+// batch callers can fold the atomics once per batch, and collects any
+// block this sample sealed into seals — the caller fires the storage
+// hook after releasing the lock.
+func (s *Store) appendLocked(sh *storeShard, key SeriesKey, ts, v int64, seq uint64, seals *[]SealedBlock) (delta int64, evicted uint64) {
 	sr := sh.m[key]
 	if sr == nil {
 		sr = newSeries(key, s.widths)
 		sh.m[key] = sr
 	}
-	delta = sr.append(ts, v, s.cfg.BlockSamples)
+	d, sealed := sr.append(ts, v, s.cfg.BlockSamples, seq)
+	delta = d
+	if sealed != nil {
+		*seals = append(*seals, sealedBlockOf(key, sealed, sr.lastSeq))
+	}
 	if s.cfg.MaxAge > 0 {
 		freed, events := sr.evictExpired(ts - s.cfg.MaxAge.Microseconds())
 		delta -= freed
@@ -212,6 +227,15 @@ func (s *Store) AppendRow(session uint64, ts int64, events []string, vals []int6
 // lock traffic drops E-fold. The batch is equivalent to E sequential
 // Appends at the same timestamp.
 func (s *Store) AppendBatch(session uint64, ts int64, events []string, vals []int64) {
+	s.AppendBatchSeq(session, ts, events, vals, 0)
+}
+
+// AppendBatchSeq is AppendBatch carrying the WAL row sequence number
+// of the batch (internal/tsdb/wal assigns it before handing the row
+// down). Seal events capture the newest sequence a block covers, which
+// is what lets replay skip exactly the WAL rows already persisted
+// inside sealed segments. Seq 0 means "no durability layer".
+func (s *Store) AppendBatchSeq(session uint64, ts int64, events []string, vals []int64, seq uint64) {
 	n := len(events)
 	if len(vals) < n {
 		n = len(vals)
@@ -229,7 +253,7 @@ func (s *Store) AppendBatch(session uint64, ts int64, events []string, vals []in
 		// The grouping bitmap below covers 64 events; a row wider than
 		// that (papid sessions hold a handful) degrades gracefully.
 		for i := 0; i < n; i++ {
-			s.appendOne(session, events[i], ts, vals[i])
+			s.appendOne(session, events[i], ts, vals[i], seq)
 		}
 		return
 	}
@@ -240,6 +264,7 @@ func (s *Store) AppendBatch(session uint64, ts int64, events []string, vals []in
 	var delta int64
 	var evicted uint64
 	var done uint64
+	var seals []SealedBlock
 	for i := 0; i < n; i++ {
 		if done&(1<<i) != 0 {
 			continue
@@ -251,7 +276,7 @@ func (s *Store) AppendBatch(session uint64, ts int64, events []string, vals []in
 				continue
 			}
 			done |= 1 << j
-			d, ev := s.appendLocked(sh, SeriesKey{Session: session, Event: events[j]}, ts, vals[j])
+			d, ev := s.appendLocked(sh, SeriesKey{Session: session, Event: events[j]}, ts, vals[j], seq, &seals)
 			delta += d
 			evicted += ev
 		}
@@ -261,6 +286,7 @@ func (s *Store) AppendBatch(session uint64, ts int64, events []string, vals []in
 	if evicted > 0 {
 		s.evictions.Add(evicted)
 	}
+	s.fireSeals(seals)
 	if s.bytes.Add(delta) > s.cfg.MaxBytes {
 		s.evictToBudget()
 	}
@@ -331,13 +357,17 @@ func (s *Store) sealOldestActive() bool {
 		return false
 	}
 	victimShard.mu.Lock()
-	defer victimShard.mu.Unlock()
 	sr := victimShard.m[victimKey]
 	if sr == nil || sr.active == nil || sr.active.n == 0 {
+		victimShard.mu.Unlock()
 		return false
 	}
-	sr.sealed = append(sr.sealed, sr.active)
+	sealed := sr.active
+	sr.sealed = append(sr.sealed, sealed)
 	sr.active = nil
+	sb := sealedBlockOf(victimKey, sealed, sr.lastSeq)
+	victimShard.mu.Unlock()
+	s.fireSeals([]SealedBlock{sb})
 	return true
 }
 
@@ -351,13 +381,17 @@ func (s *Store) Sweep(now int64) {
 	cutoff := now - s.cfg.MaxAge.Microseconds()
 	for i := range s.shards {
 		sh := &s.shards[i]
+		var seals []SealedBlock
+		var dropped []SeriesKey
 		sh.mu.Lock()
 		for key, sr := range sh.m {
 			if sr.active != nil && sr.active.maxTS < cutoff {
 				// A finished session stops appending, so its last
 				// partial block would otherwise never seal or expire.
-				sr.sealed = append(sr.sealed, sr.active)
+				sealed := sr.active
+				sr.sealed = append(sr.sealed, sealed)
 				sr.active = nil
+				seals = append(seals, sealedBlockOf(key, sealed, sr.lastSeq))
 			}
 			freed, events := sr.evictExpired(cutoff)
 			s.bytes.Add(-freed)
@@ -367,9 +401,14 @@ func (s *Store) Sweep(now int64) {
 				// Fully expired: drop the series itself.
 				s.bytes.Add(-sr.bytes())
 				delete(sh.m, key)
+				dropped = append(dropped, key)
 			}
 		}
 		sh.mu.Unlock()
+		s.fireSeals(seals)
+		if len(dropped) > 0 && s.cfg.Storage != nil {
+			s.cfg.Storage.OnDropSeries(dropped)
+		}
 	}
 }
 

@@ -1,0 +1,296 @@
+package wal
+
+import (
+	"os"
+	"sort"
+
+	"repro/internal/tsdb"
+)
+
+// Compaction keeps disk bounded without losing queryable history: old
+// raw segments (and earlier compaction outputs) are folded into a
+// single rollup-resolution segment — the exact buckets the store's
+// live rollup levels would hold for those samples — plus per-series
+// watermarks preserving replay dedup. The output declares its inputs
+// via a 'C' record, so a crash anywhere in the sequence either keeps
+// the inputs (output torn → discarded) or keeps the output (inputs
+// stale → pruned at Open); never both, never neither.
+//
+// After the output is durable, the store drops its in-memory raw
+// blocks for exactly the compacted ranges (per series), so memory and
+// a post-restart store answer queries identically.
+
+// CompactStats describes one compaction pass.
+type CompactStats struct {
+	Deleted    int   // segments removed by retention age
+	Compacted  int   // segments folded into the rollup output
+	RawBlocks  int   // raw blocks folded
+	BytesFreed int64 // input bytes removed from disk
+}
+
+// Compact runs one retention + compaction pass against the given
+// current time (µs). Safe to call concurrently with appends; passes
+// themselves are serialized.
+func (l *Log) Compact(now int64) (CompactStats, error) {
+	l.compactMu.Lock()
+	defer l.compactMu.Unlock()
+	var cs CompactStats
+
+	// An active segment whose entire content has already aged past the
+	// compaction (or retention) threshold would otherwise never become
+	// eligible — low-traffic servers might not fill it for hours.
+	// Finalize it so the passes below can see it.
+	if cutoff := l.ageCutoff(now); cutoff != 0 {
+		var finalized *segment
+		l.segMu.Lock()
+		if l.sw != nil && len(l.sw.offsets) > 0 && l.sw.maxTS < cutoff {
+			finalized = l.finalizeWriterLocked()
+		}
+		l.segMu.Unlock()
+		if finalized != nil {
+			l.remapFinalized(finalized)
+		}
+	}
+
+	// Retention: drop segments whose entire content has aged out. The
+	// store's own sweep expires the same data from memory.
+	if l.opts.RetainAge > 0 {
+		cutoff := now - l.opts.RetainAge.Microseconds()
+		var expired []*segment
+		l.segMu.Lock()
+		keep := l.segs[:0]
+		for _, s := range l.segs {
+			if s.maxTS < cutoff {
+				expired = append(expired, s)
+			} else {
+				keep = append(keep, s)
+			}
+		}
+		l.segs = append([]*segment(nil), keep...)
+		l.segMu.Unlock()
+		for _, s := range expired {
+			cs.Deleted++
+			cs.BytesFreed += s.size
+			if err := os.Remove(s.path); err != nil {
+				l.logger.Error("retention remove failed", "err", err, "path", s.path)
+			}
+		}
+	}
+
+	// Selection: the longest prefix (in file-sequence order) where each
+	// segment is old enough or disk is over budget. Prefix-only keeps
+	// the replaced-through invariant exact.
+	l.segMu.Lock()
+	total := int64(0)
+	for _, s := range l.segs {
+		total += s.size
+	}
+	if l.sw != nil {
+		total += l.sw.size
+	}
+	var sel []*segment
+	for _, s := range l.segs {
+		aged := l.opts.CompactAfter > 0 && s.maxTS < now-l.opts.CompactAfter.Microseconds()
+		over := l.opts.DiskBytes > 0 && total > l.opts.DiskBytes
+		if !aged && !over {
+			break
+		}
+		sel = append(sel, s)
+		total -= s.size
+	}
+	l.segMu.Unlock()
+	anyRaw := false
+	for _, s := range sel {
+		anyRaw = anyRaw || s.raw
+	}
+	if len(sel) == 0 || (!anyRaw && len(sel) < 2) {
+		// Nothing to fold, or re-writing a single rollup segment would
+		// churn bytes without shrinking anything.
+		return cs, nil
+	}
+
+	out, cutoffs, err := l.buildCompacted(sel)
+	if err != nil {
+		return cs, err
+	}
+
+	l.segMu.Lock()
+	selSet := make(map[*segment]bool, len(sel))
+	for _, s := range sel {
+		selSet[s] = true
+	}
+	keep := make([]*segment, 0, len(l.segs))
+	for _, s := range l.segs {
+		if !selSet[s] {
+			keep = append(keep, s)
+		}
+	}
+	l.segs = append(keep, out)
+	sortSegments(l.segs)
+	l.segMu.Unlock()
+
+	// Memory follows disk: raw blocks now represented only as rollups
+	// on disk leave the store too.
+	if l.store != nil && len(cutoffs) > 0 {
+		l.store.DropSealedUpTo(cutoffs)
+	}
+	for _, s := range sel {
+		cs.Compacted++
+		cs.BytesFreed += s.size
+		for range s.blocks {
+			cs.RawBlocks++
+		}
+		if err := os.Remove(s.path); err != nil {
+			l.logger.Error("compacted input remove failed", "err", err, "path", s.path)
+		}
+	}
+	cs.BytesFreed -= out.size
+	l.compactions.Add(1)
+	return cs, nil
+}
+
+// ageCutoff returns the newest µs timestamp at which data becomes
+// eligible for age-driven compaction or retention, or 0 when neither
+// is configured.
+func (l *Log) ageCutoff(now int64) int64 {
+	var cutoff int64
+	if l.opts.CompactAfter > 0 {
+		cutoff = now - l.opts.CompactAfter.Microseconds()
+	}
+	if l.opts.RetainAge > 0 {
+		if c := now - l.opts.RetainAge.Microseconds(); cutoff == 0 || c > cutoff {
+			cutoff = c
+		}
+	}
+	return cutoff
+}
+
+// buildCompacted folds the selected segments into one finalized
+// rollup segment, returning it plus per-series raw-drop cutoffs.
+func (l *Log) buildCompacted(sel []*segment) (*segment, map[tsdb.SeriesKey]int64, error) {
+	widths := l.rollupWidths()
+	type perKey struct {
+		folders map[int64]*tsdb.Folder
+		water   uint64
+		maxRaw  int64 // newest raw sample folded, 0 if none
+	}
+	acc := make(map[tsdb.SeriesKey]*perKey)
+	keyOrder := []tsdb.SeriesKey{}
+	at := func(key tsdb.SeriesKey) *perKey {
+		pk := acc[key]
+		if pk == nil {
+			pk = &perKey{folders: make(map[int64]*tsdb.Folder, len(widths))}
+			for _, w := range widths {
+				pk.folders[w] = tsdb.NewFolder(w)
+			}
+			acc[key] = pk
+			keyOrder = append(keyOrder, key)
+		}
+		return pk
+	}
+	// Prior rollup runs first (they hold the oldest data), then raw
+	// blocks — segment order within each pass is time order per series.
+	for _, s := range sel {
+		for _, rr := range s.rollups {
+			pk := at(rr.key)
+			if f := pk.folders[rr.width]; f != nil {
+				f.Install(rr.buckets)
+			}
+		}
+		for _, w := range s.marks {
+			pk := at(w.key)
+			if w.seq > pk.water {
+				pk.water = w.seq
+			}
+		}
+	}
+	for _, s := range sel {
+		for _, ref := range s.blocks {
+			sb := ref.sb
+			pk := at(sb.Key)
+			tsdb.IterBlock(sb.Buf, sb.N, func(ts, v int64) bool {
+				for _, f := range pk.folders {
+					f.Add(ts, v)
+				}
+				return true
+			})
+			if sb.LastSeq > pk.water {
+				pk.water = sb.LastSeq
+			}
+			if sb.MaxTS > pk.maxRaw {
+				pk.maxRaw = sb.MaxTS
+			}
+		}
+	}
+	sort.Slice(keyOrder, func(i, j int) bool {
+		a, b := keyOrder[i], keyOrder[j]
+		if a.Session != b.Session {
+			return a.Session < b.Session
+		}
+		return a.Event < b.Event
+	})
+
+	l.segMu.Lock()
+	seq := l.nextSegSeq
+	l.nextSegSeq++
+	l.segMu.Unlock()
+	w, err := createSegment(l.dir, seq)
+	if err != nil {
+		return nil, nil, err
+	}
+	fail := func(err error) (*segment, map[tsdb.SeriesKey]int64, error) {
+		w.f.Close()
+		os.Remove(w.path)
+		return nil, nil, err
+	}
+	replacedThrough := sel[len(sel)-1].seq
+	if err := w.writeRecord(appendCompactMeta(nil, replacedThrough)); err != nil {
+		return fail(err)
+	}
+	const bucketsPerRecord = 4096
+	cutoffs := make(map[tsdb.SeriesKey]int64)
+	for _, key := range keyOrder {
+		pk := acc[key]
+		for _, width := range widths {
+			buckets := pk.folders[width].Buckets()
+			if n := len(buckets); n > 0 {
+				// Rollup-only segments still need an age for retention.
+				if end := buckets[n-1].Start + width; end > w.maxTS {
+					w.maxTS = end
+				}
+			}
+			for len(buckets) > 0 {
+				n := min(len(buckets), bucketsPerRecord)
+				rec := rollupRecord{key: key, width: width, buckets: buckets[:n]}
+				if err := w.writeRecord(appendRollup(nil, rec)); err != nil {
+					return fail(err)
+				}
+				buckets = buckets[n:]
+			}
+		}
+		if pk.water > 0 {
+			if err := w.writeRecord(appendWatermark(nil, watermarkRecord{key: key, seq: pk.water})); err != nil {
+				return fail(err)
+			}
+		}
+		if pk.maxRaw > 0 {
+			cutoffs[key] = pk.maxRaw
+		}
+	}
+	out, err := w.finalize()
+	if err != nil {
+		os.Remove(w.path)
+		return nil, nil, err
+	}
+	out.replacedThrough = replacedThrough
+	return out, cutoffs, nil
+}
+
+// rollupWidths returns the store's configured rollup widths in µs —
+// compaction output matches the live levels exactly.
+func (l *Log) rollupWidths() []int64 {
+	if l.store != nil {
+		return l.store.RollupWidths()
+	}
+	return nil
+}

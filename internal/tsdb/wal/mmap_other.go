@@ -1,0 +1,22 @@
+//go:build !unix
+
+package wal
+
+import (
+	"io"
+	"os"
+)
+
+// mmapFile on platforms without syscall.Mmap falls back to reading the
+// file into the heap. mapped=false tells callers to charge the buffer
+// at full size and skip the heap→mmap Remap (there is nothing to gain).
+func mmapFile(f *os.File, size int) (data []byte, mapped bool, err error) {
+	if size <= 0 {
+		return nil, false, nil
+	}
+	buf := make([]byte, size)
+	if _, err := io.ReadFull(io.NewSectionReader(f, 0, int64(size)), buf); err != nil {
+		return nil, false, err
+	}
+	return buf, false, nil
+}

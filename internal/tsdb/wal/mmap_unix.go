@@ -1,0 +1,31 @@
+//go:build unix
+
+package wal
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps the first size bytes of f read-only. mapped reports
+// whether the returned slice really is a file mapping (as opposed to
+// the heap fallback on other platforms): callers charge mapped buffers
+// at fixed overhead in the store budget and skip Remap for heap ones.
+//
+// Mappings are deliberately never unmapped before process exit — the
+// store decodes sealed blocks lock-free, so a munmap while any reader
+// might still hold a reference would turn a stale read into a SIGSEGV.
+// Retired segment files are unlinked instead; the mapping keeps the
+// pages alive until exit, and the file's disk space is reclaimed as
+// soon as the process ends (or immediately, for pages never touched
+// again, once the kernel drops them from the page cache).
+func mmapFile(f *os.File, size int) (data []byte, mapped bool, err error) {
+	if size <= 0 {
+		return nil, false, nil
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, false, err
+	}
+	return b, true, nil
+}

@@ -1,0 +1,193 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/tsdb"
+)
+
+// Start attaches the log to its store and reconstructs the store's
+// state from disk: rollup runs first (coarsest history), then raw
+// sealed blocks (folded into the rollup levels exactly as live appends
+// would have), then any WAL rows newer than each series' persisted
+// sealed-through sequence. It must be called exactly once, after
+// tsdb.New and before the first append; only then does the background
+// fsync/compaction loop start.
+//
+// A clean shutdown leaves no WAL files and a CLEAN marker, so restart
+// installs segments and replays nothing — the fast path.
+func (l *Log) Start(store *tsdb.Store) (ReplayStats, error) {
+	if !l.started.CompareAndSwap(false, true) {
+		return ReplayStats{}, fmt.Errorf("wal: Start called twice")
+	}
+	l.store = store
+	rs := ReplayStats{
+		Segments:    len(l.segs),
+		WALFiles:    len(l.loadedWALs),
+		TornRecords: l.totalSegTorn,
+	}
+	for _, msg := range l.loadErrs {
+		l.logger.Error("segment skipped at startup", "detail", msg)
+	}
+	rs.CleanStart = l.hadClean && len(l.loadedWALs) == 0 && l.totalSegTorn == 0 &&
+		len(l.loadErrs) == 0
+	// The marker only ever vouches for the state it was written over;
+	// remove it before any new writes.
+	os.Remove(filepath.Join(l.dir, cleanMarker))
+
+	// Pass 1: rollup runs and watermarks. Segments are in file-sequence
+	// order, which is oldest-data-first for rollup outputs.
+	for _, seg := range l.segs {
+		for _, rr := range seg.rollups {
+			if !store.InstallRollup(rr.key, rr.width, rr.buckets) {
+				l.logger.Warn("rollup width no longer configured; run skipped",
+					"width_us", rr.width, "event", rr.key.Event)
+				continue
+			}
+			rs.RollupRuns++
+		}
+		for _, w := range seg.marks {
+			st := l.stateFor(w.key)
+			if w.seq > st.sealedThrough {
+				st.sealedThrough = w.seq
+			}
+			if w.seq > l.lastSeq {
+				l.lastSeq = w.seq
+			}
+		}
+	}
+	// Pass 2: raw blocks, folded into rollup levels on top of the
+	// installed runs.
+	for _, seg := range l.segs {
+		for _, ref := range seg.blocks {
+			sb := ref.sb
+			store.InstallSealed(sb, seg.mapped, true)
+			rs.Blocks++
+			st := l.stateFor(sb.Key)
+			if sb.LastSeq > st.sealedThrough {
+				st.sealedThrough = sb.LastSeq
+			}
+			if sb.LastSeq > l.lastSeq {
+				l.lastSeq = sb.LastSeq
+			}
+		}
+	}
+	// Pass 3: WAL rows not yet inside a sealed block.
+	for i := range l.loadedWALs {
+		m := &l.loadedWALs[i]
+		torn, err := l.replayWALFile(m, &rs)
+		if err != nil {
+			l.logger.Error("wal file unreadable; skipped", "err", err, "path", m.path)
+			continue
+		}
+		if torn && i < len(l.loadedWALs)-1 {
+			// A torn tail is expected only in the newest file; anywhere
+			// else means real corruption, not a crash artifact.
+			l.logger.Warn("torn record in non-final wal file", "path", m.path)
+		}
+	}
+	l.replay = rs
+	l.oldWALs = append(l.oldWALs, l.loadedWALs...)
+	l.loadedWALs = nil
+
+	// Fresh WAL file for new rows.
+	next := uint64(1)
+	if n := len(l.oldWALs); n > 0 {
+		next = l.oldWALs[n-1].seq + 1
+	}
+	f, err := os.OpenFile(walPath(l.dir, next), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return rs, err
+	}
+	if _, err := f.Write(fileHeader(walMagic)); err != nil {
+		f.Close()
+		return rs, err
+	}
+	l.wfSeq = next
+	l.wf = f
+	l.wwr = l.wrapWriter(f)
+	l.wfBytes = int64(len(walMagic))
+	l.walDirty = true
+
+	store.EnforceBudget()
+	l.bg.Add(1)
+	go l.run()
+	return rs, nil
+}
+
+func (l *Log) stateFor(key tsdb.SeriesKey) *seriesState {
+	st := l.state[key]
+	if st == nil {
+		st = &seriesState{}
+		l.state[key] = st
+	}
+	return st
+}
+
+// replayWALFile re-appends every row of one WAL file whose samples are
+// not already inside persisted sealed blocks. Returns whether the file
+// ended in a torn record.
+func (l *Log) replayWALFile(m *walFileMeta, rs *ReplayStats) (torn bool, err error) {
+	data, err := os.ReadFile(m.path)
+	if err != nil {
+		return false, err
+	}
+	if err := checkHeader(data, walMagic); err != nil {
+		return false, err
+	}
+	var keepEv []string
+	var keepVals []int64
+	off := len(walMagic)
+	for off < len(data) {
+		payload, next, ferr := readFrame(data, off)
+		if ferr != nil {
+			rs.TornRecords++
+			return true, nil
+		}
+		off = next
+		if len(payload) == 0 || payload[0] != recRow {
+			rs.TornRecords++
+			return true, nil
+		}
+		row, derr := decodeRow(payload)
+		if derr != nil {
+			rs.TornRecords++
+			return true, nil
+		}
+		if row.seq > l.lastSeq {
+			l.lastSeq = row.seq
+		}
+		if row.seq > m.maxSeq {
+			m.maxSeq = row.seq
+		}
+		keepEv = keepEv[:0]
+		keepVals = keepVals[:0]
+		for i, ev := range row.events {
+			if i >= len(row.vals) {
+				break
+			}
+			key := tsdb.SeriesKey{Session: row.session, Event: ev}
+			st := l.stateFor(key)
+			if row.seq <= st.sealedThrough {
+				continue // already inside a persisted sealed block
+			}
+			st.lastRow = row.seq
+			if st.pinned == 0 {
+				st.pinned = row.seq
+			}
+			keepEv = append(keepEv, ev)
+			keepVals = append(keepVals, row.vals[i])
+		}
+		if len(keepEv) == 0 {
+			continue
+		}
+		// Can seal blocks mid-replay; OnSeal then persists them to a
+		// fresh segment and updates sealedThrough/pins as usual.
+		l.store.AppendBatchSeq(row.session, row.ts, keepEv, keepVals, row.seq)
+		rs.Rows++
+		rs.Samples += uint64(len(keepEv))
+	}
+	return false, nil
+}

@@ -1,0 +1,818 @@
+// Package wal makes the tsdb store crash-safe. It journals every
+// appended tick row into an append-only, CRC-framed write-ahead log,
+// persists blocks the store seals into segment files whose payload is
+// the delta-of-delta encoding verbatim, memory-maps finalized segments
+// so sealed history is served zero-copy straight from the page cache,
+// replays both on startup (tolerating a torn final record), and
+// compacts old raw segments into rollup-resolution segments under an
+// age/byte budget.
+//
+// The store knows nothing about files: it exposes the tsdb.Storage
+// hook interface plus replay-side install APIs, and this package is
+// the only implementation. Wiring order matters — Open the log first,
+// hand it to tsdb.New as Config.Storage, then call Start(store) to
+// replay before the first append:
+//
+//	log, _ := wal.Open(dir, wal.Options{...})
+//	store := tsdb.New(tsdb.Config{Storage: log, ...})
+//	replay, _ := log.Start(store)
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/telemetry"
+	"repro/internal/tsdb"
+)
+
+// Fsync policies.
+const (
+	// FsyncAlways syncs the WAL on every append — every acked row
+	// survives machine crash; slowest.
+	FsyncAlways = "always"
+	// FsyncInterval syncs on a timer (Options.FsyncInterval) — bounded
+	// loss window on machine crash, no loss on process crash.
+	FsyncInterval = "interval"
+	// FsyncOff never syncs explicitly — still survives SIGKILL (the
+	// kernel has the writes), loses the page cache on machine crash.
+	FsyncOff = "off"
+)
+
+// Options configures a Log. Zero values select the defaults noted.
+type Options struct {
+	Fsync         string        // fsync policy; default FsyncInterval
+	FsyncInterval time.Duration // interval policy period; default 100ms
+	SegmentBytes  int64         // WAL/segment rotation size; default 4 MiB
+	DiskBytes     int64         // raw-segment byte budget before compaction; default 64 MiB; <0 unlimited
+	CompactAfter  time.Duration // compact raw segments older than this; 0 = budget-only
+	RetainAge     time.Duration // delete segments wholly older than this; 0 = keep forever
+	CompactEvery  time.Duration // background compaction period; default 30s; <0 disables
+	Registry      *telemetry.Registry
+	Logger        *slog.Logger
+	// Now returns the current time in µs, matching the store's sample
+	// timestamps; compaction ages segments against it. Defaults to
+	// wall-clock µs. Injectable for tests.
+	Now func() int64
+
+	// wrapWAL, when set (tests), wraps the WAL file writer — fault
+	// injection for torn-write coverage.
+	wrapWAL func(io.Writer) io.Writer
+}
+
+func (o *Options) fill() {
+	if o.Fsync == "" {
+		o.Fsync = FsyncInterval
+	}
+	if o.FsyncInterval <= 0 {
+		o.FsyncInterval = 100 * time.Millisecond
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	if o.DiskBytes == 0 {
+		o.DiskBytes = 64 << 20
+	}
+	if o.CompactEvery == 0 {
+		o.CompactEvery = 30 * time.Second
+	}
+	if o.Logger == nil {
+		o.Logger = telemetry.Discard()
+	}
+	if o.Now == nil {
+		o.Now = func() int64 { return time.Now().UnixMicro() }
+	}
+}
+
+// ValidFsync reports whether s names a known fsync policy.
+func ValidFsync(s string) bool {
+	return s == FsyncAlways || s == FsyncInterval || s == FsyncOff
+}
+
+// ErrClosed is returned by appends after Close.
+var ErrClosed = errors.New("wal: closed")
+
+const cleanMarker = "CLEAN"
+
+// seriesState is the per-series replay bookkeeping.
+type seriesState struct {
+	// sealedThrough is the highest WAL row sequence known to be inside
+	// a persisted sealed block (or compacted rollup); replay skips rows
+	// at or below it.
+	sealedThrough uint64
+	// pinned is a lower bound on the oldest row sequence this series
+	// has outside any sealed block; 0 when none. WAL files whose newest
+	// row is older than every pin are deletable.
+	pinned uint64
+	// lastRow is the newest row sequence appended for this series.
+	lastRow uint64
+}
+
+type walFileMeta struct {
+	path   string
+	seq    uint64
+	maxSeq uint64 // newest row sequence the file holds
+	size   int64
+}
+
+// ReplayStats describes what Start reconstructed.
+type ReplayStats struct {
+	CleanStart  bool   `json:"clean_start"` // sealed-marker fast path, nothing replayed
+	Blocks      int    `json:"blocks"`      // raw blocks installed from segments
+	RollupRuns  int    `json:"rollup_runs"` // rollup runs installed from segments
+	Rows        uint64 `json:"rows"`        // WAL rows re-appended
+	Samples     uint64 `json:"samples"`     // samples from re-appended rows
+	TornRecords int    `json:"torn_records"`
+	WALFiles    int    `json:"wal_files"`
+	Segments    int    `json:"segments"`
+}
+
+// Stats is a point-in-time snapshot of the log's counters.
+type Stats struct {
+	Rows              uint64 `json:"rows"`
+	Fsyncs            uint64 `json:"fsyncs"`
+	SealedBlocks      uint64 `json:"sealed_blocks"`
+	Compactions       uint64 `json:"compactions"`
+	TruncatedWALFiles uint64 `json:"truncated_wal_files"`
+	WriteErrors       uint64 `json:"write_errors"`
+	WALFiles          int    `json:"wal_files"`
+	Segments          int    `json:"segments"`
+	DiskBytes         int64  `json:"disk_bytes"`
+	Replay            ReplayStats
+}
+
+// Log is the durability layer: tsdb.Storage implementation plus the
+// WAL writer. One Log owns one data directory.
+type Log struct {
+	dir   string
+	opts  Options
+	store *tsdb.Store
+
+	// mu serializes WAL appends end-to-end, including the store append
+	// inside AppendBatch — row sequence order is store insertion order,
+	// which replay relies on. Lock order: mu → stateMu, mu → segMu,
+	// mu → store shard locks; segMu → shard locks (Remap, compaction);
+	// stateMu is a leaf.
+	mu       sync.Mutex
+	wf       *os.File
+	wwr      io.Writer // wf, possibly wrapped by opts.wrapWAL
+	wfSeq    uint64
+	wfBytes  int64
+	wfMaxSeq uint64
+	walDirty bool
+	lastSeq  uint64
+	oldWALs  []walFileMeta
+	scratch  []byte
+
+	stateMu sync.Mutex
+	state   map[tsdb.SeriesKey]*seriesState
+
+	segMu      sync.Mutex
+	sw         *segmentWriter
+	segs       []*segment
+	nextSegSeq uint64
+	compactMu  sync.Mutex // serializes compaction passes
+
+	closed  atomic.Bool
+	started atomic.Bool
+	stopCh  chan struct{}
+	bg      sync.WaitGroup
+
+	rows         atomic.Uint64
+	fsyncs       atomic.Uint64
+	sealed       atomic.Uint64
+	compactions  atomic.Uint64
+	truncated    atomic.Uint64
+	writeErrs    atomic.Uint64
+	replay       ReplayStats
+	fsyncHist    *telemetry.Histogram
+	logger       *slog.Logger
+	hadClean     bool // CLEAN marker present at Open
+	loadedWALs   []walFileMeta
+	loadErrs     []string
+	totalSegTorn int
+}
+
+// Open scans dir (creating it if needed), maps every existing segment
+// and parses its records, and lists existing WAL files. No store
+// interaction happens until Start.
+func Open(dir string, opts Options) (*Log, error) {
+	opts.fill()
+	if !ValidFsync(opts.Fsync) {
+		return nil, fmt.Errorf("wal: unknown fsync policy %q", opts.Fsync)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	l := &Log{
+		dir:        dir,
+		opts:       opts,
+		state:      make(map[tsdb.SeriesKey]*seriesState),
+		stopCh:     make(chan struct{}),
+		logger:     opts.Logger.With("component", "wal"),
+		nextSegSeq: 1, // seq 0 is reserved so "replaced through 0" means none
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if name == cleanMarker {
+			l.hadClean = true
+			continue
+		}
+		if seq, ok := parseSeq(name, "seg-", ".seg"); ok {
+			seg, err := loadSegment(filepath.Join(dir, name), seq)
+			if err != nil {
+				// A segment that cannot even be opened or mapped is
+				// skipped, not fatal: the data it held is lost either
+				// way, and refusing to start would lose everything else.
+				l.loadErrs = append(l.loadErrs, fmt.Sprintf("%s: %v", name, err))
+				continue
+			}
+			l.totalSegTorn += seg.torn
+			l.segs = append(l.segs, seg)
+			if seq >= l.nextSegSeq {
+				l.nextSegSeq = seq + 1
+			}
+			continue
+		}
+		if seq, ok := parseSeq(name, "wal-", ".log"); ok {
+			info, err := e.Info()
+			var size int64
+			if err == nil {
+				size = info.Size()
+			}
+			l.loadedWALs = append(l.loadedWALs, walFileMeta{
+				path: filepath.Join(dir, name), seq: seq, size: size,
+			})
+		}
+	}
+	sortSegments(l.segs)
+	l.pruneStaleSegments()
+	sortWALMetas(l.loadedWALs)
+	l.registerTelemetry(opts.Registry)
+	return l, nil
+}
+
+// pruneStaleSegments discards segments superseded by a finalized
+// compaction output, and torn compaction outputs themselves (their
+// inputs are still live). Runs at Open, before any install.
+func (l *Log) pruneStaleSegments() {
+	var maxReplaced uint64
+	for _, s := range l.segs {
+		if s.finalized && s.replacedThrough > maxReplaced {
+			maxReplaced = s.replacedThrough
+		}
+	}
+	keep := l.segs[:0]
+	for _, s := range l.segs {
+		stale := maxReplaced > 0 && s.seq <= maxReplaced
+		tornCompact := s.replacedThrough != 0 && !s.finalized
+		if !stale && !tornCompact {
+			keep = append(keep, s)
+			continue
+		}
+		if err := os.Remove(s.path); err != nil {
+			l.logger.Error("stale segment remove failed", "err", err, "path", s.path)
+		}
+	}
+	l.segs = append([]*segment(nil), keep...)
+}
+
+func (l *Log) registerTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	l.fsyncHist = reg.NewLatencyHistogram(telemetry.Opts{
+		Name: "papid_wal_fsync_seconds",
+		Help: "Latency of WAL and segment fsync calls.",
+		Key:  "wal/fsync",
+	})
+	reg.NewCounterFunc(telemetry.Opts{
+		Name: "papid_wal_rows_total",
+		Help: "Tick rows appended to the write-ahead log.",
+	}, l.rows.Load)
+	reg.NewCounterFunc(telemetry.Opts{
+		Name: "papid_wal_fsyncs_total",
+		Help: "fsync calls issued by the durability layer.",
+	}, l.fsyncs.Load)
+	reg.NewCounterFunc(telemetry.Opts{
+		Name: "papid_wal_sealed_blocks_total",
+		Help: "Sealed blocks persisted into segment files.",
+	}, l.sealed.Load)
+	reg.NewCounterFunc(telemetry.Opts{
+		Name: "papid_wal_compactions_total",
+		Help: "Segment compaction passes that rewrote data.",
+	}, l.compactions.Load)
+	reg.NewCounterFunc(telemetry.Opts{
+		Name: "papid_wal_truncated_files_total",
+		Help: "WAL files deleted after their rows were sealed.",
+	}, l.truncated.Load)
+	reg.NewCounterFunc(telemetry.Opts{
+		Name: "papid_wal_write_errors_total",
+		Help: "WAL or segment write failures (appends continue in RAM).",
+	}, l.writeErrs.Load)
+	reg.NewCounterFunc(telemetry.Opts{
+		Name: "papid_wal_replayed_rows_total",
+		Help: "WAL rows re-appended during startup replay.",
+	}, func() uint64 { return l.replay.Rows })
+	reg.NewCounterFunc(telemetry.Opts{
+		Name: "papid_wal_torn_records_total",
+		Help: "Records discarded as torn or corrupt during replay.",
+	}, func() uint64 { return uint64(l.replay.TornRecords) })
+	reg.NewGaugeFunc(telemetry.Opts{
+		Name: "papid_wal_segments",
+		Help: "Live sealed segment files.",
+	}, func() float64 {
+		l.segMu.Lock()
+		defer l.segMu.Unlock()
+		n := len(l.segs)
+		if l.sw != nil {
+			n++
+		}
+		return float64(n)
+	})
+	reg.NewGaugeFunc(telemetry.Opts{
+		Name: "papid_wal_disk_bytes",
+		Help: "Bytes on disk across WAL and segment files.",
+	}, func() float64 { return float64(l.diskBytes()) })
+}
+
+func sortWALMetas(ms []walFileMeta) {
+	for i := 1; i < len(ms); i++ {
+		for j := i; j > 0 && ms[j].seq < ms[j-1].seq; j-- {
+			ms[j], ms[j-1] = ms[j-1], ms[j]
+		}
+	}
+}
+
+// AppendBatch journals one tick row and applies it to the store. The
+// WAL write happens first (write-ahead); the store append runs under
+// the same lock so sequence order equals store insertion order. A WAL
+// write failure degrades to RAM-only for that row — availability over
+// durability — and is counted and logged.
+func (l *Log) AppendBatch(session uint64, ts int64, events []string, vals []int64) error {
+	if len(events) > len(vals) {
+		events = events[:len(vals)]
+	}
+	if len(events) == 0 {
+		return nil
+	}
+	if l.closed.Load() {
+		return ErrClosed
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.lastSeq++
+	seq := l.lastSeq
+	payload := appendRow(l.scratch[:0], seq, session, ts, events, vals)
+	rec := appendFrame(payload[len(payload):], payload)
+	l.scratch = payload[:0]
+	var werr error
+	if l.wf != nil {
+		if _, werr = l.wwr.Write(rec); werr == nil {
+			l.wfBytes += int64(len(rec))
+			l.wfMaxSeq = seq
+			l.rows.Add(1)
+			if l.opts.Fsync == FsyncAlways {
+				l.fsyncWALLocked()
+			} else {
+				l.walDirty = true
+			}
+		} else {
+			l.writeErrs.Add(1)
+			l.logger.Error("wal append failed; row is RAM-only", "err", werr, "seq", seq)
+		}
+	}
+	l.noteRows(session, ts, events, seq)
+	l.store.AppendBatchSeq(session, ts, events, vals, seq)
+	if l.wf != nil && werr == nil && l.wfBytes >= l.opts.SegmentBytes {
+		l.rotateWALLocked()
+	}
+	return werr
+}
+
+// noteRows updates per-series pins before the store append.
+func (l *Log) noteRows(session uint64, ts int64, events []string, seq uint64) {
+	l.stateMu.Lock()
+	for _, ev := range events {
+		key := tsdb.SeriesKey{Session: session, Event: ev}
+		st := l.state[key]
+		if st == nil {
+			st = &seriesState{}
+			l.state[key] = st
+		}
+		st.lastRow = seq
+		if st.pinned == 0 {
+			st.pinned = seq
+		}
+	}
+	l.stateMu.Unlock()
+	_ = ts
+}
+
+// OnSeal implements tsdb.Storage: persist newly sealed blocks into the
+// active segment, rotating and finalizing it when full.
+func (l *Log) OnSeal(blocks []tsdb.SealedBlock) {
+	if len(blocks) == 0 {
+		return
+	}
+	var finalized *segment
+	l.segMu.Lock()
+	for _, sb := range blocks {
+		if err := l.ensureWriterLocked(); err != nil {
+			l.writeErrs.Add(1)
+			l.logger.Error("segment create failed; sealed block is RAM-only", "err", err)
+			break
+		}
+		if err := l.sw.writeBlock(sb); err != nil {
+			l.writeErrs.Add(1)
+			l.logger.Error("segment append failed; sealed block is RAM-only", "err", err)
+			break
+		}
+		l.sealed.Add(1)
+	}
+	if l.sw != nil && l.opts.Fsync == FsyncAlways {
+		l.fsyncSegLocked()
+	}
+	if l.sw != nil && l.sw.size >= l.opts.SegmentBytes {
+		finalized = l.finalizeWriterLocked()
+	}
+	l.segMu.Unlock()
+
+	l.stateMu.Lock()
+	for _, sb := range blocks {
+		st := l.state[sb.Key]
+		if st == nil {
+			st = &seriesState{}
+			l.state[sb.Key] = st
+		}
+		if sb.LastSeq > st.sealedThrough {
+			st.sealedThrough = sb.LastSeq
+		}
+		switch {
+		case st.lastRow <= sb.LastSeq:
+			// Every row of this series is inside a sealed block now.
+			st.pinned = 0
+		case st.pinned != 0 && st.pinned <= sb.LastSeq:
+			// Rows newer than the seal exist; conservatively pin just
+			// past the seal (the true oldest unsealed row is ≥ this).
+			st.pinned = sb.LastSeq + 1
+		}
+	}
+	l.stateMu.Unlock()
+
+	if finalized != nil {
+		l.remapFinalized(finalized)
+	}
+}
+
+// OnDropSeries implements tsdb.Storage: forget replay bookkeeping for
+// series the store expired entirely.
+func (l *Log) OnDropSeries(keys []tsdb.SeriesKey) {
+	l.stateMu.Lock()
+	for _, k := range keys {
+		delete(l.state, k)
+	}
+	l.stateMu.Unlock()
+}
+
+// ensureWriterLocked opens the active segment writer; segMu held.
+func (l *Log) ensureWriterLocked() error {
+	if l.sw != nil {
+		return nil
+	}
+	sw, err := createSegment(l.dir, l.nextSegSeq)
+	if err != nil {
+		return err
+	}
+	l.nextSegSeq++
+	l.sw = sw
+	return nil
+}
+
+// finalizeWriterLocked finalizes the active segment; segMu held.
+// Returns the new immutable segment (nil on error) for remapping
+// outside the lock.
+func (l *Log) finalizeWriterLocked() *segment {
+	sw := l.sw
+	l.sw = nil
+	seg, err := sw.finalize()
+	if err != nil {
+		l.writeErrs.Add(1)
+		l.logger.Error("segment finalize failed", "err", err, "path", sw.path)
+		// The data written so far is still scannable without a footer;
+		// reload it so queries after restart (and compaction now) see it.
+		if seg2, lerr := loadSegment(sw.path, sw.seq); lerr == nil {
+			l.segs = append(l.segs, seg2)
+			sortSegments(l.segs)
+		}
+		return nil
+	}
+	l.segs = append(l.segs, seg)
+	sortSegments(l.segs)
+	return seg
+}
+
+// remapFinalized swaps the store's heap copies of a just-finalized
+// segment's blocks for slices of its mapping. Outside segMu: Remap
+// takes shard locks.
+func (l *Log) remapFinalized(seg *segment) {
+	if !seg.mapped || l.store == nil {
+		return
+	}
+	for _, ref := range seg.blocks {
+		sb := ref.sb
+		l.store.Remap(sb.Key, sb.MinTS, sb.N, sb.Buf)
+	}
+}
+
+// rotateWALLocked starts a fresh WAL file and deletes any rotated
+// files whose rows are all sealed. mu held.
+func (l *Log) rotateWALLocked() {
+	f, err := os.OpenFile(walPath(l.dir, l.wfSeq+1), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		l.writeErrs.Add(1)
+		l.logger.Error("wal rotate failed; continuing on current file", "err", err)
+		return
+	}
+	if _, err := f.Write(fileHeader(walMagic)); err != nil {
+		f.Close()
+		l.writeErrs.Add(1)
+		l.logger.Error("wal rotate header write failed", "err", err)
+		return
+	}
+	if l.opts.Fsync != FsyncOff {
+		l.fsyncWALLocked() // old file is complete and durable before we move on
+	}
+	old := l.wf
+	l.oldWALs = append(l.oldWALs, walFileMeta{
+		path: walPath(l.dir, l.wfSeq), seq: l.wfSeq, maxSeq: l.wfMaxSeq, size: l.wfBytes,
+	})
+	l.wfSeq++
+	l.wf = f
+	l.wwr = l.wrapWriter(f)
+	l.wfBytes = int64(len(walMagic))
+	l.wfMaxSeq = 0
+	l.walDirty = true
+	old.Close()
+	l.truncateWALsLocked()
+}
+
+func (l *Log) wrapWriter(w io.Writer) io.Writer {
+	if l.opts.wrapWAL != nil {
+		return l.opts.wrapWAL(w)
+	}
+	return w
+}
+
+// truncateWALsLocked deletes rotated WAL files whose newest row is
+// older than every live pin. mu held. Before deleting anything it
+// syncs the active segment so the sealed blocks that supersede those
+// rows are actually on disk.
+func (l *Log) truncateWALsLocked() {
+	if len(l.oldWALs) == 0 {
+		return
+	}
+	minPinned := uint64(0)
+	l.stateMu.Lock()
+	for _, st := range l.state {
+		if st.pinned != 0 && (minPinned == 0 || st.pinned < minPinned) {
+			minPinned = st.pinned
+		}
+	}
+	l.stateMu.Unlock()
+	keep := l.oldWALs[:0]
+	synced := false
+	for _, m := range l.oldWALs {
+		if minPinned != 0 && m.maxSeq >= minPinned {
+			keep = append(keep, m)
+			continue
+		}
+		if !synced {
+			l.segMu.Lock()
+			l.fsyncSegLocked()
+			l.segMu.Unlock()
+			synced = true
+		}
+		if err := os.Remove(m.path); err != nil {
+			l.logger.Error("wal truncate failed", "err", err, "path", m.path)
+			keep = append(keep, m)
+			continue
+		}
+		l.truncated.Add(1)
+	}
+	l.oldWALs = append([]walFileMeta(nil), keep...)
+}
+
+func (l *Log) fsyncWALLocked() {
+	if l.wf == nil {
+		return
+	}
+	t0 := time.Now()
+	if err := l.wf.Sync(); err != nil {
+		l.writeErrs.Add(1)
+		l.logger.Error("wal fsync failed", "err", err)
+		return
+	}
+	l.walDirty = false
+	l.fsyncs.Add(1)
+	if l.fsyncHist != nil {
+		l.fsyncHist.Observe(telemetry.Since(t0))
+	}
+}
+
+// fsyncSegLocked syncs the active segment writer; segMu held.
+func (l *Log) fsyncSegLocked() {
+	if l.sw == nil || !l.sw.dirty {
+		return
+	}
+	t0 := time.Now()
+	if err := l.sw.f.Sync(); err != nil {
+		l.writeErrs.Add(1)
+		l.logger.Error("segment fsync failed", "err", err)
+		return
+	}
+	l.sw.dirty = false
+	l.fsyncs.Add(1)
+	if l.fsyncHist != nil {
+		l.fsyncHist.Observe(telemetry.Since(t0))
+	}
+}
+
+// Sync forces WAL and segment data to disk now, regardless of policy.
+func (l *Log) Sync() {
+	l.mu.Lock()
+	if l.walDirty {
+		l.fsyncWALLocked()
+	}
+	l.mu.Unlock()
+	l.segMu.Lock()
+	l.fsyncSegLocked()
+	l.segMu.Unlock()
+}
+
+// run is the background loop: interval fsync and periodic compaction.
+func (l *Log) run() {
+	defer l.bg.Done()
+	var syncC, compactC <-chan time.Time
+	if l.opts.Fsync == FsyncInterval {
+		t := time.NewTicker(l.opts.FsyncInterval)
+		defer t.Stop()
+		syncC = t.C
+	}
+	if l.opts.CompactEvery > 0 {
+		t := time.NewTicker(l.opts.CompactEvery)
+		defer t.Stop()
+		compactC = t.C
+	}
+	for {
+		select {
+		case <-l.stopCh:
+			return
+		case <-syncC:
+			l.Sync()
+		case <-compactC:
+			if _, err := l.Compact(l.opts.Now()); err != nil {
+				l.logger.Error("compaction failed", "err", err)
+			}
+		}
+	}
+}
+
+// diskBytes totals every live file.
+func (l *Log) diskBytes() int64 {
+	var n int64
+	l.mu.Lock()
+	n += l.wfBytes
+	for _, m := range l.oldWALs {
+		n += m.size
+	}
+	l.mu.Unlock()
+	l.segMu.Lock()
+	for _, s := range l.segs {
+		n += s.size
+	}
+	if l.sw != nil {
+		n += l.sw.size
+	}
+	l.segMu.Unlock()
+	return n
+}
+
+// Stats snapshots the log's counters.
+func (l *Log) Stats() Stats {
+	st := Stats{
+		Rows:              l.rows.Load(),
+		Fsyncs:            l.fsyncs.Load(),
+		SealedBlocks:      l.sealed.Load(),
+		Compactions:       l.compactions.Load(),
+		TruncatedWALFiles: l.truncated.Load(),
+		WriteErrors:       l.writeErrs.Load(),
+		Replay:            l.replay,
+		DiskBytes:         l.diskBytes(),
+	}
+	l.mu.Lock()
+	st.WALFiles = len(l.oldWALs)
+	if l.wf != nil {
+		st.WALFiles++
+	}
+	l.mu.Unlock()
+	l.segMu.Lock()
+	st.Segments = len(l.segs)
+	if l.sw != nil {
+		st.Segments++
+	}
+	l.segMu.Unlock()
+	return st
+}
+
+// Close drains the log gracefully: every active block is sealed and
+// persisted, the active segment is finalized, the WAL (now fully
+// superseded) is deleted, and a clean-shutdown marker is written so
+// the next start replays nothing.
+func (l *Log) Close() error {
+	if !l.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	if l.started.Load() {
+		close(l.stopCh)
+		l.bg.Wait()
+	}
+	if l.store != nil {
+		l.store.SealAllActive() // fires OnSeal → segment writes
+	}
+	var finalized *segment
+	l.segMu.Lock()
+	if l.sw != nil {
+		finalized = l.finalizeWriterLocked()
+	}
+	l.segMu.Unlock()
+	if finalized != nil {
+		l.remapFinalized(finalized)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	// All rows are sealed now, so every WAL file is deletable — unless
+	// some write failed along the way, in which case keep the WAL (the
+	// next start replays it; replay is self-deduplicating).
+	l.truncateWALsLocked()
+	clean := len(l.oldWALs) == 0 && l.writeErrs.Load() == 0
+	if l.wf != nil {
+		err := l.wf.Sync()
+		l.wf.Close()
+		if err == nil && clean {
+			if rmErr := os.Remove(walPath(l.dir, l.wfSeq)); rmErr != nil {
+				clean = false
+			}
+		} else {
+			clean = false
+		}
+		l.wf = nil
+		l.wwr = nil
+	}
+	if clean {
+		if err := os.WriteFile(filepath.Join(l.dir, cleanMarker),
+			[]byte(fmt.Sprintf("clean shutdown, last seq %d\n", l.lastSeq)), 0o644); err != nil {
+			l.logger.Error("clean marker write failed", "err", err)
+		} else if d, err := os.Open(l.dir); err == nil {
+			d.Sync()
+			d.Close()
+		}
+	}
+	return nil
+}
+
+// Abandon closes file handles without sealing, truncating or marking
+// clean — the moral equivalent of kill -9, for crash-recovery tests.
+func (l *Log) Abandon() {
+	if !l.closed.CompareAndSwap(false, true) {
+		return
+	}
+	if l.started.Load() {
+		close(l.stopCh)
+		l.bg.Wait()
+	}
+	l.mu.Lock()
+	if l.wf != nil {
+		l.wf.Close()
+		l.wf = nil
+		l.wwr = nil
+	}
+	l.mu.Unlock()
+	l.segMu.Lock()
+	if l.sw != nil {
+		l.sw.f.Close()
+		l.sw = nil
+	}
+	l.segMu.Unlock()
+}

@@ -9,6 +9,9 @@
 set -eu
 cd "$(dirname "$0")/.."
 go run ./cmd/benchjson -benchmem -out BENCH_tsdb.json -bench 'TSDB' ./internal/tsdb
+# Durability costs: per-row WAL append under each fsync policy and
+# crash-recovery replay speed (both report rows/s).
+go run ./cmd/benchjson -benchmem -out BENCH_wal.json -bench 'WAL|Replay' ./internal/tsdb/wal
 # The throughput benchmark races synchronous READs against the 1ms
 # snapshot fan-out, so short windows are noisy at 64 subscribers; 3s
 # per benchmark keeps the committed numbers representative.

@@ -60,3 +60,40 @@ echo "$statusz" | grep -q '"hists"' || { echo "/statusz lacks hists" >&2; exit 1
 kill $papid_pid
 wait $papid_pid 2>/dev/null || true
 echo "telemetry smoke OK"
+# Durability smoke: a papid with -data-dir killed with SIGKILL under
+# fsync=always must come back with every acked row. papirun publishes a
+# real snapshot over the wire (the PUBLISH ack implies the row was
+# fsynced), the process dies hard, a restart on the same directory
+# replays the WAL, and perfometer's history mode must still see
+# session 1 — it exits non-zero when the answer is empty.
+wal_dir=$(mktemp -d /tmp/papid-ci-wal.XXXXXX)
+go build -o /tmp/papirun-ci-smoke ./cmd/papirun
+go build -o /tmp/perfometer-ci-smoke ./cmd/perfometer
+/tmp/papid-ci-smoke -addr 127.0.0.1:61781 -data-dir "$wal_dir" -fsync always -quiet &
+wal_pid=$!
+trap 'kill -9 $papid_pid $wal_pid 2>/dev/null || true; rm -rf "$wal_dir"' EXIT
+published=""
+for i in $(seq 1 50); do
+    if /tmp/papirun-ci-smoke -serve 127.0.0.1:61781 -workload dot -n 64 >/dev/null 2>&1; then
+        published=yes
+        break
+    fi
+    sleep 0.1
+done
+[ -n "$published" ] || { echo "papirun never published to durable papid" >&2; exit 1; }
+kill -9 $wal_pid
+wait $wal_pid 2>/dev/null || true
+/tmp/papid-ci-smoke -addr 127.0.0.1:61781 -data-dir "$wal_dir" -fsync always -quiet &
+wal_pid=$!
+recovered=""
+for i in $(seq 1 50); do
+    if /tmp/perfometer-ci-smoke -papid 127.0.0.1:61781 -session 1 -last 1h -step 1s >/dev/null 2>&1; then
+        recovered=yes
+        break
+    fi
+    sleep 0.1
+done
+[ -n "$recovered" ] || { echo "history did not survive kill -9" >&2; exit 1; }
+kill $wal_pid
+wait $wal_pid 2>/dev/null || true
+echo "durability smoke OK"
