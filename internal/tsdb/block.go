@@ -31,6 +31,14 @@ type block struct {
 	// budget and the buf must never be written.
 	mapped bool
 
+	// persisted marks a sealed block known to exist on disk — its
+	// segment write succeeded (MarkPersisted) or it was installed from
+	// a segment at replay. Compaction's DropSealedUpTo only evicts
+	// persisted blocks: one whose segment write failed lives nowhere
+	// but memory, and dropping it would lose its samples without any
+	// crash having happened.
+	persisted bool
+
 	// Encoder state for the next append.
 	lastTS, lastTSDelta int64
 	lastV, lastVDelta   int64

@@ -90,7 +90,9 @@ func (s *Store) InstallSealed(sb SealedBlock, mapped, fold bool) {
 		sh.m[sb.Key] = sr
 	}
 	before := sr.bytes()
-	b := &block{buf: sb.Buf, n: sb.N, minTS: sb.MinTS, maxTS: sb.MaxTS, mapped: mapped}
+	// Replay installs only blocks read back from segment files, so by
+	// construction every installed block is persisted.
+	b := &block{buf: sb.Buf, n: sb.N, minTS: sb.MinTS, maxTS: sb.MaxTS, mapped: mapped, persisted: true}
 	sr.sealed = append(sr.sealed, b)
 	sr.samples += uint64(sb.N)
 	if sb.MaxTS > sr.lastTS {
@@ -177,6 +179,30 @@ func (s *Store) Remap(key SeriesKey, minTS int64, n int, buf []byte) bool {
 	return false
 }
 
+// MarkPersisted flags a sealed block as durably written to a segment
+// file. The storage layer calls it for exactly the blocks whose
+// segment append succeeded; DropSealedUpTo refuses to evict the rest,
+// so a block that degraded to RAM-only stays queryable until retention
+// or the byte budget ages it out. Blocks are matched by (minTS, n) in
+// seal order — the oldest unmarked match is the one whose write just
+// completed, since seals and writes share one order.
+func (s *Store) MarkPersisted(key SeriesKey, minTS int64, n int) bool {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sr := sh.m[key]
+	if sr == nil {
+		return false
+	}
+	for _, b := range sr.sealed {
+		if !b.persisted && b.minTS == minTS && b.n == n {
+			b.persisted = true
+			return true
+		}
+	}
+	return false
+}
+
 func bytesEqual(a, b []byte) bool {
 	if len(a) != len(b) {
 		return false
@@ -221,7 +247,11 @@ func (s *Store) DropSealedUpTo(cutoffs map[SeriesKey]int64) (blocks int) {
 		sh := s.shardFor(key)
 		sh.mu.Lock()
 		if sr := sh.m[key]; sr != nil {
-			for len(sr.sealed) > 0 && sr.sealed[0].maxTS <= cutoff {
+			// Stop at the first non-persisted block: it exists nowhere
+			// but memory (its segment write failed), so evicting it —
+			// or anything behind it, to keep the ring time-ordered —
+			// would lose samples without any crash.
+			for len(sr.sealed) > 0 && sr.sealed[0].maxTS <= cutoff && sr.sealed[0].persisted {
 				s.bytes.Add(-sr.evictOldestSealed())
 				blocks++
 			}

@@ -369,3 +369,26 @@ func TestAppendBatchRaggedRow(t *testing.T) {
 		t.Fatalf("ragged rows: %+v", stats)
 	}
 }
+
+// TestDropSealedUpToSparesUnpersisted: compaction's eviction must not
+// touch sealed blocks whose segment write failed — they exist nowhere
+// but memory, so dropping them would lose samples without any crash.
+func TestDropSealedUpToSparesUnpersisted(t *testing.T) {
+	st := New(Config{BlockSamples: 4, MaxBytes: 1 << 30, MaxAge: -1})
+	key := SeriesKey{Session: 1, Event: "E"}
+	for i := 0; i < 12; i++ { // three sealed blocks of four samples
+		st.AppendBatchSeq(1, int64(i)*1000, []string{"E"}, []int64{int64(i)}, uint64(i+1))
+	}
+	if n := st.DropSealedUpTo(map[SeriesKey]int64{key: 1 << 60}); n != 0 {
+		t.Fatalf("dropped %d blocks no storage layer ever persisted", n)
+	}
+	if !st.MarkPersisted(key, 0, 4) || !st.MarkPersisted(key, 4000, 4) {
+		t.Fatal("MarkPersisted did not match the sealed blocks")
+	}
+	if st.MarkPersisted(key, 0, 4) {
+		t.Fatal("MarkPersisted re-matched an already-persisted block")
+	}
+	if n := st.DropSealedUpTo(map[SeriesKey]int64{key: 1 << 60}); n != 2 {
+		t.Fatalf("dropped %d blocks, want exactly the 2 persisted ones", n)
+	}
+}

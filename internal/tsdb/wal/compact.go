@@ -32,6 +32,9 @@ type CompactStats struct {
 // current time (µs). Safe to call concurrently with appends; passes
 // themselves are serialized.
 func (l *Log) Compact(now int64) (CompactStats, error) {
+	// Retry RAM-only sealed blocks first: once persisted they can be
+	// compacted, and until then DropSealedUpTo refuses to evict them.
+	l.OnSeal(nil)
 	l.compactMu.Lock()
 	defer l.compactMu.Unlock()
 	var cs CompactStats
@@ -279,6 +282,7 @@ func (l *Log) buildCompacted(sel []*segment) (*segment, map[tsdb.SeriesKey]int64
 	}
 	out, err := w.finalize()
 	if err != nil {
+		w.f.Close() // finalize's early error paths leave the handle open
 		os.Remove(w.path)
 		return nil, nil, err
 	}

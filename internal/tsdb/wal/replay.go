@@ -79,7 +79,11 @@ func (l *Log) Start(store *tsdb.Store) (ReplayStats, error) {
 		m := &l.loadedWALs[i]
 		torn, err := l.replayWALFile(m, &rs)
 		if err != nil {
-			l.logger.Error("wal file unreadable; skipped", "err", err, "path", m.path)
+			// Never replayed, so never safe to truncate: keep the file
+			// (marked so truncation skips it) for manual recovery — a
+			// transient IO error would otherwise get its rows deleted.
+			m.unreadable = true
+			l.logger.Error("wal file unreadable; kept for manual recovery", "err", err, "path", m.path)
 			continue
 		}
 		if torn && i < len(l.loadedWALs)-1 {

@@ -3,6 +3,7 @@ package wal
 import (
 	"encoding/binary"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -218,6 +219,7 @@ func (s *segment) addRecord(payload []byte) error {
 // segmentWriter accumulates sealed blocks into the active segment file.
 type segmentWriter struct {
 	f       *os.File
+	wr      io.Writer // f, possibly wrapped by Options.wrapSeg (tests)
 	path    string
 	seq     uint64
 	size    int64
@@ -250,14 +252,18 @@ func createSegment(dir string, seq uint64) (*segmentWriter, error) {
 		f.Close()
 		return nil, err
 	}
-	return &segmentWriter{f: f, path: path, seq: seq, size: int64(len(segMagic)), dirty: true}, nil
+	return &segmentWriter{f: f, wr: f, path: path, seq: seq, size: int64(len(segMagic)), dirty: true}, nil
 }
 
-// writeRecord frames and appends one payload, tracking its offset.
+// writeRecord frames and appends one payload, tracking its offset. On
+// error the writer's size/offsets deliberately do not advance — but
+// partial bytes may already be on disk, so the caller must abandon the
+// writer (abandonWriterLocked) rather than keep appending records the
+// finalize index would then locate at the wrong offsets.
 func (w *segmentWriter) writeRecord(payload []byte) error {
 	rec := appendFrame(w.scratch[:0], payload)
 	w.scratch = rec[:0]
-	if _, err := w.f.Write(rec); err != nil {
+	if _, err := w.wr.Write(rec); err != nil {
 		return err
 	}
 	w.offsets = append(w.offsets, w.size)

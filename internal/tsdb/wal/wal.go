@@ -65,6 +65,9 @@ type Options struct {
 	// wrapWAL, when set (tests), wraps the WAL file writer — fault
 	// injection for torn-write coverage.
 	wrapWAL func(io.Writer) io.Writer
+	// wrapSeg, when set (tests), wraps each new segment file writer —
+	// fault injection for failed sealed-block persistence.
+	wrapSeg func(io.Writer) io.Writer
 }
 
 func (o *Options) fill() {
@@ -120,6 +123,11 @@ type walFileMeta struct {
 	seq    uint64
 	maxSeq uint64 // newest row sequence the file holds
 	size   int64
+	// unreadable marks a file replay could not read (bad header, IO
+	// error). Its contents are unknown, so truncation must never treat
+	// its maxSeq of 0 as "older than every pin" and delete what might
+	// become readable again; it is kept for manual recovery.
+	unreadable bool
 }
 
 // ReplayStats describes what Start reconstructed.
@@ -144,6 +152,7 @@ type Stats struct {
 	WriteErrors       uint64 `json:"write_errors"`
 	WALFiles          int    `json:"wal_files"`
 	Segments          int    `json:"segments"`
+	PendingBlocks     int    `json:"pending_blocks"` // sealed blocks awaiting a segment-write retry
 	DiskBytes         int64  `json:"disk_bytes"`
 	Replay            ReplayStats
 }
@@ -178,7 +187,14 @@ type Log struct {
 	sw         *segmentWriter
 	segs       []*segment
 	nextSegSeq uint64
-	compactMu  sync.Mutex // serializes compaction passes
+	// pending holds sealed blocks whose segment write failed, in seal
+	// order. They are retried before any newer block is written, so
+	// each series' persisted blocks remain a gap-free sequence prefix —
+	// the invariant that lets replay treat sealedThrough as a single
+	// watermark. Bounded by maxPending; overflow blocks stay WAL-only
+	// (their rows stay pinned, so replay recovers them after a crash).
+	pending   []tsdb.SealedBlock
+	compactMu sync.Mutex // serializes compaction passes
 
 	closed  atomic.Bool
 	started atomic.Bool
@@ -342,6 +358,14 @@ func (l *Log) registerTelemetry(reg *telemetry.Registry) {
 		return float64(n)
 	})
 	reg.NewGaugeFunc(telemetry.Opts{
+		Name: "papid_wal_pending_blocks",
+		Help: "Sealed blocks whose segment write failed, awaiting retry.",
+	}, func() float64 {
+		l.segMu.Lock()
+		defer l.segMu.Unlock()
+		return float64(len(l.pending))
+	})
+	reg.NewGaugeFunc(telemetry.Opts{
 		Name: "papid_wal_disk_bytes",
 		Help: "Bytes on disk across WAL and segment files.",
 	}, func() float64 { return float64(l.diskBytes()) })
@@ -420,27 +444,59 @@ func (l *Log) noteRows(session uint64, ts int64, events []string, seq uint64) {
 	_ = ts
 }
 
+// maxPending bounds the segment-write retry queue. Beyond it, newly
+// sealed blocks are not queued: they stay WAL-only (rows pinned, so
+// the WAL retains their only durable copy and replay recovers them),
+// instead of holding an unbounded number of block buffers alive while
+// the disk stays broken.
+const maxPending = 256
+
 // OnSeal implements tsdb.Storage: persist newly sealed blocks into the
-// active segment, rotating and finalizing it when full.
+// active segment, rotating and finalizing it when full. An empty call
+// just retries queued blocks.
+//
+// Only blocks whose segment write actually succeeded advance the
+// replay bookkeeping below — a failed block stays RAM-only with its
+// WAL rows pinned (truncation must not delete their only durable
+// copy), the writer is abandoned (its tracked offsets no longer match
+// the file), and the block is queued for retry ahead of any newer
+// seal so a series' persisted blocks never develop a gap that the
+// sealedThrough watermark would silently skip over at replay.
 func (l *Log) OnSeal(blocks []tsdb.SealedBlock) {
-	if len(blocks) == 0 {
-		return
-	}
 	var finalized *segment
 	l.segMu.Lock()
-	for _, sb := range blocks {
+	if len(blocks) == 0 && len(l.pending) == 0 {
+		l.segMu.Unlock()
+		return
+	}
+	queue := make([]tsdb.SealedBlock, 0, len(l.pending)+len(blocks))
+	queue = append(append(queue, l.pending...), blocks...)
+	var written []tsdb.SealedBlock
+	idx := 0
+	for ; idx < len(queue); idx++ {
+		sb := queue[idx]
 		if err := l.ensureWriterLocked(); err != nil {
 			l.writeErrs.Add(1)
-			l.logger.Error("segment create failed; sealed block is RAM-only", "err", err)
+			l.logger.Error("segment create failed; sealed block queued for retry", "err", err)
 			break
 		}
 		if err := l.sw.writeBlock(sb); err != nil {
 			l.writeErrs.Add(1)
-			l.logger.Error("segment append failed; sealed block is RAM-only", "err", err)
+			l.logger.Error("segment append failed; sealed block queued for retry",
+				"err", err, "path", l.sw.path)
+			l.abandonWriterLocked()
 			break
 		}
 		l.sealed.Add(1)
+		written = append(written, sb)
 	}
+	rest := queue[idx:]
+	if len(rest) > maxPending {
+		l.logger.Error("segment retry queue full; newest sealed blocks stay WAL-only",
+			"unqueued", len(rest)-maxPending)
+		rest = rest[:maxPending]
+	}
+	l.pending = append(l.pending[:0], rest...)
 	if l.sw != nil && l.opts.Fsync == FsyncAlways {
 		l.fsyncSegLocked()
 	}
@@ -450,7 +506,7 @@ func (l *Log) OnSeal(blocks []tsdb.SealedBlock) {
 	l.segMu.Unlock()
 
 	l.stateMu.Lock()
-	for _, sb := range blocks {
+	for _, sb := range written {
 		st := l.state[sb.Key]
 		if st == nil {
 			st = &seriesState{}
@@ -470,6 +526,14 @@ func (l *Log) OnSeal(blocks []tsdb.SealedBlock) {
 		}
 	}
 	l.stateMu.Unlock()
+
+	if l.store != nil {
+		for _, sb := range written {
+			// Compaction's DropSealedUpTo only evicts blocks the store
+			// knows are on disk; everything else is memory's only copy.
+			l.store.MarkPersisted(sb.Key, sb.MinTS, sb.N)
+		}
+	}
 
 	if finalized != nil {
 		l.remapFinalized(finalized)
@@ -495,9 +559,40 @@ func (l *Log) ensureWriterLocked() error {
 	if err != nil {
 		return err
 	}
+	if l.opts.wrapSeg != nil {
+		sw.wr = l.opts.wrapSeg(sw.f)
+	}
 	l.nextSegSeq++
 	l.sw = sw
 	return nil
+}
+
+// abandonWriterLocked retires the active segment writer after a record
+// write error: partial bytes may be on disk, so the writer's tracked
+// size/offsets no longer match the file, and appending more records
+// would produce a finalize index pointing mid-record — losing every
+// block in the segment at the next load, not just the failed one. The
+// file is closed and left footerless (the torn-tail scan recovers its
+// intact prefix) and reloaded into the live segment list; the next
+// seal starts a fresh segment. segMu held.
+func (l *Log) abandonWriterLocked() {
+	sw := l.sw
+	if sw == nil {
+		return
+	}
+	l.sw = nil
+	// Best effort: the intact prefix holds blocks whose WAL pins are
+	// about to be released, so push it to disk before relying on it.
+	if err := sw.f.Sync(); err != nil {
+		l.logger.Error("abandoned segment sync failed", "err", err, "path", sw.path)
+	}
+	sw.f.Close()
+	if seg, err := loadSegment(sw.path, sw.seq); err == nil {
+		l.segs = append(l.segs, seg)
+		sortSegments(l.segs)
+	} else {
+		l.logger.Error("abandoned segment reload failed", "err", err, "path", sw.path)
+	}
 }
 
 // finalizeWriterLocked finalizes the active segment; segMu held.
@@ -510,6 +605,7 @@ func (l *Log) finalizeWriterLocked() *segment {
 	if err != nil {
 		l.writeErrs.Add(1)
 		l.logger.Error("segment finalize failed", "err", err, "path", sw.path)
+		sw.f.Close() // finalize's early error paths leave the handle open
 		// The data written so far is still scannable without a footer;
 		// reload it so queries after restart (and compaction now) see it.
 		if seg2, lerr := loadSegment(sw.path, sw.seq); lerr == nil {
@@ -547,6 +643,13 @@ func (l *Log) rotateWALLocked() {
 	}
 	if _, err := f.Write(fileHeader(walMagic)); err != nil {
 		f.Close()
+		// Remove the header-less leftover: wfSeq was not advanced, so
+		// every later rotation would retry this same path and wedge on
+		// O_CREATE|O_EXCL EEXIST forever, growing the active WAL
+		// without bound and never truncating old rows.
+		if rmErr := os.Remove(walPath(l.dir, l.wfSeq+1)); rmErr != nil {
+			l.logger.Error("wal rotate leftover remove failed", "err", rmErr)
+		}
 		l.writeErrs.Add(1)
 		l.logger.Error("wal rotate header write failed", "err", err)
 		return
@@ -594,7 +697,7 @@ func (l *Log) truncateWALsLocked() {
 	keep := l.oldWALs[:0]
 	synced := false
 	for _, m := range l.oldWALs {
-		if minPinned != 0 && m.maxSeq >= minPinned {
+		if m.unreadable || (minPinned != 0 && m.maxSeq >= minPinned) {
 			keep = append(keep, m)
 			continue
 		}
@@ -680,6 +783,7 @@ func (l *Log) run() {
 		case <-l.stopCh:
 			return
 		case <-syncC:
+			l.OnSeal(nil) // retry RAM-only sealed blocks on the interval tick
 			l.Sync()
 		case <-compactC:
 			if _, err := l.Compact(l.opts.Now()); err != nil {
@@ -732,6 +836,7 @@ func (l *Log) Stats() Stats {
 	if l.sw != nil {
 		st.Segments++
 	}
+	st.PendingBlocks = len(l.pending)
 	l.segMu.Unlock()
 	return st
 }
@@ -751,6 +856,7 @@ func (l *Log) Close() error {
 	if l.store != nil {
 		l.store.SealAllActive() // fires OnSeal → segment writes
 	}
+	l.OnSeal(nil) // drain the retry queue for blocks SealAllActive did not cover
 	var finalized *segment
 	l.segMu.Lock()
 	if l.sw != nil {

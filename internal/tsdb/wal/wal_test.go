@@ -463,3 +463,118 @@ func TestRecordFrameTornShapes(t *testing.T) {
 		}
 	}
 }
+
+func TestSegmentDiskDeathKeepsWALPinned(t *testing.T) {
+	// Segment writes start failing permanently partway through (a disk
+	// gone read-only). Every block sealed after that point is RAM-only:
+	// its WAL rows must stay pinned — truncation deleting them would
+	// destroy the only durable copy — so a crash at any later moment
+	// still recovers every row.
+	dir := t.TempDir()
+	events := []string{"PAPI_TOT_CYC"}
+	opts := noCompact(Options{Fsync: FsyncOff, SegmentBytes: 16 << 10})
+	// One shared byte budget across all segment writers: once spent,
+	// every later segment write fails forever.
+	shared := &failAfterWriter{limit: 2 << 10}
+	opts.wrapSeg = func(w io.Writer) io.Writer { shared.w = w; return shared }
+
+	cfg := tsdb.Config{BlockSamples: 64}
+	l, store, _ := openPair(t, dir, opts, cfg)
+	appendTicks(t, l, 13, events, 5000, 0, 100_000)
+	st := l.Stats()
+	if st.WriteErrors == 0 {
+		t.Fatal("segment fault never fired")
+	}
+	if st.PendingBlocks == 0 {
+		t.Fatalf("no blocks left awaiting retry: %+v", st)
+	}
+	want := queryAll(t, store, 13, 0, 1<<60)
+	l.Abandon()
+
+	opts.wrapSeg = nil
+	l2, store2, rs := openPair(t, dir, opts, cfg)
+	defer l2.Close()
+	if got := queryAll(t, store2, 13, 0, 1<<60); got != want {
+		t.Errorf("rows lost after segment disk death + crash (replay %+v)", rs)
+	}
+}
+
+// tearWriter passes writes through except the nth (1-based), which
+// commits a partial prefix and fails — a single transient IO error.
+type tearWriter struct {
+	w    io.Writer
+	n    int
+	fail int
+}
+
+func (t *tearWriter) Write(p []byte) (int, error) {
+	t.n++
+	if t.n == t.fail {
+		keep := len(p) / 2
+		t.w.Write(p[:keep])
+		return keep, errInjected
+	}
+	return t.w.Write(p)
+}
+
+func TestSegmentTornWriteAbandonsWriter(t *testing.T) {
+	// One segment write tears (partial bytes on disk) and later writes
+	// succeed. The damaged writer must be abandoned: its tracked offsets
+	// no longer match the file, so continuing to append and then
+	// finalizing would produce an index pointing mid-record, and the
+	// next load would reject the whole segment — losing every block it
+	// held, not just the torn one. The failed block is retried in a
+	// fresh segment, and a crash afterwards loses nothing.
+	dir := t.TempDir()
+	events := []string{"PAPI_TOT_CYC"}
+	opts := noCompact(Options{Fsync: FsyncOff, SegmentBytes: 16 << 10})
+	shared := &tearWriter{fail: 5} // shared across writers: tears once, globally
+	opts.wrapSeg = func(w io.Writer) io.Writer { shared.w = w; return shared }
+
+	cfg := tsdb.Config{BlockSamples: 64}
+	l, store, _ := openPair(t, dir, opts, cfg)
+	appendTicks(t, l, 13, events, 5000, 0, 100_000)
+	st := l.Stats()
+	if st.WriteErrors == 0 {
+		t.Fatal("segment tear never fired")
+	}
+	if st.TruncatedWALFiles == 0 {
+		t.Fatalf("test did not exercise WAL truncation: %+v", st)
+	}
+	want := queryAll(t, store, 13, 0, 1<<60)
+	l.Abandon()
+
+	opts.wrapSeg = nil
+	l2, store2, rs := openPair(t, dir, opts, cfg)
+	defer l2.Close()
+	if got := queryAll(t, store2, 13, 0, 1<<60); got != want {
+		t.Errorf("rows lost after torn segment write + crash (replay %+v)", rs)
+	}
+}
+
+func TestUnreadableWALFileKeptForRecovery(t *testing.T) {
+	// A WAL file replay cannot read must survive truncation — its
+	// maxSeq of 0 must not read as "older than every pin" — so a
+	// transient IO error never turns into silent deletion of rows that
+	// were never replayed. Its survival also blocks the CLEAN marker.
+	dir := t.TempDir()
+	bad := walPath(dir, 1)
+	if err := os.WriteFile(bad, []byte("garbage, not a wal header"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	opts := noCompact(Options{Fsync: FsyncOff})
+	l, _, rs := openPair(t, dir, opts, tsdb.Config{BlockSamples: 64})
+	if rs.WALFiles != 1 {
+		t.Fatalf("planted wal file not seen at startup: %+v", rs)
+	}
+	appendTicks(t, l, 4, []string{"PAPI_TOT_CYC"}, 640, 0, 50_000)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(bad); err != nil {
+		t.Errorf("unreadable wal file deleted at shutdown: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, cleanMarker)); err == nil {
+		t.Error("CLEAN marker written despite an unreadable wal file surviving")
+	}
+}
