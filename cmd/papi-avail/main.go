@@ -1,25 +1,38 @@
 // papi-avail lists the preset events and how each simulated platform
 // realizes them — the reproduction of the papi_avail utility. With
 // -native it also dumps the platform's native event table, the raw
-// material of the substrate's preset mappings.
+// material of the substrate's preset mappings. With -groups it instead
+// lists the derived-metric group library (internal/derive): each
+// group's formulas, the preset events they need, and on which
+// substrates those events are all available.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"repro/internal/derive"
 	"repro/papi"
 )
 
 func main() {
 	platform := flag.String("platform", "", "platform key (default: all platforms)")
 	native := flag.Bool("native", false, "also list native events")
+	groups := flag.Bool("groups", false, "list derived-metric performance groups instead of preset events")
 	flag.Parse()
 
 	platforms := papi.Platforms()
 	if *platform != "" {
 		platforms = []string{*platform}
+	}
+	if *groups {
+		if err := showGroups(platforms); err != nil {
+			fmt.Fprintln(os.Stderr, "papi-avail:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	for _, p := range platforms {
 		if err := show(p, *native); err != nil {
@@ -28,6 +41,60 @@ func main() {
 		}
 		fmt.Println()
 	}
+}
+
+// showGroups prints the derive group library with per-substrate
+// availability: a group is available where every event it references is
+// an available preset; where the events outnumber the hardware
+// counters, counting them needs software multiplexing and the column
+// says so.
+func showGroups(platforms []string) error {
+	type sub struct {
+		name     string
+		avail    map[string]bool
+		counters int
+	}
+	subs := make([]sub, 0, len(platforms))
+	for _, p := range platforms {
+		sys, err := papi.Init(papi.Options{Platform: p})
+		if err != nil {
+			return err
+		}
+		avail := make(map[string]bool)
+		for _, pa := range sys.AvailPresets() {
+			if pa.Avail {
+				avail[pa.Name] = true
+			}
+		}
+		subs = append(subs, sub{name: p, avail: avail, counters: sys.Info().NumCounters})
+	}
+
+	reg := derive.NewRegistry()
+	fmt.Println("Derived-metric groups (papid -groups, SUBSCRIBE/QUERY derive):")
+	for _, name := range reg.Names() {
+		g := reg.Lookup(name)
+		fmt.Printf("\n%-8s %s\n", g.Name, g.Desc)
+		fmt.Printf("  events: %s\n", strings.Join(g.Events(), " "))
+		for _, m := range g.Metrics {
+			fmt.Printf("  %-20s = %-42s [%s]\n", m.Name, m.Formula, m.Unit)
+		}
+		marks := make([]string, 0, len(subs))
+		for _, s := range subs {
+			mark := "yes"
+			for _, ev := range g.Events() {
+				if !s.avail[ev] {
+					mark = "no"
+					break
+				}
+			}
+			if mark == "yes" && len(g.Events()) > s.counters {
+				mark = "multiplex" // more events than counters
+			}
+			marks = append(marks, fmt.Sprintf("%s=%s", s.name, mark))
+		}
+		fmt.Printf("  avail : %s\n", strings.Join(marks, " "))
+	}
+	return nil
 }
 
 func show(platform string, native bool) error {

@@ -14,6 +14,14 @@
 // age, and served back through the QUERY op as downsampled
 // min/max/sum/count windows.
 //
+// With -groups papid evaluates derived-metric performance groups
+// (internal/derive) on every tick of each session whose event set
+// covers them, streaming the values to protocol >= 3 subscribers as
+// DERIVED frames; -derive-rules arms threshold alerts on the derived
+// values:
+//
+//	papid -groups ipc,l2miss -derive-rules 'ipc<0.5:3'
+//
 // With -http papid additionally serves an admin endpoint: Prometheus
 // text at /metrics, a JSON status dump at /statusz, and the standard
 // pprof profiles under /debug/pprof/:
@@ -62,6 +70,8 @@ func main() {
 	walDiskBytes := flag.Int64("wal-disk-bytes", 64<<20, "raw segment byte budget before compaction to rollup resolution (0 disables)")
 	walRetain := flag.Duration("wal-retain", 0, "delete segments wholly older than this (0 keeps until compaction)")
 	walCompactAfter := flag.Duration("wal-compact-after", 0, "compact raw segments older than this into rollups (0 = budget-driven only)")
+	groups := flag.String("groups", "", "comma-separated derived-metric groups evaluated on every session whose events cover them (see papi-avail -groups)")
+	deriveRules := flag.String("derive-rules", "", "comma-separated threshold rules metric<bound[:N] or metric>bound[:N] firing a warning after N consecutive breaches")
 	httpAddr := flag.String("http", "", "admin listen address serving /metrics, /statusz and /debug/pprof/ (empty disables)")
 	logFormat := flag.String("log-format", "text", "structured log format: text or json")
 	slowOp := flag.Duration("slow-op", 250*time.Millisecond, "warn when handling one request takes this long (0 disables)")
@@ -109,6 +119,8 @@ func main() {
 	}
 	srv := server.New(server.Config{
 		DefaultPlatform: *platform,
+		Groups:          splitList(*groups),
+		DeriveRules:     splitList(*deriveRules),
 		Shards:          *shards,
 		CacheSize:       *cacheSize,
 		TickInterval:    *tick,
@@ -171,4 +183,16 @@ func main() {
 	if table := telemetry.FormatSummaryTable(srv.Telemetry().Summaries(), nil); table != "" {
 		log.Printf("papid: latency quantiles:\n%s", strings.TrimRight(table, "\n"))
 	}
+}
+
+// splitList splits a comma-separated flag value, trimming blanks, so
+// `-groups "ipc, l2miss"` and `-groups ""` both do the obvious thing.
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
 }

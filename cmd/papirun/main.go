@@ -24,8 +24,9 @@ func main() {
 	events := flag.String("events", "PAPI_TOT_CYC,PAPI_FP_OPS", "comma-separated preset or native event names")
 	prog := flag.String("workload", "matmul", "workload: "+strings.Join(workload.Names(), "|"))
 	n := flag.Int("n", 64, "workload size parameter")
+	reps := flag.Int("reps", 1, "run the workload this many times; with -serve each repetition publishes a cumulative snapshot, so papid sees a live trajectory it can derive metrics over")
 	multiplex := flag.Bool("multiplex", false, "enable software multiplexing (low-level opt-in)")
-	serve := flag.String("serve", "", "also publish the final snapshot to a running papid at this address")
+	serve := flag.String("serve", "", "also publish the counter snapshot(s) to a running papid at this address")
 	serveTimeout := flag.Duration("serve-timeout", 5*time.Second, "per-request deadline when publishing to papid")
 	serveBinary := flag.Bool("serve-binary", false, "negotiate the compact binary wire codec when publishing (falls back to JSON against older papid)")
 	serveStats := flag.Bool("serve-stats", false, "after publishing, print papid's per-op latency quantiles (needs a protocol 3 server)")
@@ -35,13 +36,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "papirun: -serve-stats needs -serve")
 		os.Exit(2)
 	}
-	if err := run(*platform, *events, *prog, *n, *multiplex, *serve, *serveTimeout, *serveBinary, *serveStats); err != nil {
+	if *reps < 1 {
+		fmt.Fprintln(os.Stderr, "papirun: -reps must be >= 1")
+		os.Exit(2)
+	}
+	if err := run(*platform, *events, *prog, *n, *reps, *multiplex, *serve, *serveTimeout, *serveBinary, *serveStats); err != nil {
 		fmt.Fprintln(os.Stderr, "papirun:", err)
 		os.Exit(1)
 	}
 }
 
-func run(platform, events, progName string, n int, multiplex bool, serve string, serveTimeout time.Duration, serveBinary, serveStats bool) error {
+func run(platform, events, progName string, n, reps int, multiplex bool, serve string, serveTimeout time.Duration, serveBinary, serveStats bool) error {
 	sys, err := papi.Init(papi.Options{Platform: platform})
 	if err != nil {
 		return err
@@ -76,18 +81,48 @@ func run(platform, events, progName string, n int, multiplex bool, serve string,
 		evs = append(evs, ev)
 	}
 
+	// Dial papid before the run so the session exists for the whole
+	// trajectory: with -reps each repetition publishes its cumulative
+	// counts, giving the server a stream of real deltas to derive over
+	// instead of one opaque final total.
+	var pub *publisher
+	if serve != "" {
+		var err error
+		if pub, err = dialPublisher(serve, platform, serveTimeout, serveBinary); err != nil {
+			return fmt.Errorf("publishing to papid at %s: %w", serve, err)
+		}
+		defer pub.close()
+	}
+
 	r0, v0 := th.RealUsec(), th.VirtUsec()
 	if err := es.Start(); err != nil {
 		return err
 	}
-	th.Run(prog)
 	vals := make([]int64, len(evs))
+	for rep := 0; rep < reps; rep++ {
+		if rep > 0 {
+			prog.Reset() // programs are one-shot iterators; rewind between reps
+		}
+		th.Run(prog)
+		if pub != nil && rep < reps-1 {
+			if err := es.Read(vals); err != nil {
+				return err
+			}
+			if err := pub.publish(names, vals); err != nil {
+				return fmt.Errorf("publishing to papid at %s: %w", serve, err)
+			}
+		}
+	}
 	if err := es.Stop(vals); err != nil {
 		return err
 	}
 	r1, v1 := th.RealUsec(), th.VirtUsec()
 
-	fmt.Printf("papirun: %s on %s\n", prog.Name(), platform)
+	fmt.Printf("papirun: %s on %s", prog.Name(), platform)
+	if reps > 1 {
+		fmt.Printf(" x%d", reps)
+	}
+	fmt.Println()
 	fmt.Printf("%-16s %20s\n", "EVENT", "COUNT")
 	for i, ev := range evs {
 		fmt.Printf("%-16s %20d\n", sys.EventName(ev), vals[i])
@@ -97,50 +132,73 @@ func run(platform, events, progName string, n int, multiplex bool, serve string,
 	if multiplex {
 		fmt.Println("note: counts are multiplexed estimates; ensure the run is long enough to converge")
 	}
-	if serve != "" {
-		if err := publish(serve, platform, names, vals, serveTimeout, serveBinary, serveStats); err != nil {
+	if pub != nil {
+		if err := pub.publish(names, vals); err != nil {
 			return fmt.Errorf("publishing to papid at %s: %w", serve, err)
 		}
-		fmt.Printf("snapshot published to papid at %s\n", serve)
+		fmt.Printf("%d snapshot(s) published to papid session %d at %s\n",
+			reps, pub.session, serve)
+		if serveStats {
+			if err := pub.stats(); err != nil {
+				return err
+			}
+		}
+		if err := pub.bye(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
 
-// publish posts the final counter snapshot into a fresh publish-only
-// papid session, where subscribers (dashboards, other tools) can read
-// it — the one-shot papirun feeding the long-running service. The
+// publisher posts counter snapshots into a fresh publish-only papid
+// session, where subscribers (dashboards, other tools) can read them —
+// the one-shot papirun feeding the long-running service. The
 // reconnecting client retries unreachable dials with backoff and
 // bounds every request, so a dead or wedged papid yields the
 // documented one-line non-zero exit instead of a hang.
-func publish(addr, platform string, events []string, vals []int64, timeout time.Duration, binary, stats bool) error {
+type publisher struct {
+	cl      *server.ReconnClient
+	session uint64
+}
+
+func dialPublisher(addr, platform string, timeout time.Duration, binary bool) (*publisher, error) {
 	cl, err := server.DialReconn(addr, server.RetryConfig{
 		Attempts: 3, Timeout: timeout, PreferBinary: binary,
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
-	defer cl.Close()
 	created, err := cl.Do(wire.Request{Op: wire.OpCreate, Platform: platform,
 		Workload: "none", Label: "papirun"})
 	if err != nil {
-		return err
+		cl.Close()
+		return nil, err
 	}
-	if _, err := cl.Do(wire.Request{Op: wire.OpPublish, Session: created.Session,
-		Events: events, Values: vals}); err != nil {
-		return err
-	}
-	fmt.Printf("papid session %d holds the snapshot\n", created.Session)
-	if stats {
-		resp, err := cl.Do(wire.Request{Op: wire.OpStats})
-		if err != nil {
-			return err
-		}
-		if t := telemetry.FormatSummaryTable(resp.Hists, nil); t != "" {
-			fmt.Printf("papid latency quantiles:\n%s", t)
-		} else {
-			fmt.Println("papid sent no latency histograms (protocol < 3 server)")
-		}
-	}
-	_, err = cl.Do(wire.Request{Op: wire.OpBye})
+	return &publisher{cl: cl, session: created.Session}, nil
+}
+
+func (p *publisher) publish(events []string, vals []int64) error {
+	_, err := p.cl.Do(wire.Request{Op: wire.OpPublish, Session: p.session,
+		Events: events, Values: vals})
 	return err
 }
+
+func (p *publisher) stats() error {
+	resp, err := p.cl.Do(wire.Request{Op: wire.OpStats})
+	if err != nil {
+		return err
+	}
+	if t := telemetry.FormatSummaryTable(resp.Hists, nil); t != "" {
+		fmt.Printf("papid latency quantiles:\n%s", t)
+	} else {
+		fmt.Println("papid sent no latency histograms (protocol < 3 server)")
+	}
+	return nil
+}
+
+func (p *publisher) bye() error {
+	_, err := p.cl.Do(wire.Request{Op: wire.OpBye})
+	return err
+}
+
+func (p *publisher) close() error { return p.cl.Close() }

@@ -22,7 +22,7 @@ func TestServeUnreachable(t *testing.T) {
 	addr := ln.Addr().String()
 	ln.Close()
 
-	err = run("linux-x86", "PAPI_TOT_CYC", "dot", 8, false, addr, time.Second, false, false)
+	err = run("linux-x86", "PAPI_TOT_CYC", "dot", 8, 1, false, addr, time.Second, false, false)
 	if err == nil {
 		t.Fatal("-serve against a dead papid succeeded")
 	}
@@ -56,7 +56,7 @@ func TestServeSilentServer(t *testing.T) {
 	}()
 
 	start := time.Now()
-	err = run("linux-x86", "PAPI_TOT_CYC", "dot", 8, false,
+	err = run("linux-x86", "PAPI_TOT_CYC", "dot", 8, 1, false,
 		ln.Addr().String(), 100*time.Millisecond, false, false)
 	if err == nil {
 		t.Fatal("-serve against a silent papid succeeded")
@@ -118,7 +118,7 @@ func rejectingServer(t *testing.T) string {
 // surface the server's reason in a one-line error.
 func TestServeRejectedPublish(t *testing.T) {
 	addr := rejectingServer(t)
-	err := run("linux-x86", "PAPI_TOT_CYC", "dot", 8, false, addr, time.Second, false, false)
+	err := run("linux-x86", "PAPI_TOT_CYC", "dot", 8, 1, false, addr, time.Second, false, false)
 	if err == nil {
 		t.Fatal("rejected PUBLISH reported success")
 	}
@@ -145,7 +145,7 @@ func TestServePublishes(t *testing.T) {
 		srv.Shutdown(ctx)
 	})
 
-	if err := run("aix-power3", "PAPI_FP_OPS,PAPI_TOT_CYC", "dot", 8, false, addr.String(), 10*time.Second, true, true); err != nil {
+	if err := run("aix-power3", "PAPI_FP_OPS,PAPI_TOT_CYC", "dot", 8, 1, false, addr.String(), 10*time.Second, true, true); err != nil {
 		t.Fatal(err)
 	}
 	st := srv.Stats()
@@ -165,5 +165,64 @@ func TestServePublishes(t *testing.T) {
 	}
 	if len(resp.Series) != 2 || resp.Series[0].Buckets[0].Count != 1 {
 		t.Errorf("QUERY after papirun -serve: %+v", resp.Series)
+	}
+}
+
+// TestServeTrajectoryDerives: -reps publishes one cumulative snapshot
+// per repetition, which gives papid real deltas — enough for a derived
+// QUERY to answer in IPC instead of instruction counts. This is the
+// end-to-end demo flow: papid -groups ipc, papirun -serve -reps,
+// derived history out the other side.
+func TestServeTrajectoryDerives(t *testing.T) {
+	srv := server.New(server.Config{TickInterval: time.Hour, Groups: []string{"ipc"}})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+
+	const reps = 5
+	if err := run("aix-power3", "PAPI_TOT_INS,PAPI_TOT_CYC", "dot", 8, reps, false,
+		addr.String(), 10*time.Second, false, false); err != nil {
+		t.Fatal(err)
+	}
+	st := srv.Stats()
+	if want := uint64(2 * reps); st.TSDB.Samples != want {
+		t.Errorf("trajectory recorded %d tsdb samples, want %d", st.TSDB.Samples, want)
+	}
+
+	cl, err := server.Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.Hello(); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := cl.Do(wire.Request{Op: wire.OpQuery, Session: 1,
+		From: 0, To: 1<<63 - 1, Step: 0, Derive: []string{"ipc"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Derived) != 2 {
+		t.Fatalf("derived QUERY returned %d series, want 2 (ipc, mips): %+v",
+			len(resp.Derived), resp.Derived)
+	}
+	for _, d := range resp.Derived {
+		// reps cumulative snapshots yield up to reps-1 delta points;
+		// loopback round-trips make the publish timestamps distinct, but
+		// only the count floor is load-bearing here.
+		if len(d.Points) == 0 || len(d.Points) > reps-1 {
+			t.Errorf("%s: %d points, want 1..%d", d.Metric, len(d.Points), reps-1)
+		}
+		for _, p := range d.Points {
+			if p.Value <= 0 || p.Value > 1e12 {
+				t.Errorf("%s @%d = %v, want positive and finite", d.Metric, p.Start, p.Value)
+			}
+		}
 	}
 }

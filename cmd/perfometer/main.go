@@ -10,6 +10,14 @@
 //
 //	perfometer -papid 127.0.0.1:6117 -session 1 -last 1m -step 10s
 //
+// With -papid -derive the history query answers in finished derived
+// metrics (IPC, miss ratios, MB/s) instead of raw counter buckets, and
+// with -watch it subscribes live and streams the server's DERIVED
+// frames as they are evaluated:
+//
+//	perfometer -papid 127.0.0.1:6117 -session 1 -derive ipc,l2miss
+//	perfometer -papid 127.0.0.1:6117 -session 1 -derive ipc -watch 5s
+//
 // With -papid -stats it instead asks the server for its lifetime
 // counters and per-op latency quantiles (papid's self-telemetry):
 //
@@ -21,6 +29,7 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/server"
@@ -44,14 +53,26 @@ func main() {
 	timeout := flag.Duration("timeout", 5*time.Second, "history mode: per-request deadline against papid")
 	binary := flag.Bool("binary", false, "history mode: negotiate the compact binary wire codec (falls back to JSON against older papid)")
 	stats := flag.Bool("stats", false, "with -papid: print the server's counters and per-op latency quantiles instead of querying history")
+	derive := flag.String("derive", "", "with -papid: comma-separated derived-metric groups — query history in finished metrics, or stream them live with -watch")
+	watch := flag.Duration("watch", 0, "with -papid -derive: subscribe and stream live DERIVED frames for this long instead of querying history")
 	flag.Parse()
 
+	groups := splitList(*derive)
 	var err error
-	if *papid != "" && *stats {
+	switch {
+	case *papid != "" && *stats:
 		err = runStats(*papid, *timeout, *binary)
-	} else if *papid != "" {
-		err = runHistory(*papid, *session, *event, *last, *step, *width, *timeout, *binary)
-	} else {
+	case *papid != "" && *watch > 0:
+		if len(groups) == 0 {
+			err = fmt.Errorf("-watch needs -derive to name the groups to stream")
+		} else {
+			err = runWatch(*papid, *session, groups, *watch, *width, *timeout, *binary)
+		}
+	case *papid != "":
+		err = runHistory(*papid, *session, *event, groups, *last, *step, *width, *timeout, *binary)
+	case len(groups) > 0 || *watch > 0:
+		err = fmt.Errorf("-derive and -watch need -papid to name the server")
+	default:
 		err = run(*platform, *metric, *traceFile, *width)
 	}
 	if err != nil {
@@ -60,11 +81,22 @@ func main() {
 	}
 }
 
+// splitList splits a comma-separated flag value, trimming blanks.
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
 // runHistory is the -papid mode: handshake, QUERY, render. The
 // reconnecting client retries the dial with backoff, bounds every
 // request, and transparently redials (QUERY is idempotent) if the
 // connection drops mid-conversation.
-func runHistory(addr string, session uint64, event string, last, step time.Duration, width int, timeout time.Duration, binary bool) error {
+func runHistory(addr string, session uint64, event string, groups []string, last, step time.Duration, width int, timeout time.Duration, binary bool) error {
 	cl, err := server.DialReconn(addr, server.RetryConfig{Timeout: timeout, PreferBinary: binary})
 	if err != nil {
 		return fmt.Errorf("dialing papid at %s: %w", addr, err)
@@ -75,14 +107,29 @@ func runHistory(addr string, session uint64, event string, last, step time.Durat
 		return fmt.Errorf("papid at %s speaks protocol %d; QUERY needs >= %d (upgrade the server)",
 			addr, hello.Protocol, wire.MinProtocolQuery)
 	}
+	if len(groups) > 0 && hello.Protocol < wire.MinProtocolDerived {
+		return fmt.Errorf("papid at %s speaks protocol %d; derive needs >= %d (upgrade the server)",
+			addr, hello.Protocol, wire.MinProtocolDerived)
+	}
 	to := time.Now().UnixMicro()
-	req := wire.Request{Op: wire.OpQuery, Session: session,
+	req := wire.Request{Op: wire.OpQuery, Session: session, Derive: groups,
 		From: to - last.Microseconds(), To: to, Step: step.Microseconds()}
 	if event != "" {
 		req.Events = []string{event}
 	}
 	resp, err := cl.Do(req)
 	if err != nil {
+		return err
+	}
+	if len(groups) > 0 {
+		if len(resp.Derived) == 0 {
+			return fmt.Errorf("session %d has no derivable history in the last %s at %s steps (deltas need two buckets; try a smaller -step or -step 0 for raw)",
+				session, last, step)
+		}
+		fmt.Printf("perfometer derived history: session %d, groups %s, last %s at %s steps (papid %s)\n",
+			session, strings.Join(groups, ","), last, step, addr)
+		perfometer.RenderDerived(os.Stdout, resp.Derived, width)
+		_, err = cl.Do(wire.Request{Op: wire.OpBye})
 		return err
 	}
 	if len(resp.Series) == 0 {
@@ -93,6 +140,84 @@ func runHistory(addr string, session uint64, event string, last, step time.Durat
 	perfometer.RenderHistory(os.Stdout, resp.Series, width)
 	_, err = cl.Do(wire.Request{Op: wire.OpBye})
 	return err
+}
+
+// runWatch is -papid -derive -watch: subscribe to the session with the
+// named groups and stream the server-evaluated DERIVED frames as they
+// arrive, then summarize each metric as a sparkline. The subscription
+// rides a plain (non-reconnecting) client on purpose: a redial would
+// silently restart the stream's delta baseline, and for a bounded watch
+// an honest "connection lost" beats a seamless-looking gap.
+func runWatch(addr string, session uint64, groups []string, watch time.Duration, width int, timeout time.Duration, binary bool) error {
+	cl, err := server.DialRetry(addr, server.RetryConfig{Timeout: timeout, PreferBinary: binary})
+	if err != nil {
+		return fmt.Errorf("dialing papid at %s: %w", addr, err)
+	}
+	defer cl.Close()
+	hello, err := cl.Hello()
+	if err != nil {
+		return err
+	}
+	if hello.Protocol < wire.MinProtocolDerived {
+		return fmt.Errorf("papid at %s speaks protocol %d; DERIVED needs >= %d (upgrade the server)",
+			addr, hello.Protocol, wire.MinProtocolDerived)
+	}
+	if _, err := cl.Do(wire.Request{Op: wire.OpSubscribe, Session: session, Derive: groups}); err != nil {
+		return err
+	}
+	fmt.Printf("perfometer watch: session %d, groups %s for %s (papid %s)\n",
+		session, strings.Join(groups, ","), watch, addr)
+
+	// The watch timer ends the stream by closing the connection, which
+	// unblocks the read loop; `done` distinguishes that planned close
+	// from a real transport failure.
+	done := make(chan struct{})
+	timer := time.AfterFunc(watch, func() { close(done); cl.Close() })
+	defer timer.Stop()
+	history := make(map[string][]float64)
+	units := make(map[string]string)
+	var order []string
+	frames := 0
+	for {
+		resp, err := cl.Next()
+		if err != nil {
+			select {
+			case <-done:
+				err = nil
+			default:
+			}
+			if err != nil {
+				return err
+			}
+			break
+		}
+		if resp.Op != wire.OpDerived {
+			continue
+		}
+		frames++
+		fmt.Println(perfometer.FormatDerivedFrame(resp))
+		for i, v := range resp.DValues {
+			if i >= len(resp.Metrics) {
+				break
+			}
+			m := resp.Metrics[i]
+			if _, ok := history[m]; !ok {
+				order = append(order, m)
+				if i < len(resp.Units) {
+					units[m] = resp.Units[i]
+				}
+			}
+			history[m] = append(history[m], v)
+		}
+	}
+	if frames == 0 {
+		return fmt.Errorf("no DERIVED frames within %s: is session %d publishing ticks?", watch, session)
+	}
+	fmt.Printf("%d frames in %s\n", frames, watch)
+	for _, m := range order {
+		fmt.Printf("  %-20s [%s] %s\n", m, units[m], perfometer.SparklineValues(history[m], width))
+	}
+	return nil
 }
 
 // runStats is -papid -stats: one STATS round-trip, rendered. A v3

@@ -1,0 +1,205 @@
+package derive
+
+import (
+	"io"
+	"log/slog"
+	"testing"
+)
+
+func quietLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+var ipcLayout = []string{"PAPI_TOT_INS", "PAPI_TOT_CYC"}
+
+// tickIPC drives one Tick with cumulative (ins, cyc) at ts and returns
+// the emitted values, nil if nothing was emitted.
+func tickIPC(e *Engine, session uint64, ins, cyc, tsUsec int64) (names []string, vals []float64) {
+	e.Tick(session, ipcLayout, []int64{ins, cyc}, tsUsec, []string{"ipc"},
+		func(m, u []string, v []float64) {
+			names = append([]string(nil), m...)
+			vals = append([]float64(nil), v...)
+		})
+	return
+}
+
+func TestEngineTickDeltas(t *testing.T) {
+	e := NewEngine(nil, nil, quietLogger(), nil)
+	if n, _ := tickIPC(e, 1, 1000, 2000, 0); n != nil {
+		t.Fatal("first tick emitted; it should only prime the baseline")
+	}
+	names, vals := tickIPC(e, 1, 3000, 6000, 1_000_000)
+	if names == nil {
+		t.Fatal("second tick emitted nothing")
+	}
+	// deltas: ins 2000, cyc 4000, dt 1s → ipc 0.5, mips 0.002
+	got := map[string]float64{}
+	for i, n := range names {
+		got[n] = vals[i]
+	}
+	if got["ipc"] != 0.5 {
+		t.Errorf("ipc = %g, want 0.5 (cumulative deltas, not raw values)", got["ipc"])
+	}
+	if got["mips"] != 0.002 {
+		t.Errorf("mips = %g, want 0.002", got["mips"])
+	}
+	if e.Evals() != 1 {
+		t.Errorf("Evals() = %d, want 1", e.Evals())
+	}
+}
+
+func TestEngineCounterReset(t *testing.T) {
+	e := NewEngine(nil, nil, quietLogger(), nil)
+	tickIPC(e, 1, 1000, 2000, 0)
+	tickIPC(e, 1, 2000, 4000, 1e6)
+	// STOP/START reset: counters drop. No emission, no garbage.
+	if n, _ := tickIPC(e, 1, 50, 100, 2e6); n != nil {
+		t.Fatal("emitted across a counter reset")
+	}
+	// Next tick deltas are measured from the post-reset values.
+	names, vals := tickIPC(e, 1, 150, 300, 3e6)
+	if names == nil || vals[0] != 0.5 {
+		t.Fatalf("post-reset tick: %v %v, want ipc 0.5", names, vals)
+	}
+}
+
+func TestEngineLayoutChange(t *testing.T) {
+	e := NewEngine(nil, nil, quietLogger(), nil)
+	tickIPC(e, 1, 1000, 2000, 0)
+	// Session re-created with a wider layout: deltas against the old
+	// baseline are meaningless, so the first tick only re-primes.
+	wide := []string{"PAPI_TOT_CYC", "PAPI_TOT_INS", "PAPI_L2_TCA", "PAPI_L2_TCM"}
+	emitted := false
+	e.Tick(1, wide, []int64{100, 200, 50, 5}, 1e6, []string{"ipc", "l2miss"},
+		func(m, u []string, v []float64) { emitted = true })
+	if emitted {
+		t.Fatal("emitted on first tick after layout change")
+	}
+	var got map[string]float64
+	e.Tick(1, wide, []int64{1100, 2200, 150, 25}, 2e6, []string{"ipc", "l2miss"},
+		func(m, u []string, v []float64) {
+			got = map[string]float64{}
+			for i, n := range m {
+				got[n] = v[i]
+			}
+		})
+	if got == nil {
+		t.Fatal("no emission after re-prime")
+	}
+	if got["ipc"] != 2.0 { // ins 2000 / cyc 1000 — note swapped layout order
+		t.Errorf("ipc = %g, want 2 (layout order must come from the event list)", got["ipc"])
+	}
+	if got["l2_miss_ratio"] != 0.2 { // 20 misses / 100 accesses
+		t.Errorf("l2_miss_ratio = %g, want 0.2", got["l2_miss_ratio"])
+	}
+}
+
+func TestEngineUnknownGroup(t *testing.T) {
+	e := NewEngine(nil, nil, quietLogger(), nil)
+	called := false
+	e.Tick(1, ipcLayout, []int64{1, 2}, 0, []string{"nonesuch"},
+		func(m, u []string, v []float64) { called = true })
+	e.Tick(1, ipcLayout, []int64{2, 4}, 1e6, []string{"nonesuch"},
+		func(m, u []string, v []float64) { called = true })
+	if called {
+		t.Fatal("unknown group evaluated")
+	}
+	if e.SessionCount() != 0 {
+		t.Fatal("failed binding left session state behind")
+	}
+}
+
+func TestEngineRuleAlerts(t *testing.T) {
+	rules, err := ParseRules("ipc<0.5:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(nil, rules, quietLogger(), nil)
+	ins, cyc := int64(0), int64(0)
+	step := func(dins, dcyc int64, ts int64) {
+		ins += dins
+		cyc += dcyc
+		tickIPC(e, 7, ins, cyc, ts)
+	}
+	step(1000, 1000, 0)   // prime
+	step(1000, 1000, 1e6) // ipc 1.0: in bounds
+	if e.Alerts() != 0 {
+		t.Fatalf("alerts = %d before any breach", e.Alerts())
+	}
+	step(100, 1000, 2e6) // ipc 0.1: streak 1
+	step(100, 1000, 3e6) // streak 2: fire
+	if e.Alerts() != 1 {
+		t.Fatalf("alerts = %d after 2-breach streak, want 1", e.Alerts())
+	}
+	step(100, 1000, 4e6) // still breached: latched
+	step(100, 1000, 5e6)
+	if e.Alerts() != 1 {
+		t.Fatalf("alerts = %d while latched, want 1", e.Alerts())
+	}
+	step(2000, 1000, 6e6) // ipc 2.0: re-arm
+	step(100, 1000, 7e6)  // streak 1
+	step(100, 1000, 8e6)  // streak 2: second alert
+	if e.Alerts() != 2 {
+		t.Fatalf("alerts = %d after recovery and second streak, want 2", e.Alerts())
+	}
+}
+
+func TestEngineCloseSession(t *testing.T) {
+	e := NewEngine(nil, nil, quietLogger(), nil)
+	tickIPC(e, 1, 1, 2, 0)
+	tickIPC(e, 2, 1, 2, 0)
+	if e.SessionCount() != 2 {
+		t.Fatalf("SessionCount = %d", e.SessionCount())
+	}
+	e.CloseSession(1)
+	if e.SessionCount() != 1 {
+		t.Fatalf("SessionCount after close = %d", e.SessionCount())
+	}
+	// Closing wipes the baseline: the next tick primes again.
+	if n, _ := tickIPC(e, 1, 10, 20, 5e6); n != nil {
+		t.Fatal("closed session kept its delta baseline")
+	}
+}
+
+// Steady-state Tick must not allocate: bindings, scratch slices and
+// rule state are all built on the first tick and reused.
+func TestEngineTickAllocFree(t *testing.T) {
+	e := NewEngine(nil, nil, quietLogger(), nil)
+	groups := []string{"ipc", "l2miss"}
+	layout := []string{"PAPI_TOT_INS", "PAPI_TOT_CYC", "PAPI_L2_TCA", "PAPI_L2_TCM"}
+	vals := []int64{0, 0, 0, 0}
+	ts := int64(0)
+	emit := func(m, u []string, v []float64) {}
+	tick := func() {
+		for i := range vals {
+			vals[i] += int64(1000 + i)
+		}
+		ts += 50_000
+		e.Tick(9, layout, vals, ts, groups, emit)
+	}
+	tick() // prime + bind
+	tick()
+	allocs := testing.AllocsPerRun(500, tick)
+	if allocs != 0 {
+		t.Errorf("steady-state Tick allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func BenchmarkEngineTick(b *testing.B) {
+	e := NewEngine(nil, nil, quietLogger(), nil)
+	groups := []string{"ipc", "cpi", "l1miss", "l2miss", "brmiss", "flops", "membw"}
+	layout := []string{"PAPI_TOT_INS", "PAPI_TOT_CYC", "PAPI_RES_STL",
+		"PAPI_L1_DCA", "PAPI_L1_DCM", "PAPI_L2_TCA", "PAPI_L2_TCM",
+		"PAPI_BR_INS", "PAPI_BR_MSP", "PAPI_FP_OPS"}
+	vals := make([]int64, len(layout))
+	ts := int64(0)
+	emit := func(m, u []string, v []float64) {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for j := range vals {
+			vals[j] += int64(1000 + j)
+		}
+		ts += 50_000
+		e.Tick(1, layout, vals, ts, groups, emit)
+	}
+}

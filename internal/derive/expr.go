@@ -1,0 +1,425 @@
+// Package derive turns raw counter streams into the metrics people
+// actually reason about. The paper's own motivating examples — MFLOPS,
+// instructions per cycle, cache-miss ratios — are *derived* metrics,
+// yet the collection stack below this package ships raw per-event
+// totals end to end. LIKWID's lesson (Treibig et al.) is that the
+// winning interface is a curated library of "performance groups"
+// (IPC, FLOPS, bandwidth, miss ratios) rather than raw events; Röhl et
+// al.'s is that raw events must be validated against ground truth
+// before any such pattern can be trusted. Both shape this package:
+//
+//   - a small expression engine over counter deltas — named formulas
+//     with + - * /, a rate() per-second operator and guarded division,
+//     compiled once at registration and evaluated allocation-free on
+//     every tick;
+//   - a shipped group library (groups.go) mapped onto the preset
+//     events of internal/core, each group rejected at registration if
+//     it references an event the validation campaign has not certified
+//     (validated.go) — never at tick time;
+//   - threshold rules (rules.go) that watch derived values and fire
+//     structured log warnings plus telemetry counters after N
+//     consecutive breaches;
+//   - an Engine (engine.go) holding per-session evaluation state for
+//     papid's tick loop, and a history evaluator (history.go) that
+//     answers the same formulas over tsdb query results.
+package derive
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Formula semantics: an identifier names a counter event and evaluates
+// to that event's *delta* over the evaluation interval (the increase
+// between two consecutive ticks, or between two history buckets).
+// rate(EV) evaluates to the delta divided by the interval in seconds.
+// Division is guarded: x/0 evaluates to 0, never Inf or NaN — a
+// just-started counter or an idle interval yields a quiet zero instead
+// of poisoning JSON encoding or threshold comparisons.
+
+// opcode is one RPN instruction of a compiled formula.
+type opcode uint8
+
+const (
+	opConst opcode = iota // push c
+	opEvent               // push delta[idx]
+	opRate                // push delta[idx]/dtSec (0 when dtSec == 0)
+	opAdd
+	opSub
+	opMul
+	opDiv // guarded: 0 when the divisor is 0
+	opNeg
+)
+
+type instr struct {
+	op  opcode
+	idx int     // event slot for opEvent/opRate
+	c   float64 // literal for opConst
+}
+
+// maxStack bounds a compiled formula's evaluation stack. Eval keeps
+// the stack in a fixed-size local array so evaluation never allocates;
+// Parse rejects formulas deeper than this at compile time.
+const maxStack = 16
+
+// Expr is one compiled formula. The zero value is invalid; build with
+// Parse. An Expr references events by position in Events(); Bind maps
+// those positions onto a concrete event layout (a session's event-name
+// list) so evaluation is pure index arithmetic.
+type Expr struct {
+	src    string
+	code   []instr
+	events []string // deduplicated referenced event names, first-use order
+	depth  int      // maximum evaluation stack depth
+}
+
+// Parse compiles a formula: identifiers are event names, rate(EV) is
+// the per-second operator, and + - * / ( ) and numeric literals mean
+// what they look like. The compiled form is immutable and safe for
+// concurrent Bind/Eval use.
+func Parse(src string) (*Expr, error) {
+	p := &parser{input: src, e: &Expr{src: src}}
+	if err := p.expr(); err != nil {
+		return nil, fmt.Errorf("formula %q: %w", src, err)
+	}
+	p.skipSpace()
+	if p.pos != len(p.input) {
+		return nil, fmt.Errorf("formula %q: unexpected %q at offset %d", src, p.input[p.pos:], p.pos)
+	}
+	depth, err := p.e.stackDepth()
+	if err != nil {
+		return nil, fmt.Errorf("formula %q: %w", src, err)
+	}
+	p.e.depth = depth
+	return p.e, nil
+}
+
+// MustParse is Parse for the built-in group tables, where a parse
+// failure is a programming error.
+func MustParse(src string) *Expr {
+	e, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// String returns the source formula.
+func (e *Expr) String() string { return e.src }
+
+// Events lists the event names the formula references, deduplicated in
+// first-use order.
+func (e *Expr) Events() []string { return append([]string(nil), e.events...) }
+
+// UsesRate reports whether any term divides by the interval — such a
+// formula needs real timestamps, not just counter values.
+func (e *Expr) UsesRate() bool {
+	for _, in := range e.code {
+		if in.op == opRate {
+			return true
+		}
+	}
+	return false
+}
+
+// stackDepth simulates the RPN program to find the maximum stack use,
+// doubling as a structural sanity check on the compiler's output.
+func (e *Expr) stackDepth() (int, error) {
+	depth, max := 0, 0
+	for _, in := range e.code {
+		switch in.op {
+		case opConst, opEvent, opRate:
+			depth++
+			if depth > max {
+				max = depth
+			}
+		case opNeg:
+			if depth < 1 {
+				return 0, fmt.Errorf("internal: unary op on empty stack")
+			}
+		default:
+			if depth < 2 {
+				return 0, fmt.Errorf("internal: binary op on short stack")
+			}
+			depth--
+		}
+	}
+	if depth != 1 {
+		return 0, fmt.Errorf("internal: %d values left on stack", depth)
+	}
+	if max > maxStack {
+		return 0, fmt.Errorf("formula nests deeper than %d", maxStack)
+	}
+	return max, nil
+}
+
+// eventSlot interns an event name, returning its slot.
+func (e *Expr) eventSlot(name string) int {
+	for i, ev := range e.events {
+		if ev == name {
+			return i
+		}
+	}
+	e.events = append(e.events, name)
+	return len(e.events) - 1
+}
+
+// Bound is an Expr whose event slots have been resolved against one
+// concrete event layout — the form the tick loop evaluates. A Bound is
+// a value; copies share the immutable instruction slice.
+type Bound struct {
+	code []instr
+}
+
+// Bind resolves the formula's event references through index (event
+// name → position in the delta slice Eval will receive). Every
+// referenced event must be present.
+func (e *Expr) Bind(index map[string]int) (Bound, error) {
+	code := make([]instr, len(e.code))
+	copy(code, e.code)
+	for i := range code {
+		if code[i].op != opEvent && code[i].op != opRate {
+			continue
+		}
+		name := e.events[code[i].idx]
+		slot, ok := index[name]
+		if !ok {
+			return Bound{}, fmt.Errorf("formula %q: event %s not in layout", e.src, name)
+		}
+		code[i].idx = slot
+	}
+	return Bound{code: code}, nil
+}
+
+// Valid reports whether the Bound holds a compiled program.
+func (b Bound) Valid() bool { return len(b.code) > 0 }
+
+// Eval runs the program over one interval: deltas holds per-event
+// counter increases in the bound layout, dtSec the interval length in
+// seconds (only consulted by rate terms). Eval does not allocate.
+func (b Bound) Eval(deltas []float64, dtSec float64) float64 {
+	var stack [maxStack]float64
+	sp := 0
+	for _, in := range b.code {
+		switch in.op {
+		case opConst:
+			stack[sp] = in.c
+			sp++
+		case opEvent:
+			stack[sp] = deltas[in.idx]
+			sp++
+		case opRate:
+			v := 0.0
+			if dtSec > 0 {
+				v = deltas[in.idx] / dtSec
+			}
+			stack[sp] = v
+			sp++
+		case opNeg:
+			stack[sp-1] = -stack[sp-1]
+		case opAdd:
+			stack[sp-2] += stack[sp-1]
+			sp--
+		case opSub:
+			stack[sp-2] -= stack[sp-1]
+			sp--
+		case opMul:
+			stack[sp-2] *= stack[sp-1]
+			sp--
+		case opDiv:
+			if stack[sp-1] == 0 {
+				stack[sp-2] = 0
+			} else {
+				stack[sp-2] /= stack[sp-1]
+			}
+			sp--
+		}
+	}
+	v := stack[0]
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		// Guarded division keeps ordinary formulas finite; this is the
+		// backstop for pathological literals (1e308*1e308).
+		return 0
+	}
+	return v
+}
+
+// parser is a recursive-descent compiler emitting RPN into e.code.
+//
+//	expr    := term (('+'|'-') term)*
+//	term    := unary (('*'|'/') unary)*
+//	unary   := '-' unary | primary
+//	primary := NUMBER | IDENT | 'rate' '(' IDENT ')' | '(' expr ')'
+type parser struct {
+	input string
+	pos   int
+	e     *Expr
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.input) && (p.input[p.pos] == ' ' || p.input[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *parser) peek() byte {
+	if p.pos >= len(p.input) {
+		return 0
+	}
+	return p.input[p.pos]
+}
+
+func (p *parser) expr() error {
+	if err := p.term(); err != nil {
+		return err
+	}
+	for {
+		p.skipSpace()
+		switch p.peek() {
+		case '+':
+			p.pos++
+			if err := p.term(); err != nil {
+				return err
+			}
+			p.emit(instr{op: opAdd})
+		case '-':
+			p.pos++
+			if err := p.term(); err != nil {
+				return err
+			}
+			p.emit(instr{op: opSub})
+		default:
+			return nil
+		}
+	}
+}
+
+func (p *parser) term() error {
+	if err := p.unary(); err != nil {
+		return err
+	}
+	for {
+		p.skipSpace()
+		switch p.peek() {
+		case '*':
+			p.pos++
+			if err := p.unary(); err != nil {
+				return err
+			}
+			p.emit(instr{op: opMul})
+		case '/':
+			p.pos++
+			if err := p.unary(); err != nil {
+				return err
+			}
+			p.emit(instr{op: opDiv})
+		default:
+			return nil
+		}
+	}
+}
+
+func (p *parser) unary() error {
+	p.skipSpace()
+	if p.peek() == '-' {
+		p.pos++
+		if err := p.unary(); err != nil {
+			return err
+		}
+		p.emit(instr{op: opNeg})
+		return nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() error {
+	p.skipSpace()
+	c := p.peek()
+	switch {
+	case c == '(':
+		p.pos++
+		if err := p.expr(); err != nil {
+			return err
+		}
+		p.skipSpace()
+		if p.peek() != ')' {
+			return fmt.Errorf("missing ')' at offset %d", p.pos)
+		}
+		p.pos++
+		return nil
+	case c >= '0' && c <= '9' || c == '.':
+		return p.number()
+	case isIdentStart(c):
+		return p.ident()
+	case c == 0:
+		return fmt.Errorf("unexpected end of formula")
+	}
+	return fmt.Errorf("unexpected %q at offset %d", string(c), p.pos)
+}
+
+func (p *parser) number() error {
+	start := p.pos
+	for p.pos < len(p.input) {
+		c := p.input[p.pos]
+		if c >= '0' && c <= '9' || c == '.' || c == 'e' || c == 'E' ||
+			((c == '+' || c == '-') && p.pos > start && (p.input[p.pos-1] == 'e' || p.input[p.pos-1] == 'E')) {
+			p.pos++
+			continue
+		}
+		break
+	}
+	v, err := strconv.ParseFloat(p.input[start:p.pos], 64)
+	if err != nil {
+		return fmt.Errorf("bad number %q", p.input[start:p.pos])
+	}
+	p.emit(instr{op: opConst, c: v})
+	return nil
+}
+
+func (p *parser) ident() error {
+	start := p.pos
+	for p.pos < len(p.input) && isIdentChar(p.input[p.pos]) {
+		p.pos++
+	}
+	name := p.input[start:p.pos]
+	p.skipSpace()
+	if p.peek() != '(' {
+		p.emit(instr{op: opEvent, idx: p.e.eventSlot(name)})
+		return nil
+	}
+	// Function call. rate is the only function; its argument must be a
+	// bare event name — rate of a compound expression has no single
+	// counter to difference.
+	if !strings.EqualFold(name, "rate") {
+		return fmt.Errorf("unknown function %q", name)
+	}
+	p.pos++ // '('
+	p.skipSpace()
+	if !isIdentStart(p.peek()) {
+		return fmt.Errorf("rate() needs an event name at offset %d", p.pos)
+	}
+	astart := p.pos
+	for p.pos < len(p.input) && isIdentChar(p.input[p.pos]) {
+		p.pos++
+	}
+	arg := p.input[astart:p.pos]
+	p.skipSpace()
+	if p.peek() != ')' {
+		return fmt.Errorf("missing ')' after rate(%s", arg)
+	}
+	p.pos++
+	p.emit(instr{op: opRate, idx: p.e.eventSlot(arg)})
+	return nil
+}
+
+func (p *parser) emit(in instr) { p.e.code = append(p.e.code, in) }
+
+func isIdentStart(c byte) bool {
+	return c >= 'A' && c <= 'Z' || c >= 'a' && c <= 'z' || c == '_'
+}
+
+func isIdentChar(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}

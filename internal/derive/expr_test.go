@@ -1,0 +1,163 @@
+package derive
+
+import (
+	"strings"
+	"testing"
+)
+
+// bindOn compiles and binds src against a layout built from the deltas
+// table, returning the bound program and the delta slice in layout
+// order.
+func bindOn(t testing.TB, src string, table map[string]float64) (Bound, []float64) {
+	t.Helper()
+	e, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	index := make(map[string]int, len(table))
+	deltas := make([]float64, 0, len(table))
+	for name, v := range table {
+		index[name] = len(deltas)
+		deltas = append(deltas, v)
+	}
+	b, err := e.Bind(index)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, deltas
+}
+
+func TestParseEval(t *testing.T) {
+	ins := map[string]float64{"A": 100, "B": 40, "C": 0}
+	cases := []struct {
+		src  string
+		dt   float64
+		want float64
+	}{
+		{"A", 1, 100},
+		{"A + B", 1, 140},
+		{"A - B", 1, 60},
+		{"A * B", 1, 4000},
+		{"A / B", 1, 2.5},
+		{"-A", 1, -100},
+		{"A + B * 2", 1, 180},       // precedence
+		{"(A + B) * 2", 1, 280},     // grouping
+		{"A - B - B", 1, 20},        // left association
+		{"A / B / 5", 1, 0.5},       // left association
+		{"2 * -B", 1, -80},          // unary in term
+		{"1e2 + 0.5", 1, 100.5},     // literals
+		{"A / C", 1, 0},             // guarded division
+		{"B / (A - 100)", 1, 0},     // guarded division, computed zero
+		{"rate(A)", 4, 25},          // per-second
+		{"rate(A)", 0, 0},           // rate needs an interval
+		{"rate(A) / 1e6", 2, 50e-6}, // scaled rate
+		{"A / B + C / A", 1, 2.5},   // zero-valued event still binds
+		{" A\t/  B ", 1, 2.5},       // whitespace
+		{"A*1000/B", 1, 2500},       // per-kilo idiom
+		{"-(A - B) / 2", 1, -30},    // unary over group
+		{"A - -B", 1, 140},          // double negative
+	}
+	for _, c := range cases {
+		b, deltas := bindOn(t, c.src, ins)
+		if got := b.Eval(deltas, c.dt); got != c.want {
+			t.Errorf("%q (dt=%g) = %g, want %g", c.src, c.dt, got, c.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"A +",
+		"+ A",
+		"(A",
+		"A)",
+		"A B",
+		"A // B",
+		"rate()",
+		"rate(A + B)", // rate takes a bare event
+		"rate(A",
+		"foo(A)", // unknown function
+		"1.2.3",
+		"A & B",
+		// Right-nested addition grows the evaluation stack one slot per
+		// level (parens alone do not — RPN flattens them).
+		strings.Repeat("1+(", 20) + "1" + strings.Repeat(")", 20),
+	}
+	if _, err := Parse(strings.Repeat("(", 40) + "A" + strings.Repeat(")", 40)); err != nil {
+		t.Errorf("flat parenthesizing rejected: %v", err)
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) accepted", src)
+		}
+	}
+}
+
+func TestExprEvents(t *testing.T) {
+	e, err := Parse("A / B + rate(A) + C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := e.Events()
+	want := []string{"A", "B", "C"} // deduplicated, first-use order
+	if len(got) != len(want) {
+		t.Fatalf("Events() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Events() = %v, want %v", got, want)
+		}
+	}
+	if !e.UsesRate() {
+		t.Error("UsesRate() = false")
+	}
+	if e2 := MustParse("A / B"); e2.UsesRate() {
+		t.Error("A/B UsesRate() = true")
+	}
+}
+
+func TestBindMissingEvent(t *testing.T) {
+	e := MustParse("A / B")
+	if _, err := e.Bind(map[string]int{"A": 0}); err == nil {
+		t.Fatal("bind with missing event accepted")
+	}
+	var b Bound
+	if b.Valid() {
+		t.Error("zero Bound claims valid")
+	}
+}
+
+func TestEvalNonFinite(t *testing.T) {
+	b, deltas := bindOn(t, "A * 1e308 * 1e308", map[string]float64{"A": 1})
+	if got := b.Eval(deltas, 1); got != 0 {
+		t.Errorf("overflowing product = %g, want clamped 0", got)
+	}
+}
+
+func TestEvalAllocFree(t *testing.T) {
+	b, deltas := bindOn(t, "(A - B) / (A + B) + rate(A) / 1e6",
+		map[string]float64{"A": 1e9, "B": 3e8})
+	var sink float64
+	allocs := testing.AllocsPerRun(1000, func() {
+		sink = b.Eval(deltas, 0.05)
+	})
+	if allocs != 0 {
+		t.Errorf("Eval allocates %.1f objects/op, want 0", allocs)
+	}
+	_ = sink
+}
+
+// BenchmarkDeriveEval measures one compiled-formula evaluation — the
+// per-metric cost papid pays per session per tick. Acceptance wants
+// sub-microsecond per *group*; a group is a handful of these.
+func BenchmarkDeriveEval(b *testing.B) {
+	bd, deltas := bindOn(b, "(A - B) / (A + B) + rate(A) / 1e6",
+		map[string]float64{"A": 1e9, "B": 3e8})
+	b.ReportAllocs()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink = bd.Eval(deltas, 0.05)
+	}
+	_ = sink
+}

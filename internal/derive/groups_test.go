@@ -1,0 +1,130 @@
+package derive
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuiltinLibrary(t *testing.T) {
+	r := NewRegistry()
+	for _, want := range []string{"ipc", "cpi", "brmiss", "l1miss", "l2miss", "flops", "membw"} {
+		g := r.Lookup(want)
+		if g == nil {
+			t.Fatalf("builtin group %s missing", want)
+		}
+		if len(g.Metrics) == 0 || len(g.Events()) == 0 {
+			t.Fatalf("builtin group %s is empty", want)
+		}
+		for _, m := range g.Metrics {
+			if m.Expr() == nil {
+				t.Fatalf("group %s metric %s not compiled", want, m.Name)
+			}
+		}
+	}
+	names := r.Names()
+	if len(names) < 7 {
+		t.Fatalf("Names() = %v, want >= 7 groups", names)
+	}
+	gs, err := r.Resolve([]string{"ipc", "l2miss"})
+	if err != nil || len(gs) != 2 {
+		t.Fatalf("Resolve: %v, %d groups", err, len(gs))
+	}
+	evs := EventsFor(gs)
+	wantEvs := map[string]bool{"PAPI_TOT_INS": true, "PAPI_TOT_CYC": true,
+		"PAPI_L2_TCM": true, "PAPI_L2_TCA": true}
+	for _, ev := range evs {
+		if !wantEvs[ev] {
+			t.Errorf("unexpected event %s in ipc+l2miss union", ev)
+		}
+		delete(wantEvs, ev)
+	}
+	if len(wantEvs) != 0 {
+		t.Errorf("union missing %v", wantEvs)
+	}
+	if _, err := r.Resolve([]string{"ipc", "nonesuch"}); err == nil {
+		t.Error("Resolve accepted unknown group")
+	}
+}
+
+// Registration is the trust boundary: every rejection here must happen
+// before a group can reach tick evaluation.
+func TestRegisterRejections(t *testing.T) {
+	cases := []struct {
+		name    string
+		group   Group
+		errWant string
+	}{
+		{"unvalidated event", Group{Name: "tlb", Metrics: []Metric{
+			{Name: "tlb_per_kinstr", Formula: "PAPI_TLB_DM / PAPI_TOT_INS * 1000"},
+		}}, "not validated"},
+		{"unknown event", Group{Name: "bogus", Metrics: []Metric{
+			{Name: "x", Formula: "PAPI_NO_SUCH / PAPI_TOT_INS"},
+		}}, "not a preset"},
+		{"parse error", Group{Name: "syntax", Metrics: []Metric{
+			{Name: "x", Formula: "PAPI_TOT_INS +"},
+		}}, "formula"},
+		{"empty group", Group{Name: "void"}, "no metrics"},
+		{"unnamed group", Group{Metrics: []Metric{{Name: "x", Formula: "PAPI_TOT_INS"}}}, "needs a name"},
+		{"unnamed metric", Group{Name: "g", Metrics: []Metric{{Formula: "PAPI_TOT_INS"}}}, "needs a name"},
+		{"duplicate metric", Group{Name: "g", Metrics: []Metric{
+			{Name: "x", Formula: "PAPI_TOT_INS"},
+			{Name: "x", Formula: "PAPI_TOT_CYC"},
+		}}, "duplicate"},
+	}
+	for _, c := range cases {
+		r := NewRegistry()
+		err := r.Register(c.group)
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.errWant) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.errWant)
+		}
+	}
+}
+
+func TestRegisterDuplicateGroup(t *testing.T) {
+	r := NewRegistry()
+	g := Group{Name: "mine", Metrics: []Metric{{Name: "x", Formula: "PAPI_TOT_INS"}}}
+	if err := r.Register(g); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(g); err == nil {
+		t.Fatal("duplicate group name accepted")
+	}
+}
+
+func TestRegisterCustomGroup(t *testing.T) {
+	r := NewRegistry()
+	err := r.Register(Group{Name: "loadstore", Desc: "memory op mix",
+		Metrics: []Metric{
+			{Name: "ld_ratio", Unit: "ratio", Formula: "PAPI_LD_INS / PAPI_LST_INS"},
+			{Name: "st_per_sec", Unit: "ops/s", Formula: "rate(PAPI_SR_INS)"},
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := r.Lookup("loadstore")
+	evs := g.Events()
+	if len(evs) != 3 { // LD, SR, LST — sorted union
+		t.Fatalf("Events() = %v", evs)
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i-1] >= evs[i] {
+			t.Fatalf("Events() not sorted: %v", evs)
+		}
+	}
+}
+
+func TestValidatedLedger(t *testing.T) {
+	if EventValidated("PAPI_TLB_DM") {
+		t.Error("PAPI_TLB_DM marked validated; the negative-path tests depend on the gap")
+	}
+	if !EventValidated("PAPI_TOT_INS") {
+		t.Error("PAPI_TOT_INS not validated")
+	}
+	if len(ValidatedEvents()) < 15 {
+		t.Errorf("only %d validated events", len(ValidatedEvents()))
+	}
+}

@@ -1,0 +1,137 @@
+package derive
+
+import (
+	"sort"
+
+	"repro/internal/tsdb"
+)
+
+// History evaluation: the same formulas, answered over tsdb QUERY
+// results instead of live ticks — "what was the IPC over the last
+// minute", not just "what is it now".
+//
+// The stored samples are *cumulative* counter values (EventSet.Read
+// semantics), which dictates the bucket field choice: the delta over
+// [t0, t1] is Last(t1) − Last(t0). Bucket Sum would re-add every
+// intermediate cumulative reading (off by orders of magnitude) and
+// Sum/Count is the mean cumulative level, not a delta — both are
+// correct aggregates for gauge-like series but wrong for counters.
+// Using Last makes raw and rollup evaluation agree exactly at shared
+// step boundaries: a rollup bucket's Last is by construction the raw
+// sample at the last raw timestamp inside the window, so the
+// bucket-to-bucket delta telescopes to the sum of the raw deltas
+// between the same anchors. rollup_test.go brute-force checks this
+// equivalence, PR 2-style.
+//
+// Rate terms divide by the anchor spacing (bucket Start difference)
+// in seconds. For raw buckets Start is the exact sample timestamp;
+// for rollups it is the grid-aligned window start, so a rate over
+// rollups is the window-averaged rate — the documented, tested
+// semantics.
+
+// Point is one evaluated value of a derived metric, anchored at the
+// end of the interval it summarizes.
+type Point struct {
+	Start int64   // µs, timestamp of the closing sample/bucket
+	Value float64 //
+}
+
+// HistorySeries is one derived metric evaluated over a query window.
+type HistorySeries struct {
+	Metric string
+	Unit   string
+	Points []Point
+}
+
+// EvalHistory evaluates the groups' metrics over one session's QUERY
+// result. Evaluation anchors are the timestamps where *every* event a
+// group needs has a bucket — events sampled together on the tick grid
+// intersect fully; a series missing an event entirely contributes no
+// points for the groups that need it. Intervals where any counter
+// decreases (a STOP/START reset) are skipped rather than emitted as
+// negative garbage.
+func EvalHistory(groups []*Group, series []tsdb.Series) []HistorySeries {
+	byEvent := make(map[string]map[int64]int64, len(series)) // event → start → Last
+	for _, s := range series {
+		m := make(map[int64]int64, len(s.Buckets))
+		for _, bk := range s.Buckets {
+			m[bk.Start] = bk.Last
+		}
+		byEvent[s.Event] = m
+	}
+	var out []HistorySeries
+	for _, g := range groups {
+		out = append(out, evalGroupHistory(g, byEvent)...)
+	}
+	return out
+}
+
+func evalGroupHistory(g *Group, byEvent map[string]map[int64]int64) []HistorySeries {
+	needed := g.events
+	maps := make([]map[int64]int64, len(needed))
+	index := make(map[string]int, len(needed))
+	for i, ev := range needed {
+		m, ok := byEvent[ev]
+		if !ok {
+			return nil // server-side validation rejects this earlier
+		}
+		maps[i] = m
+		index[ev] = i
+	}
+	// Anchor timestamps: starts present in every needed event's series.
+	var starts []int64
+	for ts := range maps[0] {
+		ok := true
+		for _, m := range maps[1:] {
+			if _, hit := m[ts]; !hit {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			starts = append(starts, ts)
+		}
+	}
+	if len(starts) < 2 {
+		return nil // one anchor gives no interval
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+
+	bounds := make([]Bound, len(g.Metrics))
+	for i := range g.Metrics {
+		b, err := g.Metrics[i].expr.Bind(index)
+		if err != nil {
+			return nil // group events ⊆ needed by construction
+		}
+		bounds[i] = b
+	}
+	out := make([]HistorySeries, len(g.Metrics))
+	for i := range g.Metrics {
+		out[i] = HistorySeries{
+			Metric: g.Metrics[i].Name,
+			Unit:   g.Metrics[i].Unit,
+			Points: make([]Point, 0, len(starts)-1),
+		}
+	}
+	deltas := make([]float64, len(needed))
+	for k := 1; k < len(starts); k++ {
+		t0, t1 := starts[k-1], starts[k]
+		reset := false
+		for i, m := range maps {
+			d := m[t1] - m[t0]
+			if d < 0 {
+				reset = true
+				break
+			}
+			deltas[i] = float64(d)
+		}
+		if reset {
+			continue
+		}
+		dtSec := float64(t1-t0) / 1e6
+		for i, b := range bounds {
+			out[i].Points = append(out[i].Points, Point{Start: t1, Value: b.Eval(deltas, dtSec)})
+		}
+	}
+	return out
+}

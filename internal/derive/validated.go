@@ -1,0 +1,56 @@
+package derive
+
+// Röhl et al.'s verdict on raw counters is blunt: an event that has
+// not been checked against a ground-truth workload must not feed a
+// derived metric, because a plausible-looking ratio built on a
+// miscounting event is worse than no number at all. This file is the
+// certification ledger for that policy. An event appears here only
+// when the validation campaign in validation_test.go (and EXPERIMENTS.md)
+// asserts its counts against the analytic expectations of the
+// `workload` kernels on the simulated substrates. Registry.Register
+// refuses any group whose formulas reference an uncertified event —
+// at registration time, never at tick time.
+var validatedEvents = map[string]bool{
+	// Certified directly against workload.Expected (exact on the
+	// deterministic simulator): instruction, FP, load/store and branch
+	// architectural counts.
+	"PAPI_TOT_CYC": true,
+	"PAPI_TOT_INS": true,
+	"PAPI_LD_INS":  true,
+	"PAPI_SR_INS":  true,
+	"PAPI_LST_INS": true,
+	"PAPI_FP_INS":  true,
+	"PAPI_FP_OPS":  true,
+	"PAPI_FMA_INS": true,
+	"PAPI_FDV_INS": true,
+	"PAPI_BR_INS":  true,
+	"PAPI_BR_TKN":  true,
+	"PAPI_BR_MSP":  true,
+	// Certified behaviourally (ordering/bounds, not exact counts): the
+	// cache-hierarchy events, checked via the blocked-vs-naive matmul
+	// and hot/cold working-set contrasts.
+	"PAPI_L1_DCA":  true,
+	"PAPI_L1_DCM":  true,
+	"PAPI_L1_ICM":  true,
+	"PAPI_L2_TCA":  true,
+	"PAPI_L2_TCM":  true,
+	"PAPI_RES_STL": true,
+
+	// PAPI_TLB_DM is deliberately absent: the campaign has no
+	// ground-truth model for the simulated TLB yet, so groups that
+	// reference it are rejected — the negative-path registration test
+	// depends on exactly this gap.
+}
+
+// EventValidated reports whether the validation campaign has certified
+// the named event for use in derived metrics.
+func EventValidated(name string) bool { return validatedEvents[name] }
+
+// ValidatedEvents lists the certified event names (copy, unsorted).
+func ValidatedEvents() []string {
+	out := make([]string, 0, len(validatedEvents))
+	for n := range validatedEvents {
+		out = append(out, n)
+	}
+	return out
+}

@@ -11,6 +11,60 @@ import (
 	"repro/internal/wire"
 )
 
+// BenchmarkDerivedFanout measures the per-tick cost the derived-metric
+// path adds for one session with two groups (ipc + l2miss, four
+// metrics) fanning out to 4 v3 subscribers: delta computation, four
+// formula evaluations, threshold-rule checks, and the encode-once
+// DERIVED frame shared across subscriber queues. This is the number
+// behind the "evaluation is allocation-bounded" claim — steady state
+// should allocate only the one encoded frame per tick.
+func BenchmarkDerivedFanout(b *testing.B) {
+	srv := New(Config{
+		TickInterval: time.Hour, // driven by hand below
+		Groups:       []string{"ipc", "l2miss"},
+		DeriveRules:  []string{"ipc<0.1:3"},
+	})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+	events := []string{"PAPI_TOT_INS", "PAPI_TOT_CYC", "PAPI_L2_TCM", "PAPI_L2_TCA"}
+	created := srv.dispatch(nil, &wire.Request{Op: wire.OpCreate,
+		Platform: "aix-power3", Events: events, Workload: "none"})
+	if !created.OK {
+		b.Fatal(created.Error)
+	}
+	sess, ok := srv.reg.get(created.Session)
+	if !ok {
+		b.Fatal("session vanished")
+	}
+	// Detached v3 subscribers: push fills their queues and then drops
+	// oldest — the benchmark measures evaluation and encode, not socket
+	// drain.
+	c := &conn{srv: srv, q: newWriteQueue(4)}
+	c.version.Store(3)
+	subs := make([]*subscriber, 4)
+	for i := range subs {
+		subs[i] = &subscriber{c: c, ch: make(chan frame, 1), done: make(chan struct{})}
+	}
+	vals := []int64{0, 0, 0, 0}
+	snap := wire.Response{Op: wire.OpSnapshot, OK: true, Session: created.Session,
+		Events: events, Values: vals}
+	ts := int64(1_000_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vals[0] += 50_000
+		vals[1] += 100_000
+		vals[2] += 700
+		vals[3] += 9_000
+		ts += 2_000
+		snap.Seq++
+		srv.fanoutDerived(sess, snap, subs, ts)
+	}
+}
+
 // BenchmarkServerQuery measures QUERY round-trip latency through the
 // full TCP + JSON path at 1, 8 and 64 concurrent queriers against a
 // store preloaded with 50k ticks of two-event history.

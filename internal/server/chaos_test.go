@@ -34,6 +34,11 @@ func TestChaosSurvivesPathologicalPeers(t *testing.T) {
 		WriteTimeout:    250 * time.Millisecond,
 		WriteQueueDepth: 8,
 		QueueDepth:      4,
+		// Derived evaluation joins the storm: the ipc group runs on every
+		// covered session each tick, and the (always-true, strict)
+		// threshold rule must fire and be scrapable mid-chaos.
+		Groups:      []string{"ipc"},
+		DeriveRules: []string{"ipc>0:2"},
 	})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -80,7 +85,7 @@ func TestChaosSurvivesPathologicalPeers(t *testing.T) {
 	}
 	defer healthy.Close()
 	created, err := healthy.Do(wire.Request{Op: wire.OpCreate,
-		Events: []string{"PAPI_FP_INS", "PAPI_TOT_CYC"}, Workload: "dot", N: 8})
+		Events: []string{"PAPI_TOT_INS", "PAPI_TOT_CYC"}, Workload: "dot", N: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,11 +202,17 @@ func TestChaosSurvivesPathologicalPeers(t *testing.T) {
 			t.Fatalf("QUERY during chaos missed its deadline: %v", err)
 		}
 		// /metrics must answer mid-storm, and agree that evictions
-		// are being counted.
+		// and derived-metric alerts are being counted.
 		if m := scrape(); !strings.Contains(m, "papid_evictions_total") {
 			t.Fatalf("mid-chaos scrape lacks eviction counter:\n%.500s", m)
+		} else if st["derive_alerts"] >= 1 &&
+			(!strings.Contains(m, "papid_derive_alerts_total") ||
+				strings.Contains(m, "papid_derive_alerts_total 0\n")) {
+			t.Fatalf("mid-chaos scrape disagrees with %d fired derive alerts:\n%.500s",
+				st["derive_alerts"], m)
 		}
-		if st["evictions"] >= wantEvictions && st["resyncs"] >= nReset {
+		if st["evictions"] >= wantEvictions && st["resyncs"] >= nReset &&
+			st["derive_evals"] > 0 && st["derive_alerts"] >= 1 {
 			break
 		}
 		if time.Now().After(deadline) {

@@ -39,6 +39,10 @@ type Client struct {
 	// OnSnapshot, when set, receives SNAPSHOT frames that arrive while
 	// Do is waiting for a request's reply.
 	OnSnapshot func(wire.Response)
+	// OnDerived receives asynchronous DERIVED frames the same way —
+	// pushed to v3+ subscribers whose session evaluates performance
+	// groups. Unset, such frames are silently skipped by Do.
+	OnDerived func(wire.Response)
 
 	mu       sync.Mutex
 	closed   bool
@@ -97,6 +101,12 @@ func (c *Client) Do(req wire.Request) (wire.Response, error) {
 		if resp.Op == wire.OpSnapshot {
 			if c.OnSnapshot != nil {
 				c.OnSnapshot(resp)
+			}
+			continue
+		}
+		if resp.Op == wire.OpDerived {
+			if c.OnDerived != nil {
+				c.OnDerived(resp)
 			}
 			continue
 		}
@@ -275,11 +285,28 @@ type ReconnClient struct {
 	cl    *Client
 	hello wire.Response
 
+	// subs are the subscriptions Subscribe recorded, replayed verbatim
+	// (including derive groups) on every reconnect.
+	subs []subscription
+
 	// Reconnects counts successful redials.
 	Reconnects int
 	// OnSnapshot receives interleaved SNAPSHOT frames; it survives
 	// reconnects (unlike a callback set on a raw Client).
 	OnSnapshot func(wire.Response)
+	// OnDerived receives interleaved DERIVED frames; like OnSnapshot it
+	// survives reconnects.
+	OnDerived func(wire.Response)
+}
+
+// subscription is one SUBSCRIBE the reconnecting client replays after
+// a redial: the raw op is not idempotent-safe to retry blindly, but a
+// deliberately recorded subscription is — re-subscribing an already
+// subscribed session just adds a fresh subscriber on the new
+// connection, and the derive groups re-register idempotently.
+type subscription struct {
+	session uint64
+	derive  []string
 }
 
 // DialReconn dials addr (with retry) and performs the HELLO
@@ -304,13 +331,39 @@ func (r *ReconnClient) connect() error {
 			r.OnSnapshot(resp)
 		}
 	}
+	cl.OnDerived = func(resp wire.Response) {
+		if r.OnDerived != nil {
+			r.OnDerived(resp)
+		}
+	}
 	hello, err := cl.Hello()
 	if err != nil {
 		cl.Close()
 		return err
 	}
+	// Replay recorded subscriptions so the snapshot (and DERIVED)
+	// stream resumes on the fresh connection without caller help.
+	for _, sub := range r.subs {
+		if _, err := cl.Do(wire.Request{Op: wire.OpSubscribe,
+			Session: sub.session, Derive: sub.derive}); err != nil {
+			cl.Close()
+			return err
+		}
+	}
 	r.cl, r.hello = cl, hello
 	return nil
+}
+
+// Subscribe issues SUBSCRIBE (with optional derive groups) and records
+// it on success: every later reconnect replays the subscription, so a
+// stream consumer keeps receiving frames across connection loss.
+func (r *ReconnClient) Subscribe(session uint64, groups ...string) (wire.Response, error) {
+	resp, err := r.Do(wire.Request{Op: wire.OpSubscribe, Session: session, Derive: groups})
+	if err == nil {
+		r.subs = append(r.subs, subscription{session: session,
+			derive: append([]string(nil), groups...)})
+	}
+	return resp, err
 }
 
 // Hello returns the most recent handshake reply — refreshed on every

@@ -1,0 +1,377 @@
+package server
+
+import (
+	"math"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// ipcEvents is the event set the built-in `ipc` group needs; it fits
+// every platform's counter budget, including linux-x86's two.
+var ipcEvents = []string{"PAPI_TOT_INS", "PAPI_TOT_CYC"}
+
+// TestDerivedSubscribeStream is the live end-to-end path: a v3 client
+// registers the ipc group at SUBSCRIBE time and must receive DERIVED
+// frames carrying finite, plausible values alongside its snapshots.
+func TestDerivedSubscribeStream(t *testing.T) {
+	_, addr := startServer(t, Config{TickInterval: 2 * time.Millisecond})
+	cl := dialT(t, addr)
+	if _, err := cl.Hello(); err != nil {
+		t.Fatal(err)
+	}
+	created, err := cl.Do(wire.Request{Op: wire.OpCreate,
+		Events: ipcEvents, Workload: "dot", N: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := created.Session
+	if _, err := cl.Do(wire.Request{Op: wire.OpStart, Session: id}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Do(wire.Request{Op: wire.OpSubscribe, Session: id,
+		Derive: []string{"ipc"}}); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("no DERIVED frame within deadline")
+		}
+		resp, err := cl.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Op != wire.OpDerived {
+			continue
+		}
+		if len(resp.Metrics) != 2 || resp.Metrics[0] != "ipc" || resp.Metrics[1] != "mips" {
+			t.Fatalf("DERIVED metrics = %v, want [ipc mips]", resp.Metrics)
+		}
+		if len(resp.DValues) != 2 || len(resp.Units) != 2 {
+			t.Fatalf("DERIVED parallel slices: %d values, %d units", len(resp.DValues), len(resp.Units))
+		}
+		ipc := resp.DValues[0]
+		if math.IsNaN(ipc) || math.IsInf(ipc, 0) || ipc <= 0 || ipc > 32 {
+			t.Fatalf("ipc = %v, want finite positive and plausible", ipc)
+		}
+		if resp.Session != id || resp.Seq == 0 {
+			t.Fatalf("DERIVED session/seq = %d/%d", resp.Session, resp.Seq)
+		}
+		return
+	}
+}
+
+// TestDerivedV2Isolation pins the mixed-version contract: with default
+// groups armed server-side, a v2 subscriber's stream must carry no
+// DERIVED frame and no derived field — while a concurrent v3
+// subscriber on the same session proves evaluation was actually live.
+func TestDerivedV2Isolation(t *testing.T) {
+	_, addr := startServer(t, Config{
+		TickInterval: 2 * time.Millisecond,
+		Groups:       []string{"ipc"},
+	})
+
+	ctl := dialT(t, addr)
+	created, err := ctl.Do(wire.Request{Op: wire.OpCreate,
+		Events: ipcEvents, Workload: "dot", N: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := created.Session
+	if _, err := ctl.Do(wire.Request{Op: wire.OpStart, Session: id}); err != nil {
+		t.Fatal(err)
+	}
+
+	// v3 witness: subscribes and must see DERIVED traffic.
+	v3 := dialT(t, addr)
+	if _, err := v3.Hello(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v3.Do(wire.Request{Op: wire.OpSubscribe, Session: id}); err != nil {
+		t.Fatal(err)
+	}
+
+	// v2 peer: announces version 2 and subscribes plainly.
+	v2 := dialT(t, addr)
+	if _, err := v2.Do(wire.Request{Op: wire.OpHello, Version: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v2.Do(wire.Request{Op: wire.OpSubscribe, Session: id}); err != nil {
+		t.Fatal(err)
+	}
+
+	sawDerived := false
+	deadline := time.Now().Add(10 * time.Second)
+	for !sawDerived {
+		if time.Now().After(deadline) {
+			t.Fatal("v3 witness saw no DERIVED frame — default groups never evaluated")
+		}
+		resp, err := v3.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Op == wire.OpDerived {
+			sawDerived = true
+		}
+	}
+
+	// Evaluation is provably live; now audit a window of the v2 stream.
+	for i := 0; i < 50; i++ {
+		resp, err := v2.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Op == wire.OpDerived {
+			t.Fatalf("v2 peer received a DERIVED frame: %+v", resp)
+		}
+		if len(resp.Metrics) != 0 || len(resp.DValues) != 0 || len(resp.Derived) != 0 {
+			t.Fatalf("v2 frame carries derived fields: %+v", resp)
+		}
+	}
+}
+
+// TestSubscribeDeriveValidation: a derive registration naming an
+// unknown group, needing events the session does not count, or coming
+// from a pre-v3 peer is a wire ERROR — and leaves no subscription
+// behind.
+func TestSubscribeDeriveValidation(t *testing.T) {
+	srv, addr := startServer(t, Config{TickInterval: time.Hour})
+	cl := dialT(t, addr)
+	if _, err := cl.Hello(); err != nil {
+		t.Fatal(err)
+	}
+	created, err := cl.Do(wire.Request{Op: wire.OpCreate, Events: ipcEvents, Workload: "dot"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := created.Session
+
+	_, err = cl.Do(wire.Request{Op: wire.OpSubscribe, Session: id, Derive: []string{"nope"}})
+	if err == nil || !strings.Contains(err.Error(), "unknown group") {
+		t.Errorf("unknown group error = %v", err)
+	}
+	// flops needs PAPI_FP_OPS, which this session does not count.
+	_, err = cl.Do(wire.Request{Op: wire.OpSubscribe, Session: id, Derive: []string{"flops"}})
+	if err == nil || !strings.Contains(err.Error(), "does not count") {
+		t.Errorf("uncovered group error = %v", err)
+	}
+	// Neither failed registration may have left a subscriber attached.
+	srv.reg.forEach(func(sess *session) {
+		sess.mu.Lock()
+		defer sess.mu.Unlock()
+		if len(sess.subs) != 0 {
+			t.Errorf("rejected SUBSCRIBE left %d subscribers", len(sess.subs))
+		}
+		if len(sess.deriveGroups) != 0 {
+			t.Errorf("rejected SUBSCRIBE left groups %v registered", sess.deriveGroups)
+		}
+	})
+
+	// A peer that never announced v3 cannot register derive groups.
+	old := dialT(t, addr)
+	if _, err := old.Do(wire.Request{Op: wire.OpHello, Version: 2}); err != nil {
+		t.Fatal(err)
+	}
+	_, err = old.Do(wire.Request{Op: wire.OpSubscribe, Session: id, Derive: []string{"ipc"}})
+	if err == nil || !strings.Contains(err.Error(), "protocol") {
+		t.Errorf("pre-v3 derive error = %v", err)
+	}
+}
+
+// publishTicks drives a publish-only session through n evenly spaced
+// cumulative snapshots under the injected clock.
+func publishTicks(t *testing.T, srv *Server, id uint64, clock *atomic.Int64,
+	events []string, start []int64, step []int64, n int, dtUsec int64) {
+	t.Helper()
+	vals := append([]int64(nil), start...)
+	for i := 0; i < n; i++ {
+		clock.Add(dtUsec)
+		if resp := srv.dispatch(nil, &wire.Request{Op: wire.OpPublish, Session: id,
+			Events: events, Values: vals}); !resp.OK {
+			t.Fatal(resp.Error)
+		}
+		for j := range vals {
+			vals[j] += step[j]
+		}
+	}
+}
+
+// TestQueryDerived checks the derive-mode QUERY against a
+// deterministic published history: constant per-interval deltas must
+// come back as constant derived values, raw and rolled up.
+func TestQueryDerived(t *testing.T) {
+	var clock atomic.Int64
+	clock.Store(1_000_000)
+	srv, addr := startServer(t, Config{
+		TickInterval: time.Hour, // history driven by PUBLISH below
+		now:          func() int64 { return clock.Load() },
+	})
+	created := srv.dispatch(nil, &wire.Request{Op: wire.OpCreate, Workload: "none"})
+	if !created.OK {
+		t.Fatal(created.Error)
+	}
+	id := created.Session
+	// 20 snapshots, 100ms apart: +500 instructions, +1000 cycles each.
+	publishTicks(t, srv, id, &clock, []string{"PAPI_TOT_CYC", "PAPI_TOT_INS"},
+		[]int64{0, 0}, []int64{1000, 500}, 20, 100_000)
+
+	cl := dialT(t, addr)
+	if _, err := cl.Hello(); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := cl.Do(wire.Request{Op: wire.OpQuery, Session: id,
+		From: 0, To: clock.Load() + 1, Derive: []string{"ipc"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Derived) != 2 {
+		t.Fatalf("derived series = %d, want 2 (ipc, mips)", len(resp.Derived))
+	}
+	ipc := resp.Derived[0]
+	if ipc.Metric != "ipc" || ipc.Unit != "instr/cycle" {
+		t.Fatalf("series 0 = %s (%s), want ipc (instr/cycle)", ipc.Metric, ipc.Unit)
+	}
+	if len(ipc.Points) != 19 {
+		t.Fatalf("ipc points = %d, want 19 (20 samples, consecutive pairs)", len(ipc.Points))
+	}
+	for _, p := range ipc.Points {
+		if p.Value != 0.5 {
+			t.Fatalf("ipc point at %d = %v, want 0.5", p.Start, p.Value)
+		}
+	}
+	mips := resp.Derived[1]
+	// rate(TOT_INS)/1e6 = (500 / 0.1s) / 1e6.
+	for _, p := range mips.Points {
+		if math.Abs(p.Value-0.005) > 1e-12 {
+			t.Fatalf("mips point at %d = %v, want 0.005", p.Start, p.Value)
+		}
+	}
+
+	// The rollup path (Step aligned to a configured width) must agree.
+	rolled, err := cl.Do(wire.Request{Op: wire.OpQuery, Session: id,
+		From: 0, To: clock.Load() + 1, Step: 1_000_000, Derive: []string{"ipc"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rolled.Derived) != 2 || len(rolled.Derived[0].Points) == 0 {
+		t.Fatalf("rollup derive reply: %+v", rolled.Derived)
+	}
+	for _, p := range rolled.Derived[0].Points {
+		if p.Value != 0.5 {
+			t.Fatalf("rollup ipc at %d = %v, want 0.5", p.Start, p.Value)
+		}
+	}
+}
+
+// TestQueryDeriveErrors pins the loud-validation satellite: unknown
+// groups, missing history, and pre-v3 peers all earn a wire ERROR —
+// never an empty reply.
+func TestQueryDeriveErrors(t *testing.T) {
+	var clock atomic.Int64
+	clock.Store(1_000_000)
+	srv, addr := startServer(t, Config{
+		TickInterval: time.Hour,
+		now:          func() int64 { return clock.Load() },
+	})
+	created := srv.dispatch(nil, &wire.Request{Op: wire.OpCreate, Workload: "none"})
+	id := created.Session
+	// Only TOT_INS recorded: ipc also needs TOT_CYC.
+	publishTicks(t, srv, id, &clock, []string{"PAPI_TOT_INS"},
+		[]int64{0}, []int64{500}, 5, 100_000)
+
+	cl := dialT(t, addr)
+	if _, err := cl.Hello(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := cl.Do(wire.Request{Op: wire.OpQuery, Session: id,
+		From: 0, To: clock.Load() + 1, Derive: []string{"ipc"}})
+	if err == nil || !strings.Contains(err.Error(), "PAPI_TOT_CYC") {
+		t.Errorf("missing-event derive QUERY error = %v, want mention of PAPI_TOT_CYC", err)
+	}
+	_, err = cl.Do(wire.Request{Op: wire.OpQuery, Session: id,
+		From: 0, To: clock.Load() + 1, Derive: []string{"bogus"}})
+	if err == nil || !strings.Contains(err.Error(), "unknown group") {
+		t.Errorf("unknown-group derive QUERY error = %v", err)
+	}
+
+	old := dialT(t, addr)
+	if _, err := old.Do(wire.Request{Op: wire.OpHello, Version: 2}); err != nil {
+		t.Fatal(err)
+	}
+	_, err = old.Do(wire.Request{Op: wire.OpQuery, Session: id,
+		From: 0, To: clock.Load() + 1, Derive: []string{"ipc"}})
+	if err == nil || !strings.Contains(err.Error(), "protocol") {
+		t.Errorf("pre-v3 derive QUERY error = %v", err)
+	}
+}
+
+// TestDeriveConfigErrors: a bad -groups or -derive-rules value must
+// fail Listen loudly, not serve without the requested metrics.
+func TestDeriveConfigErrors(t *testing.T) {
+	srv := New(Config{Groups: []string{"no-such-group"}})
+	if _, err := srv.Listen("127.0.0.1:0"); err == nil ||
+		!strings.Contains(err.Error(), "unknown group") {
+		t.Errorf("Listen with bad group = %v", err)
+	}
+	srv = New(Config{DeriveRules: []string{"ipc<"}})
+	if _, err := srv.Listen("127.0.0.1:0"); err == nil {
+		t.Error("Listen with bad rule spec succeeded")
+	}
+}
+
+// TestReconnReplaysDeriveSubscription: a severed subscriber connection
+// redials, re-handshakes, and replays its recorded SUBSCRIBE including
+// the derive groups — the DERIVED stream resumes without caller help.
+func TestReconnReplaysDeriveSubscription(t *testing.T) {
+	_, addr := startServer(t, Config{TickInterval: 2 * time.Millisecond})
+
+	ctl := dialT(t, addr)
+	created, err := ctl.Do(wire.Request{Op: wire.OpCreate,
+		Events: ipcEvents, Workload: "dot", N: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := created.Session
+	if _, err := ctl.Do(wire.Request{Op: wire.OpStart, Session: id}); err != nil {
+		t.Fatal(err)
+	}
+
+	rc, err := DialReconn(addr, RetryConfig{Timeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	var derived atomic.Uint64
+	rc.OnDerived = func(wire.Response) { derived.Add(1) }
+	if _, err := rc.Subscribe(id, "ipc"); err != nil {
+		t.Fatal(err)
+	}
+
+	// DERIVED frames arrive interleaved while Do waits for STATS.
+	waitDerived := func(min uint64) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for derived.Load() < min {
+			if time.Now().After(deadline) {
+				t.Fatalf("derived frames stuck at %d, want >= %d", derived.Load(), min)
+			}
+			if _, err := rc.Do(wire.Request{Op: wire.OpStats}); err != nil {
+				t.Fatal(err)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	waitDerived(1)
+
+	rc.cl.nc.Close() // sever behind the client's back
+	before := derived.Load()
+	waitDerived(before + 2)
+	if rc.Reconnects != 1 {
+		t.Errorf("Reconnects = %d, want 1", rc.Reconnects)
+	}
+}

@@ -49,10 +49,12 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/derive"
 	"repro/internal/telemetry"
 	"repro/internal/tsdb"
 	"repro/internal/tsdb/wal"
@@ -131,6 +133,18 @@ type Config struct {
 	// is logged with the op, session and duration (default 250ms;
 	// negative disables).
 	SlowOp time.Duration
+	// Groups names performance groups from the internal/derive library
+	// (papid -groups). Each tick, every session whose event set covers a
+	// named group's requirements gets that group evaluated and the
+	// derived values fanned out to its v3+ subscribers as DERIVED
+	// frames. Sessions may register further groups via SUBSCRIBE.
+	// Unknown names are a startup error, surfaced by Listen.
+	Groups []string
+	// DeriveRules are threshold alert specs ("metric<bound[:N]", see
+	// derive.ParseRule) armed on every evaluated session: N consecutive
+	// breaches fire one structured warning and increment
+	// papid_derive_alerts_total. Bad specs are a startup error.
+	DeriveRules []string
 	// Logf, when set, receives one line per lifecycle event. Lines are
 	// rendered from the structured log stream, so printf-style
 	// consumers see the same events as slog consumers.
@@ -245,6 +259,13 @@ type Server struct {
 	replay wal.ReplayStats
 	nextID atomic.Uint64
 
+	// derive is the derived-metric engine (never nil); defGroups are the
+	// resolved Config.Groups defaults, deriveErr a deferred config
+	// failure surfaced by Listen like walErr.
+	derive    *derive.Engine
+	defGroups []*derive.Group
+	deriveErr error
+
 	// m holds every registry-backed instrument; slog is the structured
 	// log stream (never nil — a discard logger when unconfigured).
 	m          *metrics
@@ -281,6 +302,27 @@ func New(cfg Config) *Server {
 		s.slog = telemetry.NewLogfLogger(cfg.Logf, slog.LevelDebug)
 	default:
 		s.slog = telemetry.Discard()
+	}
+	// The derived-metric engine is always live — SUBSCRIBE can register
+	// groups on any session — but default groups and threshold rules
+	// come from the config. A bad group name or rule spec is deferred to
+	// Listen, like walErr: New stays infallible, startup fails loudly.
+	dreg := derive.NewRegistry()
+	var rules []derive.Rule
+	for _, spec := range cfg.DeriveRules {
+		r, err := derive.ParseRule(spec)
+		if err != nil {
+			s.deriveErr = err
+			break
+		}
+		rules = append(rules, r)
+	}
+	s.derive = derive.NewEngine(dreg, rules, s.slog, treg)
+	if s.deriveErr == nil {
+		if s.defGroups, s.deriveErr = dreg.Resolve(cfg.Groups); s.deriveErr == nil && len(cfg.Groups) > 0 {
+			s.slog.Info("papid: derived groups armed",
+				"groups", cfg.Groups, "rules", len(rules))
+		}
 	}
 	if cfg.TSDBMaxBytes > 0 {
 		histCfg := tsdb.Config{
@@ -345,6 +387,11 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 		// A server that was asked for durability but could not get it
 		// must not serve as if it had: fail loudly at startup.
 		return nil, fmt.Errorf("durable history unavailable: %w", s.walErr)
+	}
+	if s.deriveErr != nil {
+		// Same policy for derived metrics: a misspelled group or rule
+		// must not silently serve without them.
+		return nil, fmt.Errorf("derived-metric config invalid: %w", s.deriveErr)
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -550,6 +597,7 @@ func (s *Server) tick() {
 		}
 		s.appendHistory(resp.Session, now, resp.Events, resp.Values)
 		s.fanout(resp, subs)
+		s.fanoutDerived(sess, resp, subs, now)
 	})
 	if s.hist != nil {
 		// Age out history of idle and closed sessions too — appends
@@ -594,6 +642,88 @@ func (s *Server) fanout(resp wire.Response, subs []*subscriber) {
 			s.m.snapDropped.Inc()
 		}
 	}
+}
+
+// fanoutDerived evaluates the session's performance groups over one
+// snapshot and pushes the resulting DERIVED frame to its v3+
+// subscribers, encode-once like fanout. Evaluation runs even with no
+// eligible subscriber — threshold rules alert server-side regardless
+// of who is watching — but pre-v3 peers never receive the frame
+// (wire.MinProtocolDerived): their stream stays exactly what older
+// servers sent.
+func (s *Server) fanoutDerived(sess *session, snap wire.Response, subs []*subscriber, ts int64) {
+	groups := sess.derivedGroups(s.defGroups)
+	if len(groups) == 0 {
+		return
+	}
+	s.derive.Tick(sess.id, snap.Events, snap.Values, ts, groups,
+		func(metrics, units []string, vals []float64) {
+			// The emit slices are engine-owned and reused next tick;
+			// AppendFrame serializes them before this callback returns,
+			// so nothing engine-owned escapes.
+			resp := wire.Response{Op: wire.OpDerived, OK: true, Session: snap.Session,
+				Seq: snap.Seq, Metrics: metrics, Units: units, DValues: vals}
+			var encoded [2][]byte
+			for _, sub := range subs {
+				if sub.c == nil || sub.c.version.Load() < wire.MinProtocolDerived {
+					continue
+				}
+				codec := sub.c.codecNow()
+				payload := encoded[codec]
+				if payload == nil {
+					var err error
+					payload, err = wire.AppendFrame(nil, codec, &resp)
+					if err != nil {
+						s.slog.Error("papid: derived encode failed",
+							"codec", codec.String(), "err", err)
+						continue
+					}
+					encoded[codec] = payload
+				}
+				s.m.snapSent.Inc()
+				if sub.push(frame{payload: payload, codec: codec, droppable: true}) {
+					s.m.snapDropped.Inc()
+				}
+			}
+		})
+}
+
+// queryDerived answers a derive-mode QUERY: the named groups' formulas
+// evaluated over the session's history window. Validation is loud on
+// purpose: an unknown group, a pre-v3 peer, or a formula referencing
+// an event the session never recorded earns a wire ERROR naming the
+// gap — never an empty reply a client could mistake for "no data".
+func (s *Server) queryDerived(c *conn, req *wire.Request) wire.Response {
+	if c != nil && c.version.Load() < wire.MinProtocolDerived {
+		return errResp(req, fmt.Errorf(
+			"derive requires protocol >= %d (announce your version in HELLO)", wire.MinProtocolDerived))
+	}
+	groups, err := s.derive.Registry().Resolve(req.Derive)
+	if err != nil {
+		return errResp(req, err)
+	}
+	need := derive.EventsFor(groups)
+	have := s.hist.Events(req.Session)
+	for _, ev := range need {
+		if !slices.Contains(have, ev) {
+			return errResp(req, fmt.Errorf(
+				"derive: groups %v need event %s, but session %d recorded no history for it (have %v)",
+				req.Derive, ev, req.Session, have))
+		}
+	}
+	series := s.hist.Query(req.Session, tsdb.Query{
+		Events: need, From: req.From, To: req.To, Step: req.Step,
+	})
+	hs := derive.EvalHistory(groups, series)
+	out := make([]wire.DerivedSeries, len(hs))
+	for i, h := range hs {
+		pts := make([]wire.DerivedPoint, len(h.Points))
+		for j, p := range h.Points {
+			pts[j] = wire.DerivedPoint{Start: p.Start, Value: p.Value}
+		}
+		out[i] = wire.DerivedSeries{Metric: h.Metric, Unit: h.Unit, Points: pts}
+	}
+	return wire.Response{Op: req.Op, OK: true, Session: req.Session, Derived: out}
 }
 
 // frame is one pre-serialized outbound frame: the bytes on the wire,
@@ -1078,6 +1208,18 @@ func (s *Server) dispatch(c *conn, req *wire.Request) wire.Response {
 		})
 	case wire.OpSubscribe:
 		return s.withSession(req, func(sess *session) wire.Response {
+			if len(req.Derive) > 0 {
+				// Validate the derive registration before the subscriber
+				// exists: a rejected group must leave no half-registered
+				// state and no subscription behind.
+				if c != nil && c.version.Load() < wire.MinProtocolDerived {
+					return errResp(req, fmt.Errorf(
+						"derive requires protocol >= %d (announce your version in HELLO)", wire.MinProtocolDerived))
+				}
+				if err := sess.registerDerive(s.derive.Registry(), req.Derive); err != nil {
+					return errResp(req, err)
+				}
+			}
 			sub := &subscriber{c: c, ch: make(chan frame, s.cfg.QueueDepth), done: make(chan struct{})}
 			names, err := sess.addSubscriber(sub)
 			if err != nil {
@@ -1096,8 +1238,10 @@ func (s *Server) dispatch(c *conn, req *wire.Request) wire.Response {
 			if err != nil {
 				return errResp(req, err)
 			}
-			s.appendHistory(sess.id, s.cfg.now(), snap.Events, snap.Values)
+			now := s.cfg.now()
+			s.appendHistory(sess.id, now, snap.Events, snap.Values)
 			s.fanout(snap, subs)
+			s.fanoutDerived(sess, snap, subs, now)
 			return wire.Response{Op: req.Op, OK: true, Session: sess.id, Seq: snap.Seq}
 		})
 	case wire.OpStop:
@@ -1115,6 +1259,7 @@ func (s *Server) dispatch(c *conn, req *wire.Request) wire.Response {
 			return errResp(req, fmt.Errorf("no session %d", req.Session))
 		}
 		final := sess.close()
+		s.derive.CloseSession(req.Session)
 		return wire.Response{Op: req.Op, OK: true, Session: req.Session, Values: final}
 	case wire.OpQuery:
 		if s.hist == nil {
@@ -1128,6 +1273,9 @@ func (s *Server) dispatch(c *conn, req *wire.Request) wire.Response {
 		}
 		if req.Step < 0 {
 			return errResp(req, fmt.Errorf("bad step %d: must be >= 0 (0 returns raw samples)", req.Step))
+		}
+		if len(req.Derive) > 0 {
+			return s.queryDerived(c, req)
 		}
 		// No live-session check: history legitimately outlives its
 		// session, which is half the point of keeping it.
@@ -1157,6 +1305,8 @@ func (s *Server) dispatch(c *conn, req *wire.Request) wire.Response {
 			"tsdb_series":        uint64(st.TSDB.Series),
 			"tsdb_samples":       st.TSDB.Samples,
 			"tsdb_evictions":     st.TSDB.Evictions,
+			"derive_evals":       s.derive.Evals(),
+			"derive_alerts":      s.derive.Alerts(),
 		}}
 		// wal_* keys appear only on durable servers; RAM-only STATS
 		// replies stay byte-identical to what earlier PRs sent.

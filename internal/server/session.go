@@ -2,8 +2,10 @@ package server
 
 import (
 	"fmt"
+	"slices"
 	"sync"
 
+	"repro/internal/derive"
 	"repro/internal/wire"
 	"repro/papi"
 	"repro/workload"
@@ -29,6 +31,14 @@ type session struct {
 	seq     uint64
 	last    []int64 // latest snapshot: live read, publish, or final stop
 	subs    map[*subscriber]struct{}
+
+	// deriveGroups are the performance groups SUBSCRIBE registered on
+	// this session; tickGroups caches their union with the server-default
+	// groups the event set covers (rebuilt when either input changes, so
+	// the per-tick path hands the engine a stable slice).
+	deriveGroups []string
+	tickGroups   []string
+	tickGroupsOK bool
 }
 
 // addEvents resolves and adds the named events, then memoizes the
@@ -59,6 +69,7 @@ func (sess *session) addEvents(srv *Server, names []string) ([]string, error) {
 			return nil, err
 		}
 		sess.names = append(sess.names, name)
+		sess.tickGroupsOK = false // a grown event set may cover more groups
 	}
 	if len(sess.names) > 0 {
 		if _, err := srv.cache.assign(sess.sys.Arch(), sess.es.NativeCodes()); err != nil {
@@ -150,6 +161,7 @@ func (sess *session) publish(names []string, values []int64) (wire.Response, []*
 			return wire.Response{}, nil, fmt.Errorf("session %d counts its own events; publish values without renaming them", sess.id)
 		}
 		sess.names = names
+		sess.tickGroupsOK = false
 	} else if len(values) != len(sess.names) {
 		return wire.Response{}, nil, fmt.Errorf("publish: %d values for %d events", len(values), len(sess.names))
 	}
@@ -205,6 +217,76 @@ func (sess *session) addSubscriber(sub *subscriber) ([]string, error) {
 	}
 	sess.subs[sub] = struct{}{}
 	return append([]string(nil), sess.names...), nil
+}
+
+// registerDerive validates and records performance groups named in a
+// SUBSCRIBE request's Derive field. Each must resolve in the registry,
+// and every event its formulas reference must be in the session's
+// event set — a formula over events the session does not count earns a
+// wire ERROR here, never an empty or silently incomplete stream.
+func (sess *session) registerDerive(reg *derive.Registry, names []string) error {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.closed {
+		return errSessionClosed
+	}
+	groups, err := reg.Resolve(names)
+	if err != nil {
+		return err
+	}
+	for _, g := range groups {
+		for _, ev := range g.Events() {
+			if !slices.Contains(sess.names, ev) {
+				return fmt.Errorf("group %s needs event %s, which session %d does not count (have %v)",
+					g.Name, ev, sess.id, sess.names)
+			}
+		}
+	}
+	for _, n := range names {
+		if !slices.Contains(sess.deriveGroups, n) {
+			sess.deriveGroups = append(sess.deriveGroups, n)
+		}
+	}
+	sess.tickGroupsOK = false
+	return nil
+}
+
+// derivedGroups returns the groups to evaluate on this session each
+// tick: the SUBSCRIBE-registered set plus every server-default group
+// whose event requirements the session's event set covers. Defaults a
+// session cannot feed are skipped, not errors — `papid -groups ipc`
+// must not break a session counting only FP events. The result is
+// cached (and its identity stable) until the event set or the
+// registration set changes, so the engine's layout comparison sees an
+// unchanged slice on the steady-state path.
+func (sess *session) derivedGroups(defaults []*derive.Group) []string {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if !sess.tickGroupsOK {
+		// Build into a fresh slice, never in place: a concurrent
+		// evaluation may still be reading the previous one outside this
+		// lock (e.g. two PUBLISH paths racing a registration).
+		groups := append(make([]string, 0, len(sess.deriveGroups)+len(defaults)),
+			sess.deriveGroups...)
+		for _, g := range defaults {
+			if slices.Contains(groups, g.Name) {
+				continue
+			}
+			covered := true
+			for _, ev := range g.Events() {
+				if !slices.Contains(sess.names, ev) {
+					covered = false
+					break
+				}
+			}
+			if covered {
+				groups = append(groups, g.Name)
+			}
+		}
+		sess.tickGroups = groups
+		sess.tickGroupsOK = true
+	}
+	return sess.tickGroups
 }
 
 func (sess *session) removeSubscriber(sub *subscriber) {

@@ -62,6 +62,13 @@ func (s *Store) Query(session uint64, q Query) []Series {
 	return out
 }
 
+// Events lists the event names the store holds history for under the
+// session, sorted. papid's derive-mode QUERY uses it to reject — with
+// a wire ERROR naming the gap — groups whose formulas reference events
+// the session never recorded, instead of returning an empty reply the
+// client could mistake for "no data".
+func (s *Store) Events(session uint64) []string { return s.sessionEvents(session) }
+
 // sessionEvents lists the session's series names, sorted.
 func (s *Store) sessionEvents(session uint64) []string {
 	var names []string

@@ -26,6 +26,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/telemetry"
@@ -123,8 +124,9 @@ const (
 	reqFrom
 	reqTo
 	reqStep
+	reqDerive
 
-	reqKnown = reqStep<<1 - 1
+	reqKnown = reqDerive<<1 - 1
 )
 
 func appendRequest(dst []byte, r *Request) []byte {
@@ -147,6 +149,7 @@ func appendRequest(dst []byte, r *Request) []byte {
 	setIf(r.From != 0, reqFrom)
 	setIf(r.To != 0, reqTo)
 	setIf(r.Step != 0, reqStep)
+	setIf(len(r.Derive) > 0, reqDerive)
 
 	dst = binary.AppendUvarint(dst, bits)
 	if bits&reqOp != 0 {
@@ -187,6 +190,9 @@ func appendRequest(dst []byte, r *Request) []byte {
 	}
 	if bits&reqStep != 0 {
 		dst = appendZigzag(dst, r.Step)
+	}
+	if bits&reqDerive != 0 {
+		dst = appendStrs(dst, r.Derive)
 	}
 	return dst
 }
@@ -269,6 +275,11 @@ func readRequest(r *binReader, m *Request) error {
 			return err
 		}
 	}
+	if bits&reqDerive != 0 {
+		if m.Derive, err = r.strs(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -290,8 +301,12 @@ const (
 	respSeries
 	respCodec
 	respHists
+	respMetrics
+	respUnits
+	respDValues
+	respDerived
 
-	respKnown = respHists<<1 - 1
+	respKnown = respDerived<<1 - 1
 )
 
 func appendResponse(dst []byte, m *Response) []byte {
@@ -316,6 +331,10 @@ func appendResponse(dst []byte, m *Response) []byte {
 	setIf(len(m.Series) > 0, respSeries)
 	setIf(m.Codec != "", respCodec)
 	setIf(len(m.Hists) > 0, respHists)
+	setIf(len(m.Metrics) > 0, respMetrics)
+	setIf(len(m.Units) > 0, respUnits)
+	setIf(len(m.DValues) > 0, respDValues)
+	setIf(len(m.Derived) > 0, respDerived)
 
 	dst = binary.AppendUvarint(dst, bits)
 	if bits&respOp != 0 {
@@ -359,6 +378,18 @@ func appendResponse(dst []byte, m *Response) []byte {
 	}
 	if bits&respHists != 0 {
 		dst = appendHists(dst, m.Hists)
+	}
+	if bits&respMetrics != 0 {
+		dst = appendStrs(dst, m.Metrics)
+	}
+	if bits&respUnits != 0 {
+		dst = appendStrs(dst, m.Units)
+	}
+	if bits&respDValues != 0 {
+		dst = appendF64s(dst, m.DValues)
+	}
+	if bits&respDerived != 0 {
+		dst = appendDerived(dst, m.Derived)
 	}
 	return dst
 }
@@ -441,6 +472,26 @@ func readResponse(r *binReader, m *Response) error {
 	}
 	if bits&respHists != 0 {
 		if m.Hists, err = r.hists(); err != nil {
+			return err
+		}
+	}
+	if bits&respMetrics != 0 {
+		if m.Metrics, err = r.strs(); err != nil {
+			return err
+		}
+	}
+	if bits&respUnits != 0 {
+		if m.Units, err = r.strs(); err != nil {
+			return err
+		}
+	}
+	if bits&respDValues != 0 {
+		if m.DValues, err = r.f64s(); err != nil {
+			return err
+		}
+	}
+	if bits&respDerived != 0 {
+		if m.Derived, err = r.derived(); err != nil {
 			return err
 		}
 	}
@@ -527,6 +578,37 @@ func appendSeries(dst []byte, series []tsdb.Series) []byte {
 
 func appendZigzag(dst []byte, v int64) []byte {
 	return binary.AppendUvarint(dst, uint64(v<<1)^uint64(v>>63))
+}
+
+// appendF64 writes a float64 as the uvarint of its IEEE-754 bit
+// pattern. Varint offers no compression for arbitrary doubles (most
+// cost 9–10 bytes), but derived values are the only float traffic and
+// a handful per frame; reusing the varint reader keeps the decoder's
+// bounds-checking uniform.
+func appendF64(dst []byte, v float64) []byte {
+	return binary.AppendUvarint(dst, math.Float64bits(v))
+}
+
+func appendF64s(dst []byte, vs []float64) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(vs)))
+	for _, v := range vs {
+		dst = appendF64(dst, v)
+	}
+	return dst
+}
+
+func appendDerived(dst []byte, ds []DerivedSeries) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(ds)))
+	for _, sr := range ds {
+		dst = appendStr(dst, sr.Metric)
+		dst = appendStr(dst, sr.Unit)
+		dst = binary.AppendUvarint(dst, uint64(len(sr.Points)))
+		for _, p := range sr.Points {
+			dst = appendZigzag(dst, p.Start)
+			dst = appendF64(dst, p.Value)
+		}
+	}
+	return dst
 }
 
 var errTruncated = errors.New("truncated binary payload")
@@ -700,6 +782,59 @@ func (r *binReader) series() ([]tsdb.Series, error) {
 			}
 		}
 		out[i].Buckets = buckets
+	}
+	return out, nil
+}
+
+func (r *binReader) f64() (float64, error) {
+	u, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(u), nil
+}
+
+func (r *binReader) f64s() ([]float64, error) {
+	n, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, n)
+	for i := range out {
+		if out[i], err = r.f64(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (r *binReader) derived() ([]DerivedSeries, error) {
+	n, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]DerivedSeries, n)
+	for i := range out {
+		if out[i].Metric, err = r.str(); err != nil {
+			return nil, err
+		}
+		if out[i].Unit, err = r.str(); err != nil {
+			return nil, err
+		}
+		np, err := r.count()
+		if err != nil {
+			return nil, err
+		}
+		points := make([]DerivedPoint, np)
+		for j := range points {
+			if points[j].Start, err = r.zigzag(); err != nil {
+				return nil, err
+			}
+			if points[j].Value, err = r.f64(); err != nil {
+				return nil, err
+			}
+		}
+		out[i].Points = points
 	}
 	return out, nil
 }

@@ -31,6 +31,8 @@ func TestBinaryRequestRoundTrip(t *testing.T) {
 			Workload: "dot", N: 4096, Label: "run-1"},
 		{Op: OpPublish, Session: 7, Values: []int64{0, -1, 1 << 62, -(1 << 62)}},
 		{Op: OpQuery, Session: 9, From: -5, To: 1 << 40, Step: 10_000_000},
+		{Op: OpQuery, Session: 9, To: 1 << 40, Step: 10_000_000, Derive: []string{"ipc", "l2miss"}},
+		{Op: OpSubscribe, Session: 2, Derive: []string{"flops"}},
 	}
 	var stream []byte
 	for i := range reqs {
@@ -71,6 +73,14 @@ func TestBinaryResponseRoundTrip(t *testing.T) {
 			Event: "PAPI_FP_INS", Width: 10_000_000,
 			Buckets: []tsdb.Bucket{{Start: -20, Count: 3, Min: -7, Max: 1 << 61, Sum: 42, Last: 41}},
 		}}},
+		{Op: OpDerived, OK: true, Session: 5, Seq: 17,
+			Metrics: []string{"ipc", "mips"},
+			Units:   []string{"", "Minstr/s"},
+			DValues: []float64{0.5, -1.25e9}},
+		{Op: OpQuery, OK: true, Session: 5, Derived: []DerivedSeries{
+			{Metric: "ipc", Points: []DerivedPoint{{Start: 100, Value: 1.5}, {Start: 200, Value: 0}}},
+			{Metric: "mem_bw_mbs", Unit: "MB/s", Points: []DerivedPoint{{Start: -1, Value: 3.14159}}},
+		}},
 	}
 	var stream []byte
 	for i := range resps {

@@ -18,6 +18,7 @@ func FuzzDecode(f *testing.F) {
 	f.Add([]byte(`{"op":"HELLO"}` + "\n"))
 	f.Add([]byte(`{"op":"CREATE_SESSION","events":["PAPI_TOT_CYC"],"n":8}` + "\n"))
 	f.Add([]byte(`{"op":"QUERY","session":1,"from":0,"to":100,"step":10}` + "\n"))
+	f.Add([]byte(`{"op":"QUERY","session":1,"to":100,"step":10,"derive":["ipc","l2miss"]}` + "\n"))
 	f.Add([]byte(`{"op":"HELLO"`))           // truncated mid-object
 	f.Add([]byte(`{"op":1234}` + "\n"))      // wrong field type
 	f.Add([]byte("not json at all\n"))       // garbage line
@@ -120,8 +121,16 @@ func FuzzBinaryDecode(f *testing.F) {
 	good, _ := AppendFrame(nil, CodecBinary, &Request{Op: OpHello, Version: 3, Codec: CodecNameBinary})
 	snap, _ := AppendFrame(nil, CodecBinary, &Response{Op: OpSnapshot, OK: true,
 		Events: []string{"PAPI_TOT_CYC"}, Values: []int64{12345}})
+	drv, _ := AppendFrame(nil, CodecBinary, &Response{Op: OpDerived, OK: true,
+		Session: 1, Seq: 9,
+		Metrics: []string{"ipc", "mips"},
+		Units:   []string{"", "Minstr/s"},
+		DValues: []float64{1.5, 420.25},
+		Derived: []DerivedSeries{{Metric: "ipc", Points: []DerivedPoint{{Start: 1000, Value: 0.5}}}}})
 	f.Add(good)
 	f.Add(snap)
+	f.Add(drv)
+	f.Add(drv[:len(drv)-1])                                       // truncated float payload
 	f.Add(good[:len(good)-1])                                     // truncated payload
 	f.Add([]byte{0x05})                                           // prefix promising absent bytes
 	f.Add(binary.AppendUvarint(nil, MaxFrameBytes+1))             // oversized prefix

@@ -35,7 +35,8 @@ import (
 //
 // History: 1 = initial papid protocol; 2 = HELLO carries the client
 // version and QUERY serves tsdb history; 3 = HELLO may negotiate the
-// compact binary codec (see binary.go).
+// compact binary codec (see binary.go), STATS carries histogram
+// summaries, and subscribers may receive DERIVED frames.
 const ProtocolVersion = 3
 
 // MinProtocolQuery is the lowest server protocol that understands
@@ -59,6 +60,14 @@ const MinProtocolBinary = 3
 // exactly what older servers sent.
 const MinProtocolStatsHists = 3
 
+// MinProtocolDerived is the lowest client protocol that receives
+// derived-metric traffic: asynchronous OpDerived frames after a
+// SUBSCRIBE naming groups, and DerivedSeries in a derive-mode QUERY
+// reply. The server never sends either to a peer that announced an
+// older version (or never sent HELLO) — a v2 JSON client's stream
+// stays exactly what older servers sent.
+const MinProtocolDerived = 3
+
 // Request operations.
 const (
 	OpHello        = "HELLO"          // handshake; no arguments
@@ -78,6 +87,14 @@ const (
 // OpSnapshot marks asynchronous fan-out frames pushed to subscribers;
 // it never appears as a request.
 const OpSnapshot = "SNAPSHOT"
+
+// OpDerived marks asynchronous derived-metric frames pushed to v3+
+// subscribers whose session has performance groups registered: Metrics
+// names the derived values, DValues carries them (parallel slices),
+// Units their display units, and Seq echoes the source snapshot's
+// sequence number. Never appears as a request and is never sent to
+// pre-v3 peers (MinProtocolDerived).
+const OpDerived = "DERIVED"
 
 // OpError marks server-originated error frames that do not correspond
 // to a decodable request — e.g. the reply to a malformed line. The
@@ -112,6 +129,26 @@ type Request struct {
 	From int64 `json:"from,omitempty"`
 	To   int64 `json:"to,omitempty"`
 	Step int64 `json:"step,omitempty"`
+	// Derive names performance groups. In a SUBSCRIBE it registers the
+	// groups for per-tick evaluation on the session (the subscriber then
+	// receives OpDerived frames); in a QUERY it switches the reply from
+	// raw Series to Derived — the groups' formulas evaluated over the
+	// history window. Requires protocol >= MinProtocolDerived.
+	Derive []string `json:"derive,omitempty"`
+}
+
+// DerivedPoint is one evaluated derived-metric value, anchored at the
+// closing timestamp of the interval it summarizes (µs).
+type DerivedPoint struct {
+	Start int64   `json:"start"`
+	Value float64 `json:"value"`
+}
+
+// DerivedSeries is one derived metric evaluated over a QUERY window.
+type DerivedSeries struct {
+	Metric string         `json:"metric"`
+	Unit   string         `json:"unit,omitempty"`
+	Points []DerivedPoint `json:"points"`
 }
 
 // Response is one server frame: the reply to a request (Op echoes the
@@ -141,4 +178,13 @@ type Response struct {
 	// Codec, in a HELLO reply, confirms the codec the server will
 	// speak from the next frame on; empty means JSON lines.
 	Codec string `json:"codec,omitempty"`
+	// Metrics, Units and DValues are the parallel payload of an
+	// OpDerived frame: derived-metric names, display units and values
+	// for one tick. v3+ subscribers only (MinProtocolDerived).
+	Metrics []string  `json:"metrics,omitempty"`
+	Units   []string  `json:"units,omitempty"`
+	DValues []float64 `json:"dvalues,omitempty"`
+	// Derived carries a derive-mode QUERY reply: one series per metric
+	// of the requested groups, evaluated over the history window.
+	Derived []DerivedSeries `json:"derived,omitempty"`
 }

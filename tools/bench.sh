@@ -16,6 +16,12 @@ go run ./cmd/benchjson -benchmem -out BENCH_wal.json -bench 'WAL|Replay' ./inter
 # snapshot fan-out, so short windows are noisy at 64 subscribers; 3s
 # per benchmark keeps the committed numbers representative.
 go run ./cmd/benchjson -benchmem -benchtime 3s -out BENCH_server.json -bench 'Server' ./internal/server .
+# Derived-metric engine costs: compiled-formula evaluation (the
+# per-metric per-tick unit), the full engine tick, and the server's
+# derived fan-out (evaluate + encode-once DERIVED frame across v3
+# subscriber queues) — the numbers behind the "sub-microsecond per
+# group, allocation-bounded" claim in DESIGN.md S29.
+go run ./cmd/benchjson -benchmem -out BENCH_derive.json -bench 'DeriveEval|EngineTick|DerivedFanout' ./internal/derive ./internal/server
 # Telemetry instrument costs: counter increment and histogram Observe
 # (the per-request overhead added to every wire op), summary
 # extraction, and a full Prometheus scrape.

@@ -1,0 +1,108 @@
+package perfometer
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"repro/internal/wire"
+)
+
+// Derived-metric rendering: papid's QUERY derive mode and the live
+// DERIVED stream answer in finished metrics (IPC, MB/s, miss ratios)
+// rather than raw counter totals, so unlike ConsumeHistory there is no
+// counter-to-rate folding here — the values themselves are the trace.
+
+// SparklineValues renders values as a max-scaled unicode sparkline of
+// at most width glyphs, downsampling by averaging fixed-size windows
+// exactly like Frontend.Sparkline does for rates.
+func SparklineValues(vals []float64, width int) string {
+	if len(vals) == 0 || width <= 0 {
+		return ""
+	}
+	if len(vals) > width {
+		out := make([]float64, width)
+		for i := 0; i < width; i++ {
+			lo, hi := i*len(vals)/width, (i+1)*len(vals)/width
+			if hi == lo {
+				hi = lo + 1
+			}
+			var sum float64
+			for _, v := range vals[lo:hi] {
+				sum += v
+			}
+			out[i] = sum / float64(hi-lo)
+		}
+		vals = out
+	}
+	max := 0.0
+	for _, v := range vals {
+		if v > max {
+			max = v
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	var b strings.Builder
+	for _, v := range vals {
+		lvl := int(math.Round(v / max * float64(len(sparkLevels)-1)))
+		if lvl < 0 {
+			lvl = 0
+		}
+		if lvl >= len(sparkLevels) {
+			lvl = len(sparkLevels) - 1
+		}
+		b.WriteRune(sparkLevels[lvl])
+	}
+	return b.String()
+}
+
+// RenderDerived writes the derived-history report: per metric a
+// sparkline plus min/mean/max/last in the metric's own unit — the
+// answer-in-IPC view of the same range RenderHistory shows in raw
+// counter buckets.
+func RenderDerived(w io.Writer, series []wire.DerivedSeries, width int) {
+	for _, sr := range series {
+		vals := make([]float64, len(sr.Points))
+		min, max, sum := math.Inf(1), math.Inf(-1), 0.0
+		for i, p := range sr.Points {
+			vals[i] = p.Value
+			sum += p.Value
+			min = math.Min(min, p.Value)
+			max = math.Max(max, p.Value)
+		}
+		fmt.Fprintf(w, "%s [%s]: %d points\n", sr.Metric, sr.Unit, len(sr.Points))
+		if len(sr.Points) == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "  %s\n", SparklineValues(vals, width))
+		fmt.Fprintf(w, "  min %.4g, mean %.4g, max %.4g, last %.4g %s\n",
+			min, sum/float64(len(vals)), max, vals[len(vals)-1], sr.Unit)
+	}
+}
+
+// FormatDerivedFrame renders one live DERIVED frame as a single line
+// for the watch mode: "seq 17: ipc 0.5 instr/cycle | mips 5.43 Minstr/s".
+// The frame's parallel Metrics/Units/DValues arrays come straight off
+// the wire; a length mismatch (a hostile or buggy server) degrades to
+// printing what is there rather than panicking.
+func FormatDerivedFrame(resp wire.Response) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "seq %d:", resp.Seq)
+	for i, v := range resp.DValues {
+		name, unit := "?", ""
+		if i < len(resp.Metrics) {
+			name = resp.Metrics[i]
+		}
+		if i < len(resp.Units) {
+			unit = " " + resp.Units[i]
+		}
+		if i > 0 {
+			b.WriteString(" |")
+		}
+		fmt.Fprintf(&b, " %s %.4g%s", name, v, unit)
+	}
+	return b.String()
+}

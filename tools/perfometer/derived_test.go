@@ -1,0 +1,78 @@
+package perfometer
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+
+	"repro/internal/wire"
+)
+
+func TestSparklineValues(t *testing.T) {
+	if s := SparklineValues(nil, 10); s != "" {
+		t.Errorf("empty input rendered %q", s)
+	}
+	if s := SparklineValues([]float64{1, 2}, 0); s != "" {
+		t.Errorf("zero width rendered %q", s)
+	}
+	// A ramp fills the glyph range: blank-ish at the left, full block
+	// at the right.
+	ramp := make([]float64, 100)
+	for i := range ramp {
+		ramp[i] = float64(i)
+	}
+	s := SparklineValues(ramp, 20)
+	if utf8.RuneCountInString(s) != 20 {
+		t.Errorf("width 20 rendered %d runes: %q", utf8.RuneCountInString(s), s)
+	}
+	if !strings.HasSuffix(s, "█") {
+		t.Errorf("ramp does not peak at full block: %q", s)
+	}
+	// All-zero values must not divide by zero.
+	if s := SparklineValues([]float64{0, 0, 0}, 10); utf8.RuneCountInString(s) != 3 {
+		t.Errorf("flat-zero sparkline: %q", s)
+	}
+	// Fewer values than width: one glyph per value, no padding.
+	if s := SparklineValues([]float64{1, 2, 3}, 72); utf8.RuneCountInString(s) != 3 {
+		t.Errorf("short series sparkline: %q", s)
+	}
+}
+
+func TestRenderDerived(t *testing.T) {
+	series := []wire.DerivedSeries{
+		{Metric: "ipc", Unit: "instr/cycle", Points: []wire.DerivedPoint{
+			{Start: 1_000_000, Value: 0.5},
+			{Start: 2_000_000, Value: 0.75},
+			{Start: 3_000_000, Value: 0.25},
+		}},
+		{Metric: "mips", Unit: "Minstr/s"}, // no points: header only
+	}
+	var b strings.Builder
+	RenderDerived(&b, series, 40)
+	out := b.String()
+	for _, want := range []string{
+		"ipc [instr/cycle]: 3 points",
+		"min 0.25", "mean 0.5", "max 0.75", "last 0.25 instr/cycle",
+		"mips [Minstr/s]: 0 points",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("RenderDerived output lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatDerivedFrame(t *testing.T) {
+	line := FormatDerivedFrame(wire.Response{Op: wire.OpDerived, Seq: 17,
+		Metrics: []string{"ipc", "mips"}, Units: []string{"instr/cycle", "Minstr/s"},
+		DValues: []float64{0.5, 5.43}})
+	want := "seq 17: ipc 0.5 instr/cycle | mips 5.43 Minstr/s"
+	if line != want {
+		t.Errorf("FormatDerivedFrame = %q, want %q", line, want)
+	}
+	// A hostile frame with more values than names degrades, not panics.
+	line = FormatDerivedFrame(wire.Response{Seq: 1,
+		Metrics: []string{"ipc"}, DValues: []float64{1, 2}})
+	if !strings.Contains(line, "?") {
+		t.Errorf("mismatched frame line %q does not mark the unnamed value", line)
+	}
+}
