@@ -58,6 +58,7 @@ func main() {
 	cacheSize := flag.Int("cache", 256, "allocation-cache entries")
 	tick := flag.Duration("tick", 50*time.Millisecond, "snapshot fan-out interval")
 	queue := flag.Int("queue", 32, "per-subscriber queue depth (oldest snapshot dropped when full)")
+	keyframeEvery := flag.Int("keyframe-every", 10, "full keyframe cadence for delta-mode subscribers, in fan-outs per view")
 	readIdle := flag.Duration("read-idle", 2*time.Minute, "evict a connection idle this long with no subscription (0 disables)")
 	writeTimeout := flag.Duration("write-timeout", 10*time.Second, "per-frame write deadline; a trip evicts the connection (0 disables)")
 	writeQueue := flag.Int("write-queue", 64, "per-connection outbound frame queue depth (snapshots dropped oldest-first when full)")
@@ -125,6 +126,7 @@ func main() {
 		CacheSize:       *cacheSize,
 		TickInterval:    *tick,
 		QueueDepth:      *queue,
+		KeyframeEvery:   *keyframeEvery,
 		ReadIdleTimeout: idle,
 		WriteTimeout:    wt,
 		WriteQueueDepth: *writeQueue,
@@ -169,6 +171,8 @@ func main() {
 		st.Ticks, st.SnapshotsSent, st.SnapshotsDropped, 100*st.CacheHitRate())
 	log.Printf("papid: %d evictions (%d deadline trips), %d resyncs, %d write drops",
 		st.Evictions, st.DeadlineTrips, st.Resyncs, st.WriteDrops)
+	log.Printf("papid: %d keyframes, %d deltas sent (%d dropped), %d derived sent (%d dropped), %d encode failures",
+		st.Keyframes, st.DeltasSent, st.DeltasDropped, st.DerivedSent, st.DerivedDropped, st.EncodeFailures)
 	log.Printf("papid: wire json %d frames / %d bytes, binary %d frames / %d bytes",
 		st.FramesSentJSON, st.BytesSentJSON, st.FramesSentBinary, st.BytesSentBinary)
 	log.Printf("papid: tsdb %d bytes across %d series, %d samples, %d evictions",

@@ -30,6 +30,7 @@ func main() {
 	serveTimeout := flag.Duration("serve-timeout", 5*time.Second, "per-request deadline when publishing to papid")
 	serveBinary := flag.Bool("serve-binary", false, "negotiate the compact binary wire codec when publishing (falls back to JSON against older papid)")
 	serveStats := flag.Bool("serve-stats", false, "after publishing, print papid's per-op latency quantiles (needs a protocol 3 server)")
+	serveLabel := flag.String("serve-label", "papirun", "session label when publishing; label globs in wildcard SUBSCRIBE requests match it")
 	flag.Parse()
 
 	if *serveStats && *serve == "" {
@@ -40,13 +41,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "papirun: -reps must be >= 1")
 		os.Exit(2)
 	}
-	if err := run(*platform, *events, *prog, *n, *reps, *multiplex, *serve, *serveTimeout, *serveBinary, *serveStats); err != nil {
+	if err := run(*platform, *events, *prog, *n, *reps, *multiplex, *serve, *serveLabel, *serveTimeout, *serveBinary, *serveStats); err != nil {
 		fmt.Fprintln(os.Stderr, "papirun:", err)
 		os.Exit(1)
 	}
 }
 
-func run(platform, events, progName string, n, reps int, multiplex bool, serve string, serveTimeout time.Duration, serveBinary, serveStats bool) error {
+func run(platform, events, progName string, n, reps int, multiplex bool, serve, serveLabel string, serveTimeout time.Duration, serveBinary, serveStats bool) error {
 	sys, err := papi.Init(papi.Options{Platform: platform})
 	if err != nil {
 		return err
@@ -88,7 +89,7 @@ func run(platform, events, progName string, n, reps int, multiplex bool, serve s
 	var pub *publisher
 	if serve != "" {
 		var err error
-		if pub, err = dialPublisher(serve, platform, serveTimeout, serveBinary); err != nil {
+		if pub, err = dialPublisher(serve, platform, serveLabel, serveTimeout, serveBinary); err != nil {
 			return fmt.Errorf("publishing to papid at %s: %w", serve, err)
 		}
 		defer pub.close()
@@ -161,7 +162,7 @@ type publisher struct {
 	session uint64
 }
 
-func dialPublisher(addr, platform string, timeout time.Duration, binary bool) (*publisher, error) {
+func dialPublisher(addr, platform, label string, timeout time.Duration, binary bool) (*publisher, error) {
 	cl, err := server.DialReconn(addr, server.RetryConfig{
 		Attempts: 3, Timeout: timeout, PreferBinary: binary,
 	})
@@ -169,7 +170,7 @@ func dialPublisher(addr, platform string, timeout time.Duration, binary bool) (*
 		return nil, err
 	}
 	created, err := cl.Do(wire.Request{Op: wire.OpCreate, Platform: platform,
-		Workload: "none", Label: "papirun"})
+		Workload: "none", Label: label})
 	if err != nil {
 		cl.Close()
 		return nil, err

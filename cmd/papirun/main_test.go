@@ -22,7 +22,7 @@ func TestServeUnreachable(t *testing.T) {
 	addr := ln.Addr().String()
 	ln.Close()
 
-	err = run("linux-x86", "PAPI_TOT_CYC", "dot", 8, 1, false, addr, time.Second, false, false)
+	err = run("linux-x86", "PAPI_TOT_CYC", "dot", 8, 1, false, addr, "papirun", time.Second, false, false)
 	if err == nil {
 		t.Fatal("-serve against a dead papid succeeded")
 	}
@@ -57,7 +57,7 @@ func TestServeSilentServer(t *testing.T) {
 
 	start := time.Now()
 	err = run("linux-x86", "PAPI_TOT_CYC", "dot", 8, 1, false,
-		ln.Addr().String(), 100*time.Millisecond, false, false)
+		ln.Addr().String(), "papirun", 100*time.Millisecond, false, false)
 	if err == nil {
 		t.Fatal("-serve against a silent papid succeeded")
 	}
@@ -118,7 +118,7 @@ func rejectingServer(t *testing.T) string {
 // surface the server's reason in a one-line error.
 func TestServeRejectedPublish(t *testing.T) {
 	addr := rejectingServer(t)
-	err := run("linux-x86", "PAPI_TOT_CYC", "dot", 8, 1, false, addr, time.Second, false, false)
+	err := run("linux-x86", "PAPI_TOT_CYC", "dot", 8, 1, false, addr, "papirun", time.Second, false, false)
 	if err == nil {
 		t.Fatal("rejected PUBLISH reported success")
 	}
@@ -145,7 +145,7 @@ func TestServePublishes(t *testing.T) {
 		srv.Shutdown(ctx)
 	})
 
-	if err := run("aix-power3", "PAPI_FP_OPS,PAPI_TOT_CYC", "dot", 8, 1, false, addr.String(), 10*time.Second, true, true); err != nil {
+	if err := run("aix-power3", "PAPI_FP_OPS,PAPI_TOT_CYC", "dot", 8, 1, false, addr.String(), "papirun", 10*time.Second, true, true); err != nil {
 		t.Fatal(err)
 	}
 	st := srv.Stats()
@@ -187,7 +187,7 @@ func TestServeTrajectoryDerives(t *testing.T) {
 
 	const reps = 5
 	if err := run("aix-power3", "PAPI_TOT_INS,PAPI_TOT_CYC", "dot", 8, reps, false,
-		addr.String(), 10*time.Second, false, false); err != nil {
+		addr.String(), "papirun", 10*time.Second, false, false); err != nil {
 		t.Fatal(err)
 	}
 	st := srv.Stats()

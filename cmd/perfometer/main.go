@@ -29,6 +29,8 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"slices"
+	"strconv"
 	"strings"
 	"time"
 
@@ -55,6 +57,11 @@ func main() {
 	stats := flag.Bool("stats", false, "with -papid: print the server's counters and per-op latency quantiles instead of querying history")
 	derive := flag.String("derive", "", "with -papid: comma-separated derived-metric groups — query history in finished metrics, or stream them live with -watch")
 	watch := flag.Duration("watch", 0, "with -papid -derive: subscribe and stream live DERIVED frames for this long instead of querying history")
+	follow := flag.Duration("follow", 0, "with -papid: subscribe and stream live snapshot frames for this long (v4 server)")
+	sessions := flag.String("sessions", "", "follow mode: comma-separated session IDs for a wildcard SUBSCRIBE (default: the one -session)")
+	labels := flag.String("labels", "", "follow mode: comma-separated session-label globs for a wildcard SUBSCRIBE")
+	filterEvents := flag.String("filter-events", "", "follow mode: comma-separated event names to limit frames to")
+	delta := flag.Bool("delta", false, "follow mode: delta subscription — keyframes plus changed-counter DELTA frames, reassembled locally")
 	flag.Parse()
 
 	groups := splitList(*derive)
@@ -62,6 +69,12 @@ func main() {
 	switch {
 	case *papid != "" && *stats:
 		err = runStats(*papid, *timeout, *binary)
+	case *papid != "" && *follow > 0:
+		err = runFollow(*papid, followOpts{
+			session: *session, sessions: *sessions, labels: splitList(*labels),
+			events: splitList(*filterEvents), delta: *delta,
+			dur: *follow, timeout: *timeout, binary: *binary,
+		})
 	case *papid != "" && *watch > 0:
 		if len(groups) == 0 {
 			err = fmt.Errorf("-watch needs -derive to name the groups to stream")
@@ -70,8 +83,8 @@ func main() {
 		}
 	case *papid != "":
 		err = runHistory(*papid, *session, *event, groups, *last, *step, *width, *timeout, *binary)
-	case len(groups) > 0 || *watch > 0:
-		err = fmt.Errorf("-derive and -watch need -papid to name the server")
+	case len(groups) > 0 || *watch > 0 || *follow > 0:
+		err = fmt.Errorf("-derive, -watch and -follow need -papid to name the server")
 	default:
 		err = run(*platform, *metric, *traceFile, *width)
 	}
@@ -218,6 +231,125 @@ func runWatch(addr string, session uint64, groups []string, watch time.Duration,
 		fmt.Printf("  %-20s [%s] %s\n", m, units[m], perfometer.SparklineValues(history[m], width))
 	}
 	return nil
+}
+
+// followOpts carries the -follow mode's flag values.
+type followOpts struct {
+	session  uint64
+	sessions string // raw -sessions value; parsed into IDs
+	labels   []string
+	events   []string
+	delta    bool
+	dur      time.Duration
+	timeout  time.Duration
+	binary   bool
+}
+
+// runFollow is -papid -follow: subscribe live — optionally to several
+// sessions by ID or label glob, narrowed to chosen events, in delta
+// mode — and stream the snapshot frames for the given duration. DELTA
+// frames are reassembled into full snapshots locally; a frame for a
+// session outside the subscribed set is a server bug and fails loudly.
+func runFollow(addr string, o followOpts) error {
+	ids, err := parseIDs(o.sessions)
+	if err != nil {
+		return err
+	}
+	wildcard := len(ids) > 0 || len(o.labels) > 0
+	if !wildcard && o.session == 0 {
+		return fmt.Errorf("-follow needs -session, -sessions or -labels to pick what to stream")
+	}
+	cl, err := server.DialRetry(addr, server.RetryConfig{Timeout: o.timeout, PreferBinary: o.binary})
+	if err != nil {
+		return fmt.Errorf("dialing papid at %s: %w", addr, err)
+	}
+	defer cl.Close()
+	hello, err := cl.Hello()
+	if err != nil {
+		return err
+	}
+	if filtered := wildcard || len(o.events) > 0 || o.delta; filtered && hello.Protocol < wire.MinProtocolFilter {
+		return fmt.Errorf("papid at %s speaks protocol %d; filtered/delta subscriptions need >= %d (upgrade the server)",
+			addr, hello.Protocol, wire.MinProtocolFilter)
+	}
+	req := wire.Request{Op: wire.OpSubscribe, Events: o.events, Delta: o.delta}
+	if wildcard {
+		req.Sessions, req.Labels = ids, o.labels
+	} else {
+		req.Session = o.session
+	}
+	sub, err := cl.Do(req)
+	if err != nil {
+		return err
+	}
+	subscribed := sub.Sessions
+	if !wildcard {
+		subscribed = []uint64{o.session}
+	}
+	fmt.Printf("perfometer follow: sessions %v for %s (papid %s, delta=%v)\n",
+		subscribed, o.dur, addr, o.delta)
+
+	// Like runWatch: the timer ends the stream by closing the
+	// connection, and `done` distinguishes that from a real failure.
+	done := make(chan struct{})
+	timer := time.AfterFunc(o.dur, func() { close(done); cl.Close() })
+	defer timer.Stop()
+	var tracker wire.DeltaTracker
+	var keyframes, deltas, skipped int
+	for {
+		resp, err := cl.Next()
+		if err != nil {
+			select {
+			case <-done:
+			default:
+				return err
+			}
+			break
+		}
+		if resp.Op != wire.OpSnapshot && resp.Op != wire.OpDelta {
+			continue
+		}
+		if !slices.Contains(subscribed, resp.Session) {
+			return fmt.Errorf("papid sent a frame for session %d, outside the subscribed set %v",
+				resp.Session, subscribed)
+		}
+		if resp.Op == wire.OpDelta {
+			deltas++
+		} else {
+			keyframes++
+		}
+		snap, err := tracker.Apply(resp)
+		if err != nil {
+			// A missed keyframe (e.g. frames raced the subscribe reply)
+			// self-heals at the next keyframe; count it and keep reading.
+			skipped++
+			continue
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "s%d seq=%d", snap.Session, snap.Seq)
+		for i, ev := range snap.Events {
+			if i < len(snap.Values) {
+				fmt.Fprintf(&b, " %s=%d", ev, snap.Values[i])
+			}
+		}
+		fmt.Println(b.String())
+	}
+	fmt.Printf("follow summary: %d frames (keyframes=%d deltas=%d skipped=%d) in %s\n",
+		keyframes+deltas, keyframes, deltas, skipped, o.dur)
+	return nil
+}
+
+// parseIDs parses a comma-separated list of session IDs.
+func parseIDs(s string) ([]uint64, error) {
+	var ids []uint64
+	for _, f := range splitList(s) {
+		id, err := strconv.ParseUint(f, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -sessions entry %q: %v", f, err)
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
 }
 
 // runStats is -papid -stats: one STATS round-trip, rendered. A v3

@@ -65,6 +65,117 @@ func BenchmarkDerivedFanout(b *testing.B) {
 	}
 }
 
+// BenchmarkServerFanoutInterest measures what one fan-out tick costs —
+// and ships — per subscriber under the v4 subscription shapes, for 32
+// publish sessions with 32 counters each and 64 subscribers:
+//
+//   - broadcast: every subscriber follows every session unfiltered,
+//     the pre-v4 dashboard shape — 32 full frames per subscriber per
+//     tick;
+//   - interest: each subscriber follows exactly one session — the
+//     filtered fan-out's headline win, ~32x fewer bytes/sub-tick;
+//   - events: every session followed, projected to 4 of 32 counters;
+//   - delta: one session each in delta mode with 6 of 32 counters
+//     changing per tick — delta frames ship only the changed subset
+//     between keyframes.
+//
+// bytes/sub-tick is the custom metric the BENCH_server.json baseline
+// tracks; frames are drained synchronously each iteration so nothing
+// drops and the byte count is exact.
+func BenchmarkServerFanoutInterest(b *testing.B) {
+	const nSessions, nSubs, nEvents, nChanged = 32, 64, 32, 6
+	events := make([]string, nEvents)
+	for i := range events {
+		events[i] = fmt.Sprintf("EV_%02d", i)
+	}
+	modes := []struct {
+		name       string
+		perSession bool     // subscriber follows one session, not all
+		filter     []string // event filter
+		delta      bool
+	}{
+		{name: "broadcast"},
+		{name: "interest", perSession: true},
+		{name: "events", filter: events[:4]},
+		{name: "delta", perSession: true, delta: true},
+	}
+	for _, mode := range modes {
+		b.Run(mode.name, func(b *testing.B) {
+			srv := New(Config{TickInterval: time.Hour, TSDBMaxBytes: -1, KeyframeEvery: 10})
+			sessions := make([]*session, nSessions)
+			ids := make([]uint64, nSessions)
+			for i := range sessions {
+				created := srv.dispatch(nil, &wire.Request{Op: wire.OpCreate, Workload: "none"})
+				if !created.OK {
+					b.Fatal(created.Error)
+				}
+				ids[i] = created.Session
+				sess, ok := srv.reg.get(created.Session)
+				if !ok {
+					b.Fatal("session vanished")
+				}
+				sessions[i] = sess
+			}
+			c := &conn{srv: srv, q: newWriteQueue(4)}
+			c.version.Store(wire.MinProtocolFilter)
+			sig, canon := filterSig(mode.filter, mode.delta)
+			subs := make([]*subscriber, nSubs)
+			for i := range subs {
+				sub := &subscriber{c: c, ch: make(chan frame, 2*nSessions),
+					done: make(chan struct{}), events: canon, delta: mode.delta, sig: sig}
+				if mode.delta {
+					sub.needKey.Store(true)
+				}
+				subs[i] = sub
+				if mode.perSession {
+					if _, err := sessions[i%nSessions].addSubscriber(sub); err != nil {
+						b.Fatal(err)
+					}
+					continue
+				}
+				for _, sess := range sessions {
+					if _, err := sess.addSubscriber(sub); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			vals := make([]int64, nEvents)
+			var bytes int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				for i := 0; i < nChanged; i++ {
+					vals[(n+i*5)%nEvents] += int64(n + 1)
+				}
+				for i := range sessions {
+					if resp := srv.dispatch(nil, &wire.Request{Op: wire.OpPublish,
+						Session: ids[i], Events: events, Values: vals}); !resp.OK {
+						b.Fatal(resp.Error)
+					}
+				}
+				for _, sub := range subs {
+				drain:
+					for {
+						select {
+						case f := <-sub.ch:
+							bytes += int64(len(f.payload))
+						default:
+							break drain
+						}
+					}
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(bytes)/float64(nSubs)/float64(b.N), "bytes/sub-tick")
+			st := srv.Stats()
+			if st.SnapshotsDropped+st.DeltasDropped > 0 {
+				b.Fatalf("%d frames dropped; bytes/sub-tick would undercount",
+					st.SnapshotsDropped+st.DeltasDropped)
+			}
+		})
+	}
+}
+
 // BenchmarkServerQuery measures QUERY round-trip latency through the
 // full TCP + JSON path at 1, 8 and 64 concurrent queriers against a
 // store preloaded with 50k ticks of two-event history.

@@ -43,6 +43,10 @@ type Client struct {
 	// pushed to v3+ subscribers whose session evaluates performance
 	// groups. Unset, such frames are silently skipped by Do.
 	OnDerived func(wire.Response)
+	// OnDelta receives asynchronous DELTA frames (v4 delta-mode
+	// subscriptions). Unset, such frames are silently skipped by Do —
+	// they must never be mistaken for a request's reply.
+	OnDelta func(wire.Response)
 
 	mu       sync.Mutex
 	closed   bool
@@ -107,6 +111,12 @@ func (c *Client) Do(req wire.Request) (wire.Response, error) {
 		if resp.Op == wire.OpDerived {
 			if c.OnDerived != nil {
 				c.OnDerived(resp)
+			}
+			continue
+		}
+		if resp.Op == wire.OpDelta {
+			if c.OnDelta != nil {
+				c.OnDelta(resp)
 			}
 			continue
 		}
@@ -285,9 +295,10 @@ type ReconnClient struct {
 	cl    *Client
 	hello wire.Response
 
-	// subs are the subscriptions Subscribe recorded, replayed verbatim
-	// (including derive groups) on every reconnect.
-	subs []subscription
+	// subs are the subscriptions Subscribe/SubscribeWith recorded,
+	// replayed verbatim (filters, delta mode and derive groups included)
+	// on every reconnect.
+	subs []SubOptions
 
 	// Reconnects counts successful redials.
 	Reconnects int
@@ -297,16 +308,30 @@ type ReconnClient struct {
 	// OnDerived receives interleaved DERIVED frames; like OnSnapshot it
 	// survives reconnects.
 	OnDerived func(wire.Response)
+	// OnDelta receives interleaved DELTA frames; like OnSnapshot it
+	// survives reconnects.
+	OnDelta func(wire.Response)
 }
 
-// subscription is one SUBSCRIBE the reconnecting client replays after
-// a redial: the raw op is not idempotent-safe to retry blindly, but a
-// deliberately recorded subscription is — re-subscribing an already
-// subscribed session just adds a fresh subscriber on the new
-// connection, and the derive groups re-register idempotently.
-type subscription struct {
-	session uint64
-	derive  []string
+// SubOptions parameterizes a SUBSCRIBE: the classic single-session
+// form (Session, optionally with Derive groups) or the v4 wildcard
+// form (Sessions and/or Labels with Session left 0), either one
+// optionally narrowed to Events and switched to Delta mode. The v4
+// fields need a v4 server — compare Hello().Protocol against
+// wire.MinProtocolFilter before using them.
+type SubOptions struct {
+	Session  uint64   // single-session form: the session to follow
+	Sessions []uint64 // wildcard form: explicit session IDs
+	Labels   []string // wildcard form: label globs (path.Match syntax)
+	Events   []string // limit frames to these event names (nil = all)
+	Delta    bool     // delta mode: keyframes + changed-counter frames
+	Derive   []string // performance groups (single-session form only)
+}
+
+func (o SubOptions) req() wire.Request {
+	return wire.Request{Op: wire.OpSubscribe, Session: o.Session,
+		Sessions: o.Sessions, Labels: o.Labels, Events: o.Events,
+		Delta: o.Delta, Derive: o.Derive}
 }
 
 // DialReconn dials addr (with retry) and performs the HELLO
@@ -336,16 +361,23 @@ func (r *ReconnClient) connect() error {
 			r.OnDerived(resp)
 		}
 	}
+	cl.OnDelta = func(resp wire.Response) {
+		if r.OnDelta != nil {
+			r.OnDelta(resp)
+		}
+	}
 	hello, err := cl.Hello()
 	if err != nil {
 		cl.Close()
 		return err
 	}
 	// Replay recorded subscriptions so the snapshot (and DERIVED)
-	// stream resumes on the fresh connection without caller help.
-	for _, sub := range r.subs {
-		if _, err := cl.Do(wire.Request{Op: wire.OpSubscribe,
-			Session: sub.session, Derive: sub.derive}); err != nil {
+	// stream resumes on the fresh connection without caller help. A
+	// replayed delta subscription registers a fresh server-side
+	// subscriber, whose first frame is always a keyframe — the redial
+	// re-anchors the delta stream by construction.
+	for _, o := range r.subs {
+		if _, err := cl.Do(o.req()); err != nil {
 			cl.Close()
 			return err
 		}
@@ -354,14 +386,26 @@ func (r *ReconnClient) connect() error {
 	return nil
 }
 
-// Subscribe issues SUBSCRIBE (with optional derive groups) and records
-// it on success: every later reconnect replays the subscription, so a
-// stream consumer keeps receiving frames across connection loss.
+// Subscribe issues a single-session SUBSCRIBE (with optional derive
+// groups) and records it on success: every later reconnect replays the
+// subscription, so a stream consumer keeps receiving frames across
+// connection loss.
 func (r *ReconnClient) Subscribe(session uint64, groups ...string) (wire.Response, error) {
-	resp, err := r.Do(wire.Request{Op: wire.OpSubscribe, Session: session, Derive: groups})
+	return r.SubscribeWith(SubOptions{Session: session,
+		Derive: append([]string(nil), groups...)})
+}
+
+// SubscribeWith issues a SUBSCRIBE in any form SubOptions can express
+// — wildcard, event-filtered, delta — and records it on success for
+// replay across reconnects. The raw SUBSCRIBE op is not blindly
+// replayable (see replayableOps); a deliberately recorded subscription
+// is: re-subscribing just adds a fresh subscriber on the new
+// connection, and a fresh delta subscriber's first frame is a
+// keyframe, re-anchoring the stream.
+func (r *ReconnClient) SubscribeWith(o SubOptions) (wire.Response, error) {
+	resp, err := r.Do(o.req())
 	if err == nil {
-		r.subs = append(r.subs, subscription{session: session,
-			derive: append([]string(nil), groups...)})
+		r.subs = append(r.subs, o)
 	}
 	return resp, err
 }

@@ -1,0 +1,714 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"slices"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faultnet"
+	"repro/internal/wire"
+)
+
+// pubSession creates a publish-only session with the given label and
+// returns its ID.
+func pubSession(t *testing.T, cl *Client, label string) uint64 {
+	t.Helper()
+	created, err := cl.Do(wire.Request{Op: wire.OpCreate, Workload: "none", Label: label})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return created.Session
+}
+
+// helloT performs the v4 handshake on a test client.
+func helloT(t *testing.T, cl *Client) wire.Response {
+	t.Helper()
+	hello, err := cl.Hello()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hello
+}
+
+// TestSubscribeEventFilter: a subscriber that names events receives
+// frames projected to just those events, while an unfiltered peer of
+// the same session keeps the full stream.
+func TestSubscribeEventFilter(t *testing.T) {
+	_, addr := startServer(t, Config{TickInterval: time.Hour})
+	pub := dialT(t, addr)
+	id := pubSession(t, pub, "filter-test")
+
+	full := dialT(t, addr)
+	helloT(t, full)
+	if _, err := full.Do(wire.Request{Op: wire.OpSubscribe, Session: id}); err != nil {
+		t.Fatal(err)
+	}
+	filtered := dialT(t, addr)
+	helloT(t, filtered)
+	if _, err := filtered.Do(wire.Request{Op: wire.OpSubscribe, Session: id,
+		Events: []string{"c", "a"}}); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := pub.Do(wire.Request{Op: wire.OpPublish, Session: id,
+		Events: []string{"a", "b", "c"}, Values: []int64{1, 2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := full.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(got.Events, []string{"a", "b", "c"}) || !slices.Equal(got.Values, []int64{1, 2, 3}) {
+		t.Errorf("unfiltered frame %v=%v, want full [a b c]=[1 2 3]", got.Events, got.Values)
+	}
+	got, err = filtered.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Projection keeps session order, not filter order.
+	if !slices.Equal(got.Events, []string{"a", "c"}) || !slices.Equal(got.Values, []int64{1, 3}) {
+		t.Errorf("filtered frame %v=%v, want [a c]=[1 3]", got.Events, got.Values)
+	}
+}
+
+// TestSubscribeWildcard: label globs and explicit ID lists select the
+// matching sessions, the reply names them, and frames arrive only for
+// the subscribed set.
+func TestSubscribeWildcard(t *testing.T) {
+	_, addr := startServer(t, Config{TickInterval: time.Hour})
+	pub := dialT(t, addr)
+	app1 := pubSession(t, pub, "app-1")
+	app2 := pubSession(t, pub, "app-2")
+	other := pubSession(t, pub, "other")
+
+	sub := dialT(t, addr)
+	helloT(t, sub)
+	resp, err := sub.Do(wire.Request{Op: wire.OpSubscribe, Labels: []string{"app-*"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(resp.Sessions, []uint64{app1, app2}) {
+		t.Fatalf("wildcard matched %v, want [%d %d]", resp.Sessions, app1, app2)
+	}
+
+	for i, id := range []uint64{app1, other, app2} {
+		if _, err := pub.Do(wire.Request{Op: wire.OpPublish, Session: id,
+			Events: []string{"x"}, Values: []int64{int64(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen := map[uint64]int64{}
+	for i := 0; i < 2; i++ {
+		got, err := sub.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Session == other {
+			t.Fatalf("frame for unmatched session %d leaked through the wildcard", other)
+		}
+		seen[got.Session] = got.Values[0]
+	}
+	if seen[app1] != 0 || seen[app2] != 2 {
+		t.Errorf("wildcard frames %v, want app1=0 app2=2", seen)
+	}
+
+	// Explicit ID list works the same way.
+	byID := dialT(t, addr)
+	helloT(t, byID)
+	resp, err = byID.Do(wire.Request{Op: wire.OpSubscribe, Sessions: []uint64{app2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(resp.Sessions, []uint64{app2}) {
+		t.Fatalf("ID-list subscribe matched %v, want [%d]", resp.Sessions, app2)
+	}
+}
+
+// TestSubscribeValidation: every malformed or under-versioned
+// SUBSCRIBE earns a loud ERROR and registers nothing.
+func TestSubscribeValidation(t *testing.T) {
+	_, addr := startServer(t, Config{TickInterval: time.Hour})
+	pub := dialT(t, addr)
+	id := pubSession(t, pub, "val")
+
+	cl := dialT(t, addr)
+	helloT(t, cl)
+	cases := []struct {
+		name string
+		req  wire.Request
+		want string
+	}{
+		{"session plus list", wire.Request{Op: wire.OpSubscribe, Session: id,
+			Sessions: []uint64{id}}, "leave session 0"},
+		{"wildcard derive", wire.Request{Op: wire.OpSubscribe, Labels: []string{"val"},
+			Derive: []string{"ipc"}}, "single-session"},
+		{"bad glob", wire.Request{Op: wire.OpSubscribe, Labels: []string{"[x"}}, "glob"},
+		{"no match", wire.Request{Op: wire.OpSubscribe, Labels: []string{"nothing-*"}}, "no live session"},
+	}
+	for _, tc := range cases {
+		_, err := cl.Do(tc.req)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+
+	// A v3 peer asking for any v4 feature is refused before anything
+	// registers.
+	v3 := dialT(t, addr)
+	if _, err := v3.Do(wire.Request{Op: wire.OpHello, Version: 3}); err != nil {
+		t.Fatal(err)
+	}
+	for _, req := range []wire.Request{
+		{Op: wire.OpSubscribe, Session: id, Delta: true},
+		{Op: wire.OpSubscribe, Session: id, Events: []string{"x"}},
+		{Op: wire.OpSubscribe, Labels: []string{"val"}},
+	} {
+		_, err := v3.Do(req)
+		if err == nil || !strings.Contains(err.Error(), "protocol") {
+			t.Errorf("v3 filtered subscribe: err %v, want protocol gate", err)
+		}
+	}
+}
+
+// TestDeltaKeyframeCadence runs a delta subscriber and an unfiltered
+// subscriber side by side: keyframes appear on the configured cadence,
+// deltas carry only changed counters, and the materialized delta
+// stream is value-identical to the unfiltered stream at every seq.
+func TestDeltaKeyframeCadence(t *testing.T) {
+	srv, addr := startServer(t, Config{TickInterval: time.Hour, KeyframeEvery: 3})
+	pub := dialT(t, addr)
+	id := pubSession(t, pub, "cadence")
+
+	plain := dialT(t, addr)
+	helloT(t, plain)
+	if _, err := plain.Do(wire.Request{Op: wire.OpSubscribe, Session: id}); err != nil {
+		t.Fatal(err)
+	}
+	deltaCl := dialT(t, addr)
+	helloT(t, deltaCl)
+	if _, err := deltaCl.Do(wire.Request{Op: wire.OpSubscribe, Session: id, Delta: true}); err != nil {
+		t.Fatal(err)
+	}
+
+	events := []string{"a", "b", "c", "d"}
+	vals := []int64{10, 20, 30, 40}
+	const rounds = 7
+	for i := 0; i < rounds; i++ {
+		vals[i%len(vals)] += int64(i + 1) // one counter moves per round
+		if _, err := pub.Do(wire.Request{Op: wire.OpPublish, Session: id,
+			Events: events, Values: vals}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The unfiltered stream is ground truth per seq.
+	truth := make(map[uint64][]int64, rounds)
+	for i := 0; i < rounds; i++ {
+		got, err := plain.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth[got.Seq] = slices.Clone(got.Values)
+	}
+
+	var tracker wire.DeltaTracker
+	var ops []string
+	for i := 0; i < rounds; i++ {
+		got, err := deltaCl.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ops = append(ops, got.Op)
+		if got.Op == wire.OpDelta {
+			if len(got.Idx) == 0 || len(got.Idx) >= len(events) {
+				t.Errorf("delta seq %d ships %d of %d counters; want only the changed subset",
+					got.Seq, len(got.Idx), len(events))
+			}
+			if got.Base == 0 {
+				t.Errorf("delta seq %d has no base keyframe seq", got.Seq)
+			}
+		}
+		snap, err := tracker.Apply(got)
+		if err != nil {
+			t.Fatalf("frame %d (%s): %v", i, got.Op, err)
+		}
+		want, ok := truth[snap.Seq]
+		if !ok {
+			t.Fatalf("delta stream has seq %d the unfiltered stream never saw", snap.Seq)
+		}
+		if !slices.Equal(snap.Values, want) || !slices.Equal(snap.Events, events) {
+			t.Errorf("seq %d materialized %v=%v, want %v=%v",
+				snap.Seq, snap.Events, snap.Values, events, want)
+		}
+	}
+	wantOps := []string{wire.OpSnapshot, wire.OpDelta, wire.OpDelta,
+		wire.OpSnapshot, wire.OpDelta, wire.OpDelta, wire.OpSnapshot}
+	if !slices.Equal(ops, wantOps) {
+		t.Errorf("frame ops %v, want cadence %v", ops, wantOps)
+	}
+	st := srv.Stats()
+	if st.Keyframes != 3 || st.DeltasSent != 4 {
+		t.Errorf("stats keyframes=%d deltas=%d, want 3 and 4", st.Keyframes, st.DeltasSent)
+	}
+}
+
+// TestDeltaResyncAfterQueueDrop drives the real publish → fanout →
+// push path against a delta subscriber that never drains: the drop
+// marks it for resync, and the next fan-out re-keys instead of
+// shipping a delta the client could no longer anchor.
+func TestDeltaResyncAfterQueueDrop(t *testing.T) {
+	srv := New(Config{TickInterval: time.Hour, KeyframeEvery: 100})
+	created := srv.dispatch(nil, &wire.Request{Op: wire.OpCreate, Workload: "none"})
+	if !created.OK {
+		t.Fatal(created.Error)
+	}
+	sess, ok := srv.reg.get(created.Session)
+	if !ok {
+		t.Fatal("session not registered")
+	}
+	c := &conn{srv: srv, q: newWriteQueue(4)}
+	c.version.Store(wire.MinProtocolFilter)
+	sig, canon := filterSig(nil, true)
+	stalled := &subscriber{c: c, ch: make(chan frame, 1), done: make(chan struct{}),
+		events: canon, delta: true, sig: sig}
+	stalled.needKey.Store(true)
+	if _, err := sess.addSubscriber(stalled); err != nil {
+		t.Fatal(err)
+	}
+
+	publish := func(v int64) {
+		t.Helper()
+		resp := srv.dispatch(nil, &wire.Request{Op: wire.OpPublish, Session: created.Session,
+			Events: []string{"a", "b"}, Values: []int64{1, v}})
+		if !resp.OK {
+			t.Fatal(resp.Error)
+		}
+	}
+	publish(2) // first frame: keyframe, queued cleanly
+	if stalled.needKey.Load() {
+		t.Fatal("clean keyframe delivery left needKey set")
+	}
+	publish(3) // delta; queue full → a frame drops → resync requested
+	if !stalled.needKey.Load() {
+		t.Fatal("dropped frame did not mark the delta subscriber for resync")
+	}
+	publish(4) // resync: the whole view re-keys
+
+	var latest wire.Response
+	if err := json.Unmarshal((<-stalled.ch).payload, &latest); err != nil {
+		t.Fatalf("frame payload: %v", err)
+	}
+	if latest.Op != wire.OpSnapshot {
+		t.Fatalf("post-drop frame is %s, want a keyframe SNAPSHOT", latest.Op)
+	}
+	if !slices.Equal(latest.Events, []string{"a", "b"}) || !slices.Equal(latest.Values, []int64{1, 4}) {
+		t.Errorf("keyframe %v=%v, want [a b]=[1 4]", latest.Events, latest.Values)
+	}
+	st := srv.Stats()
+	if st.Keyframes != 2 {
+		t.Errorf("keyframes %d, want 2 (initial + resync)", st.Keyframes)
+	}
+	if st.DeltasSent != 1 {
+		t.Errorf("deltas sent %d, want 1", st.DeltasSent)
+	}
+}
+
+// TestDeltaResyncAfterMidFrameCut cuts a delta subscriber's connection
+// mid-conversation via faultnet, redials, and re-subscribes: the fresh
+// subscription's first frame must be a keyframe carrying the complete
+// current state — a reconnecting client can never be left applying
+// deltas against a baseline it lost with the old connection.
+func TestDeltaResyncAfterMidFrameCut(t *testing.T) {
+	_, addr := startServer(t, Config{TickInterval: time.Hour, KeyframeEvery: 100})
+	pub := dialT(t, addr)
+	id := pubSession(t, pub, "cut")
+
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sever the connection once the client has written its handshake
+	// and subscribe plus a few bytes — the next request dies mid-frame.
+	helloB, _ := wire.AppendFrame(nil, wire.CodecJSON, &wire.Request{Op: wire.OpHello, Version: wire.ProtocolVersion})
+	subB, _ := wire.AppendFrame(nil, wire.CodecJSON, &wire.Request{Op: wire.OpSubscribe, Session: id, Delta: true})
+	fc := faultnet.WrapConn(nc, faultnet.Faults{CutAfter: int64(len(helloB) + len(subB) + 3)})
+	defer fc.Close()
+	enc, dec := wire.NewEncoder(fc), wire.NewDecoder(fc)
+	var resp wire.Response
+	if err := enc.Encode(&wire.Request{Op: wire.OpHello, Version: wire.ProtocolVersion}); err != nil {
+		t.Fatal(err)
+	}
+	if err := dec.Decode(&resp); err != nil || !resp.OK {
+		t.Fatalf("hello: %v %+v", err, resp)
+	}
+	if err := enc.Encode(&wire.Request{Op: wire.OpSubscribe, Session: id, Delta: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := dec.Decode(&resp); err != nil || !resp.OK {
+		t.Fatalf("subscribe: %v %+v", err, resp)
+	}
+
+	var tracker wire.DeltaTracker
+	publish := func(a, b int64) {
+		t.Helper()
+		if _, err := pub.Do(wire.Request{Op: wire.OpPublish, Session: id,
+			Events: []string{"a", "b"}, Values: []int64{a, b}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	publish(1, 2) // keyframe
+	publish(1, 3) // delta
+	for i := 0; i < 2; i++ {
+		if err := dec.Decode(&resp); err != nil {
+			t.Fatalf("pre-cut frame %d: %v", i, err)
+		}
+		if _, err := tracker.Apply(resp); err != nil {
+			t.Fatalf("pre-cut frame %d: %v", i, err)
+		}
+	}
+	// This write crosses CutAfter: the conn is severed mid-frame.
+	if err := enc.Encode(&wire.Request{Op: wire.OpBye}); err == nil {
+		if err := dec.Decode(&resp); err == nil {
+			t.Fatal("connection survived the scheduled cut")
+		}
+	}
+
+	// Redial; a fresh delta subscription must open with a keyframe.
+	publish(7, 8) // state moved while we were gone
+	nc2, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc2.Close()
+	enc2, dec2 := wire.NewEncoder(nc2), wire.NewDecoder(nc2)
+	if err := enc2.Encode(&wire.Request{Op: wire.OpHello, Version: wire.ProtocolVersion}); err != nil {
+		t.Fatal(err)
+	}
+	if err := dec2.Decode(&resp); err != nil || !resp.OK {
+		t.Fatalf("redial hello: %v %+v", err, resp)
+	}
+	if err := enc2.Encode(&wire.Request{Op: wire.OpSubscribe, Session: id, Delta: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := dec2.Decode(&resp); err != nil || !resp.OK {
+		t.Fatalf("redial subscribe: %v %+v", err, resp)
+	}
+	publish(7, 9)
+	if err := dec2.Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Op != wire.OpSnapshot {
+		t.Fatalf("first post-redial frame is %s, want a keyframe SNAPSHOT", resp.Op)
+	}
+	if !slices.Equal(resp.Values, []int64{7, 9}) {
+		t.Errorf("post-redial keyframe values %v, want [7 9]", resp.Values)
+	}
+}
+
+// TestReconnClientReplaysDeltaSub cuts the server side of a
+// ReconnClient's connection mid-stream: the client redials, replays
+// its recorded delta subscription, and the stream re-anchors with a
+// keyframe — the DeltaTracker over the whole received sequence
+// converges back to the live values.
+func TestReconnClientReplaysDeltaSub(t *testing.T) {
+	srv := New(Config{TickInterval: time.Hour, KeyframeEvery: 50})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Conn 0 is the publisher; conn 1 (the subscriber's first) is cut
+	// after a few hundred bytes of server writes; later conns are clean.
+	fln := faultnet.Wrap(ln, func(i int, nc net.Conn) faultnet.Faults {
+		if i == 1 {
+			return faultnet.Faults{CutAfter: 400}
+		}
+		return faultnet.Faults{}
+	})
+	addr := srv.Serve(fln).String()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+
+	pub := dialT(t, addr)
+	id := pubSession(t, pub, "reconn")
+	if _, err := pub.Do(wire.Request{Op: wire.OpPublish, Session: id,
+		Events: []string{"a", "b"}, Values: []int64{1, 1}}); err != nil {
+		t.Fatal(err)
+	}
+
+	rc, err := DialReconn(addr, RetryConfig{Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	var mu sync.Mutex
+	var frames []wire.Response
+	collect := func(resp wire.Response) {
+		mu.Lock()
+		frames = append(frames, resp)
+		mu.Unlock()
+	}
+	rc.OnSnapshot, rc.OnDelta = collect, collect
+	if _, err := rc.SubscribeWith(SubOptions{Session: id, Delta: true}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Publish and pump until the cut has happened and the stream has
+	// recovered past it. STATS is replayable, so the Do that trips over
+	// the cut reconnects (replaying the subscription) and still answers.
+	val := int64(1)
+	deadline := time.Now().Add(10 * time.Second)
+	for rc.Reconnects == 0 || val < 40 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no reconnect after %d publishes", val)
+		}
+		val++
+		if _, err := pub.Do(wire.Request{Op: wire.OpPublish, Session: id,
+			Events: []string{"a", "b"}, Values: []int64{1, val}}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rc.Do(wire.Request{Op: wire.OpStats}); err != nil {
+			t.Fatalf("pump: %v", err)
+		}
+	}
+
+	// Drain until the materialized stream reaches the final value.
+	var tracker wire.DeltaTracker
+	var last []int64
+	skipped := 0
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		batch := frames
+		frames = nil
+		mu.Unlock()
+		for _, f := range batch {
+			snap, err := tracker.Apply(f)
+			if err != nil {
+				// A delta that chains from a keyframe lost to the cut is
+				// skippable by design; the replayed subscription's
+				// keyframe re-anchors.
+				skipped++
+				continue
+			}
+			last = slices.Clone(snap.Values)
+		}
+		if slices.Equal(last, []int64{1, val}) {
+			break
+		}
+		if _, err := rc.Do(wire.Request{Op: wire.OpStats}); err != nil {
+			t.Fatalf("drain pump: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if rc.Reconnects == 0 {
+		t.Fatal("the cut never tripped a reconnect")
+	}
+	if !slices.Equal(last, []int64{1, val}) {
+		t.Fatalf("materialized stream ended at %v, want [1 %d] (skipped %d)", last, val, skipped)
+	}
+}
+
+// TestMixedVersionUnfilteredStream pins backward compatibility at the
+// byte level: a v2 JSON peer subscribed without filters receives
+// exactly the SNAPSHOT lines older servers sent — no DELTA frames, no
+// idx/base fields — and any v4 feature it tries is refused.
+func TestMixedVersionUnfilteredStream(t *testing.T) {
+	_, addr := startServer(t, Config{TickInterval: time.Hour, KeyframeEvery: 2})
+	pub := dialT(t, addr)
+	id := pubSession(t, pub, "mixed")
+
+	// A v4 delta subscriber runs alongside, so the session is serving
+	// delta views while the v2 stream must stay untouched.
+	deltaCl := dialT(t, addr)
+	helloT(t, deltaCl)
+	if _, err := deltaCl.Do(wire.Request{Op: wire.OpSubscribe, Session: id, Delta: true}); err != nil {
+		t.Fatal(err)
+	}
+
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	br := bufio.NewReader(nc)
+	send := func(req wire.Request) string {
+		t.Helper()
+		buf, err := wire.AppendFrame(nil, wire.CodecJSON, &req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := nc.Write(buf); err != nil {
+			t.Fatal(err)
+		}
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		return line
+	}
+	if line := send(wire.Request{Op: wire.OpHello, Version: 2}); !strings.Contains(line, `"ok":true`) {
+		t.Fatalf("v2 hello refused: %s", line)
+	}
+	if line := send(wire.Request{Op: wire.OpSubscribe, Session: id, Delta: true}); !strings.Contains(line, "protocol") {
+		t.Fatalf("v2 delta subscribe not version-gated: %s", line)
+	}
+	if line := send(wire.Request{Op: wire.OpSubscribe, Session: id}); !strings.Contains(line, `"ok":true`) {
+		t.Fatalf("v2 plain subscribe refused: %s", line)
+	}
+
+	for i := int64(1); i <= 4; i++ {
+		if _, err := pub.Do(wire.Request{Op: wire.OpPublish, Session: id,
+			Events: []string{"a", "b"}, Values: []int64{i, i * 10}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(line, `"op":"SNAPSHOT"`) {
+			t.Errorf("v2 stream line %d is not a SNAPSHOT: %s", i, line)
+		}
+		for _, leak := range []string{`"idx"`, `"base"`, `"DELTA"`} {
+			if strings.Contains(line, leak) {
+				t.Errorf("v2 stream line leaks v4 field %s: %s", leak, line)
+			}
+		}
+		var resp wire.Response
+		if err := json.Unmarshal([]byte(line), &resp); err != nil {
+			t.Fatal(err)
+		}
+		if !slices.Equal(resp.Events, []string{"a", "b"}) || len(resp.Values) != 2 {
+			t.Errorf("v2 frame %d not the full snapshot: %v=%v", i, resp.Events, resp.Values)
+		}
+	}
+}
+
+// TestFanoutEncodeFailure pins the fixed fan-out failure path: an
+// encode failure is attempted and logged once per codec per tick, the
+// failure is counted, and every subscriber on that codec records a
+// dropped frame instead of silently losing it.
+func TestFanoutEncodeFailure(t *testing.T) {
+	attempts := 0
+	old := appendFrameFn
+	appendFrameFn = func(dst []byte, codec wire.Codec, v any) ([]byte, error) {
+		attempts++
+		return nil, errors.New("boom")
+	}
+	defer func() { appendFrameFn = old }()
+
+	srv := New(Config{TickInterval: time.Hour})
+	created := srv.dispatch(nil, &wire.Request{Op: wire.OpCreate, Workload: "none"})
+	if !created.OK {
+		t.Fatal(created.Error)
+	}
+	sess, ok := srv.reg.get(created.Session)
+	if !ok {
+		t.Fatal("session not registered")
+	}
+	c := &conn{srv: srv, q: newWriteQueue(4)}
+	c.version.Store(wire.MinProtocolFilter)
+	for i := 0; i < 2; i++ {
+		sub := &subscriber{c: c, ch: make(chan frame, 4), done: make(chan struct{})}
+		if _, err := sess.addSubscriber(sub); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp := srv.dispatch(nil, &wire.Request{Op: wire.OpPublish, Session: created.Session,
+		Events: []string{"a"}, Values: []int64{1}})
+	if !resp.OK {
+		t.Fatal(resp.Error)
+	}
+	if attempts != 1 {
+		t.Errorf("%d encode attempts, want 1 (failure negative-cached per tick)", attempts)
+	}
+	st := srv.Stats()
+	if st.EncodeFailures != 1 {
+		t.Errorf("encode failures %d, want 1", st.EncodeFailures)
+	}
+	if st.SnapshotsSent != 0 || st.SnapshotsDropped != 2 {
+		t.Errorf("sent=%d dropped=%d, want 0 sent and both subscribers' drops counted",
+			st.SnapshotsSent, st.SnapshotsDropped)
+	}
+}
+
+// TestQueryDeriveNoHistory is the regression test for the nil-history
+// panic: a derive QUERY against a server running with history disabled
+// must answer with a wire ERROR naming the configuration, not crash.
+func TestQueryDeriveNoHistory(t *testing.T) {
+	srv := New(Config{TickInterval: time.Hour, TSDBMaxBytes: -1})
+	req := &wire.Request{Op: wire.OpQuery, Session: 1, Derive: []string{"ipc"},
+		From: 0, To: 100}
+	for name, resp := range map[string]wire.Response{
+		"dispatch":     srv.dispatch(nil, req),
+		"queryDerived": srv.queryDerived(nil, req),
+	} {
+		if resp.OK {
+			t.Errorf("%s: derive QUERY with history disabled succeeded", name)
+		}
+		if !strings.Contains(resp.Error, "history disabled") {
+			t.Errorf("%s: error %q does not name the disabled history", name, resp.Error)
+		}
+	}
+}
+
+// TestDerivedCountersDistinct pins the fixed DERIVED accounting:
+// derived frames land in derived_sent, never inflating the snapshot
+// counters.
+func TestDerivedCountersDistinct(t *testing.T) {
+	srv, addr := startServer(t, Config{TickInterval: time.Hour})
+	pub := dialT(t, addr)
+	id := pubSession(t, pub, "derived")
+	publish := func(ins, cyc int64) {
+		t.Helper()
+		if _, err := pub.Do(wire.Request{Op: wire.OpPublish, Session: id,
+			Events: []string{"PAPI_TOT_INS", "PAPI_TOT_CYC"}, Values: []int64{ins, cyc}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	publish(100, 100) // names the events so the group resolves
+
+	sub := dialT(t, addr)
+	helloT(t, sub)
+	if _, err := sub.Do(wire.Request{Op: wire.OpSubscribe, Session: id,
+		Derive: []string{"ipc"}}); err != nil {
+		t.Fatal(err)
+	}
+	publish(300, 200) // primes the delta-based engine
+	publish(700, 400) // second sample after priming: the group evaluates
+
+	st := srv.Stats()
+	if st.DerivedSent == 0 {
+		t.Fatal("no DERIVED frame counted in derived_sent")
+	}
+	if st.SnapshotsSent != 2 {
+		t.Errorf("snapshots_sent %d, want 2 (DERIVED frames must not inflate it)", st.SnapshotsSent)
+	}
+	if st.DerivedDropped != 0 || st.SnapshotsDropped != 0 {
+		t.Errorf("dropped counters derived=%d snap=%d, want 0", st.DerivedDropped, st.SnapshotsDropped)
+	}
+	resp, err := sub.Do(wire.Request{Op: wire.OpStats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"derived_sent", "deltas_sent", "keyframes_sent", "encode_failures"} {
+		if _, ok := resp.Stats[key]; !ok {
+			t.Errorf("STATS reply missing %q", key)
+		}
+	}
+	if fmt.Sprint(resp.Stats["derived_sent"]) != fmt.Sprint(st.DerivedSent) {
+		t.Errorf("STATS derived_sent %d != Stats() %d", resp.Stats["derived_sent"], st.DerivedSent)
+	}
+}

@@ -43,12 +43,14 @@ package server
 
 import (
 	"bufio"
+	"cmp"
 	"context"
 	"errors"
 	"fmt"
 	"log/slog"
 	"net"
 	"net/http"
+	"path"
 	"slices"
 	"sync"
 	"sync/atomic"
@@ -81,6 +83,11 @@ type Config struct {
 	// QueueDepth bounds each subscriber's send queue; when full the
 	// oldest queued snapshot is dropped (default 32).
 	QueueDepth int
+	// KeyframeEvery is the delta-subscription keyframe cadence: every
+	// Nth fan-out of a delta view is a full SNAPSHOT keyframe even
+	// without drops, bounding both delta growth within an epoch and how
+	// long a desynced subscriber waits to re-anchor (default 10).
+	KeyframeEvery int
 	// ReadIdleTimeout evicts a connection that sends no request for
 	// this long and holds no subscription — a half-dead client cannot
 	// pin a goroutine forever (default 2m; negative disables).
@@ -175,6 +182,9 @@ func (c *Config) fill() {
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 32
 	}
+	if c.KeyframeEvery <= 0 {
+		c.KeyframeEvery = 10
+	}
 	if c.ReadIdleTimeout == 0 {
 		c.ReadIdleTimeout = 2 * time.Minute
 	}
@@ -220,6 +230,19 @@ type Stats struct {
 	// write queues (socket-level backpressure, beyond the
 	// per-subscriber SnapshotsDropped).
 	WriteDrops uint64
+	// DerivedSent/DerivedDropped count DERIVED fan-out frames — kept
+	// apart from the snapshot counters, which count full SNAPSHOT
+	// frames only (keyframes included; Keyframes tallies those again
+	// separately). DeltasSent/DeltasDropped count DELTA frames, and
+	// EncodeFailures counts fan-out frames that failed to serialize at
+	// all (each also recorded in its kind's dropped counter, once per
+	// subscriber on the failing codec).
+	DerivedSent    uint64
+	DerivedDropped uint64
+	DeltasSent     uint64
+	DeltasDropped  uint64
+	Keyframes      uint64
+	EncodeFailures uint64
 	// FramesSentJSON/BytesSentJSON and their binary twins count
 	// outbound frames and payload bytes per codec, so operators can
 	// see which protocol their clients actually negotiated.
@@ -479,6 +502,12 @@ func (s *Server) Stats() Stats {
 		DeadlineTrips:    s.m.deadlineTrips.Value(),
 		Resyncs:          s.m.resyncs.Value(),
 		WriteDrops:       s.m.writeDrops.Value(),
+		DerivedSent:      s.m.derivedSent.Value(),
+		DerivedDropped:   s.m.derivedDropped.Value(),
+		DeltasSent:       s.m.deltaSent.Value(),
+		DeltasDropped:    s.m.deltaDropped.Value(),
+		Keyframes:        s.m.keyframes.Value(),
+		EncodeFailures:   s.m.encodeFailures.Value(),
 		FramesSentJSON:   s.m.framesSent[wire.CodecJSON].Value(),
 		FramesSentBinary: s.m.framesSent[wire.CodecBinary].Value(),
 		BytesSentJSON:    s.m.bytesSent[wire.CodecJSON].Value(),
@@ -596,7 +625,7 @@ func (s *Server) tick() {
 			return
 		}
 		s.appendHistory(resp.Session, now, resp.Events, resp.Values)
-		s.fanout(resp, subs)
+		s.fanout(sess, resp, subs)
 		s.fanoutDerived(sess, resp, subs, now)
 	})
 	if s.hist != nil {
@@ -618,29 +647,78 @@ func (s *Server) appendHistory(session uint64, ts int64, events []string, vals [
 	}
 }
 
+// appendFrameFn is wire.AppendFrame behind a seam so tests can force
+// an encode failure and pin the negative-cache behavior.
+var appendFrameFn = wire.AppendFrame
+
+// encCache lazily serializes one response at most once per codec and
+// hands out the shared immutable bytes — the encode-once fan-out path.
+// A failed encode is negative-cached for the rest of the fan-out:
+// logged and counted once, with every later subscriber on that codec
+// just recording its dropped frame instead of re-attempting the
+// encode and re-logging each tick.
+type encCache struct {
+	resp    *wire.Response
+	payload [2][]byte // indexed by wire.Codec
+	failed  [2]bool
+}
+
+// get returns the encoded frame for codec, serializing on first use.
+// ok is false when the encode failed (now or earlier this fan-out);
+// the caller counts the drop for its frame kind.
+func (e *encCache) get(s *Server, what string, codec wire.Codec) (payload []byte, ok bool) {
+	if e.failed[codec] {
+		return nil, false
+	}
+	if p := e.payload[codec]; p != nil {
+		return p, true
+	}
+	p, err := appendFrameFn(nil, codec, e.resp)
+	if err != nil {
+		e.failed[codec] = true
+		s.m.encodeFailures.Inc()
+		s.slog.Error("papid: "+what+" encode failed",
+			"codec", codec.String(), "session", e.resp.Session, "err", err)
+		return nil, false
+	}
+	e.payload[codec] = p
+	return p, true
+}
+
 // fanout serializes one snapshot at most once per codec in use and
 // hands the shared immutable bytes to every subscriber — the
 // encode-once path. With N subscribers on one codec the tick pays for
 // one Marshal, not N; the []byte is never mutated after this point, so
 // sharing it across queues is safe without copies or refcounts.
-func (s *Server) fanout(resp wire.Response, subs []*subscriber) {
-	var encoded [2][]byte // lazily built, indexed by wire.Codec
+// Filtered and delta subscribers peel off to fanoutViews (filter.go),
+// which applies the same encode-once discipline per distinct view.
+func (s *Server) fanout(sess *session, resp wire.Response, subs []*subscriber) {
+	enc := encCache{resp: &resp}
+	var viewSubs []*subscriber
 	for _, sub := range subs {
-		codec := sub.c.codecNow()
-		payload := encoded[codec]
-		if payload == nil {
-			var err error
-			payload, err = wire.AppendFrame(nil, codec, &resp)
-			if err != nil {
-				s.slog.Error("papid: snapshot encode failed", "codec", codec.String(), "err", err)
-				continue
-			}
-			encoded[codec] = payload
+		if sub.sig != "" {
+			viewSubs = append(viewSubs, sub)
+			continue
 		}
-		s.m.snapSent.Inc()
-		if sub.push(frame{payload: payload, codec: codec, droppable: true}) {
-			s.m.snapDropped.Inc()
-		}
+		s.pushSnapshot(&enc, sub)
+	}
+	if len(viewSubs) > 0 {
+		s.fanoutViews(sess, &resp, viewSubs)
+	}
+}
+
+// pushSnapshot enqueues one full snapshot frame, counting it sent or
+// dropped (an encode failure counts as a drop for this subscriber).
+func (s *Server) pushSnapshot(enc *encCache, sub *subscriber) {
+	codec := sub.c.codecNow()
+	payload, ok := enc.get(s, "snapshot", codec)
+	if !ok {
+		s.m.snapDropped.Inc()
+		return
+	}
+	s.m.snapSent.Inc()
+	if sub.push(frame{payload: payload, codec: codec, droppable: true}) {
+		s.m.snapDropped.Inc()
 	}
 }
 
@@ -663,26 +741,20 @@ func (s *Server) fanoutDerived(sess *session, snap wire.Response, subs []*subscr
 			// so nothing engine-owned escapes.
 			resp := wire.Response{Op: wire.OpDerived, OK: true, Session: snap.Session,
 				Seq: snap.Seq, Metrics: metrics, Units: units, DValues: vals}
-			var encoded [2][]byte
+			enc := encCache{resp: &resp}
 			for _, sub := range subs {
 				if sub.c == nil || sub.c.version.Load() < wire.MinProtocolDerived {
 					continue
 				}
 				codec := sub.c.codecNow()
-				payload := encoded[codec]
-				if payload == nil {
-					var err error
-					payload, err = wire.AppendFrame(nil, codec, &resp)
-					if err != nil {
-						s.slog.Error("papid: derived encode failed",
-							"codec", codec.String(), "err", err)
-						continue
-					}
-					encoded[codec] = payload
+				payload, ok := enc.get(s, "derived", codec)
+				if !ok {
+					s.m.derivedDropped.Inc()
+					continue
 				}
-				s.m.snapSent.Inc()
+				s.m.derivedSent.Inc()
 				if sub.push(frame{payload: payload, codec: codec, droppable: true}) {
-					s.m.snapDropped.Inc()
+					s.m.derivedDropped.Inc()
 				}
 			}
 		})
@@ -694,6 +766,12 @@ func (s *Server) fanoutDerived(sess *session, snap wire.Response, subs []*subscr
 // an event the session never recorded earns a wire ERROR naming the
 // gap — never an empty reply a client could mistake for "no data".
 func (s *Server) queryDerived(c *conn, req *wire.Request) wire.Response {
+	if s.hist == nil {
+		// Defense in depth: dispatch already rejects QUERY on a
+		// history-less server, but this path dereferences s.hist twice
+		// below — a future caller must get the wire ERROR, not a panic.
+		return errResp(req, errors.New("history disabled (papid -tsdb-mem 0)"))
+	}
 	if c != nil && c.version.Load() < wire.MinProtocolDerived {
 		return errResp(req, fmt.Errorf(
 			"derive requires protocol >= %d (announce your version in HELLO)", wire.MinProtocolDerived))
@@ -763,11 +841,25 @@ func (f *frame) release() {
 // subscriber is one SUBSCRIBE registration: a bounded queue drained by
 // a dedicated goroutine feeding the owning connection's write queue.
 // When the queue is full the oldest snapshot is dropped — a slow
-// viewer sees a gappy stream, never a stalled server.
+// viewer sees a gappy stream, never a stalled server. A wildcard
+// SUBSCRIBE registers one subscriber on every matched session.
 type subscriber struct {
 	c    *conn
 	ch   chan frame
 	done chan struct{}
+
+	// The v4 filter, immutable after subscribe: events is the canonical
+	// event-name filter (nil = all), delta requests delta frames, and
+	// sig is the filter signature fanout partitions by ("" = the
+	// unfiltered, non-delta fast path). See filter.go.
+	events []string
+	delta  bool
+	sig    string
+	// needKey, on a delta subscriber, requests a keyframe at the next
+	// fan-out: set at subscribe (the first frame anchors the stream)
+	// and on any dropped frame — a drop may have taken a keyframe with
+	// it, and re-keying is cheap next to silently corrupt state.
+	needKey atomic.Bool
 }
 
 // push enqueues f, dropping the oldest queued frame if the queue is
@@ -806,6 +898,12 @@ func (sub *subscriber) loop() {
 			dropped, ok := sub.c.q.push(f)
 			if dropped {
 				sub.c.srv.m.writeDrops.Inc()
+				if sub.delta {
+					// The write queue evicts oldest-droppable without
+					// saying which frame went; it could have been a
+					// keyframe, so resync.
+					sub.needKey.Store(true)
+				}
 			}
 			if !ok {
 				return
@@ -962,9 +1060,12 @@ func (c *conn) codecNow() wire.Codec {
 	return wire.Codec(c.codec.Load())
 }
 
+// subRef ties one subscriber to the sessions it is registered on —
+// several for a wildcard SUBSCRIBE — so teardown unregisters it
+// everywhere but closes its done channel exactly once.
 type subRef struct {
-	sess *session
-	sub  *subscriber
+	sessions []*session
+	sub      *subscriber
 }
 
 func (s *Server) handle(nc net.Conn) {
@@ -1158,7 +1259,9 @@ func (c *conn) teardown() {
 	c.subs = nil
 	c.mu.Unlock()
 	for _, ref := range subs {
-		ref.sess.removeSubscriber(ref.sub)
+		for _, sess := range ref.sessions {
+			sess.removeSubscriber(ref.sub)
+		}
 		close(ref.sub.done)
 	}
 }
@@ -1207,31 +1310,7 @@ func (s *Server) dispatch(c *conn, req *wire.Request) wire.Response {
 			return resp
 		})
 	case wire.OpSubscribe:
-		return s.withSession(req, func(sess *session) wire.Response {
-			if len(req.Derive) > 0 {
-				// Validate the derive registration before the subscriber
-				// exists: a rejected group must leave no half-registered
-				// state and no subscription behind.
-				if c != nil && c.version.Load() < wire.MinProtocolDerived {
-					return errResp(req, fmt.Errorf(
-						"derive requires protocol >= %d (announce your version in HELLO)", wire.MinProtocolDerived))
-				}
-				if err := sess.registerDerive(s.derive.Registry(), req.Derive); err != nil {
-					return errResp(req, err)
-				}
-			}
-			sub := &subscriber{c: c, ch: make(chan frame, s.cfg.QueueDepth), done: make(chan struct{})}
-			names, err := sess.addSubscriber(sub)
-			if err != nil {
-				return errResp(req, err)
-			}
-			c.mu.Lock()
-			c.subs = append(c.subs, subRef{sess: sess, sub: sub})
-			c.mu.Unlock()
-			s.wg.Add(1)
-			go sub.loop()
-			return wire.Response{Op: req.Op, OK: true, Session: sess.id, Events: names}
-		})
+		return s.subscribe(c, req)
 	case wire.OpPublish:
 		return s.withSession(req, func(sess *session) wire.Response {
 			snap, subs, err := sess.publish(req.Events, req.Values)
@@ -1240,7 +1319,7 @@ func (s *Server) dispatch(c *conn, req *wire.Request) wire.Response {
 			}
 			now := s.cfg.now()
 			s.appendHistory(sess.id, now, snap.Events, snap.Values)
-			s.fanout(snap, subs)
+			s.fanout(sess, snap, subs)
 			s.fanoutDerived(sess, snap, subs, now)
 			return wire.Response{Op: req.Op, OK: true, Session: sess.id, Seq: snap.Seq}
 		})
@@ -1307,6 +1386,12 @@ func (s *Server) dispatch(c *conn, req *wire.Request) wire.Response {
 			"tsdb_evictions":     st.TSDB.Evictions,
 			"derive_evals":       s.derive.Evals(),
 			"derive_alerts":      s.derive.Alerts(),
+			"derived_sent":       st.DerivedSent,
+			"derived_dropped":    st.DerivedDropped,
+			"deltas_sent":        st.DeltasSent,
+			"deltas_dropped":     st.DeltasDropped,
+			"keyframes_sent":     st.Keyframes,
+			"encode_failures":    st.EncodeFailures,
 		}}
 		// wal_* keys appear only on durable servers; RAM-only STATS
 		// replies stay byte-identical to what earlier PRs sent.
@@ -1356,6 +1441,108 @@ func errResp(req *wire.Request, err error) wire.Response {
 	return wire.Response{Op: req.Op, OK: false, Session: req.Session, Error: err.Error()}
 }
 
+// subscribe answers an OpSubscribe: the classic single-session form
+// (Session != 0) with optional derive groups, or the v4 wildcard form
+// (Sessions / Labels) that registers one shared subscriber on every
+// matched session. Both forms accept the v4 event filter and delta
+// mode; every v4 feature is gated on the peer having announced
+// protocol >= wire.MinProtocolFilter at HELLO, so pre-v4 peers keep
+// the exact streams earlier servers sent.
+func (s *Server) subscribe(c *conn, req *wire.Request) wire.Response {
+	filtered := len(req.Events) > 0 || req.Delta || len(req.Sessions) > 0 || len(req.Labels) > 0
+	if filtered && c != nil && c.version.Load() < wire.MinProtocolFilter {
+		return errResp(req, fmt.Errorf(
+			"filtered/delta subscriptions require protocol >= %d (announce your version in HELLO)",
+			wire.MinProtocolFilter))
+	}
+	if len(req.Sessions) == 0 && len(req.Labels) == 0 {
+		return s.withSession(req, func(sess *session) wire.Response {
+			if len(req.Derive) > 0 {
+				// Validate the derive registration before the subscriber
+				// exists: a rejected group must leave no half-registered
+				// state and no subscription behind.
+				if c != nil && c.version.Load() < wire.MinProtocolDerived {
+					return errResp(req, fmt.Errorf(
+						"derive requires protocol >= %d (announce your version in HELLO)", wire.MinProtocolDerived))
+				}
+				if err := sess.registerDerive(s.derive.Registry(), req.Derive); err != nil {
+					return errResp(req, err)
+				}
+			}
+			sub := s.newSubscriber(c, req)
+			names, err := sess.addSubscriber(sub)
+			if err != nil {
+				return errResp(req, err)
+			}
+			s.attachSub(c, sub, sess)
+			return wire.Response{Op: req.Op, OK: true, Session: sess.id, Events: names}
+		})
+	}
+	// Wildcard form. Validate everything before touching any session: a
+	// rejected request must leave no partial registration behind.
+	if req.Session != 0 {
+		return errResp(req, errors.New(
+			"wildcard SUBSCRIBE: leave session 0 when listing sessions or labels"))
+	}
+	if len(req.Derive) > 0 {
+		return errResp(req, errors.New("derive groups need a single-session SUBSCRIBE"))
+	}
+	for _, g := range req.Labels {
+		if _, err := path.Match(g, ""); err != nil {
+			return errResp(req, fmt.Errorf("bad label glob %q: %v", g, err))
+		}
+	}
+	var matched []*session
+	s.reg.forEach(func(sess *session) {
+		if sess.matches(req.Sessions, req.Labels) {
+			matched = append(matched, sess)
+		}
+	})
+	slices.SortFunc(matched, func(a, b *session) int { return cmp.Compare(a.id, b.id) })
+	sub := s.newSubscriber(c, req)
+	var ids []uint64
+	var attached []*session
+	for _, sess := range matched {
+		if _, err := sess.addSubscriber(sub); err != nil {
+			continue // closed between the registry scan and here
+		}
+		attached = append(attached, sess)
+		ids = append(ids, sess.id)
+	}
+	if len(attached) == 0 {
+		return errResp(req, errors.New("wildcard SUBSCRIBE matched no live session"))
+	}
+	s.attachSub(c, sub, attached...)
+	return wire.Response{Op: req.Op, OK: true, Sessions: ids}
+}
+
+// newSubscriber builds a subscriber carrying the request's filter. A
+// delta subscriber starts with needKey set: its first frame must be a
+// keyframe to anchor the stream.
+func (s *Server) newSubscriber(c *conn, req *wire.Request) *subscriber {
+	sig, canon := filterSig(req.Events, req.Delta)
+	sub := &subscriber{c: c, ch: make(chan frame, s.cfg.QueueDepth),
+		done: make(chan struct{}), events: canon, delta: req.Delta, sig: sig}
+	if req.Delta {
+		sub.needKey.Store(true)
+	}
+	return sub
+}
+
+// attachSub records the subscriber on its connection and starts its
+// drain loop. A nil conn (direct dispatch in tests) gets neither: the
+// caller owns the channel and drains it itself.
+func (s *Server) attachSub(c *conn, sub *subscriber, sessions ...*session) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.subs = append(c.subs, subRef{sessions: slices.Clone(sessions), sub: sub})
+	c.mu.Unlock()
+	s.wg.Add(1)
+	go sub.loop()
+}
+
 // createSession builds a session: a private System on the requested
 // platform, its events resolved and admission-checked through the
 // allocation cache, and the workload the tick loop will advance.
@@ -1371,6 +1558,7 @@ func (s *Server) createSession(req *wire.Request) wire.Response {
 	th := sys.Main()
 	sess := &session{
 		id:       s.nextID.Add(1),
+		label:    req.Label,
 		platform: platform,
 		sys:      sys,
 		th:       th,

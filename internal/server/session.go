@@ -19,6 +19,17 @@ import (
 type session struct {
 	id       uint64
 	platform string
+	// label is the client-chosen name from CREATE_SESSION, matched by
+	// wildcard SUBSCRIBE label globs. Immutable after creation.
+	label string
+
+	// fanMu guards views — the per-filter-signature delta/projection
+	// state (see filter.go). It is separate from mu and never held
+	// together with it from the fan-out side: fanout runs with mu
+	// already released, and fanMu serializes concurrent fan-outs of
+	// this session (tick loop vs PUBLISH handlers).
+	fanMu sync.Mutex
+	views map[string]*viewState
 
 	mu      sync.Mutex
 	sys     *papi.System
@@ -291,8 +302,26 @@ func (sess *session) derivedGroups(defaults []*derive.Group) []string {
 
 func (sess *session) removeSubscriber(sub *subscriber) {
 	sess.mu.Lock()
-	defer sess.mu.Unlock()
 	delete(sess.subs, sub)
+	shared := false
+	if sub.sig != "" {
+		for other := range sess.subs {
+			if other.sig == sub.sig {
+				shared = true
+				break
+			}
+		}
+	}
+	sess.mu.Unlock()
+	// Prune the filter view when its last subscriber leaves, so a churn
+	// of distinct filters cannot grow the view map without bound. A
+	// racing re-subscribe with the same signature just re-primes: its
+	// first frame is a keyframe either way.
+	if sub.sig != "" && !shared {
+		sess.fanMu.Lock()
+		delete(sess.views, sub.sig)
+		sess.fanMu.Unlock()
+	}
 }
 
 // close drains the session: folds final counts if it was running,

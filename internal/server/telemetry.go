@@ -23,6 +23,19 @@ type metrics struct {
 	resyncs       *telemetry.Counter
 	writeDrops    *telemetry.Counter
 
+	// DERIVED and DELTA fan-out keep their own sent/dropped pairs so
+	// snapshot accounting stays pure: snapSent/snapDropped count full
+	// SNAPSHOT frames only (keyframes included, tallied separately in
+	// keyframes). encodeFailures counts fan-out frames that could not
+	// be serialized at all — each costs every subscriber on that codec
+	// its frame, which the matching dropped counter also records.
+	derivedSent    *telemetry.Counter
+	derivedDropped *telemetry.Counter
+	deltaSent      *telemetry.Counter
+	deltaDropped   *telemetry.Counter
+	keyframes      *telemetry.Counter
+	encodeFailures *telemetry.Counter
+
 	// Per-codec outbound traffic, indexed by wire.Codec.
 	framesSent [2]*telemetry.Counter
 	bytesSent  [2]*telemetry.Counter
@@ -63,6 +76,18 @@ func newMetrics(reg *telemetry.Registry) *metrics {
 		Help: "Malformed frames answered with an ERROR frame and skipped."})
 	m.writeDrops = reg.NewCounter(telemetry.Opts{Name: "papid_write_drops_total",
 		Help: "Snapshot frames dropped from per-connection write queues."})
+	m.derivedSent = reg.NewCounter(telemetry.Opts{Name: "papid_derived_sent_total",
+		Help: "DERIVED frames enqueued to subscribers."})
+	m.derivedDropped = reg.NewCounter(telemetry.Opts{Name: "papid_derived_dropped_total",
+		Help: "DERIVED frames dropped from full subscriber queues or failed encodes."})
+	m.deltaSent = reg.NewCounter(telemetry.Opts{Name: "papid_deltas_sent_total",
+		Help: "DELTA frames enqueued to delta-mode subscribers."})
+	m.deltaDropped = reg.NewCounter(telemetry.Opts{Name: "papid_deltas_dropped_total",
+		Help: "DELTA frames dropped from full subscriber queues or failed encodes."})
+	m.keyframes = reg.NewCounter(telemetry.Opts{Name: "papid_keyframes_sent_total",
+		Help: "Keyframe snapshots enqueued to delta-mode subscribers (cadence, subscribe, or drop resync)."})
+	m.encodeFailures = reg.NewCounter(telemetry.Opts{Name: "papid_encode_failures_total",
+		Help: "Fan-out frames that failed to serialize (logged once, dropped for every subscriber on the codec)."})
 	for _, codec := range []wire.Codec{wire.CodecJSON, wire.CodecBinary} {
 		label := telemetry.Label{Name: "codec", Value: codec.String()}
 		m.framesSent[codec] = reg.NewCounter(telemetry.Opts{

@@ -109,7 +109,8 @@ func decodeBinaryPayload(payload []byte, v any) error {
 	return nil
 }
 
-// Request field presence bits, in encoding order.
+// Request field presence bits, in encoding order. reqDelta carries the
+// boolean itself, like respOK: the bit set means Delta == true.
 const (
 	reqOp = 1 << iota
 	reqSession
@@ -125,8 +126,11 @@ const (
 	reqTo
 	reqStep
 	reqDerive
+	reqSessions
+	reqLabels
+	reqDelta
 
-	reqKnown = reqDerive<<1 - 1
+	reqKnown = reqDelta<<1 - 1
 )
 
 func appendRequest(dst []byte, r *Request) []byte {
@@ -150,6 +154,9 @@ func appendRequest(dst []byte, r *Request) []byte {
 	setIf(r.To != 0, reqTo)
 	setIf(r.Step != 0, reqStep)
 	setIf(len(r.Derive) > 0, reqDerive)
+	setIf(len(r.Sessions) > 0, reqSessions)
+	setIf(len(r.Labels) > 0, reqLabels)
+	setIf(r.Delta, reqDelta)
 
 	dst = binary.AppendUvarint(dst, bits)
 	if bits&reqOp != 0 {
@@ -194,6 +201,12 @@ func appendRequest(dst []byte, r *Request) []byte {
 	if bits&reqDerive != 0 {
 		dst = appendStrs(dst, r.Derive)
 	}
+	if bits&reqSessions != 0 {
+		dst = appendU64s(dst, r.Sessions)
+	}
+	if bits&reqLabels != 0 {
+		dst = appendStrs(dst, r.Labels)
+	}
 	return dst
 }
 
@@ -205,7 +218,7 @@ func readRequest(r *binReader, m *Request) error {
 	if bits&^uint64(reqKnown) != 0 {
 		return fmt.Errorf("unknown request field bits %#x", bits&^uint64(reqKnown))
 	}
-	*m = Request{}
+	*m = Request{Delta: bits&reqDelta != 0}
 	if bits&reqOp != 0 {
 		if m.Op, err = r.str(); err != nil {
 			return err
@@ -280,6 +293,16 @@ func readRequest(r *binReader, m *Request) error {
 			return err
 		}
 	}
+	if bits&reqSessions != 0 {
+		if m.Sessions, err = r.u64s(); err != nil {
+			return err
+		}
+	}
+	if bits&reqLabels != 0 {
+		if m.Labels, err = r.strs(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -305,8 +328,11 @@ const (
 	respUnits
 	respDValues
 	respDerived
+	respSessions
+	respIdx
+	respBase
 
-	respKnown = respDerived<<1 - 1
+	respKnown = respBase<<1 - 1
 )
 
 func appendResponse(dst []byte, m *Response) []byte {
@@ -335,6 +361,9 @@ func appendResponse(dst []byte, m *Response) []byte {
 	setIf(len(m.Units) > 0, respUnits)
 	setIf(len(m.DValues) > 0, respDValues)
 	setIf(len(m.Derived) > 0, respDerived)
+	setIf(len(m.Sessions) > 0, respSessions)
+	setIf(len(m.Idx) > 0, respIdx)
+	setIf(m.Base != 0, respBase)
 
 	dst = binary.AppendUvarint(dst, bits)
 	if bits&respOp != 0 {
@@ -390,6 +419,15 @@ func appendResponse(dst []byte, m *Response) []byte {
 	}
 	if bits&respDerived != 0 {
 		dst = appendDerived(dst, m.Derived)
+	}
+	if bits&respSessions != 0 {
+		dst = appendU64s(dst, m.Sessions)
+	}
+	if bits&respIdx != 0 {
+		dst = appendU32s(dst, m.Idx)
+	}
+	if bits&respBase != 0 {
+		dst = binary.AppendUvarint(dst, m.Base)
 	}
 	return dst
 }
@@ -495,6 +533,21 @@ func readResponse(r *binReader, m *Response) error {
 			return err
 		}
 	}
+	if bits&respSessions != 0 {
+		if m.Sessions, err = r.u64s(); err != nil {
+			return err
+		}
+	}
+	if bits&respIdx != 0 {
+		if m.Idx, err = r.u32s(); err != nil {
+			return err
+		}
+	}
+	if bits&respBase != 0 {
+		if m.Base, err = r.uvarint(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -515,6 +568,22 @@ func appendI64s(dst []byte, vs []int64) []byte {
 	dst = binary.AppendUvarint(dst, uint64(len(vs)))
 	for _, v := range vs {
 		dst = appendZigzag(dst, v)
+	}
+	return dst
+}
+
+func appendU64s(dst []byte, vs []uint64) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(vs)))
+	for _, v := range vs {
+		dst = binary.AppendUvarint(dst, v)
+	}
+	return dst
+}
+
+func appendU32s(dst []byte, vs []uint32) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(vs)))
+	for _, v := range vs {
+		dst = binary.AppendUvarint(dst, uint64(v))
 	}
 	return dst
 }
@@ -666,6 +735,39 @@ func (r *binReader) strs() ([]string, error) {
 		if out[i], err = r.str(); err != nil {
 			return nil, err
 		}
+	}
+	return out, nil
+}
+
+func (r *binReader) u64s() ([]uint64, error) {
+	n, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		if out[i], err = r.uvarint(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (r *binReader) u32s() ([]uint32, error) {
+	n, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]uint32, n)
+	for i := range out {
+		v, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if v > math.MaxUint32 {
+			return nil, fmt.Errorf("index %d overflows uint32", v)
+		}
+		out[i] = uint32(v)
 	}
 	return out, nil
 }

@@ -1,0 +1,139 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func key(session, seq uint64, events []string, values []int64) Response {
+	return Response{Op: OpSnapshot, OK: true, Session: session, Seq: seq,
+		Events: events, Values: values}
+}
+
+func delta(session, seq, base uint64, idx []uint32, values []int64) Response {
+	return Response{Op: OpDelta, OK: true, Session: session, Seq: seq, Base: base,
+		Idx: idx, Values: values}
+}
+
+// TestDeltaTrackerMaterialize: keyframe then deltas; each Apply
+// returns the complete snapshot the server would have sent unfiltered.
+func TestDeltaTrackerMaterialize(t *testing.T) {
+	var tr DeltaTracker
+	events := []string{"a", "b", "c"}
+
+	got, err := tr.Apply(key(1, 10, events, []int64{1, 2, 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Op != OpSnapshot || !reflect.DeepEqual(got.Values, []int64{1, 2, 3}) {
+		t.Fatalf("keyframe passthrough mangled: %+v", got)
+	}
+
+	// A delta carries every counter that drifted from the keyframe,
+	// so each one fully supersedes the last.
+	got, err = tr.Apply(delta(1, 11, 10, []uint32{1}, []int64{20}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Op != OpSnapshot || got.Seq != 11 || got.Base != 0 || got.Idx != nil {
+		t.Fatalf("materialized frame not a clean snapshot: %+v", got)
+	}
+	if !reflect.DeepEqual(got.Events, events) || !reflect.DeepEqual(got.Values, []int64{1, 20, 3}) {
+		t.Fatalf("materialized %v=%v, want %v=[1 20 3]", got.Events, got.Values, events)
+	}
+
+	got, err = tr.Apply(delta(1, 12, 10, []uint32{0, 2}, []int64{100, 300}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Counter b reverted to its keyframe value, so this delta omits it.
+	if !reflect.DeepEqual(got.Values, []int64{100, 2, 300}) {
+		t.Fatalf("second delta materialized %v, want [100 2 300]", got.Values)
+	}
+
+	// A fresh keyframe re-anchors: deltas against the old epoch gap out.
+	if _, err := tr.Apply(key(1, 20, events, []int64{5, 6, 7})); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Apply(delta(1, 21, 10, []uint32{0}, []int64{9})); !errors.Is(err, ErrDeltaGap) {
+		t.Fatalf("stale-epoch delta: err %v, want ErrDeltaGap", err)
+	}
+	// The failed Apply left the keyframe intact.
+	got, err = tr.Apply(delta(1, 22, 20, []uint32{0}, []int64{50}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Values, []int64{50, 6, 7}) {
+		t.Fatalf("post-gap delta materialized %v, want [50 6 7]", got.Values)
+	}
+}
+
+// TestDeltaTrackerSessionsInterleaved: one tracker keeps independent
+// keyframes per session.
+func TestDeltaTrackerSessionsInterleaved(t *testing.T) {
+	var tr DeltaTracker
+	tr.Apply(key(1, 5, []string{"x"}, []int64{10}))
+	tr.Apply(key(2, 8, []string{"y"}, []int64{20}))
+	got, err := tr.Apply(delta(1, 6, 5, []uint32{0}, []int64{11}))
+	if err != nil || got.Values[0] != 11 {
+		t.Fatalf("session 1 delta: %v %+v", err, got)
+	}
+	got, err = tr.Apply(delta(2, 9, 8, []uint32{0}, []int64{21}))
+	if err != nil || got.Values[0] != 21 {
+		t.Fatalf("session 2 delta: %v %+v", err, got)
+	}
+}
+
+// TestDeltaTrackerErrors: every malformed or out-of-order frame earns
+// a loud error and leaves the tracker usable.
+func TestDeltaTrackerErrors(t *testing.T) {
+	var tr DeltaTracker
+	if _, err := tr.Apply(delta(1, 2, 1, []uint32{0}, []int64{5})); !errors.Is(err, ErrNoKeyframe) {
+		t.Fatalf("delta before any keyframe: err %v, want ErrNoKeyframe", err)
+	}
+	if _, err := tr.Apply(key(1, 10, []string{"a", "b"}, []int64{1, 2})); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Apply(delta(1, 11, 10, []uint32{7}, []int64{5})); err == nil {
+		t.Fatal("out-of-range delta index accepted")
+	}
+	if _, err := tr.Apply(delta(1, 11, 10, []uint32{0, 1}, []int64{5})); err == nil {
+		t.Fatal("idx/values length mismatch accepted")
+	}
+	// Still healthy after the rejects.
+	got, err := tr.Apply(delta(1, 11, 10, []uint32{1}, []int64{9}))
+	if err != nil || !reflect.DeepEqual(got.Values, []int64{1, 9}) {
+		t.Fatalf("tracker poisoned by rejected frames: %v %+v", err, got)
+	}
+	// Non-stream ops pass through untouched.
+	hello := Response{Op: OpHello, OK: true, Protocol: 4}
+	if got, err := tr.Apply(hello); err != nil || !reflect.DeepEqual(got, hello) {
+		t.Fatalf("passthrough mangled: %v %+v", err, got)
+	}
+}
+
+// TestDeltaBinaryRoundTrip pins the v4 response fields (Idx, Base,
+// Sessions) through the binary codec.
+func TestDeltaBinaryRoundTrip(t *testing.T) {
+	cases := []Response{
+		delta(3, 15, 12, []uint32{0, 2, 9}, []int64{-1, 0, 1 << 40}),
+		{Op: OpSubscribe, OK: true, Sessions: []uint64{1, 5, 1 << 33}},
+	}
+	for _, want := range cases {
+		buf, err := AppendFrame(nil, CodecBinary, &want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec := NewDecoder(bytes.NewReader(buf))
+		dec.SetCodec(CodecBinary)
+		var got Response
+		if err := dec.Decode(&got); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("round trip:\n got %+v\nwant %+v", got, want)
+		}
+	}
+}

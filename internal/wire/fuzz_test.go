@@ -127,9 +127,22 @@ func FuzzBinaryDecode(f *testing.F) {
 		Units:   []string{"", "Minstr/s"},
 		DValues: []float64{1.5, 420.25},
 		Derived: []DerivedSeries{{Metric: "ipc", Points: []DerivedPoint{{Start: 1000, Value: 0.5}}}}})
+	delta, _ := AppendFrame(nil, CodecBinary, &Response{Op: OpDelta, OK: true,
+		Session: 2, Seq: 12, Base: 10,
+		Idx: []uint32{0, 3}, Values: []int64{99, -7}})
+	key, _ := AppendFrame(nil, CodecBinary, &Response{Op: OpSnapshot, OK: true,
+		Session: 2, Seq: 10, Events: []string{"a", "b", "c", "d"},
+		Values: []int64{1, 2, 3, 4}})
+	wild, _ := AppendFrame(nil, CodecBinary, &Request{Op: OpSubscribe, Version: 4,
+		Sessions: []uint64{1, 2}, Labels: []string{"app-*"},
+		Events: []string{"PAPI_TOT_CYC"}, Delta: true})
 	f.Add(good)
 	f.Add(snap)
 	f.Add(drv)
+	f.Add(delta)
+	f.Add(key)
+	f.Add(wild)
+	f.Add(delta[:len(delta)-1])                                   // truncated delta payload
 	f.Add(drv[:len(drv)-1])                                       // truncated float payload
 	f.Add(good[:len(good)-1])                                     // truncated payload
 	f.Add([]byte{0x05})                                           // prefix promising absent bytes

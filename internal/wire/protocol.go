@@ -36,8 +36,11 @@ import (
 // History: 1 = initial papid protocol; 2 = HELLO carries the client
 // version and QUERY serves tsdb history; 3 = HELLO may negotiate the
 // compact binary codec (see binary.go), STATS carries histogram
-// summaries, and subscribers may receive DERIVED frames.
-const ProtocolVersion = 3
+// summaries, and subscribers may receive DERIVED frames; 4 = SUBSCRIBE
+// accepts filters (session IDs, label globs, event names) and delta
+// mode, and filtered subscribers may receive DELTA frames (see
+// delta.go).
+const ProtocolVersion = 4
 
 // MinProtocolQuery is the lowest server protocol that understands
 // OpQuery; QUERY-aware clients check the HELLO reply against it to
@@ -68,6 +71,15 @@ const MinProtocolStatsHists = 3
 // stays exactly what older servers sent.
 const MinProtocolDerived = 3
 
+// MinProtocolFilter is the lowest client protocol that may subscribe
+// with filters (Request.Sessions, Labels, Events on SUBSCRIBE) or
+// request delta frames (Request.Delta). The server rejects filtered
+// SUBSCRIBEs from older peers with a wire ERROR, and never sends a
+// DELTA frame to a subscriber that did not ask for delta mode — an
+// unfiltered v2/v3 peer's snapshot stream stays byte-identical to what
+// older servers sent.
+const MinProtocolFilter = 4
+
 // Request operations.
 const (
 	OpHello        = "HELLO"          // handshake; no arguments
@@ -75,7 +87,7 @@ const (
 	OpAddEvents    = "ADD_EVENTS"     // session, events
 	OpStart        = "START"          // session
 	OpRead         = "READ"           // session
-	OpSubscribe    = "SUBSCRIBE"      // session
+	OpSubscribe    = "SUBSCRIBE"      // session | sessions/labels, events?, delta?, derive?
 	OpPublish      = "PUBLISH"        // session, values, events?
 	OpStop         = "STOP"           // session
 	OpCloseSession = "CLOSE_SESSION"  // session
@@ -85,8 +97,20 @@ const (
 )
 
 // OpSnapshot marks asynchronous fan-out frames pushed to subscribers;
-// it never appears as a request.
+// it never appears as a request. For a delta-mode subscriber a full
+// SNAPSHOT is a keyframe: it resets the subscriber's view and anchors
+// every following DELTA frame until the next keyframe.
 const OpSnapshot = "SNAPSHOT"
+
+// OpDelta marks asynchronous delta frames pushed to subscribers that
+// requested delta mode (protocol >= MinProtocolFilter): Idx lists the
+// counters whose values differ from the keyframe identified by Base,
+// and Values carries their absolute current values (parallel slices,
+// indices into the keyframe's Events order). Each delta is complete
+// relative to its keyframe, so a dropped delta never corrupts client
+// state — the next delta or keyframe fully supersedes it. Never
+// appears as a request.
+const OpDelta = "DELTA"
 
 // OpDerived marks asynchronous derived-metric frames pushed to v3+
 // subscribers whose session has performance groups registered: Metrics
@@ -135,6 +159,22 @@ type Request struct {
 	// raw Series to Derived — the groups' formulas evaluated over the
 	// history window. Requires protocol >= MinProtocolDerived.
 	Derive []string `json:"derive,omitempty"`
+	// Sessions, in a SUBSCRIBE with Session == 0, is a wildcard filter:
+	// subscribe to every listed session that currently exists. Requires
+	// protocol >= MinProtocolFilter.
+	Sessions []uint64 `json:"sessions,omitempty"`
+	// Labels, in a SUBSCRIBE with Session == 0, is a wildcard filter by
+	// session label: path.Match-style globs against the Label each
+	// CREATE_SESSION recorded. Requires protocol >= MinProtocolFilter.
+	Labels []string `json:"labels,omitempty"`
+	// Delta, in a SUBSCRIBE, requests delta mode: the subscriber
+	// receives a full SNAPSHOT keyframe first and periodically, and
+	// compact DELTA frames in between carrying only the counters that
+	// changed since the keyframe. Requires protocol >= MinProtocolFilter.
+	// (Events, on a SUBSCRIBE from a v4+ peer, narrows the stream to the
+	// named counters; the same field names the events of a
+	// CREATE_SESSION or PUBLISH.)
+	Delta bool `json:"delta,omitempty"`
 }
 
 // DerivedPoint is one evaluated derived-metric value, anchored at the
@@ -187,4 +227,15 @@ type Response struct {
 	// Derived carries a derive-mode QUERY reply: one series per metric
 	// of the requested groups, evaluated over the history window.
 	Derived []DerivedSeries `json:"derived,omitempty"`
+	// Sessions, in the reply to a wildcard SUBSCRIBE, lists the session
+	// IDs the filters matched at subscribe time.
+	Sessions []uint64 `json:"sessions,omitempty"`
+	// Idx and Base are the OpDelta payload: Idx lists the positions (in
+	// the keyframe's Events order) of counters whose values differ from
+	// the keyframe whose Seq equals Base; Values (parallel to Idx)
+	// carries their absolute current values. A client whose last
+	// keyframe's Seq is not Base has missed a keyframe and must discard
+	// the delta and wait for the next keyframe (see DeltaTracker).
+	Idx  []uint32 `json:"idx,omitempty"`
+	Base uint64   `json:"base,omitempty"`
 }

@@ -14,7 +14,11 @@ go run ./cmd/benchjson -benchmem -out BENCH_tsdb.json -bench 'TSDB' ./internal/t
 go run ./cmd/benchjson -benchmem -out BENCH_wal.json -bench 'WAL|Replay' ./internal/tsdb/wal
 # The throughput benchmark races synchronous READs against the 1ms
 # snapshot fan-out, so short windows are noisy at 64 subscribers; 3s
-# per benchmark keeps the committed numbers representative.
+# per benchmark keeps the committed numbers representative. The
+# FanoutInterest benchmark rides along, tracking bytes/sub-tick for
+# the v4 subscription shapes (broadcast vs interest-filtered vs
+# event-projected vs delta) so a regression in the filtered fan-out's
+# frame sizes shows up in the committed baseline.
 go run ./cmd/benchjson -benchmem -benchtime 3s -out BENCH_server.json -bench 'Server' ./internal/server .
 # Derived-metric engine costs: compiled-formula evaluation (the
 # per-metric per-tick unit), the full engine tick, and the server's

@@ -142,3 +142,46 @@ esac
 kill $derive_pid
 wait $derive_pid 2>/dev/null || true
 echo "derived-metric smoke OK"
+# Filtered/delta subscription smoke: a papid with a short keyframe
+# cadence, a papirun publisher streaming a long trajectory under the
+# label app-a, and perfometer following it live through a label-glob
+# wildcard SUBSCRIBE in delta mode. runFollow reassembles DELTA frames
+# against keyframes locally, self-heals across queue-full drops at the
+# next keyframe, and exits non-zero on any frame outside the
+# subscribed set — so a green run certifies the v4 filter + delta +
+# resync path end to end. The summary line must show both keyframes
+# and DELTA frames on the wire.
+/tmp/papid-ci-smoke -addr 127.0.0.1:61784 -keyframe-every 3 -quiet &
+delta_pid=$!
+# Enough repetitions to outlast the follow window on any machine; the
+# publisher is killed once the follow has its verdict.
+/tmp/papirun-ci-smoke -serve 127.0.0.1:61784 -serve-label app-a \
+    -workload dot -n 64 -reps 100000 >/dev/null 2>&1 &
+pub_pid=$!
+follow_log=$(mktemp /tmp/papid-ci-follow.XXXXXX)
+trap 'kill -9 $papid_pid $wal_pid $derive_pid $delta_pid $pub_pid 2>/dev/null || true; rm -rf "$wal_dir" "$follow_log"' EXIT
+followed=""
+for i in $(seq 1 50); do
+    # Retries until the publisher's CREATE lands: a wildcard SUBSCRIBE
+    # that matches no live session is a documented error.
+    if /tmp/perfometer-ci-smoke -papid 127.0.0.1:61784 \
+        -follow 2s -labels 'app-*' -delta >"$follow_log" 2>/dev/null; then
+        followed=yes
+        break
+    fi
+    sleep 0.1
+done
+[ -n "$followed" ] || { echo "perfometer -follow never streamed" >&2; exit 1; }
+summary=$(grep '^follow summary:' "$follow_log" || true)
+[ -n "$summary" ] || { echo "follow printed no summary line" >&2; exit 1; }
+case "$summary" in
+    *"keyframes=0 "*) echo "follow saw no keyframes: $summary" >&2; exit 1 ;;
+esac
+case "$summary" in
+    *"deltas=0 "*) echo "follow saw no DELTA frames: $summary" >&2; exit 1 ;;
+esac
+kill -9 $pub_pid 2>/dev/null || true
+wait $pub_pid 2>/dev/null || true
+kill $delta_pid
+wait $delta_pid 2>/dev/null || true
+echo "filtered/delta subscription smoke OK"
