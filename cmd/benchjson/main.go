@@ -8,6 +8,18 @@
 // command, and one entry per benchmark with every metric Go reported —
 // standard ones (ns/op, MB/s, B/op) and custom ReportMetric units
 // (x-compression, B/sample) alike.
+//
+// -diff compares two such files — the regression gate behind
+// tools/bench.sh compare and the CI smoke check:
+//
+//	benchjson -diff -gate 'ServerQuery' -max-regress 25 old.json new.json
+//
+// It prints a per-benchmark, per-metric delta table and exits non-zero
+// when any benchmark matching the -gate regexp regressed its ns/op by
+// more than -max-regress percent. The regexp matches the
+// procs-qualified label (e.g. "ServerQuery/queriers-8"), so one
+// parallelism level can be gated alone. Benchmarks present in only one
+// file are reported but never gate.
 package main
 
 import (
@@ -18,6 +30,7 @@ import (
 	"os"
 	"os/exec"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -53,7 +66,13 @@ func main() {
 	benchtime := flag.String("benchtime", "", "benchtime passed to go test (default go's 1s)")
 	count := flag.Int("count", 1, "count passed to go test")
 	benchmem := flag.Bool("benchmem", false, "pass -benchmem to go test, recording B/op and allocs/op")
+	diff := flag.Bool("diff", false, "compare two result files: benchjson -diff [-gate re] [-max-regress pct] old.json new.json")
+	gate := flag.String("gate", "", "with -diff, regexp of benchmark names whose ns/op regressions gate the exit code (empty gates nothing)")
+	maxRegress := flag.Float64("max-regress", 25, "with -diff, max allowed ns/op regression percent for gated benchmarks")
 	flag.Parse()
+	if *diff {
+		os.Exit(runDiff(flag.Args(), *gate, *maxRegress))
+	}
 	if *out == "" {
 		fmt.Fprintln(os.Stderr, "benchjson: -out is required")
 		os.Exit(2)
@@ -152,6 +171,139 @@ func parseBench(line, pkg string) (Result, bool) {
 		r.Metrics[fields[i+1]] = v
 	}
 	return r, true
+}
+
+// runDiff implements -diff: load two result files, align them by
+// (package, name, procs), print every metric's delta, and return the
+// process exit code — non-zero when a gated benchmark's ns/op
+// regressed past the threshold.
+func runDiff(args []string, gate string, maxRegress float64) int {
+	if len(args) != 2 {
+		fmt.Fprintln(os.Stderr, "benchjson: -diff needs exactly two files: old.json new.json")
+		return 2
+	}
+	var gateRe *regexp.Regexp
+	if gate != "" {
+		re, err := regexp.Compile(gate)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: bad -gate %q: %v\n", gate, err)
+			return 2
+		}
+		gateRe = re
+	}
+	oldDoc, err := loadFile(args[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 1
+	}
+	newDoc, err := loadFile(args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 1
+	}
+
+	type key struct {
+		pkg, name string
+		procs     int
+	}
+	keyOf := func(r Result) key { return key{r.Package, r.Name, r.Procs} }
+	oldBy := make(map[key]Result, len(oldDoc.Results))
+	for _, r := range oldDoc.Results {
+		oldBy[keyOf(r)] = r
+	}
+	seen := make(map[key]bool, len(newDoc.Results))
+
+	fmt.Printf("benchjson diff: %s -> %s\n", args[0], args[1])
+	failures := 0
+	// Iterate the new file in order so the table reads like its source.
+	for _, nr := range newDoc.Results {
+		k := keyOf(nr)
+		seen[k] = true
+		label := nr.Name
+		if nr.Procs != 1 {
+			label = fmt.Sprintf("%s-%d", nr.Name, nr.Procs)
+		}
+		or, ok := oldBy[k]
+		if !ok {
+			fmt.Printf("  %-52s (new benchmark; no baseline)\n", label)
+			continue
+		}
+		// The gate matches the procs-qualified label ("Query/queriers-8"),
+		// so a gate can single out one parallelism level.
+		gated := gateRe != nil && gateRe.MatchString(label)
+		for _, metric := range sortedMetricNames(or.Metrics, nr.Metrics) {
+			ov, haveOld := or.Metrics[metric]
+			nv, haveNew := nr.Metrics[metric]
+			switch {
+			case !haveOld:
+				fmt.Printf("  %-52s %-14s %14s -> %12.4g\n", label, metric, "(none)", nv)
+			case !haveNew:
+				fmt.Printf("  %-52s %-14s %12.4g -> %14s\n", label, metric, ov, "(gone)")
+			default:
+				pct := 0.0
+				if ov != 0 {
+					pct = (nv - ov) / ov * 100
+				}
+				verdict := ""
+				if gated && metric == "ns/op" && pct > maxRegress {
+					verdict = fmt.Sprintf("  REGRESSION (> %.0f%%)", maxRegress)
+					failures++
+				}
+				fmt.Printf("  %-52s %-14s %12.4g -> %12.4g  %+7.1f%%%s\n",
+					label, metric, ov, nv, pct, verdict)
+			}
+		}
+	}
+	for _, or := range oldDoc.Results {
+		if k := keyOf(or); !seen[k] {
+			fmt.Printf("  %-52s (dropped; present only in baseline)\n", or.Name)
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d gated ns/op regression(s) beyond %.0f%%\n",
+			failures, maxRegress)
+		return 1
+	}
+	fmt.Println("benchjson: no gated regressions")
+	return 0
+}
+
+func loadFile(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc File
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(doc.Results) == 0 {
+		return nil, fmt.Errorf("%s: no results", path)
+	}
+	return &doc, nil
+}
+
+// sortedMetricNames merges both sides' metric names, ns/op first so
+// the gated number leads each benchmark's block.
+func sortedMetricNames(a, b map[string]float64) []string {
+	set := make(map[string]bool, len(a)+len(b))
+	for m := range a {
+		set[m] = true
+	}
+	for m := range b {
+		set[m] = true
+	}
+	names := make([]string, 0, len(set))
+	for m := range set {
+		if m != "ns/op" {
+			names = append(names, m)
+		}
+	}
+	sort.Strings(names)
+	if set["ns/op"] {
+		names = append([]string{"ns/op"}, names...)
+	}
+	return names
 }
 
 func fail(err error) {

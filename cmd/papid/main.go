@@ -58,6 +58,7 @@ func main() {
 	cacheSize := flag.Int("cache", 256, "allocation-cache entries")
 	tick := flag.Duration("tick", 50*time.Millisecond, "snapshot fan-out interval")
 	queue := flag.Int("queue", 32, "per-subscriber queue depth (oldest snapshot dropped when full)")
+	tickWorkers := flag.Int("tick-workers", 0, "parallel tick sweep width; 0 picks min(GOMAXPROCS, shards), 1 runs the serial pipeline")
 	keyframeEvery := flag.Int("keyframe-every", 10, "full keyframe cadence for delta-mode subscribers, in fan-outs per view")
 	readIdle := flag.Duration("read-idle", 2*time.Minute, "evict a connection idle this long with no subscription (0 disables)")
 	writeTimeout := flag.Duration("write-timeout", 10*time.Second, "per-frame write deadline; a trip evicts the connection (0 disables)")
@@ -125,6 +126,7 @@ func main() {
 		Shards:          *shards,
 		CacheSize:       *cacheSize,
 		TickInterval:    *tick,
+		TickWorkers:     *tickWorkers,
 		QueueDepth:      *queue,
 		KeyframeEvery:   *keyframeEvery,
 		ReadIdleTimeout: idle,

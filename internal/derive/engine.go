@@ -26,8 +26,25 @@ type Engine struct {
 	evals  *telemetry.Counter // papid_derive_evals_total
 	alerts *telemetry.Counter // papid_derive_alerts_total
 
+	// Session state is striped by session ID so papid's parallel tick
+	// workers evaluating distinct sessions never serialize on one
+	// engine-wide lock. One session's Tick calls are still mutually
+	// exclusive (its stripe's lock), which is all the per-session
+	// delta/streak state needs.
+	stripes [engineStripes]engineStripe
+}
+
+const engineStripes = 16
+
+type engineStripe struct {
 	mu       sync.Mutex
 	sessions map[uint64]*sessionState
+}
+
+// stripeFor picks a session's stripe by Fibonacci-hashing its ID, like
+// papid's registry shards, so sequential IDs spread out.
+func (e *Engine) stripeFor(session uint64) *engineStripe {
+	return &e.stripes[(session*0x9e3779b97f4a7c15)>>32%engineStripes]
 }
 
 // sessionState caches everything one session needs to evaluate its
@@ -72,7 +89,7 @@ func NewEngine(reg *Registry, rules []Rule, logger *slog.Logger, treg *telemetry
 	if treg == nil {
 		treg = telemetry.NewRegistry()
 	}
-	return &Engine{
+	e := &Engine{
 		reg:   reg,
 		rules: append([]Rule(nil), rules...),
 		log:   logger,
@@ -80,8 +97,11 @@ func NewEngine(reg *Registry, rules []Rule, logger *slog.Logger, treg *telemetry
 			Help: "Derived-group evaluations completed (one per session per tick with groups registered)."}),
 		alerts: treg.NewCounter(telemetry.Opts{Name: "papid_derive_alerts_total",
 			Help: "Threshold-rule alerts fired on derived metrics."}),
-		sessions: make(map[uint64]*sessionState),
 	}
+	for i := range e.stripes {
+		e.stripes[i].sessions = make(map[uint64]*sessionState)
+	}
+	return e
 }
 
 // Registry returns the engine's group registry.
@@ -103,21 +123,22 @@ func (e *Engine) Evals() uint64 { return e.evals.Value() }
 // from the second on, emit is called with parallel metric-name, unit,
 // and value slices.
 //
-// emit runs with the engine lock held and the slices are reused on the
-// next call for the same session — consume them synchronously (encode
-// or copy), do not retain them.
+// emit runs with the session's stripe lock held and the slices are
+// reused on the next call for the same session — consume them
+// synchronously (encode or copy), do not retain them.
 func (e *Engine) Tick(session uint64, events []string, values []int64, tsUsec int64,
 	groups []string, emit func(metrics, units []string, vals []float64)) {
 	if len(groups) == 0 || len(events) == 0 || len(events) != len(values) {
 		return
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	stripe := e.stripeFor(session)
+	stripe.mu.Lock()
+	defer stripe.mu.Unlock()
 
-	st := e.sessions[session]
+	st := stripe.sessions[session]
 	if st == nil {
 		st = &sessionState{}
-		e.sessions[session] = st
+		stripe.sessions[session] = st
 	}
 	if !sameStrings(st.layout, events) || !sameStrings(st.groups, groups) {
 		if err := e.rebind(st, events, groups); err != nil {
@@ -125,7 +146,7 @@ func (e *Engine) Tick(session uint64, events []string, values []int64, tsUsec in
 			// caught at subscription/registration time; this is the
 			// belt-and-braces path for layouts that shrank since.
 			e.log.Warn("derive: session binding failed", "session", session, "err", err)
-			delete(e.sessions, session)
+			delete(stripe.sessions, session)
 			return
 		}
 	}
@@ -180,7 +201,7 @@ func (e *Engine) Tick(session uint64, events []string, values []int64, tsUsec in
 }
 
 // rebind recompiles the session's bindings for a new event layout or
-// group set. Called under e.mu.
+// group set. Called under the session's stripe lock.
 func (e *Engine) rebind(st *sessionState, events []string, groups []string) error {
 	gs, err := e.reg.Resolve(groups)
 	if err != nil {
@@ -224,17 +245,22 @@ func (e *Engine) rebind(st *sessionState, events []string, groups []string) erro
 
 // CloseSession drops a session's evaluation state.
 func (e *Engine) CloseSession(session uint64) {
-	e.mu.Lock()
-	delete(e.sessions, session)
-	e.mu.Unlock()
+	stripe := e.stripeFor(session)
+	stripe.mu.Lock()
+	delete(stripe.sessions, session)
+	stripe.mu.Unlock()
 }
 
 // SessionCount returns the number of sessions with live state (tests,
 // leak checks).
 func (e *Engine) SessionCount() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return len(e.sessions)
+	n := 0
+	for i := range e.stripes {
+		e.stripes[i].mu.Lock()
+		n += len(e.stripes[i].sessions)
+		e.stripes[i].mu.Unlock()
+	}
+	return n
 }
 
 func sameStrings(a, b []string) bool {

@@ -29,7 +29,11 @@ func TestChaosSurvivesPathologicalPeers(t *testing.T) {
 	baseGoroutines := runtime.NumGoroutine()
 
 	srv := New(Config{
-		TickInterval:    2 * time.Millisecond,
+		TickInterval: 2 * time.Millisecond,
+		// Chaos runs with the parallel sweep at full width regardless of
+		// GOMAXPROCS: every fan-out invariant must hold with concurrent
+		// shard workers, and -race checks they do.
+		TickWorkers:     8,
 		ReadIdleTimeout: 400 * time.Millisecond,
 		WriteTimeout:    250 * time.Millisecond,
 		WriteQueueDepth: 8,

@@ -190,6 +190,7 @@ func (s *Server) fanoutView(vs *viewState, subs []*subscriber, needKey bool, sna
 		for _, sub := range subs {
 			s.pushSnapshot(&enc, sub)
 		}
+		enc.done()
 		return
 	}
 	vs.sinceKey++
@@ -205,6 +206,7 @@ func (s *Server) fanoutView(vs *viewState, subs []*subscriber, needKey bool, sna
 		for _, sub := range subs {
 			s.pushKeyframe(&enc, sub)
 		}
+		enc.done()
 		return
 	}
 	vs.changed = vs.changed[:0]
@@ -223,18 +225,20 @@ func (s *Server) fanoutView(vs *viewState, subs []*subscriber, needKey bool, sna
 	enc := encCache{resp: &resp}
 	for _, sub := range subs {
 		codec := sub.c.codecNow()
-		payload, ok := enc.get(s, "delta", codec)
+		sb, ok := enc.get(s, "delta", codec)
 		if !ok {
 			s.m.deltaDropped.Inc()
 			sub.needKey.Store(true)
 			continue
 		}
 		s.m.deltaSent.Inc()
-		if sub.push(frame{payload: payload, codec: codec, droppable: true}) {
+		sb.ref()
+		if sub.push(frame{payload: sb.buf, codec: codec, droppable: true, shared: sb}) {
 			s.m.deltaDropped.Inc()
 			sub.needKey.Store(true)
 		}
 	}
+	enc.done()
 }
 
 // pushKeyframe enqueues one keyframe snapshot to a delta subscriber.
@@ -243,7 +247,7 @@ func (s *Server) fanoutView(vs *viewState, subs []*subscriber, needKey bool, sna
 // enqueue clears it.
 func (s *Server) pushKeyframe(enc *encCache, sub *subscriber) {
 	codec := sub.c.codecNow()
-	payload, ok := enc.get(s, "keyframe", codec)
+	sb, ok := enc.get(s, "keyframe", codec)
 	if !ok {
 		s.m.snapDropped.Inc()
 		sub.needKey.Store(true)
@@ -251,7 +255,8 @@ func (s *Server) pushKeyframe(enc *encCache, sub *subscriber) {
 	}
 	s.m.snapSent.Inc()
 	s.m.keyframes.Inc()
-	if sub.push(frame{payload: payload, codec: codec, droppable: true}) {
+	sb.ref()
+	if sub.push(frame{payload: sb.buf, codec: codec, droppable: true, shared: sb}) {
 		s.m.snapDropped.Inc()
 		sub.needKey.Store(true)
 	} else {

@@ -1,0 +1,347 @@
+// Tests for the parallel tick pipeline (tick.go, DESIGN.md S31): the
+// per-session ordering invariants the sharded sweep must preserve at
+// every worker count, the serial-equivalence guarantee of width 1, and
+// the async WAL handoff's durability semantics. Run under -race by
+// tools/ci.sh — most of what these tests certify is the absence of
+// cross-worker interference, which only the race detector and the
+// byte-level stream comparisons can see.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// parallelHarness builds a hand-ticked server with nSessions counting
+// sessions, one detached subscriber each (channel capacity queueCap,
+// caller-drained), spread across registry shards.
+type parallelHarness struct {
+	srv  *Server
+	ids  []uint64
+	subs []*subscriber
+}
+
+func newParallelHarness(t *testing.T, cfg Config, nSessions, queueCap int) *parallelHarness {
+	t.Helper()
+	h := &parallelHarness{srv: New(cfg)}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		h.srv.Shutdown(ctx)
+	})
+	for i := 0; i < nSessions; i++ {
+		created := h.srv.dispatch(nil, &wire.Request{Op: wire.OpCreate,
+			Events: []string{"PAPI_TOT_INS", "PAPI_TOT_CYC"}, Workload: "dot", N: 8})
+		if !created.OK {
+			t.Fatal(created.Error)
+		}
+		sess, ok := h.srv.reg.get(created.Session)
+		if !ok {
+			t.Fatal("session not registered")
+		}
+		sub := &subscriber{ch: make(chan frame, queueCap), done: make(chan struct{})}
+		if _, err := sess.addSubscriber(sub); err != nil {
+			t.Fatal(err)
+		}
+		if resp := h.srv.dispatch(nil, &wire.Request{Op: wire.OpStart,
+			Session: created.Session}); !resp.OK {
+			t.Fatal(resp.Error)
+		}
+		h.ids = append(h.ids, created.Session)
+		h.subs = append(h.subs, sub)
+	}
+	return h
+}
+
+// drain empties one subscriber queue, decoding each frame.
+func drainFrames(t *testing.T, sub *subscriber) []wire.Response {
+	t.Helper()
+	var out []wire.Response
+	for {
+		select {
+		case f := <-sub.ch:
+			var resp wire.Response
+			if err := json.Unmarshal(f.payload, &resp); err != nil {
+				t.Fatalf("frame payload: %v", err)
+			}
+			f.release()
+			out = append(out, resp)
+		default:
+			return out
+		}
+	}
+}
+
+// TestParallelTickSeqMonotonic: with the sweep at full width, every
+// subscriber still sees its session's snapshots in strictly increasing,
+// gapless Seq order — the per-session ordering invariant the shard
+// partitioning exists to preserve. Queues are deep enough that nothing
+// drops, so any gap or reorder is a sweep bug, not backpressure.
+func TestParallelTickSeqMonotonic(t *testing.T) {
+	const nSessions, nTicks = 32, 10
+	h := newParallelHarness(t, Config{TickInterval: time.Hour, TickWorkers: 8},
+		nSessions, nTicks+2)
+	for i := 0; i < nTicks; i++ {
+		h.srv.tick()
+	}
+	for i, sub := range h.subs {
+		frames := drainFrames(t, sub)
+		if len(frames) != nTicks {
+			t.Fatalf("session %d: %d frames, want %d", h.ids[i], len(frames), nTicks)
+		}
+		for j, f := range frames {
+			if f.Session != h.ids[i] {
+				t.Fatalf("session %d received session %d's frame", h.ids[i], f.Session)
+			}
+			if want := uint64(j + 1); f.Seq != want {
+				t.Fatalf("session %d frame %d: seq %d, want %d (gapless, in order)",
+					h.ids[i], j, f.Seq, want)
+			}
+		}
+	}
+	if st := h.srv.Stats(); st.SnapshotsDropped != 0 ||
+		st.SnapshotsSent != uint64(nSessions*nTicks) {
+		t.Fatalf("sent=%d dropped=%d, want %d/0", st.SnapshotsSent,
+			st.SnapshotsDropped, nSessions*nTicks)
+	}
+}
+
+// TestParallelSerialEquivalence: a TickWorkers=1 server and a
+// TickWorkers=8 server fed identical inputs produce byte-identical
+// per-subscriber frame streams. Width 1 is the exact pre-parallel
+// serial pipeline; this pins that higher widths change scheduling
+// only, never any session's stream content or order.
+func TestParallelSerialEquivalence(t *testing.T) {
+	const nSessions, nTicks = 16, 6
+	run := func(workers int) map[uint64][]string {
+		h := newParallelHarness(t, Config{TickInterval: time.Hour, TickWorkers: workers},
+			nSessions, nTicks+2)
+		for i := 0; i < nTicks; i++ {
+			h.srv.tick()
+		}
+		streams := make(map[uint64][]string, nSessions)
+		for i, sub := range h.subs {
+		drain:
+			for {
+				select {
+				case f := <-sub.ch:
+					streams[h.ids[i]] = append(streams[h.ids[i]], string(f.payload))
+					f.release()
+				default:
+					break drain
+				}
+			}
+		}
+		return streams
+	}
+	serial, parallel := run(1), run(8)
+	for id, want := range serial {
+		got := parallel[id]
+		if len(got) != len(want) {
+			t.Fatalf("session %d: %d frames parallel vs %d serial", id, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("session %d frame %d diverged:\nserial:   %s\nparallel: %s",
+					id, i, want[i], got[i])
+			}
+		}
+	}
+}
+
+// TestParallelDeltaRekeyAfterDrop: a delta subscriber that drops frames
+// under the parallel sweep is re-anchored — the first frame it receives
+// after a drop is a full keyframe, never a DELTA chained to an epoch it
+// may have lost. This is the delta-correctness invariant under
+// concurrent sweep workers plus backpressure.
+func TestParallelDeltaRekeyAfterDrop(t *testing.T) {
+	srv := New(Config{TickInterval: time.Hour, TickWorkers: 8,
+		QueueDepth: 2, KeyframeEvery: 1 << 30})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	created := srv.dispatch(nil, &wire.Request{Op: wire.OpCreate,
+		Events: []string{"PAPI_TOT_INS", "PAPI_TOT_CYC"}, Workload: "dot", N: 8})
+	if !created.OK {
+		t.Fatal(created.Error)
+	}
+	sess, _ := srv.reg.get(created.Session)
+	sig, canon := filterSig(nil, true)
+	sub := &subscriber{ch: make(chan frame, srv.cfg.QueueDepth),
+		done: make(chan struct{}), events: canon, delta: true, sig: sig}
+	sub.needKey.Store(true)
+	if _, err := sess.addSubscriber(sub); err != nil {
+		t.Fatal(err)
+	}
+	if resp := srv.dispatch(nil, &wire.Request{Op: wire.OpStart,
+		Session: created.Session}); !resp.OK {
+		t.Fatal(resp.Error)
+	}
+
+	srv.tick() // anchors the epoch
+	frames := drainFrames(t, sub)
+	if len(frames) != 1 || frames[0].Op != wire.OpSnapshot {
+		t.Fatalf("first frame: %+v, want one keyframe SNAPSHOT", frames)
+	}
+	// Undrained ticks overflow the 2-deep queue: deltas drop, and one
+	// of the lost frames could have been a keyframe.
+	for i := 0; i < 5; i++ {
+		srv.tick()
+	}
+	if st := srv.Stats(); st.DeltasDropped == 0 {
+		t.Fatal("no deltas dropped; the test never created the resync condition")
+	}
+	drainFrames(t, sub)
+	srv.tick()
+	after := drainFrames(t, sub)
+	if len(after) == 0 {
+		t.Fatal("no frame after resync tick")
+	}
+	if after[0].Op != wire.OpSnapshot {
+		t.Fatalf("first frame after drop is %s, want a keyframe SNAPSHOT", after[0].Op)
+	}
+}
+
+// TestParallelDerivedFollowsSnapshot: under the parallel sweep, every
+// DERIVED frame a subscriber receives carries the Seq of the SNAPSHOT
+// frame immediately before it in its queue — evaluation and both
+// fan-outs of one session-tick stay a single unit on one worker.
+func TestParallelDerivedFollowsSnapshot(t *testing.T) {
+	srv := New(Config{TickInterval: time.Hour, TickWorkers: 8, Groups: []string{"ipc"}})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	const nSessions, nTicks = 8, 6
+	c := &conn{srv: srv, q: newWriteQueue(4)}
+	c.version.Store(int32(wire.MinProtocolDerived))
+	var subs []*subscriber
+	for i := 0; i < nSessions; i++ {
+		created := srv.dispatch(nil, &wire.Request{Op: wire.OpCreate,
+			Events: []string{"PAPI_TOT_INS", "PAPI_TOT_CYC"}, Workload: "dot", N: 8})
+		if !created.OK {
+			t.Fatal(created.Error)
+		}
+		sess, _ := srv.reg.get(created.Session)
+		sub := &subscriber{c: c, ch: make(chan frame, 4*nTicks), done: make(chan struct{})}
+		if _, err := sess.addSubscriber(sub); err != nil {
+			t.Fatal(err)
+		}
+		if resp := srv.dispatch(nil, &wire.Request{Op: wire.OpStart,
+			Session: created.Session}); !resp.OK {
+			t.Fatal(resp.Error)
+		}
+		subs = append(subs, sub)
+	}
+	for i := 0; i < nTicks; i++ {
+		srv.tick()
+	}
+	derived := 0
+	for _, sub := range subs {
+		frames := drainFrames(t, sub)
+		var lastSnap uint64
+		for _, f := range frames {
+			switch f.Op {
+			case wire.OpSnapshot:
+				lastSnap = f.Seq
+			case wire.OpDerived:
+				derived++
+				if f.Seq != lastSnap {
+					t.Fatalf("DERIVED seq %d after SNAPSHOT seq %d; must match", f.Seq, lastSnap)
+				}
+			default:
+				t.Fatalf("unexpected op %s", f.Op)
+			}
+		}
+	}
+	// The first tick only primes deltas, so nTicks-1 evaluations per
+	// session reach the subscriber.
+	if want := nSessions * (nTicks - 1); derived != want {
+		t.Fatalf("%d DERIVED frames, want %d", derived, want)
+	}
+}
+
+// TestAsyncWALHandoffDurable: on a durable server the tick's history
+// rows flow through the async appender — yet QUERY sees them (the
+// handoff adds latency, never loss), STATS exposes the tick_stalls
+// counter, and a graceful shutdown drains the queue so a restart
+// replays every row a tick produced.
+func TestAsyncWALHandoffDurable(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{
+		TickInterval:  time.Millisecond,
+		TickWorkers:   8,
+		TSDBRetention: -1,
+		DataDir:       dir,
+		Fsync:         "off",
+		WALQueueRows:  4, // tiny queue: batches and (likely) stalls both exercised
+	}
+	srv, addr := startServer(t, cfg)
+	cl := dialT(t, addr)
+	created, err := cl.Do(wire.Request{Op: wire.OpCreate,
+		Events: []string{"PAPI_TOT_INS", "PAPI_TOT_CYC"}, Workload: "dot", N: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := created.Session
+	if _, err := cl.Do(wire.Request{Op: wire.OpStart, Session: id}); err != nil {
+		t.Fatal(err)
+	}
+	// Ticks flow through histCh → histLoop → wal.AppendRows; poll until
+	// QUERY serves a healthy row count to prove the async path lands in
+	// the same store the synchronous one did.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := cl.Do(wire.Request{Op: wire.OpQuery, Session: id,
+			From: 0, To: 1 << 62, Step: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows := 0
+		for _, s := range resp.Series {
+			rows += len(s.Buckets)
+		}
+		if rows >= 40 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("async handoff never surfaced history: %d raw rows", rows)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	stats, err := cl.Do(wire.Request{Op: wire.OpStats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := stats.Stats["tick_stalls"]; !ok {
+		t.Fatalf("STATS lacks tick_stalls: %v", stats.Stats)
+	}
+	if stats.Stats["wal_rows"] == 0 {
+		t.Fatal("wal_rows = 0: async rows never reached the journal")
+	}
+	cl.Close()
+
+	want := durableQueries(t, srv, id, 0, 1<<60)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+
+	srv2 := New(Config{TickInterval: time.Hour, TSDBRetention: -1, DataDir: dir, Fsync: "off"})
+	if srv2.walErr != nil {
+		t.Fatalf("wal reopen: %v", srv2.walErr)
+	}
+	defer srv2.Shutdown(context.Background())
+	if got := durableQueries(t, srv2, id, 0, 1<<60); got != want {
+		t.Errorf("QUERY diverged across restart (queued rows lost?):\nbefore: %s\nafter:  %s",
+			want, got)
+	}
+}

@@ -51,6 +51,7 @@ import (
 	"net"
 	"net/http"
 	"path"
+	"runtime"
 	"slices"
 	"sync"
 	"sync/atomic"
@@ -83,6 +84,19 @@ type Config struct {
 	// QueueDepth bounds each subscriber's send queue; when full the
 	// oldest queued snapshot is dropped (default 32).
 	QueueDepth int
+	// TickWorkers is the parallel tick sweep width (papid
+	// -tick-workers): registry shards are partitioned across this many
+	// workers each tick, every worker running the full
+	// snapshot→history→encode→fan-out unit for its shards' sessions.
+	// Default min(GOMAXPROCS, Shards); 1 runs the exact serial
+	// pipeline. See tick.go and DESIGN.md S31.
+	TickWorkers int
+	// WALQueueRows bounds the async WAL handoff queue on a durable
+	// server (default 256): tick rows queue here and a dedicated
+	// appender goroutine journals them in per-tick batches, off the
+	// tick's critical path. A full queue stalls the tick (counted in
+	// tick_stalls) rather than dropping rows.
+	WALQueueRows int
 	// KeyframeEvery is the delta-subscription keyframe cadence: every
 	// Nth fan-out of a delta view is a full SNAPSHOT keyframe even
 	// without drops, bounding both delta growth within an epoch and how
@@ -182,6 +196,15 @@ func (c *Config) fill() {
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 32
 	}
+	if c.TickWorkers == 0 {
+		c.TickWorkers = min(runtime.GOMAXPROCS(0), c.Shards)
+	}
+	if c.TickWorkers < 1 {
+		c.TickWorkers = 1
+	}
+	if c.WALQueueRows <= 0 {
+		c.WALQueueRows = 256
+	}
 	if c.KeyframeEvery <= 0 {
 		c.KeyframeEvery = 10
 	}
@@ -250,7 +273,12 @@ type Stats struct {
 	FramesSentBinary uint64
 	BytesSentJSON    uint64
 	BytesSentBinary  uint64
-	TSDB             tsdb.Stats // zero when history is disabled
+	// TickStalls counts ticks that blocked handing a history row to
+	// the async WAL appender because its queue was full (durable
+	// servers only) — sustained growth means the disk cannot keep up
+	// with the tick rate.
+	TickStalls uint64
+	TSDB       tsdb.Stats // zero when history is disabled
 	// Durable reports whether a data directory is attached; WAL is its
 	// durability layer's counters (zero otherwise).
 	Durable bool
@@ -302,6 +330,23 @@ type Server struct {
 	// participates in the graceful drain.
 	adminMu sync.Mutex
 	admin   *http.Server
+
+	// tickWork hands tick jobs to the pool of persistent sweep workers
+	// (tick.go); unbuffered, so a worker either takes a job now or the
+	// tick spawns an ephemeral helper instead.
+	tickWork chan *tickJob
+
+	// The async WAL handoff (tick.go): tick rows queue on histCh and
+	// the histLoop appender journals them in batches. All nil/false on
+	// non-durable servers and until Serve starts the appender; histOn
+	// is the producers' switch, histStarted/histQuitOnce the shutdown
+	// handshake.
+	histCh       chan histRow
+	histQuit     chan struct{}
+	histDone     chan struct{}
+	histQuitOnce sync.Once
+	histOn       atomic.Bool
+	histStarted  bool
 }
 
 // New builds a Server; call Listen to start serving.
@@ -391,6 +436,12 @@ func New(cfg Config) *Server {
 			s.hist = tsdb.New(histCfg)
 		}
 	}
+	s.tickWork = make(chan *tickJob)
+	if s.wal != nil {
+		s.histCh = make(chan histRow, cfg.WALQueueRows)
+		s.histQuit = make(chan struct{})
+		s.histDone = make(chan struct{})
+	}
 	s.registerServerFuncs()
 	return s
 }
@@ -429,10 +480,24 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 // peers. Listen is Serve on a fresh TCP listener.
 func (s *Server) Serve(ln net.Listener) net.Addr {
 	s.ln = ln
+	// The WAL appender starts before the tick loop so the first tick
+	// already sees histOn; it is deliberately not in s.wg — Shutdown
+	// joins the producers first (wg.Wait), then tells it to drain and
+	// exit (histQuit/histDone), then closes the WAL.
+	if s.histCh != nil {
+		s.histStarted = true
+		s.histOn.Store(true)
+		go s.histLoop()
+	}
+	for i := 1; i < s.cfg.TickWorkers; i++ {
+		s.wg.Add(1)
+		go s.tickWorker()
+	}
 	s.wg.Add(2)
 	go s.acceptLoop()
 	go s.tickLoop()
-	s.slog.Info("papid: listening", "addr", ln.Addr().String())
+	s.slog.Info("papid: listening", "addr", ln.Addr().String(),
+		"tick_workers", s.cfg.TickWorkers)
 	return ln.Addr()
 }
 
@@ -502,6 +567,7 @@ func (s *Server) Stats() Stats {
 		DeadlineTrips:    s.m.deadlineTrips.Value(),
 		Resyncs:          s.m.resyncs.Value(),
 		WriteDrops:       s.m.writeDrops.Value(),
+		TickStalls:       s.m.tickStalls.Value(),
 		DerivedSent:      s.m.derivedSent.Value(),
 		DerivedDropped:   s.m.derivedDropped.Value(),
 		DeltasSent:       s.m.deltaSent.Value(),
@@ -562,6 +628,20 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	case <-ctx.Done():
 		err = ctx.Err()
 	}
+	// The WAL appender quits after every producer has: the tick loop
+	// and workers joined above, so closing histQuit lets histLoop
+	// journal what is still queued and exit before the WAL closes
+	// beneath it. Bounded by ctx like the drain itself.
+	if s.histStarted {
+		s.histQuitOnce.Do(func() { close(s.histQuit) })
+		select {
+		case <-s.histDone:
+		case <-ctx.Done():
+			if err == nil {
+				err = ctx.Err()
+			}
+		}
+	}
 	// The durability layer closes last, after the tick loop has joined
 	// (clean drain) so no append races the final flush: every active
 	// block is sealed into the current segment, the segment finalized,
@@ -619,15 +699,11 @@ func (s *Server) tick() {
 	defer func() { s.m.tickDur.Observe(telemetry.Since(t0)) }()
 	s.m.ticks.Inc()
 	now := s.cfg.now()
-	s.reg.forEach(func(sess *session) {
-		resp, subs, ok := sess.snapshot()
-		if !ok {
-			return
-		}
-		s.appendHistory(resp.Session, now, resp.Events, resp.Values)
-		s.fanout(sess, resp, subs)
-		s.fanoutDerived(sess, resp, subs, now)
-	})
+	if s.cfg.TickWorkers > 1 {
+		s.tickParallel(now)
+	} else {
+		s.reg.forEach(func(sess *session) { s.tickSession(sess, now) })
+	}
 	if s.hist != nil {
 		// Age out history of idle and closed sessions too — appends
 		// only sweep the series they touch.
@@ -652,49 +728,72 @@ func (s *Server) appendHistory(session uint64, ts int64, events []string, vals [
 var appendFrameFn = wire.AppendFrame
 
 // encCache lazily serializes one response at most once per codec and
-// hands out the shared immutable bytes — the encode-once fan-out path.
+// hands out the shared bytes — the encode-once fan-out path. The
+// buffers are pooled, reference-counted sharedBufs (tick.go): the
+// cache holds one reference across the fan-out, each enqueued frame
+// takes its own, and done() drops the cache's when the fan-out ends.
 // A failed encode is negative-cached for the rest of the fan-out:
 // logged and counted once, with every later subscriber on that codec
 // just recording its dropped frame instead of re-attempting the
 // encode and re-logging each tick.
 type encCache struct {
-	resp    *wire.Response
-	payload [2][]byte // indexed by wire.Codec
-	failed  [2]bool
+	resp   *wire.Response
+	shared [2]*sharedBuf // indexed by wire.Codec
+	failed [2]bool
 }
 
 // get returns the encoded frame for codec, serializing on first use.
 // ok is false when the encode failed (now or earlier this fan-out);
-// the caller counts the drop for its frame kind.
-func (e *encCache) get(s *Server, what string, codec wire.Codec) (payload []byte, ok bool) {
+// the caller counts the drop for its frame kind. An ok buffer stays
+// valid until done(); a caller enqueuing it must sb.ref() first.
+func (e *encCache) get(s *Server, what string, codec wire.Codec) (sb *sharedBuf, ok bool) {
 	if e.failed[codec] {
 		return nil, false
 	}
-	if p := e.payload[codec]; p != nil {
-		return p, true
+	if sb := e.shared[codec]; sb != nil {
+		return sb, true
 	}
-	p, err := appendFrameFn(nil, codec, e.resp)
+	sb = newSharedBuf()
+	p, err := appendFrameFn(sb.buf[:0], codec, e.resp)
 	if err != nil {
+		sb.release()
 		e.failed[codec] = true
 		s.m.encodeFailures.Inc()
 		s.slog.Error("papid: "+what+" encode failed",
 			"codec", codec.String(), "session", e.resp.Session, "err", err)
 		return nil, false
 	}
-	e.payload[codec] = p
-	return p, true
+	sb.buf = p
+	e.shared[codec] = sb
+	return sb, true
+}
+
+// done drops the cache's own reference on every buffer it encoded.
+// Call exactly once, after the fan-out loop that used the cache — a
+// buffer no subscriber queue took goes straight back to the pool.
+func (e *encCache) done() {
+	for i, sb := range e.shared {
+		if sb != nil {
+			sb.release()
+			e.shared[i] = nil
+		}
+	}
 }
 
 // fanout serializes one snapshot at most once per codec in use and
-// hands the shared immutable bytes to every subscriber — the
-// encode-once path. With N subscribers on one codec the tick pays for
-// one Marshal, not N; the []byte is never mutated after this point, so
-// sharing it across queues is safe without copies or refcounts.
-// Filtered and delta subscribers peel off to fanoutViews (filter.go),
-// which applies the same encode-once discipline per distinct view.
+// hands the shared bytes to every subscriber — the encode-once path.
+// With N subscribers on one codec the tick pays for one Marshal, not
+// N; the bytes are never mutated while shared, and the refcount on
+// each buffer (see sharedBuf) returns it to the pool once the cache
+// and every queue are done with it. Filtered and delta subscribers
+// peel off to fanoutViews (filter.go), which applies the same
+// encode-once discipline per distinct view; their scratch slice is
+// pooled too — fan-out runs every tick for every session, so even
+// small per-call allocations are worth retiring.
 func (s *Server) fanout(sess *session, resp wire.Response, subs []*subscriber) {
 	enc := encCache{resp: &resp}
-	var viewSubs []*subscriber
+	vp := viewSubsPool.Get().(*[]*subscriber)
+	viewSubs := (*vp)[:0]
 	for _, sub := range subs {
 		if sub.sig != "" {
 			viewSubs = append(viewSubs, sub)
@@ -705,19 +804,26 @@ func (s *Server) fanout(sess *session, resp wire.Response, subs []*subscriber) {
 	if len(viewSubs) > 0 {
 		s.fanoutViews(sess, &resp, viewSubs)
 	}
+	enc.done()
+	for i := range viewSubs {
+		viewSubs[i] = nil // no subscriber outlives its tick via the pool
+	}
+	*vp = viewSubs[:0]
+	viewSubsPool.Put(vp)
 }
 
 // pushSnapshot enqueues one full snapshot frame, counting it sent or
 // dropped (an encode failure counts as a drop for this subscriber).
 func (s *Server) pushSnapshot(enc *encCache, sub *subscriber) {
 	codec := sub.c.codecNow()
-	payload, ok := enc.get(s, "snapshot", codec)
+	sb, ok := enc.get(s, "snapshot", codec)
 	if !ok {
 		s.m.snapDropped.Inc()
 		return
 	}
 	s.m.snapSent.Inc()
-	if sub.push(frame{payload: payload, codec: codec, droppable: true}) {
+	sb.ref()
+	if sub.push(frame{payload: sb.buf, codec: codec, droppable: true, shared: sb}) {
 		s.m.snapDropped.Inc()
 	}
 }
@@ -747,16 +853,18 @@ func (s *Server) fanoutDerived(sess *session, snap wire.Response, subs []*subscr
 					continue
 				}
 				codec := sub.c.codecNow()
-				payload, ok := enc.get(s, "derived", codec)
+				sb, ok := enc.get(s, "derived", codec)
 				if !ok {
 					s.m.derivedDropped.Inc()
 					continue
 				}
 				s.m.derivedSent.Inc()
-				if sub.push(frame{payload: payload, codec: codec, droppable: true}) {
+				sb.ref()
+				if sub.push(frame{payload: sb.buf, codec: codec, droppable: true, shared: sb}) {
 					s.m.derivedDropped.Inc()
 				}
 			}
+			enc.done()
 		})
 }
 
@@ -816,9 +924,12 @@ type frame struct {
 	droppable bool
 	// poolBuf, when non-nil, owns payload's backing array; the writer
 	// returns it to framePool after the socket write. Only
-	// single-owner reply frames set it — shared snapshot payloads are
-	// left to the GC.
+	// single-owner reply frames set it.
 	poolBuf *[]byte
+	// shared, when non-nil, is the reference-counted fan-out buffer
+	// backing payload; this frame holds one reference and release
+	// drops it. Mutually exclusive with poolBuf.
+	shared *sharedBuf
 }
 
 // framePool recycles reply-frame encode buffers. Replies are encoded
@@ -826,16 +937,24 @@ type frame struct {
 // goroutine, so the buffer's lifetime is precisely enqueue→write.
 var framePool = sync.Pool{New: func() any { b := make([]byte, 0, 256); return &b }}
 
-// release returns a frame's pooled buffer, if it owns one.
+// release returns a frame's pooled reply buffer or drops its shared
+// fan-out reference, whichever it holds. Every path that is done with
+// a frame — socket write, queue eviction, jam, closed queue — calls
+// it; a frame simply abandoned (e.g. stuck in a torn-down channel) is
+// never released and its buffer falls to the GC, which is a pool miss
+// but never a reuse-while-referenced.
 func (f *frame) release() {
-	if f.poolBuf == nil {
-		return
+	if f.poolBuf != nil {
+		if cap(f.payload) <= maxPooledFrame {
+			*f.poolBuf = f.payload[:0]
+			framePool.Put(f.poolBuf)
+		}
+		f.poolBuf = nil
 	}
-	if cap(f.payload) <= 1<<16 {
-		*f.poolBuf = f.payload[:0]
-		framePool.Put(f.poolBuf)
+	if f.shared != nil {
+		f.shared.release()
+		f.shared = nil
 	}
-	f.poolBuf = nil
 }
 
 // subscriber is one SUBSCRIBE registration: a bounded queue drained by
@@ -874,15 +993,18 @@ func (sub *subscriber) push(f frame) (dropped bool) {
 	// drained concurrently, in which case the eviction select falls
 	// through and the send succeeds — either way one frame was lost
 	// from this subscriber's point of view only if the final send
-	// also fails.
+	// also fails. Discarded frames release their shared buffers here;
+	// a frame the channel accepted is released downstream.
 	select {
-	case <-sub.ch:
+	case old := <-sub.ch:
+		old.release()
 		dropped = true
 	default:
 	}
 	select {
 	case sub.ch <- f:
 	default:
+		f.release()
 		dropped = true
 	}
 	return dropped
@@ -955,6 +1077,7 @@ func (q *writeQueue) push(f frame) (dropped, ok bool) {
 		}
 		if !evicted {
 			if f.droppable {
+				f.release()
 				return true, true // every queued frame outranks the new one
 			}
 			f.release()
@@ -1376,6 +1499,7 @@ func (s *Server) dispatch(c *conn, req *wire.Request) wire.Response {
 			"deadline_trips":     st.DeadlineTrips,
 			"resyncs":            st.Resyncs,
 			"write_drops":        st.WriteDrops,
+			"tick_stalls":        st.TickStalls,
 			"frames_sent_json":   st.FramesSentJSON,
 			"frames_sent_binary": st.FramesSentBinary,
 			"bytes_sent_json":    st.BytesSentJSON,

@@ -42,6 +42,12 @@ type session struct {
 	seq     uint64
 	last    []int64 // latest snapshot: live read, publish, or final stop
 	subs    map[*subscriber]struct{}
+	// subsList is the copy-on-write flattening of subs, rebuilt on
+	// every membership change: snapshot() hands it out every tick, so
+	// the per-tick cost is a slice read instead of a map walk and an
+	// allocation. Frames encoded outside mu may still hold the old
+	// slice — rebuilds allocate fresh, never mutate in place.
+	subsList []*subscriber
 
 	// deriveGroups are the performance groups SUBSCRIBE registered on
 	// this session; tickGroups caches their union with the server-default
@@ -208,16 +214,25 @@ func (sess *session) snapshot() (resp wire.Response, subs []*subscriber, ok bool
 	return resp, sess.subscribers(), true
 }
 
-// subscribers snapshots the subscriber set; callers hold mu.
+// subscribers returns the current subscriber list; callers hold mu.
+// The slice is the copy-on-write subsList — safe to use after mu is
+// released, never mutated, only replaced.
 func (sess *session) subscribers() []*subscriber {
+	return sess.subsList
+}
+
+// rebuildSubsLocked reflattens subs into a fresh subsList; callers
+// hold mu.
+func (sess *session) rebuildSubsLocked() {
 	if len(sess.subs) == 0 {
-		return nil
+		sess.subsList = nil
+		return
 	}
 	subs := make([]*subscriber, 0, len(sess.subs))
 	for sub := range sess.subs {
 		subs = append(subs, sub)
 	}
-	return subs
+	sess.subsList = subs
 }
 
 func (sess *session) addSubscriber(sub *subscriber) ([]string, error) {
@@ -227,6 +242,7 @@ func (sess *session) addSubscriber(sub *subscriber) ([]string, error) {
 		return nil, errSessionClosed
 	}
 	sess.subs[sub] = struct{}{}
+	sess.rebuildSubsLocked()
 	return append([]string(nil), sess.names...), nil
 }
 
@@ -303,6 +319,7 @@ func (sess *session) derivedGroups(defaults []*derive.Group) []string {
 func (sess *session) removeSubscriber(sub *subscriber) {
 	sess.mu.Lock()
 	delete(sess.subs, sub)
+	sess.rebuildSubsLocked()
 	shared := false
 	if sub.sig != "" {
 		for other := range sess.subs {
@@ -342,6 +359,7 @@ func (sess *session) close() []int64 {
 		sess.running = false
 	}
 	sess.subs = make(map[*subscriber]struct{})
+	sess.subsList = nil
 	return sess.last
 }
 
@@ -413,15 +431,24 @@ func (r *registry) count() int {
 // the callback runs, so callbacks may take session locks freely.
 func (r *registry) forEach(f func(*session)) {
 	for i := range r.shards {
-		sh := &r.shards[i]
-		sh.mu.RLock()
-		batch := make([]*session, 0, len(sh.m))
-		for _, sess := range sh.m {
-			batch = append(batch, sess)
-		}
-		sh.mu.RUnlock()
-		for _, sess := range batch {
-			f(sess)
-		}
+		r.sweepShard(i, f)
+	}
+}
+
+// sweepShard visits every session of one shard — the unit of work the
+// parallel tick sweep claims (tick.go). The shard lock is released
+// before any callback runs, same contract as forEach; distinct shards
+// may be swept concurrently, and a session belongs to exactly one
+// shard, so one sweep visits it exactly once.
+func (r *registry) sweepShard(i int, f func(*session)) {
+	sh := &r.shards[i]
+	sh.mu.RLock()
+	batch := make([]*session, 0, len(sh.m))
+	for _, sess := range sh.m {
+		batch = append(batch, sess)
+	}
+	sh.mu.RUnlock()
+	for _, sess := range batch {
+		f(sess)
 	}
 }

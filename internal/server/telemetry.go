@@ -22,6 +22,9 @@ type metrics struct {
 	deadlineTrips *telemetry.Counter
 	resyncs       *telemetry.Counter
 	writeDrops    *telemetry.Counter
+	// tickStalls counts ticks that blocked on a full async-WAL handoff
+	// queue (tick.go) — the disk falling behind the tick rate.
+	tickStalls *telemetry.Counter
 
 	// DERIVED and DELTA fan-out keep their own sent/dropped pairs so
 	// snapshot accounting stays pure: snapSent/snapDropped count full
@@ -76,6 +79,8 @@ func newMetrics(reg *telemetry.Registry) *metrics {
 		Help: "Malformed frames answered with an ERROR frame and skipped."})
 	m.writeDrops = reg.NewCounter(telemetry.Opts{Name: "papid_write_drops_total",
 		Help: "Snapshot frames dropped from per-connection write queues."})
+	m.tickStalls = reg.NewCounter(telemetry.Opts{Name: "papid_tick_stalls_total",
+		Help: "Ticks that blocked handing a history row to the WAL appender (full queue)."})
 	m.derivedSent = reg.NewCounter(telemetry.Opts{Name: "papid_derived_sent_total",
 		Help: "DERIVED frames enqueued to subscribers."})
 	m.derivedDropped = reg.NewCounter(telemetry.Opts{Name: "papid_derived_dropped_total",
@@ -176,6 +181,18 @@ func (s *Server) registerServerFuncs() {
 		_, misses := s.cache.counters()
 		return misses
 	})
+	reg.NewGaugeFunc(telemetry.Opts{Name: "papid_tick_workers",
+		Help: "Configured parallel tick sweep width."}, func() float64 {
+		return float64(s.cfg.TickWorkers)
+	})
+	reg.NewGaugeFunc(telemetry.Opts{Name: "papid_wal_queue_rows",
+		Help: "Tick rows currently queued to the async WAL appender (0 when not durable)."},
+		func() float64 {
+			if s.histCh == nil {
+				return 0
+			}
+			return float64(len(s.histCh))
+		})
 	reg.NewGaugeFunc(telemetry.Opts{Name: "papid_goroutines",
 		Help: "Goroutines in the papid process."}, func() float64 {
 		return float64(runtime.NumGoroutine())

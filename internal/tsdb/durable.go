@@ -88,6 +88,7 @@ func (s *Store) InstallSealed(sb SealedBlock, mapped, fold bool) {
 	if sr == nil {
 		sr = newSeries(sb.Key, s.widths)
 		sh.m[sb.Key] = sr
+		s.indexAdd(sb.Key)
 	}
 	before := sr.bytes()
 	// Replay installs only blocks read back from segment files, so by
@@ -131,6 +132,7 @@ func (s *Store) InstallRollup(key SeriesKey, width int64, buckets []Bucket) bool
 	if sr == nil {
 		sr = newSeries(key, s.widths)
 		sh.m[key] = sr
+		s.indexAdd(key)
 	}
 	for i := range sr.levels {
 		if sr.levels[i].width != width {

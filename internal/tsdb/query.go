@@ -1,7 +1,7 @@
 package tsdb
 
 import (
-	"sort"
+	"slices"
 	"time"
 
 	"repro/internal/telemetry"
@@ -67,22 +67,20 @@ func (s *Store) Query(session uint64, q Query) []Series {
 // a wire ERROR naming the gap — groups whose formulas reference events
 // the session never recorded, instead of returning an empty reply the
 // client could mistake for "no data".
-func (s *Store) Events(session uint64) []string { return s.sessionEvents(session) }
+func (s *Store) Events(session uint64) []string {
+	return slices.Clone(s.sessionEvents(session))
+}
 
-// sessionEvents lists the session's series names, sorted.
+// sessionEvents lists the session's series names, sorted, straight
+// from the copy-on-write session index — one RLock, no shard locks, no
+// sort. This used to scan all shards under exclusive locks per query,
+// which is what made papid's filterless QUERY path *slower* with more
+// concurrent queriers. The returned slice is shared and must not be
+// mutated; Events clones for external callers.
 func (s *Store) sessionEvents(session uint64) []string {
-	var names []string
-	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.Lock()
-		for key := range sh.m {
-			if key.Session == session {
-				names = append(names, key.Event)
-			}
-		}
-		sh.mu.Unlock()
-	}
-	sort.Strings(names)
+	s.sessMu.RLock()
+	names := s.sessions[session]
+	s.sessMu.RUnlock()
 	return names
 }
 
@@ -127,10 +125,10 @@ func (s *Store) querySeries(key SeriesKey, q Query) (Series, bool) {
 
 	var src []Bucket
 	if width > 0 {
-		sh.mu.Lock()
+		sh.mu.RLock()
 		sr := sh.m[key]
 		if sr == nil {
-			sh.mu.Unlock()
+			sh.mu.RUnlock()
 			return Series{}, false
 		}
 		for i := range sr.levels {
@@ -139,7 +137,7 @@ func (s *Store) querySeries(key SeriesKey, q Query) (Series, bool) {
 				break
 			}
 		}
-		sh.mu.Unlock()
+		sh.mu.RUnlock()
 	} else {
 		sealed, active, ok := s.snapshotBlocks(sh, key, effFrom, effTo)
 		if !ok {
@@ -178,8 +176,8 @@ func (s *Store) querySeries(key SeriesKey, q Query) (Series, bool) {
 // sealed blocks overlapping [from, to) plus a copy of the active block
 // — decoding then happens lock-free.
 func (s *Store) snapshotBlocks(sh *storeShard, key SeriesKey, from, to int64) (sealed []*block, active *block, ok bool) {
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
 	sr := sh.m[key]
 	if sr == nil {
 		return nil, nil, false

@@ -17,6 +17,7 @@
 package tsdb
 
 import (
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -101,17 +102,28 @@ type Store struct {
 	// evictMu serializes budget-eviction scans so concurrent appenders
 	// don't stampede the same candidate.
 	evictMu sync.Mutex
+
+	// sessMu guards sessions, the per-session sorted event-name index.
+	// Before it existed, answering "which events does session N have
+	// history for" meant taking every shard lock exclusively and
+	// sorting — the scan every filterless QUERY paid, and the lock
+	// papid's parallel queriers serialized on. Slices are copy-on-write
+	// so a reader may keep a returned slice after the lock drops.
+	// sessMu is a leaf lock: it is taken (briefly) while a shard lock
+	// is held at series creation, and never the other way around.
+	sessMu   sync.RWMutex
+	sessions map[uint64][]string
 }
 
 type storeShard struct {
-	mu sync.Mutex
+	mu sync.RWMutex
 	m  map[SeriesKey]*series
 }
 
 // New builds a Store.
 func New(cfg Config) *Store {
 	cfg.fill()
-	s := &Store{cfg: cfg}
+	s := &Store{cfg: cfg, sessions: make(map[uint64][]string)}
 	s.widths = make([]int64, len(cfg.Rollups))
 	for i, d := range cfg.Rollups {
 		s.widths[i] = d.Microseconds()
@@ -136,9 +148,9 @@ func New(cfg Config) *Store {
 			Help: "Live history series."}, func() float64 {
 			n := 0
 			for i := range s.shards {
-				s.shards[i].mu.Lock()
+				s.shards[i].mu.RLock()
 				n += len(s.shards[i].m)
-				s.shards[i].mu.Unlock()
+				s.shards[i].mu.RUnlock()
 			}
 			return float64(n)
 		})
@@ -199,6 +211,7 @@ func (s *Store) appendLocked(sh *storeShard, key SeriesKey, ts, v int64, seq uin
 	if sr == nil {
 		sr = newSeries(key, s.widths)
 		sh.m[key] = sr
+		s.indexAdd(key)
 	}
 	d, sealed := sr.append(ts, v, s.cfg.BlockSamples, seq)
 	delta = d
@@ -292,6 +305,44 @@ func (s *Store) AppendBatchSeq(session uint64, ts int64, events []string, vals [
 	}
 }
 
+// indexAdd records a freshly created series in the session event
+// index. Copy-on-write: the slice a concurrent sessionEvents reader
+// already holds is never mutated.
+func (s *Store) indexAdd(key SeriesKey) {
+	s.sessMu.Lock()
+	names := s.sessions[key.Session]
+	if i, found := slices.BinarySearch(names, key.Event); !found {
+		grown := make([]string, 0, len(names)+1)
+		grown = append(grown, names[:i]...)
+		grown = append(grown, key.Event)
+		grown = append(grown, names[i:]...)
+		s.sessions[key.Session] = grown
+	}
+	s.sessMu.Unlock()
+}
+
+// indexRemove drops fully-expired series from the session event index
+// (the counterpart of Sweep's series deletion).
+func (s *Store) indexRemove(keys []SeriesKey) {
+	s.sessMu.Lock()
+	for _, key := range keys {
+		names := s.sessions[key.Session]
+		i, found := slices.BinarySearch(names, key.Event)
+		if !found {
+			continue
+		}
+		if len(names) == 1 {
+			delete(s.sessions, key.Session)
+			continue
+		}
+		pruned := make([]string, 0, len(names)-1)
+		pruned = append(pruned, names[:i]...)
+		pruned = append(pruned, names[i+1:]...)
+		s.sessions[key.Session] = pruned
+	}
+	s.sessMu.Unlock()
+}
+
 // evictToBudget drops globally-oldest sealed blocks until the store is
 // back under MaxBytes. If no sealed block exists anywhere (pathological
 // budgets), the oldest series' active block is sealed and dropped so
@@ -308,13 +359,13 @@ func (s *Store) evictToBudget() {
 		)
 		for i := range s.shards {
 			sh := &s.shards[i]
-			sh.mu.Lock()
+			sh.mu.RLock()
 			for key, sr := range sh.m {
 				if ts, ok := sr.oldestSealedTS(); ok && (!found || ts < oldest) {
 					victimShard, victimKey, oldest, found = sh, key, ts, true
 				}
 			}
-			sh.mu.Unlock()
+			sh.mu.RUnlock()
 		}
 		if !found {
 			if !s.sealOldestActive() {
@@ -345,13 +396,13 @@ func (s *Store) sealOldestActive() bool {
 	)
 	for i := range s.shards {
 		sh := &s.shards[i]
-		sh.mu.Lock()
+		sh.mu.RLock()
 		for key, sr := range sh.m {
 			if sr.active != nil && sr.active.n > 0 && (!found || sr.active.minTS < oldest) {
 				victimShard, victimKey, oldest, found = sh, key, sr.active.minTS, true
 			}
 		}
-		sh.mu.Unlock()
+		sh.mu.RUnlock()
 	}
 	if !found {
 		return false
@@ -406,8 +457,11 @@ func (s *Store) Sweep(now int64) {
 		}
 		sh.mu.Unlock()
 		s.fireSeals(seals)
-		if len(dropped) > 0 && s.cfg.Storage != nil {
-			s.cfg.Storage.OnDropSeries(dropped)
+		if len(dropped) > 0 {
+			s.indexRemove(dropped)
+			if s.cfg.Storage != nil {
+				s.cfg.Storage.OnDropSeries(dropped)
+			}
 		}
 	}
 }
@@ -416,9 +470,9 @@ func (s *Store) Sweep(now int64) {
 func (s *Store) Stats() Stats {
 	n := 0
 	for i := range s.shards {
-		s.shards[i].mu.Lock()
+		s.shards[i].mu.RLock()
 		n += len(s.shards[i].m)
-		s.shards[i].mu.Unlock()
+		s.shards[i].mu.RUnlock()
 	}
 	return Stats{
 		Bytes:     s.bytes.Load(),

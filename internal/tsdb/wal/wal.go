@@ -425,6 +425,81 @@ func (l *Log) AppendBatch(session uint64, ts int64, events []string, vals []int6
 	return werr
 }
 
+// Row is one tick row for AppendRows: the (session, timestamp, events,
+// values) tuple AppendBatch takes as arguments.
+type Row struct {
+	Session uint64
+	TS      int64
+	Events  []string
+	Vals    []int64
+}
+
+// AppendRows journals a batch of tick rows under one lock acquisition
+// and — under FsyncAlways — at most one fsync for the whole batch,
+// instead of one per row. papid's async WAL appender drains its
+// handoff queue through here so one tick's rows cost one lock/fsync
+// round regardless of session count. Semantics match len(rows)
+// sequential AppendBatch calls: every row hits the journal before the
+// store sees it (write-ahead order, which is also what keeps
+// seal/truncate bookkeeping honest — a row is journaled before any
+// seal it lands in can mark it covered), a failed journal write leaves
+// exactly that row RAM-only (counted and logged), and the first write
+// error is returned. The only divergence is fsync timing: rows early
+// in a batch are synced with the batch, not individually — acceptable
+// because tick rows are never acked to a client, unlike PUBLISH rows,
+// which keep using AppendBatch's per-row sync.
+func (l *Log) AppendRows(rows []Row) error {
+	if l.closed.Load() {
+		return ErrClosed
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var firstErr error
+	wrote := false
+	for i := range rows {
+		r := &rows[i]
+		events, vals := r.Events, r.Vals
+		if len(events) > len(vals) {
+			events = events[:len(vals)]
+		}
+		if len(events) == 0 {
+			continue
+		}
+		l.lastSeq++
+		seq := l.lastSeq
+		payload := appendRow(l.scratch[:0], seq, r.Session, r.TS, events, vals)
+		rec := appendFrame(payload[len(payload):], payload)
+		l.scratch = payload[:0]
+		if l.wf != nil {
+			if _, werr := l.wwr.Write(rec); werr == nil {
+				l.wfBytes += int64(len(rec))
+				l.wfMaxSeq = seq
+				l.rows.Add(1)
+				wrote = true
+			} else {
+				l.writeErrs.Add(1)
+				l.logger.Error("wal append failed; row is RAM-only", "err", werr, "seq", seq)
+				if firstErr == nil {
+					firstErr = werr
+				}
+			}
+		}
+		l.noteRows(r.Session, r.TS, events, seq)
+		l.store.AppendBatchSeq(r.Session, r.TS, events, vals, seq)
+	}
+	if wrote {
+		if l.opts.Fsync == FsyncAlways {
+			l.fsyncWALLocked()
+		} else {
+			l.walDirty = true
+		}
+		if firstErr == nil && l.wfBytes >= l.opts.SegmentBytes {
+			l.rotateWALLocked()
+		}
+	}
+	return firstErr
+}
+
 // noteRows updates per-series pins before the store append.
 func (l *Log) noteRows(session uint64, ts int64, events []string, seq uint64) {
 	l.stateMu.Lock()

@@ -6,8 +6,26 @@
 # machine-readable JSON via cmd/benchjson. -benchmem records B/op and
 # allocs/op so allocation regressions on the serving path are tracked
 # alongside latency.
+#
+# `tools/bench.sh compare` runs the server benchmarks against the
+# committed BENCH_server.json instead of overwriting it: a fresh
+# measurement goes to a temp file and `benchjson -diff` gates on the
+# serving-path benchmarks, failing when any gated ns/op regressed more
+# than 25% against the baseline. Use it before regenerating baselines
+# so a regression is a loud diff, not a silently re-baselined number.
 set -eu
 cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "compare" ]; then
+    tmp=$(mktemp /tmp/bench-server-compare.XXXXXX.json)
+    trap 'rm -f "$tmp"' EXIT
+    go run ./cmd/benchjson -benchmem -benchtime 3s -out "$tmp" \
+        -bench 'Server|TickParallel' ./internal/server .
+    go run ./cmd/benchjson -diff \
+        -gate 'ServerQuery|ServerFanout|ServerThroughput' -max-regress 25 \
+        BENCH_server.json "$tmp"
+    exit 0
+fi
 go run ./cmd/benchjson -benchmem -out BENCH_tsdb.json -bench 'TSDB' ./internal/tsdb
 # Durability costs: per-row WAL append under each fsync policy and
 # crash-recovery replay speed (both report rows/s).
@@ -19,7 +37,7 @@ go run ./cmd/benchjson -benchmem -out BENCH_wal.json -bench 'WAL|Replay' ./inter
 # the v4 subscription shapes (broadcast vs interest-filtered vs
 # event-projected vs delta) so a regression in the filtered fan-out's
 # frame sizes shows up in the committed baseline.
-go run ./cmd/benchjson -benchmem -benchtime 3s -out BENCH_server.json -bench 'Server' ./internal/server .
+go run ./cmd/benchjson -benchmem -benchtime 3s -out BENCH_server.json -bench 'Server|TickParallel' ./internal/server .
 # Derived-metric engine costs: compiled-formula evaluation (the
 # per-metric per-tick unit), the full engine tick, and the server's
 # derived fan-out (evaluate + encode-once DERIVED frame across v3

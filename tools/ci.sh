@@ -29,6 +29,21 @@ go test -run='^$' -bench=. -benchtime=1x ./...
 # reintroduced per-subscriber serialization as an allocs/op jump even
 # when wall-clock noise hides it.
 go test -run='^$' -bench='ServerThroughput' -benchtime=1x -benchmem .
+# Regression-gate smoke: one-iteration ServerQuery numbers through the
+# full benchjson pipeline — emit JSON, then -diff against the committed
+# baseline. Single-iteration runs pay every cold-start cost (first
+# QUERY allocates, caches fault in), landing ~10x over the 3s-averaged
+# baseline, so the 2900% threshold is a 30x tripwire: what this
+# certifies is the tooling (parse, align, gate, exit code) plus a
+# catastrophic query collapse. Real measurement runs happen via
+# `tools/bench.sh compare`.
+smoke_json=$(mktemp /tmp/papid-ci-bench.XXXXXX.json)
+go run ./cmd/benchjson -out "$smoke_json" -benchtime 1x \
+    -bench 'ServerQuery' ./internal/server >/dev/null
+go run ./cmd/benchjson -diff -gate 'ServerQuery' -max-regress 2900 \
+    BENCH_server.json "$smoke_json"
+rm -f "$smoke_json"
+echo "bench regression gate OK"
 # Telemetry-endpoint smoke: a real papid with -http up, scraped over
 # real HTTP. Asserts the metric families observability depends on —
 # per-op latency histograms, queue-depth gauge, cache counters — and
