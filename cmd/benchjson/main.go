@@ -14,12 +14,16 @@
 //
 //	benchjson -diff -gate 'ServerQuery' -max-regress 25 old.json new.json
 //
-// It prints a per-benchmark, per-metric delta table and exits non-zero
-// when any benchmark matching the -gate regexp regressed its ns/op by
-// more than -max-regress percent. The regexp matches the
-// procs-qualified label (e.g. "ServerQuery/queriers-8"), so one
-// parallelism level can be gated alone. Benchmarks present in only one
-// file are reported but never gate.
+// It prints a per-benchmark, per-metric delta table — ns/op first,
+// then every other recorded metric including allocs/op and B/op when
+// the runs used -benchmem — and exits non-zero when any benchmark
+// matching the -gate regexp regressed its ns/op by more than
+// -max-regress percent. -gate-allocs additionally gates allocs/op and
+// B/op regressions for the same benchmarks (opt-in: allocation counts
+// are stable, but byte sizes can shift with Go releases). The regexp
+// matches the procs-qualified label (e.g. "ServerQuery/queriers-8"),
+// so one parallelism level can be gated alone. Benchmarks present in
+// only one file are reported but never gate.
 package main
 
 import (
@@ -69,9 +73,10 @@ func main() {
 	diff := flag.Bool("diff", false, "compare two result files: benchjson -diff [-gate re] [-max-regress pct] old.json new.json")
 	gate := flag.String("gate", "", "with -diff, regexp of benchmark names whose ns/op regressions gate the exit code (empty gates nothing)")
 	maxRegress := flag.Float64("max-regress", 25, "with -diff, max allowed ns/op regression percent for gated benchmarks")
+	gateAllocs := flag.Bool("gate-allocs", false, "with -diff, also gate allocs/op and B/op regressions for -gate benchmarks")
 	flag.Parse()
 	if *diff {
-		os.Exit(runDiff(flag.Args(), *gate, *maxRegress))
+		os.Exit(runDiff(flag.Args(), *gate, *maxRegress, *gateAllocs))
 	}
 	if *out == "" {
 		fmt.Fprintln(os.Stderr, "benchjson: -out is required")
@@ -175,9 +180,9 @@ func parseBench(line, pkg string) (Result, bool) {
 
 // runDiff implements -diff: load two result files, align them by
 // (package, name, procs), print every metric's delta, and return the
-// process exit code — non-zero when a gated benchmark's ns/op
-// regressed past the threshold.
-func runDiff(args []string, gate string, maxRegress float64) int {
+// process exit code — non-zero when a gated benchmark's ns/op (or,
+// with -gate-allocs, allocs/op or B/op) regressed past the threshold.
+func runDiff(args []string, gate string, maxRegress float64, gateAllocs bool) int {
 	if len(args) != 2 {
 		fmt.Fprintln(os.Stderr, "benchjson: -diff needs exactly two files: old.json new.json")
 		return 2
@@ -244,8 +249,10 @@ func runDiff(args []string, gate string, maxRegress float64) int {
 				if ov != 0 {
 					pct = (nv - ov) / ov * 100
 				}
+				gating := metric == "ns/op" ||
+					(gateAllocs && (metric == "allocs/op" || metric == "B/op"))
 				verdict := ""
-				if gated && metric == "ns/op" && pct > maxRegress {
+				if gated && gating && pct > maxRegress {
 					verdict = fmt.Sprintf("  REGRESSION (> %.0f%%)", maxRegress)
 					failures++
 				}
@@ -260,7 +267,7 @@ func runDiff(args []string, gate string, maxRegress float64) int {
 		}
 	}
 	if failures > 0 {
-		fmt.Fprintf(os.Stderr, "benchjson: %d gated ns/op regression(s) beyond %.0f%%\n",
+		fmt.Fprintf(os.Stderr, "benchjson: %d gated regression(s) beyond %.0f%%\n",
 			failures, maxRegress)
 		return 1
 	}

@@ -29,6 +29,14 @@
 //	papid -addr 127.0.0.1:6117 -http 127.0.0.1:6118 &
 //	curl -s 127.0.0.1:6118/metrics | grep papid_op_latency
 //
+// A pipeline flight recorder (-trace-sample, on by default at 1/64)
+// traces sampled ticks, requests and WAL batches with per-stage spans,
+// always retains slow or errored units, and serves the ring on the
+// admin endpoint: /tracez lists retained traces slowest-first and
+// /debug/trace?id=<hex>&format=chrome exports one as Chrome
+// trace-event JSON loadable in Perfetto. -trace-sample 0 turns the
+// recorder off entirely.
+//
 // SIGINT/SIGTERM trigger a graceful drain: running sessions fold their
 // final counts, subscribers are detached, and the process exits after
 // reporting its lifetime stats and per-op latency quantiles.
@@ -74,9 +82,12 @@ func main() {
 	walCompactAfter := flag.Duration("wal-compact-after", 0, "compact raw segments older than this into rollups (0 = budget-driven only)")
 	groups := flag.String("groups", "", "comma-separated derived-metric groups evaluated on every session whose events cover them (see papi-avail -groups)")
 	deriveRules := flag.String("derive-rules", "", "comma-separated threshold rules metric<bound[:N] or metric>bound[:N] firing a warning after N consecutive breaches")
-	httpAddr := flag.String("http", "", "admin listen address serving /metrics, /statusz and /debug/pprof/ (empty disables)")
+	httpAddr := flag.String("http", "", "admin listen address serving /metrics, /statusz, /tracez and /debug/pprof/ (empty disables)")
 	logFormat := flag.String("log-format", "text", "structured log format: text or json")
 	slowOp := flag.Duration("slow-op", 250*time.Millisecond, "warn when handling one request takes this long (0 disables)")
+	traceSample := flag.Int("trace-sample", 64, "flight recorder: head-sample 1 in N ticks/requests into /tracez with detailed stage spans (0 disables tracing)")
+	traceSlow := flag.Duration("trace-slow", 0, "flight recorder: tail-retain any trace at least this slow regardless of sampling (0 inherits -slow-op, negative disables latency retention)")
+	traceRing := flag.Int("trace-ring", 64, "flight recorder: retained-trace ring size")
 	quiet := flag.Bool("quiet", false, "log warnings only (suppress per-session and per-connection lines)")
 	flag.Parse()
 
@@ -142,6 +153,9 @@ func main() {
 		WALRetainAge:    *walRetain,
 		WALCompactAfter: *walCompactAfter,
 		SlowOp:          slow,
+		TraceSample:     *traceSample,
+		TraceSlow:       *traceSlow,
+		TraceRing:       *traceRing,
 		Logger:          logger,
 	})
 	if _, err := srv.Listen(*addr); err != nil {

@@ -22,12 +22,21 @@
 // counters and per-op latency quantiles (papid's self-telemetry):
 //
 //	perfometer -papid 127.0.0.1:6117 -stats
+//
+// With -tracez it fetches the pipeline flight recorder's retained
+// traces from a papid admin (-http) endpoint and prints them slowest
+// first — each row's ID plugs into /debug/trace?id= for the full span
+// tree, or &format=chrome for a Perfetto-loadable export:
+//
+//	perfometer -tracez 127.0.0.1:6118
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"slices"
 	"strconv"
@@ -55,6 +64,7 @@ func main() {
 	timeout := flag.Duration("timeout", 5*time.Second, "history mode: per-request deadline against papid")
 	binary := flag.Bool("binary", false, "history mode: negotiate the compact binary wire codec (falls back to JSON against older papid)")
 	stats := flag.Bool("stats", false, "with -papid: print the server's counters and per-op latency quantiles instead of querying history")
+	tracez := flag.String("tracez", "", "print a papid flight-recorder view fetched from this admin (-http) address's /tracez endpoint")
 	derive := flag.String("derive", "", "with -papid: comma-separated derived-metric groups — query history in finished metrics, or stream them live with -watch")
 	watch := flag.Duration("watch", 0, "with -papid -derive: subscribe and stream live DERIVED frames for this long instead of querying history")
 	follow := flag.Duration("follow", 0, "with -papid: subscribe and stream live snapshot frames for this long (v4 server)")
@@ -67,6 +77,8 @@ func main() {
 	groups := splitList(*derive)
 	var err error
 	switch {
+	case *tracez != "":
+		err = runTracez(*tracez, *timeout)
 	case *papid != "" && *stats:
 		err = runStats(*papid, *timeout, *binary)
 	case *papid != "" && *follow > 0:
@@ -367,8 +379,37 @@ func runStats(addr string, timeout time.Duration, binary bool) error {
 	}
 	fmt.Printf("perfometer stats: papid %s (protocol %d)\n", addr, cl.Hello().Protocol)
 	perfometer.RenderStats(os.Stdout, resp.Stats, resp.Hists)
+	perfometer.RenderSlow(os.Stdout, resp.Slow)
 	_, err = cl.Do(wire.Request{Op: wire.OpBye})
 	return err
+}
+
+// runTracez is -tracez: fetch the flight recorder's retained-trace
+// list from papid's admin endpoint (the same document /tracez serves
+// in HTML) and render it as a table. Unlike the other modes this
+// talks HTTP to -http, not the wire protocol to -addr.
+func runTracez(addr string, timeout time.Duration) error {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	url := strings.TrimRight(base, "/") + "/tracez?format=json"
+	client := &http.Client{Timeout: timeout}
+	resp, err := client.Get(url)
+	if err != nil {
+		return fmt.Errorf("fetching %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s answered %s (is this the admin -http address, with tracing on?)", url, resp.Status)
+	}
+	var doc perfometer.TracezDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return fmt.Errorf("decoding %s: %w", url, err)
+	}
+	fmt.Printf("perfometer tracez: papid admin %s\n", addr)
+	perfometer.RenderTracez(os.Stdout, doc)
+	return nil
 }
 
 func run(platform, metric, traceFile string, width int) error {

@@ -126,10 +126,14 @@ func (e *Engine) Evals() uint64 { return e.evals.Value() }
 // emit runs with the session's stripe lock held and the slices are
 // reused on the next call for the same session — consume them
 // synchronously (encode or copy), do not retain them.
+//
+// Tick reports how many threshold alerts fired during this
+// evaluation, so callers (papid's flight recorder) can mark the
+// surrounding tick or request as errored and tail-retain its trace.
 func (e *Engine) Tick(session uint64, events []string, values []int64, tsUsec int64,
-	groups []string, emit func(metrics, units []string, vals []float64)) {
+	groups []string, emit func(metrics, units []string, vals []float64)) (alerts int) {
 	if len(groups) == 0 || len(events) == 0 || len(events) != len(values) {
-		return
+		return 0
 	}
 	stripe := e.stripeFor(session)
 	stripe.mu.Lock()
@@ -186,6 +190,7 @@ func (e *Engine) Tick(session uint64, events []string, values []int64, tsUsec in
 		rb := &st.rules[i]
 		v := st.vals[rb.slot]
 		if rb.state.observe(rb.rule, v) {
+			alerts++
 			e.alerts.Inc()
 			e.log.Warn("derive: threshold alert",
 				"session", session,
@@ -198,6 +203,7 @@ func (e *Engine) Tick(session uint64, events []string, values []int64, tsUsec in
 	if emit != nil {
 		emit(st.metrics, st.units, st.vals)
 	}
+	return alerts
 }
 
 // rebind recompiles the session's bindings for a new event layout or

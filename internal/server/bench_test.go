@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/telemetry/tracing"
 	"repro/internal/wire"
 )
 
@@ -61,7 +62,7 @@ func BenchmarkDerivedFanout(b *testing.B) {
 		vals[3] += 9_000
 		ts += 2_000
 		snap.Seq++
-		srv.fanoutDerived(sess, snap, subs, ts)
+		srv.fanoutDerived(nil, tracing.NoSpan, sess, snap, subs, ts)
 	}
 }
 
@@ -251,6 +252,54 @@ func BenchmarkServerQuery(b *testing.B) {
 				}(cl)
 			}
 			wg.Wait()
+		})
+	}
+}
+
+// BenchmarkTickTraced is BenchmarkTickParallel's 256-session sweep
+// shape run as a pair: flight recorder off versus on at papid's
+// default 1/64 sampling. The delta between the two sub-benchmarks is
+// the recorder's whole per-tick cost — coarse shard spans and the
+// Start/Finish bookkeeping every tick, detailed per-session stage
+// spans on the head-sampled ones — and it is the number the 25% bench
+// gate (tools/bench.sh compare) holds the tracing work to.
+func BenchmarkTickTraced(b *testing.B) {
+	const nSessions = 256
+	events := []string{"PAPI_TOT_INS", "PAPI_TOT_CYC", "PAPI_L2_TCM", "PAPI_L2_TCA"}
+	for _, mode := range []struct {
+		name   string
+		sample int
+	}{
+		{"recorder=off", 0},
+		{"recorder=1in64", 64},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			srv := New(Config{
+				TickInterval: time.Hour, // ticks driven by hand below
+				TickWorkers:  4,
+				TraceSample:  mode.sample,
+			})
+			defer func() {
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				defer cancel()
+				srv.Shutdown(ctx)
+			}()
+			for i := 0; i < nSessions; i++ {
+				created := srv.dispatch(nil, &wire.Request{Op: wire.OpCreate,
+					Platform: "aix-power3", Events: events, N: 8})
+				if !created.OK {
+					b.Fatal(created.Error)
+				}
+				if resp := srv.dispatch(nil, &wire.Request{Op: wire.OpStart,
+					Session: created.Session}); !resp.OK {
+					b.Fatal(resp.Error)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				srv.tick()
+			}
 		})
 	}
 }

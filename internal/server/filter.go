@@ -27,6 +27,7 @@ import (
 	"slices"
 	"strings"
 
+	"repro/internal/telemetry/tracing"
 	"repro/internal/wire"
 )
 
@@ -144,7 +145,9 @@ func (sess *session) matches(ids []uint64, globs []string) bool {
 // encoded at most once per codec. sess.fanMu serializes concurrent
 // fan-outs of the same session (the tick loop and PUBLISH handlers),
 // keeping per-view baselines consistent.
-func (s *Server) fanoutViews(sess *session, snap *wire.Response, subs []*subscriber) {
+// t/parent thread the enclosing trace so detailed traces record the
+// per-view encode spans; both may be nil/zero.
+func (s *Server) fanoutViews(t *tracing.Trace, parent tracing.SpanRef, sess *session, snap *wire.Response, subs []*subscriber) {
 	sess.fanMu.Lock()
 	defer sess.fanMu.Unlock()
 	type group struct {
@@ -167,7 +170,7 @@ func (s *Server) fanoutViews(sess *session, snap *wire.Response, subs []*subscri
 		}
 	}
 	for _, g := range order {
-		s.fanoutView(g.vs, g.subs, g.needKey, snap)
+		s.fanoutView(t, parent, g.vs, g.subs, g.needKey, snap)
 	}
 }
 
@@ -177,16 +180,20 @@ func (s *Server) fanoutViews(sess *session, snap *wire.Response, subs []*subscri
 // projection change, resync request, cadence — and otherwise a DELTA
 // of everything that drifted from the keyframe. An empty delta sends
 // nothing at all.
-func (s *Server) fanoutView(vs *viewState, subs []*subscriber, needKey bool, snap *wire.Response) {
+func (s *Server) fanoutView(t *tracing.Trace, parent tracing.SpanRef, vs *viewState, subs []*subscriber, needKey bool, snap *wire.Response) {
 	rekeyed := vs.project(snap)
 	if len(vs.events) == 0 {
 		return // the filter matches none of this session's events
 	}
+	detailed := t.Detailed()
 	if !vs.delta {
 		resp := wire.Response{Op: wire.OpSnapshot, OK: true, Session: snap.Session,
 			Events: vs.events, Values: vs.cur, RealUsec: snap.RealUsec,
 			Seq: snap.Seq, Source: snap.Source}
 		enc := encCache{resp: &resp}
+		if detailed {
+			enc.trc, enc.parent = t, parent
+		}
 		for _, sub := range subs {
 			s.pushSnapshot(&enc, sub)
 		}
@@ -203,6 +210,9 @@ func (s *Server) fanoutView(vs *viewState, subs []*subscriber, needKey bool, sna
 			Events: vs.events, Values: vs.cur, RealUsec: snap.RealUsec,
 			Seq: snap.Seq, Source: snap.Source}
 		enc := encCache{resp: &resp}
+		if detailed {
+			enc.trc, enc.parent = t, parent
+		}
 		for _, sub := range subs {
 			s.pushKeyframe(&enc, sub)
 		}
@@ -223,6 +233,9 @@ func (s *Server) fanoutView(vs *viewState, subs []*subscriber, needKey bool, sna
 	resp := wire.Response{Op: wire.OpDelta, OK: true, Session: snap.Session,
 		Seq: snap.Seq, Base: vs.keySeq, Idx: vs.changed, Values: vs.cvals}
 	enc := encCache{resp: &resp}
+	if detailed {
+		enc.trc, enc.parent = t, parent
+	}
 	for _, sub := range subs {
 		codec := sub.c.codecNow()
 		sb, ok := enc.get(s, "delta", codec)

@@ -59,6 +59,7 @@ import (
 
 	"repro/internal/derive"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/tracing"
 	"repro/internal/tsdb"
 	"repro/internal/tsdb/wal"
 	"repro/internal/wire"
@@ -154,6 +155,21 @@ type Config struct {
 	// is logged with the op, session and duration (default 250ms;
 	// negative disables).
 	SlowOp time.Duration
+	// TraceSample enables the pipeline flight recorder (papid
+	// -trace-sample): 1 in TraceSample ticks/requests/WAL batches is
+	// head-sampled into the /tracez ring with detailed per-session
+	// stage spans. 0 disables tracing entirely — unlike the other
+	// knobs, the zero value is off, so embedders and tests get exactly
+	// the untraced pipeline unless they opt in. See DESIGN.md S32.
+	TraceSample int
+	// TraceSlow tail-retains any trace at least this slow regardless of
+	// sampling (default: SlowOp; negative disables latency-based
+	// retention — errors still retain). Only meaningful with
+	// TraceSample > 0.
+	TraceSlow time.Duration
+	// TraceRing is the number of retained traces the flight recorder
+	// keeps (default 64).
+	TraceRing int
 	// Groups names performance groups from the internal/derive library
 	// (papid -groups). Each tick, every session whose event set covers a
 	// named group's requirements gets that group evaluated and the
@@ -225,6 +241,14 @@ func (c *Config) fill() {
 	}
 	if c.SlowOp == 0 {
 		c.SlowOp = 250 * time.Millisecond
+	}
+	if c.TraceSample > 0 {
+		if c.TraceSlow == 0 {
+			c.TraceSlow = c.SlowOp // may itself be negative = disabled
+		}
+		if c.TraceRing <= 0 {
+			c.TraceRing = 64
+		}
 	}
 	if c.now == nil {
 		c.now = func() int64 { return time.Now().UnixMicro() }
@@ -323,6 +347,12 @@ type Server struct {
 	slog       *slog.Logger
 	nextConnID atomic.Uint64
 
+	// trc is the pipeline flight recorder (nil unless
+	// Config.TraceSample > 0); slowOps keeps the most recent SlowOp
+	// breaches with their trace IDs for STATS and /statusz.
+	trc     *tracing.Tracer
+	slowOps slowRing
+
 	connsMu sync.Mutex
 	conns   map[*conn]struct{}
 
@@ -362,6 +392,14 @@ func New(cfg Config) *Server {
 		cache:  newAllocCache(cfg.CacheSize),
 		conns:  make(map[*conn]struct{}),
 		m:      newMetrics(treg),
+	}
+	if cfg.TraceSample > 0 {
+		slow := cfg.TraceSlow
+		if slow < 0 {
+			slow = 0 // tracing.Config treats 0 as "no latency retention"
+		}
+		s.trc = tracing.NewTracer(tracing.Config{
+			Sample: cfg.TraceSample, Slow: slow, Ring: cfg.TraceRing})
 	}
 	switch {
 	case cfg.Logger != nil:
@@ -491,7 +529,7 @@ func (s *Server) Serve(ln net.Listener) net.Addr {
 	}
 	for i := 1; i < s.cfg.TickWorkers; i++ {
 		s.wg.Add(1)
-		go s.tickWorker()
+		go s.tickWorker(i)
 	}
 	s.wg.Add(2)
 	go s.acceptLoop()
@@ -514,9 +552,19 @@ func (s *Server) ListenAdmin(addr string) (net.Addr, error) {
 }
 
 // ServeAdmin starts the observability HTTP server on a caller-provided
-// listener (the testing hook, mirroring Serve).
+// listener (the testing hook, mirroring Serve). When the flight
+// recorder is enabled, /tracez (the retained-trace list) and
+// /debug/trace (single-trace export, native or Chrome trace-event
+// JSON) join the mux.
 func (s *Server) ServeAdmin(ln net.Listener) net.Addr {
-	hs := &http.Server{Handler: telemetry.Handler(s.m.reg, s.statusz),
+	var extra map[string]http.Handler
+	if s.trc != nil {
+		extra = map[string]http.Handler{
+			"/tracez":      tracing.TracezHandler(s.trc),
+			"/debug/trace": tracing.TraceHandler(s.trc),
+		}
+	}
+	hs := &http.Server{Handler: telemetry.HandlerWith(s.m.reg, s.statusz, extra),
 		ReadHeaderTimeout: 5 * time.Second}
 	s.adminMu.Lock()
 	s.admin = hs
@@ -530,14 +578,32 @@ func (s *Server) ServeAdmin(ln net.Listener) net.Addr {
 	return ln.Addr()
 }
 
-// statusz builds the /statusz document: the classic Stats view plus
-// every latency-histogram summary (nanoseconds), keyed like the wire
-// STATS hists ("op/READ/json", "tick", "tsdb/append").
+// statusz builds the /statusz document: build identity (what binary is
+// actually deployed, since when, at what width), the classic Stats
+// view, every latency-histogram summary (nanoseconds, keyed like the
+// wire STATS hists — "op/READ/json", "tick", "tsdb/append"), flight-
+// recorder counters when tracing is on, and the recent slow-op
+// samples with their trace IDs.
 func (s *Server) statusz() any {
-	return struct {
-		Stats Stats                        `json:"stats"`
-		Hists map[string]telemetry.Summary `json:"hists"`
-	}{s.Stats(), s.m.reg.Summaries()}
+	doc := struct {
+		Build       telemetry.BuildInfo          `json:"build"`
+		TickWorkers int                          `json:"tick_workers"`
+		Stats       Stats                        `json:"stats"`
+		Hists       map[string]telemetry.Summary `json:"hists"`
+		Trace       *tracing.Stats               `json:"trace,omitempty"`
+		SlowOps     []wire.SlowSample            `json:"slow_ops,omitempty"`
+	}{
+		Build:       telemetry.ReadBuild(),
+		TickWorkers: s.cfg.TickWorkers,
+		Stats:       s.Stats(),
+		Hists:       s.m.reg.Summaries(),
+		SlowOps:     s.slowOps.samples(),
+	}
+	if s.trc != nil {
+		ts := s.trc.TracerStats()
+		doc.Trace = &ts
+	}
+	return doc
 }
 
 // Addr returns the bound address, or nil before Listen.
@@ -698,17 +764,35 @@ func (s *Server) tick() {
 	t0 := time.Now()
 	defer func() { s.m.tickDur.Observe(telemetry.Since(t0)) }()
 	s.m.ticks.Inc()
+	// Every tick is a traced unit while the recorder is on: coarse
+	// shard spans always, per-session stage spans when head-sampled,
+	// tail retention when the tick was slow or errored (WAL stall,
+	// derive alert). t is nil with tracing off — every span call
+	// no-ops.
+	t := s.trc.Start("tick", "tick")
 	now := s.cfg.now()
 	if s.cfg.TickWorkers > 1 {
-		s.tickParallel(now)
+		s.tickParallel(now, t)
 	} else {
-		s.reg.forEach(func(sess *session) { s.tickSession(sess, now) })
+		sp := t.StartSpan(tracing.NoSpan, "sweep")
+		n := 0
+		s.reg.forEach(func(sess *session) { n++; s.tickSession(sess, now, t, sp) })
+		if t != nil {
+			t.AnnotateInt(sp, "sessions", int64(n))
+			t.EndSpan(sp)
+		}
 	}
 	if s.hist != nil {
 		// Age out history of idle and closed sessions too — appends
 		// only sweep the series they touch.
-		s.hist.Sweep(now)
+		sw := t.StartSpan(tracing.NoSpan, "tsdb.sweep")
+		evicted := s.hist.Sweep(now)
+		if t != nil {
+			t.AnnotateInt(sw, "evicted", evicted)
+			t.EndSpan(sw)
+		}
 	}
+	s.trc.Finish(t)
 }
 
 // appendHistory records one tick row, through the WAL when history is
@@ -740,6 +824,13 @@ type encCache struct {
 	resp   *wire.Response
 	shared [2]*sharedBuf // indexed by wire.Codec
 	failed [2]bool
+
+	// trc/parent, when trc is non-nil, wrap each first-per-codec encode
+	// in an "encode" span (codec + byte count). Set only for detailed
+	// (head-sampled) traces — encode spans on every tail-candidate tick
+	// would be waste.
+	trc    *tracing.Trace
+	parent tracing.SpanRef
 }
 
 // get returns the encoded frame for codec, serializing on first use.
@@ -754,14 +845,28 @@ func (e *encCache) get(s *Server, what string, codec wire.Codec) (sb *sharedBuf,
 		return sb, true
 	}
 	sb = newSharedBuf()
+	var sp tracing.SpanRef = tracing.NoSpan
+	if e.trc != nil {
+		sp = e.trc.StartSpan(e.parent, "encode")
+		e.trc.Annotate(sp, "codec", codec.String())
+	}
 	p, err := appendFrameFn(sb.buf[:0], codec, e.resp)
 	if err != nil {
+		if e.trc != nil {
+			e.trc.Annotate(sp, "error", err.Error())
+			e.trc.EndSpan(sp)
+			e.trc.SetError(what + " encode failed")
+		}
 		sb.release()
 		e.failed[codec] = true
 		s.m.encodeFailures.Inc()
 		s.slog.Error("papid: "+what+" encode failed",
 			"codec", codec.String(), "session", e.resp.Session, "err", err)
 		return nil, false
+	}
+	if e.trc != nil {
+		e.trc.AnnotateInt(sp, "bytes", int64(len(p)))
+		e.trc.EndSpan(sp)
 	}
 	sb.buf = p
 	e.shared[codec] = sb
@@ -790,8 +895,14 @@ func (e *encCache) done() {
 // encode-once discipline per distinct view; their scratch slice is
 // pooled too — fan-out runs every tick for every session, so even
 // small per-call allocations are worth retiring.
-func (s *Server) fanout(sess *session, resp wire.Response, subs []*subscriber) {
+//
+// t/parent thread the enclosing trace (tick or PUBLISH request) so
+// detailed traces record per-codec encode spans; both may be nil/zero.
+func (s *Server) fanout(t *tracing.Trace, parent tracing.SpanRef, sess *session, resp wire.Response, subs []*subscriber) {
 	enc := encCache{resp: &resp}
+	if t.Detailed() {
+		enc.trc, enc.parent = t, parent
+	}
 	vp := viewSubsPool.Get().(*[]*subscriber)
 	viewSubs := (*vp)[:0]
 	for _, sub := range subs {
@@ -802,7 +913,7 @@ func (s *Server) fanout(sess *session, resp wire.Response, subs []*subscriber) {
 		s.pushSnapshot(&enc, sub)
 	}
 	if len(viewSubs) > 0 {
-		s.fanoutViews(sess, &resp, viewSubs)
+		s.fanoutViews(t, parent, sess, &resp, viewSubs)
 	}
 	enc.done()
 	for i := range viewSubs {
@@ -835,12 +946,12 @@ func (s *Server) pushSnapshot(enc *encCache, sub *subscriber) {
 // of who is watching — but pre-v3 peers never receive the frame
 // (wire.MinProtocolDerived): their stream stays exactly what older
 // servers sent.
-func (s *Server) fanoutDerived(sess *session, snap wire.Response, subs []*subscriber, ts int64) {
+func (s *Server) fanoutDerived(t *tracing.Trace, parent tracing.SpanRef, sess *session, snap wire.Response, subs []*subscriber, ts int64) {
 	groups := sess.derivedGroups(s.defGroups)
 	if len(groups) == 0 {
 		return
 	}
-	s.derive.Tick(sess.id, snap.Events, snap.Values, ts, groups,
+	alerts := s.derive.Tick(sess.id, snap.Events, snap.Values, ts, groups,
 		func(metrics, units []string, vals []float64) {
 			// The emit slices are engine-owned and reused next tick;
 			// AppendFrame serializes them before this callback returns,
@@ -848,6 +959,9 @@ func (s *Server) fanoutDerived(sess *session, snap wire.Response, subs []*subscr
 			resp := wire.Response{Op: wire.OpDerived, OK: true, Session: snap.Session,
 				Seq: snap.Seq, Metrics: metrics, Units: units, DValues: vals}
 			enc := encCache{resp: &resp}
+			if t.Detailed() {
+				enc.trc, enc.parent = t, parent
+			}
 			for _, sub := range subs {
 				if sub.c == nil || sub.c.version.Load() < wire.MinProtocolDerived {
 					continue
@@ -866,6 +980,13 @@ func (s *Server) fanoutDerived(sess *session, snap wire.Response, subs []*subscr
 			}
 			enc.done()
 		})
+	if alerts > 0 && t != nil {
+		// A fired threshold alert makes the surrounding tick/request
+		// trace an error — tail retention keeps the flight-recorder
+		// evidence of what the pipeline was doing when it fired.
+		t.AnnotateInt(parent, "alerts", int64(alerts))
+		t.SetError(fmt.Sprintf("derive: %d threshold alert(s) fired", alerts))
+	}
 }
 
 // queryDerived answers a derive-mode QUERY: the named groups' formulas
@@ -930,6 +1051,27 @@ type frame struct {
 	// backing payload; this frame holds one reference and release
 	// drops it. Mutually exclusive with poolBuf.
 	shared *sharedBuf
+	// trace, when non-nil, carries a request trace whose "write" span
+	// stays open until this frame is consumed: release ends the span
+	// and finishes the trace, so a traced reply's duration includes
+	// its queue wait and socket write.
+	trace *traceDone
+}
+
+// traceDone defers a request trace's completion to whoever consumes
+// its reply frame — the writer after the socket write, or any discard
+// path (queue eviction, jam, closed queue). After handing one to a
+// frame, the producing goroutine must not touch the trace again: the
+// writer may finish and recycle it concurrently.
+type traceDone struct {
+	tr *tracing.Tracer
+	t  *tracing.Trace
+	sp tracing.SpanRef
+}
+
+func (td *traceDone) done() {
+	td.t.EndSpan(td.sp)
+	td.tr.Finish(td.t)
 }
 
 // framePool recycles reply-frame encode buffers. Replies are encoded
@@ -954,6 +1096,10 @@ func (f *frame) release() {
 	if f.shared != nil {
 		f.shared.release()
 		f.shared = nil
+	}
+	if f.trace != nil {
+		f.trace.done()
+		f.trace = nil
 	}
 }
 
@@ -1169,6 +1315,13 @@ type conn struct {
 	// never sees a field it does not know.
 	version atomic.Int32
 
+	// trc is the in-flight request's trace, set by handle around
+	// dispatch so deep dispatch paths (PUBLISH fan-out) can hang stage
+	// spans on it without changing the dispatch signature. Requests on
+	// a connection are handled serially by the reader goroutine, so a
+	// plain field suffices.
+	trc *tracing.Trace
+
 	mu   sync.Mutex
 	subs []subRef
 }
@@ -1181,6 +1334,15 @@ func (c *conn) codecNow() wire.Codec {
 		return wire.CodecJSON
 	}
 	return wire.Codec(c.codec.Load())
+}
+
+// reqTrace is the in-flight request's trace. Nil-safe: tests drive
+// dispatch without a conn, and tracing may be off.
+func (c *conn) reqTrace() *tracing.Trace {
+	if c == nil {
+		return nil
+	}
+	return c.trc
 }
 
 // subRef ties one subscriber to the sessions it is registered on —
@@ -1249,13 +1411,52 @@ func (s *Server) handle(nc net.Conn) {
 		// codec, so a regressed allocator solve or tsdb query shows up
 		// under its own op instead of smearing into socket noise.
 		t0 := time.Now()
-		resp := s.dispatch(c, &req)
-		ok := c.send(resp)
+		// Each valid request is a traced unit: dispatch and write spans
+		// always; deep stage spans (PUBLISH history/fan-out/derive) hang
+		// off c.trc. Only the ID is read after the frame is enqueued —
+		// the writer goroutine finishes (and may recycle) the trace.
+		t := s.trc.Start("request", req.Op)
+		var tid uint64
+		var ok bool
+		var resp wire.Response
+		if t == nil {
+			resp = s.dispatch(c, &req)
+			ok = c.send(resp)
+		} else {
+			tid = t.ID()
+			t.AnnotateInt(tracing.NoSpan, "conn", int64(c.id))
+			if req.Session != 0 {
+				t.AnnotateInt(tracing.NoSpan, "session", int64(req.Session))
+			}
+			c.trc = t
+			dsp := t.StartSpan(tracing.NoSpan, "dispatch")
+			resp = s.dispatch(c, &req)
+			t.EndSpan(dsp)
+			c.trc = nil
+			if !resp.OK && resp.Error != "" {
+				t.SetError(resp.Error)
+			}
+			// The reply names its trace for v4+ peers only: older binary
+			// decoders reject unknown presence bits, older JSON clients
+			// reject unknown fields in strict harnesses.
+			if c.version.Load() >= int32(wire.MinProtocolTrace) {
+				resp.TraceID = tid
+			}
+			wr := t.StartSpan(tracing.NoSpan, "write")
+			ok = c.sendTraced(resp, t, wr)
+		}
 		s.m.observeOp(req.Op, c.codecNow(), t0)
 		if d := s.cfg.SlowOp; d > 0 {
 			if elapsed := time.Since(t0); elapsed >= d {
-				c.log.Warn("papid: slow op", "op", req.Op,
-					"session", req.Session, "dur", elapsed.String())
+				if tid != 0 {
+					c.log.Warn("papid: slow op", "op", req.Op,
+						"session", req.Session, "dur", elapsed.String(),
+						"trace", tracing.FormatID(tid))
+				} else {
+					c.log.Warn("papid: slow op", "op", req.Op,
+						"session", req.Session, "dur", elapsed.String())
+				}
+				s.slowOps.record(req.Op, req.Session, elapsed.Nanoseconds(), tid)
 			}
 		}
 		if !ok {
@@ -1325,17 +1526,35 @@ func (c *conn) writeLoop() {
 // the connection is closed or was evicted for jamming. The encode
 // buffer is pooled: the writer returns it after the socket write.
 func (c *conn) send(resp wire.Response) bool {
+	return c.sendTraced(resp, nil, tracing.NoSpan)
+}
+
+// sendTraced is send carrying a request trace: the open write span wr
+// rides the frame (traceDone) and whoever consumes the frame ends it
+// and finishes the trace. The caller must not touch t after this
+// returns — the writer goroutine may already have finished and
+// recycled it. A nil t is plain send.
+func (c *conn) sendTraced(resp wire.Response, t *tracing.Trace, wr tracing.SpanRef) bool {
 	codec := c.codecNow()
 	bp := framePool.Get().(*[]byte)
 	payload, err := wire.AppendFrame((*bp)[:0], codec, &resp)
 	if err != nil {
 		*bp = (*bp)[:0]
 		framePool.Put(bp)
+		if t != nil {
+			t.SetError("reply encode: " + err.Error())
+			c.srv.trc.Finish(t)
+		}
 		c.evict("reply encode", err)
 		return false
 	}
 	*bp = payload
-	if _, ok := c.q.push(frame{payload: payload, codec: codec, poolBuf: bp}); ok {
+	f := frame{payload: payload, codec: codec, poolBuf: bp}
+	if t != nil {
+		t.AnnotateInt(wr, "bytes", int64(len(payload)))
+		f.trace = &traceDone{tr: c.srv.trc, t: t, sp: wr}
+	}
+	if _, ok := c.q.push(f); ok {
 		return true
 	}
 	if !c.q.isClosed() {
@@ -1441,9 +1660,20 @@ func (s *Server) dispatch(c *conn, req *wire.Request) wire.Response {
 				return errResp(req, err)
 			}
 			now := s.cfg.now()
+			// Stage spans on the request trace (all no-ops untraced): a
+			// slow PUBLISH shows whether the synchronous WAL append, the
+			// fan-out encodes, or the derive evaluation ate the budget.
+			t := c.reqTrace()
+			hs := t.StartSpan(tracing.NoSpan, "tsdb.append")
 			s.appendHistory(sess.id, now, snap.Events, snap.Values)
-			s.fanout(sess, snap, subs)
-			s.fanoutDerived(sess, snap, subs, now)
+			t.EndSpan(hs)
+			fs := t.StartSpan(tracing.NoSpan, "fanout")
+			t.AnnotateInt(fs, "subs", int64(len(subs)))
+			s.fanout(t, fs, sess, snap, subs)
+			t.EndSpan(fs)
+			ds := t.StartSpan(tracing.NoSpan, "derive")
+			s.fanoutDerived(t, ds, sess, snap, subs, now)
+			t.EndSpan(ds)
 			return wire.Response{Op: req.Op, OK: true, Session: sess.id, Seq: snap.Seq}
 		})
 	case wire.OpStop:
@@ -1539,12 +1769,27 @@ func (s *Server) dispatch(c *conn, req *wire.Request) wire.Response {
 				resp.Stats["wal_clean_start"] = 0
 			}
 		}
+		// trace_* keys appear only when the flight recorder is on, so a
+		// server with tracing off answers byte-identically to earlier
+		// releases.
+		if s.trc != nil {
+			ts := s.trc.TracerStats()
+			resp.Stats["trace_started"] = ts.Started
+			resp.Stats["trace_retained"] = ts.Retained
+			resp.Stats["trace_kept_slow"] = ts.KeptSlow
+			resp.Stats["trace_kept_err"] = ts.KeptErr
+		}
 		// Histogram summaries are a v3 addition: only peers that
 		// announced version >= 3 at HELLO receive them, so a v2 JSON
 		// client's STATS reply stays byte-compatible with what PR 2's
 		// server sent (see wire.MinProtocolStatsHists).
 		if c != nil && c.version.Load() >= wire.MinProtocolStatsHists {
 			resp.Hists = s.m.reg.Summaries()
+		}
+		// Recent slow-op samples (op, session, duration, trace ID) are a
+		// v4 addition, gated like TraceID itself.
+		if c != nil && c.version.Load() >= wire.MinProtocolTrace {
+			resp.Slow = s.slowOps.samples()
 		}
 		return resp
 	case wire.OpBye:

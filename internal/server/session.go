@@ -439,8 +439,10 @@ func (r *registry) forEach(f func(*session)) {
 // parallel tick sweep claims (tick.go). The shard lock is released
 // before any callback runs, same contract as forEach; distinct shards
 // may be swept concurrently, and a session belongs to exactly one
-// shard, so one sweep visits it exactly once.
-func (r *registry) sweepShard(i int, f func(*session)) {
+// shard, so one sweep visits it exactly once. It reports how many
+// sessions it visited, which the tick's flight-recorder shard span
+// records.
+func (r *registry) sweepShard(i int, f func(*session)) int {
 	sh := &r.shards[i]
 	sh.mu.RLock()
 	batch := make([]*session, 0, len(sh.m))
@@ -451,4 +453,5 @@ func (r *registry) sweepShard(i int, f func(*session)) {
 	for _, sess := range batch {
 		f(sess)
 	}
+	return len(batch)
 }

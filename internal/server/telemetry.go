@@ -2,11 +2,54 @@ package server
 
 import (
 	"runtime"
+	"sync"
 	"time"
 
 	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
+
+// slowRingSize bounds the recent slow-op sample ring.
+const slowRingSize = 16
+
+// slowRing keeps the most recent SlowOp-threshold breaches — op,
+// session, duration, and (when tracing is on) the trace ID the warn
+// line carried — so an operator reading STATS or /statusz can jump
+// from a slow sample straight to its retained flight-recorder trace.
+type slowRing struct {
+	mu   sync.Mutex
+	buf  []wire.SlowSample
+	head int
+	n    int
+}
+
+func (r *slowRing) record(op string, session uint64, ns int64, trace uint64) {
+	r.mu.Lock()
+	if r.buf == nil {
+		r.buf = make([]wire.SlowSample, slowRingSize)
+	}
+	r.buf[r.head] = wire.SlowSample{Op: op, Session: session, NS: ns, TraceID: trace}
+	r.head = (r.head + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// samples returns the recorded breaches, newest first (nil when none).
+func (r *slowRing) samples() []wire.SlowSample {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.n == 0 {
+		return nil
+	}
+	out := make([]wire.SlowSample, 0, r.n)
+	for i := 0; i < r.n; i++ {
+		idx := (r.head - 1 - i + len(r.buf)) % len(r.buf)
+		out = append(out, r.buf[idx])
+	}
+	return out
+}
 
 // metrics is the server's instrument set: every counter the old
 // hand-maintained Stats plumbing tracked, now registry-backed so one
@@ -201,5 +244,24 @@ func (s *Server) registerServerFuncs() {
 	reg.NewGaugeFunc(telemetry.Opts{Name: "papid_uptime_seconds",
 		Help: "Seconds since the server was built."}, func() float64 {
 		return time.Since(start).Seconds()
+	})
+	// Flight-recorder counters read straight from the tracer; with
+	// tracing off (nil tracer) TracerStats is zero, so the series
+	// simply read 0 rather than disappearing between configs.
+	reg.NewCounterFunc(telemetry.Opts{Name: "papid_traces_started_total",
+		Help: "Traced units started (ticks, requests, WAL batches)."}, func() uint64 {
+		return s.trc.TracerStats().Started
+	})
+	reg.NewCounterFunc(telemetry.Opts{Name: "papid_traces_retained_total",
+		Help: "Traces kept in the /tracez ring (head-sampled, slow, or errored)."}, func() uint64 {
+		return s.trc.TracerStats().Retained
+	})
+	reg.NewCounterFunc(telemetry.Opts{Name: "papid_traces_kept_slow_total",
+		Help: "Traces tail-retained for exceeding the slow threshold."}, func() uint64 {
+		return s.trc.TracerStats().KeptSlow
+	})
+	reg.NewCounterFunc(telemetry.Opts{Name: "papid_traces_kept_err_total",
+		Help: "Traces tail-retained for carrying an error."}, func() uint64 {
+		return s.trc.TracerStats().KeptErr
 	})
 }

@@ -27,6 +27,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/telemetry/tracing"
 	"repro/internal/tsdb/wal"
 )
 
@@ -38,17 +39,33 @@ type tickJob struct {
 	now    int64
 	cursor atomic.Int64
 	wg     sync.WaitGroup
+	// trc is the tick's trace (nil untraced). Workers hang one "shard"
+	// span per claimed shard off its root; the Trace is internally
+	// locked, so concurrent workers append safely.
+	trc *tracing.Trace
 }
 
 // runSweep claims and sweeps shards until the job is exhausted.
-func (s *Server) runSweep(job *tickJob) {
+// worker identifies the sweeping goroutine (0 is the tick goroutine)
+// in shard-span annotations — the Perfetto export maps it to a thread
+// track, making the sweep's actual parallelism visible.
+func (s *Server) runSweep(job *tickJob, worker int) {
 	n := int64(len(s.reg.shards))
 	for {
 		i := job.cursor.Add(1) - 1
 		if i >= n {
 			return
 		}
-		s.reg.sweepShard(int(i), func(sess *session) { s.tickSession(sess, job.now) })
+		sp := job.trc.StartSpan(tracing.NoSpan, "shard")
+		swept := s.reg.sweepShard(int(i), func(sess *session) {
+			s.tickSession(sess, job.now, job.trc, sp)
+		})
+		if job.trc != nil {
+			job.trc.AnnotateInt(sp, "shard", i)
+			job.trc.AnnotateInt(sp, "worker", int64(worker))
+			job.trc.AnnotateInt(sp, "sessions", int64(swept))
+			job.trc.EndSpan(sp)
+		}
 	}
 }
 
@@ -56,14 +73,14 @@ func (s *Server) runSweep(job *tickJob) {
 // jobs and helps sweep them, exiting on shutdown. A worker that has
 // taken a job always finishes it before re-checking the context, so a
 // tick's WaitGroup cannot be left hanging by a racing cancel.
-func (s *Server) tickWorker() {
+func (s *Server) tickWorker(worker int) {
 	defer s.wg.Done()
 	for {
 		select {
 		case <-s.ctx.Done():
 			return
 		case job := <-s.tickWork:
-			s.runSweep(job)
+			s.runSweep(job, worker)
 			job.wg.Done()
 		}
 	}
@@ -76,21 +93,25 @@ func (s *Server) tickWorker() {
 // pool is not running at all, as when tests and benchmarks drive
 // tick() directly without Serve — is filled by an ephemeral goroutine,
 // so the sweep width is TickWorkers either way.
-func (s *Server) tickParallel(now int64) {
-	job := &tickJob{now: now}
+func (s *Server) tickParallel(now int64, t *tracing.Trace) {
+	job := &tickJob{now: now, trc: t}
 	helpers := s.cfg.TickWorkers - 1
 	job.wg.Add(helpers)
 	for i := 0; i < helpers; i++ {
 		select {
 		case s.tickWork <- job:
 		default:
-			go func() {
+			// Worker IDs only label trace spans; an ephemeral helper
+			// reuses its slot number (i+1), which can collide with a
+			// pool worker's spawn index — two tracks sharing a lane in
+			// the export, never a correctness issue.
+			go func(worker int) {
 				defer job.wg.Done()
-				s.runSweep(job)
-			}()
+				s.runSweep(job, worker)
+			}(i + 1)
 		}
 	}
-	s.runSweep(job)
+	s.runSweep(job, 0)
 	job.wg.Wait()
 }
 
@@ -98,14 +119,43 @@ func (s *Server) tickParallel(now int64) {
 // → snapshot fan-out → derived fan-out. It is the loop body of both
 // the serial sweep (TickWorkers 1, exactly the pre-parallel pipeline)
 // and each parallel worker.
-func (s *Server) tickSession(sess *session, now int64) {
-	resp, subs, ok := sess.snapshot()
-	if !ok {
+//
+// Stage spans are recorded only on detailed (head-sampled) traces:
+// with thousands of sessions, per-session spans on every
+// tail-candidate tick would dwarf the work they measure. Coarse
+// shard spans (runSweep) and the WAL-stall error mark stay
+// unconditional.
+func (s *Server) tickSession(sess *session, now int64, t *tracing.Trace, parent tracing.SpanRef) {
+	if !t.Detailed() {
+		resp, subs, ok := sess.snapshot()
+		if !ok {
+			return
+		}
+		s.appendTickHistory(t, resp.Session, now, resp.Events, resp.Values)
+		s.fanout(t, parent, sess, resp, subs)
+		s.fanoutDerived(t, parent, sess, resp, subs, now)
 		return
 	}
-	s.appendTickHistory(resp.Session, now, resp.Events, resp.Values)
-	s.fanout(sess, resp, subs)
-	s.fanoutDerived(sess, resp, subs, now)
+	ss := t.StartSpan(parent, "session")
+	t.AnnotateInt(ss, "session", int64(sess.id))
+	sp := t.StartSpan(ss, "snapshot")
+	resp, subs, ok := sess.snapshot()
+	t.EndSpan(sp)
+	if !ok {
+		t.EndSpan(ss)
+		return
+	}
+	hs := t.StartSpan(ss, "tsdb.append")
+	s.appendTickHistory(t, resp.Session, now, resp.Events, resp.Values)
+	t.EndSpan(hs)
+	fs := t.StartSpan(ss, "fanout")
+	t.AnnotateInt(fs, "subs", int64(len(subs)))
+	s.fanout(t, fs, sess, resp, subs)
+	t.EndSpan(fs)
+	ds := t.StartSpan(ss, "derive")
+	s.fanoutDerived(t, ds, sess, resp, subs, now)
+	t.EndSpan(ds)
+	t.EndSpan(ss)
 }
 
 // histRow is one tick row in flight to the WAL appender. Both slices
@@ -127,7 +177,7 @@ type histRow struct {
 // history keep the synchronous path: a PUBLISH ack must continue to
 // imply the row was journaled, and RAM-only appends are too cheap to
 // be worth a queue.
-func (s *Server) appendTickHistory(session uint64, ts int64, events []string, vals []int64) {
+func (s *Server) appendTickHistory(t *tracing.Trace, session uint64, ts int64, events []string, vals []int64) {
 	if s.histOn.Load() {
 		row := histRow{session: session, ts: ts, events: events, vals: vals}
 		select {
@@ -136,7 +186,15 @@ func (s *Server) appendTickHistory(session uint64, ts int64, events []string, va
 		default:
 		}
 		s.m.tickStalls.Inc()
+		// A stall marks the tick's trace as errored, so the flight
+		// recorder always keeps the evidence of a disk that cannot keep
+		// up — the span measures exactly the blocked handoff.
+		sp := t.StartSpan(tracing.NoSpan, "wal.stall")
 		s.histCh <- row
+		if t != nil {
+			t.EndSpan(sp)
+			t.SetError("tick stalled on full WAL handoff queue")
+		}
 		return
 	}
 	s.appendHistory(session, ts, events, vals)
@@ -190,7 +248,15 @@ func (s *Server) histLoop() {
 			}
 			break
 		}
-		s.wal.AppendRows(batch)
+		// Each drained batch is its own traced unit ("wal" kind): the
+		// journal-write and fsync spans live inside AppendRowsTraced,
+		// and a write error tail-retains the batch's trace.
+		t := s.trc.Start("wal", "wal.batch")
+		t.AnnotateInt(tracing.NoSpan, "rows", int64(len(batch)))
+		if err := s.wal.AppendRowsTraced(batch, t); err != nil && t != nil {
+			t.SetError(err.Error())
+		}
+		s.trc.Finish(t)
 	}
 }
 

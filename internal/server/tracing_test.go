@@ -1,0 +1,281 @@
+package server
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry/tracing"
+	"repro/internal/wire"
+)
+
+// TestTraceSlowOpRetained is the flight recorder's headline promise:
+// a SlowOp-triggering request produces a warn line carrying a trace
+// ID, the reply returns the same ID to the v4 client, and the trace
+// is tail-retained — retrievable through /debug/trace?id= in both
+// native and Chrome trace-event form — even though head sampling
+// never picked it.
+func TestTraceSlowOpRetained(t *testing.T) {
+	var mu sync.Mutex
+	var lines []string
+	srv, addr := startServer(t, Config{TickInterval: time.Hour,
+		SlowOp: time.Nanosecond, // every op breaches
+		// Head sampling effectively off: only tail retention can keep
+		// the trace.
+		TraceSample: 1 << 30,
+		TraceSlow:   time.Nanosecond,
+		Logf: func(format string, args ...any) {
+			mu.Lock()
+			lines = append(lines, fmt.Sprintf(format, args...))
+			mu.Unlock()
+		}})
+	cl := dialT(t, addr)
+	if _, err := cl.Hello(); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := cl.Do(wire.Request{Op: wire.OpStats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.TraceID == 0 {
+		t.Fatal("v4 reply carries no trace ID")
+	}
+	id := tracing.FormatID(resp.TraceID)
+
+	mu.Lock()
+	warned := false
+	for _, l := range lines {
+		if strings.Contains(l, "slow op") && strings.Contains(l, "trace="+id) {
+			warned = true
+		}
+	}
+	mu.Unlock()
+	if !warned {
+		t.Errorf("no slow-op warn line carrying trace=%s in %q", id, lines)
+	}
+
+	// The writer finishes the trace around flushing the frame, so the
+	// ring insert races the client's read by at most a scheduling
+	// quantum; poll briefly rather than flake.
+	tr := waitTrace(t, srv, resp.TraceID)
+	view := tr.View()
+	if view.Retained != "slow" {
+		t.Errorf("retained = %q, want slow (head sampling was off)", view.Retained)
+	}
+	names := spanNames(view)
+	for _, want := range []string{"STATS", "dispatch", "write"} {
+		if !names[want] {
+			t.Errorf("request trace lacks span %q; has %v", want, names)
+		}
+	}
+
+	// Retrieval over the admin surface, both formats.
+	h := tracing.TraceHandler(srv.trc)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace?id="+id, nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), id) {
+		t.Errorf("/debug/trace?id=%s: code %d body %s", id, rec.Code, rec.Body.String())
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace?id="+id+"&format=chrome", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "traceEvents") ||
+		!strings.Contains(rec.Body.String(), `"dispatch"`) {
+		t.Errorf("chrome export wrong: code %d body %s", rec.Code, rec.Body.String())
+	}
+
+	// A second STATS sees the breach in the slow-sample ring, trace ID
+	// attached.
+	resp2, err := cl.Do(wire.Request{Op: wire.OpStats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp2.Slow) == 0 {
+		t.Fatal("v4 STATS reply has no slow samples after a breach")
+	}
+	found := false
+	for _, s := range resp2.Slow {
+		if s.Op == wire.OpStats && s.TraceID == resp.TraceID {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("slow samples lack the STATS breach with trace %s: %+v", id, resp2.Slow)
+	}
+	// And the tracer's own counters surface through STATS.
+	if resp2.Stats["trace_started"] == 0 || resp2.Stats["trace_kept_slow"] == 0 {
+		t.Errorf("trace_* STATS keys missing or zero: %v", resp2.Stats)
+	}
+}
+
+// TestTraceIDGatedByVersion: a v3 peer must see neither TraceID nor
+// slow samples in its replies, even on a tracing server with breaches
+// recorded — older strict decoders reject unknown fields.
+func TestTraceIDGatedByVersion(t *testing.T) {
+	_, addr := startServer(t, Config{TickInterval: time.Hour,
+		SlowOp: time.Nanosecond, TraceSample: 1})
+	v3 := dialT(t, addr)
+	if _, err := v3.Do(wire.Request{Op: wire.OpHello, Version: 3}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := v3.Do(wire.Request{Op: wire.OpStats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.TraceID != 0 {
+		t.Errorf("v3 reply carries trace ID %x", resp.TraceID)
+	}
+	if len(resp.Slow) != 0 {
+		t.Errorf("v3 STATS reply carries slow samples: %+v", resp.Slow)
+	}
+
+	v4 := dialT(t, addr)
+	if _, err := v4.Hello(); err != nil {
+		t.Fatal(err)
+	}
+	resp4, err := v4.Do(wire.Request{Op: wire.OpStats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp4.TraceID == 0 {
+		t.Error("v4 reply on the same server carries no trace ID")
+	}
+}
+
+// TestTraceDisabledByDefault: the Config zero value runs the untraced
+// pipeline — no trace IDs, no trace_* STATS keys, no tracer.
+func TestTraceDisabledByDefault(t *testing.T) {
+	srv, addr := startServer(t, Config{TickInterval: time.Hour})
+	if srv.trc != nil {
+		t.Fatal("zero-value Config built a tracer")
+	}
+	cl := dialT(t, addr)
+	if _, err := cl.Hello(); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := cl.Do(wire.Request{Op: wire.OpStats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.TraceID != 0 {
+		t.Errorf("untraced server returned trace ID %x", resp.TraceID)
+	}
+	if _, ok := resp.Stats["trace_started"]; ok {
+		t.Errorf("untraced server reports trace_* keys: %v", resp.Stats)
+	}
+	srv.tick() // must not panic with a nil tracer
+}
+
+// TestTraceTickStructure drives hand ticks on a head-sample-everything
+// server and asserts the tick trace's anatomy: a root, one "shard"
+// span per registry shard spread across the sweep workers, and — the
+// detailed (sampled) extras — per-session spans with the
+// snapshot/tsdb.append/fanout/derive stage children.
+func TestTraceTickStructure(t *testing.T) {
+	srv, _ := startServer(t, Config{TickInterval: time.Hour, TickWorkers: 2,
+		TraceSample: 1, TraceRing: 8})
+	for i := 0; i < 3; i++ {
+		created := srv.dispatch(nil, &wire.Request{Op: wire.OpCreate,
+			Platform: "aix-power3", Events: []string{"PAPI_FP_INS"}, N: 8})
+		if !created.OK {
+			t.Fatal(created.Error)
+		}
+		if resp := srv.dispatch(nil, &wire.Request{Op: wire.OpStart,
+			Session: created.Session}); !resp.OK {
+			t.Fatal(resp.Error)
+		}
+	}
+	srv.tick()
+
+	var tick *tracing.TraceView
+	for _, sum := range srv.trc.Summaries() {
+		id, ok := tracing.ParseID(sum.ID)
+		if !ok {
+			t.Fatalf("unparseable summary ID %q", sum.ID)
+		}
+		if tr := srv.trc.Get(id); tr != nil && sum.Kind == "tick" {
+			v := tr.View()
+			tick = &v
+			break
+		}
+	}
+	if tick == nil {
+		t.Fatal("no tick trace retained at sample 1/1")
+	}
+	names := spanNames(*tick)
+	for _, want := range []string{"tick", "shard", "session", "snapshot",
+		"tsdb.append", "fanout", "derive", "tsdb.sweep"} {
+		if !names[want] {
+			t.Errorf("tick trace lacks span %q; has %v", want, names)
+		}
+	}
+	shards, sessions := 0, 0
+	for _, sp := range tick.Spans {
+		switch sp.Name {
+		case "shard":
+			shards++
+		case "session":
+			sessions++
+		}
+	}
+	if want := len(srv.reg.shards); shards != want {
+		t.Errorf("%d shard spans, want %d", shards, want)
+	}
+	if sessions != 3 {
+		t.Errorf("%d session spans, want 3", sessions)
+	}
+}
+
+// TestTracePublishStages: a traced PUBLISH records its pipeline stages
+// (tsdb.append, fanout, derive) under the dispatch span.
+func TestTracePublishStages(t *testing.T) {
+	srv, addr := startServer(t, Config{TickInterval: time.Hour, TraceSample: 1})
+	cl := dialT(t, addr)
+	if _, err := cl.Hello(); err != nil {
+		t.Fatal(err)
+	}
+	created, err := cl.Do(wire.Request{Op: wire.OpCreate, Workload: "none"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := cl.Do(wire.Request{Op: wire.OpPublish, Session: created.Session,
+		Events: []string{"PAPI_TOT_INS"}, Values: []int64{42}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.TraceID == 0 {
+		t.Fatal("traced PUBLISH returned no trace ID")
+	}
+	tr := waitTrace(t, srv, resp.TraceID)
+	names := spanNames(tr.View())
+	for _, want := range []string{"PUBLISH", "dispatch", "tsdb.append", "fanout", "derive", "write"} {
+		if !names[want] {
+			t.Errorf("PUBLISH trace lacks span %q; has %v", want, names)
+		}
+	}
+}
+
+// waitTrace polls the ring for a trace the writer goroutine is still
+// finishing, failing the test if it never lands.
+func waitTrace(t *testing.T, srv *Server, id uint64) *tracing.Trace {
+	t.Helper()
+	for i := 0; i < 200; i++ {
+		if tr := srv.trc.Get(id); tr != nil {
+			return tr
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("trace %s never retained", tracing.FormatID(id))
+	return nil
+}
+
+// spanNames collects a view's span names into a set.
+func spanNames(v tracing.TraceView) map[string]bool {
+	names := make(map[string]bool, len(v.Spans))
+	for _, sp := range v.Spans {
+		names[sp.Name] = true
+	}
+	return names
+}

@@ -125,6 +125,14 @@ type JSONMetric struct {
 // machine-readable /statusz body. Histograms appear as quantile
 // summaries (raw recording unit) rather than full bucket vectors.
 func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.MetricsJSON())
+}
+
+// MetricsJSON returns WriteJSON's document as a value, for embedding
+// in a larger /statusz body.
+func (r *Registry) MetricsJSON() []JSONMetric {
 	var doc []JSONMetric
 	for _, inst := range r.snapshot() {
 		m := JSONMetric{Name: inst.desc.name, Kind: inst.kind.String()}
@@ -153,7 +161,5 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 		}
 		doc = append(doc, m)
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(doc)
+	return doc
 }

@@ -1,0 +1,134 @@
+package tracing
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// TraceView is the exported (JSON) form of a finished trace.
+type TraceView struct {
+	ID        string `json:"id"`
+	Kind      string `json:"kind"`
+	Name      string `json:"name"`
+	StartUS   int64  `json:"start_us"`
+	DurNS     int64  `json:"dur_ns"`
+	Sampled   bool   `json:"sampled"`
+	Retained  string `json:"retained"` // "sampled" | "slow" | "error"
+	Err       string `json:"err,omitempty"`
+	LostSpans int32  `json:"lost_spans,omitempty"`
+	Spans     []Span `json:"spans"`
+}
+
+// View exports a finished trace. Calling View on a live trace is a
+// race; only traces out of Snapshot/Get are safe.
+func (t *Trace) View() TraceView {
+	if t == nil {
+		return TraceView{}
+	}
+	return TraceView{
+		ID:        FormatID(t.id),
+		Kind:      t.kind,
+		Name:      t.name,
+		StartUS:   t.wallUS,
+		DurNS:     t.dur,
+		Sampled:   t.sampled,
+		Retained:  t.keptWhy,
+		Err:       t.errMsg,
+		LostSpans: t.lost,
+		Spans:     t.spans,
+	}
+}
+
+// Summary is the /tracez list entry for one retained trace.
+type Summary struct {
+	ID       string `json:"id"`
+	Kind     string `json:"kind"`
+	Name     string `json:"name"`
+	StartUS  int64  `json:"start_us"`
+	DurNS    int64  `json:"dur_ns"`
+	Spans    int    `json:"spans"`
+	Retained string `json:"retained"`
+	Err      string `json:"err,omitempty"`
+}
+
+// Summaries lists the retained traces, slowest first (the /tracez
+// ordering: the trace you are hunting is almost always the slow one).
+func (tr *Tracer) Summaries() []Summary {
+	traces := tr.Snapshot()
+	out := make([]Summary, 0, len(traces))
+	for _, t := range traces {
+		out = append(out, Summary{
+			ID:       FormatID(t.id),
+			Kind:     t.kind,
+			Name:     t.name,
+			StartUS:  t.wallUS,
+			DurNS:    t.dur,
+			Spans:    len(t.spans),
+			Retained: t.keptWhy,
+			Err:      t.errMsg,
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].DurNS > out[j].DurNS })
+	return out
+}
+
+// chromeEvent is one Chrome trace-event ("X" complete event), the
+// format Perfetto and chrome://tracing load directly.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`  // microseconds
+	Dur  float64        `json:"dur"` // microseconds
+	PID  int            `json:"pid"`
+	TID  int64          `json:"tid"`
+	Cat  string         `json:"cat,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeDoc struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// ChromeJSON renders the trace as Chrome trace-event JSON. Spans land
+// on tracks by their "worker" annotation when present (so a parallel
+// tick's shards render side by side); unannotated spans share track 0.
+func (t *Trace) ChromeJSON() ([]byte, error) {
+	if t == nil {
+		return nil, fmt.Errorf("no trace")
+	}
+	v := t.View()
+	doc := chromeDoc{DisplayTimeUnit: "ms", TraceEvents: make([]chromeEvent, 0, len(v.Spans))}
+	for _, sp := range v.Spans {
+		ev := chromeEvent{
+			Name: sp.Name,
+			Ph:   "X",
+			TS:   float64(v.StartUS) + float64(sp.Start)/1e3,
+			Dur:  float64(sp.Dur) / 1e3,
+			PID:  1,
+			Cat:  v.Kind,
+		}
+		if len(sp.Attrs) > 0 {
+			ev.Args = make(map[string]any, len(sp.Attrs))
+			for _, a := range sp.Attrs {
+				if a.IsInt {
+					ev.Args[a.Key] = a.Int
+					if a.Key == "worker" {
+						ev.TID = a.Int + 1
+					}
+				} else {
+					ev.Args[a.Key] = a.Str
+				}
+			}
+		}
+		doc.TraceEvents = append(doc.TraceEvents, ev)
+	}
+	return json.Marshal(doc)
+}
+
+// FormatDur renders a nanosecond duration for the /tracez table.
+func FormatDur(ns int64) string {
+	return time.Duration(ns).Round(time.Microsecond).String()
+}

@@ -424,10 +424,12 @@ func (s *Store) sealOldestActive() bool {
 
 // Sweep applies age-based retention across every series relative to
 // now (µs). papid calls this from its tick loop so series of finished
-// sessions still expire.
-func (s *Store) Sweep(now int64) {
+// sessions still expire. It reports the number of event-series blocks
+// evicted, so the tick's trace can annotate what the sweep actually
+// did.
+func (s *Store) Sweep(now int64) (evicted int64) {
 	if s.cfg.MaxAge <= 0 {
-		return
+		return 0
 	}
 	cutoff := now - s.cfg.MaxAge.Microseconds()
 	for i := range s.shards {
@@ -447,6 +449,7 @@ func (s *Store) Sweep(now int64) {
 			freed, events := sr.evictExpired(cutoff)
 			s.bytes.Add(-freed)
 			s.evictions.Add(events)
+			evicted += int64(events)
 			if sr.samples > 0 && sr.lastTS < cutoff && sr.active == nil &&
 				len(sr.sealed) == 0 {
 				// Fully expired: drop the series itself.
@@ -464,6 +467,7 @@ func (s *Store) Sweep(now int64) {
 			}
 		}
 	}
+	return evicted
 }
 
 // Stats returns current counters.

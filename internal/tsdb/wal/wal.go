@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/tracing"
 	"repro/internal/tsdb"
 )
 
@@ -448,12 +449,21 @@ type Row struct {
 // in a batch are synced with the batch, not individually — acceptable
 // because tick rows are never acked to a client, unlike PUBLISH rows,
 // which keep using AppendBatch's per-row sync.
-func (l *Log) AppendRows(rows []Row) error {
+func (l *Log) AppendRows(rows []Row) error { return l.AppendRowsTraced(rows, nil) }
+
+// AppendRowsTraced is AppendRows with flight-recorder spans: a
+// "wal.append" span over the journal writes and store applies, and —
+// when the batch syncs (FsyncAlways) — a "wal.fsync" span over the
+// sync itself, so a retained trace shows whether a slow batch spent
+// its time writing or waiting on the disk. A nil trace records
+// nothing.
+func (l *Log) AppendRowsTraced(rows []Row, t *tracing.Trace) error {
 	if l.closed.Load() {
 		return ErrClosed
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	sp := t.StartSpan(tracing.NoSpan, "wal.append")
 	var firstErr error
 	wrote := false
 	for i := range rows {
@@ -487,9 +497,15 @@ func (l *Log) AppendRows(rows []Row) error {
 		l.noteRows(r.Session, r.TS, events, seq)
 		l.store.AppendBatchSeq(r.Session, r.TS, events, vals, seq)
 	}
+	if t != nil {
+		t.AnnotateInt(sp, "rows", int64(len(rows)))
+		t.EndSpan(sp)
+	}
 	if wrote {
 		if l.opts.Fsync == FsyncAlways {
+			fs := t.StartSpan(tracing.NoSpan, "wal.fsync")
 			l.fsyncWALLocked()
+			t.EndSpan(fs)
 		} else {
 			l.walDirty = true
 		}

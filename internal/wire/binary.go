@@ -331,8 +331,10 @@ const (
 	respSessions
 	respIdx
 	respBase
+	respTrace
+	respSlow
 
-	respKnown = respBase<<1 - 1
+	respKnown = respSlow<<1 - 1
 )
 
 func appendResponse(dst []byte, m *Response) []byte {
@@ -364,6 +366,8 @@ func appendResponse(dst []byte, m *Response) []byte {
 	setIf(len(m.Sessions) > 0, respSessions)
 	setIf(len(m.Idx) > 0, respIdx)
 	setIf(m.Base != 0, respBase)
+	setIf(m.TraceID != 0, respTrace)
+	setIf(len(m.Slow) > 0, respSlow)
 
 	dst = binary.AppendUvarint(dst, bits)
 	if bits&respOp != 0 {
@@ -428,6 +432,12 @@ func appendResponse(dst []byte, m *Response) []byte {
 	}
 	if bits&respBase != 0 {
 		dst = binary.AppendUvarint(dst, m.Base)
+	}
+	if bits&respTrace != 0 {
+		dst = binary.AppendUvarint(dst, m.TraceID)
+	}
+	if bits&respSlow != 0 {
+		dst = appendSlow(dst, m.Slow)
 	}
 	return dst
 }
@@ -545,6 +555,16 @@ func readResponse(r *binReader, m *Response) error {
 	}
 	if bits&respBase != 0 {
 		if m.Base, err = r.uvarint(); err != nil {
+			return err
+		}
+	}
+	if bits&respTrace != 0 {
+		if m.TraceID, err = r.uvarint(); err != nil {
+			return err
+		}
+	}
+	if bits&respSlow != 0 {
+		if m.Slow, err = r.slow(); err != nil {
 			return err
 		}
 	}
@@ -676,6 +696,17 @@ func appendDerived(dst []byte, ds []DerivedSeries) []byte {
 			dst = appendZigzag(dst, p.Start)
 			dst = appendF64(dst, p.Value)
 		}
+	}
+	return dst
+}
+
+func appendSlow(dst []byte, ss []SlowSample) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(ss)))
+	for _, s := range ss {
+		dst = appendStr(dst, s.Op)
+		dst = binary.AppendUvarint(dst, s.Session)
+		dst = appendZigzag(dst, s.NS)
+		dst = binary.AppendUvarint(dst, s.TraceID)
 	}
 	return dst
 }
@@ -937,6 +968,29 @@ func (r *binReader) derived() ([]DerivedSeries, error) {
 			}
 		}
 		out[i].Points = points
+	}
+	return out, nil
+}
+
+func (r *binReader) slow() ([]SlowSample, error) {
+	n, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SlowSample, n)
+	for i := range out {
+		if out[i].Op, err = r.str(); err != nil {
+			return nil, err
+		}
+		if out[i].Session, err = r.uvarint(); err != nil {
+			return nil, err
+		}
+		if out[i].NS, err = r.zigzag(); err != nil {
+			return nil, err
+		}
+		if out[i].TraceID, err = r.uvarint(); err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }

@@ -81,6 +81,12 @@ func TestBinaryResponseRoundTrip(t *testing.T) {
 			{Metric: "ipc", Points: []DerivedPoint{{Start: 100, Value: 1.5}, {Start: 200, Value: 0}}},
 			{Metric: "mem_bw_mbs", Unit: "MB/s", Points: []DerivedPoint{{Start: -1, Value: 3.14159}}},
 		}},
+		{Op: OpRead, OK: true, Session: 2, Values: []int64{1}, TraceID: 0xdeadbeefcafe},
+		{Op: OpStats, OK: true, Stats: map[string]uint64{"ticks": 1}, TraceID: 1,
+			Slow: []SlowSample{
+				{Op: OpQuery, Session: 9, NS: 312_000_000, TraceID: 0xfeed},
+				{Op: OpPublish, NS: 1, TraceID: 0},
+			}},
 	}
 	var stream []byte
 	for i := range resps {

@@ -80,6 +80,16 @@ const MinProtocolDerived = 3
 // older servers sent.
 const MinProtocolFilter = 4
 
+// MinProtocolTrace is the lowest client protocol whose replies carry
+// the server-side trace ID (Response.TraceID) when papid traced the
+// request, and whose STATS replies include recent slow-op samples
+// (Response.Slow). The server never attaches either to a peer that
+// announced an older version (or never sent HELLO) — a v2/v3 peer's
+// replies stay byte-identical to what older servers sent (the binary
+// codec rejects unknown presence bits, so these fields must never
+// reach a v3 decoder).
+const MinProtocolTrace = 4
+
 // Request operations.
 const (
 	OpHello        = "HELLO"          // handshake; no arguments
@@ -238,4 +248,23 @@ type Response struct {
 	// the delta and wait for the next keyframe (see DeltaTracker).
 	Idx  []uint32 `json:"idx,omitempty"`
 	Base uint64   `json:"base,omitempty"`
+	// TraceID identifies the server-side trace of this request's
+	// handling (tracing enabled, v4+ peers only — MinProtocolTrace).
+	// Rendered in hex it keys /debug/trace?id= on papid's admin
+	// endpoint; the same ID appears in SlowOp warn lines, so a slow
+	// reply, its log line and its flight-recorder trace all link up.
+	TraceID uint64 `json:"trace,omitempty"`
+	// Slow, in a v4 STATS reply, lists the server's most recent
+	// SlowOp-threshold breaches with their trace IDs (newest first).
+	Slow []SlowSample `json:"slow,omitempty"`
+}
+
+// SlowSample is one recent slow operation in a STATS reply: what ran,
+// how long it took, and which retained trace shows where the time
+// went.
+type SlowSample struct {
+	Op      string `json:"op"`
+	Session uint64 `json:"session,omitempty"`
+	NS      int64  `json:"ns"`
+	TraceID uint64 `json:"trace,omitempty"`
 }

@@ -48,3 +48,9 @@ go run ./cmd/benchjson -benchmem -out BENCH_derive.json -bench 'DeriveEval|Engin
 # (the per-request overhead added to every wire op), summary
 # extraction, and a full Prometheus scrape.
 go run ./cmd/benchjson -benchmem -out BENCH_telemetry.json -bench 'Telemetry|PrometheusScrape' ./internal/telemetry
+# Flight-recorder costs: the raw span-engine operations (trace
+# start/finish, span open/close, annotate, retention-ring insert) and
+# the paired traced-vs-untraced 256-session tick sweep — the overhead
+# evidence behind DESIGN.md S32's claim that default 1/64 sampling
+# stays within run-to-run noise.
+go run ./cmd/benchjson -benchmem -benchtime 3s -out BENCH_trace.json -bench 'Trace' ./internal/telemetry/tracing ./internal/server

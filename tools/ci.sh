@@ -72,6 +72,8 @@ done
 statusz=$(curl -sf http://127.0.0.1:61780/statusz)
 echo "$statusz" | grep -q '"stats"' || { echo "/statusz lacks stats" >&2; exit 1; }
 echo "$statusz" | grep -q '"hists"' || { echo "/statusz lacks hists" >&2; exit 1; }
+echo "$statusz" | grep -q '"build"' || { echo "/statusz lacks build info" >&2; exit 1; }
+echo "$statusz" | grep -q '"tick_workers"' || { echo "/statusz lacks tick_workers" >&2; exit 1; }
 kill $papid_pid
 wait $papid_pid 2>/dev/null || true
 echo "telemetry smoke OK"
@@ -200,3 +202,60 @@ wait $pub_pid 2>/dev/null || true
 kill $delta_pid
 wait $delta_pid 2>/dev/null || true
 echo "filtered/delta subscription smoke OK"
+# Flight-recorder smoke: a papid tracing every unit (-trace-sample 1)
+# with a hair-trigger -slow-op, driven by a real publisher. Certifies
+# the pipeline tracer end to end: the SlowOp warn line names a trace
+# ID whose trace is retrievable from /debug/trace?id= (tail
+# retention), /tracez lists the ring, and the Chrome trace-event
+# export Perfetto loads carries the pipeline's stage span names —
+# request stages on a PUBLISH trace, sweep stages on a tick trace.
+trace_log=$(mktemp /tmp/papid-ci-trace.XXXXXX)
+/tmp/papid-ci-smoke -addr 127.0.0.1:61785 -http 127.0.0.1:61786 \
+    -trace-sample 1 -slow-op 1ns -tick-workers 2 -quiet 2>"$trace_log" &
+trace_pid=$!
+trap 'kill -9 $papid_pid $wal_pid $derive_pid $delta_pid $pub_pid $trace_pid 2>/dev/null || true; rm -rf "$wal_dir" "$follow_log" "$trace_log"' EXIT
+published=""
+for i in $(seq 1 50); do
+    if /tmp/papirun-ci-smoke -serve 127.0.0.1:61785 -workload dot -n 64 -reps 4 >/dev/null 2>&1; then
+        published=yes
+        break
+    fi
+    sleep 0.1
+done
+[ -n "$published" ] || { echo "papirun never published to tracing papid" >&2; exit 1; }
+# Every op breached -slow-op 1ns, so the log holds warn lines naming
+# their traces; a named trace must still be in the ring, request
+# stages intact.
+warn_id=$(sed -n 's/.*trace=\([0-9a-f]\{16\}\).*/\1/p' "$trace_log" | head -1)
+[ -n "$warn_id" ] || {
+    echo "no slow-op warn line carries a trace ID" >&2
+    cat "$trace_log" >&2
+    exit 1
+}
+curl -sf "http://127.0.0.1:61786/debug/trace?id=$warn_id" | grep -q '"dispatch"' || {
+    echo "warned trace $warn_id not retrievable with a dispatch span" >&2; exit 1; }
+tracez=$(curl -sf "http://127.0.0.1:61786/tracez?format=json")
+pub_id=$(printf '%s' "$tracez" | sed -n 's/.*"id":"\([0-9a-f]\{16\}\)","kind":"request","name":"PUBLISH".*/\1/p')
+[ -n "$pub_id" ] || { echo "/tracez lists no PUBLISH trace" >&2; exit 1; }
+pub_chrome=$(curl -sf "http://127.0.0.1:61786/debug/trace?id=$pub_id&format=chrome")
+for span in dispatch tsdb.append fanout derive write; do
+    printf '%s' "$pub_chrome" | grep -q "\"$span\"" || {
+        echo "PUBLISH chrome export lacks stage span $span" >&2; exit 1; }
+done
+tick_id=$(printf '%s' "$tracez" | sed -n 's/.*"id":"\([0-9a-f]\{16\}\)","kind":"tick".*/\1/p')
+[ -n "$tick_id" ] || { echo "/tracez lists no tick trace" >&2; exit 1; }
+tick_chrome=$(curl -sf "http://127.0.0.1:61786/debug/trace?id=$tick_id&format=chrome")
+for span in shard tsdb.sweep; do
+    printf '%s' "$tick_chrome" | grep -q "\"$span\"" || {
+        echo "tick chrome export lacks sweep span $span" >&2; exit 1; }
+done
+# The remote views ride the same data: perfometer -tracez renders the
+# ring over the admin endpoint, and -stats carries the slow-op samples
+# with their trace IDs over the wire protocol.
+/tmp/perfometer-ci-smoke -tracez 127.0.0.1:61786 | grep -q 'flight recorder:' || {
+    echo "perfometer -tracez rendered no flight-recorder view" >&2; exit 1; }
+/tmp/perfometer-ci-smoke -papid 127.0.0.1:61785 -stats | grep -q 'trace=' || {
+    echo "perfometer -stats shows no slow-op trace IDs" >&2; exit 1; }
+kill $trace_pid
+wait $trace_pid 2>/dev/null || true
+echo "flight-recorder smoke OK"

@@ -5,8 +5,11 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/tracing"
+	"repro/internal/wire"
 )
 
 // RenderStats prints a papid STATS reply: the lifetime counter map,
@@ -37,5 +40,24 @@ func RenderStats(w io.Writer, stats map[string]uint64, hists map[string]telemetr
 		return !strings.HasPrefix(k, "op/")
 	}); t != "" {
 		fmt.Fprintf(w, "internal stages:\n%s", t)
+	}
+}
+
+// RenderSlow prints the server's recent SlowOp breaches (STATS
+// resp.Slow, protocol >= 4), newest first. When the server runs the
+// flight recorder each sample carries the trace ID its warn line
+// logged — the handle /debug/trace?id= (or perfometer -tracez) takes.
+// Silent for older servers and clean runs alike.
+func RenderSlow(w io.Writer, slow []wire.SlowSample) {
+	if len(slow) == 0 {
+		return
+	}
+	fmt.Fprintln(w, "recent slow ops (newest first):")
+	for _, s := range slow {
+		fmt.Fprintf(w, "  %-12s session=%-6d %12s", s.Op, s.Session, time.Duration(s.NS))
+		if s.TraceID != 0 {
+			fmt.Fprintf(w, "  trace=%s", tracing.FormatID(s.TraceID))
+		}
+		fmt.Fprintln(w)
 	}
 }
